@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Format List Prbp

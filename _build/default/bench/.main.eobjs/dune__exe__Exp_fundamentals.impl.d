@@ -1,0 +1,1 @@
+bench/exp_fundamentals.ml: Format List Prbp Printf

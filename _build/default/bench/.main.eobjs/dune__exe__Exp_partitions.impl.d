@@ -1,0 +1,1 @@
+bench/exp_partitions.ml: Array Format List Prbp Printf

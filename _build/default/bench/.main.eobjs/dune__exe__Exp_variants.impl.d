@@ -1,0 +1,1 @@
+bench/exp_variants.ml: Array Format List Prbp String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_bounds Exp_extensions Exp_fundamentals Exp_partitions Exp_variants Format List Perf Prbp String Sys

@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Benchmark Format Hashtbl Instance Lazy List Measure Prbp Printf Staged Test Time Toolkit

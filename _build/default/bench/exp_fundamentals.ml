@@ -1,0 +1,267 @@
+(* Experiments E01–E08: Section 4 (fundamental properties of PRBP). *)
+
+module Dag = Prbp.Dag
+module E = Prbp.Experiment
+module T = Prbp.Table
+
+let rcfg r = Prbp.Rbp.config ~r ()
+
+let pcfg r = Prbp.Prbp_game.config ~r ()
+
+let rbp_check ~r g moves =
+  match Prbp.Rbp.check (rcfg r) g moves with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let prbp_check ~r g moves =
+  match Prbp.Prbp_game.check (pcfg r) g moves with
+  | Ok c -> c
+  | Error e -> failwith e
+
+let e01 =
+  E.make ~id:"E01" ~paper:"Proposition 4.2 / Figure 1 / Appendix A.1"
+    ~claim:"On the Figure-1 DAG with r=4: OPT_RBP = 3 and OPT_PRBP = 2"
+    (fun ppf ->
+      let g, ids = Prbp.Graphs.Fig1.full () in
+      let opt_r = Prbp.Exact_rbp.opt (rcfg 4) g in
+      let opt_p = Prbp.Exact_prbp.opt (pcfg 4) g in
+      let strat_r = rbp_check ~r:4 g (Prbp.Strategies.fig1_rbp ids) in
+      let strat_p = prbp_check ~r:4 g (Prbp.Strategies.fig1_prbp ids) in
+      let t = T.make ~header:[ "quantity"; "paper"; "measured" ] in
+      T.add_rowf t "OPT_RBP (exhaustive)|3|%d" opt_r;
+      T.add_rowf t "OPT_PRBP (exhaustive)|2|%d" opt_p;
+      T.add_rowf t "A.1 RBP strategy cost|3|%d" strat_r;
+      T.add_rowf t "A.1 PRBP strategy cost|2|%d" strat_p;
+      T.print ppf t;
+      opt_r = 3 && opt_p = 2 && strat_r = 3 && strat_p = 2)
+
+let e02 =
+  E.make ~id:"E02" ~paper:"Proposition 4.1"
+    ~claim:
+      "Any RBP strategy translates to a PRBP strategy of the same I/O cost \
+       (so OPT_PRBP <= OPT_RBP)"
+    (fun ppf ->
+      let t = T.make ~header:[ "DAG"; "r"; "RBP cost"; "translated PRBP" ] in
+      let ok = ref true in
+      let try_one name g =
+        let r = max 2 (Dag.max_in_degree g + 1) in
+        let moves =
+          Prbp.Rbp.normalize (rcfg r) g (Prbp.Heuristic.rbp ~r g)
+        in
+        let c = rbp_check ~r g moves in
+        let c' = prbp_check ~r g (Prbp.Move.rbp_to_prbp g moves) in
+        T.add_rowf t "%s|%d|%d|%d" name r c c';
+        if c <> c' then ok := false
+      in
+      try_one "fig1" (fst (Prbp.Graphs.Fig1.full ()));
+      try_one "pyramid(4)" (Prbp.Graphs.Basic.pyramid 4);
+      try_one "grid 4x4" (Prbp.Graphs.Basic.grid 4 4);
+      try_one "fft(16)" (Prbp.Graphs.Fft.make ~m:16).Prbp.Graphs.Fft.dag;
+      try_one "tree(2,5)"
+        (Prbp.Graphs.Tree.make ~k:2 ~depth:5).Prbp.Graphs.Tree.dag;
+      List.iteri
+        (fun i seed ->
+          try_one
+            (Printf.sprintf "random#%d" i)
+            (Prbp.Graphs.Random_dag.make ~seed ~layers:6 ~width:5 ()))
+        [ 11; 22; 33 ];
+      T.print ppf t;
+      !ok)
+
+let e03 =
+  E.make ~id:"E03" ~paper:"Proposition 4.3"
+    ~claim:
+      "Matrix-vector multiplication (m>=3, m+3<=r<=2m): OPT_PRBP = m^2+2m \
+       (trivial) < m^2+3m-1 <= OPT_RBP"
+    (fun ppf ->
+      let t =
+        T.make
+          ~header:
+            [ "m"; "r"; "PRBP streamed"; "= trivial?"; "RBP bound";
+              "RBP heuristic" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun m ->
+          let mv = Prbp.Graphs.Matvec.make ~m in
+          let g = mv.Prbp.Graphs.Matvec.dag in
+          let r = m + 3 in
+          let c = prbp_check ~r g (Prbp.Strategies.matvec_prbp mv) in
+          let trivial = Dag.trivial_cost g in
+          let bound = Prbp.Graphs.Matvec.rbp_lower ~m in
+          let heur = Prbp.Heuristic.rbp_cost ~r g in
+          T.add_rowf t "%d|%d|%d|%b|%d|%d" m r c (c = trivial) bound heur;
+          if not (c = trivial && c < bound && heur >= bound) then ok := false)
+        [ 3; 4; 5; 6; 8; 10 ];
+      T.print ppf t;
+      Format.fprintf ppf
+        "(the heuristic upper bound for RBP respects the proven lower bound \
+         everywhere)@.";
+      !ok)
+
+let e04 =
+  E.make ~id:"E04" ~paper:"Proposition 4.4 / Figure 2 left"
+    ~claim:
+      "Zipper gadget at r = d+2: RBP pays ~d per chain node, PRBP ~2 per \
+       second chain node; PRBP wins for d >= 3"
+    (fun ppf ->
+      let t =
+        T.make ~header:[ "d"; "len"; "RBP strategy"; "PRBP strategy"; "gap" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun (d, len) ->
+          let z = Prbp.Graphs.Zipper.make ~d ~len in
+          let g = z.Prbp.Graphs.Zipper.dag in
+          let cr = rbp_check ~r:(d + 2) g (Prbp.Strategies.zipper_rbp z) in
+          let cp = prbp_check ~r:(d + 2) g (Prbp.Strategies.zipper_prbp z) in
+          T.add_rowf t "%d|%d|%d|%d|%.2fx" d len cr cp
+            (float_of_int cr /. float_of_int cp);
+          if d >= 3 && cp >= cr then ok := false;
+          if cr <> Prbp.Strategies.zipper_rbp_cost ~d ~len then ok := false;
+          if cp <> Prbp.Strategies.zipper_prbp_cost ~d ~len then ok := false)
+        [ (3, 8); (4, 12); (5, 16); (6, 24); (8, 32) ];
+      T.print ppf t;
+      !ok)
+
+let e05 =
+  E.make ~id:"E05" ~paper:"Proposition 4.5 / Appendix A.2"
+    ~claim:
+      "Binary trees at r=3: OPT_RBP = 2^(d+1)-1 and OPT_PRBP = \
+       2^d+2^(d-1)-1; strategies match the closed forms, exhaustive \
+       search confirms d=3"
+    (fun ppf ->
+      let t =
+        T.make
+          ~header:[ "depth"; "RBP"; "formula"; "PRBP"; "formula"; "exact?" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun depth ->
+          let tr = Prbp.Graphs.Tree.make ~k:2 ~depth in
+          let g = tr.Prbp.Graphs.Tree.dag in
+          let cr = rbp_check ~r:3 g (Prbp.Strategies.tree_rbp tr) in
+          let cp = prbp_check ~r:3 g (Prbp.Strategies.tree_prbp tr) in
+          let fr = Prbp.Graphs.Tree.rbp_opt ~k:2 ~depth in
+          let fp = Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth in
+          let exact =
+            if depth <= 3 then begin
+              let er = Prbp.Exact_rbp.opt (rcfg 3) g in
+              let ep = Prbp.Exact_prbp.opt (pcfg 3) g in
+              if er <> fr || ep <> fp then ok := false;
+              Printf.sprintf "rbp=%d prbp=%d" er ep
+            end
+            else "-"
+          in
+          T.add_rowf t "%d|%d|%d|%d|%d|%s" depth cr fr cp fp exact;
+          if cr <> fr || cp <> fp then ok := false)
+        [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+      T.print ppf t;
+      !ok)
+
+let e06 =
+  E.make ~id:"E06" ~paper:"Appendix A.2 (k-ary trees)"
+    ~claim:
+      "k-ary trees at r=k+1: OPT_RBP = k^d + 2k^(d-1) - 1, OPT_PRBP = k^d + \
+       2k^(d-k) - 1 (almost a k^(k-1) factor on non-trivial I/O)"
+    (fun ppf ->
+      let t =
+        T.make
+          ~header:
+            [ "k"; "d"; "RBP"; "formula"; "PRBP"; "formula";
+              "non-trivial ratio" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun (k, depth) ->
+          let tr = Prbp.Graphs.Tree.make ~k ~depth in
+          let g = tr.Prbp.Graphs.Tree.dag in
+          let cr = rbp_check ~r:(k + 1) g (Prbp.Strategies.tree_rbp tr) in
+          let cp = prbp_check ~r:(k + 1) g (Prbp.Strategies.tree_prbp tr) in
+          let fr = Prbp.Graphs.Tree.rbp_opt ~k ~depth in
+          let fp = Prbp.Graphs.Tree.prbp_opt ~k ~depth in
+          let trivial = Dag.trivial_cost g in
+          let ratio =
+            if cp > trivial then
+              Printf.sprintf "%.1f"
+                (float_of_int (cr - trivial) /. float_of_int (cp - trivial))
+            else "inf"
+          in
+          T.add_rowf t "%d|%d|%d|%d|%d|%d|%s" k depth cr fr cp fp ratio;
+          if cr <> fr || cp <> fp then ok := false)
+        [ (2, 4); (2, 8); (3, 4); (3, 6); (4, 5); (5, 6) ];
+      T.print ppf t;
+      !ok)
+
+let e07 =
+  E.make ~id:"E07" ~paper:"Proposition 4.6 / Figure 2 right"
+    ~claim:
+      "Pebble-collection gadget: with d+2 pebbles only trivial cost; any \
+       strategy capped below d+2 pebbles pays >= len/(2d) — in PRBP too"
+    (fun ppf ->
+      let t =
+        T.make
+          ~header:
+            [ "d"; "len"; "full (r=d+2)"; "trivial"; "capped (r=d+1)";
+              "bound len/2d" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun (d, len) ->
+          let c = Prbp.Graphs.Collect.make ~d ~len in
+          let g = c.Prbp.Graphs.Collect.dag in
+          let full = rbp_check ~r:(d + 2) g (Prbp.Strategies.collect_full c) in
+          let capped =
+            prbp_check ~r:(d + 1) g (Prbp.Strategies.collect_capped c)
+          in
+          let lb = Prbp.Graphs.Collect.lower_bound_capped c in
+          T.add_rowf t "%d|%d|%d|%d|%d|%d" d len full (Dag.trivial_cost g)
+            capped lb;
+          if full <> Dag.trivial_cost g || capped < lb then ok := false)
+        [ (3, 30); (4, 48); (5, 100); (6, 120); (8, 240) ];
+      T.print ppf t;
+      Format.fprintf ppf
+        "(the capped PRBP strategy sits between the bound and a small \
+         constant times it)@.";
+      !ok)
+
+let e08 =
+  E.make ~id:"E08" ~paper:"Proposition 4.7"
+    ~claim:
+      "Chained Figure-1 gadgets (Δin=2, Δout=3, r=4): OPT_PRBP = 2 always, \
+       OPT_RBP = Θ(n)"
+    (fun ppf ->
+      let t =
+        T.make
+          ~header:
+            [ "copies"; "nodes"; "PRBP strategy"; "exact PRBP"; "RBP strategy";
+              "exact RBP" ]
+      in
+      let ok = ref true in
+      List.iter
+        (fun copies ->
+          let g = Prbp.Graphs.Fig1.chained ~copies in
+          let cp =
+            prbp_check ~r:4 g (Prbp.Strategies.fig1_chained_prbp ~copies)
+          in
+          let cr =
+            rbp_check ~r:4 g (Prbp.Strategies.fig1_chained_rbp ~copies)
+          in
+          let small = copies <= 4 in
+          let ep = if small then Prbp.Exact_prbp.opt (pcfg 4) g else -1 in
+          let er = if small then Prbp.Exact_rbp.opt (rcfg 4) g else -1 in
+          T.add_rowf t "%d|%d|%d|%s|%d|%s" copies (Dag.n_nodes g) cp
+            (if small then string_of_int ep else "-")
+            cr
+            (if small then string_of_int er else "-");
+          if cp <> 2 then ok := false;
+          if cr <> (2 * copies) + 1 then ok := false;
+          if small && (ep <> 2 || er <> cr) then ok := false)
+        [ 1; 2; 3; 4; 10; 50; 200 ];
+      T.print ppf t;
+      Format.fprintf ppf
+        "(exact search certifies the strategies optimal up to 4 copies; the \
+         RBP cost grows as 2·copies+1 = Θ(n) while PRBP stays at 2)@.";
+      !ok)
+
+let all = [ e01; e02; e03; e04; e05; e06; e07; e08 ]

@@ -1,0 +1,33 @@
+(* Benchmark & experiment harness: regenerates every quantitative claim
+   of the paper (one experiment per proposition / theorem / figure),
+   then runs Bechamel micro-benchmarks of the library.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- --no-perf  # experiments only
+     dune exec bench/main.exe -- --perf     # micro-benchmarks only
+     dune exec bench/main.exe -- E03 E08    # a subset of experiments  *)
+
+let experiments =
+  Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
+  @ Exp_variants.all @ Exp_extensions.all
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let perf_only = List.mem "--perf" args in
+  let no_perf = List.mem "--no-perf" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf
+    "PRBP experiment harness — reproducing \"The Impact of Partial \
+     Computations on the Red-Blue Pebble Game\" (SPAA 2025)@.";
+  if not perf_only then begin
+    let selected =
+      match ids with
+      | [] -> experiments
+      | ids -> List.filter (fun e -> List.mem e.Prbp.Experiment.id ids) experiments
+    in
+    let confirmed, total = Prbp.Experiment.run_all ppf selected in
+    if confirmed <> total then exit 1
+  end;
+  if not no_perf then Perf.run ppf;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,125 @@
+(* Bechamel micro-benchmarks of the library itself: simulator step
+   rate, exact-solver throughput, generator and extraction speed. *)
+
+open Bechamel
+open Toolkit
+
+let fig1 = lazy (Prbp.Graphs.Fig1.full ())
+
+let fig1_rbp_moves =
+  lazy (Prbp.Strategies.fig1_rbp (snd (Lazy.force fig1)))
+
+let fig1_prbp_moves =
+  lazy (Prbp.Strategies.fig1_prbp (snd (Lazy.force fig1)))
+
+let matvec8 = lazy (Prbp.Graphs.Matvec.make ~m:8)
+
+let matvec8_moves =
+  lazy (Prbp.Strategies.matvec_prbp (Lazy.force matvec8))
+
+let tree26 = lazy (Prbp.Graphs.Tree.make ~k:2 ~depth:6)
+
+let tree26_moves = lazy (Prbp.Strategies.tree_prbp (Lazy.force tree26))
+
+let random240 =
+  lazy (Prbp.Graphs.Random_dag.make ~seed:3 ~layers:12 ~width:20 ())
+
+let tests =
+  [
+    Test.make ~name:"simulate: RBP fig1 strategy"
+      (Staged.stage (fun () ->
+           let g, _ = Lazy.force fig1 in
+           Prbp.Rbp.run_exn (Prbp.Rbp.config ~r:4 ()) g
+             (Lazy.force fig1_rbp_moves)));
+    Test.make ~name:"simulate: PRBP fig1 strategy"
+      (Staged.stage (fun () ->
+           let g, _ = Lazy.force fig1 in
+           Prbp.Prbp_game.run_exn
+             (Prbp.Prbp_game.config ~r:4 ())
+             g
+             (Lazy.force fig1_prbp_moves)));
+    Test.make ~name:"simulate: PRBP matvec(8) stream (208 I/Os)"
+      (Staged.stage (fun () ->
+           let mv = Lazy.force matvec8 in
+           Prbp.Prbp_game.run_exn
+             (Prbp.Prbp_game.config ~r:11 ())
+             mv.Prbp.Graphs.Matvec.dag
+             (Lazy.force matvec8_moves)));
+    Test.make ~name:"exact: OPT_RBP fig1 (r=4)"
+      (Staged.stage (fun () ->
+           let g, _ = Lazy.force fig1 in
+           Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:4 ()) g));
+    Test.make ~name:"exact: OPT_PRBP fig1 (r=4)"
+      (Staged.stage (fun () ->
+           let g, _ = Lazy.force fig1 in
+           Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:4 ()) g));
+    Test.make ~name:"generate: FFT(1024) DAG (11264 nodes)"
+      (Staged.stage (fun () -> Prbp.Graphs.Fft.make ~m:1024));
+    Test.make ~name:"generate: matmul 16^3 DAG (4864 nodes)"
+      (Staged.stage (fun () -> Prbp.Graphs.Matmul.make ~m1:16 ~m2:16 ~m3:16));
+    Test.make ~name:"heuristic: PRBP Belady on 240-node DAG (r=6)"
+      (Staged.stage (fun () ->
+           Prbp.Heuristic.prbp ~r:6 (Lazy.force random240)));
+    Test.make ~name:"strategy: blocked FFT(256) moves"
+      (Staged.stage (fun () ->
+           Prbp.Strategies.fft_blocked ~r:10 (Prbp.Graphs.Fft.make ~m:256)));
+    Test.make ~name:"extract: edge partition of tree(2,6) trace"
+      (Staged.stage (fun () ->
+           let t = Lazy.force tree26 in
+           Prbp.Extract.edge_partition_of_prbp ~r:3 t.Prbp.Graphs.Tree.dag
+             (Lazy.force tree26_moves)));
+    Test.make ~name:"greedy scheduler: matvec(6) (120 nodes)"
+      (Staged.stage
+         (let mv = Prbp.Graphs.Matvec.make ~m:6 in
+          fun () ->
+            Prbp.Heuristic.prbp_greedy ~r:9 mv.Prbp.Graphs.Matvec.dag));
+    Test.make ~name:"black: pebbling number of pyramid(3)"
+      (Staged.stage
+         (let g = Prbp.Graphs.Basic.pyramid 3 in
+          fun () -> Prbp.Black.number g));
+    Test.make ~name:"minpart: MIN_edge of fig1 (S=8)"
+      (Staged.stage
+         (let g, _ = Prbp.Graphs.Fig1.full () in
+          fun () -> Prbp.Minpart.min_edge_partition g ~s:8));
+    Test.make ~name:"flow: min dominator in matmul 6^3 (300 nodes)"
+      (Staged.stage
+         (let mm = Prbp.Graphs.Matmul.make ~m1:6 ~m2:6 ~m3:6 in
+          let g = mm.Prbp.Graphs.Matmul.dag in
+          let sinks =
+            Prbp.Bitset.of_list (Prbp.Dag.n_nodes g) (Prbp.Dag.sinks g)
+          in
+          fun () -> Prbp.Dominator.min_dominator_size g sinks));
+  ]
+
+let run ppf =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"prbp" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) clock [] in
+  let t = Prbp.Table.make ~header:[ "benchmark"; "time/run" ] in
+  List.iter
+    (fun (name, v) ->
+      let est =
+        match Analyze.OLS.estimates v with
+        | Some [ e ] ->
+            if e > 1e9 then Printf.sprintf "%.2f s" (e /. 1e9)
+            else if e > 1e6 then Printf.sprintf "%.2f ms" (e /. 1e6)
+            else if e > 1e3 then Printf.sprintf "%.2f us" (e /. 1e3)
+            else Printf.sprintf "%.0f ns" e
+        | _ -> "n/a"
+      in
+      Prbp.Table.add_row t [ name; est ])
+    (List.sort compare rows);
+  Format.fprintf ppf "@.=== PERF — Bechamel micro-benchmarks ===@.@.";
+  Prbp.Table.print ppf t

@@ -1,0 +1,463 @@
+(* pebble_cli — generate the paper's DAG families, run the exact and
+   heuristic solvers, replay the constructive strategies, extract
+   partitions, and export DOT drawings.
+
+     pebble_cli info    --family tree:2:4
+     pebble_cli solve   --family fig1 -r 4
+     pebble_cli solve   --family matvec:5 -r 8 --heuristic
+     pebble_cli strategy --family zipper:3:6 -r 5 --game prbp
+     pebble_cli partition --family fig1 -r 4 --kind edge
+     pebble_cli dot     --family chained:3 -o chain.dot           *)
+
+open Cmdliner
+
+type family =
+  | Fig1
+  | Chained of int
+  | Tree of int * int
+  | Zipper of int * int
+  | Collect of int * int
+  | Matvec of int
+  | Matmul of int * int * int
+  | Fft of int
+  | Attention of int * int
+  | Lemma54 of int
+  | Pyramid of int
+  | Path of int
+  | Diamond
+  | Grid of int * int
+  | Random of int * int * int
+  | Horner of int
+  | Spmv of int * int * int
+  | File of string
+
+let parse_family s =
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown family %S (try fig1, chained:N, tree:K:D, zipper:D:L, \
+            collect:D:L, matvec:M, matmul:M1:M2:M3, fft:M, attention:M:D, \
+            lemma54:H, pyramid:H, path:N, diamond, grid:R:C, horner:N, \
+            spmv:SEED:ROWS:COLS, random:SEED:LAYERS:WIDTH, file:PATH)"
+           s))
+  in
+  let int x = int_of_string_opt x in
+  match String.split_on_char ':' s with
+  | [ "fig1" ] -> Ok Fig1
+  | [ "diamond" ] -> Ok Diamond
+  | [ "chained"; n ] -> (
+      match int n with Some n -> Ok (Chained n) | None -> fail ())
+  | [ "tree"; k; d ] -> (
+      match (int k, int d) with
+      | Some k, Some d -> Ok (Tree (k, d))
+      | _ -> fail ())
+  | [ "zipper"; d; l ] -> (
+      match (int d, int l) with
+      | Some d, Some l -> Ok (Zipper (d, l))
+      | _ -> fail ())
+  | [ "collect"; d; l ] -> (
+      match (int d, int l) with
+      | Some d, Some l -> Ok (Collect (d, l))
+      | _ -> fail ())
+  | [ "matvec"; m ] -> (
+      match int m with Some m -> Ok (Matvec m) | None -> fail ())
+  | [ "matmul"; a; b; c ] -> (
+      match (int a, int b, int c) with
+      | Some a, Some b, Some c -> Ok (Matmul (a, b, c))
+      | _ -> fail ())
+  | [ "fft"; m ] -> (
+      match int m with Some m -> Ok (Fft m) | None -> fail ())
+  | [ "attention"; m; d ] -> (
+      match (int m, int d) with
+      | Some m, Some d -> Ok (Attention (m, d))
+      | _ -> fail ())
+  | [ "lemma54"; h ] -> (
+      match int h with Some h -> Ok (Lemma54 h) | None -> fail ())
+  | [ "pyramid"; h ] -> (
+      match int h with Some h -> Ok (Pyramid h) | None -> fail ())
+  | [ "path"; n ] -> (
+      match int n with Some n -> Ok (Path n) | None -> fail ())
+  | [ "grid"; r; c ] -> (
+      match (int r, int c) with
+      | Some r, Some c -> Ok (Grid (r, c))
+      | _ -> fail ())
+  | [ "horner"; n ] -> (
+      match int n with Some n -> Ok (Horner n) | None -> fail ())
+  | [ "spmv"; s'; rows; cols ] -> (
+      match (int s', int rows, int cols) with
+      | Some s', Some rows, Some cols -> Ok (Spmv (s', rows, cols))
+      | _ -> fail ())
+  | "file" :: rest when rest <> [] -> Ok (File (String.concat ":" rest))
+  | [ "random"; s'; l; w ] -> (
+      match (int s', int l, int w) with
+      | Some s', Some l, Some w -> Ok (Random (s', l, w))
+      | _ -> fail ())
+  | _ -> fail ()
+
+let build = function
+  | Fig1 -> fst (Prbp.Graphs.Fig1.full ())
+  | Chained n -> Prbp.Graphs.Fig1.chained ~copies:n
+  | Tree (k, depth) -> (Prbp.Graphs.Tree.make ~k ~depth).Prbp.Graphs.Tree.dag
+  | Zipper (d, len) -> (Prbp.Graphs.Zipper.make ~d ~len).Prbp.Graphs.Zipper.dag
+  | Collect (d, len) ->
+      (Prbp.Graphs.Collect.make ~d ~len).Prbp.Graphs.Collect.dag
+  | Matvec m -> (Prbp.Graphs.Matvec.make ~m).Prbp.Graphs.Matvec.dag
+  | Matmul (m1, m2, m3) ->
+      (Prbp.Graphs.Matmul.make ~m1 ~m2 ~m3).Prbp.Graphs.Matmul.dag
+  | Fft m -> (Prbp.Graphs.Fft.make ~m).Prbp.Graphs.Fft.dag
+  | Attention (m, d) -> (Prbp.Graphs.Attention.full ~m ~d).Prbp.Graphs.Attention.dag
+  | Lemma54 h ->
+      (Prbp.Graphs.Lemma54.make ~group_size:h).Prbp.Graphs.Lemma54.dag
+  | Pyramid h -> Prbp.Graphs.Basic.pyramid h
+  | Path n -> Prbp.Graphs.Basic.path n
+  | Diamond -> Prbp.Graphs.Basic.diamond ()
+  | Grid (r, c) -> Prbp.Graphs.Basic.grid r c
+  | Random (seed, layers, width) ->
+      Prbp.Graphs.Random_dag.make ~seed ~layers ~width ()
+  | Horner n -> Prbp.Graphs.Basic.horner n
+  | Spmv (seed, rows, cols) ->
+      (Prbp.Graphs.Spmv.make ~seed ~rows ~cols ()).Prbp.Graphs.Spmv.dag
+  | File path -> (
+      match Prbp.Serialize.of_file path with
+      | Ok g -> g
+      | Error e -> failwith (Printf.sprintf "cannot load %s: %s" path e))
+
+let family_conv = Arg.conv (parse_family, fun ppf _ -> Fmt.string ppf "<family>")
+
+let family_arg =
+  Arg.(
+    required
+    & opt (some family_conv) None
+    & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:"DAG family to generate.")
+
+let r_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "r" ] ~docv:"R" ~doc:"Fast-memory capacity (red pebbles).")
+
+let game_arg =
+  Arg.(
+    value
+    & opt (enum [ ("rbp", `Rbp); ("prbp", `Prbp); ("both", `Both) ]) `Both
+    & info [ "g"; "game" ] ~docv:"GAME" ~doc:"Which game to run.")
+
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run family =
+    let g = build family in
+    Format.printf "%a@." Prbp.Dag.pp g;
+    Format.printf "trivial cost: %d@." (Prbp.Dag.trivial_cost g);
+    Format.printf "height: %d@." (Prbp.Topo.height g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print statistics of a generated DAG.")
+    Term.(const run $ family_arg)
+
+let solve_cmd =
+  let run family r game heuristic max_states sliding recompute no_delete =
+    let g = build family in
+    Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
+    let rcfg =
+      Prbp.Rbp.config ~one_shot:(not recompute) ~sliding ~no_delete ~r ()
+    in
+    let pcfg =
+      Prbp.Prbp_game.config ~one_shot:(not recompute) ~recompute ~no_delete
+        ~r ()
+    in
+    let rbp () =
+      if heuristic then
+        Format.printf "RBP  heuristic cost: %d@."
+          (Prbp.Heuristic.rbp_cost ~r g)
+      else
+        match Prbp.Exact_rbp.opt_opt ~max_states rcfg g with
+        | Some c -> Format.printf "OPT_RBP  = %d@." c
+        | None -> Format.printf "OPT_RBP  : no valid pebbling (r too small)@."
+    in
+    let prbp () =
+      if heuristic then
+        Format.printf "PRBP heuristic cost: %d@."
+          (Prbp.Heuristic.prbp_best_cost ~r g)
+      else
+        match Prbp.Exact_prbp.opt_opt ~max_states pcfg g with
+        | Some c -> Format.printf "OPT_PRBP = %d@." c
+        | None -> Format.printf "OPT_PRBP : no valid pebbling@."
+    in
+    (try
+       match game with
+       | `Rbp -> rbp ()
+       | `Prbp -> prbp ()
+       | `Both ->
+           rbp ();
+           prbp ()
+     with
+    | Prbp.Exact_rbp.Too_large n | Prbp.Exact_prbp.Too_large n ->
+        Format.printf
+          "state budget (%d) exceeded — use --heuristic for an upper bound@."
+          n);
+    Format.printf "trivial lower bound: %d@." (Prbp.Dag.trivial_cost g)
+  in
+  let heuristic =
+    Arg.(
+      value & flag
+      & info [ "heuristic" ]
+          ~doc:"Use the Belady heuristic pebbler instead of exact search.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "max-states" ] ~doc:"State budget for exact search.")
+  in
+  let sliding =
+    Arg.(value & flag & info [ "sliding" ] ~doc:"Appendix B.2 sliding RBP.")
+  in
+  let recompute =
+    Arg.(
+      value & flag
+      & info [ "recompute" ] ~doc:"Appendix B.1 re-computation variant.")
+  in
+  let no_delete =
+    Arg.(
+      value & flag & info [ "no-delete" ] ~doc:"Appendix B.4 no-deletion.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute optimal (or heuristic) pebbling costs.")
+    Term.(
+      const run $ family_arg $ r_arg $ game_arg $ heuristic $ max_states
+      $ sliding $ recompute $ no_delete)
+
+let strategy_cmd =
+  let run family r game verbose =
+    let g = build family in
+    let show_r moves =
+      match Prbp.Rbp.check (Prbp.Rbp.config ~r ()) g moves with
+      | Ok c ->
+          Format.printf "RBP strategy: %d moves, I/O cost %d@."
+            (List.length moves) c;
+          if verbose then
+            List.iter (fun m -> Format.printf "  %a@." Prbp.Move.R.pp m) moves
+      | Error e -> Format.printf "RBP strategy invalid: %s@." e
+    in
+    let show_p moves =
+      match Prbp.Prbp_game.check (Prbp.Prbp_game.config ~r ()) g moves with
+      | Ok c ->
+          Format.printf "PRBP strategy: %d moves, I/O cost %d@."
+            (List.length moves) c;
+          if verbose then
+            List.iter (fun m -> Format.printf "  %a@." Prbp.Move.P.pp m) moves
+      | Error e -> Format.printf "PRBP strategy invalid: %s@." e
+    in
+    let strategies :
+        (unit -> Prbp.Move.R.t list) option
+        * (unit -> Prbp.Move.P.t list) option =
+      match family with
+      | Fig1 ->
+          let _, ids = Prbp.Graphs.Fig1.full () in
+          ( Some (fun () -> Prbp.Strategies.fig1_rbp ids),
+            Some (fun () -> Prbp.Strategies.fig1_prbp ids) )
+      | Chained copies ->
+          ( Some (fun () -> Prbp.Strategies.fig1_chained_rbp ~copies),
+            Some (fun () -> Prbp.Strategies.fig1_chained_prbp ~copies) )
+      | Tree (k, depth) ->
+          let t = Prbp.Graphs.Tree.make ~k ~depth in
+          ( Some (fun () -> Prbp.Strategies.tree_rbp t),
+            Some (fun () -> Prbp.Strategies.tree_prbp t) )
+      | Zipper (d, len) ->
+          let z = Prbp.Graphs.Zipper.make ~d ~len in
+          ( Some (fun () -> Prbp.Strategies.zipper_rbp z),
+            Some (fun () -> Prbp.Strategies.zipper_prbp z) )
+      | Collect (d, len) ->
+          let c = Prbp.Graphs.Collect.make ~d ~len in
+          ( Some (fun () -> Prbp.Strategies.collect_full c),
+            Some (fun () -> Prbp.Strategies.collect_capped c) )
+      | Matvec m ->
+          let mv = Prbp.Graphs.Matvec.make ~m in
+          (None, Some (fun () -> Prbp.Strategies.matvec_prbp mv))
+      | Matmul (m1, m2, m3) ->
+          let mm = Prbp.Graphs.Matmul.make ~m1 ~m2 ~m3 in
+          let ti, tk, tj = Prbp.Strategies.matmul_tile_for ~r ~m1 ~m2 ~m3 in
+          (None, Some (fun () -> Prbp.Strategies.matmul_tiled ~ti ~tk ~tj mm))
+      | Fft m ->
+          let f = Prbp.Graphs.Fft.make ~m in
+          (Some (fun () -> Prbp.Strategies.fft_blocked ~r f), None)
+      | Lemma54 h ->
+          let l = Prbp.Graphs.Lemma54.make ~group_size:h in
+          (None, Some (fun () -> Prbp.Strategies.lemma54_prbp l))
+      | _ -> (None, None)
+    in
+    match (game, strategies) with
+    | `Rbp, (Some s, _) -> show_r (s ())
+    | `Prbp, (_, Some s) -> show_p (s ())
+    | `Both, (rs, ps) ->
+        Option.iter (fun s -> show_r (s ())) rs;
+        Option.iter (fun s -> show_p (s ())) ps;
+        if rs = None && ps = None then
+          Format.printf "no constructive strategy known for this family@."
+    | _ -> Format.printf "no constructive strategy for this family/game@."
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every move.")
+  in
+  Cmd.v
+    (Cmd.info "strategy"
+       ~doc:"Replay the paper's constructive strategy for a family.")
+    Term.(const run $ family_arg $ r_arg $ game_arg $ verbose)
+
+let partition_cmd =
+  let run family r kind =
+    let g = build family in
+    let s = 2 * r in
+    let validate label check cls =
+      Format.printf "%s: %d classes (S = %d)@." label (Array.length cls) s;
+      match check with
+      | Ok () -> Format.printf "valid: yes@."
+      | Error e -> Format.printf "valid: NO — %s@." e
+    in
+    match kind with
+    | `Edge ->
+        let moves = Prbp.Heuristic.prbp ~r g in
+        let cls = Prbp.Extract.edge_partition_of_prbp ~r g moves in
+        validate "S-edge partition (Lemma 6.4)"
+          (Prbp.Spart.is_edge_partition g ~s cls)
+          cls
+    | `Dom ->
+        let moves = Prbp.Heuristic.prbp ~r g in
+        let cls = Prbp.Extract.dominator_partition_of_prbp ~r g moves in
+        validate "S-dominator partition (Lemma 6.8)"
+          (Prbp.Spart.is_dominator_partition g ~s cls)
+          cls
+    | `Hk ->
+        let moves = Prbp.Heuristic.rbp ~r g in
+        let cls = Prbp.Extract.hong_kung ~r g moves in
+        validate "S-partition (Hong–Kung)"
+          (Prbp.Spart.is_spartition g ~s cls)
+          cls
+    | `Greedy ->
+        let cls = Prbp.Spart.greedy_spartition g ~s in
+        validate "greedy S-partition"
+          (Prbp.Spart.is_spartition g ~s cls)
+          cls
+  in
+  let kind =
+    Arg.(
+      value
+      & opt
+          (enum [ ("edge", `Edge); ("dom", `Dom); ("hk", `Hk); ("greedy", `Greedy) ])
+          `Edge
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Partition flavor to extract.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Extract a partition from a pebbling trace and validate it.")
+    Term.(const run $ family_arg $ r_arg $ kind)
+
+let dot_cmd =
+  let run family output =
+    let g = build family in
+    match output with
+    | None -> print_string (Prbp.Dot.to_string g)
+    | Some path ->
+        Prbp.Dot.to_file path g;
+        Format.printf "wrote %s@." path
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export a family as a Graphviz drawing.")
+    Term.(const run $ family_arg $ output)
+
+let trace_cmd =
+  let run family r game =
+    let g = build family in
+    let show_summary render t =
+      print_string (render t);
+      print_newline ()
+    in
+    let rbp_trace () =
+      let moves = Prbp.Heuristic.rbp ~r g in
+      match Prbp.Trace.of_rbp (Prbp.Rbp.config ~r ()) g moves with
+      | Ok t ->
+          Format.printf "RBP heuristic trace: %s@." (Prbp.Trace.summary t);
+          show_summary Prbp.Trace.occupancy t
+      | Error e -> Format.printf "RBP trace failed: %s@." e
+    in
+    let prbp_trace () =
+      let moves = Prbp.Heuristic.prbp_best ~r g in
+      match Prbp.Trace.of_prbp (Prbp.Prbp_game.config ~r ()) g moves with
+      | Ok t ->
+          Format.printf "PRBP heuristic trace: %s@." (Prbp.Trace.summary t);
+          show_summary Prbp.Trace.occupancy t
+      | Error e -> Format.printf "PRBP trace failed: %s@." e
+    in
+    match game with
+    | `Rbp -> rbp_trace ()
+    | `Prbp -> prbp_trace ()
+    | `Both ->
+        rbp_trace ();
+        prbp_trace ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay a heuristic pebbling and draw its cache occupancy.")
+    Term.(const run $ family_arg $ r_arg $ game_arg)
+
+let export_cmd =
+  let run family output =
+    let g = build family in
+    match output with
+    | None -> print_string (Prbp.Serialize.to_string g)
+    | Some path ->
+        Prbp.Serialize.to_file path g;
+        Format.printf "wrote %s@." path
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Serialize a family to the plain-text DAG format (load back \
+             with --family file:PATH).")
+    Term.(const run $ family_arg $ output)
+
+let analyze_cmd =
+  let run family =
+    let g = build family in
+    Format.printf "%a@." Prbp.Dag.pp g;
+    Format.printf "trivial cost: %d@." (Prbp.Dag.trivial_cost g);
+    (try
+       Format.printf "black pebbling number: %d (with sliding: %d)@."
+         (Prbp.Black.number g)
+         (Prbp.Black.number ~sliding:true g)
+     with Prbp.Black.Too_large _ | Invalid_argument _ ->
+       Format.printf "black pebbling number: (too large for exact search)@.");
+    let show name = function
+      | Some x -> Format.printf "%s = %d@." name x
+      | None -> Format.printf "%s: not found within r <= n@." name
+    in
+    Format.printf "feasibility: RBP needs r >= %d, PRBP r >= %d@."
+      (Prbp.Thresholds.rbp_feasible_r g)
+      (Prbp.Thresholds.prbp_feasible_r g);
+    show "r*_RBP  (least r at trivial cost)" (Prbp.Thresholds.rbp_trivial_r g);
+    show "r*_PRBP (least r at trivial cost)" (Prbp.Thresholds.prbp_trivial_r g)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Exact memory analysis: black pebbling number and trivial-cost           cache thresholds (small DAGs).")
+    Term.(const run $ family_arg)
+
+let () =
+  let doc = "partial-computing red-blue pebble game toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pebble_cli" ~doc)
+          [
+            info_cmd; solve_cmd; strategy_cmd; partition_cmd; dot_cmd;
+            trace_cmd; export_cmd; analyze_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/attention_bounds.ml: Format List Prbp

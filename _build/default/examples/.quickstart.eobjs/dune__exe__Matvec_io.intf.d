@@ -1,0 +1,1 @@
+examples/matvec_io.mli:

@@ -1,0 +1,1 @@
+examples/spmv_stream.ml: Format List Prbp

@@ -1,0 +1,1 @@
+examples/variants_tour.ml: Format Prbp

@@ -1,0 +1,1 @@
+examples/variants_tour.mli:

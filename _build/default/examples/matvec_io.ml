@@ -1,0 +1,67 @@
+(* Proposition 4.3 as a narrative: why partial computations matter for
+   the I/O cost of matrix–vector multiplication.
+
+   Run with:  dune exec examples/matvec_io.exe
+
+   The DAG of y = A·x (A of size m×m) has m²+m sources, m² in-degree-2
+   products and m in-degree-m output sums.  With a cache that holds the
+   m partial outputs plus 3 streaming slots (r = m+3), PRBP computes
+   everything at the trivial cost m²+2m, while one-shot RBP provably
+   pays at least m²+3m−1 whenever r ≤ 2m. *)
+
+let () =
+  let tbl =
+    Prbp.Table.make
+      ~header:
+        [ "m"; "r"; "PRBP (streamed)"; "trivial"; "RBP lower bound";
+          "RBP heuristic" ]
+  in
+  List.iter
+    (fun m ->
+      let mv = Prbp.Graphs.Matvec.make ~m in
+      let g = mv.Prbp.Graphs.Matvec.dag in
+      let r = m + 3 in
+      let prbp =
+        match
+          Prbp.Prbp_game.check
+            (Prbp.Prbp_game.config ~r ())
+            g
+            (Prbp.Strategies.matvec_prbp mv)
+        with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      let rbp_heur = Prbp.Heuristic.rbp_cost ~r g in
+      Prbp.Table.add_rowf tbl "%d|%d|%d|%d|%d|%d" m r prbp
+        (Prbp.Dag.trivial_cost g)
+        (Prbp.Graphs.Matvec.rbp_lower ~m)
+        rbp_heur)
+    [ 3; 4; 5; 6; 8; 10; 12 ];
+  Format.printf
+    "I/O cost of m x m matrix-vector multiplication at r = m+3:@.@.%s@."
+    (Prbp.Table.render tbl);
+  Format.printf
+    "The streamed PRBP strategy hits the trivial cost exactly (loads\n\
+     every input once, saves every output once): partial computations\n\
+     eliminate all other traffic.  One-shot RBP must gather all m\n\
+     products of a row simultaneously, and provably cannot do better\n\
+     than m^2+3m-1 (Proposition 4.3).@.@.";
+
+  (* Show the first column being streamed, move by move. *)
+  let m = 3 in
+  let mv = Prbp.Graphs.Matvec.make ~m in
+  let g = mv.Prbp.Graphs.Matvec.dag in
+  let eng = Prbp.Prbp_game.start (Prbp.Prbp_game.config ~r:(m + 3) ()) g in
+  Format.printf "First column of the m=%d streaming schedule:@." m;
+  List.iteri
+    (fun i mv' ->
+      if i < 20 then begin
+        (match Prbp.Prbp_game.apply eng mv' with
+        | Ok () -> ()
+        | Error e -> failwith e);
+        Format.printf "  %-22s cache: %d/%d@."
+          (Prbp.Move.P.to_string mv')
+          (Prbp.Prbp_game.red_count eng)
+          (m + 3)
+      end)
+    (Prbp.Strategies.matvec_prbp mv)

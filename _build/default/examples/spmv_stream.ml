@@ -1,0 +1,63 @@
+(* Section 8.2 outlook: sparse computations under partial computation.
+
+   Run with:  dune exec examples/spmv_stream.exe
+
+   The paper closes by suggesting its new tools be pointed at irregular
+   graphs and sparse computations.  This example builds random SpMV
+   DAGs, pebbles them three ways — the column-streaming strategy, the
+   greedy edge scheduler, and the node-major Belady pebbler — and draws
+   the cache-occupancy timelines, which make the difference visible:
+   the streaming schedules hold the partial outputs flat at the
+   capacity line, while the node-major schedule churns. *)
+
+let () =
+  let tbl =
+    Prbp.Table.make
+      ~header:
+        [ "pattern"; "nnz"; "trivial"; "streamed"; "greedy"; "node-major" ]
+  in
+  List.iter
+    (fun (seed, rows, cols, density) ->
+      let sp = Prbp.Graphs.Spmv.make ~seed ~density ~rows ~cols () in
+      let g = sp.Prbp.Graphs.Spmv.dag in
+      let r = rows + 3 in
+      let streamed =
+        match
+          Prbp.Prbp_game.check
+            (Prbp.Prbp_game.config ~r ())
+            g
+            (Prbp.Strategies.spmv_prbp sp)
+        with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      Prbp.Table.add_rowf tbl "%dx%d @ %.2f|%d|%d|%d|%d|%d" rows cols density
+        (Prbp.Graphs.Spmv.nnz sp)
+        (Prbp.Dag.trivial_cost g)
+        streamed
+        (Prbp.Heuristic.prbp_greedy_cost ~r g)
+        (Prbp.Heuristic.prbp_cost ~r g))
+    [ (1, 6, 6, 0.3); (2, 8, 8, 0.25); (3, 12, 12, 0.2); (4, 10, 20, 0.15) ];
+  Format.printf "Sparse matrix-vector multiplication, PRBP at r = rows+3:@.@.%s@."
+    (Prbp.Table.render tbl);
+  Format.printf
+    "The hand-written streaming strategy always hits the trivial cost;\n\
+     the generic greedy edge scheduler matches it without being told\n\
+     anything about the structure — partial computation is what makes\n\
+     both possible.@.@.";
+
+  (* timelines for one instance *)
+  let sp = Prbp.Graphs.Spmv.make ~seed:2 ~density:0.25 ~rows:8 ~cols:8 () in
+  let g = sp.Prbp.Graphs.Spmv.dag in
+  let r = 11 in
+  let show name moves =
+    match Prbp.Trace.of_prbp (Prbp.Prbp_game.config ~r ()) g moves with
+    | Ok t ->
+        Format.printf "%s — %s@.%s@." name (Prbp.Trace.summary t)
+          (Prbp.Trace.occupancy t)
+    | Error e -> Format.printf "%s failed: %s@." name e
+  in
+  show "column streaming (Strategies.spmv_prbp)" (Prbp.Strategies.spmv_prbp sp);
+  show "greedy edge scheduler (Heuristic.prbp_greedy)"
+    (Prbp.Heuristic.prbp_greedy ~r g);
+  show "node-major Belady (Heuristic.prbp)" (Prbp.Heuristic.prbp ~r g)

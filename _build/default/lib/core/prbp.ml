@@ -1,0 +1,66 @@
+(** Public facade of the PRBP library.
+
+    [open Prbp] (or use qualified [Prbp.Game.…]) to reach the whole
+    system through one module:
+
+    {ul
+    {- {!Dag}, {!Bitset}, {!Topo}, {!Reach}, {!Dominator}, {!Flow},
+       {!Dot} — the DAG substrate;}
+    {- {!Graphs} — every DAG family and proof construction of the
+       paper;}
+    {- {!Move}, {!Rbp}, {!Prbp_game} — the two pebble games and their
+       Appendix-B variants;}
+    {- {!Exact_rbp}, {!Exact_prbp}, {!Heuristic}, {!Strategies} —
+       solvers and the paper's constructive strategies;}
+    {- {!Spart}, {!Extract} — the S-partition lower-bound machinery;}
+    {- {!Table}, {!Experiment} — the experiment harness.}} *)
+
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+module Topo = Prbp_dag.Topo
+module Reach = Prbp_dag.Reach
+module Dominator = Prbp_dag.Dominator
+module Flow = Prbp_dag.Flow
+module Dot = Prbp_dag.Dot
+module Serialize = Prbp_dag.Serialize
+
+module Graphs = struct
+  module Basic = Prbp_graphs.Basic
+  module Tree = Prbp_graphs.Tree
+  module Zipper = Prbp_graphs.Zipper
+  module Collect = Prbp_graphs.Collect
+  module Fig1 = Prbp_graphs.Fig1
+  module Matvec = Prbp_graphs.Matvec
+  module Matmul = Prbp_graphs.Matmul
+  module Fft = Prbp_graphs.Fft
+  module Attention = Prbp_graphs.Attention
+  module Lemma54 = Prbp_graphs.Lemma54
+  module Ugraph = Prbp_graphs.Ugraph
+  module Hardness48 = Prbp_graphs.Hardness48
+  module Levels71 = Prbp_graphs.Levels71
+  module Random_dag = Prbp_graphs.Random_dag
+  module Spmv = Prbp_graphs.Spmv
+end
+
+module Move = Prbp_pebble.Move
+module Rbp = Prbp_pebble.Rbp
+module Trace = Prbp_pebble.Trace
+module Verifier = Prbp_pebble.Verifier
+module Black = Prbp_pebble.Black
+module Multi = Prbp_pebble.Multi
+
+module Prbp_game = Prbp_pebble.Prbp
+(** Named [Prbp_game] to avoid clashing with this facade module. *)
+
+module Exact_rbp = Prbp_solver.Exact_rbp
+module Exact_prbp = Prbp_solver.Exact_prbp
+module Heuristic = Prbp_solver.Heuristic
+module Thresholds = Prbp_solver.Thresholds
+module Optimize = Prbp_solver.Optimize
+module Strategies = Prbp_solver.Strategies
+module Spart = Prbp_partition.Spart
+module Extract = Prbp_partition.Extract
+module Minpart = Prbp_partition.Minpart
+module Table = Prbp_harness.Table
+module Chart = Prbp_harness.Chart
+module Experiment = Prbp_harness.Experiment

@@ -1,0 +1,1 @@
+lib/dag/bitset.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/dag/bitset.mli: Format

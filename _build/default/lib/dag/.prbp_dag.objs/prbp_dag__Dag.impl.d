@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Bitset Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/dag/dominator.ml: Bitset Dag Flow List Reach

@@ -1,0 +1,1 @@
+lib/dag/dominator.mli: Bitset Dag

@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Bitset Buffer Dag Fun List Printf String

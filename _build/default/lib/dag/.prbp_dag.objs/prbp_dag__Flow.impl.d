@@ -1,0 +1,1 @@
+lib/dag/flow.ml: Array Bitset Queue

@@ -1,0 +1,1 @@
+lib/dag/flow.mli: Bitset

@@ -1,0 +1,1 @@
+lib/dag/reach.ml: Bitset Dag List Queue

@@ -1,0 +1,1 @@
+lib/dag/serialize.ml: Array Buffer Dag Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/dag/serialize.mli: Dag

@@ -1,0 +1,1 @@
+lib/dag/topo.ml: Array Dag

@@ -1,0 +1,112 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; n }
+
+let capacity b = b.n
+
+let check b i =
+  if i < 0 || i >= b.n then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0, %d)" i b.n)
+
+let mem b i =
+  check b i;
+  b.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add b i =
+  check b i;
+  let w = i / bits_per_word in
+  b.words.(w) <- b.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove b i =
+  check b i;
+  let w = i / bits_per_word in
+  b.words.(w) <- b.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let set b i v = if v then add b i else remove b i
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal b = Array.fold_left (fun acc w -> acc + popcount w) 0 b.words
+
+let is_empty b = Array.for_all (fun w -> w = 0) b.words
+
+let clear b = Array.fill b.words 0 (Array.length b.words) 0
+
+let fill b =
+  for i = 0 to b.n - 1 do
+    let w = i / bits_per_word in
+    b.words.(w) <- b.words.(w) lor (1 lsl (i mod bits_per_word))
+  done
+
+let copy b = { b with words = Array.copy b.words }
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let equal a b =
+  same_capacity a b;
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1))
+  in
+  go 0
+
+let subset a b =
+  same_capacity a b;
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let union_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let diff_into dst src =
+  same_capacity dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let iter f b =
+  for i = 0 to b.n - 1 do
+    if b.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
+      f i
+  done
+
+let fold f b init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) b;
+  !acc
+
+let to_list b = List.rev (fold (fun i acc -> i :: acc) b [])
+
+let of_list n xs =
+  let b = create n in
+  List.iter (add b) xs;
+  b
+
+exception Found of int
+
+let choose b =
+  try
+    iter (fun i -> raise (Found i)) b;
+    None
+  with Found i -> Some i
+
+let hash b = Array.fold_left (fun acc w -> (acc * 1000003) lxor w) b.n b.words
+
+let pp ppf b =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (to_list b)

@@ -1,0 +1,37 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let to_string ?highlight ?edge_highlight ?(rankdir = "TB") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dag {\n";
+  Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  for v = 0 to Dag.n_nodes g - 1 do
+    let hl =
+      match highlight with Some h -> Bitset.mem h v | None -> false
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v
+         (escape (Dag.name g v))
+         (if hl then ", style=filled, fillcolor=lightblue" else ""))
+  done;
+  Dag.iter_edges
+    (fun e u v ->
+      let hl =
+        match edge_highlight with
+        | Some h -> Bitset.mem h e
+        | None -> false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d%s;\n" u v
+           (if hl then " [color=red, penwidth=2]" else "")))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?highlight ?edge_highlight ?rankdir path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?highlight ?edge_highlight ?rankdir g))

@@ -1,0 +1,19 @@
+(** Graphviz DOT export, for inspecting generated constructions. *)
+
+val to_string :
+  ?highlight:Bitset.t ->
+  ?edge_highlight:Bitset.t ->
+  ?rankdir:string ->
+  Dag.t ->
+  string
+(** Render the DAG as a DOT digraph.  [highlight] nodes are filled,
+    [edge_highlight] edges (by edge id) are drawn bold red.
+    [rankdir] defaults to ["TB"]. *)
+
+val to_file :
+  ?highlight:Bitset.t ->
+  ?edge_highlight:Bitset.t ->
+  ?rankdir:string ->
+  string ->
+  Dag.t ->
+  unit

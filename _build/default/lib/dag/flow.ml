@@ -1,0 +1,123 @@
+let infinity = max_int / 4
+
+type t = {
+  n : int;
+  mutable to_ : int array;   (* arc -> head vertex *)
+  mutable cap : int array;   (* arc -> residual capacity *)
+  mutable next : int array;  (* arc -> next arc out of same tail *)
+  head : int array;          (* vertex -> first arc, -1 if none *)
+  mutable n_arcs : int;
+}
+
+let create n =
+  {
+    n;
+    to_ = Array.make 16 0;
+    cap = Array.make 16 0;
+    next = Array.make 16 (-1);
+    head = Array.make n (-1);
+    n_arcs = 0;
+  }
+
+let grow net =
+  let len = Array.length net.to_ in
+  if net.n_arcs = len then begin
+    let resize a fill =
+      let a' = Array.make (2 * len) fill in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    net.to_ <- resize net.to_ 0;
+    net.cap <- resize net.cap 0;
+    net.next <- resize net.next (-1)
+  end
+
+let add_arc net u v c =
+  grow net;
+  let a = net.n_arcs in
+  net.to_.(a) <- v;
+  net.cap.(a) <- c;
+  net.next.(a) <- net.head.(u);
+  net.head.(u) <- a;
+  net.n_arcs <- a + 1
+
+(* Forward arc and its residual are paired: ids 2k and 2k+1. *)
+let add_edge net u v cap =
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  add_arc net u v cap;
+  add_arc net v u 0
+
+let max_flow net ~src ~dst =
+  let level = Array.make net.n (-1) in
+  let it = Array.make net.n (-1) in
+  let q = Queue.create () in
+  let build_levels () =
+    Array.fill level 0 net.n (-1);
+    Queue.clear q;
+    level.(src) <- 0;
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      let a = ref net.head.(v) in
+      while !a >= 0 do
+        let w = net.to_.(!a) in
+        if net.cap.(!a) > 0 && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w q
+        end;
+        a := net.next.(!a)
+      done
+    done;
+    level.(dst) >= 0
+  in
+  let rec dfs v f =
+    if v = dst then f
+    else begin
+      let pushed = ref 0 in
+      while !pushed = 0 && it.(v) >= 0 do
+        let a = it.(v) in
+        let w = net.to_.(a) in
+        if net.cap.(a) > 0 && level.(w) = level.(v) + 1 then begin
+          let d = dfs w (min f net.cap.(a)) in
+          if d > 0 then begin
+            net.cap.(a) <- net.cap.(a) - d;
+            let rev = a lxor 1 in
+            net.cap.(rev) <- net.cap.(rev) + d;
+            pushed := d
+          end
+          else it.(v) <- net.next.(a)
+        end
+        else it.(v) <- net.next.(a)
+      done;
+      !pushed
+    end
+  in
+  let flow = ref 0 in
+  while build_levels () do
+    Array.blit net.head 0 it 0 net.n;
+    let f = ref (dfs src infinity) in
+    while !f > 0 do
+      flow := !flow + !f;
+      f := dfs src infinity
+    done
+  done;
+  !flow
+
+let min_cut_side net ~src =
+  let side = Bitset.create net.n in
+  let q = Queue.create () in
+  Bitset.add side src;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let a = ref net.head.(v) in
+    while !a >= 0 do
+      let w = net.to_.(!a) in
+      if net.cap.(!a) > 0 && not (Bitset.mem side w) then begin
+        Bitset.add side w;
+        Queue.add w q
+      end;
+      a := net.next.(!a)
+    done
+  done;
+  side

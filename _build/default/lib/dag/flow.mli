@@ -1,0 +1,26 @@
+(** Dinic's maximum-flow algorithm on integer capacities.
+
+    This is the substrate behind minimum-dominator-size computations
+    (minimum vertex cuts via node splitting).  Capacities use [max_int]
+    as infinity; the implementation never overflows because augmenting
+    amounts are clamped to the bottleneck. *)
+
+type t
+
+val infinity : int
+(** A capacity treated as unbounded. *)
+
+val create : int -> t
+(** [create n] is an empty flow network on vertices [0 .. n-1]. *)
+
+val add_edge : t -> int -> int -> int -> unit
+(** [add_edge net u v cap] adds a directed edge of capacity [cap]
+    (and its residual reverse edge of capacity 0). *)
+
+val max_flow : t -> src:int -> dst:int -> int
+(** Value of a maximum [src]→[dst] flow.  Destroys the network's
+    residual state; call on a fresh network. *)
+
+val min_cut_side : t -> src:int -> Bitset.t
+(** After {!max_flow}: the set of vertices reachable from [src] in the
+    residual network — the source side of a minimum cut. *)

@@ -1,0 +1,37 @@
+let bfs n neighbors ~avoid seeds =
+  let seen = Bitset.create n in
+  let q = Queue.create () in
+  List.iter
+    (fun v ->
+      if (not (Bitset.mem seen v)) && not (Bitset.mem avoid v) then begin
+        Bitset.add seen v;
+        Queue.add v q
+      end)
+    seeds;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    neighbors
+      (fun w ->
+        if (not (Bitset.mem seen w)) && not (Bitset.mem avoid w) then begin
+          Bitset.add seen w;
+          Queue.add w q
+        end)
+      v
+  done;
+  seen
+
+let from_avoiding g ~avoid seeds =
+  bfs (Dag.n_nodes g) (fun f v -> Dag.iter_succ f g v) ~avoid seeds
+
+let from g seeds =
+  from_avoiding g ~avoid:(Bitset.create (Dag.n_nodes g)) seeds
+
+let to_ g seeds =
+  bfs (Dag.n_nodes g)
+    (fun f v -> Dag.iter_pred f g v)
+    ~avoid:(Bitset.create (Dag.n_nodes g))
+    seeds
+
+let descendants g v = from g [ v ]
+
+let ancestors g v = to_ g [ v ]

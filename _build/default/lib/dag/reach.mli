@@ -1,0 +1,20 @@
+(** Reachability queries. *)
+
+val from : Dag.t -> Dag.node list -> Bitset.t
+(** [from g vs] is the set of nodes reachable from [vs] along directed
+    edges, including [vs] themselves. *)
+
+val from_avoiding : Dag.t -> avoid:Bitset.t -> Dag.node list -> Bitset.t
+(** Like {!from}, but never enters a node of [avoid] (nodes of [avoid]
+    are excluded even when they appear in the seed list).  This is the
+    primitive behind dominator checking: [D] dominates [V₀] iff no node
+    of [V₀] is in [from_avoiding g ~avoid:D (sources g)]. *)
+
+val to_ : Dag.t -> Dag.node list -> Bitset.t
+(** [to_ g vs] is the set of nodes that can reach some node of [vs]
+    (the ancestors closure), including [vs]. *)
+
+val descendants : Dag.t -> Dag.node -> Bitset.t
+(** Proper + improper descendants of a single node. *)
+
+val ancestors : Dag.t -> Dag.node -> Bitset.t

@@ -1,0 +1,85 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Dag.n_nodes g));
+  for v = 0 to Dag.n_nodes g - 1 do
+    let name = Dag.name g v in
+    if name <> "v" ^ string_of_int v then
+      Buffer.add_string buf (Printf.sprintf "name %d %s\n" v name)
+  done;
+  Dag.iter_edges
+    (fun _ u v -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    g;
+  Buffer.contents buf
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let names = Hashtbl.create 16 in
+  let edges = ref [] in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment line) in
+      if line <> "" && !error = None then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "nodes"; x ] -> (
+            match int_of_string_opt x with
+            | Some k when k >= 0 ->
+                if !n >= 0 then fail lineno "duplicate nodes declaration"
+                else n := k
+            | _ -> fail lineno "invalid node count")
+        | "name" :: x :: rest -> (
+            match (int_of_string_opt x, rest) with
+            | Some v, _ :: _ -> Hashtbl.replace names v (String.concat " " rest)
+            | _ -> fail lineno "invalid name line")
+        | [ "edge"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v -> edges := (u, v) :: !edges
+            | _ -> fail lineno "invalid edge line")
+        | _ -> fail lineno (Printf.sprintf "unrecognized line %S" line))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !n < 0 then Error "missing 'nodes <n>' declaration"
+      else begin
+        let name_array =
+          if Hashtbl.length names = 0 then None
+          else begin
+            let a = Array.make !n "" in
+            Hashtbl.iter
+              (fun v s -> if v >= 0 && v < !n then a.(v) <- s)
+              names;
+            Some a
+          end
+        in
+        match Dag.make ?names:name_array ~n:!n (List.rev !edges) with
+        | g -> Ok g
+        | exception Invalid_argument msg -> Error msg
+        | exception Dag.Cycle _ -> Error "the edge list contains a cycle"
+      end
+
+let to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let of_file path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          of_string (really_input_string ic len))

@@ -1,0 +1,116 @@
+(* Kahn's algorithm with a min-heap keyed by node id for determinism.
+   The heap is a simple binary heap over ints. *)
+
+module Heap = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 16 0; len = 0 }
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) 0 in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.len && h.a.(l) < h.a.(!s) then s := l;
+      if r < h.len && h.a.(r) < h.a.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let tmp = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !s
+      end
+    done;
+    top
+
+  let is_empty h = h.len = 0
+end
+
+let sort g =
+  let n = Dag.n_nodes g in
+  let indeg = Array.init n (Dag.in_degree g) in
+  let heap = Heap.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Heap.push heap v
+  done;
+  let order = Array.make n 0 in
+  let k = ref 0 in
+  while not (Heap.is_empty heap) do
+    let v = Heap.pop heap in
+    order.(!k) <- v;
+    incr k;
+    Dag.iter_succ
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Heap.push heap w)
+      g v
+  done;
+  assert (!k = n);
+  order
+
+let is_order g ord =
+  let n = Dag.n_nodes g in
+  Array.length ord = n
+  &&
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i v -> if v >= 0 && v < n then pos.(v) <- i) ord;
+  Array.for_all (fun p -> p >= 0) pos
+  &&
+  let ok = ref true in
+  Dag.iter_edges (fun _ u v -> if pos.(u) >= pos.(v) then ok := false) g;
+  !ok
+
+let depth g =
+  let order = sort g in
+  let d = Array.make (Dag.n_nodes g) 0 in
+  Array.iter
+    (fun v ->
+      Dag.iter_pred (fun u -> if d.(u) + 1 > d.(v) then d.(v) <- d.(u) + 1) g v)
+    order;
+  d
+
+let height g =
+  let d = depth g in
+  Array.fold_left max 0 d
+
+let levels g =
+  let d = depth g in
+  let h = Array.fold_left max 0 d in
+  let lv = Array.make (h + 1) [] in
+  for v = Dag.n_nodes g - 1 downto 0 do
+    lv.(d.(v)) <- v :: lv.(d.(v))
+  done;
+  lv
+
+let edge_order g =
+  let ord = sort g in
+  let pos = Array.make (Dag.n_nodes g) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) ord;
+  let es = Array.init (Dag.n_edges g) (fun e -> e) in
+  let key e =
+    (pos.(Dag.edge_dst g e), pos.(Dag.edge_src g e))
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) es;
+  es

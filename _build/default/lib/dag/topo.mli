@@ -1,0 +1,26 @@
+(** Topological orderings and level structure. *)
+
+val sort : Dag.t -> Dag.node array
+(** A topological order of all nodes (Kahn's algorithm, smallest-id
+    first among ready nodes, so the order is deterministic). *)
+
+val is_order : Dag.t -> Dag.node array -> bool
+(** [is_order g ord] checks that [ord] is a permutation of the nodes in
+    which every edge goes forward. *)
+
+val depth : Dag.t -> int array
+(** [depth g] maps each node to the length (in edges) of the longest
+    path from any source to it; sources have depth 0. *)
+
+val height : Dag.t -> int
+(** Longest path length in the DAG ([max] over {!depth}; 0 if edgeless). *)
+
+val levels : Dag.t -> Dag.node list array
+(** Nodes grouped by {!depth}: [levels g.(d)] are the depth-[d] nodes in
+    increasing order. *)
+
+val edge_order : Dag.t -> Dag.edge_id array
+(** All edge ids ordered so that edges into earlier (per {!sort}) target
+    nodes come first and, within a target, by source position in the
+    order.  This is a valid PRBP marking order for the sequential
+    pebbler. *)

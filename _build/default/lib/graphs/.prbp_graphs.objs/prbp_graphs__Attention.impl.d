@@ -1,0 +1,1 @@
+lib/graphs/attention.ml: Matmul Prbp_dag

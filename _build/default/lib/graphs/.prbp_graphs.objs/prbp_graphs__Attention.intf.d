@@ -1,0 +1,1 @@
+lib/graphs/attention.mli: Matmul Prbp_dag

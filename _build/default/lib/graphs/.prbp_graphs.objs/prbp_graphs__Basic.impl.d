@@ -1,0 +1,1 @@
+lib/graphs/basic.ml: Array List Prbp_dag Printf

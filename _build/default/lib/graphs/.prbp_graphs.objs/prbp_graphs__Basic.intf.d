@@ -1,0 +1,1 @@
+lib/graphs/basic.mli: Prbp_dag

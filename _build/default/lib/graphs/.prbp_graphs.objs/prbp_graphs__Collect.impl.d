@@ -1,0 +1,1 @@
+lib/graphs/collect.ml: Array List Prbp_dag Printf

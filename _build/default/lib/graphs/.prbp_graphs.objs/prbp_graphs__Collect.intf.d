@@ -1,0 +1,1 @@
+lib/graphs/collect.mli: Prbp_dag

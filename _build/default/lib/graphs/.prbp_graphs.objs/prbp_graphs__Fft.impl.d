@@ -1,0 +1,1 @@
+lib/graphs/fft.ml: Array Prbp_dag Printf

@@ -1,0 +1,1 @@
+lib/graphs/fft.mli: Prbp_dag

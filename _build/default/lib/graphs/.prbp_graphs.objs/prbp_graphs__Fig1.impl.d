@@ -1,0 +1,1 @@
+lib/graphs/fig1.ml: Array Prbp_dag Printf

@@ -1,0 +1,1 @@
+lib/graphs/fig1.mli: Prbp_dag

@@ -1,0 +1,1 @@
+lib/graphs/hardness48.ml: Array List Prbp_dag Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/hardness48.mli: Prbp_dag Ugraph

@@ -1,0 +1,1 @@
+lib/graphs/lemma54.ml: Array List Prbp_dag Printf

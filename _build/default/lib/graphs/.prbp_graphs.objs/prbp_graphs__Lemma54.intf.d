@@ -1,0 +1,1 @@
+lib/graphs/lemma54.mli: Prbp_dag

@@ -1,0 +1,1 @@
+lib/graphs/levels71.ml: Array List Option Prbp_dag

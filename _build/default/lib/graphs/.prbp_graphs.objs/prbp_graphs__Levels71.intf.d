@@ -1,0 +1,1 @@
+lib/graphs/levels71.mli: Prbp_dag

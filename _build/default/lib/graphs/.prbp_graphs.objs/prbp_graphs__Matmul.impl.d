@@ -1,0 +1,1 @@
+lib/graphs/matmul.ml: Array Float Prbp_dag Printf

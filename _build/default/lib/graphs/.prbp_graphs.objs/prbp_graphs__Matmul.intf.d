@@ -1,0 +1,1 @@
+lib/graphs/matmul.mli: Prbp_dag

@@ -1,0 +1,1 @@
+lib/graphs/matvec.ml: Array Prbp_dag Printf

@@ -1,0 +1,1 @@
+lib/graphs/matvec.mli: Prbp_dag

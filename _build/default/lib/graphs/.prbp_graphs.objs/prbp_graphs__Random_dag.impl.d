@@ -1,0 +1,1 @@
+lib/graphs/random_dag.ml: Array Hashtbl Prbp_dag Random

@@ -1,0 +1,1 @@
+lib/graphs/random_dag.mli: Prbp_dag

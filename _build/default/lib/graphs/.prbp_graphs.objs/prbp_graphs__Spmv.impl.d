@@ -1,0 +1,1 @@
+lib/graphs/spmv.ml: Array Fun List Prbp_dag Printf Random

@@ -1,0 +1,1 @@
+lib/graphs/spmv.mli: Prbp_dag

@@ -1,0 +1,1 @@
+lib/graphs/tree.ml: List Prbp_dag

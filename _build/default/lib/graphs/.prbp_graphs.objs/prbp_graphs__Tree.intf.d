@@ -1,0 +1,1 @@
+lib/graphs/tree.mli: Prbp_dag

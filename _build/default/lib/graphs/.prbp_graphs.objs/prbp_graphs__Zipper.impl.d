@@ -1,0 +1,1 @@
+lib/graphs/zipper.ml: Array List Prbp_dag Printf

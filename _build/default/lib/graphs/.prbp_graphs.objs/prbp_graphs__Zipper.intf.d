@@ -1,0 +1,1 @@
+lib/graphs/zipper.mli: Prbp_dag

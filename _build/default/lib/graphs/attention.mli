@@ -1,0 +1,29 @@
+(** Self-attention DAGs (Section 6.3.3, Theorem 6.11).
+
+    The paper's bound targets the bottleneck [Q·K^T] step ([Q], [K] of
+    size [m×d]); {!qkt} builds exactly that DAG (it is the [m×d × d×m]
+    matrix-multiplication DAG).  {!full} additionally models the
+    softmax row reduction and the [P·V] product, giving a realistic
+    end-to-end attention DAG for experiments beyond the theorem. *)
+
+val qkt : m:int -> d:int -> Matmul.t
+(** The score computation [S = Q·K^T] as a matmul DAG with
+    [m1 = m3 = m] and [m2 = d]. *)
+
+type full = {
+  dag : Prbp_dag.Dag.t;
+  m : int;
+  d : int;
+}
+
+val full : m:int -> d:int -> full
+(** Scores [S = Q·K^T]; per-row softmax denominators [σ_i] (in-degree
+    [m] aggregations of the scores of row [i]); normalized weights
+    [P_{ij}] (inputs [S_{ij}], [σ_i]); products [P_{ij}·V_{jk}]; and
+    outputs [O_{ik}] (in-degree [m]).  All aggregation nodes combine
+    associative-commutative operators, so the PRBP model applies. *)
+
+val lower_bound : m:int -> d:int -> r:int -> float
+(** Theorem 6.11: [Ω(min(m²·d/√r, m²·d²/r))], instantiated with the
+    constants of the S-edge-partition proof ([m²d² / (4r)] in the large
+    cache regime [r ≥ d²], the matmul bound otherwise). *)

@@ -1,0 +1,100 @@
+module Dag = Prbp_dag.Dag
+
+let path n =
+  if n < 2 then invalid_arg "Basic.path: need at least 2 nodes";
+  Dag.make ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let diamond () = Dag.make ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let fan_in d =
+  if d < 1 then invalid_arg "Basic.fan_in";
+  Dag.make ~n:(d + 1) (List.init d (fun i -> (i, d)))
+
+let fan_out d =
+  if d < 1 then invalid_arg "Basic.fan_out";
+  Dag.make ~n:(d + 1) (List.init d (fun i -> (0, i + 1)))
+
+(* Rows numbered from the base (size h+1) to the apex (size 1); node j
+   of row i has id  offset(i) + j  with offset(i) = sum of row sizes
+   below. *)
+let pyramid_offset h i =
+  (* rows 0..i-1 have sizes h+1, h, ..., h+2-i *)
+  let rec go acc k = if k = i then acc else go (acc + (h + 1 - k)) (k + 1) in
+  go 0 0
+
+let pyramid h =
+  if h < 1 then invalid_arg "Basic.pyramid: height must be >= 1";
+  let n = (h + 1) * (h + 2) / 2 in
+  let id i j = pyramid_offset h i + j in
+  let edges = ref [] in
+  for i = 0 to h - 1 do
+    let row = h + 1 - i in
+    (* row i has [row] nodes; node j feeds nodes j-1 and j of row i+1,
+       which has row-1 nodes *)
+    for j = 0 to row - 1 do
+      if j - 1 >= 0 then edges := (id i j, id (i + 1) (j - 1)) :: !edges;
+      if j <= row - 2 then edges := (id i j, id (i + 1) j) :: !edges
+    done
+  done;
+  Dag.make ~n !edges
+
+let pyramid_apex h = pyramid_offset h h
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Basic.grid";
+  let id i j = (i * cols) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if i + 1 < rows then edges := (id i j, id (i + 1) j) :: !edges;
+      if j + 1 < cols then edges := (id i j, id i (j + 1)) :: !edges
+    done
+  done;
+  Dag.make ~n:(rows * cols) !edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Basic.complete_bipartite";
+  let edges = ref [] in
+  for i = 0 to a - 1 do
+    for j = 0 to b - 1 do
+      edges := (i, a + j) :: !edges
+    done
+  done;
+  Dag.make ~n:(a + b) !edges
+
+let horner n =
+  if n < 1 then invalid_arg "Basic.horner: degree >= 1";
+  let x = 0 in
+  let coeff k = 1 + k in
+  (* coeff 0 = a_n, ..., coeff n = a_0 *)
+  let h k = n + 1 + k in
+  (* h 1 .. h n *)
+  let names = Array.make ((2 * n) + 2) "" in
+  names.(x) <- "x";
+  for k = 0 to n do
+    names.(coeff k) <- Printf.sprintf "a%d" (n - k)
+  done;
+  for k = 1 to n do
+    names.(h k) <- Printf.sprintf "h%d" k
+  done;
+  let edges = ref [] in
+  edges := [ (x, h 1); (coeff 0, h 1); (coeff 1, h 1) ];
+  for k = 2 to n do
+    edges := (x, h k) :: (h (k - 1), h k) :: (coeff k, h k) :: !edges
+  done;
+  Dag.make ~names ~n:((2 * n) + 2) !edges
+
+let stencil1d ~steps ~width =
+  if steps < 2 || width < 1 then
+    invalid_arg "Basic.stencil1d: steps >= 2, width >= 1";
+  let id t i = (t * width) + i in
+  let edges = ref [] in
+  for t = 1 to steps - 1 do
+    for i = 0 to width - 1 do
+      for di = -1 to 1 do
+        let j = i + di in
+        if j >= 0 && j < width then edges := (id (t - 1) j, id t i) :: !edges
+      done
+    done
+  done;
+  Dag.make ~n:(steps * width) !edges

@@ -1,0 +1,51 @@
+(** Small classic DAG families used as building blocks and test
+    fixtures. *)
+
+val path : int -> Prbp_dag.Dag.t
+(** [path n]: a directed path on [n ≥ 2] nodes, [0 → 1 → … → n−1]. *)
+
+val diamond : unit -> Prbp_dag.Dag.t
+(** Four nodes: [0 → 1 → 3], [0 → 2 → 3]. *)
+
+val fan_in : int -> Prbp_dag.Dag.t
+(** [fan_in d]: [d] sources all feeding one sink (node [d]); the
+    simplest DAG with [Δin = d], pebbleable in PRBP with [r = 2]. *)
+
+val fan_out : int -> Prbp_dag.Dag.t
+(** One source feeding [d] sinks. *)
+
+val pyramid : int -> Prbp_dag.Dag.t
+(** [pyramid h]: the 2-pyramid of height [h] from the pebbling
+    literature: rows of sizes [h+1, h, …, 1], node [j] of row [i]
+    having edges to nodes [j−1] and [j] of row [i+1] (where they
+    exist).  Row 0 nodes are the sources; the apex is the sink.
+    Node count [(h+1)(h+2)/2]. *)
+
+val pyramid_apex : int -> int
+(** Node id of the apex of [pyramid h]. *)
+
+val grid : int -> int -> Prbp_dag.Dag.t
+(** [grid rows cols]: node [(i,j)] (id [i·cols + j]) has edges to
+    [(i+1,j)] and [(i,j+1)] — a dependence mesh à la dynamic
+    programming tables. *)
+
+val complete_bipartite : int -> int -> Prbp_dag.Dag.t
+(** [complete_bipartite a b]: [a] sources each feeding all [b] sinks. *)
+
+val horner : int -> Prbp_dag.Dag.t
+(** [horner n]: the DAG of Horner evaluation of a degree-[n]
+    polynomial — the motivating computation of the partial-computation
+    model in Sobczyk's preprint [23].  Node 0 is the input [x],
+    nodes [1 .. n+1] the coefficients [a_n .. a_0], nodes
+    [n+2 .. 2n+1] the chain steps [h_k = h_(k-1)·x + a_(n-k)] (each of
+    in-degree 3; [h_1] reads two coefficients).  [x] feeds every chain
+    step, so [Δout = n]. *)
+
+val stencil1d : steps:int -> width:int -> Prbp_dag.Dag.t
+(** [stencil1d ~steps ~width]: the dependence DAG of a 1-D 3-point
+    stencil iterated [steps] times — node [(t, i)] (id [t·width + i])
+    reads [(t−1, i−1)], [(t−1, i)] and [(t−1, i+1)] (clamped at the
+    boundary).  Time-tiling such stencils is a classic I/O-avoidance
+    technique; each cell is an associative accumulation, so the PRBP
+    model applies (Section 8.2's "tiling through successive
+    operations"). *)

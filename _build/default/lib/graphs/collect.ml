@@ -1,0 +1,28 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; d : int; len : int }
+
+let make ~d ~len =
+  if d < 1 then invalid_arg "Collect.make: d must be >= 1";
+  if len < 1 then invalid_arg "Collect.make: len must be >= 1";
+  let n = d + len in
+  let chain i = d + i in
+  let names =
+    Array.init n (fun v ->
+        if v < d then Printf.sprintf "u%d" v
+        else Printf.sprintf "v%d" (v - d))
+  in
+  let edges = ref [] in
+  for i = 0 to len - 1 do
+    if i > 0 then edges := (chain (i - 1), chain i) :: !edges;
+    edges := (i mod d, chain i) :: !edges
+  done;
+  { dag = Dag.make ~names ~n !edges; d; len }
+
+let source t i =
+  if i < 0 || i >= t.d then invalid_arg "Collect.source";
+  i
+
+let chain t = List.init t.len (fun i -> t.d + i)
+
+let lower_bound_capped t = (t.len + (2 * t.d) - 1) / (2 * t.d)

@@ -1,0 +1,29 @@
+(** The pebble-collection gadget of [17] (Section 4.2.3, Figure 2,
+    right; Proposition 4.6).
+
+    [d] source nodes [u_0 … u_{d−1}] and a chain [v_0 … v_{len−1}];
+    chain node [v_i] has in-edges from [v_{i−1}] (for [i ≥ 1]) and from
+    source [u_{i mod d}].
+
+    With [d + 2] red pebbles the gadget pebbles at trivial cost; a
+    strategy that never holds [d + 2] red pebbles on it simultaneously
+    pays at least [len / (2d)] I/Os — in PRBP too (Proposition 4.6). *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  d : int;
+  len : int;
+}
+
+val make : d:int -> len:int -> t
+
+val source : t -> int -> int
+(** [source t i] is [u_i], [0 ≤ i < d]. *)
+
+val chain : t -> int list
+(** Chain node ids in order; [v_i] has id [d + i]. *)
+
+val lower_bound_capped : t -> int
+(** [⌈len / (2d)⌉]: the Proposition 4.6 lower bound on the I/O cost of
+    any PRBP strategy that never places [d+2] red pebbles on the gadget
+    simultaneously. *)

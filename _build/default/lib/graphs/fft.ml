@@ -1,0 +1,39 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; m : int; log_m : int }
+
+let is_pow2 m = m > 0 && m land (m - 1) = 0
+
+let log2 m =
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m / 2) in
+  go 0 m
+
+let node_id m ~layer i = (layer * m) + i
+
+let make ~m =
+  if m < 2 || not (is_pow2 m) then
+    invalid_arg "Fft.make: m must be a power of two, >= 2";
+  let log_m = log2 m in
+  let n = (log_m + 1) * m in
+  let names =
+    Array.init n (fun v -> Printf.sprintf "f%d,%d" (v / m) (v mod m))
+  in
+  let edges = ref [] in
+  for t = 0 to log_m - 1 do
+    for i = 0 to m - 1 do
+      edges := (node_id m ~layer:t i, node_id m ~layer:(t + 1) i) :: !edges;
+      edges :=
+        (node_id m ~layer:t i, node_id m ~layer:(t + 1) (i lxor (1 lsl t)))
+        :: !edges
+    done
+  done;
+  { dag = Dag.make ~names ~n !edges; m; log_m }
+
+let node t ~layer i =
+  if layer < 0 || layer > t.log_m || i < 0 || i >= t.m then
+    invalid_arg "Fft.node";
+  node_id t.m ~layer i
+
+let lower_bound t ~r =
+  let mf = float_of_int t.m in
+  mf *. float_of_int t.log_m /. (4. *. (log (float_of_int (2 * r)) /. log 2.))

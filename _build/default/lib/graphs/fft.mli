@@ -1,0 +1,27 @@
+(** The m-point FFT (butterfly) DAG of Section 6.3.1 (Figure 4).
+
+    Laid out as [log₂ m + 1] layers of [m] nodes; node [(t, i)] feeds
+    [(t+1, i)] and [(t+1, i XOR 2^t)].  This iterative layout is
+    isomorphic to the recursive two-copies-plus-merge definition in the
+    paper.  Layer 0 nodes are the sources, layer [log₂ m] the sinks;
+    all non-sources have in-degree 2.
+
+    [OPT_PRBP ≥ Ω(m·log m / log r)] (Theorem 6.9, via S-dominator
+    partitions). *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  m : int;
+  log_m : int;
+}
+
+val make : m:int -> t
+(** @raise Invalid_argument unless [m ≥ 2] is a power of two. *)
+
+val node : t -> layer:int -> int -> int
+(** [node t ~layer i] is node [i] of [layer ∈ 0 .. log₂ m]. *)
+
+val lower_bound : t -> r:int -> float
+(** The Hong–Kung-magnitude bound instantiated for PRBP via
+    Theorem 6.9: [m·log₂ m / (4·log₂ (2r))] — the concrete constant
+    follows the S(=2r)-dominator counting argument. *)

@@ -1,0 +1,93 @@
+module Dag = Prbp_dag.Dag
+
+type ids = {
+  u0 : int;
+  u1 : int;
+  u2 : int;
+  w1 : int;
+  w2 : int;
+  w3 : int;
+  w4 : int;
+  v1 : int;
+  v2 : int;
+  v0 : int;
+}
+
+let full () =
+  let ids =
+    { u0 = 0; u1 = 1; u2 = 2; w1 = 3; w2 = 4; w3 = 5; w4 = 6; v1 = 7; v2 = 8;
+      v0 = 9 }
+  in
+  let names =
+    [| "u0"; "u1"; "u2"; "w1"; "w2"; "w3"; "w4"; "v1"; "v2"; "v0" |]
+  in
+  let g =
+    Dag.make ~names ~n:10
+      [
+        (ids.u0, ids.u1);
+        (ids.u0, ids.u2);
+        (ids.u1, ids.w1);
+        (ids.u1, ids.w2);
+        (ids.u1, ids.w4);
+        (ids.w1, ids.w3);
+        (ids.w2, ids.w3);
+        (ids.w3, ids.w4);
+        (ids.w4, ids.v1);
+        (ids.w4, ids.v2);
+        (ids.u2, ids.v1);
+        (ids.u2, ids.v2);
+        (ids.v1, ids.v0);
+        (ids.v2, ids.v0);
+      ]
+  in
+  (g, ids)
+
+(* Chained layout: node 0 is u0; the merged pairs (u1_i, u2_i) for
+   i = 0..copies come next; then the four w-nodes of each copy; v0 is
+   last.  Copy i's (v1, v2) are copy (i+1)'s (u1, u2). *)
+let chained_u1u2 ~copies ~copy =
+  if copy < 0 || copy > copies then invalid_arg "Fig1.chained_u1u2";
+  ((2 * copy) + 1, (2 * copy) + 2)
+
+let chained ~copies =
+  if copies < 1 then invalid_arg "Fig1.chained: need at least one copy";
+  let n = (6 * copies) + 4 in
+  let u0 = 0 and v0 = n - 1 in
+  let wbase = (2 * copies) + 3 in
+  let w j i = wbase + (4 * i) + (j - 1) in
+  let names = Array.make n "" in
+  names.(u0) <- "u0";
+  names.(v0) <- "v0";
+  for i = 0 to copies do
+    let u1, u2 = chained_u1u2 ~copies ~copy:i in
+    names.(u1) <- Printf.sprintf "u1_%d" i;
+    names.(u2) <- Printf.sprintf "u2_%d" i
+  done;
+  for i = 0 to copies - 1 do
+    for j = 1 to 4 do
+      names.(w j i) <- Printf.sprintf "w%d_%d" j i
+    done
+  done;
+  let edges = ref [] in
+  let add u v = edges := (u, v) :: !edges in
+  let u1_0, u2_0 = chained_u1u2 ~copies ~copy:0 in
+  add u0 u1_0;
+  add u0 u2_0;
+  for i = 0 to copies - 1 do
+    let u1, u2 = chained_u1u2 ~copies ~copy:i in
+    let v1, v2 = chained_u1u2 ~copies ~copy:(i + 1) in
+    add u1 (w 1 i);
+    add u1 (w 2 i);
+    add u1 (w 4 i);
+    add (w 1 i) (w 3 i);
+    add (w 2 i) (w 3 i);
+    add (w 3 i) (w 4 i);
+    add (w 4 i) v1;
+    add (w 4 i) v2;
+    add u2 v1;
+    add u2 v2
+  done;
+  let v1_last, v2_last = chained_u1u2 ~copies ~copy:copies in
+  add v1_last v0;
+  add v2_last v0;
+  Dag.make ~names ~n !edges

@@ -1,0 +1,36 @@
+(** The example DAG of Figure 1 (Propositions 4.2 and 4.7).
+
+    The full DAG (with [u0], [v0] and the dashed edges) satisfies, at
+    [r = 4], [OPT_RBP = 3] and [OPT_PRBP = 2].  Removing [u0]/[v0]
+    yields an 8-node gadget that can be chained serially (merging
+    [v1]/[v2] of one copy with [u1]/[u2] of the next) to make
+    [OPT_RBP = Θ(n)] while [OPT_PRBP = 2] (Proposition 4.7). *)
+
+type ids = {
+  u0 : int;
+  u1 : int;
+  u2 : int;
+  w1 : int;
+  w2 : int;
+  w3 : int;
+  w4 : int;
+  v1 : int;
+  v2 : int;
+  v0 : int;
+}
+(** Nodes of the full Figure-1 DAG, named as in the paper. *)
+
+val full : unit -> Prbp_dag.Dag.t * ids
+(** The 10-node DAG of Proposition 4.2 (with [u0], [v0] and the dashed
+    edges). *)
+
+val chained : copies:int -> Prbp_dag.Dag.t
+(** The Proposition 4.7 construction: [copies] serial copies of the
+    8-node gadget, [v1]/[v2] of copy [i] merged with [u1]/[u2] of copy
+    [i+1], a fresh source [u0] feeding the first copy and a fresh sink
+    [v0] fed by the last.  [Δin = 2], [Δout = 3].
+    Node count is [6·copies + 4]. *)
+
+val chained_u1u2 : copies:int -> copy:int -> int * int
+(** [(u1, u2)] node ids of the [copy]-th gadget (0-based) in
+    {!chained}; [copy = copies] gives the final merged pair. *)

@@ -1,0 +1,105 @@
+module Dag = Prbp_dag.Dag
+
+type gadget = { group : int array; chain : int array }
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  g0 : Ugraph.t;
+  v0 : int;
+  r : int;
+  b : int;
+  ell : int;
+  ell0 : int;
+  h1 : gadget array;
+  h2 : gadget array;
+  w : int;
+  z1 : int array;
+  z2 : int array;
+}
+
+let make ?(b = 4) ?ell0 ~g0 ~v0 () =
+  if b <= 3 then invalid_arg "Hardness48.make: b must exceed |Z| = 3";
+  let n0 = Ugraph.n_nodes g0 in
+  if n0 < 1 then invalid_arg "Hardness48.make: empty G0";
+  if v0 < 0 || v0 >= n0 then invalid_arg "Hardness48.make: v0 out of range";
+  let e0 = Ugraph.n_edges g0 in
+  let d = b + (4 * n0) + 3 in
+  let r = d + 2 in
+  let ell0 =
+    match ell0 with
+    | Some l -> if l < 1 then invalid_arg "Hardness48.make: ell0 >= 1" else l
+    | None -> 2 * d * ((n0 * b) + (2 * e0) + 6 + r)
+  in
+  let ell = (2 * ell0) + n0 + (2 * d) in
+  let counter = ref 0 in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  let fresh_array k = Array.init k (fun _ -> fresh ()) in
+  (* merged group members, per G0 node *)
+  let merged = Array.init n0 (fun _ -> fresh_array b) in
+  (* the H1 gadgets: groups are fresh sources; chains fresh *)
+  let mk_h1_group _u =
+    Array.concat [ merged.(_u); fresh_array ((3 * n0) + 3 + n0) ]
+  in
+  let h1 =
+    Array.init n0 (fun u ->
+        { group = mk_h1_group u; chain = fresh_array ell })
+  in
+  let middle_base = (2 * d) + ell0 in
+  let middle side u i =
+    match side with
+    | 1 -> h1.(u).chain.(middle_base + i)
+    | _ -> invalid_arg "middle"
+  in
+  (* dependency slots of H2(u): chain-middle nodes of H1(u') for each
+     neighbor u', plus one of H1(u) itself; remaining slots fresh. *)
+  let next_middle = Array.make n0 0 in
+  let take_middle u' =
+    let i = next_middle.(u') in
+    if i >= n0 then invalid_arg "Hardness48: middle-section overflow";
+    next_middle.(u') <- i + 1;
+    middle 1 u' i
+  in
+  let h2 =
+    Array.init n0 (fun u ->
+        let deps = u :: Ugraph.neighbors g0 u in
+        let n_deps = List.length deps in
+        if n_deps > n0 then invalid_arg "Hardness48: degree too high";
+        let dep_members = Array.of_list (List.map take_middle deps) in
+        let group =
+          Array.concat
+            [
+              merged.(u);
+              fresh_array (3 * n0);
+              fresh_array 3;
+              dep_members;
+              fresh_array (n0 - n_deps);
+            ]
+        in
+        { group; chain = fresh_array ell })
+  in
+  let w = fresh () in
+  let n = !counter in
+  let z_of g = Array.sub g.group (b + (3 * n0)) 3 in
+  let z1 = z_of h1.(v0) and z2 = z_of h2.(v0) in
+  let edges = ref [] in
+  let add u v = edges := (u, v) :: !edges in
+  let wire { group; chain } =
+    for i = 0 to ell - 1 do
+      if i > 0 then add chain.(i - 1) chain.(i);
+      add group.(i mod d) chain.(i)
+    done
+  in
+  Array.iter wire h1;
+  Array.iter wire h2;
+  Array.iter (fun z -> add z w) z1;
+  Array.iter (fun z -> add z w) z2;
+  { dag = Dag.make ~n !edges; g0; v0; r; b; ell; ell0; h1; h2; w; z1; z2 }
+
+let middle_nodes t ~side u =
+  let g = match side with 1 -> t.h1.(u) | 2 -> t.h2.(u) | _ -> invalid_arg "side" in
+  let base = t.ell0 + (2 * (t.r - 2)) in
+  Array.init (Ugraph.n_nodes t.g0) (fun i -> g.chain.(base + i))

@@ -1,0 +1,47 @@
+(** The Theorem 4.8 reduction: from a MaxInSet-Vertex instance
+    [(G₀, v₀)] to a DAG in which [OPT_PRBP < OPT_RBP] iff no maximum
+    independent set of [G₀] contains [v₀].
+
+    Construction per the proof sketch and Appendix A.4: each node [u]
+    of [G₀] yields two pebble-collection gadgets [H₁(u)], [H₂(u)] with
+    [r−2 = b + 4n₀ + 3] group members and chains of length
+    [ℓ = 2ℓ₀ + n₀ + 2(r−2)];
+
+    - the first [b] group members of [H₁(u)] and [H₂(u)] are merged;
+    - each gadget carries [3n₀] private anchor members;
+    - for every edge [(u₁,u₂)] of [G₀], a node from the middle section
+      of [H₁(u₁)]'s chain becomes a group member of [H₂(u₂)] and vice
+      versa (plus a like dependence from [H₁(u)] to [H₂(u)]);
+    - three designated members [Z₁ ⊆ H₁(v₀)] and [Z₂ ⊆ H₂(v₀)] feed an
+      extra sink [w].
+
+    Defaults follow Appendix A.4 ([ℓ₀ = 2(r−2)(n₀b + 2|E₀| + 6 + r)]);
+    both [b] and [ℓ₀] can be overridden to produce miniature instances
+    whose qualitative behavior is checkable by exact search. *)
+
+type gadget = {
+  group : int array;  (** the [r−2] group members, merged slots first *)
+  chain : int array;  (** the chain, in order *)
+}
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  g0 : Ugraph.t;
+  v0 : int;
+  r : int;  (** the cache size the reduction poses the question for *)
+  b : int;
+  ell : int;
+  ell0 : int;
+  h1 : gadget array;  (** [h1.(u)] is [H₁(u)] *)
+  h2 : gadget array;
+  w : int;  (** the extra sink *)
+  z1 : int array;  (** the three [Z₁] members of [H₁(v₀)] *)
+  z2 : int array;
+}
+
+val make : ?b:int -> ?ell0:int -> g0:Ugraph.t -> v0:int -> unit -> t
+(** @raise Invalid_argument if [b ≤ 3] (the proof needs [b > |Z|]). *)
+
+val middle_nodes : t -> side:int -> int -> int array
+(** [middle_nodes t ~side u]: the [n₀] middle-section chain nodes of
+    [H_side(u)] ([side ∈ {1,2}]). *)

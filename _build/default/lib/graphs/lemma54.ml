@@ -1,0 +1,36 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; group_size : int }
+
+let groups = 7
+
+let make ~group_size =
+  if group_size < 1 then invalid_arg "Lemma54.make";
+  let n = groups + (groups * group_size) + 1 in
+  let h i j = groups + (i * group_size) + j in
+  let sink = n - 1 in
+  let names = Array.make n "" in
+  names.(sink) <- "v";
+  let edges = ref [] in
+  for i = 0 to groups - 1 do
+    names.(i) <- Printf.sprintf "u%d" (i + 1);
+    for j = 0 to group_size - 1 do
+      names.(h i j) <- Printf.sprintf "h%d,%d" (i + 1) j;
+      edges := (i, h i j) :: !edges;
+      edges := (h i j, sink) :: !edges
+    done
+  done;
+  { dag = Dag.make ~names ~n !edges; group_size }
+
+let source t i =
+  if i < 0 || i >= groups then invalid_arg "Lemma54.source";
+  ignore t;
+  i
+
+let group t i =
+  if i < 0 || i >= groups then invalid_arg "Lemma54.group";
+  List.init t.group_size (fun j -> groups + (i * t.group_size) + j)
+
+let sink t = Dag.n_nodes t.dag - 1
+
+let spartition_class_lower_bound t = max 1 ((t.group_size - 6) / 6)

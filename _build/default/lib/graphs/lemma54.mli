@@ -1,0 +1,33 @@
+(** The Lemma 5.4 counterexample (Figure 3).
+
+    Seven sources [u_1 … u_7], seven disjoint groups [H_1 … H_7] of
+    [group_size] nodes each, and one sink [v]; [u_i] feeds every node
+    of [H_i] and every node of every [H_i] feeds [v].
+
+    At [r = 3], PRBP pebbles the whole DAG at the trivial cost of 8,
+    yet every S-partition with [S = 2r = 6] needs [Θ(n)] classes —
+    so the Hong–Kung S-partition lower bound does {e not} hold for
+    PRBP. *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  group_size : int;
+}
+
+val groups : int
+(** Always 7: chosen in the paper so that no dominator of size
+    [S = 6] can cover a class containing all groups. *)
+
+val make : group_size:int -> t
+
+val source : t -> int -> int
+(** [source t i] is [u_i], [0 ≤ i < 7]. *)
+
+val group : t -> int -> int list
+(** [group t i] lists the nodes of [H_i]. *)
+
+val sink : t -> int
+
+val spartition_class_lower_bound : t -> int
+(** [(group_size − 6)/6]: minimum number of classes forced on any
+    6-partition by the group argument in the Lemma 5.4 proof. *)

@@ -1,0 +1,144 @@
+module Dag = Prbp_dag.Dag
+
+type tower = { levels : int array array; original : bool array }
+
+type t = { dag : Prbp_dag.Dag.t; towers : tower array }
+
+(* Chain edges inside a level, and the standard inter-level wiring of
+   [3]: (u_i, v_i) pairwise, plus overflow edges from the surplus of a
+   larger level into the last node of the smaller one above it. *)
+let level_edges level acc =
+  let acc = ref acc in
+  for i = 1 to Array.length level - 1 do
+    acc := (level.(i - 1), level.(i)) :: !acc
+  done;
+  !acc
+
+let between_edges below above acc =
+  let l = Array.length below and l' = Array.length above in
+  let acc = ref acc in
+  for i = 0 to min l l' - 1 do
+    acc := (below.(i), above.(i)) :: !acc
+  done;
+  for i = l' to l - 1 do
+    acc := (below.(i), above.(l' - 1)) :: !acc
+  done;
+  !acc
+
+let build_tower ~fresh ~sizes_with_flags =
+  let levels =
+    List.map (fun (s, flag) -> (Array.init s (fun _ -> fresh ()), flag))
+      sizes_with_flags
+  in
+  let arr = Array.of_list (List.map fst levels) in
+  let flags = Array.of_list (List.map snd levels) in
+  let edges = Array.fold_left (fun acc lv -> level_edges lv acc) [] arr in
+  let edges = ref edges in
+  for i = 1 to Array.length arr - 1 do
+    edges := between_edges arr.(i - 1) arr.(i) !edges
+  done;
+  ({ levels = arr; original = flags }, !edges)
+
+let plain_tower_edges ~fresh ~sizes =
+  if sizes = [] || List.exists (fun s -> s < 1) sizes then
+    invalid_arg "Levels71: sizes must be positive and non-empty";
+  build_tower ~fresh
+    ~sizes_with_flags:(List.map (fun s -> (s, true)) sizes)
+
+let aux_tower_edges ~fresh ~sizes =
+  if sizes = [] || List.exists (fun s -> s < 1) sizes then
+    invalid_arg "Levels71: sizes must be positive and non-empty";
+  (* expand the size list with auxiliary levels *)
+  let rec expand prev = function
+    | [] -> [ (Option.value prev ~default:1, false) ] (* top auxiliary *)
+    | s :: rest ->
+        let n_aux =
+          match prev with
+          | Some p when p > s -> p - s + 2
+          | _ -> 1
+        in
+        List.init n_aux (fun _ -> (s, false))
+        @ ((s, true) :: expand (Some s) rest)
+  in
+  let sizes_with_flags = expand None sizes in
+  let tower, edges = build_tower ~fresh ~sizes_with_flags in
+  (* extra lock-down edges: when an original level of size l is
+     followed by a shrink to l', every auxiliary level in the block
+     above it gets edges from the surplus nodes u_{l'}..u_{l-1} to its
+     last node.  The first auxiliary already has them from the
+     standard wiring; add them for the rest of the block. *)
+  let edges = ref edges in
+  let n_levels = Array.length tower.levels in
+  let i = ref 0 in
+  while !i < n_levels do
+    if tower.original.(!i) then begin
+      let below = tower.levels.(!i) in
+      let l = Array.length below in
+      (* find the block of auxiliary levels right above *)
+      let j = ref (!i + 1) in
+      while !j < n_levels && not (tower.original.(!j)) do
+        let above = tower.levels.(!j) in
+        let l' = Array.length above in
+        if l' < l && !j > !i + 1 then
+          for k = l' to l - 1 do
+            edges := (below.(k), above.(l' - 1)) :: !edges
+          done;
+        incr j
+      done
+    end;
+    incr i
+  done;
+  (tower, !edges)
+
+let original_level tw k =
+  let rec go i seen =
+    if i >= Array.length tw.levels then invalid_arg "Levels71.original_level"
+    else if tw.original.(i) then
+      if seen = k then tw.levels.(i) else go (i + 1) (seen + 1)
+    else go (i + 1) seen
+  in
+  go 0 0
+
+(* Index (within the levels array) of the k-th original level. *)
+let original_index tw k =
+  let rec go i seen =
+    if i >= Array.length tw.levels then invalid_arg "Levels71: level index"
+    else if tw.original.(i) then
+      if seen = k then i else go (i + 1) (seen + 1)
+    else go (i + 1) seen
+  in
+  go 0 0
+
+(* Lowest auxiliary level of the block directly below original level k,
+   or the level itself when the block is empty. *)
+let landing_level tw k =
+  let idx = original_index tw k in
+  let rec back i = if i > 0 && not tw.original.(i - 1) then back (i - 1) else i in
+  tw.levels.(back idx)
+
+let make ?(aux = true) ~sizes ~cross () =
+  let counter = ref 0 in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  let build = if aux then aux_tower_edges else plain_tower_edges in
+  let towers_edges = List.map (fun s -> build ~fresh ~sizes:s) sizes in
+  let towers = Array.of_list (List.map fst towers_edges) in
+  let edges = List.concat_map snd towers_edges in
+  let cross_edges =
+    List.concat_map
+      (fun (ta, la, tb, lb) ->
+        let src = original_level towers.(ta) la in
+        let dst =
+          if aux then landing_level towers.(tb) lb
+          else original_level towers.(tb) lb
+        in
+        List.concat_map
+          (fun u -> List.map (fun v -> (u, v)) (Array.to_list dst))
+          (Array.to_list src))
+      cross
+  in
+  let dag = Dag.make ~n:!counter (edges @ cross_edges) in
+  { dag; towers }

@@ -1,0 +1,60 @@
+(** Level gadgets and towers for the Theorem 7.1 inapproximability
+    construction (Appendix A.5, Figure 5).
+
+    A {e level} is a chain [(u₁, …, u_ℓ)].  Between consecutive levels
+    [(u₁,…,u_ℓ)] and [(v₁,…,v_ℓ′)] run the edges [(u_i, v_i)] for
+    [i ≤ min(ℓ,ℓ′)], and, when [ℓ > ℓ′], also [(u_i, v_ℓ′)] for
+    [ℓ′ < i ≤ ℓ].  A {e tower} is a sequence of levels.
+
+    The paper's PRBP adaptation inserts {e auxiliary levels}:
+
+    - at least one auxiliary level (same size as the next original
+      level) before each original level, so cross-tower precedence
+      edges can be redirected to the auxiliary level below their
+      target;
+    - when a level of size [ℓ] is followed by a smaller one ([ℓ′ < ℓ]),
+      [ℓ − ℓ′ + 2] auxiliary levels, each receiving edges from
+      [u_{ℓ′+1}, …, u_ℓ] into its last node, so partially computing the
+      dependents can never free more than [ℓ − ℓ′] pebbles;
+    - one auxiliary level at the top of each tower.
+
+    These insertions leave the RBP optimum unchanged while restoring
+    the level-gadget invariants in PRBP. *)
+
+type tower = {
+  levels : int array array;
+      (** [levels.(i)] = node ids of level [i], bottom to top *)
+  original : bool array;
+      (** [original.(i)] = [false] for inserted auxiliary levels *)
+}
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  towers : tower array;
+}
+
+val plain_tower_edges :
+  fresh:(unit -> int) -> sizes:int list -> tower * (int * int) list
+(** Build one tower without auxiliary levels (the RBP construction of
+    [3]): returns its levels and the edge list to splice into a DAG. *)
+
+val aux_tower_edges :
+  fresh:(unit -> int) -> sizes:int list -> tower * (int * int) list
+(** Build one tower {e with} the paper's auxiliary levels. *)
+
+val make :
+  ?aux:bool ->
+  sizes:int list list ->
+  cross:(int * int * int * int) list ->
+  unit ->
+  t
+(** [make ~sizes ~cross ()] builds one tower per size list, then adds a
+    cross-tower precedence for each [(tower_a, level_a, tower_b,
+    level_b)]: edges from every node of (original) level [level_a] of
+    tower [a] to the corresponding nodes of the level {e below}
+    [level_b] of tower [b] (its lowest auxiliary level when [aux],
+    default; the level itself otherwise, clamping index overflow to
+    the last node).  Level indices refer to {e original} levels. *)
+
+val original_level : tower -> int -> int array
+(** [original_level tw k]: the k-th original level of the tower. *)

@@ -1,0 +1,70 @@
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+
+type t = { dag : Prbp_dag.Dag.t; m1 : int; m2 : int; m3 : int }
+
+let a_id _m1 m2 _m3 i k = (i * m2) + k
+
+let b_id m1 m2 m3 k j = (m1 * m2) + (k * m3) + j
+
+let p_id m1 m2 m3 i k j =
+  (m1 * m2) + (m2 * m3) + (((i * m2) + k) * m3) + j
+
+let c_id m1 m2 m3 i j =
+  (m1 * m2) + (m2 * m3) + (m1 * m2 * m3) + (i * m3) + j
+
+let make ~m1 ~m2 ~m3 =
+  if m1 < 1 || m2 < 1 || m3 < 1 then invalid_arg "Matmul.make: sizes >= 1";
+  let n = (m1 * m2) + (m2 * m3) + (m1 * m2 * m3) + (m1 * m3) in
+  let names = Array.make n "" in
+  let edges = ref [] in
+  for i = 0 to m1 - 1 do
+    for k = 0 to m2 - 1 do
+      names.(a_id m1 m2 m3 i k) <- Printf.sprintf "A%d,%d" i k
+    done
+  done;
+  for k = 0 to m2 - 1 do
+    for j = 0 to m3 - 1 do
+      names.(b_id m1 m2 m3 k j) <- Printf.sprintf "B%d,%d" k j
+    done
+  done;
+  for i = 0 to m1 - 1 do
+    for j = 0 to m3 - 1 do
+      names.(c_id m1 m2 m3 i j) <- Printf.sprintf "C%d,%d" i j;
+      for k = 0 to m2 - 1 do
+        let p = p_id m1 m2 m3 i k j in
+        names.(p) <- Printf.sprintf "p%d,%d,%d" i k j;
+        edges := (a_id m1 m2 m3 i k, p) :: !edges;
+        edges := (b_id m1 m2 m3 k j, p) :: !edges;
+        edges := (p, c_id m1 m2 m3 i j) :: !edges
+      done
+    done
+  done;
+  { dag = Dag.make ~names ~n !edges; m1; m2; m3 }
+
+let a t i k = a_id t.m1 t.m2 t.m3 i k
+
+let b t k j = b_id t.m1 t.m2 t.m3 k j
+
+let p t i k j = p_id t.m1 t.m2 t.m3 i k j
+
+let c t i j = c_id t.m1 t.m2 t.m3 i j
+
+let internal_edges t =
+  let es = Bitset.create (Dag.n_edges t.dag) in
+  for i = 0 to t.m1 - 1 do
+    for k = 0 to t.m2 - 1 do
+      for j = 0 to t.m3 - 1 do
+        es |> fun es ->
+        Bitset.add es (Dag.edge_id t.dag (p t i k j) (c t i j))
+      done
+    done
+  done;
+  es
+
+let trivial_cost t = Dag.trivial_cost t.dag
+
+let lower_bound t ~r =
+  let s = float_of_int (2 * r) in
+  let products = float_of_int (t.m1 * t.m2 * t.m3) in
+  Float.max 0. (float_of_int r *. ((products /. ((s ** 1.5) +. s)) -. 1.))

@@ -1,0 +1,42 @@
+(** The standard matrix-multiplication DAG (Theorem 6.10).
+
+    For [C = A·B] with [A : m1×m2] and [B : m2×m3]: [m1·m2 + m2·m3]
+    sources, [m1·m2·m3] internal product nodes [p_{ikj} = A_{ik}·B_{kj}]
+    of in-degree 2 and out-degree 1, and [m1·m3] sinks [c_{ij}] of
+    in-degree [m2].
+
+    Hong–Kung's lower bound [Ω(m1·m2·m3 / √r)] on [OPT_RBP] carries
+    over to PRBP via S-edge partitions (Theorem 6.10). *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  m1 : int;
+  m2 : int;
+  m3 : int;
+}
+
+val make : m1:int -> m2:int -> m3:int -> t
+
+val a : t -> int -> int -> int
+(** [a t i k]: source for [A_{ik}]. *)
+
+val b : t -> int -> int -> int
+(** [b t k j]: source for [B_{kj}]. *)
+
+val p : t -> int -> int -> int -> int
+(** [p t i k j]: product node [A_{ik}·B_{kj}]. *)
+
+val c : t -> int -> int -> int
+(** [c t i j]: sink for [C_{ij}]. *)
+
+val internal_edges : t -> Prbp_dag.Bitset.t
+(** The edge set \{[p_{ikj} → c_{ij}]\} — the "internal edges" counted
+    in the Theorem 6.10 proof. *)
+
+val trivial_cost : t -> int
+
+val lower_bound : t -> r:int -> float
+(** The PRBP (= RBP) I/O lower bound implied by the S-edge partition
+    argument of Theorem 6.10:
+    [r·(m1·m2·m3 / (S^{3/2} + S) − 1)] with [S = 2r] — the concrete
+    constant-free instantiation used in the experiments. *)

@@ -1,0 +1,41 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; m : int }
+
+let a_id m i j = (i * m) + j
+
+let x_id m j = (m * m) + j
+
+let p_id m i j = (m * m) + m + (i * m) + j
+
+let y_id m i = (2 * m * m) + m + i
+
+let make ~m =
+  if m < 1 then invalid_arg "Matvec.make: m must be >= 1";
+  let n = (2 * m * m) + (2 * m) in
+  let names = Array.make n "" in
+  let edges = ref [] in
+  for i = 0 to m - 1 do
+    names.(x_id m i) <- Printf.sprintf "x%d" i;
+    names.(y_id m i) <- Printf.sprintf "y%d" i;
+    for j = 0 to m - 1 do
+      names.(a_id m i j) <- Printf.sprintf "A%d,%d" i j;
+      names.(p_id m i j) <- Printf.sprintf "p%d,%d" i j;
+      edges := (a_id m i j, p_id m i j) :: !edges;
+      edges := (x_id m j, p_id m i j) :: !edges;
+      edges := (p_id m i j, y_id m i) :: !edges
+    done
+  done;
+  { dag = Dag.make ~names ~n !edges; m }
+
+let a t i j = a_id t.m i j
+
+let x t j = x_id t.m j
+
+let p t i j = p_id t.m i j
+
+let y t i = y_id t.m i
+
+let prbp_opt ~m = (m * m) + (2 * m)
+
+let rbp_lower ~m = (m * m) + (3 * m) - 1

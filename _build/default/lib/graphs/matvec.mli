@@ -1,0 +1,35 @@
+(** The matrix–vector multiplication DAG [A·x = y] of Proposition 4.3.
+
+    For an [m×m] matrix: [m² + m] sources (the entries of [A] and [x]),
+    [m²] intermediate product nodes [p_{ij} = A_{ij}·x_j] of in-degree
+    2, and [m] sink nodes [y_i] of in-degree [m].
+
+    For [m ≥ 3] and [m+3 ≤ r ≤ 2m], [OPT_PRBP = m² + 2m] (the trivial
+    cost, achieved by streaming column by column while keeping the [m]
+    partial outputs resident) while [OPT_RBP ≥ m² + 3m − 1]. *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  m : int;
+}
+
+val make : m:int -> t
+
+val a : t -> int -> int -> int
+(** [a t i j] is the source node for [A_{ij}] (row [i], column [j]). *)
+
+val x : t -> int -> int
+(** Source node for [x_j]. *)
+
+val p : t -> int -> int -> int
+(** Product node for [A_{ij}·x_j]. *)
+
+val y : t -> int -> int
+(** Sink node for [y_i]. *)
+
+val prbp_opt : m:int -> int
+(** [m² + 2m], the trivial cost — optimal in PRBP for [r ≥ m+3]. *)
+
+val rbp_lower : m:int -> int
+(** [m² + 3m − 1], the Proposition 4.3 lower bound on [OPT_RBP] for
+    [r ≤ 2m]. *)

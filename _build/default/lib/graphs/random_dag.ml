@@ -1,0 +1,55 @@
+module Dag = Prbp_dag.Dag
+
+let make ?(density = 0.3) ?(max_in_degree = max_int) ~seed ~layers ~width () =
+  if layers < 2 then invalid_arg "Random_dag.make: layers >= 2";
+  if width < 1 then invalid_arg "Random_dag.make: width >= 1";
+  if density < 0. || density > 1. then invalid_arg "Random_dag.make: density";
+  if max_in_degree < 1 then invalid_arg "Random_dag.make: max_in_degree >= 1";
+  let st = Random.State.make [| seed; layers; width |] in
+  let id l i = (l * width) + i in
+  let n = layers * width in
+  let in_deg = Array.make n 0 in
+  let edges = ref [] in
+  let seen = Hashtbl.create (4 * n) in
+  let out_deg = Array.make n 0 in
+  let add u v =
+    Hashtbl.add seen (u, v) ();
+    edges := (u, v) :: !edges;
+    in_deg.(v) <- in_deg.(v) + 1;
+    out_deg.(u) <- out_deg.(u) + 1
+  in
+  for l = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      let v = id l i in
+      (* mandatory in-edge from a random node of the previous layer *)
+      add (id (l - 1) (Random.State.int st width)) v;
+      (* optional extra edges from any earlier layer *)
+      for l' = 0 to l - 1 do
+        for j = 0 to width - 1 do
+          let u = id l' j in
+          if
+            in_deg.(v) < max_in_degree
+            && (not (Hashtbl.mem seen (u, v)))
+            && Random.State.float st 1.0 < density
+          then add u v
+        done
+      done
+    done
+  done;
+  (* no node may end up without out-edges except the final layer: give
+     stranded nodes an edge to the least-loaded node of the next layer,
+     so the generator never produces isolated or dead-end sources *)
+  for l = 0 to layers - 2 do
+    for i = 0 to width - 1 do
+      let u = id l i in
+      if out_deg.(u) = 0 then begin
+        let best = ref (id (l + 1) 0) in
+        for j = 1 to width - 1 do
+          let v = id (l + 1) j in
+          if in_deg.(v) < in_deg.(!best) then best := v
+        done;
+        add u !best
+      end
+    done
+  done;
+  Dag.make ~n !edges

@@ -1,0 +1,23 @@
+(** Seeded random layered DAGs, for property-based tests and
+    integration sweeps.
+
+    Nodes are arranged in layers; every non-first-layer node receives
+    at least one in-edge from the previous layer and every
+    non-last-layer node at least one out-edge (so there are no isolated
+    nodes, sources are exactly layer 0 and sinks lie in the last
+    layer); further edges from earlier layers are added independently
+    with probability [density].  The generator is deterministic in
+    [seed]. *)
+
+val make :
+  ?density:float ->
+  ?max_in_degree:int ->
+  seed:int ->
+  layers:int ->
+  width:int ->
+  unit ->
+  Prbp_dag.Dag.t
+(** @param density probability of each optional extra edge (default 0.3)
+    @param max_in_degree soft cap on in-degrees (default unlimited;
+      the stranded-node repair pass may exceed it by one)
+    @raise Invalid_argument unless [layers ≥ 2], [width ≥ 1]. *)

@@ -1,0 +1,100 @@
+module Dag = Prbp_dag.Dag
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  rows : int;
+  cols : int;
+  entries : (int * int) array;
+}
+
+(* Node layout: A entries | x | products | y. *)
+let a_id _ e = e
+
+let x_id t j = Array.length t.entries + j
+
+let p_id t e = Array.length t.entries + t.cols + e
+
+let y_id t i = (2 * Array.length t.entries) + t.cols + i
+
+let make ?(seed = 0) ?(density = 0.25) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Spmv.make: sizes >= 1";
+  if density <= 0. || density > 1. then invalid_arg "Spmv.make: density";
+  let st = Random.State.make [| seed; rows; cols |] in
+  let present = Array.make_matrix rows cols false in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Random.State.float st 1.0 < density then present.(i).(j) <- true
+    done;
+    (* guarantee a non-empty row *)
+    if not (Array.exists Fun.id present.(i)) then
+      present.(i).(Random.State.int st cols) <- true
+  done;
+  (* guarantee non-empty columns *)
+  for j = 0 to cols - 1 do
+    let covered = ref false in
+    for i = 0 to rows - 1 do
+      if present.(i).(j) then covered := true
+    done;
+    if not !covered then present.(Random.State.int st rows).(j) <- true
+  done;
+  let coords = ref [] in
+  for i = rows - 1 downto 0 do
+    for j = cols - 1 downto 0 do
+      if present.(i).(j) then coords := (i, j) :: !coords
+    done
+  done;
+  let entries = Array.of_list !coords in
+  let nnz = Array.length entries in
+  let n = (2 * nnz) + cols + rows in
+  let t = { dag = Dag.make ~n []; rows; cols; entries } in
+  (* t.dag above is a placeholder to use the id helpers; rebuild *)
+  let edges = ref [] in
+  Array.iteri
+    (fun e (i, j) ->
+      edges := (a_id t e, p_id t e) :: !edges;
+      edges := (x_id t j, p_id t e) :: !edges;
+      edges := (p_id t e, y_id t i) :: !edges)
+    entries;
+  let names = Array.make n "" in
+  Array.iteri
+    (fun e (i, j) ->
+      names.(a_id t e) <- Printf.sprintf "A%d,%d" i j;
+      names.(p_id t e) <- Printf.sprintf "p%d,%d" i j)
+    entries;
+  for j = 0 to cols - 1 do
+    names.(x_id t j) <- Printf.sprintf "x%d" j
+  done;
+  for i = 0 to rows - 1 do
+    names.(y_id t i) <- Printf.sprintf "y%d" i
+  done;
+  { t with dag = Dag.make ~names ~n !edges }
+
+let nnz t = Array.length t.entries
+
+let max_row_nnz t =
+  let cnt = Array.make t.rows 0 in
+  Array.iter (fun (i, _) -> cnt.(i) <- cnt.(i) + 1) t.entries;
+  Array.fold_left max 0 cnt
+
+let a t e =
+  if e < 0 || e >= nnz t then invalid_arg "Spmv.a";
+  a_id t e
+
+let x t j =
+  if j < 0 || j >= t.cols then invalid_arg "Spmv.x";
+  x_id t j
+
+let p t e =
+  if e < 0 || e >= nnz t then invalid_arg "Spmv.p";
+  p_id t e
+
+let y t i =
+  if i < 0 || i >= t.rows then invalid_arg "Spmv.y";
+  y_id t i
+
+let entries_of_col t j =
+  List.filter
+    (fun e -> snd t.entries.(e) = j)
+    (List.init (nnz t) (fun e -> e))
+
+let trivial_cost t = nnz t + t.cols + t.rows

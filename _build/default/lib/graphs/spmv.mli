@@ -1,0 +1,50 @@
+(** Sparse matrix–vector multiplication DAGs.
+
+    The paper closes by pointing at {e irregular graphs and sparse
+    computations} as the natural next target for the new PRBP
+    lower-bound tools (Section 8.2).  This generator produces the DAG
+    of [y = A·x] for a seeded random sparse pattern: one source per
+    stored entry [A_ij] and per input [x_j], an in-degree-2 product
+    node per entry, and an output node [y_i] aggregating each row.
+
+    Row aggregation is an associative-commutative sum, so partial
+    computation applies: PRBP pebbles the DAG at the trivial cost with
+    [rows + 3] red pebbles regardless of the pattern (see
+    {!Prbp_solver.Strategies.spmv_prbp}), while one-shot RBP needs
+    [max_row_nnz + 1] pebbles just to exist, and pays extra I/O to
+    gather each row — the matvec separation of Proposition 4.3,
+    generalized to irregular patterns. *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  rows : int;
+  cols : int;
+  entries : (int * int) array;  (** stored [(i, j)] coordinates *)
+}
+
+val make :
+  ?seed:int -> ?density:float -> rows:int -> cols:int -> unit -> t
+(** Random pattern with expected [density] fill (default 0.25);
+    every row and every column is guaranteed at least one entry, so
+    the DAG has no isolated nodes.  Deterministic in [seed]
+    (default 0). *)
+
+val nnz : t -> int
+
+val max_row_nnz : t -> int
+
+val a : t -> int -> int
+(** [a t e]: source node of the [e]-th stored entry. *)
+
+val x : t -> int -> int
+
+val p : t -> int -> int
+(** [p t e]: product node of the [e]-th stored entry. *)
+
+val y : t -> int -> int
+
+val entries_of_col : t -> int -> int list
+(** Indices (into {!t.entries}) of the entries in a column. *)
+
+val trivial_cost : t -> int
+(** [nnz + cols + rows]. *)

@@ -1,0 +1,47 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; k : int; depth : int }
+
+let pow k e =
+  let rec go acc e = if e = 0 then acc else go (acc * k) (e - 1) in
+  go 1 e
+
+(* Node ids level by level from the root: level l starts at
+   (k^l - 1)/(k - 1). *)
+let level_offset k l = (pow k l - 1) / (k - 1)
+
+let node t ~level i =
+  if level < 0 || level > t.depth then invalid_arg "Tree.node: bad level";
+  if i < 0 || i >= pow t.k level then invalid_arg "Tree.node: bad index";
+  level_offset t.k level + i
+
+let make ~k ~depth =
+  if k < 2 then invalid_arg "Tree.make: k must be >= 2";
+  if depth < 1 then invalid_arg "Tree.make: depth must be >= 1";
+  let n = level_offset k (depth + 1) in
+  let edges = ref [] in
+  for l = 0 to depth - 1 do
+    let off = level_offset k l and off' = level_offset k (l + 1) in
+    for i = 0 to pow k l - 1 do
+      for c = 0 to k - 1 do
+        edges := (off' + (k * i) + c, off + i) :: !edges
+      done
+    done
+  done;
+  { dag = Dag.make ~n !edges; k; depth }
+
+let root _ = 0
+
+let n_at_level t l = pow t.k l
+
+let leaves t =
+  let off = level_offset t.k t.depth in
+  List.init (pow t.k t.depth) (fun i -> off + i)
+
+let rbp_opt ~k ~depth =
+  if depth < 2 then pow k depth + 1
+  else pow k depth + (2 * pow k (depth - 1)) - 1
+
+let prbp_opt ~k ~depth =
+  if depth < k then pow k depth + 1
+  else pow k depth + (2 * pow k (depth - k)) - 1

@@ -1,0 +1,36 @@
+(** Rooted in-trees (Section 4.2.2 and Appendix A.2).
+
+    A [k]-ary in-tree of depth [d] has [k^d] leaves (the sources) and
+    all edges pointing towards the root (the unique sink).  The most
+    interesting pebbling regime is [r = k + 1]. *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  k : int;
+  depth : int;
+}
+
+val make : k:int -> depth:int -> t
+(** @raise Invalid_argument unless [k ≥ 2] and [depth ≥ 1]. *)
+
+val root : t -> int
+
+val node : t -> level:int -> int -> int
+(** [node t ~level i] is the [i]-th node (0-based, left to right) at
+    [level] below the root; level 0 is the root, level [depth] the
+    leaves.  Children of [(level, i)] are [(level+1, k·i … k·i+k−1)]. *)
+
+val n_at_level : t -> int -> int
+(** [k^level]. *)
+
+val leaves : t -> int list
+
+val rbp_opt : k:int -> depth:int -> int
+(** Closed-form optimal RBP cost at [r = k+1] from Appendix A.2:
+    [k^d + 2·k^(d−1) − 1] (trivial cost [k^d + 1] plus
+    [2(k−1)·(k^(d−1)−1)/(k−1)] non-trivial I/Os), valid for [d ≥ 2]. *)
+
+val prbp_opt : k:int -> depth:int -> int
+(** Closed-form optimal PRBP cost at [r = k+1] from Appendix A.2:
+    [k^d + 2·k^(d−k) − 1] for [d ≥ k]; for [d < k] the tree costs only
+    the trivial [k^d + 1]. *)

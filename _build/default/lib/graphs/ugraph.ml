@@ -1,0 +1,125 @@
+type t = { n : int; adj : int array (* bitmask of neighbors per node *) }
+
+let make ~n edge_list =
+  if n < 0 then invalid_arg "Ugraph.make: negative node count";
+  if n > 62 then invalid_arg "Ugraph.make: at most 62 nodes supported";
+  let adj = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Ugraph.make: endpoint out of range";
+      if u = v then invalid_arg "Ugraph.make: self-loop";
+      if adj.(u) land (1 lsl v) <> 0 then
+        invalid_arg "Ugraph.make: duplicate edge";
+      adj.(u) <- adj.(u) lor (1 lsl v);
+      adj.(v) <- adj.(v) lor (1 lsl u))
+    edge_list;
+  { n; adj }
+
+let n_nodes g = g.n
+
+let adjacent g u v = g.adj.(u) land (1 lsl v) <> 0
+
+let neighbors g u =
+  List.filter (fun v -> adjacent g u v) (List.init g.n (fun i -> i))
+
+let degree g u =
+  let rec pop acc x = if x = 0 then acc else pop (acc + 1) (x land (x - 1)) in
+  pop 0 g.adj.(u)
+
+let edges g =
+  List.concat_map
+    (fun u -> List.filter_map
+        (fun v -> if v > u && adjacent g u v then Some (u, v) else None)
+        (List.init g.n (fun i -> i)))
+    (List.init g.n (fun i -> i))
+
+let n_edges g = List.length (edges g)
+
+let complement g =
+  let es = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (adjacent g u v) then es := (u, v) :: !es
+    done
+  done;
+  make ~n:g.n !es
+
+let path_graph n =
+  if n < 1 then invalid_arg "Ugraph.path_graph";
+  make ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle_graph n =
+  if n < 3 then invalid_arg "Ugraph.cycle_graph";
+  make ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  if n < 1 then invalid_arg "Ugraph.complete";
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  make ~n !es
+
+let is_independent g vs =
+  let rec go = function
+    | [] -> true
+    | v :: rest -> List.for_all (fun w -> not (adjacent g v w)) rest && go rest
+  in
+  go vs
+
+let mask_independent g mask =
+  let rec go m ok =
+    if (not ok) || m = 0 then ok
+    else
+      let v = m land -m in
+      let i =
+        let rec lg k x = if x = 1 then k else lg (k + 1) (x lsr 1) in
+        lg 0 v
+      in
+      go (m lxor v) (g.adj.(i) land mask land lnot v = 0)
+  in
+  go mask true
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let check_small g =
+  if g.n > 24 then
+    invalid_arg "Ugraph: exhaustive independent-set search limited to n <= 24"
+
+let fold_max_independent g f init =
+  check_small g;
+  let best = ref 0 and acc = ref init in
+  for mask = 0 to (1 lsl g.n) - 1 do
+    if mask_independent g mask then begin
+      let c = popcount mask in
+      if c > !best then begin
+        best := c;
+        acc := init
+      end;
+      if c = !best then acc := f mask !acc
+    end
+  done;
+  (!best, !acc)
+
+let max_independent_size g = fst (fold_max_independent g (fun _ () -> ()) ())
+
+let mask_to_list n mask =
+  List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n (fun i -> i))
+
+let max_independent_sets g =
+  let _, masks = fold_max_independent g (fun m acc -> m :: acc) [] in
+  List.rev_map (mask_to_list g.n) masks
+
+let maxinset_vertex g v0 =
+  if v0 < 0 || v0 >= g.n then invalid_arg "Ugraph.maxinset_vertex";
+  let _, found =
+    fold_max_independent g
+      (fun m acc -> acc || m land (1 lsl v0) <> 0)
+      false
+  in
+  found

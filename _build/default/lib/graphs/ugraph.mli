@@ -1,0 +1,50 @@
+(** Simple undirected graphs and exact independent-set tooling.
+
+    This is the substrate for the Theorem 4.8 reduction: instances of
+    MaxInSet-Vertex (Definition 4.9) are posed on these graphs, and the
+    brute-force oracles below decide them exactly on the small
+    instances used for end-to-end validation of the reduction. *)
+
+type t
+
+val make : n:int -> (int * int) list -> t
+(** Undirected edges; self-loops and duplicates (in either orientation)
+    are rejected. *)
+
+val n_nodes : t -> int
+
+val n_edges : t -> int
+
+val adjacent : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int) list
+(** Each edge once, with smaller endpoint first. *)
+
+val complement : t -> t
+
+(** {1 Named small graphs} *)
+
+val path_graph : int -> t
+
+val cycle_graph : int -> t
+
+val complete : int -> t
+
+(** {1 Independent sets (exact, exponential — small [n] only)} *)
+
+val is_independent : t -> int list -> bool
+
+val max_independent_size : t -> int
+(** @raise Invalid_argument if [n_nodes > 24]. *)
+
+val max_independent_sets : t -> int list list
+(** All maximum independent sets, each sorted increasingly. *)
+
+val maxinset_vertex : t -> int -> bool
+(** The MaxInSet-Vertex oracle: is there a {e maximum} independent set
+    containing the given node?  (Definition 4.9; NP-hard in general,
+    decided exhaustively here.) *)

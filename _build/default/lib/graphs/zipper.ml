@@ -1,0 +1,34 @@
+module Dag = Prbp_dag.Dag
+
+type t = { dag : Prbp_dag.Dag.t; d : int; len : int }
+
+let make ~d ~len =
+  if d < 1 then invalid_arg "Zipper.make: d must be >= 1";
+  if len < 2 then invalid_arg "Zipper.make: len must be >= 2";
+  let n = (2 * d) + len in
+  let chain i = (2 * d) + i in
+  let names =
+    Array.init n (fun v ->
+        if v < d then Printf.sprintf "a%d" v
+        else if v < 2 * d then Printf.sprintf "b%d" (v - d)
+        else Printf.sprintf "c%d" (v - (2 * d)))
+  in
+  let edges = ref [] in
+  for i = 0 to len - 1 do
+    if i > 0 then edges := (chain (i - 1), chain i) :: !edges;
+    let group_base = if i mod 2 = 0 then 0 else d in
+    for j = 0 to d - 1 do
+      edges := (group_base + j, chain i) :: !edges
+    done
+  done;
+  { dag = Dag.make ~names ~n !edges; d; len }
+
+let group_a t = List.init t.d (fun i -> i)
+
+let group_b t = List.init t.d (fun i -> t.d + i)
+
+let chain t = List.init t.len (fun i -> (2 * t.d) + i)
+
+let rbp_cost_upper t = (2 * t.d) + 1 + (t.d * (t.len - 1))
+
+let prbp_cost_upper t = (2 * t.d) + 1 + (2 * (t.len - 1))

@@ -1,0 +1,40 @@
+(** The zipper gadget of Section 4.2.1 (Figure 2, left).
+
+    Two groups [A] and [B] of [d] source nodes each, and a chain of
+    [len] nodes.  Chain node [i] (0-based) has an in-edge from chain
+    node [i−1], and in-edges from {e all} nodes of group [A] when [i]
+    is even, of group [B] when [i] is odd.  Chain node 0 additionally
+    draws its "previous" input from group [A] only (it is the start of
+    the chain).
+
+    At [r = d + 2], RBP must ferry [d] red pebbles between the groups
+    for every chain step ([d] loads per node), while PRBP pays only 2
+    I/Os per chain node (save/reload of the partially-computed value),
+    which wins for [d ≥ 3] (Proposition 4.4). *)
+
+type t = {
+  dag : Prbp_dag.Dag.t;
+  d : int;
+  len : int;
+}
+
+val make : d:int -> len:int -> t
+(** @raise Invalid_argument unless [d ≥ 1] and [len ≥ 2]. *)
+
+val group_a : t -> int list
+(** Source nodes [0 .. d−1]. *)
+
+val group_b : t -> int list
+(** Source nodes [d .. 2d−1]. *)
+
+val chain : t -> int list
+(** Chain nodes in order; node [i] of the chain has id [2d + i]. *)
+
+val rbp_cost_upper : t -> int
+(** Cost of the natural RBP strategy at [r = d+2]: trivial cost
+    [2d + 1] plus [d] loads for every chain node from the second
+    onwards. *)
+
+val prbp_cost_upper : t -> int
+(** Cost of the partial-computation strategy at [r = d+2]: trivial
+    plus 2 I/Os per chain node from the second onwards. *)

@@ -1,0 +1,46 @@
+type series = { label : string; points : (float * float) list; glyph : char }
+
+let loglog ?(width = 64) ?(height = 16) ~x_label ~y_label series =
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then invalid_arg "Chart.loglog: no points";
+  List.iter
+    (fun (x, y) ->
+      if x <= 0. || y <= 0. then
+        invalid_arg "Chart.loglog: coordinates must be positive")
+    all;
+  let lx (x, _) = log x and ly (_, y) = log y in
+  let fold f init sel = List.fold_left (fun a p -> f a (sel p)) init all in
+  let x0 = fold min infinity lx and x1 = fold max neg_infinity lx in
+  let y0 = fold min infinity ly and y1 = fold max neg_infinity ly in
+  let spanx = if x1 -. x0 < 1e-9 then 1. else x1 -. x0 in
+  let spany = if y1 -. y0 < 1e-9 then 1. else y1 -. y0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun p ->
+          let cx =
+            int_of_float ((lx p -. x0) /. spanx *. float_of_int (width - 1))
+          in
+          let cy =
+            int_of_float ((ly p -. y0) /. spany *. float_of_int (height - 1))
+          in
+          grid.(height - 1 - cy).(cx) <- s.glyph)
+        s.points)
+    series;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s (log scale)\n" y_label);
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf "  +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_string buf (Printf.sprintf "\n   %s (log scale)\n" x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "   %c = %s\n" s.glyph s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Minimal ASCII charts for the experiment harness: log–log scatter
+    of measured series against reference slopes, so the Ω(·) shape
+    comparisons of E13–E15 can be eyeballed directly in the bench
+    output. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), all positive *)
+  glyph : char;
+}
+
+val loglog :
+  ?width:int -> ?height:int -> x_label:string -> y_label:string ->
+  series list -> string
+(** Render the series on shared log–log axes.  Each point becomes its
+    series' glyph; collisions keep the glyph of the later series.
+    Raises [Invalid_argument] on non-positive coordinates. *)

@@ -1,0 +1,26 @@
+type t = {
+  id : string;
+  paper : string;
+  claim : string;
+  run : Format.formatter -> bool;
+}
+
+let make ~id ~paper ~claim run = { id; paper; claim; run }
+
+let run_one ppf e =
+  Format.fprintf ppf "@.=== %s — %s ===@." e.id e.paper;
+  Format.fprintf ppf "claim: %s@.@." e.claim;
+  let t0 = Sys.time () in
+  let ok = e.run ppf in
+  Format.fprintf ppf "@.[%s] %s  (%.2fs)@." e.id
+    (if ok then "CONFIRMED" else "NOT CONFIRMED")
+    (Sys.time () -. t0);
+  ok
+
+let run_all ppf es =
+  let confirmed =
+    List.fold_left (fun acc e -> acc + if run_one ppf e then 1 else 0) 0 es
+  in
+  Format.fprintf ppf "@.%d/%d experiments confirmed@." confirmed
+    (List.length es);
+  (confirmed, List.length es)

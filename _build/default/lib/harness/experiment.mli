@@ -1,0 +1,23 @@
+(** Experiment registry: one entry per proposition / theorem / figure
+    reproduced from the paper.  [bench/main.exe] runs these and prints
+    the paper-vs-measured comparison recorded in EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** e.g. "E01" *)
+  paper : string;  (** e.g. "Proposition 4.2 / Figure 1" *)
+  claim : string;  (** one-line statement of what the paper claims *)
+  run : Format.formatter -> bool;
+      (** print measurements; return whether the claim was confirmed *)
+}
+
+val make :
+  id:string ->
+  paper:string ->
+  claim:string ->
+  (Format.formatter -> bool) ->
+  t
+
+val run_one : Format.formatter -> t -> bool
+
+val run_all : Format.formatter -> t list -> int * int
+(** Run every experiment; returns (confirmed, total). *)

@@ -1,0 +1,46 @@
+type t = { header : string list; mutable rows : string list list }
+
+let make ~header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '|' s)) fmt
+
+let widths t =
+  let max_widths acc row =
+    List.map2 (fun w cell -> max w (String.length cell)) acc row
+  in
+  List.fold_left max_widths
+    (List.map String.length t.header)
+    (List.rev t.rows)
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let pad cell w = cell ^ String.make (w - String.length cell) ' ' in
+  let line row =
+    Buffer.add_string buf
+      (String.concat "  " (List.map2 pad row ws));
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') ws));
+  Buffer.add_char buf '\n';
+  List.iter line (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line t.header :: List.rev_map line t.rows) ^ "\n"
+
+let print ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,20 @@
+(** Column-aligned plain-text tables and CSV output for the experiment
+    harness. *)
+
+type t
+
+val make : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
+(** [add_rowf t "%d|%s|%f" …]: cells separated by ['|'] in one format
+    string — convenient for numeric rows. *)
+
+val render : t -> string
+(** Aligned text rendering with a header rule. *)
+
+val to_csv : t -> string
+
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/partition/extract.ml: Array List Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/partition/extract.mli: Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/partition/minpart.ml: Array Hashtbl Prbp_dag Queue

@@ -1,0 +1,1 @@
+lib/partition/minpart.mli: Prbp_dag

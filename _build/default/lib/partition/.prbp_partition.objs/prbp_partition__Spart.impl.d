@@ -1,0 +1,1 @@
+lib/partition/spart.ml: Array Format List Prbp_dag

@@ -1,0 +1,1 @@
+lib/partition/spart.mli: Prbp_dag

@@ -1,0 +1,100 @@
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+module Rbp = Prbp_pebble.Rbp
+module Prbp = Prbp_pebble.Prbp
+module RM = Prbp_pebble.Move.R
+module PM = Prbp_pebble.Move.P
+
+let classes_of_cost ~r ~cost = max 1 ((cost + r - 1) / r)
+
+(* Subsequence boundaries: the i-th subsequence (1-based) ends at the
+   (r·i)-th I/O and the next starts immediately after.  A move that is
+   the c-th I/O lies in 0-based subsequence (c-1)/r; a free move after
+   c completed I/Os lies in c/r (clamped into range, matching the
+   paper's "append trailing free moves to the last subsequence"). *)
+type clock = { r : int; k : int; mutable ios : int }
+
+let io_subseq cl =
+  cl.ios <- cl.ios + 1;
+  min ((cl.ios - 1) / cl.r) (cl.k - 1)
+
+let free_subseq cl = min (cl.ios / cl.r) (cl.k - 1)
+
+let classes_of_assignment ~total ~k assign =
+  let classes = Array.init k (fun _ -> Bitset.create total) in
+  Array.iteri
+    (fun x i ->
+      if i < 0 then failwith "Extract: incomplete pebbling left unassigned items"
+      else Bitset.add classes.(i) x)
+    assign;
+  classes
+
+let hong_kung ~r g moves =
+  let cost =
+    match Rbp.check (Rbp.config ~r ()) g moves with
+    | Ok c -> c
+    | Error e -> failwith ("Extract.hong_kung: invalid pebbling: " ^ e)
+  in
+  let k = classes_of_cost ~r ~cost in
+  let cl = { r; k; ios = 0 } in
+  let assign = Array.make (Dag.n_nodes g) (-1) in
+  let touch v i = if assign.(v) < 0 then assign.(v) <- i in
+  List.iter
+    (fun (m : RM.t) ->
+      match m with
+      | RM.Load v -> touch v (io_subseq cl)
+      | RM.Save _ -> ignore (io_subseq cl)
+      | RM.Compute v -> touch v (free_subseq cl)
+      | RM.Slide (_, v) -> touch v (free_subseq cl)
+      | RM.Delete _ -> ())
+    moves;
+  classes_of_assignment ~total:(Dag.n_nodes g) ~k assign
+
+let edge_partition_of_prbp ~r g moves =
+  let cost =
+    match Prbp.check (Prbp.config ~r ()) g moves with
+    | Ok c -> c
+    | Error e -> failwith ("Extract.edge_partition_of_prbp: invalid pebbling: " ^ e)
+  in
+  let k = classes_of_cost ~r ~cost in
+  let cl = { r; k; ios = 0 } in
+  let assign = Array.make (Dag.n_edges g) (-1) in
+  List.iter
+    (fun (m : PM.t) ->
+      match m with
+      | PM.Load _ | PM.Save _ -> ignore (io_subseq cl)
+      | PM.Compute (u, v) -> assign.(Dag.edge_id g u v) <- free_subseq cl
+      | PM.Delete _ -> ()
+      | PM.Clear _ -> failwith "Extract: re-computation traces not supported")
+    moves;
+  classes_of_assignment ~total:(Dag.n_edges g) ~k assign
+
+let dominator_partition_of_prbp ~r g moves =
+  let cost =
+    match Prbp.check (Prbp.config ~r ()) g moves with
+    | Ok c -> c
+    | Error e ->
+        failwith ("Extract.dominator_partition_of_prbp: invalid pebbling: " ^ e)
+  in
+  let k = classes_of_cost ~r ~cost in
+  let cl = { r; k; ios = 0 } in
+  let n = Dag.n_nodes g in
+  let assign = Array.make n (-1) in
+  let unmarked = Array.init n (Dag.in_degree g) in
+  List.iter
+    (fun (m : PM.t) ->
+      match m with
+      | PM.Load v ->
+          let i = io_subseq cl in
+          (* sources join the class of their first load *)
+          if Dag.is_source g v && assign.(v) < 0 then assign.(v) <- i
+      | PM.Save _ -> ignore (io_subseq cl)
+      | PM.Compute (u, v) ->
+          let i = free_subseq cl in
+          ignore u;
+          unmarked.(v) <- unmarked.(v) - 1;
+          if unmarked.(v) = 0 then assign.(v) <- i
+      | PM.Delete _ -> ()
+      | PM.Clear _ -> failwith "Extract: re-computation traces not supported")
+    moves;
+  classes_of_assignment ~total:n ~k assign

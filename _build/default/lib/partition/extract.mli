@@ -1,0 +1,40 @@
+(** Trace-to-partition extraction: the constructive halves of
+    Hong–Kung's theorem and of Lemmas 6.4 and 6.8.
+
+    Each function splits a complete pebbling into subsequences of [r]
+    I/O operations and assigns nodes (or edges) to the subsequence
+    prescribed by the respective proof.  The test-suite feeds the
+    results to the {!Spart} checkers, machine-checking the lemmas on
+    concrete traces: a valid pebbling of cost [C] yields a valid
+    [2r]-partition into [k = ⌈C/r⌉] classes. *)
+
+val classes_of_cost : r:int -> cost:int -> int
+(** [⌈cost/r⌉], with a minimum of one class. *)
+
+val hong_kung :
+  r:int ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.R.t list ->
+  Prbp_dag.Bitset.t array
+(** RBP trace → S-partition with [S = 2r] (Hong–Kung 1981): each node
+    joins the class of the subsequence that first places a red pebble
+    on it.
+    @raise Failure if the move list is not a valid complete pebbling. *)
+
+val edge_partition_of_prbp :
+  r:int ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.P.t list ->
+  Prbp_dag.Bitset.t array
+(** PRBP trace → S-edge partition with [S = 2r] (Lemma 6.4): each edge
+    joins the class of the subsequence in which it is marked. *)
+
+val dominator_partition_of_prbp :
+  r:int ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.P.t list ->
+  Prbp_dag.Bitset.t array
+(** PRBP trace → S-dominator partition with [S = 2r] (Lemma 6.8): each
+    non-source joins the class of the subsequence containing the last
+    marking of one of its in-edges; each source joins the class of its
+    first load. *)

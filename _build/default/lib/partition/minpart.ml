@@ -1,0 +1,161 @@
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+module Dominator = Prbp_dag.Dominator
+
+exception Too_large of int
+
+(* ------------------------------------------------------------------ *)
+(* Generic shortest-chain search over a lattice of masks.
+
+   [grow ~from ~visit] must call [visit elt mask'] for every way of
+   adding one eligible element to [mask]; a chain step I → J is any
+   J ⊇ I reachable by repeated growth whose block J\I stays feasible.
+   Feasibility must be antitone in the block (once infeasible, all
+   supersets are), which holds for dominator minima: a dominator for a
+   superset dominates the subset. *)
+
+let bfs_min_chain ~full ~budget ~grow ~block_feasible ~block_ok =
+  let dist = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  Hashtbl.replace dist 0 0;
+  Queue.add 0 q;
+  let result = ref None in
+  let guard () =
+    if Hashtbl.length dist > budget then raise (Too_large budget)
+  in
+  while !result = None && not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    let d = Hashtbl.find dist i in
+    if i = full then result := Some d
+    else begin
+      (* enumerate feasible successor masks j ⊇ i by growing blocks *)
+      let seen = Hashtbl.create 64 in
+      let rec extend j =
+        grow ~from:j (fun _elt j' ->
+            if not (Hashtbl.mem seen j') then begin
+              Hashtbl.add seen j' ();
+              guard ();
+              let block = j' land lnot i in
+              if block_feasible block then begin
+                if block_ok block && not (Hashtbl.mem dist j') then begin
+                  Hashtbl.replace dist j' (d + 1);
+                  Queue.add j' q
+                end;
+                extend j'
+              end
+            end)
+      in
+      extend i
+    end
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Node partitions: masks are downward-closed node sets.               *)
+
+let node_masks g =
+  let n = Dag.n_nodes g in
+  if n > 62 then invalid_arg "Minpart: at most 62 nodes";
+  let pred_mask =
+    Array.init n (fun v -> Dag.fold_pred (fun u acc -> acc lor (1 lsl u)) g v 0)
+  in
+  let grow ~from visit =
+    for v = 0 to n - 1 do
+      if from land (1 lsl v) = 0 && pred_mask.(v) land lnot from = 0 then
+        visit v (from lor (1 lsl v))
+    done
+  in
+  (grow, if n = 0 then 0 else (1 lsl n) - 1)
+
+let to_bitset n mask =
+  let b = Bitset.create n in
+  for v = 0 to n - 1 do
+    if mask land (1 lsl v) <> 0 then Bitset.add b v
+  done;
+  b
+
+let n_ideals ?(max_ideals = 200_000) g =
+  let grow, _full = node_masks g in
+  let seen = Hashtbl.create 1024 in
+  Hashtbl.replace seen 0 ();
+  let rec go mask =
+    grow ~from:mask (fun _ mask' ->
+        if not (Hashtbl.mem seen mask') then begin
+          Hashtbl.add seen mask' ();
+          if Hashtbl.length seen > max_ideals then raise (Too_large max_ideals);
+          go mask'
+        end)
+  in
+  go 0;
+  Hashtbl.length seen
+
+let min_node_partition ?(max_ideals = 200_000) g ~s ~need_terminal =
+  let n = Dag.n_nodes g in
+  let grow, full = node_masks g in
+  let block_feasible block =
+    block <> 0
+    && Dominator.min_dominator_size g (to_bitset n block) <= s
+  in
+  let block_ok block =
+    (not need_terminal)
+    || Bitset.cardinal (Dominator.terminal_set g (to_bitset n block)) <= s
+  in
+  if n = 0 then Some 0
+  else
+    bfs_min_chain ~full ~budget:max_ideals ~grow ~block_feasible ~block_ok
+
+let min_spartition ?max_ideals g ~s =
+  min_node_partition ?max_ideals g ~s ~need_terminal:true
+
+let min_dominator_partition ?max_ideals g ~s =
+  min_node_partition ?max_ideals g ~s ~need_terminal:false
+
+(* ------------------------------------------------------------------ *)
+(* Edge partitions: masks are edge sets closed under "all in-edges of
+   the tail come first" (the well-ordering of Definition 6.3).         *)
+
+let min_edge_partition ?(max_ideals = 200_000) g ~s =
+  let n = Dag.n_nodes g and m = Dag.n_edges g in
+  if m > 62 then invalid_arg "Minpart: at most 62 edges";
+  let in_mask = Array.make n 0 in
+  Dag.iter_edges (fun e _ v -> in_mask.(v) <- in_mask.(v) lor (1 lsl e)) g;
+  let grow ~from visit =
+    for e = 0 to m - 1 do
+      if from land (1 lsl e) = 0 && in_mask.(Dag.edge_src g e) land lnot from = 0
+      then visit e (from lor (1 lsl e))
+    done
+  in
+  let edge_bitset mask =
+    let b = Bitset.create m in
+    for e = 0 to m - 1 do
+      if mask land (1 lsl e) <> 0 then Bitset.add b e
+    done;
+    b
+  in
+  let block_feasible block =
+    block <> 0
+    && Dominator.min_edge_dominator_size g (edge_bitset block) <= s
+  in
+  let block_ok block =
+    Bitset.cardinal (Dominator.edge_terminal_set g (edge_bitset block)) <= s
+  in
+  if m = 0 then Some 0
+  else
+    bfs_min_chain
+      ~full:((1 lsl m) - 1)
+      ~budget:max_ideals ~grow ~block_feasible ~block_ok
+
+let rbp_lower_bound ?max_ideals g ~r =
+  match min_spartition ?max_ideals g ~s:(2 * r) with
+  | Some k -> r * (k - 1)
+  | None -> 0
+
+let prbp_lower_bound_edge ?max_ideals g ~r =
+  match min_edge_partition ?max_ideals g ~s:(2 * r) with
+  | Some k -> r * (k - 1)
+  | None -> 0
+
+let prbp_lower_bound_dom ?max_ideals g ~r =
+  match min_dominator_partition ?max_ideals g ~s:(2 * r) with
+  | Some k -> r * (k - 1)
+  | None -> 0

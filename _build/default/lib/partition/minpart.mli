@@ -1,0 +1,43 @@
+(** Exact minimum class counts — [MIN_part], [MIN_dom], [MIN_edge] —
+    by exhaustive search over the ideal lattice.
+
+    The ordering condition of Definitions 5.3 / 6.3 / 6.6 makes the
+    class prefixes [V₁ ∪ … ∪ V_i] downward-closed sets (ideals) of the
+    DAG (resp. "in-edges-first"-closed edge sets).  A minimum partition
+    is therefore a shortest chain of ideals whose successive differences
+    satisfy the size conditions, found here by breadth-first search over
+    the lattice with exact (max-flow) dominator minima on every block.
+
+    Exponential — intended for DAGs of ≲ 15 nodes / ≲ 20 edges, where
+    it turns the paper's Theorem 6.5 / 6.7 inequalities into exactly
+    checkable statements. *)
+
+exception Too_large of int
+(** Raised when the ideal enumeration exceeds the budget. *)
+
+val n_ideals : ?max_ideals:int -> Prbp_dag.Dag.t -> int
+(** Number of downward-closed node sets (for sizing feasibility). *)
+
+val min_spartition : ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+(** [MIN_part(s)]: minimum classes of any S-partition (Definition 5.3),
+    or [None] if no S-partition exists (e.g. [s] below some forced
+    dominator).  [max_ideals] defaults to [200_000]. *)
+
+val min_dominator_partition :
+  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+(** [MIN_dom(s)] (Definition 6.6). *)
+
+val min_edge_partition :
+  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+(** [MIN_edge(s)] (Definition 6.3), searching over well-ordered edge
+    prefixes. *)
+
+val rbp_lower_bound : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
+(** Hong–Kung: [r · (MIN_part(2r) − 1)], with [MIN_part] computed
+    exactly; 0 when no partition exists (cannot happen for [s ≥ 2]). *)
+
+val prbp_lower_bound_edge : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
+(** Theorem 6.5: [r · (MIN_edge(2r) − 1)], exactly. *)
+
+val prbp_lower_bound_dom : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
+(** Theorem 6.7: [r · (MIN_dom(2r) − 1)], exactly. *)

@@ -1,0 +1,143 @@
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+module Dominator = Prbp_dag.Dominator
+module Topo = Prbp_dag.Topo
+
+type check = (unit, string) result
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let check_cover ~what ~total classes =
+  let seen = Bitset.create total in
+  let dup = ref None and cap = ref None in
+  Array.iteri
+    (fun i cls ->
+      if Bitset.capacity cls <> total then cap := Some i
+      else
+        Bitset.iter
+          (fun x ->
+            if Bitset.mem seen x then dup := Some (i, x) else Bitset.add seen x)
+          cls)
+    classes;
+  match (!cap, !dup) with
+  | Some i, _ -> errf "class %d has wrong %s capacity" i what
+  | _, Some (i, x) -> errf "%s %d appears twice (again in class %d)" what x i
+  | None, None ->
+      if Bitset.cardinal seen <> total then
+        errf "%d %ss are not covered by any class"
+          (total - Bitset.cardinal seen)
+          what
+      else Ok ()
+
+let check_node_cover g classes =
+  check_cover ~what:"node" ~total:(Dag.n_nodes g) classes
+
+let check_edge_cover g classes =
+  check_cover ~what:"edge" ~total:(Dag.n_edges g) classes
+
+let class_index ~total classes =
+  let idx = Array.make total (-1) in
+  Array.iteri (fun i cls -> Bitset.iter (fun x -> idx.(x) <- i) cls) classes;
+  idx
+
+let check_no_cyclic_dependency g classes =
+  let idx = class_index ~total:(Dag.n_nodes g) classes in
+  let bad = ref None in
+  Dag.iter_edges
+    (fun _ u v ->
+      if idx.(u) >= 0 && idx.(v) >= 0 && idx.(u) > idx.(v) then
+        bad := Some (u, v))
+    g;
+  match !bad with
+  | Some (u, v) ->
+      errf "edge (%d,%d) goes from class %d back to class %d" u v
+        (idx.(u)) (idx.(v))
+  | None -> Ok ()
+
+let check_edge_order g classes =
+  let idx = class_index ~total:(Dag.n_edges g) classes in
+  let bad = ref None in
+  (* for every node v, every in-edge must be classed no later than
+     every out-edge *)
+  for v = 0 to Dag.n_nodes g - 1 do
+    let max_in = ref (-1) and min_out = ref max_int in
+    Dag.iter_pred_e (fun e _ -> if idx.(e) > !max_in then max_in := idx.(e)) g v;
+    Dag.iter_succ_e (fun e _ -> if idx.(e) < !min_out then min_out := idx.(e)) g v;
+    if !max_in > !min_out && !bad = None then bad := Some v
+  done;
+  match !bad with
+  | Some v ->
+      errf "node %d has an in-edge classed after one of its out-edges" v
+  | None -> Ok ()
+
+let check_sizes ~what ~size classes =
+  let bad = ref None in
+  Array.iteri
+    (fun i cls ->
+      let s, limit = size cls in
+      if s > limit && !bad = None then bad := Some (i, s, limit))
+    classes;
+  match !bad with
+  | Some (i, s, limit) -> errf "class %d: %s %d exceeds S = %d" i what s limit
+  | None -> Ok ()
+
+let is_dominator_partition g ~s classes =
+  let* () = check_node_cover g classes in
+  let* () = check_no_cyclic_dependency g classes in
+  check_sizes ~what:"minimum dominator size"
+    ~size:(fun cls -> (Dominator.min_dominator_size g cls, s))
+    classes
+
+let is_spartition g ~s classes =
+  let* () = is_dominator_partition g ~s classes in
+  check_sizes ~what:"terminal-set size"
+    ~size:(fun cls -> (Bitset.cardinal (Dominator.terminal_set g cls), s))
+    classes
+
+let is_edge_partition g ~s classes =
+  let* () = check_edge_cover g classes in
+  let* () = check_edge_order g classes in
+  let* () =
+    check_sizes ~what:"minimum edge-dominator size"
+      ~size:(fun cls -> (Dominator.min_edge_dominator_size g cls, s))
+      classes
+  in
+  check_sizes ~what:"edge-terminal-set size"
+    ~size:(fun cls -> (Bitset.cardinal (Dominator.edge_terminal_set g cls), s))
+    classes
+
+let greedy_generic ~total ~order ~fits =
+  let classes = ref [] in
+  let current = ref (Bitset.create total) in
+  Array.iter
+    (fun x ->
+      let candidate = Bitset.copy !current in
+      Bitset.add candidate x;
+      if fits candidate then current := candidate
+      else begin
+        if not (Bitset.is_empty !current) then classes := !current :: !classes;
+        let fresh = Bitset.create total in
+        Bitset.add fresh x;
+        if not (fits fresh) then
+          failwith "greedy partition: a single element violates S";
+        current := fresh
+      end)
+    order;
+  if not (Bitset.is_empty !current) then classes := !current :: !classes;
+  Array.of_list (List.rev !classes)
+
+let greedy_spartition g ~s =
+  greedy_generic ~total:(Dag.n_nodes g) ~order:(Topo.sort g)
+    ~fits:(fun cls ->
+      Dominator.min_dominator_size g cls <= s
+      && Bitset.cardinal (Dominator.terminal_set g cls) <= s)
+
+let greedy_edge_partition g ~s =
+  greedy_generic ~total:(Dag.n_edges g) ~order:(Topo.edge_order g)
+    ~fits:(fun cls ->
+      Dominator.min_edge_dominator_size g cls <= s
+      && Bitset.cardinal (Dominator.edge_terminal_set g cls) <= s)
+
+let io_lower_bound ~r ~min_classes = r * (min_classes - 1)

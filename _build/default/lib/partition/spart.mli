@@ -1,0 +1,59 @@
+(** Validity checkers for the three partition concepts of Sections 5–6.
+
+    A node partition is an array of node {!Prbp_dag.Bitset.t} classes
+    [V₁ … V_k] (in order); an edge partition is an array of edge-id
+    bitsets [E₁ … E_k].  All checkers return [Ok ()] or a human-readable
+    reason, and verify minimum dominator sizes exactly via max-flow, so
+    a partition is never accepted on a heuristic argument. *)
+
+type check = (unit, string) result
+
+val check_node_cover : Prbp_dag.Dag.t -> Prbp_dag.Bitset.t array -> check
+(** Classes are disjoint and cover all nodes. *)
+
+val check_edge_cover : Prbp_dag.Dag.t -> Prbp_dag.Bitset.t array -> check
+
+val check_no_cyclic_dependency :
+  Prbp_dag.Dag.t -> Prbp_dag.Bitset.t array -> check
+(** Condition (i) of Definition 5.3: if [u ∈ V_i], [v ∈ V_j] with
+    [i > j], then [(u,v) ∉ E]. *)
+
+val check_edge_order : Prbp_dag.Dag.t -> Prbp_dag.Bitset.t array -> check
+(** Condition (i) of Definition 6.3: for [(u,v), (v,w) ∈ E] and
+    [i < j], never [(v,w) ∈ E_i] with [(u,v) ∈ E_j]. *)
+
+val is_spartition :
+  Prbp_dag.Dag.t -> s:int -> Prbp_dag.Bitset.t array -> check
+(** Full Definition 5.3 (Hong–Kung S-partition): cover + ordering +
+    dominator ≤ s + terminal set ≤ s for every class. *)
+
+val is_dominator_partition :
+  Prbp_dag.Dag.t -> s:int -> Prbp_dag.Bitset.t array -> check
+(** Definition 6.6: like {!is_spartition} but without the
+    terminal-set condition. *)
+
+val is_edge_partition :
+  Prbp_dag.Dag.t -> s:int -> Prbp_dag.Bitset.t array -> check
+(** Definition 6.3 (S-edge partition): edge cover + well-ordering +
+    edge-dominator ≤ s + edge-terminal ≤ s for every class. *)
+
+(** {1 Greedy constructions (upper bounds on MIN counts)} *)
+
+val greedy_spartition :
+  Prbp_dag.Dag.t -> s:int -> Prbp_dag.Bitset.t array
+(** Sweep the nodes in topological order, extending the current class
+    while both the (exact, flow-computed) minimum dominator size and
+    the terminal-set size stay ≤ s.  The result is a valid
+    S-partition, so its length upper-bounds [MIN_part(s)]. *)
+
+val greedy_edge_partition :
+  Prbp_dag.Dag.t -> s:int -> Prbp_dag.Bitset.t array
+(** Same sweep over edges in a PRBP-markable order; upper-bounds
+    [MIN_edge(s)]. *)
+
+(** {1 Lower bounds from partitions (Theorems 6.5 / 6.7)} *)
+
+val io_lower_bound : r:int -> min_classes:int -> int
+(** [r · (min_classes − 1)]: the I/O lower bound that a [2r]-partition
+    class count implies for cost (all three partition flavors share
+    this form). *)

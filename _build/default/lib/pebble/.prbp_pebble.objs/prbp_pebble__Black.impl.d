@@ -1,0 +1,1 @@
+lib/pebble/black.ml: Array Hashtbl List Prbp_dag Queue

@@ -1,0 +1,1 @@
+lib/pebble/black.mli: Prbp_dag

@@ -1,0 +1,1 @@
+lib/pebble/move.ml: Format List Prbp_dag

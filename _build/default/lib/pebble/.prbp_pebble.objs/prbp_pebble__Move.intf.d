@@ -1,0 +1,1 @@
+lib/pebble/move.mli: Format Prbp_dag

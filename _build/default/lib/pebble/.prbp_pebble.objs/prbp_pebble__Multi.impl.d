@@ -1,0 +1,1 @@
+lib/pebble/multi.ml: Array Format List Move Prbp_dag

@@ -1,0 +1,1 @@
+lib/pebble/multi.mli: Format Move Prbp_dag

@@ -1,0 +1,1 @@
+lib/pebble/prbp.ml: Array Format List Move Prbp_dag String

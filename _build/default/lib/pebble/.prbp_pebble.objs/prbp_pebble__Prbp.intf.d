@@ -1,0 +1,1 @@
+lib/pebble/prbp.mli: Format Move Prbp_dag

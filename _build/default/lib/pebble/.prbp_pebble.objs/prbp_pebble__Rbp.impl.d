@@ -1,0 +1,1 @@
+lib/pebble/rbp.ml: Format List Move Prbp_dag Printf String

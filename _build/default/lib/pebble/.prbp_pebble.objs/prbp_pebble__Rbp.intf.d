@@ -1,0 +1,1 @@
+lib/pebble/rbp.mli: Format Move Prbp_dag

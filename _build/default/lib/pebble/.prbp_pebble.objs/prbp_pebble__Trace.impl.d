@@ -1,0 +1,1 @@
+lib/pebble/trace.ml: Array Buffer Format Hashtbl List Move Prbp Prbp_dag Printf Rbp String

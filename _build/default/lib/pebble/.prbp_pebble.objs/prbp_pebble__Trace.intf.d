@@ -1,0 +1,1 @@
+lib/pebble/trace.mli: Format Move Prbp Prbp_dag Rbp

@@ -1,0 +1,1 @@
+lib/pebble/verifier.ml: Format List Move Prbp Prbp_dag Rbp Result

@@ -1,0 +1,1 @@
+lib/pebble/verifier.mli: Move Prbp_dag

@@ -1,0 +1,68 @@
+module Dag = Prbp_dag.Dag
+
+exception Too_large of int
+
+(* State: (pebbled-node mask, visited-sink mask index).  Transitions
+   are free (only the peak matters), so feasibility at capacity s is
+   plain reachability. *)
+let feasible ?(sliding = false) ?(max_states = 2_000_000) ~s g =
+  let n = Dag.n_nodes g in
+  if n > 31 then invalid_arg "Black.feasible: at most 31 nodes";
+  if s < 0 then invalid_arg "Black.feasible: negative capacity";
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+    go 0 x
+  in
+  let pred_mask =
+    Array.init n (fun v -> Dag.fold_pred (fun u acc -> acc lor (1 lsl u)) g v 0)
+  in
+  let sinks = List.fold_left (fun a v -> a lor (1 lsl v)) 0 (Dag.sinks g) in
+  let seen = Hashtbl.create 4096 in
+  let q = Queue.create () in
+  let push st =
+    if not (Hashtbl.mem seen st) then begin
+      if Hashtbl.length seen >= max_states then raise (Too_large max_states);
+      Hashtbl.add seen st ();
+      Queue.add st q
+    end
+  in
+  push (0, 0);
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let ((mask, visited) as _st) = Queue.pop q in
+    if visited = sinks then found := true
+    else
+      for v = 0 to n - 1 do
+        let b = 1 lsl v in
+        if mask land b = 0 && pred_mask.(v) land lnot mask = 0 then begin
+          (* PLACE (needs a free pebble) *)
+          if popcount mask < s then
+            push (mask lor b, visited lor (b land sinks));
+          (* SLIDE from one of the (pebbled) in-neighbors *)
+          if sliding && pred_mask.(v) <> 0 then begin
+            let rest = ref pred_mask.(v) in
+            while !rest <> 0 do
+              let ub = !rest land - !rest in
+              rest := !rest lxor ub;
+              push ((mask lxor ub) lor b, visited lor (b land sinks))
+            done
+          end
+        end;
+        (* REMOVE *)
+        if mask land b <> 0 then push (mask lxor b, visited)
+      done
+  done;
+  !found
+
+let number ?sliding ?max_states g =
+  let n = Dag.n_nodes g in
+  if n = 0 then 0
+  else begin
+    let rec go s =
+      if s > n then
+        failwith "Black.number: internal: no feasible capacity up to n"
+      else if feasible ?sliding ?max_states ~s g then s
+      else go (s + 1)
+    in
+    go 1
+  end

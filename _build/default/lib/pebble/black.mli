@@ -1,0 +1,29 @@
+(** The classic black pebble game and its pebbling number.
+
+    Appendix B.2 of the paper grounds the sliding-pebble RBP variant in
+    the black pebble game, where results are traditionally developed.
+    This module provides that substrate: a node may be pebbled when all
+    its in-neighbors carry pebbles (sources any time), pebbles may be
+    removed freely, and — in the sliding variant — a pebble may move
+    from an in-neighbor onto the node it enables.  Re-computation is
+    allowed (the game is about {e space}, not work), and the goal is to
+    have touched every sink at least once.
+
+    The {e pebbling number} is the minimum capacity for which a
+    complete strategy exists.  It measures the pure space requirement
+    of the computation, with no I/O at all — a useful companion to the
+    trivial-cost cache thresholds of the red-blue games (see experiment
+    E26). *)
+
+exception Too_large of int
+
+val feasible :
+  ?sliding:bool -> ?max_states:int -> s:int -> Prbp_dag.Dag.t -> bool
+(** Is there a complete black pebbling using at most [s] pebbles?
+    Decided by exhaustive search over (pebble-set, visited-sinks)
+    states; [max_states] defaults to [2_000_000]. *)
+
+val number : ?sliding:bool -> ?max_states:int -> Prbp_dag.Dag.t -> int
+(** The pebbling number: the least [s] with [feasible ~s].  At most
+    [n]; at least [Δin + 1] without sliding ([Δin] with, when
+    [Δin ≥ 1]). *)

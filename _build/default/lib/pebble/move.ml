@@ -1,0 +1,55 @@
+type node = int
+
+module R = struct
+  type t =
+    | Load of node
+    | Save of node
+    | Compute of node
+    | Delete of node
+    | Slide of node * node
+
+  let pp ppf = function
+    | Load v -> Format.fprintf ppf "load %d" v
+    | Save v -> Format.fprintf ppf "save %d" v
+    | Compute v -> Format.fprintf ppf "compute %d" v
+    | Delete v -> Format.fprintf ppf "delete %d" v
+    | Slide (u, v) -> Format.fprintf ppf "slide %d->%d" u v
+
+  let to_string m = Format.asprintf "%a" pp m
+
+  let is_io = function Load _ | Save _ -> true | _ -> false
+end
+
+module P = struct
+  type t =
+    | Load of node
+    | Save of node
+    | Compute of node * node
+    | Delete of node
+    | Clear of node
+
+  let pp ppf = function
+    | Load v -> Format.fprintf ppf "load %d" v
+    | Save v -> Format.fprintf ppf "save %d" v
+    | Compute (u, v) -> Format.fprintf ppf "compute (%d,%d)" u v
+    | Delete v -> Format.fprintf ppf "delete %d" v
+    | Clear v -> Format.fprintf ppf "clear %d" v
+
+  let to_string m = Format.asprintf "%a" pp m
+
+  let is_io = function Load _ | Save _ -> true | _ -> false
+end
+
+let rbp_to_prbp g moves =
+  List.concat_map
+    (fun (m : R.t) : P.t list ->
+      match m with
+      | R.Load v -> [ P.Load v ]
+      | R.Save v -> [ P.Save v ]
+      | R.Delete v -> [ P.Delete v ]
+      | R.Compute v ->
+          List.rev
+            (Prbp_dag.Dag.fold_pred (fun u acc -> P.Compute (u, v) :: acc) g v [])
+      | R.Slide _ ->
+          invalid_arg "rbp_to_prbp: sliding moves have no PRBP counterpart")
+    moves

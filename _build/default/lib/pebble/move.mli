@@ -1,0 +1,59 @@
+(** Move vocabularies for the two games.
+
+    A pebbling strategy is a plain list of moves; the engines in {!Rbp}
+    and {!Prbp} validate them against the transition rules and account
+    for their cost.  Strategies being first-class data is what lets the
+    test suite replay every constructive proof of the paper. *)
+
+type node = int
+
+(** Moves of the classic red-blue pebble game (Section 1), plus the
+    sliding step of the Appendix-B.2 variant. *)
+module R : sig
+  type t =
+    | Load of node      (** blue → add red.  Cost 1. *)
+    | Save of node      (** red → add blue.  Cost 1. *)
+    | Compute of node   (** all in-neighbors red → red on node.  Free. *)
+    | Delete of node    (** remove red.  Free. *)
+    | Slide of node * node
+        (** [Slide (u, v)]: all in-neighbors of [v] red; move the red
+            pebble from in-neighbor [u] onto [v].  Only legal in the
+            sliding variant.  Free. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+
+  val is_io : t -> bool
+  (** [true] on {!Load} and {!Save} — the moves that cost. *)
+end
+
+(** Moves of the partial-computing red-blue pebble game (Section 3),
+    plus the CLEAR step of the Appendix-B.1 re-computation variant. *)
+module P : sig
+  type t =
+    | Load of node  (** blue → add light red.  Cost 1. *)
+    | Save of node  (** dark red → blue + light red.  Cost 1. *)
+    | Compute of node * node
+        (** [Compute (u, v)]: mark edge [(u, v)], aggregating input [u]
+            into [v]; [v] becomes dark red.  Free. *)
+    | Delete of node
+        (** Remove a light red, or a dark red whose out-edges are all
+            marked.  Free. *)
+    | Clear of node
+        (** Remove all pebbles from [v] and unmark its in-edges; only
+            legal in the re-computation variant.  Free. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+
+  val is_io : t -> bool
+end
+
+val rbp_to_prbp : Prbp_dag.Dag.t -> R.t list -> P.t list
+(** The Proposition 4.1 translation: each RBP [Compute v] becomes the
+    sequence of partial computes over [v]'s in-edges; loads, saves and
+    deletes map one-to-one.  The result has the same I/O cost and is a
+    valid PRBP pebbling whenever the input was a valid RBP pebbling.
+    [Slide] moves are not translatable and raise [Invalid_argument]. *)

@@ -1,0 +1,106 @@
+(** Multiprocessor red-blue pebbling, in the spirit of the
+    parallel-RBP line of work the paper points at in Section 8.1
+    ([Böhnlein–Papp–Yzelman 2025] and earlier).
+
+    [p] processors each own a fast memory of capacity [r]; slow memory
+    is shared and unbounded.  All I/O (loads and saves, on any
+    processor) counts toward one total cost — the model measures
+    {e communication volume}, not makespan.
+
+    {b RBP-MC}: a value may be red on several processors at once (each
+    holding its own copy); COMPUTE on processor [q] needs all inputs
+    red on [q] and places the result red on [q].  One-shot globally.
+
+    {b PRBP-MC}: the partial value of a node lives on at most one
+    processor (a dark pebble is exclusive); light copies may exist on
+    several.  A partial compute along [(u,v)] on processor [q] needs
+    [u] fully computed and red on [q], and [v] either red on [q] or
+    stored nowhere; it invalidates all other copies of [v] (they are
+    stale) and leaves [v] dark on [q].  Handing a partial value from
+    one processor to another therefore costs a save and a load — the
+    communication/aggregation trade-off that makes the parallel game
+    interesting.
+
+    These semantics are this library's (conservative) formalization of
+    the extension the paper only sketches; they specialize exactly to
+    the Section 1/3 games at [p = 1] (tested). *)
+
+type config = {
+  p : int;  (** number of processors *)
+  r : int;  (** fast-memory capacity per processor *)
+  one_shot : bool;
+}
+
+val config : ?one_shot:bool -> p:int -> r:int -> unit -> config
+
+module Single = Move
+(** The single-processor move vocabulary of {!Move}, under a name that
+    survives the shadowing below. *)
+
+(** Moves name the acting processor. *)
+module Move : sig
+  type rbp =
+    | Load of int * int  (** processor, node *)
+    | Save of int * int
+    | Compute of int * int
+    | Delete of int * int
+
+  type prbp =
+    | Load of int * int
+    | Save of int * int
+    | Compute of int * (int * int)  (** processor, edge *)
+    | Delete of int * int
+
+  val pp_rbp : Format.formatter -> rbp -> unit
+
+  val pp_prbp : Format.formatter -> prbp -> unit
+end
+
+(** {1 RBP-MC engine} *)
+
+module R : sig
+  type t
+
+  val start : config -> Prbp_dag.Dag.t -> t
+
+  val apply : t -> Move.rbp -> (unit, string) result
+
+  val io_cost : t -> int
+
+  val red_count : t -> int -> int
+  (** Occupancy of one processor's fast memory. *)
+
+  val is_terminal : t -> bool
+
+  val check :
+    config -> Prbp_dag.Dag.t -> Move.rbp list -> (int, string) result
+end
+
+(** {1 PRBP-MC engine} *)
+
+module P : sig
+  type t
+
+  val start : config -> Prbp_dag.Dag.t -> t
+
+  val apply : t -> Move.prbp -> (unit, string) result
+
+  val io_cost : t -> int
+
+  val red_count : t -> int -> int
+
+  val is_terminal : t -> bool
+
+  val check :
+    config -> Prbp_dag.Dag.t -> Move.prbp list -> (int, string) result
+end
+
+(** {1 Single-processor specialization} *)
+
+val lift_rbp : Single.R.t list -> Move.rbp list
+(** Run a single-processor strategy on processor 0 — used to check
+    that the [p = 1] case coincides with the Section-1 game
+    ([Slide] moves are rejected with [Invalid_argument]). *)
+
+val lift_prbp : Single.P.t list -> Move.prbp list
+(** Likewise for PRBP ([Clear] moves are rejected). *)

@@ -1,0 +1,106 @@
+(** Rule-checking engine for the partial-computing red-blue pebble game
+    (PRBP), Section 3 of the paper.
+
+    A node is always in one of four pebble states:
+
+    - {!Pebble.None_}: value stored nowhere;
+    - {!Pebble.Blue}: value only in slow memory;
+    - {!Pebble.Blue_light}: current value in both memories (blue + light
+      red);
+    - {!Pebble.Dark}: value updated since the last I/O — only in fast
+      memory (dark red, no blue).
+
+    Light red never exists without blue, and dark red never coexists
+    with blue; the four-state encoding is therefore exhaustive.
+
+    In-edges of a node are {e marked} as its inputs get aggregated; the
+    game is one-shot per edge by default.  Terminality requires every
+    edge marked and a blue pebble on every sink. *)
+
+module Pebble : sig
+  type t = None_ | Blue | Blue_light | Dark
+
+  val is_red : t -> bool
+  (** Light or dark red — occupies a slot of fast memory. *)
+
+  val has_blue : t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type config = {
+  r : int;  (** fast-memory capacity *)
+  one_shot : bool;  (** each edge marked at most once, ever *)
+  recompute : bool;  (** allow [Move.P.Clear] (Appendix B.1) *)
+  no_delete : bool;
+      (** Appendix B.4: dark red removable only via [Save] *)
+  compute_cost : float;  (** ε charged per partial compute *)
+  normalized_cost : bool;
+      (** charge ε/deg_in(v) instead of ε for a partial compute into
+          [v], keeping totals comparable with node-based RBP costs
+          (Appendix B.3) *)
+}
+
+val config : ?one_shot:bool -> ?recompute:bool -> ?no_delete:bool ->
+  ?compute_cost:float -> ?normalized_cost:bool -> r:int -> unit -> config
+
+type t
+
+val start : config -> Prbp_dag.Dag.t -> t
+
+val dag : t -> Prbp_dag.Dag.t
+
+val capacity : t -> int
+
+(** {1 State observation} *)
+
+val pebble : t -> Move.node -> Pebble.t
+
+val is_marked : t -> Prbp_dag.Dag.edge_id -> bool
+
+val marked_set : t -> Prbp_dag.Bitset.t
+(** Copy of the currently-marked edge set. *)
+
+val red_count : t -> int
+
+val red_set : t -> Prbp_dag.Bitset.t
+
+val unmarked_in : t -> Move.node -> int
+(** Number of still-unmarked in-edges ([0] iff the node's value is
+    final — fully computed). *)
+
+val fully_computed : t -> Move.node -> bool
+(** All in-edges marked (sources are trivially fully computed). *)
+
+(** {1 Cost accounting} *)
+
+val io_cost : t -> int
+
+val loads : t -> int
+
+val saves : t -> int
+
+val computes : t -> int
+(** Partial-compute (edge-marking) steps executed. *)
+
+val total_cost : t -> float
+
+val max_red_seen : t -> int
+
+val is_terminal : t -> bool
+(** All edges marked and every sink has a blue pebble. *)
+
+(** {1 Execution} *)
+
+val apply : t -> Move.P.t -> (unit, string) result
+
+val run : config -> Prbp_dag.Dag.t -> Move.P.t list -> (t, string) result
+
+val run_exn : config -> Prbp_dag.Dag.t -> Move.P.t list -> t
+
+val check : config -> Prbp_dag.Dag.t -> Move.P.t list -> (int, string) result
+(** Replay, require terminality, return the I/O cost. *)
+
+val pp_state : Format.formatter -> t -> unit
+(** One-line snapshot: per-node pebble states (skipping empty nodes),
+    marked-edge count and cost so far. *)

@@ -1,0 +1,164 @@
+type step = {
+  index : int;
+  io_so_far : int;
+  red_count : int;
+  description : string;
+}
+
+type t = { steps : step array; r : int; cost : int; peak : int }
+
+let record ~r ~apply ~io_cost ~red_count ~is_terminal ~describe moves =
+  let steps = ref [] in
+  let rec go i = function
+    | [] -> Ok ()
+    | m :: rest -> (
+        match apply m with
+        | Error e ->
+            Error (Printf.sprintf "move #%d (%s): %s" i (describe m) e)
+        | Ok () ->
+            steps :=
+              {
+                index = i;
+                io_so_far = io_cost ();
+                red_count = red_count ();
+                description = describe m;
+              }
+              :: !steps;
+            go (i + 1) rest)
+  in
+  match go 0 moves with
+  | Error _ as e -> e
+  | Ok () ->
+      if not (is_terminal ()) then Error "incomplete pebbling"
+      else
+        let steps = Array.of_list (List.rev !steps) in
+        let peak =
+          Array.fold_left (fun acc s -> max acc s.red_count) 0 steps
+        in
+        Ok { steps; r; cost = io_cost (); peak }
+
+let of_rbp cfg g moves =
+  let eng = Rbp.start cfg g in
+  record ~r:cfg.Rbp.r
+    ~apply:(fun m -> Rbp.apply eng m)
+    ~io_cost:(fun () -> Rbp.io_cost eng)
+    ~red_count:(fun () -> Rbp.red_count eng)
+    ~is_terminal:(fun () -> Rbp.is_terminal eng)
+    ~describe:Move.R.to_string moves
+
+let of_prbp cfg g moves =
+  let eng = Prbp.start cfg g in
+  record ~r:cfg.Prbp.r
+    ~apply:(fun m -> Prbp.apply eng m)
+    ~io_cost:(fun () -> Prbp.io_cost eng)
+    ~red_count:(fun () -> Prbp.red_count eng)
+    ~is_terminal:(fun () -> Prbp.is_terminal eng)
+    ~describe:Move.P.to_string moves
+
+let occupancy t =
+  let width = 72 in
+  let n = Array.length t.steps in
+  if n = 0 then "(empty trace)\n"
+  else begin
+    let buckets = min width n in
+    let per = (n + buckets - 1) / buckets in
+    let heights = Array.make buckets 0 in
+    let io = Array.make buckets false in
+    Array.iteri
+      (fun i s ->
+        let b = min (buckets - 1) (i / per) in
+        heights.(b) <- max heights.(b) s.red_count;
+        let prev_io = if i = 0 then 0 else t.steps.(i - 1).io_so_far in
+        if s.io_so_far > prev_io then io.(b) <- true)
+      t.steps;
+    let buf = Buffer.create 1024 in
+    for row = t.r downto 1 do
+      Buffer.add_string buf (Printf.sprintf "%3d |" row);
+      for b = 0 to buckets - 1 do
+        Buffer.add_char buf (if heights.(b) >= row then '#' else ' ')
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf "    +";
+    Buffer.add_string buf (String.make buckets '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "i/o  ";
+    for b = 0 to buckets - 1 do
+      Buffer.add_char buf (if io.(b) then '*' else ' ')
+    done;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end
+
+let summary t =
+  let n = Array.length t.steps in
+  Printf.sprintf
+    "%d moves, %d I/O operations (%.1f%% of moves), peak %d/%d red pebbles"
+    n t.cost
+    (if n = 0 then 0. else 100. *. float_of_int t.cost /. float_of_int n)
+    t.peak t.r
+
+type breakdown = {
+  source_loads : int;
+  sink_saves : int;
+  reloads : int;
+  spills : int;
+}
+
+let classify ~is_source ~is_sink moves =
+  let seen_load = Hashtbl.create 16 and seen_save = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc m ->
+      match m with
+      | `Load v ->
+          if is_source v && not (Hashtbl.mem seen_load v) then begin
+            Hashtbl.add seen_load v ();
+            { acc with source_loads = acc.source_loads + 1 }
+          end
+          else { acc with reloads = acc.reloads + 1 }
+      | `Save v ->
+          if is_sink v && not (Hashtbl.mem seen_save v) then begin
+            Hashtbl.add seen_save v ();
+            { acc with sink_saves = acc.sink_saves + 1 }
+          end
+          else { acc with spills = acc.spills + 1 }
+      | `Other -> acc)
+    { source_loads = 0; sink_saves = 0; reloads = 0; spills = 0 }
+    moves
+
+let breakdown_rbp cfg g moves =
+  match Rbp.check cfg g moves with
+  | Error s -> Error s
+  | Ok _ ->
+      Ok
+        (classify
+           ~is_source:(Prbp_dag.Dag.is_source g)
+           ~is_sink:(Prbp_dag.Dag.is_sink g)
+           (List.map
+              (function
+                | Move.R.Load v -> `Load v
+                | Move.R.Save v -> `Save v
+                | _ -> `Other)
+              moves))
+
+let breakdown_prbp cfg g moves =
+  match Prbp.check cfg g moves with
+  | Error s -> Error s
+  | Ok _ ->
+      Ok
+        (classify
+           ~is_source:(Prbp_dag.Dag.is_source g)
+           ~is_sink:(Prbp_dag.Dag.is_sink g)
+           (List.map
+              (function
+                | Move.P.Load v -> `Load v
+                | Move.P.Save v -> `Save v
+                | _ -> `Other)
+              moves))
+
+let non_trivial b = b.reloads + b.spills
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "trivial: %d loads + %d saves; non-trivial: %d reloads + %d spills"
+    b.source_loads b.sink_saves b.reloads b.spills

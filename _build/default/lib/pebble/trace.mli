@@ -1,0 +1,60 @@
+(** Pebbling-trace instrumentation: replay a strategy while recording
+    the cache state after every move, then render timelines.
+
+    Useful to {e see} why a strategy has the cost it has: which values
+    stay resident, where the save/load churn concentrates, and how
+    close the schedule runs to the capacity [r]. *)
+
+(** One snapshot per executed move. *)
+type step = {
+  index : int;  (** 0-based move index *)
+  io_so_far : int;  (** cumulative I/O cost after the move *)
+  red_count : int;  (** red pebbles after the move *)
+  description : string;  (** pretty-printed move *)
+}
+
+type t = {
+  steps : step array;
+  r : int;
+  cost : int;  (** total I/O of the complete pebbling *)
+  peak : int;  (** max simultaneous red pebbles *)
+}
+
+val of_rbp :
+  Rbp.config -> Prbp_dag.Dag.t -> Move.R.t list -> (t, string) result
+(** Replay and record; requires a complete (terminal) pebbling. *)
+
+val of_prbp :
+  Prbp.config -> Prbp_dag.Dag.t -> Move.P.t list -> (t, string) result
+
+val occupancy : t -> string
+(** A fixed-width ASCII chart of cache occupancy over time: one column
+    per time bucket, height [r]; ['#'] up to the bucket's max red
+    count.  I/O moves are marked under the axis with ['*'] when the
+    bucket contains at least one. *)
+
+val summary : t -> string
+(** One-paragraph textual summary: moves, I/O, peak/capacity, I/O
+    density. *)
+
+(** Classification of a complete pebbling's I/O into the paper's
+    categories: the {e trivial} cost (first load of each source, first
+    save of each sink) is unavoidable in both games; everything else is
+    the {e non-trivial} I/O that the paper's bounds and gaps are about. *)
+type breakdown = {
+  source_loads : int;  (** first loads of source nodes *)
+  sink_saves : int;  (** first saves of sink nodes *)
+  reloads : int;  (** any further load *)
+  spills : int;  (** any further save *)
+}
+
+val breakdown_rbp :
+  Rbp.config -> Prbp_dag.Dag.t -> Move.R.t list -> (breakdown, string) result
+
+val breakdown_prbp :
+  Prbp.config -> Prbp_dag.Dag.t -> Move.P.t list -> (breakdown, string) result
+
+val non_trivial : breakdown -> int
+(** [reloads + spills]. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,63 @@
+(** Independent re-implementation of the game rules, for differential
+    testing.
+
+    {!Rbp} and {!Prbp} are optimized mutable engines (bitsets, counter
+    caches).  This module re-implements the Section-1 and Section-3
+    transition rules a second time in the most literal way possible —
+    persistent maps, no caches, every precondition spelled out next to
+    the sentence of the paper it comes from.  The test-suite drives
+    both implementations with the same (legal and illegal) move
+    sequences and requires identical verdicts, states and costs, so a
+    bug would have to be introduced twice, in two different shapes, to
+    go unnoticed. *)
+
+(** Literal RBP checker. *)
+module R : sig
+  type state = {
+    red : int list;  (** sorted *)
+    blue : int list;  (** sorted *)
+    computed : int list;  (** sorted *)
+    io : int;
+  }
+
+  val initial : Prbp_dag.Dag.t -> state
+
+  val step :
+    r:int -> Prbp_dag.Dag.t -> state -> Move.R.t -> (state, string) result
+  (** One-shot, no sliding, deletion allowed — the paper's base game. *)
+
+  val is_terminal : Prbp_dag.Dag.t -> state -> bool
+
+  val run :
+    r:int -> Prbp_dag.Dag.t -> Move.R.t list -> (state, string) result
+end
+
+(** Literal PRBP checker. *)
+module P : sig
+  type pebble = No_pebble | Blue_only | Blue_and_light | Dark_only
+
+  type state = {
+    pebbles : (int * pebble) list;  (** sorted by node; total *)
+    marked : (int * int) list;  (** sorted edge list *)
+    io : int;
+  }
+
+  val initial : Prbp_dag.Dag.t -> state
+
+  val step :
+    r:int -> Prbp_dag.Dag.t -> state -> Move.P.t -> (state, string) result
+
+  val is_terminal : Prbp_dag.Dag.t -> state -> bool
+
+  val run :
+    r:int -> Prbp_dag.Dag.t -> Move.P.t list -> (state, string) result
+end
+
+val agree_rbp :
+  r:int -> Prbp_dag.Dag.t -> Move.R.t list -> (unit, string) result
+(** Replays the moves through both the engine and this verifier; [Ok]
+    iff both accept with equal costs and equal final red/blue/computed
+    sets, or both reject at the same move index. *)
+
+val agree_prbp :
+  r:int -> Prbp_dag.Dag.t -> Move.P.t list -> (unit, string) result

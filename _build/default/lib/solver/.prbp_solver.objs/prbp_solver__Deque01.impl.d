@@ -1,0 +1,1 @@
+lib/solver/deque01.ml: List

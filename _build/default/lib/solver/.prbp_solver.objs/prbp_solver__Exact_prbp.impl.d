@@ -1,0 +1,1 @@
+lib/solver/exact_prbp.ml: Array Deque01 Hashtbl Option Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/exact_prbp.mli: Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/exact_rbp.ml: Array Deque01 Hashtbl List Option Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/exact_rbp.mli: Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/heuristic.ml: Array List Prbp_dag Prbp_pebble

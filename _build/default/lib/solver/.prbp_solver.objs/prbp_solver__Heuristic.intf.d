@@ -1,0 +1,1 @@
+lib/solver/heuristic.mli: Prbp_dag Prbp_pebble

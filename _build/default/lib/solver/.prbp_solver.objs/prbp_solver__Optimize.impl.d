@@ -1,0 +1,1 @@
+lib/solver/optimize.ml: Array List Prbp_pebble

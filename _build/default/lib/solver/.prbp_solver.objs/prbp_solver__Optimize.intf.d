@@ -1,0 +1,1 @@
+lib/solver/optimize.mli: Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/strategies.ml: Array List Prbp_dag Prbp_graphs Prbp_pebble

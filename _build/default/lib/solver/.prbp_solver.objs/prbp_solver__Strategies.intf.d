@@ -1,0 +1,1 @@
+lib/solver/strategies.mli: Prbp_dag Prbp_graphs Prbp_pebble

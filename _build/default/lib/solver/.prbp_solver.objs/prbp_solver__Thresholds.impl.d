@@ -1,0 +1,1 @@
+lib/solver/thresholds.ml: Exact_prbp Exact_rbp Option Prbp_dag Prbp_pebble

@@ -1,0 +1,1 @@
+lib/solver/thresholds.mli: Prbp_dag

@@ -1,0 +1,26 @@
+(* Double-ended queue for 0-1 BFS: 0-cost relaxations go to the front,
+   1-cost ones to the back.  Two-list implementation with amortized
+   O(1) operations. *)
+
+type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+let create () = { front = []; back = [] }
+
+let is_empty d = d.front = [] && d.back = []
+
+let push_front d x = d.front <- x :: d.front
+
+let push_back d x = d.back <- x :: d.back
+
+let pop_front d =
+  match d.front with
+  | x :: rest ->
+      d.front <- rest;
+      Some x
+  | [] -> (
+      match List.rev d.back with
+      | [] -> None
+      | x :: rest ->
+          d.back <- [];
+          d.front <- rest;
+          Some x)

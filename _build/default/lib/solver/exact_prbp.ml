@@ -1,0 +1,237 @@
+module Dag = Prbp_dag.Dag
+module Prbp = Prbp_pebble.Prbp
+module PM = Prbp_pebble.Move.P
+
+exception Too_large of int
+
+(* Pebble states are packed 2 bits per node:
+   00 = no pebble, 01 = blue, 11 = blue + light red, 10 = dark red.
+   Bit 0 of the pair = "has blue", bit 1 = "has red": both game
+   predicates become single-mask tests. *)
+let st_none = 0
+and st_blue = 1
+and st_dark = 2
+and st_bl = 3
+
+type state = { pack : int; marked : int }
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+type ctx = {
+  cfg : Prbp.config;
+  eager_deletes : bool;
+  n : int;
+  m : int;
+  esrc : int array;
+  edst : int array;
+  in_mask : int array;  (* per node: mask of in-edge ids *)
+  out_mask : int array;
+  red_bits : int;  (* bit 2v+1 for every node v *)
+  sink_mask : int;  (* node mask *)
+  source_mask : int;
+  full_edges : int;
+  max_states : int;
+  want_strategy : bool;
+  dist : (state, int) Hashtbl.t;
+  parent : (state, state * PM.t) Hashtbl.t;
+  dq : (state * int) Deque01.t;
+}
+
+let node_state st v = (st.pack lsr (2 * v)) land 3
+
+let with_node_state st v s =
+  { st with pack = st.pack land lnot (3 lsl (2 * v)) lor (s lsl (2 * v)) }
+
+let relax ctx prev ~d_prev m st cost =
+  match Hashtbl.find_opt ctx.dist st with
+  | Some d when d <= cost -> ()
+  | _ ->
+      if Hashtbl.length ctx.dist >= ctx.max_states then
+        raise (Too_large ctx.max_states);
+      Hashtbl.replace ctx.dist st cost;
+      if ctx.want_strategy then Hashtbl.replace ctx.parent st (prev, m);
+      if cost = d_prev then Deque01.push_front ctx.dq (st, cost)
+      else Deque01.push_back ctx.dq (st, cost)
+
+let expand ctx st d =
+  let n_red = popcount (st.pack land ctx.red_bits) in
+  for v = 0 to ctx.n - 1 do
+    let s = node_state st v in
+    let fully_used = ctx.out_mask.(v) land lnot st.marked = 0 in
+    (* LOAD: blue only -> blue+light; useless once all out-edges are
+       marked (covers sinks: they are already blue) *)
+    if s = st_blue && n_red < ctx.cfg.Prbp.r && not fully_used then
+      relax ctx st ~d_prev:d (PM.Load v) (with_node_state st v st_bl) (d + 1);
+    (* SAVE: dark -> blue+light; useful only for sinks or while some
+       out-edge is still unmarked *)
+    if
+      s = st_dark
+      && ((not fully_used) || ctx.sink_mask land (1 lsl v) <> 0)
+    then
+      relax ctx st ~d_prev:d (PM.Save v) (with_node_state st v st_bl) (d + 1);
+    (* DELETE light red: a cached copy of a value that is also in slow
+       memory only ever consumes capacity, so deleting it is postponed
+       until the cache is full (a normalization that preserves
+       optimality and shrinks the search space); fully-used copies are
+       cleaned up eagerly for free *)
+    if
+      s = st_bl
+      && (ctx.eager_deletes || n_red = ctx.cfg.Prbp.r || fully_used)
+    then
+      relax ctx st ~d_prev:d (PM.Delete v) (with_node_state st v st_blue) d;
+    (* DELETE dark red: only when fully used; deleting a dark sink
+       loses its final value for good — a dead end we prune *)
+    if
+      s = st_dark
+      && (not ctx.cfg.Prbp.no_delete)
+      && fully_used
+      && ctx.sink_mask land (1 lsl v) = 0
+    then relax ctx st ~d_prev:d (PM.Delete v) (with_node_state st v st_none) d;
+    (* CLEAR (re-computation variant): drop all pebbles from an
+       internal node and unmark its in-edges, allowing the value to be
+       rebuilt from scratch later.  Skipped when it would be a no-op. *)
+    if
+      ctx.cfg.Prbp.recompute
+      && ctx.source_mask land (1 lsl v) = 0
+      && ctx.sink_mask land (1 lsl v) = 0
+      && (s <> st_none || ctx.in_mask.(v) land st.marked <> 0)
+    then
+      relax ctx st ~d_prev:d (PM.Clear v)
+        {
+          (with_node_state st v st_none) with
+          marked = st.marked land lnot ctx.in_mask.(v);
+        }
+        d
+  done;
+  (* PARTIAL COMPUTE on each unmarked edge *)
+  let unmarked = ctx.full_edges land lnot st.marked in
+  let rest = ref unmarked in
+  while !rest <> 0 do
+    let b = !rest land - !rest in
+    rest := !rest lxor b;
+    let rec lg k x = if x = 1 then k else lg (k + 1) (x lsr 1) in
+    let e = lg 0 b in
+    let u = ctx.esrc.(e) and v = ctx.edst.(e) in
+    let su = node_state st u in
+    if
+      su land 2 <> 0 (* u has red *)
+      && ctx.in_mask.(u) land lnot st.marked = 0 (* u fully computed *)
+    then begin
+      let sv = node_state st v in
+      if sv <> st_blue && (sv <> st_none || n_red < ctx.cfg.Prbp.r) then
+        relax ctx st ~d_prev:d
+          (PM.Compute (u, v))
+          { (with_node_state st v st_dark) with marked = st.marked lor b }
+          d
+    end
+  done
+
+let search ?(max_states = 5_000_000) ?(eager_deletes = false) ~want_strategy
+    cfg g =
+  let n = Dag.n_nodes g and m = Dag.n_edges g in
+  if n > 31 then invalid_arg "Exact_prbp: at most 31 nodes";
+  if m > 62 then invalid_arg "Exact_prbp: at most 62 edges";
+  let in_mask = Array.make n 0 and out_mask = Array.make n 0 in
+  let esrc = Array.make m 0 and edst = Array.make m 0 in
+  Dag.iter_edges
+    (fun e u v ->
+      esrc.(e) <- u;
+      edst.(e) <- v;
+      out_mask.(u) <- out_mask.(u) lor (1 lsl e);
+      in_mask.(v) <- in_mask.(v) lor (1 lsl e))
+    g;
+  let red_bits = ref 0 and sink_mask = ref 0 and init_pack = ref 0 in
+  let source_mask = ref 0 in
+  for v = 0 to n - 1 do
+    red_bits := !red_bits lor (1 lsl ((2 * v) + 1));
+    if Dag.is_sink g v then sink_mask := !sink_mask lor (1 lsl v);
+    if Dag.is_source g v then begin
+      source_mask := !source_mask lor (1 lsl v);
+      init_pack := !init_pack lor (st_blue lsl (2 * v))
+    end
+  done;
+  let ctx =
+    {
+      cfg;
+      eager_deletes;
+      n;
+      m;
+      esrc;
+      edst;
+      in_mask;
+      out_mask;
+      red_bits = !red_bits;
+      sink_mask = !sink_mask;
+      source_mask = !source_mask;
+      full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
+      max_states;
+      want_strategy;
+      dist = Hashtbl.create 4096;
+      parent = Hashtbl.create (if want_strategy then 4096 else 0);
+      dq = Deque01.create ();
+    }
+  in
+  let init = { pack = !init_pack; marked = 0 } in
+  let is_goal st =
+    st.marked = ctx.full_edges
+    &&
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if ctx.sink_mask land (1 lsl v) <> 0 && node_state st v land 1 = 0 then
+        ok := false
+    done;
+    !ok
+  in
+  Hashtbl.replace ctx.dist init 0;
+  Deque01.push_back ctx.dq (init, 0);
+  let result = ref None in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Deque01.pop_front ctx.dq with
+       | None -> continue := false
+       | Some (st, d) ->
+           if Hashtbl.find ctx.dist st = d then
+             if is_goal st then begin
+               result := Some (st, d);
+               continue := false
+             end
+             else expand ctx st d
+     done
+   with Too_large _ as e ->
+     Hashtbl.reset ctx.dist;
+     raise e);
+  let explored = Hashtbl.length ctx.dist in
+  match !result with
+  | None -> None
+  | Some (goal, d) ->
+      if not want_strategy then Some (d, [], explored)
+      else begin
+        let rec back st acc =
+          if st = init then acc
+          else
+            let prev, mv = Hashtbl.find ctx.parent st in
+            back prev (mv :: acc)
+        in
+        Some (d, back goal [], explored)
+      end
+
+let opt_opt ?max_states cfg g =
+  Option.map (fun (d, _, _) -> d) (search ?max_states ~want_strategy:false cfg g)
+
+let opt_stats ?max_states ?eager_deletes cfg g =
+  Option.map
+    (fun (d, _, states) -> (d, states))
+    (search ?max_states ?eager_deletes ~want_strategy:false cfg g)
+
+let opt ?max_states cfg g =
+  match opt_opt ?max_states cfg g with
+  | Some d -> d
+  | None -> failwith "Exact_prbp.opt: no valid pebbling exists"
+
+let opt_with_strategy ?max_states cfg g =
+  Option.map
+    (fun (d, moves, _) -> (d, moves))
+    (search ?max_states ~want_strategy:true cfg g)

@@ -1,0 +1,47 @@
+(** Exact optimal PRBP pebbling cost by exhaustive 0–1 shortest-path
+    search over game states.
+
+    A state packs the four-valued pebble state of every node (2 bits
+    each) together with the set of marked edges; the search explores
+    save/load (cost 1) and partial-compute/delete (cost 0) transitions
+    with the same bucketed 0–1 BFS as {!Exact_rbp}, plus safe prunings
+    (a dark sink is never deleted — that state cannot be completed in
+    the one-shot game; no-op loads are skipped).
+
+    Limits: at most 31 nodes and 62 edges.  This certifies statements
+    like [OPT_PRBP = 2] on the Figure-1 DAG (Proposition 4.2) and the
+    per-copy optimality of Proposition 4.7 chains.
+
+    The Appendix-B.1 re-computation variant ([recompute = true] in the
+    config) is supported: [Clear] transitions rebuild internal values
+    from scratch, making the marked-edge set non-monotone — the state
+    space stays finite, but grows quickly; expect smaller feasible
+    sizes. *)
+
+exception Too_large of int
+
+val opt :
+  ?max_states:int -> Prbp_pebble.Prbp.config -> Prbp_dag.Dag.t -> int
+(** Optimal I/O cost of a complete PRBP pebbling.  PRBP admits a valid
+    pebbling for every DAG when [r ≥ 2], so this only fails ([Failure])
+    at [r = 1] or on out-of-range inputs.  [max_states] defaults to
+    [5_000_000]. *)
+
+val opt_opt :
+  ?max_states:int -> Prbp_pebble.Prbp.config -> Prbp_dag.Dag.t -> int option
+
+val opt_with_strategy :
+  ?max_states:int ->
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  (int * Prbp_pebble.Move.P.t list) option
+
+val opt_stats :
+  ?max_states:int ->
+  ?eager_deletes:bool ->
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  (int * int) option
+(** [(optimal cost, distinct states explored)]; [eager_deletes]
+    disables the light-red capacity-normalization pruning (ablation
+    measurements; the optimum is unchanged). *)

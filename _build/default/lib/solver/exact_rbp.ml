@@ -1,0 +1,194 @@
+module Dag = Prbp_dag.Dag
+module Rbp = Prbp_pebble.Rbp
+module RM = Prbp_pebble.Move.R
+
+exception Too_large of int
+
+type state = { red : int; blue : int; comp : int }
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+(* Iterate the set bits of a mask. *)
+let iter_bits f mask =
+  let m = ref mask in
+  while !m <> 0 do
+    let b = !m land - !m in
+    let rec lg k x = if x = 1 then k else lg (k + 1) (x lsr 1) in
+    f (lg 0 b);
+    m := !m lxor b
+  done
+
+type ctx = {
+  cfg : Rbp.config;
+  eager_deletes : bool;
+  n : int;
+  pred_mask : int array;
+  succ_mask : int array;
+  sinks : int;
+  sources : int;
+  max_states : int;
+  want_strategy : bool;
+  dist : (state, int) Hashtbl.t;
+  parent : (state, state * RM.t) Hashtbl.t;
+  dq : (state * int) Deque01.t;
+}
+
+let relax ctx prev ~d_prev m st cost =
+  match Hashtbl.find_opt ctx.dist st with
+  | Some d when d <= cost -> ()
+  | _ ->
+      if Hashtbl.length ctx.dist >= ctx.max_states then
+        raise (Too_large ctx.max_states);
+      Hashtbl.replace ctx.dist st cost;
+      if ctx.want_strategy then Hashtbl.replace ctx.parent st (prev, m);
+      if cost = d_prev then Deque01.push_front ctx.dq (st, cost)
+      else Deque01.push_back ctx.dq (st, cost)
+
+(* A value may be deleted (or need not be saved) once it can never be
+   used again: all successors computed and, for sinks, already blue.
+   Only sound in the one-shot game. *)
+let obsolete ctx st v =
+  ctx.cfg.Rbp.one_shot
+  && ctx.succ_mask.(v) land lnot st.comp = 0
+  && (ctx.sinks land (1 lsl v) = 0 || st.blue land (1 lsl v) <> 0)
+
+let expand ctx st d =
+  let bit v = 1 lsl v in
+  let n_red = popcount st.red in
+  for v = 0 to ctx.n - 1 do
+    let b = bit v in
+    (* LOAD *)
+    if
+      st.blue land b <> 0
+      && st.red land b = 0
+      && n_red < ctx.cfg.Rbp.r
+      && not (obsolete ctx st v)
+    then relax ctx st ~d_prev:d (RM.Load v) { st with red = st.red lor b } (d + 1);
+    (* SAVE; in the no-delete variant saving an already-blue node is
+       meaningful (it is the only way to release the red pebble) *)
+    if
+      st.red land b <> 0
+      && (st.blue land b = 0 || ctx.cfg.Rbp.no_delete)
+    then begin
+      let red' = if ctx.cfg.Rbp.no_delete then st.red lxor b else st.red in
+      if ctx.cfg.Rbp.no_delete || not (obsolete ctx st v) then
+        relax ctx st ~d_prev:d (RM.Save v)
+          { st with red = red'; blue = st.blue lor b }
+          (d + 1)
+    end;
+    (* COMPUTE *)
+    if
+      ctx.sources land b = 0
+      && st.red land b = 0
+      && (not (ctx.cfg.Rbp.one_shot && st.comp land b <> 0))
+      && st.red land ctx.pred_mask.(v) = ctx.pred_mask.(v)
+    then begin
+      let comp' = if ctx.cfg.Rbp.one_shot then st.comp lor b else st.comp in
+      if n_red < ctx.cfg.Rbp.r then
+        relax ctx st ~d_prev:d (RM.Compute v)
+          { st with red = st.red lor b; comp = comp' }
+          d;
+      (* SLIDE *)
+      if ctx.cfg.Rbp.sliding then
+        iter_bits
+          (fun u ->
+            relax ctx st ~d_prev:d
+              (RM.Slide (u, v))
+              { st with red = st.red lxor bit u lor b; comp = comp' }
+              d)
+          ctx.pred_mask.(v)
+    end;
+    (* DELETE.  Deleting an unsaved, still-needed value is a dead end
+       in the one-shot game (pruned); deleting a recoverable value
+       (blue-backed or re-computable) is postponed until the cache is
+       actually full — extra cached copies only ever consume capacity,
+       so this normalization preserves optimality.  Obsolete values are
+       cleaned up eagerly for free.  [eager_deletes] disables the
+       capacity normalization (for ablation measurements only). *)
+    if
+      (not ctx.cfg.Rbp.no_delete)
+      && st.red land b <> 0
+      && (obsolete ctx st v
+         || ((ctx.eager_deletes || n_red = ctx.cfg.Rbp.r)
+            && ((not ctx.cfg.Rbp.one_shot) || st.blue land b <> 0)))
+    then relax ctx st ~d_prev:d (RM.Delete v) { st with red = st.red lxor b } d
+  done
+
+let search ?(max_states = 5_000_000) ?(eager_deletes = false) ~want_strategy
+    cfg g =
+  let n = Dag.n_nodes g in
+  if n > 62 then invalid_arg "Exact_rbp: at most 62 nodes";
+  let mask_of fold v = fold (fun u acc -> acc lor (1 lsl u)) g v 0 in
+  let ctx =
+    {
+      cfg;
+      eager_deletes;
+      n;
+      pred_mask = Array.init n (mask_of Dag.fold_pred);
+      succ_mask = Array.init n (mask_of Dag.fold_succ);
+      sinks = List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sinks g);
+      sources =
+        List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g);
+      max_states;
+      want_strategy;
+      dist = Hashtbl.create 4096;
+      parent = Hashtbl.create (if want_strategy then 4096 else 0);
+      dq = Deque01.create ();
+    }
+  in
+  let init =
+    { red = 0; blue = ctx.sources; comp = 0 }
+  in
+  Hashtbl.replace ctx.dist init 0;
+  Deque01.push_back ctx.dq (init, 0);
+  let result = ref None in
+  (try
+     let continue = ref true in
+     while !continue do
+       match Deque01.pop_front ctx.dq with
+       | None -> continue := false
+       | Some (st, d) ->
+           if Hashtbl.find ctx.dist st = d then
+             if st.blue land ctx.sinks = ctx.sinks then begin
+               result := Some (st, d);
+               continue := false
+             end
+             else expand ctx st d
+     done
+   with Too_large _ as e ->
+     Hashtbl.reset ctx.dist;
+     raise e);
+  let explored = Hashtbl.length ctx.dist in
+  match !result with
+  | None -> None
+  | Some (goal, d) ->
+      if not want_strategy then Some (d, [], explored)
+      else begin
+        let rec back st acc =
+          if st = init then acc
+          else
+            let prev, m = Hashtbl.find ctx.parent st in
+            back prev (m :: acc)
+        in
+        Some (d, back goal [], explored)
+      end
+
+let opt_opt ?max_states cfg g =
+  Option.map (fun (d, _, _) -> d) (search ?max_states ~want_strategy:false cfg g)
+
+let opt_stats ?max_states ?eager_deletes cfg g =
+  Option.map
+    (fun (d, _, states) -> (d, states))
+    (search ?max_states ?eager_deletes ~want_strategy:false cfg g)
+
+let opt ?max_states cfg g =
+  match opt_opt ?max_states cfg g with
+  | Some d -> d
+  | None -> failwith "Exact_rbp.opt: no valid pebbling exists"
+
+let opt_with_strategy ?max_states cfg g =
+  Option.map
+    (fun (d, moves, _) -> (d, moves))
+    (search ?max_states ~want_strategy:true cfg g)

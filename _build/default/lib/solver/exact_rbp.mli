@@ -1,0 +1,50 @@
+(** Exact optimal RBP pebbling cost by exhaustive 0–1 shortest-path
+    search over game states.
+
+    A state is [(red, blue, computed)] as bitmasks; moves with cost 0
+    (compute, slide, delete) and cost 1 (load, save) make the state
+    graph a 0/1-weighted digraph, explored with a bucketed BFS (Dial's
+    algorithm).  Safe prunings keep the space manageable: values are
+    never deleted while still needed and unsaved (such states are dead
+    ends in the one-shot game), and no-op loads/saves are skipped.
+
+    Supports the same variants as {!Prbp_pebble.Rbp.config}: sliding,
+    re-computation ([one_shot = false]), and no-deletion.  Intended for
+    DAGs of ≲ 20 nodes; the search raises {!Too_large} beyond
+    [max_states].
+
+    This is what certifies statements like [OPT_RBP = 3] on the
+    Figure-1 DAG (Proposition 4.2). *)
+
+exception Too_large of int
+(** Raised when the state count exceeds the [max_states] budget. *)
+
+val opt :
+  ?max_states:int -> Prbp_pebble.Rbp.config -> Prbp_dag.Dag.t -> int
+(** [opt cfg g] is the optimal I/O cost of a complete pebbling, or
+    raises [Failure] if no valid pebbling exists (e.g. [r < Δin + 1]).
+    [max_states] defaults to [5_000_000]. *)
+
+val opt_opt :
+  ?max_states:int -> Prbp_pebble.Rbp.config -> Prbp_dag.Dag.t -> int option
+(** [None] when no valid pebbling exists. *)
+
+val opt_with_strategy :
+  ?max_states:int ->
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  (int * Prbp_pebble.Move.R.t list) option
+(** Also reconstruct one optimal strategy (replayable through
+    {!Prbp_pebble.Rbp.run}); costs more memory. *)
+
+val opt_stats :
+  ?max_states:int ->
+  ?eager_deletes:bool ->
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  (int * int) option
+(** [(optimal cost, distinct states explored)].  [eager_deletes]
+    disables the capacity-normalization pruning (deletes of recoverable
+    values are then branched on at every state) — the optimum is
+    unchanged, only the explored-state count differs; exposed for the
+    pruning ablation in the benchmark harness. *)

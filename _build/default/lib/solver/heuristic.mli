@@ -1,0 +1,51 @@
+(** Heuristic pebblers: valid strategies (hence upper bounds on the
+    optimum) at scales where exact search is impossible.
+
+    Both pebblers process the DAG in topological order and manage fast
+    memory with a pluggable eviction {!policy}; the default is Belady's
+    rule (evict the value whose next use is farthest in the future),
+    the classic offline caching policy.  LRU and FIFO are provided for
+    ablation studies — they model what an online scheduler could do
+    without knowledge of the future. *)
+
+type policy =
+  | Belady  (** farthest next use first (offline-optimal flavor) *)
+  | Lru  (** least recently touched first *)
+  | Fifo  (** oldest cache resident first *)
+
+val rbp : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.R.t list
+(** One-shot RBP strategy.  Requires [r ≥ Δin + 1] (else
+    [Invalid_argument]): each node is computed once, with its inputs
+    loaded into fast memory as needed; evicted values are saved first
+    when they will be used again (or are unsaved sinks). *)
+
+val prbp : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.P.t list
+(** One-shot PRBP strategy; works for any [r ≥ 2] and any DAG.  Each
+    target node is aggregated input by input; the current target holds
+    one (dark) red pebble and the remaining capacity caches inputs.
+    Completed values are kept resident while capacity allows, saved
+    lazily on eviction, and dark values consumed entirely while
+    resident are deleted for free. *)
+
+val rbp_cost : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> int
+(** Cost of {!rbp}, certified by replaying it through the rule-checking
+    simulator. *)
+
+val prbp_cost : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> int
+(** Cost of {!prbp}, certified by the simulator. *)
+
+val prbp_greedy : r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.P.t list
+(** Greedy {e edge} scheduler: repeatedly marks the cheapest currently
+    markable edge (0 loads before 1 before 2), so partially computed
+    targets accumulate opportunistically instead of demanding all
+    inputs in sequence — the scheduling freedom that defines PRBP.
+    On aggregation-heavy DAGs (matvec, SpMV) this reaches the trivial
+    cost where the node-major pebbler cannot.  O(m²) edge scans: meant
+    for DAGs up to a few thousand edges. *)
+
+val prbp_greedy_cost : r:int -> Prbp_dag.Dag.t -> int
+
+val prbp_best : r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.P.t list
+(** The cheaper of {!prbp} (Belady) and {!prbp_greedy}. *)
+
+val prbp_best_cost : r:int -> Prbp_dag.Dag.t -> int

@@ -1,0 +1,64 @@
+module Rbp = Prbp_pebble.Rbp
+module Prbp = Prbp_pebble.Prbp
+module RM = Prbp_pebble.Move.R
+module PM = Prbp_pebble.Move.P
+
+(* Generic greedy shrinking.
+
+   Pass 1 tries dropping each I/O move on its own, latest first (later
+   moves are the most likely to be stranded leftovers).  Pass 2 targets
+   eviction round-trips that singles cannot touch: a free delete of [v]
+   followed by a later load of [v] must go or stay as a pair — removing
+   only the load strands the delete, removing only the delete gains
+   nothing.  Every candidate deletion is validated by replaying the
+   remaining sequence through the rule checker, so correctness never
+   depends on the pattern matching being clever. *)
+let shrink ~check ~is_io ~delete_of ~load_of moves =
+  (match check moves with
+  | Ok _ -> ()
+  | Error e -> failwith ("Optimize: input strategy invalid: " ^ e));
+  let arr = Array.of_list moves in
+  let n = Array.length arr in
+  let alive = Array.make n true in
+  let current () = List.filteri (fun i _ -> alive.(i)) (Array.to_list arr) in
+  let try_without is =
+    List.iter (fun i -> alive.(i) <- false) is;
+    match check (current ()) with
+    | Ok _ -> true
+    | Error _ ->
+        List.iter (fun i -> alive.(i) <- true) is;
+        false
+  in
+  for i = n - 1 downto 0 do
+    if alive.(i) && is_io arr.(i) then ignore (try_without [ i ])
+  done;
+  for i = 0 to n - 1 do
+    if alive.(i) then
+      match delete_of arr.(i) with
+      | None -> ()
+      | Some v ->
+          let rec find j =
+            if j >= n then ()
+            else if alive.(j) && load_of arr.(j) = Some v then
+              ignore (try_without [ i; j ])
+            else find (j + 1)
+          in
+          find (i + 1)
+  done;
+  current ()
+
+let rbp cfg g moves =
+  shrink
+    ~check:(fun ms -> Rbp.check cfg g ms)
+    ~is_io:RM.is_io
+    ~delete_of:(function RM.Delete v -> Some v | _ -> None)
+    ~load_of:(function RM.Load v -> Some v | _ -> None)
+    moves
+
+let prbp cfg g moves =
+  shrink
+    ~check:(fun ms -> Prbp.check cfg g ms)
+    ~is_io:PM.is_io
+    ~delete_of:(function PM.Delete v -> Some v | _ -> None)
+    ~load_of:(function PM.Load v -> Some v | _ -> None)
+    moves

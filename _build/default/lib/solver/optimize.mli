@@ -1,0 +1,29 @@
+(** Strategy post-optimization: shrink a valid pebbling's I/O by
+    deleting moves that the rule checker proves unnecessary.
+
+    Heuristic pebblers (and hand-written strategies) sometimes emit
+    saves that are never read back, loads of values whose consumers
+    were reordered away, or whole save/load round-trips made redundant
+    by later edits.  The optimizer greedily attempts to delete each
+    I/O move (most recent first) and keeps any deletion after which the
+    remaining sequence still replays to a complete pebbling — deleting
+    a free move can never help cost, so only loads and saves are
+    tried.  The result is a valid strategy whose cost is less than or
+    equal to the input's; the procedure is a cleanup pass, not a search
+    for the optimum.
+
+    Cost: O(#I/O-moves) full replays, so quadratic-ish in strategy
+    length — fine for strategies up to a few thousand moves. *)
+
+val rbp :
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.R.t list ->
+  Prbp_pebble.Move.R.t list
+(** @raise Failure if the input is not a valid complete pebbling. *)
+
+val prbp :
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.P.t list ->
+  Prbp_pebble.Move.P.t list

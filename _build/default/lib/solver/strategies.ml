@@ -1,0 +1,609 @@
+module Dag = Prbp_dag.Dag
+module R = Prbp_pebble.Move.R
+module P = Prbp_pebble.Move.P
+module Fig1 = Prbp_graphs.Fig1
+module Matvec = Prbp_graphs.Matvec
+module Zipper = Prbp_graphs.Zipper
+module Tree = Prbp_graphs.Tree
+module Collect = Prbp_graphs.Collect
+module Lemma54 = Prbp_graphs.Lemma54
+module Matmul = Prbp_graphs.Matmul
+module Fft = Prbp_graphs.Fft
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 (Appendix A.1)                                            *)
+
+let fig1_rbp (i : Fig1.ids) =
+  R.
+    [
+      Load i.u0; Compute i.u1; Delete i.u0; Compute i.w1; Compute i.w2;
+      Compute i.w3; Delete i.w1; Delete i.w2; Compute i.w4; Delete i.w3;
+      Delete i.u1; Load i.u0; Compute i.u2; Delete i.u0; Compute i.v1;
+      Compute i.v2; Delete i.w4; Delete i.u2; Compute i.v0; Save i.v0;
+    ]
+
+let fig1_prbp (i : Fig1.ids) =
+  P.
+    [
+      Load i.u0; Compute (i.u0, i.u1); Compute (i.u0, i.u2); Delete i.u0;
+      Compute (i.u1, i.w1); Compute (i.w1, i.w3); Delete i.w1;
+      Compute (i.u1, i.w2); Compute (i.w2, i.w3); Delete i.w2;
+      Compute (i.u1, i.w4); Compute (i.w3, i.w4); Delete i.w3; Delete i.u1;
+      Compute (i.w4, i.v1); Compute (i.w4, i.v2); Compute (i.u2, i.v1);
+      Compute (i.u2, i.v2); Delete i.w4; Delete i.u2; Compute (i.v1, i.v0);
+      Compute (i.v2, i.v0); Delete i.v1; Delete i.v2; Save i.v0;
+    ]
+
+(* Node numbering of Fig1.chained, mirrored here: u0 = 0, merged pairs,
+   then per-copy w-blocks, v0 last. *)
+let chained_w ~copies j i = (2 * copies) + 3 + (4 * i) + (j - 1)
+
+let fig1_chained_prbp ~copies =
+  if copies < 1 then invalid_arg "fig1_chained_prbp";
+  let u0 = 0 and v0 = (6 * copies) + 4 - 1 in
+  let u1_0, u2_0 = Fig1.chained_u1u2 ~copies ~copy:0 in
+  let prelude =
+    P.[ Load u0; Compute (u0, u1_0); Compute (u0, u2_0); Delete u0 ]
+  in
+  let gadget i =
+    let u1, u2 = Fig1.chained_u1u2 ~copies ~copy:i in
+    let v1, v2 = Fig1.chained_u1u2 ~copies ~copy:(i + 1) in
+    let w j = chained_w ~copies j i in
+    P.
+      [
+        Compute (u1, w 1); Compute (w 1, w 3); Delete (w 1);
+        Compute (u1, w 2); Compute (w 2, w 3); Delete (w 2);
+        Compute (u1, w 4); Compute (w 3, w 4); Delete (w 3); Delete u1;
+        Compute (w 4, v1); Compute (w 4, v2); Compute (u2, v1);
+        Compute (u2, v2); Delete (w 4); Delete u2;
+      ]
+  in
+  let v1l, v2l = Fig1.chained_u1u2 ~copies ~copy:copies in
+  let finale =
+    P.
+      [
+        Compute (v1l, v0); Compute (v2l, v0); Delete v1l; Delete v2l;
+        Save v0;
+      ]
+  in
+  prelude @ List.concat_map gadget (List.init copies (fun i -> i)) @ finale
+
+let fig1_chained_rbp ~copies =
+  if copies < 1 then invalid_arg "fig1_chained_rbp";
+  let u0 = 0 and v0 = (6 * copies) + 4 - 1 in
+  let gadget i =
+    let u1, u2 = Fig1.chained_u1u2 ~copies ~copy:i in
+    let v1, v2 = Fig1.chained_u1u2 ~copies ~copy:(i + 1) in
+    let w j = chained_w ~copies j i in
+    (* On entry: red = {u1} for copy 0 (u2 recomputed later from u0), or
+       {u1, u2} for later copies (u2 saved and reloaded around w3). *)
+    if i = 0 then
+      R.
+        [
+          Compute (w 1); Compute (w 2); Compute (w 3); Delete (w 1);
+          Delete (w 2); Compute (w 4); Delete (w 3); Delete u1; Load u0;
+          Compute u2; Delete u0; Compute v1; Compute v2; Delete (w 4);
+          Delete u2;
+        ]
+    else
+      R.
+        [
+          Save u2; Delete u2; Compute (w 1); Compute (w 2); Compute (w 3);
+          Delete (w 1); Delete (w 2); Compute (w 4); Delete (w 3); Delete u1;
+          Load u2; Compute v1; Compute v2; Delete (w 4); Delete u2;
+        ]
+  in
+  let u1_0, _ = Fig1.chained_u1u2 ~copies ~copy:0 in
+  R.[ Load u0; Compute u1_0; Delete u0 ]
+  @ List.concat_map gadget (List.init copies (fun i -> i))
+  @ R.[ Compute v0; Save v0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 4.3: streaming matvec                                   *)
+
+let matvec_prbp (mv : Matvec.t) =
+  let m = mv.Matvec.m in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  for j = 0 to m - 1 do
+    emit (P.Load (Matvec.x mv j));
+    for i = 0 to m - 1 do
+      let a = Matvec.a mv i j and p = Matvec.p mv i j in
+      emit (P.Load a);
+      emit (P.Compute (a, p));
+      emit (P.Delete a);
+      emit (P.Compute (Matvec.x mv j, p));
+      emit (P.Compute (p, Matvec.y mv i));
+      emit (P.Delete p)
+    done;
+    emit (P.Delete (Matvec.x mv j))
+  done;
+  for i = 0 to m - 1 do
+    emit (P.Save (Matvec.y mv i));
+    emit (P.Delete (Matvec.y mv i))
+  done;
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Zipper gadget (Section 4.2.1)                                       *)
+
+let zipper_group z i = if i mod 2 = 0 then Zipper.group_a z else Zipper.group_b z
+
+let zipper_rbp (z : Zipper.t) =
+  let chain = Array.of_list (Zipper.chain z) in
+  let len = z.Zipper.len in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  List.iter (fun a -> emit (R.Load a)) (Zipper.group_a z);
+  emit (R.Compute chain.(0));
+  for i = 1 to len - 1 do
+    List.iter (fun u -> emit (R.Delete u)) (zipper_group z (i - 1));
+    List.iter (fun u -> emit (R.Load u)) (zipper_group z i);
+    emit (R.Compute chain.(i));
+    emit (R.Delete chain.(i - 1))
+  done;
+  List.iter (fun u -> emit (R.Delete u)) (zipper_group z (len - 1));
+  emit (R.Save chain.(len - 1));
+  List.rev !moves
+
+let zipper_prbp (z : Zipper.t) =
+  let chain = Array.of_list (Zipper.chain z) in
+  let len = z.Zipper.len in
+  let a = Zipper.group_a z and b = Zipper.group_b z in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  (* phase 1: group A resident; pre-aggregate every even chain node *)
+  List.iter (fun u -> emit (P.Load u)) a;
+  let i = ref 0 in
+  while !i < len do
+    List.iter (fun u -> emit (P.Compute (u, chain.(!i)))) a;
+    if !i > 0 then begin
+      emit (P.Save chain.(!i));
+      emit (P.Delete chain.(!i))
+    end;
+    (* chain.(0) is kept dark through the group switch *)
+    i := !i + 2
+  done;
+  List.iter (fun u -> emit (P.Delete u)) a;
+  (* phase 2: group B resident; one traversal of the chain *)
+  List.iter (fun u -> emit (P.Load u)) b;
+  for i = 1 to len - 1 do
+    if i mod 2 = 1 then
+      List.iter (fun u -> emit (P.Compute (u, chain.(i)))) b
+    else emit (P.Load chain.(i));
+    emit (P.Compute (chain.(i - 1), chain.(i)));
+    emit (P.Delete chain.(i - 1))
+  done;
+  emit (P.Save chain.(len - 1));
+  emit (P.Delete chain.(len - 1));
+  List.iter (fun u -> emit (P.Delete u)) b;
+  List.rev !moves
+
+let zipper_rbp_cost ~d ~len = (d * len) + 1
+
+let zipper_prbp_cost ~d ~len = (2 * d) + 1 + (2 * (((len + 1) / 2) - 1))
+
+(* ------------------------------------------------------------------ *)
+(* k-ary trees (Appendix A.2)                                          *)
+
+let tree_rbp (t : Tree.t) =
+  let k = t.Tree.k in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  (* compute the subtree rooted at (level, idx); postcondition: the
+     node is red, all other pebbles of the subtree are gone *)
+  let rec go level idx =
+    let v = Tree.node t ~level idx in
+    let h = t.Tree.depth - level in
+    let child c = (k * idx) + c in
+    if h = 0 then emit (R.Load v)
+    else if h = 1 then begin
+      (* children are leaves: hold all k of them at once *)
+      for c = 0 to k - 1 do
+        emit (R.Load (Tree.node t ~level:(level + 1) (child c)))
+      done;
+      emit (R.Compute v);
+      for c = 0 to k - 1 do
+        emit (R.Delete (Tree.node t ~level:(level + 1) (child c)))
+      done
+    end
+    else begin
+      for c = 0 to k - 1 do
+        go (level + 1) (child c);
+        if c < k - 1 then begin
+          let cv = Tree.node t ~level:(level + 1) (child c) in
+          emit (R.Save cv);
+          emit (R.Delete cv)
+        end
+      done;
+      for c = 0 to k - 2 do
+        emit (R.Load (Tree.node t ~level:(level + 1) (child c)))
+      done;
+      emit (R.Compute v);
+      for c = 0 to k - 1 do
+        emit (R.Delete (Tree.node t ~level:(level + 1) (child c)))
+      done
+    end
+  in
+  go 0 0;
+  emit (R.Save (Tree.root t));
+  List.rev !moves
+
+let tree_prbp (t : Tree.t) =
+  let k = t.Tree.k in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  (* postcondition: node dark red (leaves: blue + light red), subtree
+     otherwise clean; peak pebble usage min(h, k) + 1 *)
+  let rec go level idx =
+    let v = Tree.node t ~level idx in
+    let h = t.Tree.depth - level in
+    if h = 0 then emit (P.Load v)
+    else if h <= k then
+      (* cheap: aggregate children one at a time *)
+      for c = 0 to k - 1 do
+        let ci = (k * idx) + c in
+        go (level + 1) ci;
+        emit (P.Compute (Tree.node t ~level:(level + 1) ci, v));
+        emit (P.Delete (Tree.node t ~level:(level + 1) ci))
+      done
+    else begin
+      (* expensive: the first k−1 children are parked in slow memory *)
+      for c = 0 to k - 1 do
+        let ci = (k * idx) + c in
+        go (level + 1) ci;
+        if c < k - 1 then begin
+          let cv = Tree.node t ~level:(level + 1) ci in
+          emit (P.Save cv);
+          emit (P.Delete cv)
+        end
+      done;
+      for c = 0 to k - 2 do
+        emit (P.Load (Tree.node t ~level:(level + 1) ((k * idx) + c)))
+      done;
+      for c = 0 to k - 1 do
+        emit (P.Compute (Tree.node t ~level:(level + 1) ((k * idx) + c), v))
+      done;
+      for c = 0 to k - 1 do
+        emit (P.Delete (Tree.node t ~level:(level + 1) ((k * idx) + c)))
+      done
+    end
+  in
+  go 0 0;
+  emit (P.Save (Tree.root t));
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Pebble-collection gadget (Section 4.2.3)                            *)
+
+let collect_full (c : Collect.t) =
+  let chain = Array.of_list (Collect.chain c) in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  for i = 0 to c.Collect.d - 1 do
+    emit (R.Load (Collect.source c i))
+  done;
+  Array.iteri
+    (fun i v ->
+      emit (R.Compute v);
+      if i > 0 then emit (R.Delete chain.(i - 1)))
+    chain;
+  emit (R.Save chain.(c.Collect.len - 1));
+  List.rev !moves
+
+let collect_capped (c : Collect.t) =
+  let d = c.Collect.d and len = c.Collect.len in
+  if d < 2 then invalid_arg "collect_capped: needs d >= 2";
+  let chain = Array.of_list (Collect.chain c) in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  (* sources u_0 .. u_{d-2} stay resident; u_{d-1} rotates in *)
+  for i = 0 to d - 2 do
+    emit (P.Load (Collect.source c i))
+  done;
+  emit (P.Compute (Collect.source c 0, chain.(0)));
+  for i = 1 to len - 1 do
+    let j = i mod d in
+    if j <= d - 2 then begin
+      emit (P.Compute (Collect.source c j, chain.(i)));
+      emit (P.Compute (chain.(i - 1), chain.(i)));
+      emit (P.Delete chain.(i - 1))
+    end
+    else begin
+      emit (P.Save chain.(i - 1));
+      emit (P.Delete chain.(i - 1));
+      emit (P.Load (Collect.source c (d - 1)));
+      emit (P.Compute (Collect.source c (d - 1), chain.(i)));
+      emit (P.Delete (Collect.source c (d - 1)));
+      emit (P.Load chain.(i - 1));
+      emit (P.Compute (chain.(i - 1), chain.(i)));
+      emit (P.Delete chain.(i - 1))
+    end
+  done;
+  emit (P.Save chain.(len - 1));
+  emit (P.Delete chain.(len - 1));
+  for i = 0 to d - 2 do
+    emit (P.Delete (Collect.source c i))
+  done;
+  List.rev !moves
+
+let collect_capped_cost ~d ~len =
+  (* d-1 resident loads + 3 per rotation + final save; the rotating
+     source u_{d-1} is needed at positions i ≡ d-1 (mod d), i ≤ len-1 *)
+  let rotations = if len < d then 0 else ((len - d) / d) + 1 in
+  d - 1 + (3 * rotations) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5.4 construction                                              *)
+
+let lemma54_prbp (l : Lemma54.t) =
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  let v = Lemma54.sink l in
+  for i = 0 to Lemma54.groups - 1 do
+    let u = Lemma54.source l i in
+    emit (P.Load u);
+    List.iter
+      (fun h ->
+        emit (P.Compute (u, h));
+        emit (P.Compute (h, v));
+        emit (P.Delete h))
+      (Lemma54.group l i);
+    emit (P.Delete u)
+  done;
+  emit (P.Save v);
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Tiled matrix multiplication (Theorem 6.10)                          *)
+
+let blocks total tile =
+  let rec go lo acc =
+    if lo >= total then List.rev acc
+    else go (lo + tile) ((lo, min total (lo + tile)) :: acc)
+  in
+  go 0 []
+
+let matmul_tiled ~ti ~tk ~tj (mm : Matmul.t) =
+  if ti < 1 || tk < 1 || tj < 1 then invalid_arg "matmul_tiled: tiles >= 1";
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  List.iter
+    (fun (ilo, ihi) ->
+      List.iter
+        (fun (jlo, jhi) ->
+          List.iter
+            (fun (klo, khi) ->
+              for i = ilo to ihi - 1 do
+                for k = klo to khi - 1 do
+                  emit (P.Load (Matmul.a mm i k))
+                done
+              done;
+              for k = klo to khi - 1 do
+                for j = jlo to jhi - 1 do
+                  emit (P.Load (Matmul.b mm k j))
+                done
+              done;
+              for i = ilo to ihi - 1 do
+                for k = klo to khi - 1 do
+                  for j = jlo to jhi - 1 do
+                    let p = Matmul.p mm i k j in
+                    emit (P.Compute (Matmul.a mm i k, p));
+                    emit (P.Compute (Matmul.b mm k j, p));
+                    emit (P.Compute (p, Matmul.c mm i j));
+                    emit (P.Delete p)
+                  done
+                done
+              done;
+              for i = ilo to ihi - 1 do
+                for k = klo to khi - 1 do
+                  emit (P.Delete (Matmul.a mm i k))
+                done
+              done;
+              for k = klo to khi - 1 do
+                for j = jlo to jhi - 1 do
+                  emit (P.Delete (Matmul.b mm k j))
+                done
+              done)
+            (blocks mm.Matmul.m2 tk);
+          for i = ilo to ihi - 1 do
+            for j = jlo to jhi - 1 do
+              emit (P.Save (Matmul.c mm i j));
+              emit (P.Delete (Matmul.c mm i j))
+            done
+          done)
+        (blocks mm.Matmul.m3 tj))
+    (blocks mm.Matmul.m1 ti);
+  List.rev !moves
+
+let matmul_tile_for ~r ~m1 ~m2 ~m3 =
+  (* square tile t with 3t² + 1 ≤ r, clamped to the problem sizes *)
+  let t = max 1 (int_of_float (sqrt (float_of_int (r - 1) /. 3.))) in
+  (max 1 (min t m1), max 1 (min t m2), max 1 (min t m3))
+
+let attention_tiles ~r ~m ~d =
+  if r >= 3 * d * d then begin
+    (* large cache: full inner dimension, rectangular row/col blocks
+       b with b² + 2bd + 1 ≤ r *)
+    let b =
+      max 1
+        (int_of_float
+           (sqrt (float_of_int ((d * d) + r - 1)) -. float_of_int d))
+    in
+    (min b m, d, min b m)
+  end
+  else matmul_tile_for ~r ~m1:m ~m2:d ~m3:m
+
+(* ------------------------------------------------------------------ *)
+(* Blocked FFT (Theorem 6.9)                                           *)
+
+let fft_blocked ~r (f : Fft.t) =
+  if r < 4 then invalid_arg "fft_blocked: needs r >= 4";
+  let m = f.Fft.m and l = f.Fft.log_m in
+  let k =
+    let rec lg acc x = if x <= 1 then acc else lg (acc + 1) (x / 2) in
+    max 1 (lg 0 (r - 2))
+  in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  let t0 = ref 0 in
+  while !t0 < l do
+    let t1 = min l (!t0 + k) in
+    let kk = t1 - !t0 in
+    let w = 1 lsl kk in
+    let block_bits = ((1 lsl kk) - 1) lsl !t0 in
+    (* iterate over block bases: indices with zero bits in the block *)
+    let base = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let members = Array.init w (fun x -> !base lor (x lsl !t0)) in
+      (* load inputs of the sub-butterfly *)
+      Array.iter (fun i -> emit (R.Load (Fft.node f ~layer:!t0 i))) members;
+      for t = !t0 to t1 - 1 do
+        Array.iter
+          (fun i ->
+            if i land (1 lsl t) = 0 then begin
+              let ii = i lxor (1 lsl t) in
+              emit (R.Compute (Fft.node f ~layer:(t + 1) i));
+              emit (R.Compute (Fft.node f ~layer:(t + 1) ii));
+              emit (R.Delete (Fft.node f ~layer:t i));
+              emit (R.Delete (Fft.node f ~layer:t ii))
+            end)
+          members
+      done;
+      Array.iter
+        (fun i ->
+          emit (R.Save (Fft.node f ~layer:t1 i));
+          emit (R.Delete (Fft.node f ~layer:t1 i)))
+        members;
+      (* next base: increment skipping the block bits *)
+      let nb = ((!base lor block_bits) + 1) land lnot block_bits in
+      if nb >= m || nb = 0 then continue := false else base := nb
+    done;
+    t0 := t1
+  done;
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Sparse matvec (Section 8.2 outlook) and Horner evaluation           *)
+
+let spmv_prbp (sp : Prbp_graphs.Spmv.t) =
+  let module Spmv = Prbp_graphs.Spmv in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  for j = 0 to sp.Spmv.cols - 1 do
+    emit (P.Load (Spmv.x sp j));
+    List.iter
+      (fun e ->
+        let i, _ = sp.Spmv.entries.(e) in
+        let a = Spmv.a sp e and p = Spmv.p sp e in
+        emit (P.Load a);
+        emit (P.Compute (a, p));
+        emit (P.Delete a);
+        emit (P.Compute (Spmv.x sp j, p));
+        emit (P.Compute (p, Spmv.y sp i));
+        emit (P.Delete p))
+      (Spmv.entries_of_col sp j);
+    emit (P.Delete (Spmv.x sp j))
+  done;
+  for i = 0 to sp.Spmv.rows - 1 do
+    emit (P.Save (Spmv.y sp i));
+    emit (P.Delete (Spmv.y sp i))
+  done;
+  List.rev !moves
+
+let horner_prbp g =
+  (* node layout of Basic.horner: x = 0; coefficients 1..n+1 (coeff k
+     feeds step k for k >= 2, coeffs 0 and 1 feed step 1); steps h_k =
+     n+1+k with h_n the sink *)
+  let n = (Dag.n_nodes g - 2) / 2 in
+  let x = 0 and coeff k = 1 + k and h k = n + 1 + k in
+  let moves = ref [] in
+  let emit m = moves := m :: !moves in
+  emit (P.Load x);
+  emit (P.Load (coeff 0));
+  emit (P.Compute (coeff 0, h 1));
+  emit (P.Delete (coeff 0));
+  emit (P.Load (coeff 1));
+  emit (P.Compute (coeff 1, h 1));
+  emit (P.Delete (coeff 1));
+  emit (P.Compute (x, h 1));
+  for k = 2 to n do
+    emit (P.Compute (h (k - 1), h k));
+    emit (P.Delete (h (k - 1)));
+    emit (P.Compute (x, h k));
+    emit (P.Load (coeff k));
+    emit (P.Compute (coeff k, h k));
+    emit (P.Delete (coeff k))
+  done;
+  emit (P.Delete x);
+  emit (P.Save (h n));
+  emit (P.Delete (h n));
+  List.rev !moves
+
+(* ------------------------------------------------------------------ *)
+(* Multiprocessor strategies (Section 8.1 outlook)                     *)
+
+module MM = Prbp_pebble.Multi.Move
+
+let matvec_prbp_multi ~p (mv : Matvec.t) =
+  if p < 1 then invalid_arg "matvec_prbp_multi: p >= 1";
+  let m = mv.Matvec.m in
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  for j = 0 to m - 1 do
+    (* every processor needs x_j locally *)
+    for q = 0 to p - 1 do
+      emit (MM.Load (q, Matvec.x mv j))
+    done;
+    for i = 0 to m - 1 do
+      let q = i mod p in
+      let a = Matvec.a mv i j and pr = Matvec.p mv i j in
+      emit (MM.Load (q, a));
+      emit (MM.Compute (q, (a, pr)));
+      emit (MM.Delete (q, a));
+      emit (MM.Compute (q, (Matvec.x mv j, pr)));
+      emit (MM.Compute (q, (pr, Matvec.y mv i)));
+      emit (MM.Delete (q, pr))
+    done;
+    for q = 0 to p - 1 do
+      emit (MM.Delete (q, Matvec.x mv j))
+    done
+  done;
+  for i = 0 to m - 1 do
+    let q = i mod p in
+    emit (MM.Save (q, Matvec.y mv i));
+    emit (MM.Delete (q, Matvec.y mv i))
+  done;
+  List.rev !moves
+
+let fan_in_handoff ~halves g =
+  if halves < 1 then invalid_arg "fan_in_handoff: halves >= 1";
+  let sink =
+    match Dag.sinks g with
+    | [ v ] -> v
+    | _ -> invalid_arg "fan_in_handoff: expects a single sink"
+  in
+  let sources = Array.of_list (Dag.preds g sink) in
+  let d = Array.length sources in
+  if d < halves then invalid_arg "fan_in_handoff: more processors than inputs";
+  let moves = ref [] in
+  let emit x = moves := x :: !moves in
+  let block = (d + halves - 1) / halves in
+  for q = 0 to halves - 1 do
+    let lo = q * block and hi = min d ((q + 1) * block) in
+    if q > 0 && lo < hi then
+      (* pick up the partial value left by the previous processor *)
+      emit (MM.Load (q, sink));
+    for idx = lo to hi - 1 do
+      let u = sources.(idx) in
+      emit (MM.Load (q, u));
+      emit (MM.Compute (q, (u, sink)));
+      emit (MM.Delete (q, u))
+    done;
+    if lo < hi then begin
+      emit (MM.Save (q, sink));
+      emit (MM.Delete (q, sink))
+    end
+  done;
+  List.rev !moves

@@ -1,0 +1,39 @@
+module Dag = Prbp_dag.Dag
+
+(* Linear scan upward for the least r in [lo, hi] where [pred r]
+   holds.  The optimum is non-increasing in the capacity, so the first
+   hit is the threshold.  Scanning upward (rather than binary search)
+   keeps every probe in the small-r regime, where the exact solvers'
+   state spaces are smallest — probing a large r first could blow the
+   search budget even though the answer is small. *)
+let least_r ~lo ~hi pred =
+  let rec go r =
+    if r > hi then None else if pred r then Some r else go (r + 1)
+  in
+  go lo
+
+let rbp_feasible_r g = max 1 (Dag.max_in_degree g + 1)
+
+let prbp_feasible_r g = if Dag.n_edges g = 0 then 1 else 2
+
+let rbp_trivial_r ?max_states ?max_r g =
+  let trivial = Dag.trivial_cost g in
+  let max_r = Option.value max_r ~default:(max 1 (Dag.n_nodes g)) in
+  least_r ~lo:(rbp_feasible_r g) ~hi:max_r (fun r ->
+      match
+        Exact_rbp.opt_opt ?max_states (Prbp_pebble.Rbp.config ~r ()) g
+      with
+      | Some c -> c = trivial
+      | None -> false
+      | exception Exact_rbp.Too_large _ -> false)
+
+let prbp_trivial_r ?max_states ?max_r g =
+  let trivial = Dag.trivial_cost g in
+  let max_r = Option.value max_r ~default:(max 1 (Dag.n_nodes g)) in
+  least_r ~lo:(prbp_feasible_r g) ~hi:max_r (fun r ->
+      match
+        Exact_prbp.opt_opt ?max_states (Prbp_pebble.Prbp.config ~r ()) g
+      with
+      | Some c -> c = trivial
+      | None -> false
+      | exception Exact_prbp.Too_large _ -> false)

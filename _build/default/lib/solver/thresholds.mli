@@ -1,0 +1,31 @@
+(** Cache thresholds: how much fast memory each game needs.
+
+    Two thresholds characterize a DAG's memory behavior:
+
+    - the {e feasibility} threshold — the least [r] admitting any valid
+      pebbling ([Δin + 1] for RBP, 2 for PRBP);
+    - the {e trivial-cost} threshold [r*] — the least [r] at which the
+      optimum drops to the unavoidable trivial cost (every source
+      loaded once, every sink saved once), i.e. all non-trivial I/O
+      disappears.
+
+    [r*] is computed exactly (binary search over [r], one exhaustive
+    solve per probe; the optimum is non-increasing in [r]).  Comparing
+    [r*_RBP] with [r*_PRBP] quantifies how much cache partial
+    computations save — the Section 4 examples all fit this lens, and
+    experiment E26 tabulates it next to the black pebbling number. *)
+
+val rbp_trivial_r :
+  ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
+(** Least [r ≤ max_r] (default [n_nodes]) with
+    [OPT_RBP(r) = trivial_cost]; [None] if even [max_r] does not
+    suffice. *)
+
+val prbp_trivial_r :
+  ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
+
+val rbp_feasible_r : Prbp_dag.Dag.t -> int
+(** [Δin + 1] (with a minimum of 1). *)
+
+val prbp_feasible_r : Prbp_dag.Dag.t -> int
+(** 2 for any DAG with at least one edge; 1 otherwise. *)

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest List Prbp QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_black.ml: Alcotest Lazy List Prbp Test_util

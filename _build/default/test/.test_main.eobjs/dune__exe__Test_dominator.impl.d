@@ -1,0 +1,1 @@
+test/test_dominator.ml: Alcotest List Prbp QCheck Test_util

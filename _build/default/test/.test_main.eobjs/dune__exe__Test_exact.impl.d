@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Lazy List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Lazy List Prbp Test_util

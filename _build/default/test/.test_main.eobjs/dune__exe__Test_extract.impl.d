@@ -1,0 +1,1 @@
+test/test_extract.ml: Array Lazy List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_flow.ml: List Prbp Test_util

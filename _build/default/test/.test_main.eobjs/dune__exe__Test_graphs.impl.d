@@ -1,0 +1,1 @@
+test/test_graphs.ml: Array List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Array List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Buffer Format List Prbp String Test_util

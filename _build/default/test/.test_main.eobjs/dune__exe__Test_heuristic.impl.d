@@ -1,0 +1,1 @@
+test/test_heuristic.ml: List Prbp Printf Test_util

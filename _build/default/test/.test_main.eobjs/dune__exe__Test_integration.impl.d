@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Lazy List Prbp String Test_util

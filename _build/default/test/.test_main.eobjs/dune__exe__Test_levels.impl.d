@@ -1,0 +1,1 @@
+test/test_levels.ml: Alcotest Array List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_minpart.ml: Alcotest Array Lazy List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Buffer Format Lazy List Prbp String Test_util

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Lazy List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_partition.ml: Array Lazy List Prbp Test_util

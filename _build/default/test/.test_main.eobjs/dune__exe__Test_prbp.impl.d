@@ -1,0 +1,1 @@
+test/test_prbp.ml: Alcotest Lazy List Prbp Test_util

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Prbp Printf QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_rbp.ml: Alcotest List Prbp String Test_util

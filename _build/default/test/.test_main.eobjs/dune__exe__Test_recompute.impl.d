@@ -1,0 +1,1 @@
+test/test_recompute.ml: Alcotest Lazy List Prbp Test_util

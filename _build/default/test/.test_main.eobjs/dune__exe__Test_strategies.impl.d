@@ -1,0 +1,1 @@
+test/test_strategies.ml: List Prbp Test_util

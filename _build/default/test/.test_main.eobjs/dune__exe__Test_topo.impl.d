@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Prbp QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_trace_serialize.ml: Alcotest Array Filename Fun Lazy List Prbp String Sys Test_util

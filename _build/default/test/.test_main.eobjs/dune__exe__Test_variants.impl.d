@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Prbp Test_util

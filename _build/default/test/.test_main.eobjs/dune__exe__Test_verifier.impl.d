@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Lazy List Prbp QCheck Random Test_util

@@ -1,0 +1,143 @@
+open Test_util
+module Dag = Prbp.Dag
+module Bitset = Prbp.Bitset
+
+let diamond () = Prbp.Graphs.Basic.diamond ()
+
+let test_counts () =
+  let g = diamond () in
+  check_int "nodes" 4 (Dag.n_nodes g);
+  check_int "edges" 4 (Dag.n_edges g);
+  check_int "sources" 1 (Dag.n_sources g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  check_int "trivial cost" 2 (Dag.trivial_cost g)
+
+let test_degrees () =
+  let g = diamond () in
+  check_int "out 0" 2 (Dag.out_degree g 0);
+  check_int "in 3" 2 (Dag.in_degree g 3);
+  check_int "max in" 2 (Dag.max_in_degree g);
+  check_int "max out" 2 (Dag.max_out_degree g)
+
+let test_adjacency () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "succs 0" [ 1; 2 ] (Dag.succs g 0);
+  Alcotest.(check (list int)) "preds 3" [ 1; 2 ] (Dag.preds g 3);
+  check_true "has_edge" (Dag.has_edge g 0 1);
+  check_false "no edge" (Dag.has_edge g 1 2);
+  check_false "no reverse edge" (Dag.has_edge g 1 0)
+
+let test_edge_ids () =
+  let g = diamond () in
+  (* edge ids are consistent between lookup and endpoints *)
+  Dag.iter_edges
+    (fun e u v ->
+      check_int "roundtrip id" e (Dag.edge_id g u v);
+      check_int "src" u (Dag.edge_src g e);
+      check_int "dst" v (Dag.edge_dst g e))
+    g;
+  Alcotest.check_raises "missing edge" Not_found (fun () ->
+      ignore (Dag.edge_id g 3 0))
+
+let test_cycle_detection () =
+  match Dag.make ~n:3 [ (0, 1); (1, 2); (2, 0) ] with
+  | exception Dag.Cycle c ->
+      check_int "cycle length" 3 (List.length c)
+  | _ -> Alcotest.fail "cycle not detected"
+
+let test_self_loop_rejected () =
+  check_true "self loop"
+    (match Dag.make ~n:2 [ (0, 0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_duplicate_rejected () =
+  check_true "duplicate"
+    (match Dag.make ~n:2 [ (0, 1); (0, 1) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_out_of_range_rejected () =
+  check_true "range"
+    (match Dag.make ~n:2 [ (0, 2) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_names () =
+  let g = Dag.make ~names:[| "a"; "b" |] ~n:2 [ (0, 1) ] in
+  Alcotest.(check string) "named" "a" (Dag.name g 0);
+  let g' = Dag.make ~n:2 [ (0, 1) ] in
+  Alcotest.(check string) "default" "v1" (Dag.name g' 1)
+
+let test_reverse () =
+  let g = diamond () in
+  let r = Dag.reverse g in
+  check_true "reversed edge" (Dag.has_edge r 3 1);
+  check_int "sources swap" (Dag.n_sinks g) (Dag.n_sources r);
+  check_int "edges kept" (Dag.n_edges g) (Dag.n_edges r)
+
+let test_induced () =
+  let g = diamond () in
+  let keep = Bitset.of_list 4 [ 0; 1; 3 ] in
+  let sub, back = Dag.induced g keep in
+  check_int "nodes" 3 (Dag.n_nodes sub);
+  check_int "edges" 2 (Dag.n_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 3 |] back
+
+let test_isolated () =
+  let g = Dag.make ~n:3 [ (0, 1) ] in
+  check_true "isolated detected" (Dag.has_isolated_nodes g);
+  check_false "diamond has none" (Dag.has_isolated_nodes (diamond ()))
+
+let test_iter_pred_e () =
+  let g = diamond () in
+  let ids = ref [] in
+  Dag.iter_pred_e (fun e u -> ids := (e, u) :: !ids) g 3;
+  check_int "two in-edges" 2 (List.length !ids);
+  List.iter
+    (fun (e, u) ->
+      check_int "edge src matches" u (Dag.edge_src g e);
+      check_int "edge dst is 3" 3 (Dag.edge_dst g e))
+    !ids
+
+let test_empty_graph () =
+  let g = Dag.make ~n:0 [] in
+  check_int "no nodes" 0 (Dag.n_nodes g);
+  check_int "trivial cost" 0 (Dag.trivial_cost g)
+
+let prop_random_wellformed =
+  qcase ~count:50 "random DAGs are well-formed"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g = Prbp.Graphs.Random_dag.make ~seed ~layers:4 ~width:3 () in
+      (not (Dag.has_isolated_nodes g))
+      && Dag.n_sources g = 3
+      && Dag.n_edges g > 0
+      &&
+      (* in/out degree sums both equal the edge count *)
+      let sum f =
+        List.init (Dag.n_nodes g) (fun v -> f g v) |> List.fold_left ( + ) 0
+      in
+      sum Dag.in_degree = Dag.n_edges g && sum Dag.out_degree = Dag.n_edges g)
+
+let suite =
+  [
+    ( "dag",
+      [
+        case "counts" test_counts;
+        case "degrees" test_degrees;
+        case "adjacency" test_adjacency;
+        case "edge ids" test_edge_ids;
+        case "cycle detection" test_cycle_detection;
+        case "self-loops rejected" test_self_loop_rejected;
+        case "duplicates rejected" test_duplicate_rejected;
+        case "range checked" test_out_of_range_rejected;
+        case "names" test_names;
+        case "reverse" test_reverse;
+        case "induced subgraph" test_induced;
+        case "isolated nodes" test_isolated;
+        case "pred edge iteration" test_iter_pred_e;
+        case "empty graph" test_empty_graph;
+        prop_random_wellformed;
+      ] );
+  ]

@@ -1,0 +1,169 @@
+(* Extensions beyond the paper's core: SpMV and Horner families,
+   eviction-policy ablation, solver statistics. *)
+open Test_util
+module Dag = Prbp.Dag
+module Spmv = Prbp.Graphs.Spmv
+
+let test_spmv_shape () =
+  let sp = Spmv.make ~seed:1 ~rows:5 ~cols:6 () in
+  let g = sp.Spmv.dag in
+  check_int "nodes" ((2 * Spmv.nnz sp) + 5 + 6) (Dag.n_nodes g);
+  check_false "no isolated" (Dag.has_isolated_nodes g);
+  check_int "sources" (Spmv.nnz sp + 6) (Dag.n_sources g);
+  check_int "sinks" 5 (Dag.n_sinks g);
+  check_int "trivial" (Spmv.trivial_cost sp) (Dag.trivial_cost g);
+  (* every product node has in-degree 2 and out-degree 1 *)
+  for e = 0 to Spmv.nnz sp - 1 do
+    check_int "p in" 2 (Dag.in_degree g (Spmv.p sp e));
+    check_int "p out" 1 (Dag.out_degree g (Spmv.p sp e))
+  done
+
+let test_spmv_rows_cols_nonempty () =
+  (* sparse corners: very low density still yields full coverage *)
+  let sp = Spmv.make ~seed:7 ~density:0.01 ~rows:10 ~cols:10 () in
+  check_true "nnz >= max(rows, cols)" (Spmv.nnz sp >= 10);
+  let g = sp.Spmv.dag in
+  for i = 0 to 9 do
+    check_true "row nonempty" (Dag.in_degree g (Spmv.y sp i) >= 1)
+  done
+
+let test_spmv_streaming_strategy () =
+  List.iter
+    (fun (seed, rows, cols, density) ->
+      let sp = Spmv.make ~seed ~density ~rows ~cols () in
+      let g = sp.Spmv.dag in
+      let r = rows + 3 in
+      let cost = prbp_cost ~r g (Prbp.Strategies.spmv_prbp sp) in
+      check_int "trivial cost achieved" (Spmv.trivial_cost sp) cost;
+      (* peak usage is rows + 3 at most *)
+      let eng =
+        Prbp.Prbp_game.run_exn
+          (Prbp.Prbp_game.config ~r ())
+          g (Prbp.Strategies.spmv_prbp sp)
+      in
+      check_true "peak within rows+3"
+        (Prbp.Prbp_game.max_red_seen eng <= rows + 3))
+    [ (1, 4, 4, 0.3); (2, 6, 3, 0.5); (3, 8, 8, 0.15); (4, 3, 9, 0.4) ]
+
+let test_spmv_vs_rbp () =
+  (* the PRBP advantage carries over to irregular patterns *)
+  let sp = Spmv.make ~seed:5 ~density:0.4 ~rows:6 ~cols:6 () in
+  let g = sp.Spmv.dag in
+  let r = Dag.max_in_degree g + 1 in
+  let rbp = Prbp.Heuristic.rbp_cost ~r g in
+  let prbp = prbp_cost ~r:(max (6 + 3) r) g (Prbp.Strategies.spmv_prbp sp) in
+  check_true "prbp at most rbp" (prbp <= rbp)
+
+let test_horner_shape () =
+  let g = Prbp.Graphs.Basic.horner 5 in
+  check_int "nodes" 12 (Dag.n_nodes g);
+  check_int "sources" 7 (Dag.n_sources g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  check_int "x out-degree" 5 (Dag.out_degree g 0);
+  check_int "Δin" 3 (Dag.max_in_degree g)
+
+let test_horner_strategy () =
+  List.iter
+    (fun n ->
+      let g = Prbp.Graphs.Basic.horner n in
+      let cost = prbp_cost ~r:3 g (Prbp.Strategies.horner_prbp g) in
+      check_int "trivial" (Dag.trivial_cost g) cost)
+    [ 1; 2; 3; 8; 20 ]
+
+let test_horner_rbp_needs_r4 () =
+  (* Δin = 3 for n >= 2, so RBP cannot play at r = 3 while PRBP can *)
+  let g = Prbp.Graphs.Basic.horner 4 in
+  check_true "no RBP pebbling at r=3"
+    (Prbp.Exact_rbp.opt_opt (Prbp.Rbp.config ~r:3 ()) g = None);
+  check_int "PRBP plays at r=3" (Dag.trivial_cost g)
+    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:3 ()) g)
+
+let test_policies_all_valid () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun policy ->
+          let c = Prbp.Heuristic.prbp_cost ~policy ~r:3 g in
+          check_true "valid" (c >= Dag.trivial_cost g);
+          let r = Dag.max_in_degree g + 1 in
+          let c' = Prbp.Heuristic.rbp_cost ~policy ~r g in
+          check_true "valid rbp" (c' >= Dag.trivial_cost g))
+        Prbp.Heuristic.[ Belady; Lru; Fifo ])
+    (Lazy.force random_dags)
+
+let test_belady_not_worse_on_zipper () =
+  (* the zipper punishes recency-based eviction: Belady must not lose *)
+  let z = Prbp.Graphs.Zipper.make ~d:4 ~len:10 in
+  let g = z.Prbp.Graphs.Zipper.dag in
+  let bel = Prbp.Heuristic.rbp_cost ~policy:Prbp.Heuristic.Belady ~r:6 g in
+  let lru = Prbp.Heuristic.rbp_cost ~policy:Prbp.Heuristic.Lru ~r:6 g in
+  let fifo = Prbp.Heuristic.rbp_cost ~policy:Prbp.Heuristic.Fifo ~r:6 g in
+  check_true "belady <= lru" (bel <= lru);
+  check_true "belady <= fifo" (bel <= fifo)
+
+let test_opt_stats () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  (match Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g with
+  | Some (c, states) ->
+      check_int "cost" 3 c;
+      check_true "states positive" (states > 0)
+  | None -> Alcotest.fail "solvable");
+  (* disabling the pruning explores strictly more states, same cost *)
+  match
+    ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g,
+      Prbp.Exact_rbp.opt_stats ~eager_deletes:true (Prbp.Rbp.config ~r:4 ()) g )
+  with
+  | Some (c1, s1), Some (c2, s2) ->
+      check_int "same optimum" c1 c2;
+      check_true "pruning helps" (s1 <= s2)
+  | _ -> Alcotest.fail "solvable"
+
+let test_opt_stats_prbp () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  match
+    ( Prbp.Exact_prbp.opt_stats (Prbp.Prbp_game.config ~r:4 ()) g,
+      Prbp.Exact_prbp.opt_stats ~eager_deletes:true
+        (Prbp.Prbp_game.config ~r:4 ())
+        g )
+  with
+  | Some (c1, s1), Some (c2, s2) ->
+      check_int "same optimum" 2 c1;
+      check_int "ablation same optimum" c1 c2;
+      check_true "pruning reduces states" (s1 <= s2)
+  | _ -> Alcotest.fail "solvable"
+
+let test_ablation_optimum_unchanged_on_pool () =
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 9 && Dag.n_edges g <= 16 then begin
+        let r = Dag.max_in_degree g + 1 in
+        match
+          ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r ()) g,
+            Prbp.Exact_rbp.opt_stats ~eager_deletes:true
+              (Prbp.Rbp.config ~r ())
+              g )
+        with
+        | Some (c1, _), Some (c2, _) -> check_int "same" c1 c2
+        | None, None -> ()
+        | _ -> Alcotest.fail "prune changed solvability"
+      end)
+    (Lazy.force random_dags)
+
+let suite =
+  [
+    ( "extensions",
+      [
+        case "SpMV DAG shape" test_spmv_shape;
+        case "SpMV coverage at low density" test_spmv_rows_cols_nonempty;
+        case "SpMV streaming strategy" test_spmv_streaming_strategy;
+        case "SpMV PRBP <= RBP" test_spmv_vs_rbp;
+        case "Horner DAG shape" test_horner_shape;
+        case "Horner strategy trivial at r=3" test_horner_strategy;
+        case "Horner: RBP needs r=4, PRBP r=3" test_horner_rbp_needs_r4;
+        case "all eviction policies valid" test_policies_all_valid;
+        case "Belady dominates on the zipper" test_belady_not_worse_on_zipper;
+        case "solver stats + RBP ablation" test_opt_stats;
+        case "PRBP ablation" test_opt_stats_prbp;
+        case "ablation never changes optima" test_ablation_optimum_unchanged_on_pool;
+      ] );
+  ]

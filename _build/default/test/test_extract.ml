@@ -1,0 +1,122 @@
+open Test_util
+module Dag = Prbp.Dag
+module Extract = Prbp.Extract
+module Spart = Prbp.Spart
+
+let check_sandwich ~r ~cost ~k =
+  check_true "r*k >= C" (r * k >= cost);
+  check_true "C >= r*(k-1)" (cost >= r * (k - 1))
+
+let test_hong_kung_fig1 () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let r = 4 in
+  let moves = Prbp.Strategies.fig1_rbp ids in
+  let cls = Extract.hong_kung ~r g moves in
+  check_ok "valid 2r-partition" (Spart.is_spartition g ~s:(2 * r) cls);
+  check_sandwich ~r ~cost:3 ~k:(Array.length cls)
+
+let test_lemma64_fig1 () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let r = 4 in
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  let cls = Extract.edge_partition_of_prbp ~r g moves in
+  check_ok "valid 2r-edge-partition" (Spart.is_edge_partition g ~s:(2 * r) cls);
+  check_sandwich ~r ~cost:2 ~k:(Array.length cls)
+
+let test_lemma68_fig1 () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let r = 4 in
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  let cls = Extract.dominator_partition_of_prbp ~r g moves in
+  check_ok "valid 2r-dominator-partition"
+    (Spart.is_dominator_partition g ~s:(2 * r) cls);
+  check_sandwich ~r ~cost:2 ~k:(Array.length cls)
+
+(* The lemma statements quantify over all strategies: check them on
+   heuristic traces across the random pool and several r values. *)
+let test_lemma64_heuristic_traces () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun r ->
+          let moves = Prbp.Heuristic.prbp ~r g in
+          let cost = prbp_cost ~r g moves in
+          let cls = Extract.edge_partition_of_prbp ~r g moves in
+          check_ok "valid" (Spart.is_edge_partition g ~s:(2 * r) cls);
+          check_sandwich ~r ~cost ~k:(Array.length cls))
+        [ 2; 3; 4 ])
+    (Lazy.force random_dags)
+
+let test_lemma68_heuristic_traces () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun r ->
+          let moves = Prbp.Heuristic.prbp ~r g in
+          let cost = prbp_cost ~r g moves in
+          let cls = Extract.dominator_partition_of_prbp ~r g moves in
+          check_ok "valid" (Spart.is_dominator_partition g ~s:(2 * r) cls);
+          check_sandwich ~r ~cost ~k:(Array.length cls))
+        [ 2; 3; 4 ])
+    (Lazy.force random_dags)
+
+let test_hong_kung_heuristic_traces () =
+  List.iter
+    (fun g ->
+      let r = Dag.max_in_degree g + 1 in
+      let moves = Prbp.Heuristic.rbp ~r g in
+      let cost = rbp_cost ~r g moves in
+      let cls = Extract.hong_kung ~r g moves in
+      check_ok "valid" (Spart.is_spartition g ~s:(2 * r) cls);
+      check_sandwich ~r ~cost ~k:(Array.length cls))
+    (Lazy.force random_dags)
+
+let test_extraction_on_strategy_families () =
+  (* the paper's own strategies also extract to valid partitions *)
+  let t = Prbp.Graphs.Tree.make ~k:2 ~depth:4 in
+  let g = t.Prbp.Graphs.Tree.dag in
+  let moves = Prbp.Strategies.tree_prbp t in
+  let r = 3 in
+  let cost = prbp_cost ~r g moves in
+  let e = Extract.edge_partition_of_prbp ~r g moves in
+  check_ok "tree edges" (Spart.is_edge_partition g ~s:(2 * r) e);
+  check_sandwich ~r ~cost ~k:(Array.length e);
+  let z = Prbp.Graphs.Zipper.make ~d:3 ~len:6 in
+  let moves = Prbp.Strategies.zipper_prbp z in
+  let r = 5 in
+  let cost = prbp_cost ~r z.Prbp.Graphs.Zipper.dag moves in
+  let dcls = Extract.dominator_partition_of_prbp ~r z.Prbp.Graphs.Zipper.dag moves in
+  check_ok "zipper dominators"
+    (Spart.is_dominator_partition z.Prbp.Graphs.Zipper.dag ~s:(2 * r) dcls);
+  check_sandwich ~r ~cost ~k:(Array.length dcls)
+
+let test_classes_of_cost () =
+  check_int "exact multiple" 2 (Extract.classes_of_cost ~r:4 ~cost:8);
+  check_int "round up" 3 (Extract.classes_of_cost ~r:4 ~cost:9);
+  check_int "zero cost still one class" 1 (Extract.classes_of_cost ~r:4 ~cost:0)
+
+let test_invalid_trace_rejected () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  check_true "incomplete trace rejected"
+    (match
+       Extract.edge_partition_of_prbp ~r:4 g
+         [ Prbp.Move.P.Load ids.Prbp.Graphs.Fig1.u0 ]
+     with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ( "extract",
+      [
+        case "Hong-Kung on fig1" test_hong_kung_fig1;
+        case "Lemma 6.4 on fig1" test_lemma64_fig1;
+        case "Lemma 6.8 on fig1" test_lemma68_fig1;
+        case "Lemma 6.4 across traces" test_lemma64_heuristic_traces;
+        case "Lemma 6.8 across traces" test_lemma68_heuristic_traces;
+        case "Hong-Kung across traces" test_hong_kung_heuristic_traces;
+        case "extraction on paper strategies" test_extraction_on_strategy_families;
+        case "class count arithmetic" test_classes_of_cost;
+        case "invalid traces rejected" test_invalid_trace_rejected;
+      ] );
+  ]

@@ -1,0 +1,69 @@
+open Test_util
+module Flow = Prbp.Flow
+
+let test_single_edge () =
+  let net = Flow.create 2 in
+  Flow.add_edge net 0 1 7;
+  check_int "flow" 7 (Flow.max_flow net ~src:0 ~dst:1)
+
+let test_no_path () =
+  let net = Flow.create 3 in
+  Flow.add_edge net 0 1 5;
+  check_int "no path" 0 (Flow.max_flow net ~src:0 ~dst:2)
+
+let test_bottleneck () =
+  let net = Flow.create 4 in
+  Flow.add_edge net 0 1 10;
+  Flow.add_edge net 1 2 3;
+  Flow.add_edge net 2 3 10;
+  check_int "bottleneck" 3 (Flow.max_flow net ~src:0 ~dst:3)
+
+let test_parallel_paths () =
+  let net = Flow.create 4 in
+  Flow.add_edge net 0 1 4;
+  Flow.add_edge net 1 3 4;
+  Flow.add_edge net 0 2 5;
+  Flow.add_edge net 2 3 2;
+  check_int "sum of paths" 6 (Flow.max_flow net ~src:0 ~dst:3)
+
+let test_classic_network () =
+  (* CLRS-style example with a cross edge *)
+  let net = Flow.create 6 in
+  List.iter
+    (fun (u, v, c) -> Flow.add_edge net u v c)
+    [
+      (0, 1, 16); (0, 2, 13); (1, 3, 12); (2, 1, 4); (2, 4, 14); (3, 2, 9);
+      (3, 5, 20); (4, 3, 7); (4, 5, 4);
+    ];
+  check_int "CLRS value" 23 (Flow.max_flow net ~src:0 ~dst:5)
+
+let test_min_cut_side () =
+  let net = Flow.create 4 in
+  Flow.add_edge net 0 1 1;
+  Flow.add_edge net 0 2 1;
+  Flow.add_edge net 1 3 Flow.infinity;
+  Flow.add_edge net 2 3 Flow.infinity;
+  check_int "flow" 2 (Flow.max_flow net ~src:0 ~dst:3);
+  let side = Flow.min_cut_side net ~src:0 in
+  check_true "src inside" (Prbp.Bitset.mem side 0);
+  check_false "dst outside" (Prbp.Bitset.mem side 3)
+
+let test_infinite_capacity () =
+  let net = Flow.create 3 in
+  Flow.add_edge net 0 1 Flow.infinity;
+  Flow.add_edge net 1 2 42;
+  check_int "clamped at bottleneck" 42 (Flow.max_flow net ~src:0 ~dst:2)
+
+let suite =
+  [
+    ( "flow",
+      [
+        case "single edge" test_single_edge;
+        case "no path" test_no_path;
+        case "bottleneck" test_bottleneck;
+        case "parallel paths" test_parallel_paths;
+        case "classic network" test_classic_network;
+        case "min cut side" test_min_cut_side;
+        case "infinite capacity" test_infinite_capacity;
+      ] );
+  ]

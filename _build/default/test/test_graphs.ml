@@ -1,0 +1,211 @@
+open Test_util
+module Dag = Prbp.Dag
+module G = Prbp.Graphs
+
+let test_path () =
+  let g = G.Basic.path 6 in
+  check_int "nodes" 6 (Dag.n_nodes g);
+  check_int "edges" 5 (Dag.n_edges g);
+  check_int "height" 5 (Prbp.Topo.height g)
+
+let test_fan () =
+  let g = G.Basic.fan_in 5 in
+  check_int "Δin" 5 (Dag.max_in_degree g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  let g' = G.Basic.fan_out 5 in
+  check_int "Δout" 5 (Dag.max_out_degree g');
+  check_int "sinks'" 5 (Dag.n_sinks g')
+
+let test_pyramid () =
+  let g = G.Basic.pyramid 3 in
+  check_int "nodes" 10 (Dag.n_nodes g);
+  check_int "sources" 4 (Dag.n_sources g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  check_true "apex is sink" (Dag.is_sink g (G.Basic.pyramid_apex 3));
+  check_int "Δin" 2 (Dag.max_in_degree g)
+
+let test_grid () =
+  let g = G.Basic.grid 3 4 in
+  check_int "nodes" 12 (Dag.n_nodes g);
+  check_int "edges" ((2 * 4) + (3 * 3)) (Dag.n_edges g);
+  check_int "single source" 1 (Dag.n_sources g);
+  check_int "single sink" 1 (Dag.n_sinks g)
+
+let test_tree_structure () =
+  let t = G.Tree.make ~k:3 ~depth:2 in
+  let g = t.G.Tree.dag in
+  check_int "nodes" 13 (Dag.n_nodes g);
+  check_int "leaves are sources" 9 (Dag.n_sources g);
+  check_int "root is sink" 1 (Dag.n_sinks g);
+  check_int "root id" 0 (G.Tree.root t);
+  check_int "Δin" 3 (Dag.max_in_degree g);
+  check_int "level width" 3 (G.Tree.n_at_level t 1);
+  check_int "leaf count" 9 (List.length (G.Tree.leaves t));
+  (* children of (1, 0) are (2, 0..2) *)
+  let parent = G.Tree.node t ~level:1 0 in
+  List.iter
+    (fun c -> check_true "child edge" (Dag.has_edge g (G.Tree.node t ~level:2 c) parent))
+    [ 0; 1; 2 ]
+
+let test_tree_formulas_small () =
+  (* closed forms match the worked example in Appendix A.2 *)
+  check_int "rbp d=3 k=2" 15 (G.Tree.rbp_opt ~k:2 ~depth:3);
+  check_int "prbp d=3 k=2" 11 (G.Tree.prbp_opt ~k:2 ~depth:3);
+  (* trivial cost below the interesting depths *)
+  check_int "prbp d=1 k=3" 4 (G.Tree.prbp_opt ~k:3 ~depth:1);
+  check_int "rbp d=1 k=3" 4 (G.Tree.rbp_opt ~k:3 ~depth:1)
+
+let test_zipper () =
+  let z = G.Zipper.make ~d:3 ~len:5 in
+  let g = z.G.Zipper.dag in
+  check_int "nodes" 11 (Dag.n_nodes g);
+  check_int "sources" 6 (Dag.n_sources g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  (* chain node 0 reads group A only; node 1 reads B and the chain *)
+  let chain = Array.of_list (G.Zipper.chain z) in
+  check_int "in chain0" 3 (Dag.in_degree g chain.(0));
+  check_int "in chain1" 4 (Dag.in_degree g chain.(1));
+  List.iter
+    (fun b -> check_true "b feeds chain1" (Dag.has_edge g b chain.(1)))
+    (G.Zipper.group_b z)
+
+let test_collect () =
+  let c = G.Collect.make ~d:3 ~len:7 in
+  let g = c.G.Collect.dag in
+  check_int "nodes" 10 (Dag.n_nodes g);
+  let chain = Array.of_list (G.Collect.chain c) in
+  (* v_i reads source (i mod d) *)
+  check_true "v4 reads u1" (Dag.has_edge g (G.Collect.source c 1) chain.(4));
+  check_int "lower bound" 2 (G.Collect.lower_bound_capped c)
+
+let test_fig1 () =
+  let g, ids = G.Fig1.full () in
+  check_int "nodes" 10 (Dag.n_nodes g);
+  check_int "edges" 14 (Dag.n_edges g);
+  check_true "w3 <- w1" (Dag.has_edge g ids.G.Fig1.w1 ids.G.Fig1.w3);
+  check_true "w4 <- u1" (Dag.has_edge g ids.G.Fig1.u1 ids.G.Fig1.w4);
+  check_int "Δin" 2 (Dag.max_in_degree g);
+  check_int "Δout" 3 (Dag.max_out_degree g)
+
+let test_fig1_chained () =
+  List.iter
+    (fun copies ->
+      let g = G.Fig1.chained ~copies in
+      check_int "node count" ((6 * copies) + 4) (Dag.n_nodes g);
+      check_int "Δin stays 2" 2 (Dag.max_in_degree g);
+      check_int "Δout stays 3" 3 (Dag.max_out_degree g);
+      check_int "one source" 1 (Dag.n_sources g);
+      check_int "one sink" 1 (Dag.n_sinks g))
+    [ 1; 2; 7 ]
+
+let test_matvec () =
+  let mv = G.Matvec.make ~m:4 in
+  let g = mv.G.Matvec.dag in
+  (* paper: m²+m sources, m² in-degree-2 internals, m in-degree-m sinks *)
+  check_int "sources" 20 (Dag.n_sources g);
+  check_int "sinks" 4 (Dag.n_sinks g);
+  check_int "nodes" 40 (Dag.n_nodes g);
+  check_int "sink in-degree" 4 (Dag.in_degree g (G.Matvec.y mv 0));
+  check_int "product in-degree" 2 (Dag.in_degree g (G.Matvec.p mv 2 3));
+  check_true "A feeds p" (Dag.has_edge g (G.Matvec.a mv 1 2) (G.Matvec.p mv 1 2));
+  check_true "x feeds p" (Dag.has_edge g (G.Matvec.x mv 2) (G.Matvec.p mv 1 2));
+  check_int "trivial" (G.Matvec.prbp_opt ~m:4) (Dag.trivial_cost g)
+
+let test_matmul () =
+  let mm = G.Matmul.make ~m1:2 ~m2:3 ~m3:4 in
+  let g = mm.G.Matmul.dag in
+  check_int "nodes" ((2 * 3) + (3 * 4) + (2 * 3 * 4) + (2 * 4)) (Dag.n_nodes g);
+  check_int "sink in-degree" 3 (Dag.in_degree g (G.Matmul.c mm 1 2));
+  check_int "product out-degree" 1 (Dag.out_degree g (G.Matmul.p mm 1 2 3));
+  check_int "internal edges" (2 * 3 * 4)
+    (Prbp.Bitset.cardinal (G.Matmul.internal_edges mm))
+
+let test_fft () =
+  let f = G.Fft.make ~m:8 in
+  let g = f.G.Fft.dag in
+  check_int "nodes" 32 (Dag.n_nodes g);
+  check_int "edges" (2 * 8 * 3) (Dag.n_edges g);
+  check_int "sources" 8 (Dag.n_sources g);
+  check_int "sinks" 8 (Dag.n_sinks g);
+  check_int "Δin" 2 (Dag.max_in_degree g);
+  (* butterfly wiring of the first layer *)
+  check_true "straight" (Dag.has_edge g (G.Fft.node f ~layer:0 5) (G.Fft.node f ~layer:1 5));
+  check_true "cross" (Dag.has_edge g (G.Fft.node f ~layer:0 5) (G.Fft.node f ~layer:1 4));
+  check_true "pow2 required"
+    (match G.Fft.make ~m:6 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_attention () =
+  let mm = G.Attention.qkt ~m:3 ~d:2 in
+  check_int "qkt is m x d x m" 3 mm.G.Matmul.m1;
+  check_int "qkt inner" 2 mm.G.Matmul.m2;
+  let a = G.Attention.full ~m:3 ~d:2 in
+  let g = a.G.Attention.dag in
+  (* sources: Q, K, V *)
+  check_int "sources" (3 * 3 * 2) (Dag.n_sources g);
+  (* sinks: O only *)
+  check_int "sinks" (3 * 2) (Dag.n_sinks g);
+  check_false "no isolated" (Dag.has_isolated_nodes g);
+  (* the large-cache bound kicks in at r = d² *)
+  check_true "bound positive" (G.Attention.lower_bound ~m:64 ~d:4 ~r:16 > 0.)
+
+let test_lemma54 () =
+  let l = G.Lemma54.make ~group_size:10 in
+  let g = l.G.Lemma54.dag in
+  check_int "nodes" (7 + 70 + 1) (Dag.n_nodes g);
+  check_int "sources" 7 (Dag.n_sources g);
+  check_int "sinks" 1 (Dag.n_sinks g);
+  check_int "sink in-degree" 70 (Dag.in_degree g (G.Lemma54.sink l));
+  check_int "group member in/out" 1
+    (Dag.in_degree g (List.hd (G.Lemma54.group l 3)));
+  check_int "class bound" 1 (G.Lemma54.spartition_class_lower_bound l)
+
+let test_ugraph () =
+  let g = G.Ugraph.cycle_graph 5 in
+  check_int "nodes" 5 (G.Ugraph.n_nodes g);
+  check_int "edges" 5 (G.Ugraph.n_edges g);
+  check_true "adjacent" (G.Ugraph.adjacent g 0 4);
+  check_int "degree" 2 (G.Ugraph.degree g 2);
+  check_int "max inset C5" 2 (G.Ugraph.max_independent_size g);
+  check_true "every C5 node in some max inset"
+    (List.for_all (G.Ugraph.maxinset_vertex g) [ 0; 1; 2; 3; 4 ]);
+  (* path P3: max inset {0,2}; middle node not in any *)
+  let p = G.Ugraph.path_graph 3 in
+  check_true "end in" (G.Ugraph.maxinset_vertex p 0);
+  check_false "middle out" (G.Ugraph.maxinset_vertex p 1);
+  check_int "K4 inset" 1 (G.Ugraph.max_independent_size (G.Ugraph.complete 4));
+  (* complement of complete is empty: all nodes independent *)
+  check_int "complement" 4
+    (G.Ugraph.max_independent_size (G.Ugraph.complement (G.Ugraph.complete 4)))
+
+let test_independent_sets_listing () =
+  let p = G.Ugraph.path_graph 4 in
+  (* P4 maximum independent sets of size 2: {0,2},{0,3},{1,3} *)
+  let sets = G.Ugraph.max_independent_sets p in
+  check_int "count" 3 (List.length sets);
+  check_true "all independent" (List.for_all (G.Ugraph.is_independent p) sets)
+
+let suite =
+  [
+    ( "graphs",
+      [
+        case "path" test_path;
+        case "fans" test_fan;
+        case "pyramid" test_pyramid;
+        case "grid" test_grid;
+        case "k-ary tree structure" test_tree_structure;
+        case "tree closed forms (A.2 example)" test_tree_formulas_small;
+        case "zipper gadget" test_zipper;
+        case "collection gadget" test_collect;
+        case "figure-1 DAG" test_fig1;
+        case "figure-1 chain (Prop 4.7)" test_fig1_chained;
+        case "matvec DAG (Prop 4.3 shape)" test_matvec;
+        case "matmul DAG" test_matmul;
+        case "FFT butterfly" test_fft;
+        case "attention DAGs" test_attention;
+        case "Lemma 5.4 construction" test_lemma54;
+        case "undirected graphs + MaxInSet-Vertex" test_ugraph;
+        case "maximum independent set listing" test_independent_sets_listing;
+      ] );
+  ]

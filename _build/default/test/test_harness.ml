@@ -1,0 +1,81 @@
+open Test_util
+module Table = Prbp.Table
+module Experiment = Prbp.Experiment
+
+let test_table_render () =
+  let t = Table.make ~header:[ "name"; "cost" ] in
+  Table.add_row t [ "fig1"; "3" ];
+  Table.add_row t [ "zipper"; "16" ];
+  let s = Table.render t in
+  check_true "header present" (String.length s > 0);
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check_int "four lines" 4 (List.length lines);
+  check_true "aligned rule"
+    (String.for_all (fun c -> c = '-' || c = ' ') (List.nth lines 1))
+
+let test_table_width_mismatch () =
+  let t = Table.make ~header:[ "a"; "b" ] in
+  check_true "rejected"
+    (match Table.add_row t [ "only one" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_table_rowf () =
+  let t = Table.make ~header:[ "m"; "cost"; "bound" ] in
+  Table.add_rowf t "%d|%d|%.2f" 4 24 23.08;
+  let s = Table.render t in
+  check_true "formatted" (String.length s > 0)
+
+let test_csv () =
+  let t = Table.make ~header:[ "a"; "b" ] in
+  Table.add_row t [ "x,y"; "plain" ];
+  let csv = Table.to_csv t in
+  check_true "quoted comma"
+    (String.length csv > 0
+    &&
+    match String.index_opt csv '"' with Some _ -> true | None -> false)
+
+let test_experiment_run () =
+  let e =
+    Experiment.make ~id:"T1" ~paper:"test" ~claim:"1 = 1" (fun ppf ->
+        Format.fprintf ppf "checking@.";
+        true)
+  in
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  let ok = Experiment.run_one ppf e in
+  Format.pp_print_flush ppf ();
+  check_true "confirmed" ok;
+  let s = Buffer.contents buf in
+  check_true "id printed"
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 2 <= String.length s && (String.sub s i 2 = "T1" || contains (i + 1))
+    in
+    contains 0)
+
+let test_experiment_run_all () =
+  let mk id ok =
+    Experiment.make ~id ~paper:"p" ~claim:"c" (fun _ -> ok)
+  in
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  let confirmed, total =
+    Experiment.run_all ppf [ mk "A" true; mk "B" false; mk "C" true ]
+  in
+  check_int "confirmed" 2 confirmed;
+  check_int "total" 3 total
+
+let suite =
+  [
+    ( "harness",
+      [
+        case "table rendering" test_table_render;
+        case "row width checked" test_table_width_mismatch;
+        case "formatted rows" test_table_rowf;
+        case "csv escaping" test_csv;
+        case "experiment run" test_experiment_run;
+        case "experiment aggregation" test_experiment_run_all;
+      ] );
+  ]

@@ -1,0 +1,89 @@
+open Test_util
+module Dag = Prbp.Dag
+
+let families () =
+  [
+    ("diamond", Prbp.Graphs.Basic.diamond ());
+    ("pyramid4", Prbp.Graphs.Basic.pyramid 4);
+    ("grid3x4", Prbp.Graphs.Basic.grid 3 4);
+    ("fig1", fst (Prbp.Graphs.Fig1.full ()));
+    ("tree23", (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag);
+    ("fft8", (Prbp.Graphs.Fft.make ~m:8).Prbp.Graphs.Fft.dag);
+    ("matvec3", (Prbp.Graphs.Matvec.make ~m:3).Prbp.Graphs.Matvec.dag);
+  ]
+
+let test_rbp_valid_everywhere () =
+  List.iter
+    (fun (name, g) ->
+      let r = Dag.max_in_degree g + 1 in
+      let c = Prbp.Heuristic.rbp_cost ~r g in
+      check_true (name ^ " >= trivial") (c >= Dag.trivial_cost g))
+    (families ())
+
+let test_prbp_valid_everywhere () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun r ->
+          let c = Prbp.Heuristic.prbp_cost ~r g in
+          check_true
+            (Printf.sprintf "%s r=%d >= trivial" name r)
+            (c >= Dag.trivial_cost g))
+        [ 2; 3; 5 ])
+    (families ())
+
+let test_rbp_requires_capacity () =
+  let g = Prbp.Graphs.Basic.fan_in 4 in
+  check_true "refuses r < Δin+1"
+    (match Prbp.Heuristic.rbp ~r:4 g with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_prbp_requires_r2 () =
+  check_true "refuses r=1"
+    (match Prbp.Heuristic.prbp ~r:1 (Prbp.Graphs.Basic.diamond ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_more_cache_no_worse_on_path () =
+  let g = Prbp.Graphs.Basic.grid 4 4 in
+  let c3 = Prbp.Heuristic.prbp_cost ~r:3 g in
+  let c8 = Prbp.Heuristic.prbp_cost ~r:8 g in
+  check_true "more cache helps" (c8 <= c3)
+
+let test_large_cache_gives_trivial_cost () =
+  (* with unbounded cache nothing is ever evicted *)
+  List.iter
+    (fun (name, g) ->
+      let r = Dag.n_nodes g + 1 in
+      check_int (name ^ " rbp trivial") (Dag.trivial_cost g)
+        (Prbp.Heuristic.rbp_cost ~r g);
+      check_int (name ^ " prbp trivial") (Dag.trivial_cost g)
+        (Prbp.Heuristic.prbp_cost ~r g))
+    (families ())
+
+let test_big_random_dags () =
+  (* scale check: a few hundred nodes run in well under a second *)
+  let g =
+    Prbp.Graphs.Random_dag.make ~seed:7 ~layers:12 ~width:20 ~density:0.1
+      ~max_in_degree:6 ()
+  in
+  let r = Dag.max_in_degree g + 2 in
+  let crbp = Prbp.Heuristic.rbp_cost ~r g in
+  let cprbp = Prbp.Heuristic.prbp_cost ~r g in
+  check_true "both valid and nontrivial"
+    (crbp >= Dag.trivial_cost g && cprbp >= Dag.trivial_cost g)
+
+let suite =
+  [
+    ( "heuristic",
+      [
+        case "rbp valid across families" test_rbp_valid_everywhere;
+        case "prbp valid across families and r" test_prbp_valid_everywhere;
+        case "rbp capacity precondition" test_rbp_requires_capacity;
+        case "prbp needs r>=2" test_prbp_requires_r2;
+        case "more cache no worse" test_more_cache_no_worse_on_path;
+        case "unbounded cache -> trivial cost" test_large_cache_gives_trivial_cost;
+        case "scales to hundreds of nodes" test_big_random_dags;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+(* Cross-module scenarios: generator -> strategy/solver -> simulator ->
+   partition extraction -> checker, end to end. *)
+open Test_util
+module Dag = Prbp.Dag
+module G = Prbp.Graphs
+
+let test_full_pipeline_fig1 () =
+  (* the complete Proposition 4.2 story in one flow *)
+  let g, ids = G.Fig1.full () in
+  let r = 4 in
+  (* exact optima *)
+  let opt_rbp = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) g in
+  let opt_prbp = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+  check_int "OPT_RBP" 3 opt_rbp;
+  check_int "OPT_PRBP" 2 opt_prbp;
+  (* the A.1 strategies realize them *)
+  check_int "A.1 realizes RBP" opt_rbp (rbp_cost ~r g (Prbp.Strategies.fig1_rbp ids));
+  check_int "A.1 realizes PRBP" opt_prbp
+    (prbp_cost ~r g (Prbp.Strategies.fig1_prbp ids));
+  (* the RBP strategy translates to PRBP at equal cost (Prop 4.1) *)
+  let translated = Prbp.Move.rbp_to_prbp g (Prbp.Strategies.fig1_rbp ids) in
+  check_int "translation" opt_rbp (prbp_cost ~r g translated);
+  (* both PRBP lower-bound extractions hold on the optimal trace *)
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  let e = Prbp.Extract.edge_partition_of_prbp ~r g moves in
+  check_ok "edge partition" (Prbp.Spart.is_edge_partition g ~s:(2 * r) e);
+  let d = Prbp.Extract.dominator_partition_of_prbp ~r g moves in
+  check_ok "dominator partition"
+    (Prbp.Spart.is_dominator_partition g ~s:(2 * r) d)
+
+let test_exact_solver_strategies_replay () =
+  (* optimal strategies reconstructed by the solvers replay to their
+     reported cost on several families *)
+  let graphs =
+    [
+      Prbp.Graphs.Basic.diamond ();
+      Prbp.Graphs.Basic.pyramid 2;
+      fst (G.Fig1.full ());
+      (G.Tree.make ~k:2 ~depth:2).G.Tree.dag;
+    ]
+  in
+  List.iter
+    (fun g ->
+      let r = Dag.max_in_degree g + 1 in
+      (match Prbp.Exact_rbp.opt_with_strategy (Prbp.Rbp.config ~r ()) g with
+      | Some (c, mv) -> check_int "rbp replay" c (rbp_cost ~r g mv)
+      | None -> Alcotest.fail "rbp unsolvable");
+      match Prbp.Exact_prbp.opt_with_strategy (Prbp.Prbp_game.config ~r ()) g with
+      | Some (c, mv) -> check_int "prbp replay" c (prbp_cost ~r g mv)
+      | None -> Alcotest.fail "prbp unsolvable")
+    graphs
+
+let test_matvec_story () =
+  (* Proposition 4.3 end to end for m = 3 *)
+  let m = 3 in
+  let mv = G.Matvec.make ~m in
+  let g = mv.G.Matvec.dag in
+  let r = m + 3 in
+  let prbp = prbp_cost ~r g (Prbp.Strategies.matvec_prbp mv) in
+  check_int "PRBP trivial" (Dag.trivial_cost g) prbp;
+  (* any RBP strategy pays at least m² + 3m − 1: the heuristic is an
+     upper bound oracle, so it must sit above the bound too *)
+  let rbp = Prbp.Heuristic.rbp_cost ~r g in
+  check_true "RBP above its bound" (rbp >= G.Matvec.rbp_lower ~m);
+  check_true "strict separation" (prbp < rbp)
+
+let test_dot_export () =
+  let g, _ = G.Fig1.full () in
+  let dot = Prbp.Dot.to_string g in
+  check_true "digraph" (String.length dot > 20);
+  check_true "mentions nodes"
+    (let rec contains i =
+       i + 4 <= String.length dot
+       && (String.sub dot i 4 = "n0 -" || contains (i + 1))
+     in
+     contains 0)
+
+let test_fft_bound_vs_strategy_sweep () =
+  (* Theorem 6.9 shape: measured / bound stays within a constant across
+     the sweep *)
+  List.iter
+    (fun m ->
+      let f = G.Fft.make ~m in
+      let r = 6 in
+      let cost = rbp_cost ~r f.G.Fft.dag (Prbp.Strategies.fft_blocked ~r f) in
+      let bound = G.Fft.lower_bound f ~r in
+      let ratio = float_of_int cost /. bound in
+      check_true "ratio bounded" (ratio >= 1. && ratio < 24.))
+    [ 8; 16; 32; 64 ]
+
+let test_heuristics_against_exact_on_pool () =
+  List.iter
+    (fun g ->
+      let r = max 2 (Dag.max_in_degree g + 1) in
+      if Dag.n_nodes g <= 12 && Dag.n_edges g <= 40 then begin
+        let he = Prbp.Heuristic.prbp_cost ~r g in
+        match Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g with
+        | ex ->
+            check_true "heuristic sandwich" (ex <= he);
+            check_true "trivial sandwich" (Dag.trivial_cost g <= ex)
+        | exception Prbp.Exact_prbp.Too_large _ -> ()
+      end)
+    (Lazy.force random_dags)
+
+let test_collect_capped_vs_bound_sweep () =
+  (* Proposition 4.6: sweep d and len; the capped strategy always lands
+     between the bound and 6x the bound *)
+  List.iter
+    (fun (d, len) ->
+      let c = G.Collect.make ~d ~len in
+      let cost = prbp_cost ~r:(d + 1) c.G.Collect.dag (Prbp.Strategies.collect_capped c) in
+      let lb = G.Collect.lower_bound_capped c in
+      check_true "cost within [lb, 8*lb + 2d]"
+        (cost >= lb && cost <= (8 * lb) + (2 * d)))
+    [ (2, 20); (3, 30); (4, 50); (6, 90) ]
+
+let suite =
+  [
+    ( "integration",
+      [
+        case "fig1 full pipeline" test_full_pipeline_fig1;
+        case "solver strategies replay" test_exact_solver_strategies_replay;
+        case "Prop 4.3 matvec story" test_matvec_story;
+        case "DOT export" test_dot_export;
+        case "Thm 6.9 sweep shape" test_fft_bound_vs_strategy_sweep;
+        case "heuristic/exact/trivial sandwich" test_heuristics_against_exact_on_pool;
+        case "Prop 4.6 sweep" test_collect_capped_vs_bound_sweep;
+      ] );
+  ]

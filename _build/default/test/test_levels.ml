@@ -1,0 +1,114 @@
+(* Theorem 7.1 level gadgets with auxiliary levels (Appendix A.5). *)
+open Test_util
+module Dag = Prbp.Dag
+module L = Prbp.Graphs.Levels71
+
+let test_plain_tower_wiring () =
+  let t = L.make ~aux:false ~sizes:[ [ 3; 3; 2 ] ] ~cross:[] () in
+  let tw = t.L.towers.(0) in
+  check_int "three levels" 3 (Array.length tw.L.levels);
+  let l0 = tw.L.levels.(0) and l1 = tw.L.levels.(1) and l2 = tw.L.levels.(2) in
+  (* chain inside a level *)
+  check_true "chain" (Dag.has_edge t.L.dag l0.(0) l0.(1));
+  (* pairwise edges between equal-size levels *)
+  check_true "pairwise" (Dag.has_edge t.L.dag l0.(2) l1.(2));
+  (* shrink: surplus node points to the last node of the next level *)
+  check_true "overflow" (Dag.has_edge t.L.dag l1.(2) l2.(1));
+  check_false "no straight edge for surplus" (Dag.has_edge t.L.dag l1.(2) l2.(0))
+
+let test_aux_levels_inserted () =
+  let t = L.make ~aux:true ~sizes:[ [ 3; 2 ] ] ~cross:[] () in
+  let tw = t.L.towers.(0) in
+  (* 1 aux before level0, (3-2+2)=3 aux before level1, 1 aux on top *)
+  let n_aux =
+    Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 tw.L.original
+  in
+  check_int "aux count" 5 n_aux;
+  check_int "level count" 7 (Array.length tw.L.levels);
+  (* auxiliary levels mirror the size of the level above them *)
+  Alcotest.(check (list int)) "original sizes" [ 3; 2 ]
+    (List.filter_map (fun i ->
+         if tw.L.original.(i) then Some (Array.length tw.L.levels.(i)) else None)
+       (List.init 7 (fun i -> i)))
+
+let test_shrink_lockdown_edges () =
+  (* the surplus nodes of a shrinking level feed the last node of every
+     auxiliary level in the block above (Figure 5 / A.5) *)
+  let t = L.make ~aux:true ~sizes:[ [ 4; 2 ] ] ~cross:[] () in
+  let tw = t.L.towers.(0) in
+  let big = L.original_level tw 0 in
+  (* block of 4-2+2 = 4 aux levels above the big level *)
+  let aux_block =
+    List.filter_map
+      (fun i ->
+        if (not tw.L.original.(i)) && Array.length tw.L.levels.(i) = 2 then
+          Some tw.L.levels.(i)
+        else None)
+      (List.init (Array.length tw.L.levels) (fun i -> i))
+  in
+  (* at least the block below the small original level: each gets edges
+     from both surplus nodes big.(2), big.(3) into its last node *)
+  let count =
+    List.length
+      (List.filter
+         (fun lv ->
+           Dag.has_edge t.L.dag big.(2) lv.(1)
+           && Dag.has_edge t.L.dag big.(3) lv.(1))
+         aux_block)
+  in
+  check_true "lockdown edges present" (count >= 3)
+
+let test_cross_tower_precedence () =
+  let t =
+    L.make ~aux:true ~sizes:[ [ 2; 2 ]; [ 2; 2 ] ]
+      ~cross:[ (0, 1, 1, 1) ]
+      ()
+  in
+  let src = L.original_level t.L.towers.(0) 1 in
+  (* edges land on the aux level below the target, not the target *)
+  let dst_orig = L.original_level t.L.towers.(1) 1 in
+  check_false "not directly to the level"
+    (Dag.has_edge t.L.dag src.(0) dst_orig.(0));
+  (* but the DAG is connected across towers *)
+  let reach = Prbp.Reach.descendants t.L.dag src.(0) in
+  check_true "precedence enforced" (Prbp.Bitset.mem reach dst_orig.(0))
+
+let test_aux_preserves_rbp_optimum () =
+  (* A.5: auxiliary levels do not change the RBP optimum; verified
+     exactly on a small tower *)
+  let plain = L.make ~aux:false ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
+  let auxed = L.make ~aux:true ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
+  let r = 4 in
+  let c_plain = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) plain.L.dag in
+  let c_aux = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) auxed.L.dag in
+  check_int "optimum preserved" c_plain c_aux
+
+let test_prbp_still_cheap () =
+  let t = L.make ~aux:true ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
+  let c = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:4 ()) t.L.dag in
+  check_int "trivial-ish cost" (Dag.trivial_cost t.L.dag) c
+
+let test_original_level_lookup () =
+  let t = L.make ~aux:true ~sizes:[ [ 3; 1; 2 ] ] ~cross:[] () in
+  let tw = t.L.towers.(0) in
+  check_int "level 0 size" 3 (Array.length (L.original_level tw 0));
+  check_int "level 1 size" 1 (Array.length (L.original_level tw 1));
+  check_int "level 2 size" 2 (Array.length (L.original_level tw 2));
+  check_true "missing level raises"
+    (match L.original_level tw 3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ( "levels71",
+      [
+        case "plain tower wiring" test_plain_tower_wiring;
+        case "auxiliary levels inserted" test_aux_levels_inserted;
+        case "shrink lock-down edges" test_shrink_lockdown_edges;
+        case "cross-tower precedence" test_cross_tower_precedence;
+        case "aux preserves RBP optimum" test_aux_preserves_rbp_optimum;
+        case "PRBP cost stays low" test_prbp_still_cheap;
+        case "original-level lookup" test_original_level_lookup;
+      ] );
+  ]

@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "prbp"
+    (Test_bitset.suite @ Test_dag.suite @ Test_topo.suite @ Test_flow.suite
+   @ Test_dominator.suite @ Test_graphs.suite @ Test_rbp.suite
+   @ Test_prbp.suite @ Test_variants.suite @ Test_exact.suite
+   @ Test_heuristic.suite @ Test_strategies.suite @ Test_partition.suite
+   @ Test_extract.suite @ Test_hardness.suite @ Test_levels.suite
+   @ Test_harness.suite @ Test_integration.suite @ Test_props.suite
+   @ Test_minpart.suite @ Test_recompute.suite @ Test_extensions.suite
+   @ Test_trace_serialize.suite @ Test_verifier.suite @ Test_black.suite
+   @ Test_multi.suite @ Test_misc.suite)

@@ -1,0 +1,140 @@
+open Test_util
+module Dag = Prbp.Dag
+module MP = Prbp.Minpart
+
+let min_exn = function
+  | Some k -> k
+  | None -> Alcotest.fail "expected a partition to exist"
+
+let test_ideals_path () =
+  (* ideals of a path are its prefixes, plus the empty set *)
+  check_int "path(5)" 6 (MP.n_ideals (Prbp.Graphs.Basic.path 5))
+
+let test_ideals_diamond () =
+  (* ∅,{0},{01},{02},{012},{0123} *)
+  check_int "diamond" 6 (MP.n_ideals (Prbp.Graphs.Basic.diamond ()))
+
+let test_single_class_cases () =
+  let d = Prbp.Graphs.Basic.diamond () in
+  check_int "diamond s=2" 1 (min_exn (MP.min_spartition d ~s:2));
+  check_int "dominator version" 1 (min_exn (MP.min_dominator_partition d ~s:2));
+  let p = Prbp.Graphs.Basic.path 6 in
+  check_int "path s=1" 1 (min_exn (MP.min_spartition p ~s:1))
+
+let test_fan_out_terminal_pressure () =
+  (* 5 sinks, classes limited to terminal size 2: MIN_part = 3 while
+     MIN_dom = 1 (Definition 6.6 drops the terminal condition) *)
+  let g = Prbp.Graphs.Basic.fan_out 5 in
+  check_int "MIN_part" 3 (min_exn (MP.min_spartition g ~s:2));
+  check_int "MIN_dom" 1 (min_exn (MP.min_dominator_partition g ~s:2))
+
+let test_edge_partition_diamond () =
+  (* the whole diamond edge set is already a valid class at S = 1: its
+     edge-dominator is {source} and its edge-terminal is {sink} *)
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_int "MIN_edge(1)" 1 (min_exn (MP.min_edge_partition g ~s:1));
+  (* fan-out: every out-edge ends at a distinct sink, so edge-terminal
+     pressure forces ⌈5/2⌉ classes at S = 2 *)
+  let f = Prbp.Graphs.Basic.fan_out 5 in
+  check_int "fan-out MIN_edge(2)" 3 (min_exn (MP.min_edge_partition f ~s:2));
+  check_int "fan-out MIN_edge(5)" 1 (min_exn (MP.min_edge_partition f ~s:5))
+
+let test_infeasible_s0 () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_true "s=0 has no partition" (MP.min_spartition g ~s:0 = None)
+
+let test_min_dom_at_most_min_part () =
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 10 then
+        List.iter
+          (fun s ->
+            match (MP.min_dominator_partition g ~s, MP.min_spartition g ~s) with
+            | Some d, Some p -> check_true "MIN_dom <= MIN_part" (d <= p)
+            | _, None -> ()
+            | None, Some _ -> Alcotest.fail "dom infeasible but part feasible")
+          [ 2; 3; 4 ])
+    (Lazy.force random_dags)
+
+let test_greedy_upper_bounds_exact () =
+  (* the greedy construction can never beat the exact minimum *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 9 then begin
+        let s = 3 in
+        match MP.min_spartition g ~s with
+        | Some k ->
+            let greedy = Array.length (Prbp.Spart.greedy_spartition g ~s) in
+            check_true "greedy >= exact" (greedy >= k)
+        | None -> ()
+      end)
+    (Lazy.force random_dags)
+
+let test_theorem_65_exact () =
+  (* r·(MIN_edge(2r) − 1) <= OPT_PRBP, with MIN computed exactly *)
+  let cases =
+    [
+      ("fig1", fst (Prbp.Graphs.Fig1.full ()), 2);
+      ("diamond", Prbp.Graphs.Basic.diamond (), 2);
+      ("tree(2,3)", (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag, 3);
+      ("pyramid(2)", Prbp.Graphs.Basic.pyramid 2, 2);
+    ]
+  in
+  List.iter
+    (fun (name, g, r) ->
+      let opt = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+      let edge = MP.prbp_lower_bound_edge g ~r in
+      let dom = MP.prbp_lower_bound_dom g ~r in
+      check_true (name ^ ": edge bound sound") (edge <= opt);
+      check_true (name ^ ": dom bound sound") (dom <= opt))
+    cases
+
+let test_hong_kung_exact () =
+  (* r·(MIN_part(2r) − 1) <= OPT_RBP with exact MIN_part *)
+  let cases =
+    [
+      ("fig1", fst (Prbp.Graphs.Fig1.full ()), 4);
+      ("tree(2,3)", (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag, 3);
+    ]
+  in
+  List.iter
+    (fun (name, g, r) ->
+      let opt = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) g in
+      check_true (name ^ ": HK bound sound") (MP.rbp_lower_bound g ~r <= opt))
+    cases
+
+let test_extraction_respects_min () =
+  (* any extracted partition has at least MIN classes *)
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let r = 4 in
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  let extracted = Prbp.Extract.edge_partition_of_prbp ~r g moves in
+  match MP.min_edge_partition g ~s:(2 * r) with
+  | Some k -> check_true "extracted >= MIN" (Array.length extracted >= k)
+  | None -> Alcotest.fail "partition must exist"
+
+let test_budget () =
+  let l = Prbp.Graphs.Lemma54.make ~group_size:4 in
+  check_true "budget raises"
+    (match MP.n_ideals ~max_ideals:50 l.Prbp.Graphs.Lemma54.dag with
+    | exception MP.Too_large _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ( "minpart",
+      [
+        case "ideal counts: path" test_ideals_path;
+        case "ideal counts: diamond" test_ideals_diamond;
+        case "single-class cases" test_single_class_cases;
+        case "terminal pressure splits fan-out" test_fan_out_terminal_pressure;
+        case "edge partition of the diamond" test_edge_partition_diamond;
+        case "s=0 infeasible" test_infeasible_s0;
+        case "MIN_dom <= MIN_part" test_min_dom_at_most_min_part;
+        case "greedy upper-bounds exact" test_greedy_upper_bounds_exact;
+        case "Theorem 6.5/6.7 exact soundness" test_theorem_65_exact;
+        case "Hong-Kung exact soundness" test_hong_kung_exact;
+        case "extraction >= MIN" test_extraction_respects_min;
+        case "enumeration budget" test_budget;
+      ] );
+  ]

@@ -1,0 +1,192 @@
+(* Coverage of smaller API surfaces: printers, DOT attributes, charts,
+   tables, reverse/induced views, engine state dumps. *)
+open Test_util
+module Dag = Prbp.Dag
+module Bitset = Prbp.Bitset
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_dag_pp () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let s = Format.asprintf "%a" Dag.pp g in
+  check_true "mentions counts" (contains s "n=10" && contains s "m=14");
+  let full = Format.asprintf "%a" Dag.pp_full g in
+  check_true "adjacency listed" (contains full "u1 ->")
+
+let test_dot_highlights () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let hl = Bitset.of_list 4 [ 0 ] in
+  let ehl = Bitset.of_list (Dag.n_edges g) [ 0 ] in
+  let dot = Prbp.Dot.to_string ~highlight:hl ~edge_highlight:ehl ~rankdir:"LR" g in
+  check_true "node fill" (contains dot "fillcolor");
+  check_true "edge color" (contains dot "penwidth");
+  check_true "rankdir" (contains dot "rankdir=LR")
+
+let test_move_printers () =
+  check_true "rbp slide"
+    (contains (Prbp.Move.R.to_string (Prbp.Move.R.Slide (1, 2))) "slide");
+  check_true "prbp clear"
+    (contains (Prbp.Move.P.to_string (Prbp.Move.P.Clear 7)) "clear");
+  check_true "io classification"
+    (Prbp.Move.R.is_io (Prbp.Move.R.Load 0)
+    && (not (Prbp.Move.R.is_io (Prbp.Move.R.Compute 0)))
+    && Prbp.Move.P.is_io (Prbp.Move.P.Save 0)
+    && not (Prbp.Move.P.is_io (Prbp.Move.P.Compute (0, 1))))
+
+let test_engine_state_printers () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let t = Prbp.Rbp.start (Prbp.Rbp.config ~r:4 ()) g in
+  check_ok "load" (Prbp.Rbp.apply t (Prbp.Move.R.Load ids.Prbp.Graphs.Fig1.u0));
+  let s = Format.asprintf "%a" Prbp.Rbp.pp_state t in
+  check_true "red named" (contains s "red {u0}");
+  check_true "io" (contains s "io=1");
+  let tp = Prbp.Prbp_game.start (Prbp.Prbp_game.config ~r:4 ()) g in
+  check_ok "pload" (Prbp.Prbp_game.apply tp (Prbp.Move.P.Load ids.u0));
+  let sp = Format.asprintf "%a" Prbp.Prbp_game.pp_state tp in
+  check_true "prbp state" (contains sp "u0:B+lr");
+  check_true "marks" (contains sp "marked 0/14")
+
+let test_reverse_and_induced_roundtrip () =
+  let g = Prbp.Graphs.Basic.pyramid 2 in
+  let rr = Dag.reverse (Dag.reverse g) in
+  Alcotest.(check (list (pair int int))) "double reverse" (Dag.edges g)
+    (Dag.edges rr);
+  let keep = Bitset.create (Dag.n_nodes g) in
+  Bitset.fill keep;
+  let sub, back = Dag.induced g keep in
+  check_int "full induced keeps everything" (Dag.n_edges g) (Dag.n_edges sub);
+  check_int "identity mapping" 0 back.(0)
+
+let test_table_csv_roundtripish () =
+  let t = Prbp.Table.make ~header:[ "a"; "b" ] in
+  Prbp.Table.add_row t [ "1"; "hello world" ];
+  Prbp.Table.add_row t [ "2"; "with,comma" ];
+  let csv = Prbp.Table.to_csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "three lines" 3 (List.length lines);
+  check_true "escaped" (contains csv "\"with,comma\"")
+
+let test_chart_multi_series () =
+  let mk label glyph k =
+    {
+      Prbp.Chart.label;
+      glyph;
+      points = List.init 5 (fun i -> (float_of_int (i + 1), k *. float_of_int (i + 1)));
+    }
+  in
+  let s = Prbp.Chart.loglog ~x_label:"x" ~y_label:"y" [ mk "one" '#' 1.; mk "two" 'o' 10. ] in
+  check_true "both glyphs" (contains s "#" && contains s "o");
+  check_true "legend" (contains s "= one" && contains s "= two")
+
+let test_experiment_failure_path () =
+  let e =
+    Prbp.Experiment.make ~id:"X" ~paper:"p" ~claim:"false" (fun _ -> false)
+  in
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  check_false "not confirmed" (Prbp.Experiment.run_one ppf e);
+  Format.pp_print_flush ppf ();
+  check_true "printed verdict" (contains (Buffer.contents buf) "NOT CONFIRMED")
+
+let test_trivial_cost_edge_cases () =
+  (* a single isolated node is both source and sink: counted twice *)
+  let g = Dag.make ~n:1 [] in
+  check_int "isolated trivial" 2 (Dag.trivial_cost g)
+
+let test_ugraph_complement_involution () =
+  let g = Prbp.Graphs.Ugraph.cycle_graph 6 in
+  let gc = Prbp.Graphs.Ugraph.complement (Prbp.Graphs.Ugraph.complement g) in
+  Alcotest.(check (list (pair int int))) "edges preserved"
+    (Prbp.Graphs.Ugraph.edges g)
+    (Prbp.Graphs.Ugraph.edges gc)
+
+let test_topo_edge_order_complete () =
+  let g = (Prbp.Graphs.Matmul.make ~m1:2 ~m2:2 ~m3:2).Prbp.Graphs.Matmul.dag in
+  let eo = Prbp.Topo.edge_order g in
+  check_int "covers all edges" (Dag.n_edges g) (Array.length eo);
+  let sorted = Array.copy eo in
+  Array.sort compare sorted;
+  check_true "is a permutation" (Array.to_list sorted = List.init (Dag.n_edges g) (fun i -> i))
+
+let suite =
+  [
+    ( "misc",
+      [
+        case "DAG printers" test_dag_pp;
+        case "DOT highlights" test_dot_highlights;
+        case "move printers" test_move_printers;
+        case "engine state printers" test_engine_state_printers;
+        case "reverse/induced" test_reverse_and_induced_roundtrip;
+        case "table CSV" test_table_csv_roundtripish;
+        case "chart multi-series" test_chart_multi_series;
+        case "experiment failure path" test_experiment_failure_path;
+        case "trivial-cost edge case" test_trivial_cost_edge_cases;
+        case "complement involution" test_ugraph_complement_involution;
+        case "edge order permutation" test_topo_edge_order_complete;
+      ] );
+  ]
+
+(* appended: strategy post-optimizer *)
+
+let opt_rcost moves g r =
+  match Prbp.Rbp.check (Prbp.Rbp.config ~r ()) g moves with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e
+
+let test_optimizer_removes_padding () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let module R = Prbp.Move.R in
+  (* a valid but wasteful strategy: pointless early save + reload *)
+  let padded =
+    R.[
+      Load 0; Save 0; Compute 1; Delete 0; Load 0; Compute 2; Delete 0;
+      Compute 3; Save 3;
+    ]
+  in
+  let before = opt_rcost padded g 3 in
+  let slim = Prbp.Optimize.rbp (Prbp.Rbp.config ~r:3 ()) g padded in
+  let after = opt_rcost slim g 3 in
+  check_true "improved" (after < before);
+  check_int "reaches the optimum here" 2 after
+
+let test_optimizer_keeps_optimal () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  let slim = Prbp.Optimize.prbp (Prbp.Prbp_game.config ~r:4 ()) g moves in
+  match Prbp.Prbp_game.check (Prbp.Prbp_game.config ~r:4 ()) g slim with
+  | Ok c -> check_int "still 2" 2 c
+  | Error e -> Alcotest.fail e
+
+let test_optimizer_on_heuristic_traces () =
+  List.iter
+    (fun g ->
+      let r = 3 in
+      let moves = Prbp.Heuristic.prbp ~r g in
+      let before = prbp_cost ~r g moves in
+      let slim = Prbp.Optimize.prbp (Prbp.Prbp_game.config ~r ()) g moves in
+      let after = prbp_cost ~r g slim in
+      check_true "never worse" (after <= before);
+      check_true "still above trivial" (after >= Dag.trivial_cost g))
+    (Lazy.force random_dags)
+
+let test_optimizer_rejects_invalid_input () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_true "invalid input"
+    (match Prbp.Optimize.rbp (Prbp.Rbp.config ~r:3 ()) g [ Prbp.Move.R.Load 0 ] with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let suite =
+  suite
+  @ [
+      ( "optimize",
+        [
+          case "removes padding" test_optimizer_removes_padding;
+          case "keeps optimal strategies intact" test_optimizer_keeps_optimal;
+          case "never worsens heuristic traces" test_optimizer_on_heuristic_traces;
+          case "rejects invalid input" test_optimizer_rejects_invalid_input;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Multiprocessor pebbling (Section 8.1 outlook). *)
+open Test_util
+module Dag = Prbp.Dag
+module Multi = Prbp.Multi
+module MM = Prbp.Multi.Move
+
+let cfg ?(one_shot = true) p r = Multi.config ~one_shot ~p ~r ()
+
+let test_p1_specializes_rbp () =
+  (* with one processor the game is exactly the Section-1 RBP *)
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let moves = Prbp.Strategies.fig1_rbp ids in
+  match Multi.R.check (cfg 1 4) g (Multi.lift_rbp moves) with
+  | Ok c -> check_int "same cost" 3 c
+  | Error e -> Alcotest.fail e
+
+let test_p1_specializes_prbp () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let moves = Prbp.Strategies.fig1_prbp ids in
+  match Multi.P.check (cfg 1 4) g (Multi.lift_prbp moves) with
+  | Ok c -> check_int "same cost" 2 c
+  | Error e -> Alcotest.fail e
+
+let test_p1_specialization_on_pool () =
+  List.iter
+    (fun g ->
+      let r = max 2 (Dag.max_in_degree g + 1) in
+      let single = Prbp.Heuristic.rbp ~r g in
+      let expected = rbp_cost ~r g single in
+      (match Multi.R.check (cfg 1 r) g (Multi.lift_rbp single) with
+      | Ok c -> check_int "rbp cost equal" expected c
+      | Error e -> Alcotest.fail e);
+      let psingle = Prbp.Heuristic.prbp ~r:2 g in
+      let pexpected = prbp_cost ~r:2 g psingle in
+      match Multi.P.check (cfg 1 2) g (Multi.lift_prbp psingle) with
+      | Ok c -> check_int "prbp cost equal" pexpected c
+      | Error e -> Alcotest.fail e)
+    (Lazy.force random_dags)
+
+let test_capacity_per_processor () =
+  let g = Prbp.Graphs.Basic.fan_in 3 in
+  let t = Multi.R.start (cfg 2 2) g in
+  check_ok "p0 load" (Multi.R.apply t (MM.Load (0, 0)));
+  check_ok "p0 load" (Multi.R.apply t (MM.Load (0, 1)));
+  check_err "p0 full" (Multi.R.apply t (MM.Load (0, 2)));
+  (* the other processor's memory is separate *)
+  check_ok "p1 load" (Multi.R.apply t (MM.Load (1, 2)));
+  check_int "p0 count" 2 (Multi.R.red_count t 0);
+  check_int "p1 count" 1 (Multi.R.red_count t 1)
+
+let test_compute_locality () =
+  (* inputs must be red on the SAME processor *)
+  let g = Prbp.Graphs.Basic.fan_in 2 in
+  let t = Multi.R.start (cfg 2 3) g in
+  check_ok "p0 load u0" (Multi.R.apply t (MM.Load (0, 0)));
+  check_ok "p1 load u1" (Multi.R.apply t (MM.Load (1, 1)));
+  check_err "split inputs" (Multi.R.apply t (MM.Compute (0, 2)));
+  check_ok "p0 load u1 too" (Multi.R.apply t (MM.Load (0, 1)));
+  check_ok "now computes" (Multi.R.apply t (MM.Compute (0, 2)))
+
+let test_dark_exclusivity () =
+  (* a partial value lives on one processor; the other must wait for a
+     save/load handoff *)
+  let g = Prbp.Graphs.Basic.fan_in 2 in
+  let t = Multi.P.start (cfg 2 2) g in
+  check_ok "p0 load u0" (Multi.P.apply t (MM.Load (0, 0)));
+  check_ok "p0 partial" (Multi.P.apply t (MM.Compute (0, (0, 2))));
+  check_ok "p1 load u1" (Multi.P.apply t (MM.Load (1, 1)));
+  check_err "p1 cannot touch p0's dark value"
+    (Multi.P.apply t (MM.Compute (1, (1, 2))));
+  check_ok "p0 saves" (Multi.P.apply t (MM.Save (0, 2)));
+  check_ok "p0 drops copy" (Multi.P.apply t (MM.Delete (0, 2)));
+  check_ok "p1 loads partial" (Multi.P.apply t (MM.Load (1, 2)));
+  check_ok "p1 finishes" (Multi.P.apply t (MM.Compute (1, (1, 2))));
+  check_ok "p1 saves sink" (Multi.P.apply t (MM.Save (1, 2)));
+  check_true "terminal" (Multi.P.is_terminal t);
+  check_int "cost" 5 (Multi.P.io_cost t)
+
+let test_stale_copies_invalidated () =
+  (* updating a value destroys other processors' light copies *)
+  let g = Prbp.Dag.make ~n:4 [ (0, 2); (1, 2); (2, 3) ] in
+  let t = Multi.P.start (cfg 2 3) g in
+  check_ok "p0 load u0" (Multi.P.apply t (MM.Load (0, 0)));
+  check_ok "p0 partial into 2" (Multi.P.apply t (MM.Compute (0, (0, 2))));
+  check_ok "p0 save" (Multi.P.apply t (MM.Save (0, 2)));
+  check_ok "p1 loads the partial" (Multi.P.apply t (MM.Load (1, 2)));
+  check_int "p1 holds a copy" 1 (Multi.P.red_count t 1);
+  (* p1 aggregates the second input: p0's light copy must die *)
+  check_ok "p1 load u1" (Multi.P.apply t (MM.Load (1, 1)));
+  check_ok "p1 continues" (Multi.P.apply t (MM.Compute (1, (1, 2))));
+  check_int "p0 copy invalidated" 1 (Multi.P.red_count t 0)
+  (* p0 still holds u0's light red only *)
+
+let test_matvec_multi () =
+  List.iter
+    (fun (m, p) ->
+      let mv = Prbp.Graphs.Matvec.make ~m in
+      let g = mv.Prbp.Graphs.Matvec.dag in
+      let r = ((m + p - 1) / p) + 3 in
+      match Multi.P.check (cfg p r) g (Prbp.Strategies.matvec_prbp_multi ~p mv) with
+      | Ok c -> check_int "formula" ((m * m) + ((p + 1) * m)) c
+      | Error e -> Alcotest.fail e)
+    [ (4, 1); (4, 2); (6, 2); (6, 3); (8, 4) ]
+
+let test_matvec_multi_p1_matches_single () =
+  let m = 5 in
+  let mv = Prbp.Graphs.Matvec.make ~m in
+  let g = mv.Prbp.Graphs.Matvec.dag in
+  match Multi.P.check (cfg 1 (m + 3)) g (Prbp.Strategies.matvec_prbp_multi ~p:1 mv) with
+  | Ok c -> check_int "same as Prop 4.3" (Prbp.Graphs.Matvec.prbp_opt ~m) c
+  | Error e -> Alcotest.fail e
+
+let test_fan_in_handoff () =
+  List.iter
+    (fun (d, halves) ->
+      let g = Prbp.Graphs.Basic.fan_in d in
+      match Multi.P.check (cfg halves 2) g (Prbp.Strategies.fan_in_handoff ~halves g) with
+      | Ok c -> check_int "handoff cost" (d + 1 + (2 * (halves - 1))) c
+      | Error e -> Alcotest.fail e)
+    [ (6, 1); (6, 2); (6, 3); (9, 3); (8, 4) ]
+
+let test_bad_processor_rejected () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let t = Multi.R.start (cfg 2 3) g in
+  check_err "out of range" (Multi.R.apply t (MM.Load (2, 0)));
+  let tp = Multi.P.start (cfg 2 3) g in
+  check_err "out of range" (Multi.P.apply tp (MM.Load (~-1, 0)))
+
+let suite =
+  [
+    ( "multi",
+      [
+        case "p=1 specializes to RBP" test_p1_specializes_rbp;
+        case "p=1 specializes to PRBP" test_p1_specializes_prbp;
+        case "p=1 specialization on the pool" test_p1_specialization_on_pool;
+        case "per-processor capacity" test_capacity_per_processor;
+        case "compute locality" test_compute_locality;
+        case "dark pebbles are exclusive" test_dark_exclusivity;
+        case "stale copies invalidated" test_stale_copies_invalidated;
+        case "parallel matvec formula" test_matvec_multi;
+        case "p=1 matvec = Prop 4.3" test_matvec_multi_p1_matches_single;
+        case "fan-in handoff cost" test_fan_in_handoff;
+        case "processor ids validated" test_bad_processor_rejected;
+      ] );
+  ]

@@ -1,0 +1,131 @@
+open Test_util
+module Dag = Prbp.Dag
+module Bitset = Prbp.Bitset
+module Spart = Prbp.Spart
+
+let diamond () = Prbp.Graphs.Basic.diamond ()
+
+let bs g xs = Bitset.of_list (Dag.n_nodes g) xs
+
+let es g xs = Bitset.of_list (Dag.n_edges g) xs
+
+let test_single_class_spartition () =
+  let g = diamond () in
+  let all = Bitset.create (Dag.n_nodes g) in
+  Bitset.fill all;
+  check_ok "whole graph, S=2" (Spart.is_spartition g ~s:2 [| all |]);
+  check_err "S=0 fails" (Spart.is_spartition g ~s:0 [| all |])
+
+let test_cover_violations () =
+  let g = diamond () in
+  check_err "missing nodes" (Spart.is_spartition g ~s:4 [| bs g [ 0; 1 ] |]);
+  check_err "duplicate nodes"
+    (Spart.is_spartition g ~s:4 [| bs g [ 0; 1 ]; bs g [ 1; 2; 3 ] |])
+
+let test_ordering_violation () =
+  let g = diamond () in
+  (* sink in the first class, its inputs in the second: backwards edge *)
+  check_err "cyclic dependency"
+    (Spart.is_spartition g ~s:4 [| bs g [ 0; 3 ]; bs g [ 1; 2 ] |])
+
+let test_valid_two_class () =
+  let g = diamond () in
+  check_ok "split"
+    (Spart.is_spartition g ~s:2 [| bs g [ 0; 1 ]; bs g [ 2; 3 ] |])
+
+let test_terminal_size_violation () =
+  (* fan-out: one source, 5 sinks; class of all sinks has terminal 5 *)
+  let g = Prbp.Graphs.Basic.fan_out 5 in
+  let cls = [| bs g [ 0 ]; bs g [ 1; 2; 3; 4; 5 ] |] in
+  check_err "terminal too big" (Spart.is_spartition g ~s:2 cls);
+  check_ok "dominator-only version accepts"
+    (Spart.is_dominator_partition g ~s:2 cls)
+
+let test_dominator_size_violation () =
+  let g = Prbp.Graphs.Basic.fan_in 5 in
+  let cls = [| bs g [ 0; 1; 2; 3; 4 ]; bs g [ 5 ] |] in
+  (* the source class needs a dominator of size 5 *)
+  check_err "dominator too big" (Spart.is_dominator_partition g ~s:4 cls);
+  check_ok "big enough S" (Spart.is_dominator_partition g ~s:5 cls)
+
+let test_edge_partition_basics () =
+  let g = diamond () in
+  let e u v = Dag.edge_id g u v in
+  let all = Bitset.create (Dag.n_edges g) in
+  Bitset.fill all;
+  check_ok "one class" (Spart.is_edge_partition g ~s:3 [| all |]);
+  check_ok "two classes"
+    (Spart.is_edge_partition g ~s:2
+       [| es g [ e 0 1; e 0 2 ]; es g [ e 1 3; e 2 3 ] |]);
+  check_err "out-edge before in-edge"
+    (Spart.is_edge_partition g ~s:4
+       [| es g [ e 1 3; e 0 2 ]; es g [ e 0 1; e 2 3 ] |])
+
+let test_edge_partition_split_target_ok () =
+  (* unlike node partitions, the two in-edges of the sink may live in
+     different classes *)
+  let g = diamond () in
+  let e u v = Dag.edge_id g u v in
+  check_ok "sink edges split"
+    (Spart.is_edge_partition g ~s:2
+       [| es g [ e 0 1; e 1 3 ]; es g [ e 0 2; e 2 3 ] |])
+
+let test_greedy_spartition_valid () =
+  List.iter
+    (fun g ->
+      let s = max 2 (2 * (Dag.max_in_degree g + 1)) in
+      let cls = Spart.greedy_spartition g ~s in
+      check_ok "greedy valid" (Spart.is_spartition g ~s cls))
+    (Lazy.force random_dags)
+
+let test_greedy_edge_partition_valid () =
+  List.iter
+    (fun g ->
+      let s = max 2 (2 * (Dag.max_in_degree g + 1)) in
+      let cls = Spart.greedy_edge_partition g ~s in
+      check_ok "greedy valid" (Spart.is_edge_partition g ~s cls))
+    (Lazy.force random_dags)
+
+let test_lemma54_class_growth () =
+  (* Lemma 5.4: S(=6)-partitions of the Figure-3 DAG need Θ(n) classes
+     while OPT_PRBP stays 8; the greedy witness grows linearly *)
+  let counts =
+    List.map
+      (fun h ->
+        let l = Prbp.Graphs.Lemma54.make ~group_size:h in
+        let cls = Spart.greedy_spartition l.Prbp.Graphs.Lemma54.dag ~s:6 in
+        check_ok "valid"
+          (Spart.is_spartition l.Prbp.Graphs.Lemma54.dag ~s:6 cls);
+        check_true "at least the proof bound"
+          (Array.length cls
+          >= Prbp.Graphs.Lemma54.spartition_class_lower_bound l);
+        Array.length cls)
+      [ 6; 12; 24 ]
+  in
+  match counts with
+  | [ a; b; c ] ->
+      check_true "growing" (a < b && b < c)
+  | _ -> assert false
+
+let test_io_lower_bound_formula () =
+  check_int "formula" 12 (Spart.io_lower_bound ~r:4 ~min_classes:4);
+  check_int "one class gives zero" 0 (Spart.io_lower_bound ~r:4 ~min_classes:1)
+
+let suite =
+  [
+    ( "partition",
+      [
+        case "single-class S-partition" test_single_class_spartition;
+        case "cover violations" test_cover_violations;
+        case "ordering violation" test_ordering_violation;
+        case "valid split" test_valid_two_class;
+        case "terminal size violation" test_terminal_size_violation;
+        case "dominator size violation" test_dominator_size_violation;
+        case "edge partitions (Def 6.3)" test_edge_partition_basics;
+        case "edge classes may split a target" test_edge_partition_split_target_ok;
+        case "greedy node partitions valid" test_greedy_spartition_valid;
+        case "greedy edge partitions valid" test_greedy_edge_partition_valid;
+        case "Lemma 5.4 class growth" test_lemma54_class_growth;
+        case "Theorem 6.5/6.7 bound formula" test_io_lower_bound_formula;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+open Test_util
+module Dag = Prbp.Dag
+module Pg = Prbp.Prbp_game
+module P = Prbp.Move.P
+module Pebble = Prbp.Prbp_game.Pebble
+
+let diamond () = Prbp.Graphs.Basic.diamond ()
+
+let cfg r = Pg.config ~r ()
+
+let test_initial_state () =
+  let t = Pg.start (cfg 3) (diamond ()) in
+  check_true "source blue" (Pg.pebble t 0 = Pebble.Blue);
+  check_true "others empty" (Pg.pebble t 3 = Pebble.None_);
+  check_int "no reds" 0 (Pg.red_count t);
+  check_int "unmarked in of sink" 2 (Pg.unmarked_in t 3);
+  check_true "sources fully computed" (Pg.fully_computed t 0);
+  check_false "sink not" (Pg.fully_computed t 3)
+
+let test_load_save_states () =
+  let t = Pg.start (cfg 3) (diamond ()) in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_true "blue+light" (Pg.pebble t 0 = Pebble.Blue_light);
+  (* save requires dark *)
+  check_err "save light" (Pg.apply t (P.Save 0));
+  check_ok "delete light" (Pg.apply t (P.Delete 0));
+  check_true "back to blue" (Pg.pebble t 0 = Pebble.Blue)
+
+let test_partial_compute_chain () =
+  (* 0 -> 2 <- 1, 2 -> 3: node 2 aggregates two inputs *)
+  let g = Dag.make ~n:4 [ (0, 2); (1, 2); (2, 3) ] in
+  let t = Pg.start (cfg 3) g in
+  check_ok "load src" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,2)" (Pg.apply t (P.Compute (0, 2)));
+  check_true "target dark" (Pg.pebble t 2 = Pebble.Dark);
+  check_false "2 partial" (Pg.fully_computed t 2);
+  (* computing out of a partially computed node is illegal *)
+  check_err "no out-compute of a partial node" (Pg.apply t (P.Compute (2, 3)));
+  check_ok "delete src" (Pg.apply t (P.Delete 0));
+  check_ok "load other" (Pg.apply t (P.Load 1));
+  check_ok "mark (1,2)" (Pg.apply t (P.Compute (1, 2)));
+  check_true "2 complete" (Pg.fully_computed t 2);
+  check_ok "now out-compute works" (Pg.apply t (P.Compute (2, 3)))
+
+let test_input_must_be_fully_computed () =
+  let g = Prbp.Graphs.Basic.path 3 in
+  let t = Pg.start (cfg 3) g in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,1)" (Pg.apply t (P.Compute (0, 1)));
+  check_ok "mark (1,2)" (Pg.apply t (P.Compute (1, 2)));
+  check_err "edge already marked" (Pg.apply t (P.Compute (1, 2)))
+
+let test_compute_onto_blue_forbidden () =
+  let g = Prbp.Graphs.Basic.fan_in 2 in
+  let t = Pg.start (cfg 2) g in
+  check_ok "load u0" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,2)" (Pg.apply t (P.Compute (0, 2)));
+  check_ok "save partial" (Pg.apply t (P.Save 2));
+  check_ok "delete light" (Pg.apply t (P.Delete 2));
+  check_ok "delete src light" (Pg.apply t (P.Delete 0));
+  check_ok "load u1" (Pg.apply t (P.Load 1));
+  (* 2 is blue-only: the paper requires a load before continuing *)
+  check_err "blue target" (Pg.apply t (P.Compute (1, 2)));
+  check_ok "reload partial" (Pg.apply t (P.Load 2));
+  check_ok "finish" (Pg.apply t (P.Compute (1, 2)));
+  check_ok "save sink" (Pg.apply t (P.Save 2));
+  check_true "terminal" (Pg.is_terminal t);
+  check_int "cost 5" 5 (Pg.io_cost t)
+
+let test_dark_delete_needs_marked_outputs () =
+  let g = Prbp.Graphs.Basic.path 3 in
+  let t = Pg.start (cfg 3) g in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,1)" (Pg.apply t (P.Compute (0, 1)));
+  (* 1 is dark with an unmarked out-edge: deletion forbidden *)
+  check_err "dark delete blocked" (Pg.apply t (P.Delete 1));
+  check_ok "mark (1,2)" (Pg.apply t (P.Compute (1, 2)));
+  check_ok "now deletable" (Pg.apply t (P.Delete 1))
+
+let test_capacity () =
+  let g = Prbp.Graphs.Basic.fan_in 3 in
+  let t = Pg.start (cfg 2) g in
+  check_ok "load 0" (Pg.apply t (P.Load 0));
+  check_ok "mark" (Pg.apply t (P.Compute (0, 3)));
+  check_err "full" (Pg.apply t (P.Load 1));
+  check_ok "drop src" (Pg.apply t (P.Delete 0));
+  check_ok "now load" (Pg.apply t (P.Load 1))
+
+let test_any_dag_with_r2 () =
+  (* Section 3: PRBP admits a pebbling of every DAG with r = 2 *)
+  List.iter
+    (fun g ->
+      let moves = Prbp.Heuristic.prbp ~r:2 g in
+      match Pg.check (cfg 2) g moves with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "r=2 pebbling failed: %s" e)
+    (Lazy.force random_dags)
+
+let test_terminal_needs_all_edges () =
+  let g = diamond () in
+  let t = Pg.start (cfg 4) g in
+  check_ok "l" (Pg.apply t (P.Load 0));
+  check_ok "c1" (Pg.apply t (P.Compute (0, 1)));
+  check_ok "c2" (Pg.apply t (P.Compute (0, 2)));
+  check_ok "c3" (Pg.apply t (P.Compute (1, 3)));
+  (* sink got a pebble but edge (2,3) is unmarked *)
+  check_ok "c4" (Pg.apply t (P.Compute (2, 3)));
+  check_false "sink dark, not blue" (Pg.is_terminal t);
+  check_ok "save" (Pg.apply t (P.Save 3));
+  check_true "terminal" (Pg.is_terminal t)
+
+let test_fig1_full_run () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  check_int "A.1 cost" 2
+    (prbp_cost ~r:4 g (Prbp.Strategies.fig1_prbp ids))
+
+let test_rbp_to_prbp_translation () =
+  (* Proposition 4.1: any (normalized) RBP strategy maps to a PRBP
+     strategy of the same I/O cost *)
+  List.iter
+    (fun g ->
+      let r = max 2 (Dag.max_in_degree g + 1) in
+      let moves = Prbp.Heuristic.rbp ~r g in
+      let moves = Prbp.Rbp.normalize (Prbp.Rbp.config ~r ()) g moves in
+      let c_rbp = rbp_cost ~r g moves in
+      let translated = Prbp.Move.rbp_to_prbp g moves in
+      let c_prbp = prbp_cost ~r g translated in
+      check_int "same cost" c_rbp c_prbp)
+    (Lazy.force random_dags)
+
+let test_wasteful_load_legal () =
+  let t = Pg.start (cfg 3) (diamond ()) in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "wasteful reload" (Pg.apply t (P.Load 0));
+  check_int "charged" 2 (Pg.io_cost t);
+  check_int "one red" 1 (Pg.red_count t)
+
+let test_counters_and_peak () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  let t =
+    Pg.run_exn (cfg 4) g (Prbp.Strategies.fig1_prbp ids)
+  in
+  check_int "loads" 1 (Pg.loads t);
+  check_int "saves" 1 (Pg.saves t);
+  check_int "computes = edges" (Dag.n_edges g) (Pg.computes t);
+  check_int "peak red" 4 (Pg.max_red_seen t)
+
+let test_normalized_compute_cost () =
+  let g = Prbp.Graphs.Basic.fan_in 4 in
+  let c = Pg.config ~r:2 ~compute_cost:1.0 ~normalized_cost:true () in
+  let moves =
+    List.concat_map
+      (fun i -> P.[ Load i; Compute (i, 4); Delete i ])
+      [ 0; 1; 2; 3 ]
+    @ P.[ Save 4 ]
+  in
+  let t = Pg.run_exn c g moves in
+  (* 4 partial computes, each worth 1/deg = 1/4: total ε-cost 1 *)
+  Alcotest.(check (float 1e-9)) "normalized" 6.0 (Pg.total_cost t)
+
+let suite =
+  [
+    ( "prbp",
+      [
+        case "initial state" test_initial_state;
+        case "load/save state transitions" test_load_save_states;
+        case "partial compute" test_partial_compute_chain;
+        case "one-shot per edge" test_input_must_be_fully_computed;
+        case "compute onto blue forbidden" test_compute_onto_blue_forbidden;
+        case "dark deletion discipline" test_dark_delete_needs_marked_outputs;
+        case "capacity" test_capacity;
+        case "every DAG pebbles with r=2" test_any_dag_with_r2;
+        case "terminal requires all edges marked" test_terminal_needs_all_edges;
+        case "Figure-1 full run" test_fig1_full_run;
+        case "Prop 4.1 translation preserves cost" test_rbp_to_prbp_translation;
+        case "wasteful load stays legal" test_wasteful_load_legal;
+        case "counters and peak" test_counters_and_peak;
+        case "normalized compute cost (B.3)" test_normalized_compute_cost;
+      ] );
+  ]

@@ -1,0 +1,174 @@
+(* QCheck property suites over randomly generated DAGs: the invariants
+   that quantify over "any DAG" or "any strategy" in the paper. *)
+open Test_util
+module Dag = Prbp.Dag
+
+let gen_dag =
+  QCheck.make
+    ~print:(fun (seed, layers, width) ->
+      Printf.sprintf "seed=%d layers=%d width=%d" seed layers width)
+    QCheck.Gen.(
+      triple (int_range 1 10_000) (int_range 2 4) (int_range 1 3))
+
+let dag_of (seed, layers, width) =
+  Prbp.Graphs.Random_dag.make ~seed ~layers ~width ~density:0.35
+    ~max_in_degree:4 ()
+
+let prop_heuristic_prbp_valid =
+  qcase ~count:60 "PRBP heuristic yields valid complete pebblings" gen_dag
+    (fun params ->
+      let g = dag_of params in
+      match
+        Prbp.Prbp_game.check
+          (Prbp.Prbp_game.config ~r:2 ())
+          g
+          (Prbp.Heuristic.prbp ~r:2 g)
+      with
+      | Ok c -> c >= Dag.trivial_cost g
+      | Error _ -> false)
+
+let prop_heuristic_rbp_valid =
+  qcase ~count:60 "RBP heuristic yields valid complete pebblings" gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let r = Dag.max_in_degree g + 1 in
+      match Prbp.Rbp.check (Prbp.Rbp.config ~r ()) g (Prbp.Heuristic.rbp ~r g) with
+      | Ok c -> c >= Dag.trivial_cost g
+      | Error _ -> false)
+
+let prop_41_translation =
+  qcase ~count:40 "Prop 4.1: RBP strategies translate cost-preserving"
+    gen_dag (fun params ->
+      let g = dag_of params in
+      let r = Dag.max_in_degree g + 1 in
+      let moves =
+        Prbp.Rbp.normalize (Prbp.Rbp.config ~r ()) g (Prbp.Heuristic.rbp ~r g)
+      in
+      let c = match Prbp.Rbp.check (Prbp.Rbp.config ~r ()) g moves with
+        | Ok c -> c
+        | Error _ -> -1
+      in
+      c >= 0
+      &&
+      match
+        Prbp.Prbp_game.check
+          (Prbp.Prbp_game.config ~r ())
+          g
+          (Prbp.Move.rbp_to_prbp g moves)
+      with
+      | Ok c' -> c = c'
+      | Error _ -> false)
+
+let prop_lemma_64 =
+  qcase ~count:40 "Lemma 6.4: traces extract to valid 2r-edge partitions"
+    gen_dag (fun params ->
+      let g = dag_of params in
+      let r = 3 in
+      let moves = Prbp.Heuristic.prbp ~r g in
+      let cost =
+        match Prbp.Prbp_game.check (Prbp.Prbp_game.config ~r ()) g moves with
+        | Ok c -> c
+        | Error _ -> -1
+      in
+      cost >= 0
+      &&
+      let cls = Prbp.Extract.edge_partition_of_prbp ~r g moves in
+      let k = Array.length cls in
+      (match Prbp.Spart.is_edge_partition g ~s:(2 * r) cls with
+      | Ok () -> true
+      | Error _ -> false)
+      && r * k >= cost
+      && cost >= r * (k - 1))
+
+let prop_lemma_68 =
+  qcase ~count:40 "Lemma 6.8: traces extract to valid 2r-dominator partitions"
+    gen_dag (fun params ->
+      let g = dag_of params in
+      let r = 3 in
+      let moves = Prbp.Heuristic.prbp ~r g in
+      let cost =
+        match Prbp.Prbp_game.check (Prbp.Prbp_game.config ~r ()) g moves with
+        | Ok c -> c
+        | Error _ -> -1
+      in
+      cost >= 0
+      &&
+      let cls = Prbp.Extract.dominator_partition_of_prbp ~r g moves in
+      let k = Array.length cls in
+      (match Prbp.Spart.is_dominator_partition g ~s:(2 * r) cls with
+      | Ok () -> true
+      | Error _ -> false)
+      && r * k >= cost
+      && cost >= r * (k - 1))
+
+let prop_hong_kung =
+  qcase ~count:40 "Hong-Kung: RBP traces extract to valid 2r-partitions"
+    gen_dag (fun params ->
+      let g = dag_of params in
+      let r = Dag.max_in_degree g + 1 in
+      let moves = Prbp.Heuristic.rbp ~r g in
+      let cls = Prbp.Extract.hong_kung ~r g moves in
+      match Prbp.Spart.is_spartition g ~s:(2 * r) cls with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_dominator_monotone =
+  qcase ~count:60 "min dominator size is monotone under set inclusion"
+    gen_dag (fun params ->
+      let g = dag_of params in
+      let n = Dag.n_nodes g in
+      let small = Prbp.Bitset.of_list n [ n - 1 ] in
+      let big = Prbp.Bitset.of_list n [ n - 1; n / 2 ] in
+      Prbp.Dominator.min_dominator_size g small
+      <= Prbp.Dominator.min_dominator_size g big)
+
+let prop_dominator_capped_by_sources =
+  qcase ~count:60 "min dominator never exceeds the source count" gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let all = Prbp.Bitset.create (Dag.n_nodes g) in
+      Prbp.Bitset.fill all;
+      (* the set of sources dominates everything *)
+      Prbp.Dominator.min_dominator_size g all <= Dag.n_sources g)
+
+let prop_prbp_cost_monotone_r =
+  qcase ~count:30 "heuristic PRBP cost weakly improves with cache" gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let c2 = Prbp.Heuristic.prbp_cost ~r:2 g in
+      let c6 = Prbp.Heuristic.prbp_cost ~r:6 g in
+      (* Belady eviction with more capacity never loads/saves more *)
+      c6 <= c2)
+
+let prop_exact_sandwich =
+  qcase ~count:15 "trivial <= OPT_PRBP <= OPT_RBP on solvable sizes"
+    (QCheck.make
+       ~print:(fun s -> Printf.sprintf "seed=%d" s)
+       QCheck.Gen.(int_range 1 10_000))
+    (fun seed ->
+      let g =
+        Prbp.Graphs.Random_dag.make ~seed ~layers:3 ~width:2 ~density:0.4 ()
+      in
+      let r = Dag.max_in_degree g + 1 in
+      match Prbp.Exact_rbp.opt_opt (Prbp.Rbp.config ~r ()) g with
+      | None -> false
+      | Some rb ->
+          let pb = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+          Dag.trivial_cost g <= pb && pb <= rb)
+
+let suite =
+  [
+    ( "properties",
+      [
+        prop_heuristic_prbp_valid;
+        prop_heuristic_rbp_valid;
+        prop_41_translation;
+        prop_lemma_64;
+        prop_lemma_68;
+        prop_hong_kung;
+        prop_dominator_monotone;
+        prop_dominator_capped_by_sources;
+        prop_prbp_cost_monotone_r;
+        prop_exact_sandwich;
+      ] );
+  ]

@@ -1,0 +1,77 @@
+(* Exact search for the PRBP re-computation variant (Appendix B.1). *)
+open Test_util
+module Dag = Prbp.Dag
+module Pg = Prbp.Prbp_game
+
+let pcfg ?(recompute = false) r =
+  Pg.config ~one_shot:(not recompute) ~recompute ~r ()
+
+let test_fig1_unaffected () =
+  (* B.1: PRBP was already at the trivial cost on Figure 1, so
+     re-computation gains nothing *)
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  check_int "one-shot" 2 (Prbp.Exact_prbp.opt (pcfg 4) g);
+  check_int "recompute" 2 (Prbp.Exact_prbp.opt (pcfg ~recompute:true 4) g)
+
+let test_recompute_never_worse () =
+  (* dropping the one-shot restriction can only help *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 8 && Dag.n_edges g <= 14 then
+        List.iter
+          (fun r ->
+            match
+              ( Prbp.Exact_prbp.opt (pcfg r) g,
+                Prbp.Exact_prbp.opt (pcfg ~recompute:true r) g )
+            with
+            | a, b -> check_true "recompute <= one-shot" (b <= a)
+            | exception Prbp.Exact_prbp.Too_large _ -> ())
+          [ 2; 3 ])
+    (Lazy.force random_dags)
+
+let witness_gap_dag () =
+  (* a 6-node DAG found by exhaustive search where re-computation
+     strictly helps PRBP at r = 2 *)
+  Dag.make ~n:6
+    [ (0, 2); (0, 3); (0, 4); (1, 2); (1, 4); (2, 4); (2, 5); (3, 4); (3, 5) ]
+
+let test_gap_witness () =
+  let g = witness_gap_dag () in
+  let one_shot = Prbp.Exact_prbp.opt (pcfg 2) g in
+  let rc = Prbp.Exact_prbp.opt (pcfg ~recompute:true 2) g in
+  check_int "one-shot optimum" 10 one_shot;
+  check_int "recompute optimum" 9 rc;
+  check_true "strict gap" (rc < one_shot)
+
+let test_recompute_strategy_replays () =
+  (* the reconstructed optimal strategy (with Clear moves) replays
+     through the rule-checking engine at the same cost *)
+  let g = witness_gap_dag () in
+  match Prbp.Exact_prbp.opt_with_strategy (pcfg ~recompute:true 2) g with
+  | None -> Alcotest.fail "no strategy"
+  | Some (c, moves) -> (
+      check_int "cost" 9 c;
+      check_true "uses clear"
+        (List.exists (function Prbp.Move.P.Clear _ -> true | _ -> false) moves);
+      match Pg.check (pcfg ~recompute:true 2) g moves with
+      | Ok c' -> check_int "replay" c c'
+      | Error e -> Alcotest.failf "replay failed: %s" e)
+
+let test_clear_edge_semantics_in_search () =
+  (* the searched Clear matches the engine: marks of in-edges revert,
+     so a cleared chain must be recomputed in order *)
+  let g = Prbp.Graphs.Basic.path 3 in
+  (* optimal cost is unaffected on a path (no sharing to exploit) *)
+  check_int "path" 2 (Prbp.Exact_prbp.opt (pcfg ~recompute:true 2) g)
+
+let suite =
+  [
+    ( "recompute",
+      [
+        case "fig1 unaffected" test_fig1_unaffected;
+        case "recompute never worse" test_recompute_never_worse;
+        case "strict gap witness" test_gap_witness;
+        case "optimal strategy replays" test_recompute_strategy_replays;
+        case "clear semantics on a path" test_clear_edge_semantics_in_search;
+      ] );
+  ]

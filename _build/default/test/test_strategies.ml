@@ -1,0 +1,203 @@
+open Test_util
+module Dag = Prbp.Dag
+module S = Prbp.Strategies
+module G = Prbp.Graphs
+
+let test_fig1_strategies () =
+  let g, ids = G.Fig1.full () in
+  check_int "A.1 RBP" 3 (rbp_cost ~r:4 g (S.fig1_rbp ids));
+  check_int "A.1 PRBP" 2 (prbp_cost ~r:4 g (S.fig1_prbp ids))
+
+let test_chained_strategies () =
+  List.iter
+    (fun copies ->
+      let g = G.Fig1.chained ~copies in
+      check_int "prbp stays 2" 2
+        (prbp_cost ~r:4 g (S.fig1_chained_prbp ~copies));
+      check_int "rbp 2c+1"
+        ((2 * copies) + 1)
+        (rbp_cost ~r:4 g (S.fig1_chained_rbp ~copies)))
+    [ 1; 2; 3; 10; 50 ]
+
+let test_chained_rbp_matches_exact () =
+  (* the strategy is not just valid, it is optimal at small sizes *)
+  List.iter
+    (fun copies ->
+      let g = G.Fig1.chained ~copies in
+      check_int "matches exact"
+        (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:4 ()) g)
+        (rbp_cost ~r:4 g (S.fig1_chained_rbp ~copies)))
+    [ 1; 2; 3 ]
+
+let test_matvec () =
+  List.iter
+    (fun m ->
+      let mv = G.Matvec.make ~m in
+      let cost = prbp_cost ~r:(m + 3) mv.G.Matvec.dag (S.matvec_prbp mv) in
+      check_int "trivial cost achieved" (G.Matvec.prbp_opt ~m) cost;
+      (* Proposition 4.3: below the RBP lower bound for r <= 2m *)
+      check_true "beats RBP bound" (cost < G.Matvec.rbp_lower ~m))
+    [ 3; 4; 5; 8 ]
+
+let test_matvec_respects_capacity () =
+  (* the streaming strategy genuinely needs only m+3 pebbles *)
+  let mv = G.Matvec.make ~m:5 in
+  let t =
+    Prbp.Prbp_game.run_exn
+      (Prbp.Prbp_game.config ~r:8 ())
+      mv.G.Matvec.dag (S.matvec_prbp mv)
+  in
+  check_int "peak is m+3" 8 (Prbp.Prbp_game.max_red_seen t)
+
+let test_zipper () =
+  List.iter
+    (fun (d, len) ->
+      let z = G.Zipper.make ~d ~len in
+      let rb = rbp_cost ~r:(d + 2) z.G.Zipper.dag (S.zipper_rbp z) in
+      let pb = prbp_cost ~r:(d + 2) z.G.Zipper.dag (S.zipper_prbp z) in
+      check_int "rbp formula" (S.zipper_rbp_cost ~d ~len) rb;
+      check_int "prbp formula" (S.zipper_prbp_cost ~d ~len) pb;
+      (* Proposition 4.4: strict win for d >= 3 *)
+      if d >= 3 && len >= 3 then check_true "prbp wins" (pb < rb))
+    [ (3, 4); (3, 9); (4, 7); (5, 12); (2, 6) ]
+
+let test_trees () =
+  List.iter
+    (fun (k, depth) ->
+      let t = G.Tree.make ~k ~depth in
+      let g = t.G.Tree.dag in
+      check_int "rbp closed form"
+        (G.Tree.rbp_opt ~k ~depth)
+        (rbp_cost ~r:(k + 1) g (S.tree_rbp t));
+      check_int "prbp closed form"
+        (G.Tree.prbp_opt ~k ~depth)
+        (prbp_cost ~r:(k + 1) g (S.tree_prbp t)))
+    [ (2, 1); (2, 2); (2, 3); (2, 6); (3, 2); (3, 3); (3, 4); (4, 4); (5, 3) ]
+
+let test_tree_peak_usage () =
+  (* the PRBP strategy truly never exceeds k+1 red pebbles *)
+  let t = G.Tree.make ~k:3 ~depth:4 in
+  let eng =
+    Prbp.Prbp_game.run_exn
+      (Prbp.Prbp_game.config ~r:4 ())
+      t.G.Tree.dag (S.tree_prbp t)
+  in
+  check_int "peak k+1" 4 (Prbp.Prbp_game.max_red_seen eng)
+
+let test_collect () =
+  let c = G.Collect.make ~d:5 ~len:60 in
+  let g = c.G.Collect.dag in
+  check_int "full strategy = trivial" (Dag.trivial_cost g)
+    (rbp_cost ~r:7 g (S.collect_full c));
+  let capped = prbp_cost ~r:6 g (S.collect_capped c) in
+  check_int "capped formula" (S.collect_capped_cost ~d:5 ~len:60) capped;
+  (* Proposition 4.6: any capped strategy pays at least len/(2d) *)
+  check_true "respects the lower bound"
+    (capped >= G.Collect.lower_bound_capped c);
+  (* capped strategy indeed uses at most d+1 pebbles *)
+  let eng =
+    Prbp.Prbp_game.run_exn (Prbp.Prbp_game.config ~r:6 ()) g
+      (S.collect_capped c)
+  in
+  check_int "peak d+1" 6 (Prbp.Prbp_game.max_red_seen eng)
+
+let test_lemma54 () =
+  List.iter
+    (fun h ->
+      let l = G.Lemma54.make ~group_size:h in
+      check_int "trivial cost 8" 8
+        (prbp_cost ~r:3 l.G.Lemma54.dag (S.lemma54_prbp l)))
+    [ 1; 5; 40 ]
+
+let test_matmul_tiled () =
+  List.iter
+    (fun (m1, m2, m3, r) ->
+      let mm = G.Matmul.make ~m1 ~m2 ~m3 in
+      let ti, tk, tj = S.matmul_tile_for ~r ~m1 ~m2 ~m3 in
+      let cost = prbp_cost ~r mm.G.Matmul.dag (S.matmul_tiled ~ti ~tk ~tj mm) in
+      check_true "above trivial" (cost >= Dag.trivial_cost mm.G.Matmul.dag);
+      check_true "above the 6.10 bound"
+        (float_of_int cost >= G.Matmul.lower_bound mm ~r))
+    [ (4, 4, 4, 8); (6, 6, 6, 14); (5, 3, 4, 28); (2, 7, 2, 10) ]
+
+let test_matmul_tiles_fit () =
+  let mm = G.Matmul.make ~m1:8 ~m2:8 ~m3:8 in
+  let r = 30 in
+  let ti, tk, tj = S.matmul_tile_for ~r ~m1:8 ~m2:8 ~m3:8 in
+  let eng =
+    Prbp.Prbp_game.run_exn
+      (Prbp.Prbp_game.config ~r ())
+      mm.G.Matmul.dag
+      (S.matmul_tiled ~ti ~tk ~tj mm)
+  in
+  check_true "peak within r" (Prbp.Prbp_game.max_red_seen eng <= r)
+
+let test_attention_tiles () =
+  (* large cache: full-d tiles *)
+  let ti, tk, tj = S.attention_tiles ~r:200 ~m:16 ~d:4 in
+  check_int "inner full" 4 tk;
+  check_true "square row/col blocks" (ti = tj && ti >= 4);
+  (* small cache: matmul tiling *)
+  let ti', tk', tj' = S.attention_tiles ~r:13 ~m:16 ~d:4 in
+  check_true "small tiles" (ti' <= 2 && tk' <= 2 && tj' <= 2)
+
+let test_attention_strategy_runs () =
+  let m = 6 and d = 2 in
+  let mm = G.Attention.qkt ~m ~d in
+  let r = 40 in
+  let ti, tk, tj = S.attention_tiles ~r ~m ~d in
+  let cost = prbp_cost ~r mm.G.Matmul.dag (S.matmul_tiled ~ti ~tk ~tj mm) in
+  check_true "above 6.11 bound"
+    (float_of_int cost >= G.Attention.lower_bound ~m ~d ~r)
+
+let test_fft_blocked () =
+  List.iter
+    (fun (m, r) ->
+      let f = G.Fft.make ~m in
+      let cost = rbp_cost ~r f.G.Fft.dag (S.fft_blocked ~r f) in
+      check_true "above the 6.9 bound"
+        (float_of_int cost >= G.Fft.lower_bound f ~r);
+      (* also valid in PRBP at the same cost (Prop 4.1) *)
+      let p = Prbp.Move.rbp_to_prbp f.G.Fft.dag (S.fft_blocked ~r f) in
+      check_int "translates" cost (prbp_cost ~r f.G.Fft.dag p))
+    [ (8, 4); (16, 6); (16, 18); (64, 10); (64, 34) ]
+
+let test_fft_blocked_peak () =
+  let f = G.Fft.make ~m:32 in
+  let r = 10 in
+  let eng =
+    Prbp.Rbp.run_exn (Prbp.Rbp.config ~r ()) f.G.Fft.dag (S.fft_blocked ~r f)
+  in
+  (* sub-butterfly width 2^⌊log2(r-2)⌋ = 8, plus the working pair *)
+  check_int "peak w+2" 10 (Prbp.Rbp.max_red_seen eng)
+
+let test_fft_cost_scales_with_log_r () =
+  (* doubling k (via r) roughly halves the non-trivial I/O *)
+  let f = G.Fft.make ~m:256 in
+  let c1 = rbp_cost ~r:4 f.G.Fft.dag (S.fft_blocked ~r:4 f) in
+  let c2 = rbp_cost ~r:18 f.G.Fft.dag (S.fft_blocked ~r:18 f) in
+  check_true "larger cache helps markedly" (c2 * 3 <= c1 * 2)
+
+let suite =
+  [
+    ( "strategies",
+      [
+        case "fig1 (A.1)" test_fig1_strategies;
+        case "Prop 4.7 chains" test_chained_strategies;
+        case "chained RBP strategy optimal" test_chained_rbp_matches_exact;
+        case "Prop 4.3 matvec streaming" test_matvec;
+        case "matvec peak m+3" test_matvec_respects_capacity;
+        case "Prop 4.4 zipper" test_zipper;
+        case "A.2 k-ary trees" test_trees;
+        case "tree peak k+1" test_tree_peak_usage;
+        case "Prop 4.6 collection gadget" test_collect;
+        case "Lemma 5.4 trivial pebbling" test_lemma54;
+        case "Thm 6.10 tiled matmul" test_matmul_tiled;
+        case "matmul tiles fit in r" test_matmul_tiles_fit;
+        case "Thm 6.11 attention tiles" test_attention_tiles;
+        case "attention strategy vs bound" test_attention_strategy_runs;
+        case "Thm 6.9 blocked FFT" test_fft_blocked;
+        case "FFT peak w+2" test_fft_blocked_peak;
+        case "FFT cost scales with log r" test_fft_cost_scales_with_log_r;
+      ] );
+  ]

@@ -1,0 +1,69 @@
+open Test_util
+module Dag = Prbp.Dag
+module Topo = Prbp.Topo
+
+let test_sort_diamond () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let ord = Topo.sort g in
+  check_true "valid order" (Topo.is_order g ord);
+  (* Kahn with a min-heap is deterministic: 0, then 1 before 2 *)
+  Alcotest.(check (array int)) "deterministic" [| 0; 1; 2; 3 |] ord
+
+let test_is_order_rejects () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_false "reversed" (Topo.is_order g [| 3; 2; 1; 0 |]);
+  check_false "not a permutation" (Topo.is_order g [| 0; 0; 1; 2 |]);
+  check_false "wrong length" (Topo.is_order g [| 0; 1; 2 |])
+
+let test_depth () =
+  let g = Prbp.Graphs.Basic.path 5 in
+  Alcotest.(check (array int)) "path depths" [| 0; 1; 2; 3; 4 |] (Topo.depth g);
+  check_int "height" 4 (Topo.height g)
+
+let test_depth_longest_path () =
+  (* depth follows the longest path, not the shortest *)
+  let g = Prbp.Dag.make ~n:4 [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2; 3 |] (Topo.depth g)
+
+let test_levels () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let lv = Topo.levels g in
+  check_int "three levels" 3 (Array.length lv);
+  Alcotest.(check (list int)) "middle" [ 1; 2 ] lv.(1)
+
+let test_edge_order () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let eo = Topo.edge_order g in
+  check_int "all edges" (Dag.n_edges g) (Array.length eo);
+  (* in-edges of any node come before its out-edges *)
+  let pos = Array.make (Dag.n_edges g) 0 in
+  Array.iteri (fun i e -> pos.(e) <- i) eo;
+  Dag.iter_edges
+    (fun e _ v ->
+      Dag.iter_succ_e
+        (fun e' _ -> check_true "in before out" (pos.(e) < pos.(e')))
+        g v)
+    g
+
+let prop_sort_random =
+  qcase ~count:50 "topological order on random DAGs"
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let g =
+        Prbp.Graphs.Random_dag.make ~seed ~layers:5 ~width:3 ~density:0.4 ()
+      in
+      Topo.is_order g (Topo.sort g))
+
+let suite =
+  [
+    ( "topo",
+      [
+        case "sort diamond" test_sort_diamond;
+        case "is_order rejects" test_is_order_rejects;
+        case "depth on path" test_depth;
+        case "depth is longest path" test_depth_longest_path;
+        case "levels" test_levels;
+        case "edge order respects marking" test_edge_order;
+        prop_sort_random;
+      ] );
+  ]

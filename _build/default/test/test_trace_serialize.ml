@@ -1,0 +1,261 @@
+(* Trace instrumentation, DAG serialization, and the greedy PRBP
+   scheduler. *)
+open Test_util
+module Dag = Prbp.Dag
+module Trace = Prbp.Trace
+module Serialize = Prbp.Serialize
+
+let test_trace_rbp () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  match Trace.of_rbp (Prbp.Rbp.config ~r:4 ()) g (Prbp.Strategies.fig1_rbp ids) with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      check_int "cost" 3 t.Trace.cost;
+      check_int "peak" 4 t.Trace.peak;
+      check_int "steps" 20 (Array.length t.Trace.steps);
+      (* io_so_far is non-decreasing and ends at the cost *)
+      let last = t.Trace.steps.(Array.length t.Trace.steps - 1) in
+      check_int "final io" 3 last.Trace.io_so_far;
+      Array.iteri
+        (fun i s ->
+          if i > 0 then
+            check_true "monotone io"
+              (s.Trace.io_so_far >= t.Trace.steps.(i - 1).Trace.io_so_far))
+        t.Trace.steps
+
+let test_trace_prbp () =
+  let g, ids = Prbp.Graphs.Fig1.full () in
+  match
+    Trace.of_prbp (Prbp.Prbp_game.config ~r:4 ()) g (Prbp.Strategies.fig1_prbp ids)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      check_int "cost" 2 t.Trace.cost;
+      check_int "peak" 4 t.Trace.peak;
+      check_true "red never exceeds r"
+        (Array.for_all (fun s -> s.Trace.red_count <= 4) t.Trace.steps)
+
+let test_trace_rejects_invalid () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  (match Trace.of_rbp (Prbp.Rbp.config ~r:3 ()) g [ Prbp.Move.R.Compute 3 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid accepted");
+  match Trace.of_rbp (Prbp.Rbp.config ~r:3 ()) g [ Prbp.Move.R.Load 0 ] with
+  | Error e -> check_true "incomplete detected" (String.length e > 0)
+  | Ok _ -> Alcotest.fail "incomplete accepted"
+
+let test_trace_rendering () =
+  let mv = Prbp.Graphs.Matvec.make ~m:4 in
+  match
+    Trace.of_prbp
+      (Prbp.Prbp_game.config ~r:7 ())
+      mv.Prbp.Graphs.Matvec.dag
+      (Prbp.Strategies.matvec_prbp mv)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let chart = Trace.occupancy t in
+      check_true "chart has rows"
+        (List.length (String.split_on_char '\n' chart) >= 7);
+      check_true "summary mentions peak"
+        (let s = Trace.summary t in
+         String.length s > 0)
+
+let test_serialize_roundtrip () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  match Serialize.of_string (Serialize.to_string g) with
+  | Error e -> Alcotest.fail e
+  | Ok g' ->
+      check_int "nodes" (Dag.n_nodes g) (Dag.n_nodes g');
+      check_int "edges" (Dag.n_edges g) (Dag.n_edges g');
+      Alcotest.(check (list (pair int int))) "edge lists" (Dag.edges g)
+        (Dag.edges g');
+      Alcotest.(check string) "names kept" (Dag.name g 0) (Dag.name g' 0)
+
+let test_serialize_roundtrip_random () =
+  List.iter
+    (fun g ->
+      match Serialize.of_string (Serialize.to_string g) with
+      | Error e -> Alcotest.fail e
+      | Ok g' ->
+          Alcotest.(check (list (pair int int))) "edges" (Dag.edges g)
+            (Dag.edges g'))
+    (Lazy.force random_dags)
+
+let test_serialize_parse_errors () =
+  check_true "missing nodes"
+    (match Serialize.of_string "edge 0 1\n" with Error _ -> true | Ok _ -> false);
+  check_true "bad count"
+    (match Serialize.of_string "nodes x\n" with Error _ -> true | Ok _ -> false);
+  check_true "cycle reported"
+    (match Serialize.of_string "nodes 2\nedge 0 1\nedge 1 0\n" with
+    | Error e -> e = "the edge list contains a cycle"
+    | Ok _ -> false);
+  check_true "comments and blanks ok"
+    (match Serialize.of_string "# header\nnodes 2\n\nedge 0 1 # tail\n" with
+    | Ok g -> Dag.n_edges g = 1
+    | Error _ -> false)
+
+let test_serialize_file_roundtrip () =
+  let g = Prbp.Graphs.Basic.pyramid 3 in
+  let path = Filename.temp_file "prbp" ".dag" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serialize.to_file path g;
+      match Serialize.of_file path with
+      | Ok g' -> check_int "edges" (Dag.n_edges g) (Dag.n_edges g')
+      | Error e -> Alcotest.fail e)
+
+let test_greedy_valid_everywhere () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun r ->
+          let c = Prbp.Heuristic.prbp_greedy_cost ~r g in
+          check_true "above trivial" (c >= Dag.trivial_cost g))
+        [ 2; 3; 5 ])
+    (Lazy.force random_dags)
+
+let test_greedy_hits_trivial_on_aggregations () =
+  let mv = Prbp.Graphs.Matvec.make ~m:3 in
+  check_int "matvec(3)" (Dag.trivial_cost mv.Prbp.Graphs.Matvec.dag)
+    (Prbp.Heuristic.prbp_greedy_cost ~r:6 mv.Prbp.Graphs.Matvec.dag);
+  let sp = Prbp.Graphs.Spmv.make ~seed:2 ~density:0.3 ~rows:8 ~cols:8 () in
+  check_int "spmv" (Dag.trivial_cost sp.Prbp.Graphs.Spmv.dag)
+    (Prbp.Heuristic.prbp_greedy_cost ~r:11 sp.Prbp.Graphs.Spmv.dag)
+
+let test_greedy_optimal_on_tree () =
+  let t = Prbp.Graphs.Tree.make ~k:2 ~depth:4 in
+  check_int "matches OPT" (Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth:4)
+    (Prbp.Heuristic.prbp_greedy_cost ~r:3 t.Prbp.Graphs.Tree.dag)
+
+let test_greedy_beats_node_major_where_it_matters () =
+  let mv = Prbp.Graphs.Matvec.make ~m:4 in
+  let g = mv.Prbp.Graphs.Matvec.dag in
+  check_true "greedy < node-major on matvec"
+    (Prbp.Heuristic.prbp_greedy_cost ~r:7 g < Prbp.Heuristic.prbp_cost ~r:7 g)
+
+let test_prbp_best () =
+  List.iter
+    (fun g ->
+      let best = Prbp.Heuristic.prbp_best_cost ~r:3 g in
+      check_true "best <= node-major" (best <= Prbp.Heuristic.prbp_cost ~r:3 g);
+      check_true "best <= greedy"
+        (best <= Prbp.Heuristic.prbp_greedy_cost ~r:3 g))
+    (Lazy.force random_dags)
+
+let suite =
+  [
+    ( "trace+serialize+greedy",
+      [
+        case "RBP trace" test_trace_rbp;
+        case "PRBP trace" test_trace_prbp;
+        case "invalid traces rejected" test_trace_rejects_invalid;
+        case "occupancy rendering" test_trace_rendering;
+        case "serialize roundtrip (fig1)" test_serialize_roundtrip;
+        case "serialize roundtrip (random)" test_serialize_roundtrip_random;
+        case "parse errors" test_serialize_parse_errors;
+        case "file roundtrip" test_serialize_file_roundtrip;
+        case "greedy valid on the pool" test_greedy_valid_everywhere;
+        case "greedy trivial on aggregation DAGs" test_greedy_hits_trivial_on_aggregations;
+        case "greedy optimal on binary tree" test_greedy_optimal_on_tree;
+        case "greedy beats node-major on matvec" test_greedy_beats_node_major_where_it_matters;
+        case "prbp_best dominates both" test_prbp_best;
+      ] );
+  ]
+
+(* appended: I/O breakdown, charts, stencil family *)
+
+let test_breakdown_trivial_strategy () =
+  (* a trivial-cost strategy has zero non-trivial I/O by definition *)
+  let mv = Prbp.Graphs.Matvec.make ~m:4 in
+  match
+    Trace.breakdown_prbp
+      (Prbp.Prbp_game.config ~r:7 ())
+      mv.Prbp.Graphs.Matvec.dag
+      (Prbp.Strategies.matvec_prbp mv)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+      check_int "no reloads" 0 b.Trace.reloads;
+      check_int "no spills" 0 b.Trace.spills;
+      check_int "all sources once" 20 b.Trace.source_loads;
+      check_int "all sinks once" 4 b.Trace.sink_saves;
+      check_int "non-trivial" 0 (Trace.non_trivial b)
+
+let test_breakdown_tree_matches_paper () =
+  (* Appendix A.2: the non-trivial I/O of the optimal pebblings is
+     2^d − 2 (RBP) and 2^(d−1) − 2 (PRBP) for binary trees at r = 3 *)
+  let d = 5 in
+  let t = Prbp.Graphs.Tree.make ~k:2 ~depth:d in
+  let g = t.Prbp.Graphs.Tree.dag in
+  (match Trace.breakdown_rbp (Prbp.Rbp.config ~r:3 ()) g (Prbp.Strategies.tree_rbp t) with
+  | Error e -> Alcotest.fail e
+  | Ok b -> check_int "RBP non-trivial" ((1 lsl d) - 2) (Trace.non_trivial b));
+  match
+    Trace.breakdown_prbp (Prbp.Prbp_game.config ~r:3 ()) g
+      (Prbp.Strategies.tree_prbp t)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok b ->
+      check_int "PRBP non-trivial" ((1 lsl (d - 1)) - 2) (Trace.non_trivial b)
+
+let test_breakdown_rejects_invalid () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_true "invalid"
+    (match Trace.breakdown_rbp (Prbp.Rbp.config ~r:3 ()) g [] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_chart_renders () =
+  let s =
+    Prbp.Chart.loglog ~x_label:"n" ~y_label:"cost"
+      [
+        { Prbp.Chart.label = "a"; glyph = '#';
+          points = [ (1., 1.); (10., 10.); (100., 100.) ] };
+        { Prbp.Chart.label = "b"; glyph = 'o';
+          points = [ (1., 2.); (100., 200.) ] };
+      ]
+  in
+  check_true "mentions legend" (String.length s > 100);
+  check_true "positive required"
+    (match
+       Prbp.Chart.loglog ~x_label:"x" ~y_label:"y"
+         [ { Prbp.Chart.label = "bad"; glyph = '#'; points = [ (0., 1.) ] } ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stencil_shape () =
+  let g = Prbp.Graphs.Basic.stencil1d ~steps:4 ~width:5 in
+  check_int "nodes" 20 (Dag.n_nodes g);
+  check_int "sources" 5 (Dag.n_sources g);
+  check_int "sinks" 5 (Dag.n_sinks g);
+  check_int "interior in-degree" 3 (Dag.in_degree g ((5 * 2) + 2));
+  check_int "boundary in-degree" 2 (Dag.in_degree g (5 * 2));
+  check_int "height" 3 (Prbp.Topo.height g)
+
+let test_stencil_pebbles () =
+  let g = Prbp.Graphs.Basic.stencil1d ~steps:5 ~width:6 in
+  (* PRBP needs only r = 2; with a row of cache both games work *)
+  let c2 = Prbp.Heuristic.prbp_cost ~r:2 g in
+  check_true "r=2 valid" (c2 >= Dag.trivial_cost g);
+  let r = Dag.max_in_degree g + 2 in
+  check_true "prbp no worse than rbp"
+    (Prbp.Heuristic.prbp_best_cost ~r g <= Prbp.Heuristic.rbp_cost ~r g)
+
+let suite =
+  suite
+  @ [
+      ( "breakdown+chart+stencil",
+        [
+          case "trivial strategies have zero non-trivial I/O"
+            test_breakdown_trivial_strategy;
+          case "tree non-trivial I/O matches A.2" test_breakdown_tree_matches_paper;
+          case "breakdown rejects invalid pebblings" test_breakdown_rejects_invalid;
+          case "log-log chart" test_chart_renders;
+          case "stencil shape" test_stencil_shape;
+          case "stencil pebbling" test_stencil_pebbles;
+        ] );
+    ]

@@ -1,0 +1,48 @@
+(* Shared helpers for the test suite. *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcase ?count name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ?count ~name gen prop)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_true name b = Alcotest.(check bool) name true b
+
+let check_false name b = Alcotest.(check bool) name false b
+
+let check_ok name = function
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" name e
+
+let check_err name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+(* Replay an RBP strategy, requiring completeness, and return its cost. *)
+let rbp_cost ?(cfg_of = fun r -> Prbp.Rbp.config ~r ()) ~r g moves =
+  match Prbp.Rbp.check (cfg_of r) g moves with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "invalid RBP pebbling: %s" e
+
+let prbp_cost ?(cfg_of = fun r -> Prbp.Prbp_game.config ~r ()) ~r g moves =
+  match Prbp.Prbp_game.check (cfg_of r) g moves with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "invalid PRBP pebbling: %s" e
+
+(* A deterministic pool of small random DAGs for cross-module tests. *)
+let random_dags =
+  lazy
+    (List.concat_map
+       (fun seed ->
+         [
+           Prbp.Graphs.Random_dag.make ~seed ~layers:3 ~width:3 ();
+           Prbp.Graphs.Random_dag.make ~seed ~layers:4 ~width:2
+             ~density:0.5 ();
+         ])
+       [ 1; 2; 3; 4; 5 ])

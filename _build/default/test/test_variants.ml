@@ -1,0 +1,219 @@
+(* Appendix B model variants: re-computation, sliding, compute costs,
+   no-deletion. *)
+open Test_util
+module Dag = Prbp.Dag
+module Rbp = Prbp.Rbp
+module Pg = Prbp.Prbp_game
+module R = Prbp.Move.R
+module P = Prbp.Move.P
+
+let fig1 () = Prbp.Graphs.Fig1.full ()
+
+(* --- B.1: re-computation ------------------------------------------- *)
+
+let test_recompute_allows_second_compute () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let cfg = Rbp.config ~r:3 ~one_shot:false () in
+  let t = Rbp.start cfg g in
+  check_ok "load" (Rbp.apply t (R.Load 0));
+  check_ok "compute" (Rbp.apply t (R.Compute 1));
+  check_ok "delete" (Rbp.apply t (R.Delete 1));
+  check_ok "recompute" (Rbp.apply t (R.Compute 1))
+
+let test_recompute_fig1 () =
+  (* Appendix B.1: with re-computation, OPT_RBP drops from 3 to 2 on
+     the Figure-1 DAG *)
+  let g, _ = fig1 () in
+  check_int "one-shot" 3 (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ()) g);
+  check_int "with recomputation" 2
+    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~one_shot:false ()) g)
+
+let test_recompute_z_layer_restores_gap () =
+  (* Appendix B.1: inserting a z-layer between u0 and u1/u2 prevents
+     the cheap re-computation of u1, restoring OPT = 3 *)
+  let g, i = fig1 () in
+  ignore g;
+  let z1 = 10 and z2 = 11 in
+  let edges =
+    [
+      (i.Prbp.Graphs.Fig1.u0, z1); (i.u0, z2); (z1, i.u1); (z2, i.u1);
+      (z1, i.u2); (z2, i.u2); (i.u1, i.w1); (i.u1, i.w2); (i.u1, i.w4);
+      (i.w1, i.w3); (i.w2, i.w3); (i.w3, i.w4); (i.w4, i.v1); (i.w4, i.v2);
+      (i.u2, i.v1); (i.u2, i.v2); (i.v1, i.v0); (i.v2, i.v0);
+    ]
+  in
+  let g' = Dag.make ~n:12 edges in
+  check_int "recompute gap restored" 3
+    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~one_shot:false ()) g');
+  (* PRBP still pebbles the modified DAG at trivial cost *)
+  check_int "PRBP unaffected" 2
+    (Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g')
+
+let test_prbp_clear_rule () =
+  let g = Prbp.Graphs.Basic.path 3 in
+  let cfg = Pg.config ~r:2 ~one_shot:false ~recompute:true () in
+  let t = Pg.start cfg g in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,1)" (Pg.apply t (P.Compute (0, 1)));
+  check_ok "clear 1" (Pg.apply t (P.Clear 1));
+  check_true "pebble gone" (Pg.pebble t 1 = Pg.Pebble.None_);
+  check_int "in-edge unmarked again" 1 (Pg.unmarked_in t 1);
+  check_ok "mark again" (Pg.apply t (P.Compute (0, 1)));
+  (* clear is limited to internal nodes *)
+  check_err "no clear of sources" (Pg.apply t (P.Clear 0));
+  check_err "no clear of sinks" (Pg.apply t (P.Clear 2))
+
+let test_clear_requires_variant () =
+  let g = Prbp.Graphs.Basic.path 3 in
+  let t = Pg.start (Pg.config ~r:2 ()) g in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "mark" (Pg.apply t (P.Compute (0, 1)));
+  check_err "clear disabled" (Pg.apply t (P.Clear 1))
+
+(* --- B.2: sliding pebbles ------------------------------------------ *)
+
+let test_slide_rules () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let cfg = Rbp.config ~r:3 ~sliding:true () in
+  let t = Rbp.start cfg g in
+  check_ok "load" (Rbp.apply t (R.Load 0));
+  check_ok "slide 0->1" (Rbp.apply t (R.Slide (0, 1)));
+  check_false "source red gone" (Rbp.has_red t 0);
+  check_true "target red" (Rbp.has_red t 1);
+  check_true "computed" (Rbp.is_computed t 1);
+  check_err "slide without edge" (Rbp.apply t (R.Slide (1, 2)))
+
+let test_slide_disabled_by_default () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let t = Rbp.start (Rbp.config ~r:3 ()) g in
+  check_ok "load" (Rbp.apply t (R.Load 0));
+  check_err "slide off" (Rbp.apply t (R.Slide (0, 1)))
+
+let test_sliding_fig1_gap_closes () =
+  (* B.2: sliding alone already achieves cost 2 on Figure 1 *)
+  let g, _ = fig1 () in
+  check_int "sliding closes gap" 2
+    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g)
+
+let test_sliding_w0_fix () =
+  (* B.2: adding w0 (u1 -> w0 -> w3) restores the RBP-vs-PRBP gap even
+     under sliding, while PRBP still costs 2 *)
+  let g, i = fig1 () in
+  ignore g;
+  let w0 = 10 in
+  let edges =
+    [
+      (i.Prbp.Graphs.Fig1.u0, i.u1); (i.u0, i.u2); (i.u1, i.w1);
+      (i.u1, i.w2); (i.u1, i.w4); (i.w1, i.w3); (i.w2, i.w3); (i.w3, i.w4);
+      (i.w4, i.v1); (i.w4, i.v2); (i.u2, i.v1); (i.u2, i.v2);
+      (i.v1, i.v0); (i.v2, i.v0); (i.u1, w0); (w0, i.w3);
+    ]
+  in
+  let g' = Dag.make ~n:11 edges in
+  check_int "sliding pays 3" 3
+    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g');
+  check_int "PRBP still 2" 2 (Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g')
+
+let test_sliding_binary_tree_matches_prbp () =
+  (* B.2: for k = 2 sliding matches PRBP on trees; for k = 3 PRBP wins *)
+  let t2 = Prbp.Graphs.Tree.make ~k:2 ~depth:3 in
+  let slide2 =
+    Prbp.Exact_rbp.opt (Rbp.config ~r:3 ~sliding:true ())
+      t2.Prbp.Graphs.Tree.dag
+  in
+  check_int "binary: sliding = PRBP formula" (Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth:3) slide2
+
+let test_sliding_ternary_tree_prbp_wins () =
+  let t3 = Prbp.Graphs.Tree.make ~k:3 ~depth:2 in
+  let g = t3.Prbp.Graphs.Tree.dag in
+  let slide = Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g in
+  let prbp = Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g in
+  check_true "PRBP strictly better" (prbp < slide)
+
+(* --- B.4: no deletion ---------------------------------------------- *)
+
+let test_no_delete_rbp () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  let cfg = Rbp.config ~r:3 ~no_delete:true () in
+  let t = Rbp.start cfg g in
+  check_ok "load" (Rbp.apply t (R.Load 0));
+  check_err "delete forbidden" (Rbp.apply t (R.Delete 0));
+  check_ok "compute" (Rbp.apply t (R.Compute 1));
+  check_ok "save removes red" (Rbp.apply t (R.Save 1));
+  check_false "red gone after save" (Rbp.has_red t 1);
+  check_true "blue placed" (Rbp.has_blue t 1)
+
+let test_no_delete_cost_floor () =
+  (* B.4: every node is saved at least once except the ≤ r final reds,
+     so OPT >= n - r; verified on the diamond *)
+  let g = Prbp.Graphs.Basic.diamond () in
+  let c = Prbp.Exact_rbp.opt (Rbp.config ~r:3 ~no_delete:true ()) g in
+  check_true "n - r floor" (c >= Dag.n_nodes g - 3);
+  check_true "at least as costly as unrestricted"
+    (c >= Prbp.Exact_rbp.opt (Rbp.config ~r:3 ()) g)
+
+let test_no_delete_prbp () =
+  let g = Prbp.Graphs.Basic.path 3 in
+  let cfg = Pg.config ~r:3 ~no_delete:true () in
+  let t = Pg.start cfg g in
+  check_ok "load" (Pg.apply t (P.Load 0));
+  check_ok "mark (0,1)" (Pg.apply t (P.Compute (0, 1)));
+  check_ok "mark (1,2)" (Pg.apply t (P.Compute (1, 2)));
+  (* 1 is dark and fully used, but the variant still forbids deletion *)
+  check_err "dark delete forbidden" (Pg.apply t (P.Delete 1));
+  check_ok "save instead" (Pg.apply t (P.Save 1));
+  check_ok "light delete allowed" (Pg.apply t (P.Delete 1))
+
+(* --- B.3: compute costs -------------------------------------------- *)
+
+let test_compute_cost_comparability () =
+  (* B.3: per-edge ε gives ε·|E| in PRBP vs ε·n-ish in RBP; the
+     normalized mode restores comparability *)
+  let g = Prbp.Graphs.Basic.fan_in 3 in
+  let eps = 0.125 in
+  let rbp_moves = R.[ Load 0; Load 1; Load 2; Compute 3; Save 3 ] in
+  let t =
+    Rbp.run_exn (Rbp.config ~r:4 ~compute_cost:eps ()) g rbp_moves
+  in
+  Alcotest.(check (float 1e-9)) "RBP: one compute" (4. +. eps) (Rbp.total_cost t);
+  let prbp_moves =
+    P.[
+      Load 0; Compute (0, 3); Delete 0; Load 1; Compute (1, 3); Delete 1;
+      Load 2; Compute (2, 3); Delete 2; Save 3;
+    ]
+  in
+  let tp =
+    Pg.run_exn (Pg.config ~r:2 ~compute_cost:eps ()) g prbp_moves
+  in
+  Alcotest.(check (float 1e-9)) "PRBP per-edge: three computes"
+    (4. +. (3. *. eps))
+    (Pg.total_cost tp);
+  let tn =
+    Pg.run_exn
+      (Pg.config ~r:2 ~compute_cost:eps ~normalized_cost:true ())
+      g prbp_moves
+  in
+  Alcotest.(check (float 1e-9)) "PRBP normalized: totals match RBP"
+    (4. +. eps) (Pg.total_cost tn)
+
+let suite =
+  [
+    ( "variants",
+      [
+        case "B.1 re-computation allowed" test_recompute_allows_second_compute;
+        case "B.1 fig1: recompute drops cost to 2" test_recompute_fig1;
+        case "B.1 z-layer restores the gap" test_recompute_z_layer_restores_gap;
+        case "B.1 PRBP clear rule" test_prbp_clear_rule;
+        case "B.1 clear requires the variant" test_clear_requires_variant;
+        case "B.2 slide rules" test_slide_rules;
+        case "B.2 slide disabled by default" test_slide_disabled_by_default;
+        case "B.2 fig1: sliding closes the gap" test_sliding_fig1_gap_closes;
+        case "B.2 w0 fix restores the gap" test_sliding_w0_fix;
+        case "B.2 binary tree: sliding = PRBP" test_sliding_binary_tree_matches_prbp;
+        case "B.2 ternary tree: PRBP wins" test_sliding_ternary_tree_prbp_wins;
+        case "B.4 no-delete RBP" test_no_delete_rbp;
+        case "B.4 cost floor n-r" test_no_delete_cost_floor;
+        case "B.4 no-delete PRBP" test_no_delete_prbp;
+        case "B.3 compute-cost comparability" test_compute_cost_comparability;
+      ] );
+  ]
