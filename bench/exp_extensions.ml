@@ -169,7 +169,8 @@ let e24 =
             Prbp.Exact_rbp.opt_stats ~eager_deletes:true
               (Prbp.Rbp.config ~r ()) g )
         with
-        | Some (c1, s1), Some (c2, s2) ->
+        | ( Some { Prbp.Exact_rbp.cost = c1; explored = s1; _ },
+            Some { Prbp.Exact_rbp.cost = c2; explored = s2; _ } ) ->
             T.add_rowf t "%s|RBP|%d|%d|%d|%d|%d|%.1fx" name r c1 s1 c2 s2
               (float_of_int s2 /. float_of_int s1);
             if c1 <> c2 || s1 > s2 then ok := false
@@ -179,9 +180,11 @@ let e24 =
         match
           ( Prbp.Exact_prbp.opt_stats (Prbp.Prbp_game.config ~r ()) g,
             Prbp.Exact_prbp.opt_stats ~eager_deletes:true
-              (Prbp.Prbp_game.config ~r ()) g )
+              (Prbp.Prbp_game.config ~r ())
+              g )
         with
-        | Some (c1, s1), Some (c2, s2) ->
+        | ( Some { Prbp.Exact_prbp.cost = c1; explored = s1; _ },
+            Some { Prbp.Exact_prbp.cost = c2; explored = s2; _ } ) ->
             T.add_rowf t "%s|PRBP|%d|%d|%d|%d|%d|%.1fx" name r c1 s1 c2 s2
               (float_of_int s2 /. float_of_int s1);
             if c1 <> c2 || s1 > s2 then ok := false

@@ -1,33 +1,74 @@
 (* Benchmark & experiment harness: regenerates every quantitative claim
    of the paper (one experiment per proposition / theorem / figure),
-   then runs Bechamel micro-benchmarks of the library.
+   then runs the solver throughput benchmark and Bechamel
+   micro-benchmarks of the library.
 
      dune exec bench/main.exe               # everything
      dune exec bench/main.exe -- --no-perf  # experiments only
-     dune exec bench/main.exe -- --perf     # micro-benchmarks only
-     dune exec bench/main.exe -- E03 E08    # a subset of experiments  *)
+     dune exec bench/main.exe -- --perf     # benchmarks only
+     dune exec bench/main.exe -- E03 E08    # a subset of experiments
+     dune exec bench/main.exe -- -j 4       # 4 worker domains  *)
 
 let experiments =
   Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
   @ Exp_variants.all @ Exp_extensions.all
 
+let default_jobs = min 8 (Domain.recommended_domain_count ())
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--perf|--no-perf] [-j N] [EXPERIMENT_ID ...]";
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let perf_only = List.mem "--perf" args in
-  let no_perf = List.mem "--no-perf" args in
-  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let perf_only = ref false in
+  let no_perf = ref false in
+  let jobs = ref default_jobs in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--perf" :: rest ->
+        perf_only := true;
+        parse rest
+    | "--no-perf" :: rest ->
+        no_perf := true;
+        parse rest
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> usage ())
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
+    | a :: rest ->
+        ids := a :: !ids;
+        parse rest
+  in
+  parse args;
+  let ids = List.rev !ids in
   let ppf = Format.std_formatter in
   Format.fprintf ppf
     "PRBP experiment harness — reproducing \"The Impact of Partial \
      Computations on the Red-Blue Pebble Game\" (SPAA 2025)@.";
-  if not perf_only then begin
+  if not !perf_only then begin
     let selected =
       match ids with
       | [] -> experiments
-      | ids -> List.filter (fun e -> List.mem e.Prbp.Experiment.id ids) experiments
+      | ids ->
+          List.filter (fun e -> List.mem e.Prbp.Experiment.id ids) experiments
     in
-    let confirmed, total = Prbp.Experiment.run_all ppf selected in
+    let confirmed, total = Prbp.Experiment.run_all ~jobs:!jobs ppf selected in
     if confirmed <> total then exit 1
   end;
-  if not no_perf then Perf.run ppf;
+  if not !no_perf then begin
+    Perf.run_solver ppf;
+    Perf.run ppf
+  end;
   Format.pp_print_flush ppf ()

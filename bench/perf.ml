@@ -1,8 +1,130 @@
 (* Bechamel micro-benchmarks of the library itself: simulator step
-   rate, exact-solver throughput, generator and extraction speed. *)
+   rate, exact-solver throughput, generator and extraction speed —
+   plus a single-shot solver throughput benchmark on harder instances
+   that emits machine-readable BENCH_solver.json. *)
 
 open Bechamel
 open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Solver throughput on hard exact instances, with the branch-and-
+   bound ablation.  Each case is run once per prune setting (these are
+   seconds-long searches, not micro-benchmarks) and the wall times and
+   explored/pruned state counts land in BENCH_solver.json so later PRs
+   can track the perf trajectory. *)
+
+type solver_case = {
+  name : string;
+  game : string;
+  dag : Prbp_dag.Dag.t;
+  r : int;
+  budget : int;
+}
+
+let solver_cases () =
+  [
+    {
+      name = "prbp random(seed5,7x2,din2) n=14";
+      game = "prbp";
+      dag =
+        Prbp.Graphs.Random_dag.make ~seed:5 ~max_in_degree:2 ~layers:7
+          ~width:2 ();
+      r = 3;
+      budget = 30_000_000;
+    };
+    {
+      name = "prbp tree(2,3) n=15";
+      game = "prbp";
+      dag = (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag;
+      r = 3;
+      budget = 30_000_000;
+    };
+    {
+      name = "rbp random(seed11,4x4,din3) n=16";
+      game = "rbp";
+      dag =
+        Prbp.Graphs.Random_dag.make ~seed:11 ~max_in_degree:3 ~layers:4
+          ~width:4 ();
+      r = 4;
+      budget = 30_000_000;
+    };
+  ]
+
+type run_result = { opt : int; explored : int; pruned : int; wall_s : float }
+
+let run_case c ~prune =
+  (* level the heap between runs so a huge search doesn't tax the GC
+     accounting of the next, smaller one *)
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    match c.game with
+    | "prbp" -> (
+        match
+          Prbp.Exact_prbp.opt_stats ~max_states:c.budget ~prune
+            (Prbp.Prbp_game.config ~r:c.r ())
+            c.dag
+        with
+        | Some { Prbp.Exact_prbp.cost; explored; pruned } ->
+            Some (cost, explored, pruned)
+        | None -> None)
+    | _ -> (
+        match
+          Prbp.Exact_rbp.opt_stats ~max_states:c.budget ~prune
+            (Prbp.Rbp.config ~r:c.r ())
+            c.dag
+        with
+        | Some { Prbp.Exact_rbp.cost; explored; pruned } ->
+            Some (cost, explored, pruned)
+        | None -> None)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  match stats with
+  | Some (opt, explored, pruned) -> { opt; explored; pruned; wall_s }
+  | None -> failwith ("solver bench: no pebbling for " ^ c.name)
+
+let run_solver ppf =
+  Format.fprintf ppf "@.=== PERF — exact-solver throughput ===@.@.";
+  let t =
+    Prbp.Table.make
+      ~header:
+        [ "case"; "r"; "opt"; "time (prune)"; "states (prune)";
+          "time (off)"; "states (off)"; "pruned"; "shrink" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let on = run_case c ~prune:true in
+        let off = run_case c ~prune:false in
+        Prbp.Table.add_rowf t "%s|%d|%d|%.2fs|%d|%.2fs|%d|%d|%.1fx" c.name
+          c.r on.opt on.wall_s on.explored off.wall_s off.explored on.pruned
+          (float_of_int off.explored /. float_of_int on.explored);
+        (c, on, off))
+      (solver_cases ())
+  in
+  Prbp.Table.print ppf t;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v1\",\n";
+  Buffer.add_string buf "  \"cases\": [\n";
+  List.iteri
+    (fun i (c, on, off) ->
+      Printf.bprintf buf
+        "    {\"name\": %S, \"game\": %S, \"nodes\": %d, \"edges\": %d, \
+         \"r\": %d, \"opt\": %d,\n\
+        \     \"prune\": {\"wall_s\": %.3f, \"explored\": %d, \"pruned\": \
+         %d},\n\
+        \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d}}%s\n"
+        c.name c.game
+        (Prbp_dag.Dag.n_nodes c.dag)
+        (Prbp_dag.Dag.n_edges c.dag)
+        c.r on.opt on.wall_s on.explored on.pruned off.wall_s off.explored
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_solver.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Format.fprintf ppf "@.wrote BENCH_solver.json@."
 
 let fig1 = lazy (Prbp.Graphs.Fig1.full ())
 

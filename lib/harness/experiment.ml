@@ -17,10 +17,47 @@ let run_one ppf e =
     (Sys.time () -. t0);
   ok
 
-let run_all ppf es =
-  let confirmed =
-    List.fold_left (fun acc e -> acc + if run_one ppf e then 1 else 0) 0 es
+(* Parallel dispatch over a shared work queue: each worker renders its
+   experiment into a private buffer, so the blocks are re-emitted to
+   [ppf] intact and in list (= id) order regardless of completion
+   order.  stdlib Domain/Mutex only. *)
+let run_parallel ~jobs ppf es =
+  let es = Array.of_list es in
+  let n = Array.length es in
+  let results = Array.make n (false, "") in
+  let next = ref 0 in
+  let lock = Mutex.create () in
+  let take () =
+    Mutex.lock lock;
+    let i = !next in
+    incr next;
+    Mutex.unlock lock;
+    if i < n then Some i else None
   in
-  Format.fprintf ppf "@.%d/%d experiments confirmed@." confirmed
-    (List.length es);
-  (confirmed, List.length es)
+  let rec worker () =
+    match take () with
+    | None -> ()
+    | Some i ->
+        let buf = Buffer.create 1024 in
+        let bppf = Format.formatter_of_buffer buf in
+        let ok = run_one bppf es.(i) in
+        Format.pp_print_flush bppf ();
+        results.(i) <- (ok, Buffer.contents buf);
+        worker ()
+  in
+  let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  Array.iter (fun (_, out) -> Format.pp_print_string ppf out) results;
+  Array.fold_left (fun acc (ok, _) -> acc + Bool.to_int ok) 0 results
+
+let run_all ?(jobs = 1) ppf es =
+  let total = List.length es in
+  let jobs = max 1 (min jobs total) in
+  let confirmed =
+    if jobs = 1 then
+      List.fold_left (fun acc e -> acc + if run_one ppf e then 1 else 0) 0 es
+    else run_parallel ~jobs ppf es
+  in
+  Format.fprintf ppf "@.%d/%d experiments confirmed@." confirmed total;
+  (confirmed, total)

@@ -19,5 +19,13 @@ val make :
 
 val run_one : Format.formatter -> t -> bool
 
-val run_all : Format.formatter -> t list -> int * int
-(** Run every experiment; returns (confirmed, total). *)
+val run_all : ?jobs:int -> Format.formatter -> t list -> int * int
+(** Run every experiment; returns (confirmed, total).
+
+    [jobs] (default 1) dispatches experiments to that many parallel
+    domains over a shared work queue (stdlib [Domain]/[Mutex] only).
+    Each experiment renders into a private buffer, so per-experiment
+    output blocks stay intact and are printed in list order — byte
+    for byte the layout of a sequential run (timings aside).
+    Experiments must not share mutable state; ours build their DAGs
+    and solvers from scratch. *)

@@ -1,0 +1,12 @@
+(** Allocation-free bit operations for the packed-bitmask state
+    encodings of {!Exact_rbp} and {!Exact_prbp}. *)
+
+val popcount : int -> int
+(** Number of set bits, SWAR (no loop, no table). *)
+
+val lowest_set_index : int -> int
+(** Index of the least significant set bit.  Undefined on [0]. *)
+
+val iter_bits : (int -> unit) -> int -> unit
+(** [iter_bits f mask] calls [f i] for every set bit index [i] of
+    [mask], in increasing order. *)

@@ -1,26 +1,60 @@
 (* Double-ended queue for 0-1 BFS: 0-cost relaxations go to the front,
-   1-cost ones to the back.  Two-list implementation with amortized
-   O(1) operations. *)
+   1-cost ones to the back.
 
-type 'a t = { mutable front : 'a list; mutable back : 'a list }
+   Growable circular buffer over a flat array (power-of-two capacity):
+   no per-push cons cell and no List.rev spike when the direction
+   flips, unlike the earlier two-list implementation.  The buffer is
+   allocated lazily from the first pushed element, which doubles as
+   the fill value — popped slots are not overwritten, so with a boxed
+   element type a popped value stays reachable until overwritten or
+   [clear]; the solvers only queue immediate ints. *)
 
-let create () = { front = []; back = [] }
+type 'a t = { mutable buf : 'a array; mutable head : int; mutable len : int }
 
-let is_empty d = d.front = [] && d.back = []
+let create () = { buf = [||]; head = 0; len = 0 }
 
-let push_front d x = d.front <- x :: d.front
+let is_empty d = d.len = 0
 
-let push_back d x = d.back <- x :: d.back
+let length d = d.len
+
+let grow d x =
+  let cap = Array.length d.buf in
+  if cap = 0 then begin
+    d.buf <- Array.make 16 x;
+    d.head <- 0
+  end
+  else begin
+    let b = Array.make (2 * cap) x in
+    let first = min d.len (cap - d.head) in
+    Array.blit d.buf d.head b 0 first;
+    Array.blit d.buf 0 b first (d.len - first);
+    d.buf <- b;
+    d.head <- 0
+  end
+
+let push_front d x =
+  if d.len = Array.length d.buf then grow d x;
+  let mask = Array.length d.buf - 1 in
+  d.head <- (d.head - 1) land mask;
+  Array.unsafe_set d.buf d.head x;
+  d.len <- d.len + 1
+
+let push_back d x =
+  if d.len = Array.length d.buf then grow d x;
+  let mask = Array.length d.buf - 1 in
+  Array.unsafe_set d.buf ((d.head + d.len) land mask) x;
+  d.len <- d.len + 1
 
 let pop_front d =
-  match d.front with
-  | x :: rest ->
-      d.front <- rest;
-      Some x
-  | [] -> (
-      match List.rev d.back with
-      | [] -> None
-      | x :: rest ->
-          d.back <- [];
-          d.front <- rest;
-          Some x)
+  if d.len = 0 then None
+  else begin
+    let x = Array.unsafe_get d.buf d.head in
+    d.head <- (d.head + 1) land (Array.length d.buf - 1);
+    d.len <- d.len - 1;
+    Some x
+  end
+
+let clear d =
+  d.buf <- [||];
+  d.head <- 0;
+  d.len <- 0

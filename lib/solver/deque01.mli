@@ -1,0 +1,19 @@
+(** Double-ended queue for 0-1 BFS (growable circular buffer over a
+    flat array). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push_front : 'a t -> 'a -> unit
+
+val push_back : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Empty the deque and release its buffer. *)

@@ -1,23 +1,28 @@
 module Dag = Prbp_dag.Dag
 module Prbp = Prbp_pebble.Prbp
 module PM = Prbp_pebble.Move.P
+module T = State_table.I2
 
 exception Too_large of int
+
+type stats = { cost : int; explored : int; pruned : int }
 
 (* Pebble states are packed 2 bits per node:
    00 = no pebble, 01 = blue, 11 = blue + light red, 10 = dark red.
    Bit 0 of the pair = "has blue", bit 1 = "has red": both game
-   predicates become single-mask tests. *)
+   predicates become single-mask tests.
+
+   A search state is the (pack, marked) int pair, kept unboxed in a
+   State_table.I2 and named by its dense table index; the deque holds
+   dense indices only.  A state's tentative distance lives in the
+   table value, flipped to [lnot d] (negative) once the state is
+   popped and settled — the 0-1 BFS invariant guarantees the first
+   pop sees the final distance, so stale queue entries are skipped on
+   the sign alone. *)
 let st_none = 0
 and st_blue = 1
 and st_dark = 2
 and st_bl = 3
-
-type state = { pack : int; marked : int }
-
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
 
 type ctx = {
   cfg : Prbp.config;
@@ -34,43 +39,95 @@ type ctx = {
   full_edges : int;
   max_states : int;
   want_strategy : bool;
-  dist : (state, int) Hashtbl.t;
-  parent : (state, state * PM.t) Hashtbl.t;
-  dq : (state * int) Deque01.t;
+  ub : int;  (* branch-and-bound bound; max_int = pruning off *)
+  mutable pruned : int;
+  tbl : T.t;
+  mutable parent_idx : int array;
+  mutable parent_move : PM.t array;
+  dq : int Deque01.t;
 }
 
-let node_state st v = (st.pack lsr (2 * v)) land 3
+let node_state pack v = (pack lsr (2 * v)) land 3
 
-let with_node_state st v s =
-  { st with pack = st.pack land lnot (3 lsl (2 * v)) lor (s lsl (2 * v)) }
+let set_node_state pack v s = pack land lnot (3 lsl (2 * v)) lor (s lsl (2 * v))
 
-let relax ctx prev ~d_prev m st cost =
-  match Hashtbl.find_opt ctx.dist st with
-  | Some d when d <= cost -> ()
-  | _ ->
-      if Hashtbl.length ctx.dist >= ctx.max_states then
-        raise (Too_large ctx.max_states);
-      Hashtbl.replace ctx.dist st cost;
-      if ctx.want_strategy then Hashtbl.replace ctx.parent st (prev, m);
-      if cost = d_prev then Deque01.push_front ctx.dq (st, cost)
-      else Deque01.push_back ctx.dq (st, cost)
+(* Admissible residual bound: every sink without a blue pebble still
+   costs one SAVE, and every source that is not red but still has an
+   unmarked out-edge costs one LOAD (sources can only become red by
+   loading).  Distinct moves on distinct nodes, so the sum lower
+   bounds the cost-to-go — also under re-computation, where it only
+   counts currently-unmarked edges. *)
+let residual_lb ctx pack marked =
+  let lb = ref 0 in
+  Bits.iter_bits
+    (fun v -> if (pack lsr (2 * v)) land 1 = 0 then incr lb)
+    ctx.sink_mask;
+  Bits.iter_bits
+    (fun v ->
+      if
+        (pack lsr (2 * v)) land 2 = 0
+        && ctx.out_mask.(v) land lnot marked <> 0
+      then incr lb)
+    ctx.source_mask;
+  !lb
 
-let expand ctx st d =
-  let n_red = popcount (st.pack land ctx.red_bits) in
+let relax ctx ~prev ~d_prev m pack marked cost =
+  let idx = T.find ctx.tbl pack marked in
+  if idx >= 0 then begin
+    let v = T.value ctx.tbl idx in
+    (* v < 0: settled, already minimal *)
+    if v >= 0 && v > cost then begin
+      T.set_value ctx.tbl idx cost;
+      if ctx.want_strategy then begin
+        ctx.parent_idx.(idx) <- prev;
+        ctx.parent_move.(idx) <- m
+      end;
+      if cost = d_prev then Deque01.push_front ctx.dq idx
+      else Deque01.push_back ctx.dq idx
+    end
+  end
+  else if ctx.ub < max_int && cost + residual_lb ctx pack marked > ctx.ub
+  then ctx.pruned <- ctx.pruned + 1
+  else begin
+    if T.length ctx.tbl >= ctx.max_states then raise (Too_large ctx.max_states);
+    let idx = T.add ctx.tbl pack marked cost in
+    if ctx.want_strategy then begin
+      if idx >= Array.length ctx.parent_idx then begin
+        let cap = max 16 (2 * Array.length ctx.parent_idx) in
+        let pi = Array.make cap 0 and pm = Array.make cap (PM.Load 0) in
+        Array.blit ctx.parent_idx 0 pi 0 (Array.length ctx.parent_idx);
+        Array.blit ctx.parent_move 0 pm 0 (Array.length ctx.parent_move);
+        ctx.parent_idx <- pi;
+        ctx.parent_move <- pm
+      end;
+      ctx.parent_idx.(idx) <- prev;
+      ctx.parent_move.(idx) <- m
+    end;
+    if cost = d_prev then Deque01.push_front ctx.dq idx
+    else Deque01.push_back ctx.dq idx
+  end
+
+let expand ctx prev d =
+  let pack = T.key1 ctx.tbl prev and marked = T.key2 ctx.tbl prev in
+  let n_red = Bits.popcount (pack land ctx.red_bits) in
   for v = 0 to ctx.n - 1 do
-    let s = node_state st v in
-    let fully_used = ctx.out_mask.(v) land lnot st.marked = 0 in
+    let s = node_state pack v in
+    let fully_used = ctx.out_mask.(v) land lnot marked = 0 in
     (* LOAD: blue only -> blue+light; useless once all out-edges are
        marked (covers sinks: they are already blue) *)
     if s = st_blue && n_red < ctx.cfg.Prbp.r && not fully_used then
-      relax ctx st ~d_prev:d (PM.Load v) (with_node_state st v st_bl) (d + 1);
+      relax ctx ~prev ~d_prev:d (PM.Load v)
+        (set_node_state pack v st_bl)
+        marked (d + 1);
     (* SAVE: dark -> blue+light; useful only for sinks or while some
        out-edge is still unmarked *)
     if
       s = st_dark
       && ((not fully_used) || ctx.sink_mask land (1 lsl v) <> 0)
     then
-      relax ctx st ~d_prev:d (PM.Save v) (with_node_state st v st_bl) (d + 1);
+      relax ctx ~prev ~d_prev:d (PM.Save v)
+        (set_node_state pack v st_bl)
+        marked (d + 1);
     (* DELETE light red: a cached copy of a value that is also in slow
        memory only ever consumes capacity, so deleting it is postponed
        until the cache is full (a normalization that preserves
@@ -80,7 +137,9 @@ let expand ctx st d =
       s = st_bl
       && (ctx.eager_deletes || n_red = ctx.cfg.Prbp.r || fully_used)
     then
-      relax ctx st ~d_prev:d (PM.Delete v) (with_node_state st v st_blue) d;
+      relax ctx ~prev ~d_prev:d (PM.Delete v)
+        (set_node_state pack v st_blue)
+        marked d;
     (* DELETE dark red: only when fully used; deleting a dark sink
        loses its final value for good — a dead end we prune *)
     if
@@ -88,7 +147,10 @@ let expand ctx st d =
       && (not ctx.cfg.Prbp.no_delete)
       && fully_used
       && ctx.sink_mask land (1 lsl v) = 0
-    then relax ctx st ~d_prev:d (PM.Delete v) (with_node_state st v st_none) d;
+    then
+      relax ctx ~prev ~d_prev:d (PM.Delete v)
+        (set_node_state pack v st_none)
+        marked d;
     (* CLEAR (re-computation variant): drop all pebbles from an
        internal node and unmark its in-edges, allowing the value to be
        rebuilt from scratch later.  Skipped when it would be a no-op. *)
@@ -96,40 +158,61 @@ let expand ctx st d =
       ctx.cfg.Prbp.recompute
       && ctx.source_mask land (1 lsl v) = 0
       && ctx.sink_mask land (1 lsl v) = 0
-      && (s <> st_none || ctx.in_mask.(v) land st.marked <> 0)
+      && (s <> st_none || ctx.in_mask.(v) land marked <> 0)
     then
-      relax ctx st ~d_prev:d (PM.Clear v)
-        {
-          (with_node_state st v st_none) with
-          marked = st.marked land lnot ctx.in_mask.(v);
-        }
+      relax ctx ~prev ~d_prev:d (PM.Clear v)
+        (set_node_state pack v st_none)
+        (marked land lnot ctx.in_mask.(v))
         d
   done;
   (* PARTIAL COMPUTE on each unmarked edge *)
-  let unmarked = ctx.full_edges land lnot st.marked in
-  let rest = ref unmarked in
+  let rest = ref (ctx.full_edges land lnot marked) in
   while !rest <> 0 do
-    let b = !rest land - !rest in
-    rest := !rest lxor b;
-    let rec lg k x = if x = 1 then k else lg (k + 1) (x lsr 1) in
-    let e = lg 0 b in
+    let e = Bits.lowest_set_index !rest in
+    rest := !rest land (!rest - 1);
     let u = ctx.esrc.(e) and v = ctx.edst.(e) in
-    let su = node_state st u in
+    let su = node_state pack u in
     if
       su land 2 <> 0 (* u has red *)
-      && ctx.in_mask.(u) land lnot st.marked = 0 (* u fully computed *)
+      && ctx.in_mask.(u) land lnot marked = 0 (* u fully computed *)
     then begin
-      let sv = node_state st v in
+      let sv = node_state pack v in
       if sv <> st_blue && (sv <> st_none || n_red < ctx.cfg.Prbp.r) then
-        relax ctx st ~d_prev:d
+        relax ctx ~prev ~d_prev:d
           (PM.Compute (u, v))
-          { (with_node_state st v st_dark) with marked = st.marked lor b }
+          (set_node_state pack v st_dark)
+          (marked lor (1 lsl e))
           d
     end
   done
 
-let search ?(max_states = 5_000_000) ?(eager_deletes = false) ~want_strategy
-    cfg g =
+(* Branch-and-bound upper bound: the I/O count of the cheaper of the
+   two heuristic pebblers.  Both play the standard one-shot game,
+   legal in every variant except no-delete (re-computation only adds
+   moves), so their cost bounds OPT from above there; in the no-delete
+   variant (or if the heuristics cannot run, e.g. r < 2) pruning is
+   disabled. *)
+let heuristic_ub cfg g =
+  if cfg.Prbp.no_delete then max_int
+  else begin
+    let io_count moves =
+      List.fold_left
+        (fun acc m ->
+          match m with PM.Load _ | PM.Save _ -> acc + 1 | _ -> acc)
+        0 moves
+    in
+    let try_one pebbler =
+      match pebbler ~r:cfg.Prbp.r g with
+      | moves -> io_count moves
+      | exception _ -> max_int
+    in
+    min
+      (try_one (fun ~r g -> Heuristic.prbp ~r g))
+      (try_one (fun ~r g -> Heuristic.prbp_greedy ~r g))
+  end
+
+let search ?(max_states = 5_000_000) ?(eager_deletes = false) ?(prune = true)
+    ~want_strategy cfg g =
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if n > 31 then invalid_arg "Exact_prbp: at most 31 nodes";
   if m > 62 then invalid_arg "Exact_prbp: at most 62 edges";
@@ -168,70 +251,90 @@ let search ?(max_states = 5_000_000) ?(eager_deletes = false) ~want_strategy
       full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
       max_states;
       want_strategy;
-      dist = Hashtbl.create 4096;
-      parent = Hashtbl.create (if want_strategy then 4096 else 0);
+      ub = (if prune then heuristic_ub cfg g else max_int);
+      pruned = 0;
+      tbl = T.create ();
+      parent_idx = [||];
+      parent_move = [||];
       dq = Deque01.create ();
     }
   in
-  let init = { pack = !init_pack; marked = 0 } in
-  let is_goal st =
-    st.marked = ctx.full_edges
+  let is_goal pack marked =
+    marked = ctx.full_edges
     &&
     let ok = ref true in
     for v = 0 to n - 1 do
-      if ctx.sink_mask land (1 lsl v) <> 0 && node_state st v land 1 = 0 then
-        ok := false
+      if ctx.sink_mask land (1 lsl v) <> 0 && node_state pack v land 1 = 0
+      then ok := false
     done;
     !ok
   in
-  Hashtbl.replace ctx.dist init 0;
-  Deque01.push_back ctx.dq (init, 0);
+  (* init state gets dense index 0 *)
+  ignore (T.add ctx.tbl !init_pack 0 0);
+  if want_strategy then begin
+    ctx.parent_idx <- Array.make 16 0;
+    ctx.parent_move <- Array.make 16 (PM.Load 0)
+  end;
+  Deque01.push_back ctx.dq 0;
   let result = ref None in
   (try
      let continue = ref true in
      while !continue do
        match Deque01.pop_front ctx.dq with
        | None -> continue := false
-       | Some (st, d) ->
-           if Hashtbl.find ctx.dist st = d then
-             if is_goal st then begin
-               result := Some (st, d);
+       | Some idx ->
+           let d = T.value ctx.tbl idx in
+           if d >= 0 then begin
+             T.set_value ctx.tbl idx (lnot d);
+             if is_goal (T.key1 ctx.tbl idx) (T.key2 ctx.tbl idx) then begin
+               result := Some (idx, d);
                continue := false
              end
-             else expand ctx st d
+             else expand ctx idx d
+           end
      done
    with Too_large _ as e ->
-     Hashtbl.reset ctx.dist;
+     (* drop every per-search structure, not just the distance table:
+        a caught exception must not pin hundreds of MB alive *)
+     T.reset ctx.tbl;
+     Deque01.clear ctx.dq;
+     ctx.parent_idx <- [||];
+     ctx.parent_move <- [||];
      raise e);
-  let explored = Hashtbl.length ctx.dist in
+  let explored = T.length ctx.tbl in
   match !result with
   | None -> None
   | Some (goal, d) ->
-      if not want_strategy then Some (d, [], explored)
-      else begin
-        let rec back st acc =
-          if st = init then acc
-          else
-            let prev, mv = Hashtbl.find ctx.parent st in
-            back prev (mv :: acc)
-        in
-        Some (d, back goal [], explored)
-      end
+      let moves =
+        if not want_strategy then []
+        else begin
+          let acc = ref [] in
+          let idx = ref goal in
+          while !idx <> 0 do
+            acc := ctx.parent_move.(!idx) :: !acc;
+            idx := ctx.parent_idx.(!idx)
+          done;
+          !acc
+        end
+      in
+      Some (d, moves, { cost = d; explored; pruned = ctx.pruned })
 
-let opt_opt ?max_states cfg g =
-  Option.map (fun (d, _, _) -> d) (search ?max_states ~want_strategy:false cfg g)
-
-let opt_stats ?max_states ?eager_deletes cfg g =
+let opt_opt ?max_states ?prune cfg g =
   Option.map
-    (fun (d, _, states) -> (d, states))
-    (search ?max_states ?eager_deletes ~want_strategy:false cfg g)
+    (fun (d, _, _) -> d)
+    (search ?max_states ?prune ~want_strategy:false cfg g)
 
-let opt ?max_states cfg g =
-  match opt_opt ?max_states cfg g with
+let opt_stats ?max_states ?eager_deletes ?prune cfg g =
+  Option.map
+    (fun (_, _, stats) -> stats)
+    (search ?max_states ?eager_deletes ?prune ~want_strategy:false cfg g)
+
+let opt ?max_states ?prune cfg g =
+  match opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_prbp.opt: no valid pebbling exists"
 
-let opt_with_strategy ?max_states cfg g =
+let opt_with_strategy ?max_states ?prune cfg g =
   Option.map
     (fun (d, moves, _) -> (d, moves))
-    (search ?max_states ~want_strategy:true cfg g)
+    (search ?max_states ?prune ~want_strategy:true cfg g)

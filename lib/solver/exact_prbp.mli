@@ -20,18 +20,42 @@
 
 exception Too_large of int
 
+type stats = {
+  cost : int;  (** the optimal I/O cost *)
+  explored : int;  (** distinct states inserted into the search *)
+  pruned : int;
+      (** states cut by branch-and-bound: their distance plus an
+          admissible residual bound exceeded the heuristic upper
+          bound, so they were never inserted *)
+}
+
 val opt :
-  ?max_states:int -> Prbp_pebble.Prbp.config -> Prbp_dag.Dag.t -> int
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  int
 (** Optimal I/O cost of a complete PRBP pebbling.  PRBP admits a valid
     pebbling for every DAG when [r ≥ 2], so this only fails ([Failure])
     at [r = 1] or on out-of-range inputs.  [max_states] defaults to
-    [5_000_000]. *)
+    [5_000_000].
+
+    [prune] (default on) enables branch-and-bound: an upper bound is
+    seeded from the cheaper of the two {!Heuristic} pebblers and any
+    state whose distance plus an admissible residual bound (non-blue
+    sinks + unloaded sources with unmarked out-edges) exceeds it is
+    discarded.  This never changes the optimum. *)
 
 val opt_opt :
-  ?max_states:int -> Prbp_pebble.Prbp.config -> Prbp_dag.Dag.t -> int option
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  int option
 
 val opt_with_strategy :
   ?max_states:int ->
+  ?prune:bool ->
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Move.P.t list) option
@@ -39,9 +63,10 @@ val opt_with_strategy :
 val opt_stats :
   ?max_states:int ->
   ?eager_deletes:bool ->
+  ?prune:bool ->
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
-  (int * int) option
-(** [(optimal cost, distinct states explored)]; [eager_deletes]
-    disables the light-red capacity-normalization pruning (ablation
+  stats option
+(** Optimal cost plus search-size counters; [eager_deletes] disables
+    the light-red capacity-normalization pruning (ablation
     measurements; the optimum is unchanged). *)

@@ -19,18 +19,42 @@
 exception Too_large of int
 (** Raised when the state count exceeds the [max_states] budget. *)
 
+type stats = {
+  cost : int;  (** the optimal I/O cost *)
+  explored : int;  (** distinct states inserted into the search *)
+  pruned : int;
+      (** states cut by branch-and-bound: their distance plus an
+          admissible residual bound exceeded the heuristic upper
+          bound, so they were never inserted *)
+}
+
 val opt :
-  ?max_states:int -> Prbp_pebble.Rbp.config -> Prbp_dag.Dag.t -> int
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  int
 (** [opt cfg g] is the optimal I/O cost of a complete pebbling, or
     raises [Failure] if no valid pebbling exists (e.g. [r < Δin + 1]).
-    [max_states] defaults to [5_000_000]. *)
+    [max_states] defaults to [5_000_000].
+
+    [prune] (default on) enables branch-and-bound: an upper bound is
+    seeded from the {!Heuristic} pebbler and any state whose distance
+    plus an admissible residual bound (unsaved sinks + unloaded,
+    still-needed sources) exceeds it is discarded.  This never changes
+    the optimum; it only shrinks the explored space. *)
 
 val opt_opt :
-  ?max_states:int -> Prbp_pebble.Rbp.config -> Prbp_dag.Dag.t -> int option
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  int option
 (** [None] when no valid pebbling exists. *)
 
 val opt_with_strategy :
   ?max_states:int ->
+  ?prune:bool ->
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Move.R.t list) option
@@ -40,11 +64,12 @@ val opt_with_strategy :
 val opt_stats :
   ?max_states:int ->
   ?eager_deletes:bool ->
+  ?prune:bool ->
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
-  (int * int) option
-(** [(optimal cost, distinct states explored)].  [eager_deletes]
-    disables the capacity-normalization pruning (deletes of recoverable
-    values are then branched on at every state) — the optimum is
-    unchanged, only the explored-state count differs; exposed for the
-    pruning ablation in the benchmark harness. *)
+  stats option
+(** Optimal cost plus search-size counters.  [eager_deletes] disables
+    the capacity-normalization pruning (deletes of recoverable values
+    are then branched on at every state) — the optimum is unchanged,
+    only the explored-state count differs; exposed for the pruning
+    ablation in the benchmark harness. *)

@@ -120,6 +120,41 @@ let test_exact_matches_heuristic_bound () =
       end)
     (Lazy.force random_dags)
 
+(* Branch-and-bound soundness: pruned and unpruned searches agree on
+   the optimum (and on solvability) for random small DAGs, in both
+   games.  The bound is seeded from the heuristic and the residual
+   estimate must stay admissible, so any disagreement here is a solver
+   bug, not flakiness. *)
+let qtest_prune_agrees =
+  QCheck.Test.make ~count:40 ~name:"pruned = unpruned optimum (random DAGs)"
+    QCheck.(
+      triple (int_bound 1000) (int_range 2 4) (int_range 2 3))
+    (fun (seed, layers, width) ->
+      (* <= 12 nodes, small enough for both exact searches *)
+      let g =
+        Prbp.Graphs.Random_dag.make ~seed ~max_in_degree:3 ~layers ~width ()
+      in
+      let r = max 2 (min 4 (Dag.max_in_degree g + 1)) in
+      let rbp_ok =
+        match
+          ( Prbp.Exact_rbp.opt_opt ~prune:true (rcfg r) g,
+            Prbp.Exact_rbp.opt_opt ~prune:false (rcfg r) g )
+        with
+        | a, b -> a = b
+        | exception Prbp.Exact_rbp.Too_large _ -> true
+      in
+      let prbp_ok =
+        if Dag.n_edges g > 40 then true
+        else
+          match
+            ( Prbp.Exact_prbp.opt_opt ~prune:true (pcfg r) g,
+              Prbp.Exact_prbp.opt_opt ~prune:false (pcfg r) g )
+          with
+          | a, b -> a = b
+          | exception Prbp.Exact_prbp.Too_large _ -> true
+      in
+      rbp_ok && prbp_ok)
+
 let test_matvec_m2_exact () =
   (* the m=2 matvec DAG (12 nodes, 12 edges) is exactly solvable:
      PRBP achieves the trivial cost already at r = 5 *)
@@ -146,6 +181,7 @@ let suite =
         case "state budget enforced" test_max_states_budget;
         case "heuristic upper-bounds exact" test_exact_matches_heuristic_bound;
         case "matvec m=2 exact" test_matvec_m2_exact;
+        QCheck_alcotest.to_alcotest qtest_prune_agrees;
       ] );
   ]
 

@@ -104,16 +104,17 @@ let test_belady_not_worse_on_zipper () =
 let test_opt_stats () =
   let g, _ = Prbp.Graphs.Fig1.full () in
   (match Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g with
-  | Some (c, states) ->
+  | Some { Prbp.Exact_rbp.cost = c; explored; _ } ->
       check_int "cost" 3 c;
-      check_true "states positive" (states > 0)
+      check_true "states positive" (explored > 0)
   | None -> Alcotest.fail "solvable");
   (* disabling the pruning explores strictly more states, same cost *)
   match
     ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g,
       Prbp.Exact_rbp.opt_stats ~eager_deletes:true (Prbp.Rbp.config ~r:4 ()) g )
   with
-  | Some (c1, s1), Some (c2, s2) ->
+  | ( Some { Prbp.Exact_rbp.cost = c1; explored = s1; _ },
+      Some { Prbp.Exact_rbp.cost = c2; explored = s2; _ } ) ->
       check_int "same optimum" c1 c2;
       check_true "pruning helps" (s1 <= s2)
   | _ -> Alcotest.fail "solvable"
@@ -126,7 +127,8 @@ let test_opt_stats_prbp () =
         (Prbp.Prbp_game.config ~r:4 ())
         g )
   with
-  | Some (c1, s1), Some (c2, s2) ->
+  | ( Some { Prbp.Exact_prbp.cost = c1; explored = s1; _ },
+      Some { Prbp.Exact_prbp.cost = c2; explored = s2; _ } ) ->
       check_int "same optimum" 2 c1;
       check_int "ablation same optimum" c1 c2;
       check_true "pruning reduces states" (s1 <= s2)
@@ -143,7 +145,9 @@ let test_ablation_optimum_unchanged_on_pool () =
               (Prbp.Rbp.config ~r ())
               g )
         with
-        | Some (c1, _), Some (c2, _) -> check_int "same" c1 c2
+        | ( Some { Prbp.Exact_rbp.cost = c1; _ },
+            Some { Prbp.Exact_rbp.cost = c2; _ } ) ->
+            check_int "same" c1 c2
         | None, None -> ()
         | _ -> Alcotest.fail "prune changed solvability"
       end)

@@ -1,0 +1,138 @@
+open Test_util
+module I2 = Prbp_solver.State_table.I2
+module I3 = Prbp_solver.State_table.I3
+
+(* Deterministic insert/lookup/update against sequential keys, enough
+   volume to force several slot-array and dense-array growths. *)
+let test_i2_grow () =
+  let t = I2.create () in
+  let n = 100_000 in
+  for i = 0 to n - 1 do
+    check_int "absent" (-1) (I2.find t i (i * 7));
+    let idx = I2.add t i (i * 7) (i + 1) in
+    check_int "dense index is insertion order" i idx
+  done;
+  check_int "length" n (I2.length t);
+  for i = 0 to n - 1 do
+    let idx = I2.find t i (i * 7) in
+    check_int "found" i idx;
+    check_int "value" (i + 1) (I2.value t idx);
+    check_int "key1" i (I2.key1 t idx);
+    check_int "key2" (i * 7) (I2.key2 t idx)
+  done;
+  I2.set_value t 0 42;
+  check_int "set_value" 42 (I2.value t 0);
+  I2.reset t;
+  check_int "reset empties" 0 (I2.length t);
+  check_int "reset forgets" (-1) (I2.find t 3 21)
+
+(* Adversarial collisions: keys differing only in high bits, and
+   bitmask-shaped keys (the solver's actual distribution). *)
+let test_i3_collisions () =
+  let t = I3.create () in
+  let keys =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b -> List.map (fun c -> (a lsl 40, b lsl 20, c)) [ 0; 1; 2; 3 ])
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  List.iteri
+    (fun i (a, b, c) ->
+      check_int "absent" (-1) (I3.find t a b c);
+      check_int "idx" i (I3.add t a b c i))
+    keys;
+  List.iteri
+    (fun i (a, b, c) ->
+      let idx = I3.find t a b c in
+      check_int "found" i idx;
+      check_int "value" i (I3.value t idx);
+      check_true "keys back"
+        (I3.key1 t idx = a && I3.key2 t idx = b && I3.key3 t idx = c))
+    keys
+
+(* qcheck: an arbitrary op sequence agrees with a Hashtbl model. *)
+let qtest_i2_vs_hashtbl =
+  QCheck.Test.make ~count:200 ~name:"I2 agrees with a Hashtbl model"
+    QCheck.(list (triple small_signed_int small_signed_int small_nat))
+    (fun ops ->
+      let t = I2.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b, v) ->
+          let idx = I2.find t a b in
+          if idx >= 0 then I2.set_value t idx v
+          else ignore (I2.add t a b v);
+          Hashtbl.replace model (a, b) v)
+        ops;
+      Hashtbl.length model = I2.length t
+      && Hashtbl.fold
+           (fun (a, b) v acc ->
+             acc
+             &&
+             let idx = I2.find t a b in
+             idx >= 0 && I2.value t idx = v && I2.key1 t idx = a
+             && I2.key2 t idx = b)
+           model true)
+
+let qtest_i3_vs_hashtbl =
+  QCheck.Test.make ~count:200 ~name:"I3 agrees with a Hashtbl model"
+    QCheck.(
+      list (pair small_signed_int (pair small_signed_int small_signed_int)))
+    (fun ops ->
+      let t = I3.create () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun v (a, (b, c)) ->
+          let idx = I3.find t a b c in
+          if idx >= 0 then I3.set_value t idx v
+          else ignore (I3.add t a b c v);
+          Hashtbl.replace model (a, b, c) v)
+        ops;
+      Hashtbl.length model = I3.length t
+      && Hashtbl.fold
+           (fun (a, b, c) v acc ->
+             acc
+             &&
+             let idx = I3.find t a b c in
+             idx >= 0 && I3.value t idx = v)
+           model true)
+
+(* The solvers' bit kernels, exercised over every single-bit input and
+   random masks. *)
+let test_bits () =
+  let module B = Prbp_solver.Bits in
+  for i = 0 to 62 do
+    check_int "lowest_set_index on 2^i" i (B.lowest_set_index (1 lsl i));
+    check_int "popcount of 2^i" 1 (B.popcount (1 lsl i))
+  done;
+  check_int "popcount 0" 0 (B.popcount 0);
+  check_int "popcount max_int" 62 (B.popcount max_int);
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 1000 do
+    let m = Random.State.int st ((1 lsl 30) - 1) in
+    let naive =
+      let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+      go 0 m
+    in
+    check_int "popcount random" naive (B.popcount m);
+    let collected = ref [] in
+    B.iter_bits (fun i -> collected := i :: !collected) m;
+    let expect =
+      List.filter (fun i -> m land (1 lsl i) <> 0) (List.init 30 Fun.id)
+    in
+    Alcotest.(check (list int)) "iter_bits" expect (List.rev !collected)
+  done
+
+let suite =
+  [
+    ( "state_table",
+      [
+        case "I2 insert/lookup/grow/reset" test_i2_grow;
+        case "I3 adversarial collisions" test_i3_collisions;
+        QCheck_alcotest.to_alcotest qtest_i2_vs_hashtbl;
+        QCheck_alcotest.to_alcotest qtest_i3_vs_hashtbl;
+        case "bit kernels" test_bits;
+      ] );
+  ]
