@@ -16,8 +16,11 @@ open Toolkit
 type solver_case = {
   name : string;
   game : string;
+      (* "rbp" | "prbp" | "black" | "multi-rbp" | "multi-prbp" — one
+         row per engine instance *)
   dag : Prbp_dag.Dag.t;
-  r : int;
+  r : int;  (* capacity; for "black" the pebble budget s *)
+  p : int;  (* processors; 1 for the single-processor games *)
   budget : int;
 }
 
@@ -30,6 +33,7 @@ let solver_cases () =
         Prbp.Graphs.Random_dag.make ~seed:5 ~max_in_degree:2 ~layers:7
           ~width:2 ();
       r = 3;
+      p = 1;
       budget = 30_000_000;
     };
     {
@@ -37,6 +41,7 @@ let solver_cases () =
       game = "prbp";
       dag = (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag;
       r = 3;
+      p = 1;
       budget = 30_000_000;
     };
     {
@@ -46,6 +51,31 @@ let solver_cases () =
         Prbp.Graphs.Random_dag.make ~seed:11 ~max_in_degree:3 ~layers:4
           ~width:4 ();
       r = 4;
+      p = 1;
+      budget = 30_000_000;
+    };
+    {
+      name = "black pyramid(6) n=28 s=8";
+      game = "black";
+      dag = Prbp.Graphs.Basic.pyramid 6;
+      r = 8;
+      p = 1;
+      budget = 30_000_000;
+    };
+    {
+      name = "multi-rbp pyramid(3) n=10 p=2";
+      game = "multi-rbp";
+      dag = Prbp.Graphs.Basic.pyramid 3;
+      r = 3;
+      p = 2;
+      budget = 30_000_000;
+    };
+    {
+      name = "multi-prbp fig1 n=10 p=2";
+      game = "multi-prbp";
+      dag = fst (Prbp.Graphs.Fig1.full ());
+      r = 3;
+      p = 2;
       budget = 30_000_000;
     };
   ]
@@ -57,26 +87,37 @@ let run_case c ~prune =
      accounting of the next, smaller one *)
   Gc.compact ();
   let t0 = Unix.gettimeofday () in
+  let unpack = function
+    | Some { Prbp.Game.cost; explored; pruned } ->
+        Some (cost, explored, pruned)
+    | None -> None
+  in
   let stats =
     match c.game with
-    | "prbp" -> (
-        match
-          Prbp.Exact_prbp.opt_stats ~max_states:c.budget ~prune
-            (Prbp.Prbp_game.config ~r:c.r ())
-            c.dag
-        with
-        | Some { Prbp.Exact_prbp.cost; explored; pruned } ->
-            Some (cost, explored, pruned)
-        | None -> None)
-    | _ -> (
-        match
-          Prbp.Exact_rbp.opt_stats ~max_states:c.budget ~prune
-            (Prbp.Rbp.config ~r:c.r ())
-            c.dag
-        with
-        | Some { Prbp.Exact_rbp.cost; explored; pruned } ->
-            Some (cost, explored, pruned)
-        | None -> None)
+    | "prbp" ->
+        unpack
+          (Prbp.Exact_prbp.opt_stats ~max_states:c.budget ~prune
+             (Prbp.Prbp_game.config ~r:c.r ())
+             c.dag)
+    | "black" ->
+        (* all-zero-cost instance: prune has nothing to cut, both runs
+           measure raw reachability throughput *)
+        unpack (Prbp.Black.feasible_stats ~max_states:c.budget ~s:c.r c.dag)
+    | "multi-rbp" ->
+        unpack
+          (Prbp.Exact_multi.rbp_opt_stats ~max_states:c.budget ~prune
+             (Prbp.Multi.config ~p:c.p ~r:c.r ())
+             c.dag)
+    | "multi-prbp" ->
+        unpack
+          (Prbp.Exact_multi.prbp_opt_stats ~max_states:c.budget ~prune
+             (Prbp.Multi.config ~p:c.p ~r:c.r ())
+             c.dag)
+    | _ ->
+        unpack
+          (Prbp.Exact_rbp.opt_stats ~max_states:c.budget ~prune
+             (Prbp.Rbp.config ~r:c.r ())
+             c.dag)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   match stats with
@@ -104,20 +145,21 @@ let run_solver ppf =
   in
   Prbp.Table.print ppf t;
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v1\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v2\",\n";
   Buffer.add_string buf "  \"cases\": [\n";
   List.iteri
     (fun i (c, on, off) ->
       Printf.bprintf buf
         "    {\"name\": %S, \"game\": %S, \"nodes\": %d, \"edges\": %d, \
-         \"r\": %d, \"opt\": %d,\n\
+         \"r\": %d, \"p\": %d, \"opt\": %d,\n\
         \     \"prune\": {\"wall_s\": %.3f, \"explored\": %d, \"pruned\": \
          %d},\n\
         \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d}}%s\n"
         c.name c.game
         (Prbp_dag.Dag.n_nodes c.dag)
         (Prbp_dag.Dag.n_edges c.dag)
-        c.r on.opt on.wall_s on.explored on.pruned off.wall_s off.explored
+        c.r c.p on.opt on.wall_s on.explored on.pruned off.wall_s
+        off.explored
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";

@@ -136,11 +136,43 @@ let r_arg =
     value & opt int 4
     & info [ "r" ] ~docv:"R" ~doc:"Fast-memory capacity (red pebbles).")
 
+let parse_game s =
+  match String.split_on_char ':' s with
+  | [ "rbp" ] -> Ok `Rbp
+  | [ "prbp" ] -> Ok `Prbp
+  | [ "both" ] -> Ok `Both
+  | [ "black" ] -> Ok `Black
+  | [ "multi"; p ] -> (
+      match int_of_string_opt p with
+      | Some p when p >= 1 -> Ok (`Multi p)
+      | _ -> Error (`Msg (Printf.sprintf "bad processor count in %S" s)))
+  | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown game %S (try rbp, prbp, both, black, multi:P)" s))
+
+let game_conv =
+  Arg.conv
+    ( parse_game,
+      fun ppf g ->
+        Fmt.string ppf
+          (match g with
+          | `Rbp -> "rbp"
+          | `Prbp -> "prbp"
+          | `Both -> "both"
+          | `Black -> "black"
+          | `Multi p -> Printf.sprintf "multi:%d" p) )
+
 let game_arg =
   Arg.(
     value
-    & opt (enum [ ("rbp", `Rbp); ("prbp", `Prbp); ("both", `Both) ]) `Both
-    & info [ "g"; "game" ] ~docv:"GAME" ~doc:"Which game to run.")
+    & opt game_conv `Both
+    & info [ "g"; "game" ] ~docv:"GAME"
+        ~doc:
+          "Which game to run: $(b,rbp), $(b,prbp), $(b,both), $(b,black) \
+           (pebbling number, no I/O), or $(b,multi:P) (exact RBP-MC and \
+           PRBP-MC with $(i,P) processors).")
 
 (* ------------------------------------------------------------------ *)
 
@@ -183,6 +215,23 @@ let solve_cmd =
         | Some c -> Format.printf "OPT_PRBP = %d@." c
         | None -> Format.printf "OPT_PRBP : no valid pebbling@."
     in
+    let black () =
+      Format.printf "black pebbling number: %d@."
+        (Prbp.Black.number ~sliding ~max_states g)
+    in
+    let multi p =
+      if recompute then
+        Format.printf "multi: one-shot only (drop --recompute)@."
+      else begin
+        let cfg = Prbp.Multi.config ~p ~r () in
+        (match Prbp.Exact_multi.rbp_opt_opt ~max_states cfg g with
+        | Some c -> Format.printf "OPT_RBP-MC  (p = %d) = %d@." p c
+        | None -> Format.printf "OPT_RBP-MC  : no valid pebbling@.");
+        match Prbp.Exact_multi.prbp_opt_opt ~max_states cfg g with
+        | Some c -> Format.printf "OPT_PRBP-MC (p = %d) = %d@." p c
+        | None -> Format.printf "OPT_PRBP-MC : no valid pebbling@."
+      end
+    in
     (try
        match game with
        | `Rbp -> rbp ()
@@ -190,8 +239,11 @@ let solve_cmd =
        | `Both ->
            rbp ();
            prbp ()
+       | `Black -> black ()
+       | `Multi p -> multi p
      with
-    | Prbp.Exact_rbp.Too_large n | Prbp.Exact_prbp.Too_large n ->
+    (* all four solvers share the one engine-wide exception *)
+    | Prbp.Game.Too_large n ->
         Format.printf
           "state budget (%d) exceeded — use --heuristic for an upper bound@."
           n);
@@ -398,6 +450,8 @@ let trace_cmd =
     | `Both ->
         rbp_trace ();
         prbp_trace ()
+    | `Black | `Multi _ ->
+        Format.printf "trace: only the rbp/prbp games have heuristic traces@."
   in
   Cmd.v
     (Cmd.info "trace"

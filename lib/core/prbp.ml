@@ -10,8 +10,10 @@
        paper;}
     {- {!Move}, {!Rbp}, {!Prbp_game} — the two pebble games and their
        Appendix-B variants;}
-    {- {!Exact_rbp}, {!Exact_prbp}, {!Heuristic}, {!Strategies} —
-       solvers and the paper's constructive strategies;}
+    {- {!Game}, {!Engine} — the generic exact-solver core;
+       {!Exact_rbp}, {!Exact_prbp}, {!Black}, {!Exact_multi},
+       {!Heuristic}, {!Strategies} — its game instances, heuristic
+       pebblers, and the paper's constructive strategies;}
     {- {!Spart}, {!Extract} — the S-partition lower-bound machinery;}
     {- {!Table}, {!Experiment} — the experiment harness.}} *)
 
@@ -46,14 +48,17 @@ module Move = Prbp_pebble.Move
 module Rbp = Prbp_pebble.Rbp
 module Trace = Prbp_pebble.Trace
 module Verifier = Prbp_pebble.Verifier
-module Black = Prbp_pebble.Black
 module Multi = Prbp_pebble.Multi
 
 module Prbp_game = Prbp_pebble.Prbp
 (** Named [Prbp_game] to avoid clashing with this facade module. *)
 
+module Game = Prbp_solver.Game
+module Engine = Prbp_solver.Engine
 module Exact_rbp = Prbp_solver.Exact_rbp
 module Exact_prbp = Prbp_solver.Exact_prbp
+module Exact_multi = Prbp_solver.Exact_multi
+module Black = Prbp_solver.Black
 module Heuristic = Prbp_solver.Heuristic
 module Thresholds = Prbp_solver.Thresholds
 module Optimize = Prbp_solver.Optimize

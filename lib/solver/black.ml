@@ -1,0 +1,102 @@
+module Dag = Prbp_dag.Dag
+
+exception Too_large = Game.Too_large
+
+(* The black pebble game as an all-zero-cost instance of the generic
+   engine: a state is the (pebbled-node mask, visited-sink mask) pair,
+   every transition is free (only the peak pebble count matters, and
+   that is capped by construction), so feasibility at capacity s is
+   plain reachability — [opt_opt] returns [Some 0] iff a complete
+   pebbling exists.  Branch-and-bound never fires (all distances are
+   0); the engine is used purely as the shared table + queue + budget
+   machinery. *)
+
+type move = Place of int | Slide of int * int | Remove of int
+
+module G = struct
+  type inst = {
+    n : int;
+    s : int;
+    sliding : bool;
+    pred_mask : int array;
+    sinks : int;
+  }
+
+  type nonrec move = move
+
+  let dummy_move = Place 0
+
+  let width _ = 2
+
+  let write_init _ buf =
+    buf.(0) <- 0;
+    buf.(1) <- 0
+
+  let is_goal inst buf = buf.(1) = inst.sinks
+
+  let residual_lb _ _ = 0
+
+  let heuristic_ub _ = max_int
+
+  let expand inst cur ~scratch ~emit =
+    let mask = cur.(0) and visited = cur.(1) in
+    let put m v (mv : move) =
+      scratch.(0) <- m;
+      scratch.(1) <- v;
+      emit mv 0
+    in
+    for v = 0 to inst.n - 1 do
+      let b = 1 lsl v in
+      if mask land b = 0 && inst.pred_mask.(v) land lnot mask = 0 then begin
+        (* PLACE (needs a free pebble) *)
+        if Bits.popcount mask < inst.s then
+          put (mask lor b) (visited lor (b land inst.sinks)) (Place v);
+        (* SLIDE from one of the (pebbled) in-neighbors *)
+        if inst.sliding && inst.pred_mask.(v) <> 0 then
+          Bits.iter_bits
+            (fun u ->
+              put
+                (mask lxor (1 lsl u) lor b)
+                (visited lor (b land inst.sinks))
+                (Slide (u, v)))
+            inst.pred_mask.(v)
+      end;
+      (* REMOVE *)
+      if mask land b <> 0 then put (mask lxor b) visited (Remove v)
+    done
+end
+
+module E = Engine.Make (G)
+
+let inst ?(sliding = false) ~s g =
+  let n = Dag.n_nodes g in
+  if n > 31 then invalid_arg "Black.feasible: at most 31 nodes";
+  if s < 0 then invalid_arg "Black.feasible: negative capacity";
+  {
+    G.n;
+    s;
+    sliding;
+    pred_mask =
+      Array.init n (fun v ->
+          Dag.fold_pred (fun u acc -> acc lor (1 lsl u)) g v 0);
+    sinks = List.fold_left (fun a v -> a lor (1 lsl v)) 0 (Dag.sinks g);
+  }
+
+let feasible_stats ?sliding ?(max_states = 2_000_000) ~s g =
+  E.opt_stats ~max_states (inst ?sliding ~s g)
+
+let feasible ?sliding ?max_states ~s g =
+  feasible_stats ?sliding ?max_states ~s g <> None
+
+let number ?sliding ?max_states g =
+  let n = Dag.n_nodes g in
+  if n = 0 then 0
+  else begin
+    let rec go s =
+      if s > n then
+        failwith "Black.number: internal: no feasible capacity up to n"
+      else if feasible ?sliding ?max_states ~s g then s
+      else go (s + 1)
+    in
+    go 1
+  end

@@ -13,15 +13,38 @@
     complete strategy exists.  It measures the pure space requirement
     of the computation, with no I/O at all — a useful companion to the
     trivial-cost cache thresholds of the red-blue games (see experiment
-    E26). *)
+    E26).
+
+    Implemented as the all-zero-cost instance of the generic
+    {!Engine}: every move is free, so feasibility at capacity [s] is
+    exactly "the engine finds a goal state" — the third game sharing
+    the one search core, after {!Exact_rbp} and {!Exact_prbp}. *)
 
 exception Too_large of int
+(** Alias (rebinding) of the engine-wide {!Game.Too_large} — matching
+    either name catches the same exception. *)
+
+type move = Place of int | Slide of int * int | Remove of int
+(** The black-game move vocabulary (engine bookkeeping; strategies are
+    not currently reconstructed — feasibility is all the callers
+    need). *)
 
 val feasible :
   ?sliding:bool -> ?max_states:int -> s:int -> Prbp_dag.Dag.t -> bool
 (** Is there a complete black pebbling using at most [s] pebbles?
     Decided by exhaustive search over (pebble-set, visited-sinks)
     states; [max_states] defaults to [2_000_000]. *)
+
+val feasible_stats :
+  ?sliding:bool ->
+  ?max_states:int ->
+  s:int ->
+  Prbp_dag.Dag.t ->
+  Game.stats option
+(** Like {!feasible}, with the engine's explored-state counters:
+    [Some stats] (with [stats.cost = 0] — all moves are free) when
+    feasible, [None] otherwise.  Used by the solver-throughput
+    benchmark. *)
 
 val number : ?sliding:bool -> ?max_states:int -> Prbp_dag.Dag.t -> int
 (** The pebbling number: the least [s] with [feasible ~s].  At most

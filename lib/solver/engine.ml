@@ -1,0 +1,160 @@
+(* The one exhaustive-search loop of the library.  Every exact solver
+   (Exact_rbp, Exact_prbp, Black, Exact_multi) instantiates this
+   functor; none of them owns a BFS or branch-and-bound loop of its
+   own. *)
+
+module T = State_table.Flat
+
+module Make (G : Game.S) = struct
+  type ctx = {
+    inst : G.inst;
+    max_states : int;
+    want_strategy : bool;
+    ub : int;  (* branch-and-bound bound; max_int = pruning off *)
+    mutable pruned : int;
+    tbl : T.t;
+    mutable parent_idx : int array;
+    mutable parent_move : G.move array;
+    dq : int Deque01.t;
+    (* set by the pop loop before calling [G.expand]; read by the
+       [emit] relaxation closure *)
+    mutable cur_idx : int;
+    mutable cur_d : int;
+  }
+
+  let record_parent ctx idx =
+    if idx >= Array.length ctx.parent_idx then begin
+      let cap = max 16 (2 * Array.length ctx.parent_idx) in
+      let pi = Array.make cap 0 and pm = Array.make cap G.dummy_move in
+      Array.blit ctx.parent_idx 0 pi 0 (Array.length ctx.parent_idx);
+      Array.blit ctx.parent_move 0 pm 0 (Array.length ctx.parent_move);
+      ctx.parent_idx <- pi;
+      ctx.parent_move <- pm
+    end
+
+  (* Relax the successor state sitting in [scratch]: the 0-1 BFS step,
+     plus branch-and-bound on first sight of a new state. *)
+  let relax ctx scratch m cost01 =
+    let cost = ctx.cur_d + cost01 in
+    let idx = T.find ctx.tbl scratch in
+    if idx >= 0 then begin
+      let v = T.value ctx.tbl idx in
+      (* v < 0: settled, already minimal *)
+      if v >= 0 && v > cost then begin
+        T.set_value ctx.tbl idx cost;
+        if ctx.want_strategy then begin
+          ctx.parent_idx.(idx) <- ctx.cur_idx;
+          ctx.parent_move.(idx) <- m
+        end;
+        if cost01 = 0 then Deque01.push_front ctx.dq idx
+        else Deque01.push_back ctx.dq idx
+      end
+    end
+    else if
+      ctx.ub < max_int && cost + G.residual_lb ctx.inst scratch > ctx.ub
+    then ctx.pruned <- ctx.pruned + 1
+    else begin
+      if T.length ctx.tbl >= ctx.max_states then
+        raise (Game.Too_large ctx.max_states);
+      let idx = T.add ctx.tbl scratch cost in
+      if ctx.want_strategy then begin
+        record_parent ctx idx;
+        ctx.parent_idx.(idx) <- ctx.cur_idx;
+        ctx.parent_move.(idx) <- m
+      end;
+      if cost01 = 0 then Deque01.push_front ctx.dq idx
+      else Deque01.push_back ctx.dq idx
+    end
+
+  let search ?(max_states = 5_000_000) ?(prune = true) ~want_strategy inst =
+    let w = G.width inst in
+    let ctx =
+      {
+        inst;
+        max_states;
+        want_strategy;
+        ub = (if prune then G.heuristic_ub inst else max_int);
+        pruned = 0;
+        tbl = T.create ~width:w;
+        parent_idx = [||];
+        parent_move = [||];
+        dq = Deque01.create ();
+        cur_idx = 0;
+        cur_d = 0;
+      }
+    in
+    let cur = Array.make w 0 and scratch = Array.make w 0 in
+    (* init state gets dense index 0 *)
+    G.write_init inst cur;
+    ignore (T.add ctx.tbl cur 0);
+    if want_strategy then begin
+      ctx.parent_idx <- Array.make 16 0;
+      ctx.parent_move <- Array.make 16 G.dummy_move
+    end;
+    Deque01.push_back ctx.dq 0;
+    let emit m cost01 = relax ctx scratch m cost01 in
+    let result = ref None in
+    (try
+       let continue = ref true in
+       while !continue do
+         match Deque01.pop_front ctx.dq with
+         | None -> continue := false
+         | Some idx ->
+             let d = T.value ctx.tbl idx in
+             if d >= 0 then begin
+               T.set_value ctx.tbl idx (lnot d);
+               T.read_key ctx.tbl idx cur;
+               if G.is_goal inst cur then begin
+                 result := Some (idx, d);
+                 continue := false
+               end
+               else begin
+                 ctx.cur_idx <- idx;
+                 ctx.cur_d <- d;
+                 G.expand inst cur ~scratch ~emit
+               end
+             end
+       done
+     with Game.Too_large _ as e ->
+       (* drop every per-search structure, not just the distance
+          table: a caught exception must not pin hundreds of MB
+          alive *)
+       T.reset ctx.tbl;
+       Deque01.clear ctx.dq;
+       ctx.parent_idx <- [||];
+       ctx.parent_move <- [||];
+       raise e);
+    let explored = T.length ctx.tbl in
+    match !result with
+    | None -> None
+    | Some (goal, d) ->
+        let moves =
+          if not want_strategy then []
+          else begin
+            let acc = ref [] in
+            let idx = ref goal in
+            while !idx <> 0 do
+              acc := ctx.parent_move.(!idx) :: !acc;
+              idx := ctx.parent_idx.(!idx)
+            done;
+            !acc
+          end
+        in
+        Some
+          (d, moves, { Game.cost = d; explored; pruned = ctx.pruned })
+
+  let opt_opt ?max_states ?prune inst =
+    Option.map
+      (fun (d, _, _) -> d)
+      (search ?max_states ?prune ~want_strategy:false inst)
+
+  let opt_stats ?max_states ?prune inst =
+    Option.map
+      (fun (_, _, stats) -> stats)
+      (search ?max_states ?prune ~want_strategy:false inst)
+
+  let opt_with_strategy ?max_states ?prune inst =
+    Option.map
+      (fun (d, moves, _) -> (d, moves))
+      (search ?max_states ?prune ~want_strategy:true inst)
+end

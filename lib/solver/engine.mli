@@ -1,0 +1,48 @@
+(** The generic exact-solver engine: one 0-1 BFS + branch-and-bound
+    core shared by every game.
+
+    {!Make} turns any {!Game.S} instance into an exhaustive optimal
+    solver.  The machinery is exactly the PR-1 state core, factored
+    out once: packed states live unboxed in a {!State_table.Flat}
+    (dense insertion indices as state handles), the work queue is a
+    {!Deque01} of dense indices only, a state's tentative distance
+    lives in the table value and is flipped to [lnot d] (negative)
+    once the state is popped and settled — the 0-1 BFS invariant
+    guarantees the first pop sees the final distance, so stale queue
+    entries are skipped on the sign alone.  Branch-and-bound prunes
+    any {e new} state whose distance plus the game's admissible
+    residual bound exceeds the heuristic upper-bound seed; this never
+    changes the optimum, only the explored count.
+
+    Exceeding [max_states] raises {!Game.Too_large} after dropping
+    every per-search structure (a caught exception must not pin
+    hundreds of MB alive). *)
+
+module Make (G : Game.S) : sig
+  val search :
+    ?max_states:int ->
+    ?prune:bool ->
+    want_strategy:bool ->
+    G.inst ->
+    (int * G.move list * Game.stats) option
+  (** [search inst] is [Some (opt, moves, stats)] where [opt] is the
+      optimal 0-1 distance to a goal state, or [None] when no goal
+      state is reachable.  [moves] is one optimal move sequence
+      (reconstructed through the parent arrays) when [want_strategy],
+      [[]] otherwise.  [max_states] defaults to [5_000_000]; [prune]
+      (default on) arms branch-and-bound with [G.heuristic_ub]. *)
+
+  val opt_opt : ?max_states:int -> ?prune:bool -> G.inst -> int option
+  (** The optimal cost alone; [None] when no goal is reachable. *)
+
+  val opt_stats :
+    ?max_states:int -> ?prune:bool -> G.inst -> Game.stats option
+  (** Optimal cost plus search-size counters. *)
+
+  val opt_with_strategy :
+    ?max_states:int ->
+    ?prune:bool ->
+    G.inst ->
+    (int * G.move list) option
+  (** Also reconstruct one optimal strategy; costs more memory. *)
+end

@@ -1,0 +1,115 @@
+(** Exact optimal multiprocessor pebbling costs (RBP-MC and PRBP-MC)
+    by exhaustive 0–1 shortest-path search — two more instances of the
+    generic {!Engine}, for the Section-8.1 extension formalized in
+    {!Prbp_pebble.Multi}.
+
+    {b State packings.}  RBP-MC packs a state as [p + 2] ints: one red
+    bitmask per processor, the shared blue mask, and the computed mask.
+    PRBP-MC uses [2p + 2] ints: a light mask and a dark mask per
+    processor (dark pebbles are exclusive — a partial value lives on at
+    most one processor), the blue mask, and the marked-edge mask.
+
+    {b Symmetry.}  Processors are interchangeable (each has the same
+    capacity [r]), so successor states are canonicalized by sorting the
+    per-processor masks, cutting the reachable space by up to [p!].
+    [*_opt_with_strategy] disables the canonicalization — its moves
+    name concrete processors and replay through {!Prbp_pebble.Multi}'s
+    rule engines — and therefore explores more states.
+
+    {b Limits.}  One-shot configs only ([one_shot = false] raises
+    [Invalid_argument]), at most 8 processors, at most 62 nodes (and,
+    for PRBP-MC, 62 edges).  The state space grows like the
+    single-processor games raised to the [p]-th power, so in practice
+    expect [p ≤ 3] and [n ≲ 12]; the search raises {!Too_large} beyond
+    [max_states].
+
+    {b Sanity anchor.}  At [p = 1] both games coincide move-for-move
+    with the Section-1/3 games, so [rbp_opt] / [prbp_opt] must equal
+    {!Exact_rbp.opt} / {!Exact_prbp.opt} on one-shot configs — checked
+    by the engine regression suite and certified across DAG families by
+    experiment E29. *)
+
+exception Too_large of int
+(** Alias (rebinding) of the engine-wide {!Game.Too_large} — matching
+    either name catches the same exception. *)
+
+type stats = Game.stats = {
+  cost : int;  (** the optimal I/O cost *)
+  explored : int;  (** distinct states inserted into the search *)
+  pruned : int;
+      (** states cut by branch-and-bound against the single-processor
+          heuristic upper bound (sound: any 1-processor strategy is a
+          [p]-processor strategy played on processor 0) *)
+}
+
+(** {1 RBP-MC} *)
+
+val rbp_opt :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  int
+(** Optimal total I/O (communication volume) of a complete RBP-MC
+    pebbling, or [Failure] when none exists (e.g. [r < Δin + 1]).
+    [max_states] defaults to [5_000_000]; [prune] (default on) is the
+    branch-and-bound switch. *)
+
+val rbp_opt_opt :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  int option
+
+val rbp_opt_stats :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  stats option
+
+val rbp_opt_with_strategy :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  (int * Prbp_pebble.Multi.Move.rbp list) option
+(** Also reconstruct one optimal strategy, replayable through
+    {!Prbp_pebble.Multi.R.check}.  Disables the processor-symmetry
+    canonicalization, so it explores more states than [rbp_opt]. *)
+
+(** {1 PRBP-MC} *)
+
+val prbp_opt :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  int
+(** Optimal total I/O of a complete PRBP-MC pebbling ([Failure] only at
+    [r = 1] or on out-of-range inputs — PRBP pebbles every DAG once
+    [r ≥ 2]). *)
+
+val prbp_opt_opt :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  int option
+
+val prbp_opt_stats :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  stats option
+
+val prbp_opt_with_strategy :
+  ?max_states:int ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  (int * Prbp_pebble.Multi.Move.prbp list) option
+(** Also reconstruct one optimal strategy, replayable through
+    {!Prbp_pebble.Multi.P.check}; canonicalization off, as above. *)

@@ -1,190 +1,171 @@
 module Dag = Prbp_dag.Dag
 module Prbp = Prbp_pebble.Prbp
 module PM = Prbp_pebble.Move.P
-module T = State_table.I2
 
-exception Too_large of int
+exception Too_large = Game.Too_large
 
-type stats = { cost : int; explored : int; pruned : int }
+type stats = Game.stats = { cost : int; explored : int; pruned : int }
 
-(* Pebble states are packed 2 bits per node:
-   00 = no pebble, 01 = blue, 11 = blue + light red, 10 = dark red.
+(* The PRBP instance of the generic engine.  Pebble states are packed
+   2 bits per node:
+     00 = no pebble, 01 = blue, 11 = blue + light red, 10 = dark red.
    Bit 0 of the pair = "has blue", bit 1 = "has red": both game
-   predicates become single-mask tests.
-
-   A search state is the (pack, marked) int pair, kept unboxed in a
-   State_table.I2 and named by its dense table index; the deque holds
-   dense indices only.  A state's tentative distance lives in the
-   table value, flipped to [lnot d] (negative) once the state is
-   popped and settled — the 0-1 BFS invariant guarantees the first
-   pop sees the final distance, so stale queue entries are skipped on
-   the sign alone. *)
+   predicates become single-mask tests.  A search state is the
+   (pack, marked) pair, packed as 2 ints. *)
 let st_none = 0
 and st_blue = 1
 and st_dark = 2
 and st_bl = 3
 
-type ctx = {
-  cfg : Prbp.config;
-  eager_deletes : bool;
-  n : int;
-  m : int;
-  esrc : int array;
-  edst : int array;
-  in_mask : int array;  (* per node: mask of in-edge ids *)
-  out_mask : int array;
-  red_bits : int;  (* bit 2v+1 for every node v *)
-  sink_mask : int;  (* node mask *)
-  source_mask : int;
-  full_edges : int;
-  max_states : int;
-  want_strategy : bool;
-  ub : int;  (* branch-and-bound bound; max_int = pruning off *)
-  mutable pruned : int;
-  tbl : T.t;
-  mutable parent_idx : int array;
-  mutable parent_move : PM.t array;
-  dq : int Deque01.t;
-}
+module G = struct
+  type inst = {
+    cfg : Prbp.config;
+    eager_deletes : bool;
+    n : int;
+    esrc : int array;
+    edst : int array;
+    in_mask : int array;  (* per node: mask of in-edge ids *)
+    out_mask : int array;
+    red_bits : int;  (* bit 2v+1 for every node v *)
+    sink_mask : int;  (* node mask *)
+    source_mask : int;
+    full_edges : int;
+    init_pack : int;
+    ub : int;
+  }
 
-let node_state pack v = (pack lsr (2 * v)) land 3
+  type move = PM.t
 
-let set_node_state pack v s = pack land lnot (3 lsl (2 * v)) lor (s lsl (2 * v))
+  let dummy_move = PM.Load 0
 
-(* Admissible residual bound: every sink without a blue pebble still
-   costs one SAVE, and every source that is not red but still has an
-   unmarked out-edge costs one LOAD (sources can only become red by
-   loading).  Distinct moves on distinct nodes, so the sum lower
-   bounds the cost-to-go — also under re-computation, where it only
-   counts currently-unmarked edges. *)
-let residual_lb ctx pack marked =
-  let lb = ref 0 in
-  Bits.iter_bits
-    (fun v -> if (pack lsr (2 * v)) land 1 = 0 then incr lb)
-    ctx.sink_mask;
-  Bits.iter_bits
-    (fun v ->
+  let width _ = 2
+
+  let write_init inst buf =
+    buf.(0) <- inst.init_pack;
+    buf.(1) <- 0
+
+  let node_state pack v = (pack lsr (2 * v)) land 3
+
+  let set_node_state pack v s =
+    pack land lnot (3 lsl (2 * v)) lor (s lsl (2 * v))
+
+  let is_goal inst buf =
+    let pack = buf.(0) and marked = buf.(1) in
+    marked = inst.full_edges
+    &&
+    let ok = ref true in
+    for v = 0 to inst.n - 1 do
+      if inst.sink_mask land (1 lsl v) <> 0 && node_state pack v land 1 = 0
+      then ok := false
+    done;
+    !ok
+
+  (* Admissible residual bound: every sink without a blue pebble still
+     costs one SAVE, and every source that is not red but still has an
+     unmarked out-edge costs one LOAD (sources can only become red by
+     loading).  Distinct moves on distinct nodes, so the sum lower
+     bounds the cost-to-go — also under re-computation, where it only
+     counts currently-unmarked edges. *)
+  let residual_lb inst buf =
+    let pack = buf.(0) and marked = buf.(1) in
+    let lb = ref 0 in
+    Bits.iter_bits
+      (fun v -> if (pack lsr (2 * v)) land 1 = 0 then incr lb)
+      inst.sink_mask;
+    Bits.iter_bits
+      (fun v ->
+        if
+          (pack lsr (2 * v)) land 2 = 0
+          && inst.out_mask.(v) land lnot marked <> 0
+        then incr lb)
+      inst.source_mask;
+    !lb
+
+  let heuristic_ub inst = inst.ub
+
+  let expand inst cur ~scratch ~emit =
+    let pack = cur.(0) and marked = cur.(1) in
+    let put p m (mv : move) cost01 =
+      (* scratch is engine-allocated at exactly [width inst] *)
+      Array.unsafe_set scratch 0 p;
+      Array.unsafe_set scratch 1 m;
+      emit mv cost01
+    in
+    (* hot loop: hoist the loop-invariant loads; the per-node/per-edge
+       arrays are sized n/m at construction, every index is a node or
+       edge id *)
+    let r = inst.cfg.Prbp.r in
+    let out_mask = inst.out_mask in
+    let n_red = Bits.popcount (pack land inst.red_bits) in
+    for v = 0 to inst.n - 1 do
+      let s = node_state pack v in
+      let fully_used = Array.unsafe_get out_mask v land lnot marked = 0 in
+      (* LOAD: blue only -> blue+light; useless once all out-edges are
+         marked (covers sinks: they are already blue) *)
+      if s = st_blue && n_red < r && not fully_used then
+        put (set_node_state pack v st_bl) marked (PM.Load v) 1;
+      (* SAVE: dark -> blue+light; useful only for sinks or while some
+         out-edge is still unmarked *)
       if
-        (pack lsr (2 * v)) land 2 = 0
-        && ctx.out_mask.(v) land lnot marked <> 0
-      then incr lb)
-    ctx.source_mask;
-  !lb
+        s = st_dark
+        && ((not fully_used) || inst.sink_mask land (1 lsl v) <> 0)
+      then put (set_node_state pack v st_bl) marked (PM.Save v) 1;
+      (* DELETE light red: a cached copy of a value that is also in
+         slow memory only ever consumes capacity, so deleting it is
+         postponed until the cache is full (a normalization that
+         preserves optimality and shrinks the search space);
+         fully-used copies are cleaned up eagerly for free *)
+      if
+        s = st_bl
+        && (inst.eager_deletes || n_red = r || fully_used)
+      then put (set_node_state pack v st_blue) marked (PM.Delete v) 0;
+      (* DELETE dark red: only when fully used; deleting a dark sink
+         loses its final value for good — a dead end we prune *)
+      if
+        s = st_dark
+        && (not inst.cfg.Prbp.no_delete)
+        && fully_used
+        && inst.sink_mask land (1 lsl v) = 0
+      then put (set_node_state pack v st_none) marked (PM.Delete v) 0;
+      (* CLEAR (re-computation variant): drop all pebbles from an
+         internal node and unmark its in-edges, allowing the value to
+         be rebuilt from scratch later.  Skipped when a no-op. *)
+      if
+        inst.cfg.Prbp.recompute
+        && inst.source_mask land (1 lsl v) = 0
+        && inst.sink_mask land (1 lsl v) = 0
+        && (s <> st_none || inst.in_mask.(v) land marked <> 0)
+      then
+        put
+          (set_node_state pack v st_none)
+          (marked land lnot inst.in_mask.(v))
+          (PM.Clear v) 0
+    done;
+    (* PARTIAL COMPUTE on each unmarked edge *)
+    let esrc = inst.esrc and edst = inst.edst and in_mask = inst.in_mask in
+    let rest = ref (inst.full_edges land lnot marked) in
+    while !rest <> 0 do
+      let e = Bits.lowest_set_index !rest in
+      rest := !rest land (!rest - 1);
+      let u = Array.unsafe_get esrc e and v = Array.unsafe_get edst e in
+      let su = node_state pack u in
+      if
+        su land 2 <> 0 (* u has red *)
+        && Array.unsafe_get in_mask u land lnot marked = 0
+        (* u fully computed *)
+      then begin
+        let sv = node_state pack v in
+        if sv <> st_blue && (sv <> st_none || n_red < r) then
+          put
+            (set_node_state pack v st_dark)
+            (marked lor (1 lsl e))
+            (PM.Compute (u, v))
+            0
+      end
+    done
+end
 
-let relax ctx ~prev ~d_prev m pack marked cost =
-  let idx = T.find ctx.tbl pack marked in
-  if idx >= 0 then begin
-    let v = T.value ctx.tbl idx in
-    (* v < 0: settled, already minimal *)
-    if v >= 0 && v > cost then begin
-      T.set_value ctx.tbl idx cost;
-      if ctx.want_strategy then begin
-        ctx.parent_idx.(idx) <- prev;
-        ctx.parent_move.(idx) <- m
-      end;
-      if cost = d_prev then Deque01.push_front ctx.dq idx
-      else Deque01.push_back ctx.dq idx
-    end
-  end
-  else if ctx.ub < max_int && cost + residual_lb ctx pack marked > ctx.ub
-  then ctx.pruned <- ctx.pruned + 1
-  else begin
-    if T.length ctx.tbl >= ctx.max_states then raise (Too_large ctx.max_states);
-    let idx = T.add ctx.tbl pack marked cost in
-    if ctx.want_strategy then begin
-      if idx >= Array.length ctx.parent_idx then begin
-        let cap = max 16 (2 * Array.length ctx.parent_idx) in
-        let pi = Array.make cap 0 and pm = Array.make cap (PM.Load 0) in
-        Array.blit ctx.parent_idx 0 pi 0 (Array.length ctx.parent_idx);
-        Array.blit ctx.parent_move 0 pm 0 (Array.length ctx.parent_move);
-        ctx.parent_idx <- pi;
-        ctx.parent_move <- pm
-      end;
-      ctx.parent_idx.(idx) <- prev;
-      ctx.parent_move.(idx) <- m
-    end;
-    if cost = d_prev then Deque01.push_front ctx.dq idx
-    else Deque01.push_back ctx.dq idx
-  end
-
-let expand ctx prev d =
-  let pack = T.key1 ctx.tbl prev and marked = T.key2 ctx.tbl prev in
-  let n_red = Bits.popcount (pack land ctx.red_bits) in
-  for v = 0 to ctx.n - 1 do
-    let s = node_state pack v in
-    let fully_used = ctx.out_mask.(v) land lnot marked = 0 in
-    (* LOAD: blue only -> blue+light; useless once all out-edges are
-       marked (covers sinks: they are already blue) *)
-    if s = st_blue && n_red < ctx.cfg.Prbp.r && not fully_used then
-      relax ctx ~prev ~d_prev:d (PM.Load v)
-        (set_node_state pack v st_bl)
-        marked (d + 1);
-    (* SAVE: dark -> blue+light; useful only for sinks or while some
-       out-edge is still unmarked *)
-    if
-      s = st_dark
-      && ((not fully_used) || ctx.sink_mask land (1 lsl v) <> 0)
-    then
-      relax ctx ~prev ~d_prev:d (PM.Save v)
-        (set_node_state pack v st_bl)
-        marked (d + 1);
-    (* DELETE light red: a cached copy of a value that is also in slow
-       memory only ever consumes capacity, so deleting it is postponed
-       until the cache is full (a normalization that preserves
-       optimality and shrinks the search space); fully-used copies are
-       cleaned up eagerly for free *)
-    if
-      s = st_bl
-      && (ctx.eager_deletes || n_red = ctx.cfg.Prbp.r || fully_used)
-    then
-      relax ctx ~prev ~d_prev:d (PM.Delete v)
-        (set_node_state pack v st_blue)
-        marked d;
-    (* DELETE dark red: only when fully used; deleting a dark sink
-       loses its final value for good — a dead end we prune *)
-    if
-      s = st_dark
-      && (not ctx.cfg.Prbp.no_delete)
-      && fully_used
-      && ctx.sink_mask land (1 lsl v) = 0
-    then
-      relax ctx ~prev ~d_prev:d (PM.Delete v)
-        (set_node_state pack v st_none)
-        marked d;
-    (* CLEAR (re-computation variant): drop all pebbles from an
-       internal node and unmark its in-edges, allowing the value to be
-       rebuilt from scratch later.  Skipped when it would be a no-op. *)
-    if
-      ctx.cfg.Prbp.recompute
-      && ctx.source_mask land (1 lsl v) = 0
-      && ctx.sink_mask land (1 lsl v) = 0
-      && (s <> st_none || ctx.in_mask.(v) land marked <> 0)
-    then
-      relax ctx ~prev ~d_prev:d (PM.Clear v)
-        (set_node_state pack v st_none)
-        (marked land lnot ctx.in_mask.(v))
-        d
-  done;
-  (* PARTIAL COMPUTE on each unmarked edge *)
-  let rest = ref (ctx.full_edges land lnot marked) in
-  while !rest <> 0 do
-    let e = Bits.lowest_set_index !rest in
-    rest := !rest land (!rest - 1);
-    let u = ctx.esrc.(e) and v = ctx.edst.(e) in
-    let su = node_state pack u in
-    if
-      su land 2 <> 0 (* u has red *)
-      && ctx.in_mask.(u) land lnot marked = 0 (* u fully computed *)
-    then begin
-      let sv = node_state pack v in
-      if sv <> st_blue && (sv <> st_none || n_red < ctx.cfg.Prbp.r) then
-        relax ctx ~prev ~d_prev:d
-          (PM.Compute (u, v))
-          (set_node_state pack v st_dark)
-          (marked lor (1 lsl e))
-          d
-    end
-  done
+module E = Engine.Make (G)
 
 (* Branch-and-bound upper bound: the I/O count of the cheaper of the
    two heuristic pebblers.  Both play the standard one-shot game,
@@ -211,8 +192,7 @@ let heuristic_ub cfg g =
       (try_one (fun ~r g -> Heuristic.prbp_greedy ~r g))
   end
 
-let search ?(max_states = 5_000_000) ?(eager_deletes = false) ?(prune = true)
-    ~want_strategy cfg g =
+let inst ?(eager_deletes = false) ~prune cfg g =
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if n > 31 then invalid_arg "Exact_prbp: at most 31 nodes";
   if m > 62 then invalid_arg "Exact_prbp: at most 62 edges";
@@ -235,106 +215,32 @@ let search ?(max_states = 5_000_000) ?(eager_deletes = false) ?(prune = true)
       init_pack := !init_pack lor (st_blue lsl (2 * v))
     end
   done;
-  let ctx =
-    {
-      cfg;
-      eager_deletes;
-      n;
-      m;
-      esrc;
-      edst;
-      in_mask;
-      out_mask;
-      red_bits = !red_bits;
-      sink_mask = !sink_mask;
-      source_mask = !source_mask;
-      full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
-      max_states;
-      want_strategy;
-      ub = (if prune then heuristic_ub cfg g else max_int);
-      pruned = 0;
-      tbl = T.create ();
-      parent_idx = [||];
-      parent_move = [||];
-      dq = Deque01.create ();
-    }
-  in
-  let is_goal pack marked =
-    marked = ctx.full_edges
-    &&
-    let ok = ref true in
-    for v = 0 to n - 1 do
-      if ctx.sink_mask land (1 lsl v) <> 0 && node_state pack v land 1 = 0
-      then ok := false
-    done;
-    !ok
-  in
-  (* init state gets dense index 0 *)
-  ignore (T.add ctx.tbl !init_pack 0 0);
-  if want_strategy then begin
-    ctx.parent_idx <- Array.make 16 0;
-    ctx.parent_move <- Array.make 16 (PM.Load 0)
-  end;
-  Deque01.push_back ctx.dq 0;
-  let result = ref None in
-  (try
-     let continue = ref true in
-     while !continue do
-       match Deque01.pop_front ctx.dq with
-       | None -> continue := false
-       | Some idx ->
-           let d = T.value ctx.tbl idx in
-           if d >= 0 then begin
-             T.set_value ctx.tbl idx (lnot d);
-             if is_goal (T.key1 ctx.tbl idx) (T.key2 ctx.tbl idx) then begin
-               result := Some (idx, d);
-               continue := false
-             end
-             else expand ctx idx d
-           end
-     done
-   with Too_large _ as e ->
-     (* drop every per-search structure, not just the distance table:
-        a caught exception must not pin hundreds of MB alive *)
-     T.reset ctx.tbl;
-     Deque01.clear ctx.dq;
-     ctx.parent_idx <- [||];
-     ctx.parent_move <- [||];
-     raise e);
-  let explored = T.length ctx.tbl in
-  match !result with
-  | None -> None
-  | Some (goal, d) ->
-      let moves =
-        if not want_strategy then []
-        else begin
-          let acc = ref [] in
-          let idx = ref goal in
-          while !idx <> 0 do
-            acc := ctx.parent_move.(!idx) :: !acc;
-            idx := ctx.parent_idx.(!idx)
-          done;
-          !acc
-        end
-      in
-      Some (d, moves, { cost = d; explored; pruned = ctx.pruned })
+  {
+    G.cfg;
+    eager_deletes;
+    n;
+    esrc;
+    edst;
+    in_mask;
+    out_mask;
+    red_bits = !red_bits;
+    sink_mask = !sink_mask;
+    source_mask = !source_mask;
+    full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
+    init_pack = !init_pack;
+    ub = (if prune then heuristic_ub cfg g else max_int);
+  }
 
-let opt_opt ?max_states ?prune cfg g =
-  Option.map
-    (fun (d, _, _) -> d)
-    (search ?max_states ?prune ~want_strategy:false cfg g)
+let opt_opt ?max_states ?(prune = true) cfg g =
+  E.opt_opt ?max_states (inst ~prune cfg g)
 
-let opt_stats ?max_states ?eager_deletes ?prune cfg g =
-  Option.map
-    (fun (_, _, stats) -> stats)
-    (search ?max_states ?eager_deletes ?prune ~want_strategy:false cfg g)
+let opt_stats ?max_states ?eager_deletes ?(prune = true) cfg g =
+  E.opt_stats ?max_states (inst ?eager_deletes ~prune cfg g)
 
 let opt ?max_states ?prune cfg g =
   match opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_prbp.opt: no valid pebbling exists"
 
-let opt_with_strategy ?max_states ?prune cfg g =
-  Option.map
-    (fun (d, moves, _) -> (d, moves))
-    (search ?max_states ?prune ~want_strategy:true cfg g)
+let opt_with_strategy ?max_states ?(prune = true) cfg g =
+  E.opt_with_strategy ?max_states (inst ~prune cfg g)

@@ -19,8 +19,10 @@
     sizes. *)
 
 exception Too_large of int
+(** Alias (rebinding) of the engine-wide {!Game.Too_large} — matching
+    either name catches the same exception. *)
 
-type stats = {
+type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
   explored : int;  (** distinct states inserted into the search *)
   pruned : int;

@@ -1,162 +1,144 @@
 module Dag = Prbp_dag.Dag
 module Rbp = Prbp_pebble.Rbp
 module RM = Prbp_pebble.Move.R
-module T = State_table.I3
 
-exception Too_large of int
+exception Too_large = Game.Too_large
 
-type stats = { cost : int; explored : int; pruned : int }
+type stats = Game.stats = { cost : int; explored : int; pruned : int }
 
-(* States are (red, blue, comp) bitmask triples kept unboxed in a
-   State_table.I3; every state is named by its dense table index.  The
-   deque holds dense indices only; a state's tentative distance lives
-   in the table value, flipped to [lnot d] (negative) once the state
-   is popped and settled — the 0-1 BFS invariant guarantees the first
-   pop sees the final distance, so later stale queue entries are
-   skipped on the sign alone. *)
-type ctx = {
-  cfg : Rbp.config;
-  eager_deletes : bool;
-  n : int;
-  pred_mask : int array;
-  succ_mask : int array;
-  sinks : int;
-  sources : int;
-  srcs : int array;  (* source nodes, for the residual lower bound *)
-  max_states : int;
-  want_strategy : bool;
-  ub : int;  (* branch-and-bound bound; max_int = pruning off *)
-  mutable pruned : int;
-  tbl : T.t;
-  mutable parent_idx : int array;
-  mutable parent_move : RM.t array;
-  dq : int Deque01.t;
-}
+(* The classic-RBP instance of the generic engine: a state is the
+   (red, blue, comp) bitmask triple, packed as 3 ints.  All search
+   machinery (state table, 0-1 deque, settled encoding, B&B) lives in
+   {!Engine.Make}; this module only knows the game rules. *)
+module G = struct
+  type inst = {
+    cfg : Rbp.config;
+    eager_deletes : bool;
+    n : int;
+    pred_mask : int array;
+    succ_mask : int array;
+    sinks : int;
+    sources : int;
+    srcs : int array;  (* source nodes, for the residual lower bound *)
+    ub : int;
+  }
 
-(* Admissible residual bound: every not-yet-blue sink still costs one
-   SAVE, and (one-shot only) every source that is not red but still
-   feeds an uncomputed successor costs one LOAD.  All these I/Os are
-   distinct moves on distinct nodes, so the sum is a lower bound on
-   the cost-to-go. *)
-let residual_lb ctx red blue comp =
-  let lb = ref (Bits.popcount (ctx.sinks land lnot blue)) in
-  if ctx.cfg.Rbp.one_shot then
-    Array.iter
-      (fun s ->
-        if
-          red land (1 lsl s) = 0
-          && ctx.succ_mask.(s) land lnot comp <> 0
-        then incr lb)
-      ctx.srcs;
-  !lb
+  type move = RM.t
 
-let relax ctx ~prev ~d_prev m red blue comp cost =
-  let idx = T.find ctx.tbl red blue comp in
-  if idx >= 0 then begin
-    let v = T.value ctx.tbl idx in
-    (* v < 0: settled, already minimal *)
-    if v >= 0 && v > cost then begin
-      T.set_value ctx.tbl idx cost;
-      if ctx.want_strategy then begin
-        ctx.parent_idx.(idx) <- prev;
-        ctx.parent_move.(idx) <- m
+  let dummy_move = RM.Load 0
+
+  let width _ = 3
+
+  let write_init inst buf =
+    buf.(0) <- 0;
+    buf.(1) <- inst.sources;
+    buf.(2) <- 0
+
+  let is_goal inst buf = buf.(1) land inst.sinks = inst.sinks
+
+  (* Admissible residual bound: every not-yet-blue sink still costs
+     one SAVE, and (one-shot only) every source that is not red but
+     still feeds an uncomputed successor costs one LOAD.  All these
+     I/Os are distinct moves on distinct nodes, so the sum is a lower
+     bound on the cost-to-go. *)
+  let residual_lb inst buf =
+    let red = buf.(0) and blue = buf.(1) and comp = buf.(2) in
+    let lb = ref (Bits.popcount (inst.sinks land lnot blue)) in
+    if inst.cfg.Rbp.one_shot then
+      Array.iter
+        (fun s ->
+          if
+            red land (1 lsl s) = 0
+            && inst.succ_mask.(s) land lnot comp <> 0
+          then incr lb)
+        inst.srcs;
+    !lb
+
+  let heuristic_ub inst = inst.ub
+
+  (* A value may be deleted (or need not be saved) once it can never
+     be used again: all successors computed and, for sinks, already
+     blue.  Only sound in the one-shot game. *)
+  let obsolete inst blue comp v =
+    inst.cfg.Rbp.one_shot
+    && inst.succ_mask.(v) land lnot comp = 0
+    && (inst.sinks land (1 lsl v) = 0 || blue land (1 lsl v) <> 0)
+
+  let expand inst cur ~scratch ~emit =
+    let red = cur.(0) and blue = cur.(1) and comp = cur.(2) in
+    let put r b c (m : move) cost01 =
+      (* scratch is engine-allocated at exactly [width inst] *)
+      Array.unsafe_set scratch 0 r;
+      Array.unsafe_set scratch 1 b;
+      Array.unsafe_set scratch 2 c;
+      emit m cost01
+    in
+    (* hot loop: hoist the loop-invariant loads *)
+    let r = inst.cfg.Rbp.r in
+    let n_red = Bits.popcount red in
+    for v = 0 to inst.n - 1 do
+      let b = 1 lsl v in
+      (* LOAD *)
+      if
+        blue land b <> 0
+        && red land b = 0
+        && n_red < r
+        && not (obsolete inst blue comp v)
+      then put (red lor b) blue comp (RM.Load v) 1;
+      (* SAVE; in the no-delete variant saving an already-blue node is
+         meaningful (it is the only way to release the red pebble) *)
+      if red land b <> 0 && (blue land b = 0 || inst.cfg.Rbp.no_delete)
+      then begin
+        let red' = if inst.cfg.Rbp.no_delete then red lxor b else red in
+        if inst.cfg.Rbp.no_delete || not (obsolete inst blue comp v) then
+          put red' (blue lor b) comp (RM.Save v) 1
       end;
-      if cost = d_prev then Deque01.push_front ctx.dq idx
-      else Deque01.push_back ctx.dq idx
-    end
-  end
-  else if ctx.ub < max_int && cost + residual_lb ctx red blue comp > ctx.ub
-  then ctx.pruned <- ctx.pruned + 1
-  else begin
-    if T.length ctx.tbl >= ctx.max_states then raise (Too_large ctx.max_states);
-    let idx = T.add ctx.tbl red blue comp cost in
-    if ctx.want_strategy then begin
-      if idx >= Array.length ctx.parent_idx then begin
-        let cap = max 16 (2 * Array.length ctx.parent_idx) in
-        let pi = Array.make cap 0 and pm = Array.make cap (RM.Load 0) in
-        Array.blit ctx.parent_idx 0 pi 0 (Array.length ctx.parent_idx);
-        Array.blit ctx.parent_move 0 pm 0 (Array.length ctx.parent_move);
-        ctx.parent_idx <- pi;
-        ctx.parent_move <- pm
+      (* COMPUTE *)
+      if
+        inst.sources land b = 0
+        && red land b = 0
+        && (not (inst.cfg.Rbp.one_shot && comp land b <> 0))
+        && red land inst.pred_mask.(v) = inst.pred_mask.(v)
+      then begin
+        let comp' = if inst.cfg.Rbp.one_shot then comp lor b else comp in
+        if n_red < r then put (red lor b) blue comp' (RM.Compute v) 0;
+        (* SLIDE *)
+        if inst.cfg.Rbp.sliding then
+          Bits.iter_bits
+            (fun u ->
+              put
+                (red lxor (1 lsl u) lor b)
+                blue comp'
+                (RM.Slide (u, v))
+                0)
+            inst.pred_mask.(v)
       end;
-      ctx.parent_idx.(idx) <- prev;
-      ctx.parent_move.(idx) <- m
-    end;
-    if cost = d_prev then Deque01.push_front ctx.dq idx
-    else Deque01.push_back ctx.dq idx
-  end
+      (* DELETE.  Deleting an unsaved, still-needed value is a dead
+         end in the one-shot game (pruned); deleting a recoverable
+         value (blue-backed or re-computable) is postponed until the
+         cache is actually full — extra cached copies only ever
+         consume capacity, so this normalization preserves optimality.
+         Obsolete values are cleaned up eagerly for free.
+         [eager_deletes] disables the capacity normalization (for
+         ablation measurements only). *)
+      if
+        (not inst.cfg.Rbp.no_delete)
+        && red land b <> 0
+        && (obsolete inst blue comp v
+           || ((inst.eager_deletes || n_red = r)
+              && ((not inst.cfg.Rbp.one_shot) || blue land b <> 0)))
+      then put (red lxor b) blue comp (RM.Delete v) 0
+    done
+end
 
-(* A value may be deleted (or need not be saved) once it can never be
-   used again: all successors computed and, for sinks, already blue.
-   Only sound in the one-shot game. *)
-let obsolete ctx blue comp v =
-  ctx.cfg.Rbp.one_shot
-  && ctx.succ_mask.(v) land lnot comp = 0
-  && (ctx.sinks land (1 lsl v) = 0 || blue land (1 lsl v) <> 0)
+module E = Engine.Make (G)
 
-let expand ctx prev d =
-  let red = T.key1 ctx.tbl prev
-  and blue = T.key2 ctx.tbl prev
-  and comp = T.key3 ctx.tbl prev in
-  let n_red = Bits.popcount red in
-  for v = 0 to ctx.n - 1 do
-    let b = 1 lsl v in
-    (* LOAD *)
-    if
-      blue land b <> 0
-      && red land b = 0
-      && n_red < ctx.cfg.Rbp.r
-      && not (obsolete ctx blue comp v)
-    then relax ctx ~prev ~d_prev:d (RM.Load v) (red lor b) blue comp (d + 1);
-    (* SAVE; in the no-delete variant saving an already-blue node is
-       meaningful (it is the only way to release the red pebble) *)
-    if red land b <> 0 && (blue land b = 0 || ctx.cfg.Rbp.no_delete) then begin
-      let red' = if ctx.cfg.Rbp.no_delete then red lxor b else red in
-      if ctx.cfg.Rbp.no_delete || not (obsolete ctx blue comp v) then
-        relax ctx ~prev ~d_prev:d (RM.Save v) red' (blue lor b) comp (d + 1)
-    end;
-    (* COMPUTE *)
-    if
-      ctx.sources land b = 0
-      && red land b = 0
-      && (not (ctx.cfg.Rbp.one_shot && comp land b <> 0))
-      && red land ctx.pred_mask.(v) = ctx.pred_mask.(v)
-    then begin
-      let comp' = if ctx.cfg.Rbp.one_shot then comp lor b else comp in
-      if n_red < ctx.cfg.Rbp.r then
-        relax ctx ~prev ~d_prev:d (RM.Compute v) (red lor b) blue comp' d;
-      (* SLIDE *)
-      if ctx.cfg.Rbp.sliding then
-        Bits.iter_bits
-          (fun u ->
-            relax ctx ~prev ~d_prev:d
-              (RM.Slide (u, v))
-              (red lxor (1 lsl u) lor b)
-              blue comp' d)
-          ctx.pred_mask.(v)
-    end;
-    (* DELETE.  Deleting an unsaved, still-needed value is a dead end
-       in the one-shot game (pruned); deleting a recoverable value
-       (blue-backed or re-computable) is postponed until the cache is
-       actually full — extra cached copies only ever consume capacity,
-       so this normalization preserves optimality.  Obsolete values are
-       cleaned up eagerly for free.  [eager_deletes] disables the
-       capacity normalization (for ablation measurements only). *)
-    if
-      (not ctx.cfg.Rbp.no_delete)
-      && red land b <> 0
-      && (obsolete ctx blue comp v
-         || ((ctx.eager_deletes || n_red = ctx.cfg.Rbp.r)
-            && ((not ctx.cfg.Rbp.one_shot) || blue land b <> 0)))
-    then relax ctx ~prev ~d_prev:d (RM.Delete v) (red lxor b) blue comp d
-  done
-
-(* Branch-and-bound upper bound: the I/O count of a heuristic strategy.
-   The Belady pebbler plays the standard one-shot game, whose move set
-   is legal in every variant except no-delete (sliding and
-   re-computation only relax the rules), so its cost bounds OPT from
-   above there; in the no-delete variant (or when the heuristic cannot
-   run at all, e.g. r < Δin + 1) pruning is disabled. *)
+(* Branch-and-bound upper bound: the I/O count of a heuristic
+   strategy.  The Belady pebbler plays the standard one-shot game,
+   whose move set is legal in every variant except no-delete (sliding
+   and re-computation only relax the rules), so its cost bounds OPT
+   from above there; in the no-delete variant (or when the heuristic
+   cannot run at all, e.g. r < Δin + 1) pruning is disabled. *)
 let heuristic_ub cfg g =
   if cfg.Rbp.no_delete then max_int
   else
@@ -168,100 +150,33 @@ let heuristic_ub cfg g =
           0 moves
     | exception _ -> max_int
 
-let search ?(max_states = 5_000_000) ?(eager_deletes = false) ?(prune = true)
-    ~want_strategy cfg g =
+let inst ?(eager_deletes = false) ~prune cfg g =
   let n = Dag.n_nodes g in
   if n > 62 then invalid_arg "Exact_rbp: at most 62 nodes";
   let mask_of fold v = fold (fun u acc -> acc lor (1 lsl u)) g v 0 in
-  let sources =
-    List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g)
-  in
-  let ctx =
-    {
-      cfg;
-      eager_deletes;
-      n;
-      pred_mask = Array.init n (mask_of Dag.fold_pred);
-      succ_mask = Array.init n (mask_of Dag.fold_succ);
-      sinks = List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sinks g);
-      sources;
-      srcs = Array.of_list (Dag.sources g);
-      max_states;
-      want_strategy;
-      ub = (if prune then heuristic_ub cfg g else max_int);
-      pruned = 0;
-      tbl = T.create ();
-      parent_idx = [||];
-      parent_move = [||];
-      dq = Deque01.create ();
-    }
-  in
-  (* init state gets dense index 0 *)
-  ignore (T.add ctx.tbl 0 sources 0 0);
-  if want_strategy then begin
-    ctx.parent_idx <- Array.make 16 0;
-    ctx.parent_move <- Array.make 16 (RM.Load 0)
-  end;
-  Deque01.push_back ctx.dq 0;
-  let result = ref None in
-  (try
-     let continue = ref true in
-     while !continue do
-       match Deque01.pop_front ctx.dq with
-       | None -> continue := false
-       | Some idx ->
-           let d = T.value ctx.tbl idx in
-           if d >= 0 then begin
-             T.set_value ctx.tbl idx (lnot d);
-             if T.key2 ctx.tbl idx land ctx.sinks = ctx.sinks then begin
-               result := Some (idx, d);
-               continue := false
-             end
-             else expand ctx idx d
-           end
-     done
-   with Too_large _ as e ->
-     (* drop every per-search structure, not just the distance table:
-        a caught exception must not pin hundreds of MB alive *)
-     T.reset ctx.tbl;
-     Deque01.clear ctx.dq;
-     ctx.parent_idx <- [||];
-     ctx.parent_move <- [||];
-     raise e);
-  let explored = T.length ctx.tbl in
-  match !result with
-  | None -> None
-  | Some (goal, d) ->
-      let moves =
-        if not want_strategy then []
-        else begin
-          let acc = ref [] in
-          let idx = ref goal in
-          while !idx <> 0 do
-            acc := ctx.parent_move.(!idx) :: !acc;
-            idx := ctx.parent_idx.(!idx)
-          done;
-          !acc
-        end
-      in
-      Some (d, moves, { cost = d; explored; pruned = ctx.pruned })
+  {
+    G.cfg;
+    eager_deletes;
+    n;
+    pred_mask = Array.init n (mask_of Dag.fold_pred);
+    succ_mask = Array.init n (mask_of Dag.fold_succ);
+    sinks = List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sinks g);
+    sources =
+      List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g);
+    srcs = Array.of_list (Dag.sources g);
+    ub = (if prune then heuristic_ub cfg g else max_int);
+  }
 
-let opt_opt ?max_states ?prune cfg g =
-  Option.map
-    (fun (d, _, _) -> d)
-    (search ?max_states ?prune ~want_strategy:false cfg g)
+let opt_opt ?max_states ?(prune = true) cfg g =
+  E.opt_opt ?max_states (inst ~prune cfg g)
 
-let opt_stats ?max_states ?eager_deletes ?prune cfg g =
-  Option.map
-    (fun (_, _, stats) -> stats)
-    (search ?max_states ?eager_deletes ?prune ~want_strategy:false cfg g)
+let opt_stats ?max_states ?eager_deletes ?(prune = true) cfg g =
+  E.opt_stats ?max_states (inst ?eager_deletes ~prune cfg g)
 
 let opt ?max_states ?prune cfg g =
   match opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_rbp.opt: no valid pebbling exists"
 
-let opt_with_strategy ?max_states ?prune cfg g =
-  Option.map
-    (fun (d, moves, _) -> (d, moves))
-    (search ?max_states ?prune ~want_strategy:true cfg g)
+let opt_with_strategy ?max_states ?(prune = true) cfg g =
+  E.opt_with_strategy ?max_states (inst ~prune cfg g)

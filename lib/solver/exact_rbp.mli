@@ -17,9 +17,11 @@
     Figure-1 DAG (Proposition 4.2). *)
 
 exception Too_large of int
-(** Raised when the state count exceeds the [max_states] budget. *)
+(** Raised when the state count exceeds the [max_states] budget.
+    An alias (rebinding) of the engine-wide {!Game.Too_large} —
+    matching either name catches the same exception. *)
 
-type stats = {
+type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
   explored : int;  (** distinct states inserted into the search *)
   pruned : int;

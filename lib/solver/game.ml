@@ -1,0 +1,24 @@
+exception Too_large of int
+
+type stats = { cost : int; explored : int; pruned : int }
+
+module type S = sig
+  type inst
+
+  type move
+
+  val width : inst -> int
+
+  val write_init : inst -> int array -> unit
+
+  val is_goal : inst -> int array -> bool
+
+  val residual_lb : inst -> int array -> int
+
+  val heuristic_ub : inst -> int
+
+  val dummy_move : move
+
+  val expand : inst -> int array -> scratch:int array ->
+    emit:(move -> int -> unit) -> unit
+end

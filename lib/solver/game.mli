@@ -1,0 +1,81 @@
+(** The [GAME] signature: what a pebble game must provide for the
+    generic exact {!Engine} to solve it.
+
+    Every exact solver in this library — classic RBP, PRBP, the black
+    pebble game, and the multiprocessor extensions — is a 0–1
+    shortest-path problem over packed integer states: moves cost 0
+    (computes, deletes, slides) or 1 (loads, saves), and the optimum
+    is the distance from the initial state to any goal state.  A
+    [GAME] instance supplies the packing (a state is [width]
+    consecutive ints in a caller-owned buffer), the initial state, the
+    terminality test, the successor enumeration with 0/1 costs, an
+    admissible residual lower bound, and a heuristic upper-bound seed
+    for branch-and-bound.  {!Engine.Make} supplies everything else:
+    the open-addressing state table, the 0-1 BFS deque, settled-state
+    encoding, pruning, and optimal-trace reconstruction.
+
+    States are flat ints rather than a type parameter so that the hot
+    path never boxes: the engine hands games [int array] scratch
+    buffers and the games read/write raw packed words
+    ({!State_table.Flat} stores them column-wise). *)
+
+exception Too_large of int
+(** Raised by every engine-backed solver when the state count exceeds
+    the [max_states] budget.  This is the {e single} such exception in
+    the library: [Exact_rbp.Too_large], [Exact_prbp.Too_large],
+    [Black.Too_large] and [Exact_multi.Too_large] are all aliases of
+    it, so callers match any one of them and catch them all. *)
+
+type stats = {
+  cost : int;  (** the optimal 0-1 distance (I/O cost) *)
+  explored : int;  (** distinct states inserted into the search *)
+  pruned : int;
+      (** states cut by branch-and-bound: their distance plus the
+          admissible residual bound exceeded the heuristic upper
+          bound, so they were never inserted *)
+}
+
+(** The game interface.  All state buffers have exactly
+    [width inst] ints; games must not retain the buffers they are
+    handed (the engine reuses them). *)
+module type S = sig
+  type inst
+  (** A preprocessed problem instance: the DAG as packed adjacency
+      masks, the game configuration, and any per-instance pruning
+      data.  Built once per [search] call by the concrete solver. *)
+
+  type move
+  (** Move vocabulary, recorded per transition for optimal-trace
+      reconstruction. *)
+
+  val width : inst -> int
+  (** Ints per packed state (constant for a given instance). *)
+
+  val write_init : inst -> int array -> unit
+  (** Store the initial state into [buf.(0 .. width-1)]. *)
+
+  val is_goal : inst -> int array -> bool
+  (** Terminality test on the state in [buf.(0 .. width-1)]. *)
+
+  val residual_lb : inst -> int array -> int
+  (** Admissible lower bound on the cost-to-go from the given state:
+      never exceeds the true remaining optimal cost.  Return [0] to
+      opt out.  Only consulted when pruning is armed. *)
+
+  val heuristic_ub : inst -> int
+  (** Upper-bound seed for branch-and-bound — the cost of any valid
+      strategy (typically a heuristic pebbler's), or [max_int] to
+      disable pruning for this instance. *)
+
+  val dummy_move : move
+  (** Array-initialization filler; never reported. *)
+
+  val expand : inst -> int array -> scratch:int array ->
+    emit:(move -> int -> unit) -> unit
+  (** [expand inst cur ~scratch ~emit]: enumerate every legal move
+      from the state in [cur]; for each, write the successor state
+      into [scratch.(0 .. width-1)] and call [emit move cost01] with
+      [cost01] ∈ {0, 1}.  [emit] consumes [scratch] immediately, so
+      the buffer may be reused across successors.  [cur] must not be
+      modified. *)
+end

@@ -115,6 +115,223 @@ module I2 = struct
     t.n <- 0
 end
 
+(* Width-generic variant: keys are [width] consecutive ints in one
+   flat column array.  This is what the functorized {!Engine} uses —
+   the per-game packing width is only known at instance-construction
+   time (RBP packs 3 ints, PRBP 2, the multiprocessor games p + 2 /
+   2p + 2).  The fixed-width [I2]/[I3] modules remain for callers that
+   know their arity statically.
+
+   The hash dispatches on the (per-table constant) width, so the
+   dominant w <= 3 cases keep the exact mixing of [I2]/[I3] with no
+   loop. *)
+module Flat = struct
+  type t = {
+    width : int;
+    mutable slots : int array;
+    mutable keys : int array;  (* width * capacity, row-major *)
+    mutable v : int array;
+    mutable n : int;
+  }
+
+  let create ~width =
+    if width < 1 then invalid_arg "State_table.Flat.create: width >= 1";
+    {
+      width;
+      slots = Array.make initial_slots 0;
+      keys = Array.make (width * initial_cap) 0;
+      v = Array.make initial_cap 0;
+      n = 0;
+    }
+
+  let width t = t.width
+
+  let length t = t.n
+
+  let[@inline] hash_key t (k : int array) =
+    match t.width with
+    | 1 -> mix (Array.unsafe_get k 0)
+    | 2 ->
+        mix
+          (Array.unsafe_get k 0
+          lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1))
+    | 3 ->
+        mix
+          (Array.unsafe_get k 0
+          lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1)
+          lxor (Array.unsafe_get k 2 * 0x3c79ac492ba7b65))
+    | w ->
+        let h = ref (Array.unsafe_get k 0) in
+        for i = 1 to w - 1 do
+          h := mix (!h lxor Array.unsafe_get k i)
+        done;
+        mix !h
+
+  let[@inline] key_eq t j (k : int array) =
+    let w = t.width in
+    let base = j * w in
+    let i = ref 0 in
+    while
+      !i < w
+      && Array.unsafe_get t.keys (base + !i) = Array.unsafe_get k !i
+    do
+      incr i
+    done;
+    !i = w
+
+  (* [find] keeps the key words in registers for the dominant widths:
+     it is called once per *emitted* successor (several per explored
+     state), so re-reading the caller's buffer inside the probe loop
+     is measurable.  The scalar bodies are exactly [I2.find] /
+     [I3.find] over the row-major key column. *)
+  let find_2 t a b =
+    let keys = t.keys in
+    let mask = Array.length t.slots - 1 in
+    let i = ref (mix (a lxor (b * 0x9e3779b97f4a7c1)) land mask) in
+    let res = ref (-2) in
+    while !res = -2 do
+      let s = Array.unsafe_get t.slots !i in
+      if s = 0 then res := -1
+      else begin
+        let base = (s - 1) * 2 in
+        if
+          Array.unsafe_get keys base = a
+          && Array.unsafe_get keys (base + 1) = b
+        then res := s - 1
+        else i := (!i + 1) land mask
+      end
+    done;
+    !res
+
+  let find_3 t a b c =
+    let keys = t.keys in
+    let mask = Array.length t.slots - 1 in
+    let i =
+      ref
+        (mix (a lxor (b * 0x9e3779b97f4a7c1) lxor (c * 0x3c79ac492ba7b65))
+        land mask)
+    in
+    let res = ref (-2) in
+    while !res = -2 do
+      let s = Array.unsafe_get t.slots !i in
+      if s = 0 then res := -1
+      else begin
+        let base = (s - 1) * 3 in
+        if
+          Array.unsafe_get keys base = a
+          && Array.unsafe_get keys (base + 1) = b
+          && Array.unsafe_get keys (base + 2) = c
+        then res := s - 1
+        else i := (!i + 1) land mask
+      end
+    done;
+    !res
+
+  let find t k =
+    match t.width with
+    | 2 -> find_2 t (Array.unsafe_get k 0) (Array.unsafe_get k 1)
+    | 3 ->
+        find_3 t (Array.unsafe_get k 0) (Array.unsafe_get k 1)
+          (Array.unsafe_get k 2)
+    | _ ->
+        let mask = Array.length t.slots - 1 in
+        let i = ref (hash_key t k land mask) in
+        let res = ref (-2) in
+        while !res = -2 do
+          let s = Array.unsafe_get t.slots !i in
+          if s = 0 then res := -1
+          else if key_eq t (s - 1) k then res := s - 1
+          else i := (!i + 1) land mask
+        done;
+        !res
+
+  let place t slots j =
+    let mask = Array.length slots - 1 in
+    let base = j * t.width in
+    let h =
+      (* hash straight out of the key column *)
+      match t.width with
+      | 1 -> mix t.keys.(base)
+      | 2 -> mix (t.keys.(base) lxor (t.keys.(base + 1) * 0x9e3779b97f4a7c1))
+      | 3 ->
+          mix
+            (t.keys.(base)
+            lxor (t.keys.(base + 1) * 0x9e3779b97f4a7c1)
+            lxor (t.keys.(base + 2) * 0x3c79ac492ba7b65))
+      | w ->
+          let h = ref t.keys.(base) in
+          for i = 1 to w - 1 do
+            h := mix (!h lxor t.keys.(base + i))
+          done;
+          mix !h
+    in
+    let i = ref (h land mask) in
+    while Array.unsafe_get slots !i <> 0 do
+      i := (!i + 1) land mask
+    done;
+    slots.(!i) <- j + 1
+
+  let add t k value =
+    if 4 * (t.n + 1) > 3 * Array.length t.slots then begin
+      let slots = Array.make (2 * Array.length t.slots) 0 in
+      for j = 0 to t.n - 1 do
+        place t slots j
+      done;
+      t.slots <- slots
+    end;
+    if t.n * t.width = Array.length t.keys then begin
+      let keys = Array.make (2 * Array.length t.keys) 0 in
+      Array.blit t.keys 0 keys 0 (Array.length t.keys);
+      t.keys <- keys;
+      let v = Array.make (2 * Array.length t.v) 0 in
+      Array.blit t.v 0 v 0 (Array.length t.v);
+      t.v <- v
+    end;
+    let j = t.n in
+    (* scalar stores for the dominant widths: [Array.blit] is a C call
+       and [add] runs once per unique state *)
+    (match t.width with
+    | 2 ->
+        let base = j * 2 in
+        t.keys.(base) <- Array.unsafe_get k 0;
+        t.keys.(base + 1) <- Array.unsafe_get k 1
+    | 3 ->
+        let base = j * 3 in
+        t.keys.(base) <- Array.unsafe_get k 0;
+        t.keys.(base + 1) <- Array.unsafe_get k 1;
+        t.keys.(base + 2) <- Array.unsafe_get k 2
+    | w -> Array.blit k 0 t.keys (j * w) w);
+    t.v.(j) <- value;
+    place t t.slots j;
+    t.n <- j + 1;
+    j
+
+  let read_key t j (buf : int array) =
+    match t.width with
+    | 2 ->
+        let base = j * 2 in
+        buf.(0) <- Array.unsafe_get t.keys base;
+        buf.(1) <- Array.unsafe_get t.keys (base + 1)
+    | 3 ->
+        let base = j * 3 in
+        buf.(0) <- Array.unsafe_get t.keys base;
+        buf.(1) <- Array.unsafe_get t.keys (base + 1);
+        buf.(2) <- Array.unsafe_get t.keys (base + 2)
+    | w -> Array.blit t.keys (j * w) buf 0 w
+
+  let key t j i = t.keys.((j * t.width) + i)
+
+  let value t j = Array.unsafe_get t.v j
+
+  let set_value t j x = Array.unsafe_set t.v j x
+
+  let reset t =
+    t.slots <- Array.make initial_slots 0;
+    t.keys <- Array.make (t.width * initial_cap) 0;
+    t.v <- Array.make initial_cap 0;
+    t.n <- 0
+end
+
 module I3 = struct
   type t = {
     mutable slots : int array;

@@ -39,6 +39,42 @@ module I2 : sig
   (** Empty the table and release its arrays. *)
 end
 
+(** Width-generic table: each key is [width] consecutive ints,
+    supplied and read back through caller-owned buffers.  This is the
+    storage behind the functorized {!Engine} — instances choose their
+    packing width at construction time ({!I2}/{!I3} cover the common
+    static arities with the same layout). *)
+module Flat : sig
+  type t
+
+  val create : width:int -> t
+  (** [width >= 1] ints per key. *)
+
+  val width : t -> int
+
+  val length : t -> int
+
+  val find : t -> int array -> int
+  (** [find t buf] looks up the key in [buf.(0 .. width-1)]; dense
+      index or [-1]. *)
+
+  val add : t -> int array -> int -> int
+  (** [add t buf v] inserts the key in [buf.(0 .. width-1)] (known to
+      be absent) with value [v]; returns its dense index. *)
+
+  val read_key : t -> int -> int array -> unit
+  (** [read_key t j buf] copies key [j] into [buf.(0 .. width-1)]. *)
+
+  val key : t -> int -> int -> int
+  (** [key t j i] is component [i] of key [j]. *)
+
+  val value : t -> int -> int
+
+  val set_value : t -> int -> int -> unit
+
+  val reset : t -> unit
+end
+
 module I3 : sig
   type t
 

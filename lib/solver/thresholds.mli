@@ -9,11 +9,35 @@
       loaded once, every sink saved once), i.e. all non-trivial I/O
       disappears.
 
-    [r*] is computed exactly (binary search over [r], one exhaustive
+    [r*] is computed exactly (upward scan over [r], one exhaustive
     solve per probe; the optimum is non-increasing in [r]).  Comparing
     [r*_RBP] with [r*_PRBP] quantifies how much cache partial
     computations save — the Section 4 examples all fit this lens, and
-    experiment E26 tabulates it next to the black pebbling number. *)
+    experiment E26 tabulates it next to the black pebbling number.
+
+    The probe is generic over the engine: {!trivial_r} accepts any
+    optimal-cost oracle (all four game instances raise the one
+    {!Game.Too_large}, which it treats as "not trivial at this [r]"),
+    and the per-game entry points below are thin instantiations —
+    including the multiprocessor games, where [r*] is a {e per-
+    processor} capacity threshold. *)
+
+val least_r : lo:int -> hi:int -> (int -> bool) -> int option
+(** [least_r ~lo ~hi pred] is the least [r] in [[lo, hi]] satisfying
+    [pred] ([None] if there is none), scanning upward — correct
+    whenever [pred] is monotone in [r], as every "optimum has dropped
+    to X" predicate is. *)
+
+val trivial_r :
+  ?max_r:int ->
+  lo:int ->
+  opt:(r:int -> int option) ->
+  Prbp_dag.Dag.t ->
+  int option
+(** [trivial_r ~lo ~opt g] is the least [r ≤ max_r] (default
+    [n_nodes]) at which [opt ~r] equals [g]'s trivial cost.  [opt] is
+    any per-capacity optimal-cost oracle; [None] results and
+    {!Game.Too_large} both count as "not trivial here". *)
 
 val rbp_trivial_r :
   ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
@@ -23,6 +47,15 @@ val rbp_trivial_r :
 
 val prbp_trivial_r :
   ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
+
+val multi_rbp_trivial_r :
+  ?max_states:int -> ?max_r:int -> p:int -> Prbp_dag.Dag.t -> int option
+(** Least per-processor capacity [r] at which the [p]-processor RBP-MC
+    optimum reaches the trivial cost.  At most {!rbp_trivial_r} (extra
+    processors never hurt). *)
+
+val multi_prbp_trivial_r :
+  ?max_states:int -> ?max_r:int -> p:int -> Prbp_dag.Dag.t -> int option
 
 val rbp_feasible_r : Prbp_dag.Dag.t -> int
 (** [Δin + 1] (with a minimum of 1). *)

@@ -1,0 +1,270 @@
+(* Regression suite for the generic GAME/Engine refactor.
+
+   The golden optimal costs below were captured with the pre-refactor,
+   per-game solvers (each then carried its own table/deque/BFS loop);
+   the rewritten instances of the one generic engine must reproduce
+   every value bit-for-bit.  On top of that, the multiprocessor
+   instances at p = 1 must coincide with the single-processor solvers
+   on random DAGs — the Section-8.1 games specialize exactly to the
+   Section-1/3 games. *)
+
+open Test_util
+module Dag = Prbp.Dag
+
+let rcfg r = Prbp.Rbp.config ~r ()
+
+let pcfg r = Prbp.Prbp_game.config ~r ()
+
+let mcfg ~p ~r = Prbp.Multi.config ~p ~r ()
+
+(* name, dag (lazy: some constructors are not available at module init
+   order), r, golden OPT_RBP (None = infeasible), golden OPT_PRBP *)
+let golden_cases :
+    (string * (unit -> Dag.t) * int * int option * int option) list =
+  [
+    ("fig1 r=4", (fun () -> fst (Prbp.Graphs.Fig1.full ())), 4, Some 3, Some 2);
+    ( "chained2 r=4",
+      (fun () -> Prbp.Graphs.Fig1.chained ~copies:2),
+      4,
+      Some 5,
+      Some 2 );
+    ( "tree23 r=3",
+      (fun () -> (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag),
+      3,
+      Some 15,
+      Some 11 );
+    ( "zipper33 r=5",
+      (fun () ->
+        (Prbp.Graphs.Zipper.make ~d:3 ~len:3).Prbp.Graphs.Zipper.dag),
+      5,
+      Some 10,
+      Some 7 );
+    ( "lemma54g1 r=3",
+      (fun () ->
+        (Prbp.Graphs.Lemma54.make ~group_size:1).Prbp.Graphs.Lemma54.dag),
+      3,
+      None,
+      Some 8 );
+    ( "rand1 r=4",
+      (fun () -> Prbp.Graphs.Random_dag.make ~seed:1 ~layers:3 ~width:3 ()),
+      4,
+      Some 7,
+      Some 6 );
+    ( "rand2 r=4",
+      (fun () ->
+        Prbp.Graphs.Random_dag.make ~seed:2 ~layers:4 ~width:2 ~density:0.5
+          ()),
+      4,
+      None,
+      Some 6 );
+    ( "rand7 r=3",
+      (fun () -> Prbp.Graphs.Random_dag.make ~seed:7 ~layers:3 ~width:3 ()),
+      3,
+      None,
+      Some 9 );
+    ("diamond r=2", (fun () -> Prbp.Graphs.Basic.diamond ()), 2, None, Some 4);
+    ("pyramid3 r=4", (fun () -> Prbp.Graphs.Basic.pyramid 3), 4, Some 7, Some 5);
+  ]
+
+(* name, dag, golden black pebbling number, golden with sliding *)
+let golden_black : (string * (unit -> Dag.t) * int * int) list =
+  [
+    ("fig1", (fun () -> fst (Prbp.Graphs.Fig1.full ())), 4, 3);
+    ("chained2", (fun () -> Prbp.Graphs.Fig1.chained ~copies:2), 4, 3);
+    ( "tree23",
+      (fun () -> (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag),
+      5,
+      4 );
+    ( "zipper33",
+      (fun () ->
+        (Prbp.Graphs.Zipper.make ~d:3 ~len:3).Prbp.Graphs.Zipper.dag),
+      5,
+      4 );
+    ( "lemma54g1",
+      (fun () ->
+        (Prbp.Graphs.Lemma54.make ~group_size:1).Prbp.Graphs.Lemma54.dag),
+      8,
+      7 );
+    ( "rand1",
+      (fun () -> Prbp.Graphs.Random_dag.make ~seed:1 ~layers:3 ~width:3 ()),
+      4,
+      3 );
+    ( "rand2",
+      (fun () ->
+        Prbp.Graphs.Random_dag.make ~seed:2 ~layers:4 ~width:2 ~density:0.5
+          ()),
+      5,
+      4 );
+    ("diamond", (fun () -> Prbp.Graphs.Basic.diamond ()), 3, 2);
+    ("pyramid3", (fun () -> Prbp.Graphs.Basic.pyramid 3), 5, 4);
+  ]
+
+let test_golden_rbp_prbp () =
+  List.iter
+    (fun (name, dag, r, rbp, prbp) ->
+      let g = dag () in
+      (match rbp with
+      | Some c ->
+          check_int (name ^ " RBP") c (Prbp.Exact_rbp.opt (rcfg r) g)
+      | None ->
+          check_true (name ^ " RBP infeasible")
+            (Prbp.Exact_rbp.opt_opt (rcfg r) g = None));
+      match prbp with
+      | Some c ->
+          check_int (name ^ " PRBP") c (Prbp.Exact_prbp.opt (pcfg r) g)
+      | None ->
+          check_true (name ^ " PRBP infeasible")
+            (Prbp.Exact_prbp.opt_opt (pcfg r) g = None))
+    golden_cases
+
+let test_golden_black () =
+  List.iter
+    (fun (name, dag, plain, slide) ->
+      let g = dag () in
+      check_int (name ^ " black") plain (Prbp.Black.number g);
+      check_int (name ^ " black sliding") slide
+        (Prbp.Black.number ~sliding:true g))
+    golden_black
+
+let test_no_prune_agrees () =
+  (* branch-and-bound is an optimization, never a semantic change *)
+  List.iter
+    (fun (name, dag, r, rbp, prbp) ->
+      let g = dag () in
+      check_true (name ^ " RBP no-prune")
+        (Prbp.Exact_rbp.opt_opt ~prune:false (rcfg r) g = rbp);
+      check_true (name ^ " PRBP no-prune")
+        (Prbp.Exact_prbp.opt_opt ~prune:false (pcfg r) g = prbp))
+    [ List.nth golden_cases 0; List.nth golden_cases 8 ]
+
+let test_multi_p1_goldens () =
+  (* the p = 1 multiprocessor games on the same golden instances *)
+  List.iter
+    (fun (name, dag, r, rbp, prbp) ->
+      let g = dag () in
+      check_true
+        (name ^ " RBP-MC p=1")
+        (Prbp.Exact_multi.rbp_opt_opt (mcfg ~p:1 ~r) g = rbp);
+      check_true
+        (name ^ " PRBP-MC p=1")
+        (Prbp.Exact_multi.prbp_opt_opt (mcfg ~p:1 ~r) g = prbp))
+    golden_cases
+
+let test_multi_p2_sandwich () =
+  (* p = 2 with capacity r is at least as good as p = 1 with r, and no
+     better than p = 1 with capacity 2r (the single cache can simulate
+     both halves without any cross-processor traffic) *)
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let r = 3 in
+  let p1 = Prbp.Exact_multi.prbp_opt (mcfg ~p:1 ~r) g in
+  let p2 = Prbp.Exact_multi.prbp_opt (mcfg ~p:2 ~r) g in
+  let fat = Prbp.Exact_prbp.opt (pcfg (2 * r)) g in
+  check_true "p=2 <= p=1" (p2 <= p1);
+  check_true "OPT(2r) <= p=2" (fat <= p2)
+
+let test_multi_strategy_replays () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let cfg = mcfg ~p:2 ~r:3 in
+  (match Prbp.Exact_multi.rbp_opt_with_strategy cfg g with
+  | Some (c, moves) -> (
+      match Prbp.Multi.R.check cfg g moves with
+      | Ok c' -> check_int "rbp-mc strategy cost" c c'
+      | Error e -> Alcotest.failf "rbp-mc strategy invalid: %s" e)
+  | None -> Alcotest.fail "rbp-mc: no strategy found");
+  match Prbp.Exact_multi.prbp_opt_with_strategy cfg g with
+  | Some (c, moves) -> (
+      match Prbp.Multi.P.check cfg g moves with
+      | Ok c' -> check_int "prbp-mc strategy cost" c c'
+      | Error e -> Alcotest.failf "prbp-mc strategy invalid: %s" e)
+  | None -> Alcotest.fail "prbp-mc: no strategy found"
+
+let test_multi_rejects_bad_cfg () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  check_true "one-shot only"
+    (try
+       ignore
+         (Prbp.Exact_multi.rbp_opt_opt
+            { (mcfg ~p:2 ~r:3) with Prbp.Multi.one_shot = false }
+            g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_thresholds_generic () =
+  (* the generic probe under a non-default oracle: multiprocessor
+     thresholds are never above the single-processor ones *)
+  let g = Prbp.Graphs.Basic.pyramid 3 in
+  let single = Prbp.Thresholds.rbp_trivial_r g in
+  let multi = Prbp.Thresholds.multi_rbp_trivial_r ~p:2 g in
+  check_true "multi r* <= single r*"
+    (match (single, multi) with
+    | Some s, Some m -> m <= s
+    | _ -> false);
+  check_true "p=1 r* = single r*"
+    (Prbp.Thresholds.multi_rbp_trivial_r ~p:1 g = single);
+  check_true "prbp p=1 r* = single r*"
+    (Prbp.Thresholds.multi_prbp_trivial_r ~p:1 g
+    = Prbp.Thresholds.prbp_trivial_r g)
+
+let test_too_large_unified () =
+  (* every instance raises the same engine-wide exception, catchable
+     under any of its aliases *)
+  let g = Prbp.Graphs.Basic.pyramid 4 in
+  let caught f =
+    try
+      ignore (f ());
+      false
+    with
+    | Prbp.Game.Too_large _ -> true
+    | _ -> false
+  in
+  check_true "rbp raises Game.Too_large"
+    (caught (fun () -> Prbp.Exact_rbp.opt ~max_states:5 (rcfg 5) g));
+  check_true "prbp raises Game.Too_large"
+    (caught (fun () -> Prbp.Exact_prbp.opt ~max_states:5 (pcfg 5) g));
+  check_true "multi raises Game.Too_large"
+    (caught (fun () ->
+         Prbp.Exact_multi.rbp_opt ~max_states:5 (mcfg ~p:2 ~r:5) g));
+  check_true "black raises Game.Too_large"
+    (caught (fun () -> Prbp.Black.number ~max_states:5 g));
+  check_true "aliases are the same exception"
+    (try
+       ignore (Prbp.Exact_rbp.opt ~max_states:5 (rcfg 5) g);
+       false
+     with Prbp.Exact_prbp.Too_large _ -> true)
+
+(* Property: on random DAGs, the p = 1 multiprocessor optima equal the
+   single-processor optima (including joint infeasibility). *)
+let qcheck_multi_p1 =
+  let pool = lazy (Array.of_list (Lazy.force random_dags)) in
+  qcase ~count:20 "Exact_multi p=1 = single-processor"
+    QCheck.(pair (int_bound 9) (int_range 2 4))
+    (fun (i, r) ->
+      let g = (Lazy.force pool).(i) in
+      let cfg = mcfg ~p:1 ~r in
+      (* an unlucky draw can blow the state budget on either side of
+         the comparison — that instance proves nothing, skip it *)
+      match
+        ( Prbp.Exact_multi.rbp_opt_opt cfg g,
+          Prbp.Exact_rbp.opt_opt (rcfg r) g,
+          Prbp.Exact_multi.prbp_opt_opt cfg g,
+          Prbp.Exact_prbp.opt_opt (pcfg r) g )
+      with
+      | mr, sr, mp, sp -> mr = sr && mp = sp
+      | exception Prbp.Game.Too_large _ -> true)
+
+let suite =
+  [
+    ( "engine",
+      [
+        case "golden rbp/prbp optima" test_golden_rbp_prbp;
+        case "golden black pebbling numbers" test_golden_black;
+        case "pruning never changes the optimum" test_no_prune_agrees;
+        slow_case "multi p=1 on golden instances" test_multi_p1_goldens;
+        case "multi p=2 sandwich bounds" test_multi_p2_sandwich;
+        case "multi strategies replay" test_multi_strategy_replays;
+        case "multi rejects non-one-shot configs" test_multi_rejects_bad_cfg;
+        case "generic threshold probe" test_thresholds_generic;
+        case "unified Too_large" test_too_large_unified;
+        qcheck_multi_p1;
+      ] );
+  ]
