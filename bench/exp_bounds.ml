@@ -10,7 +10,7 @@ let e13 =
     ~claim:
       "m-point FFT: OPT_PRBP = Ω(m·log m / log r); the blocked strategy \
        stays within a bounded constant of the bound across the sweep"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -83,7 +83,7 @@ let e14 =
     ~claim:
       "Matrix multiplication m1·m2·m3: OPT_PRBP = Ω(#products/√r); the \
        tiled outer-product PRBP strategy follows the 1/√r shape"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -139,7 +139,7 @@ let e15 =
     ~claim:
       "Attention (Q·K^T, m×d): OPT_PRBP = Ω(min(m²d/√r, m²d²/r)); a tiled \
        strategy traces the large-cache m²d²/r regime past r = d²"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let m = 16 and d = 4 in
       Format.fprintf ppf "m = %d, d = %d, d² = %d@.@." m d (d * d);
       let mm = Prbp.Graphs.Attention.qkt ~m ~d in

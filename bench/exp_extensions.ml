@@ -15,14 +15,14 @@ let e21 =
       "The from-scratch CLEAR extension of PRBP is well-defined and can \
        strictly reduce the optimal I/O cost; on DAGs already at trivial \
        cost it gains nothing"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make ~header:[ "DAG"; "r"; "one-shot OPT"; "recompute OPT"; "gain" ]
       in
       let ok = ref true in
       let try_one name g r =
-        let a = Prbp.Exact_prbp.opt (pcfg r) g in
-        let b = Prbp.Exact_prbp.opt (pcfg ~recompute:true r) g in
+        let a = Solve_util.prbp_opt (pcfg r) g in
+        let b = Solve_util.prbp_opt (pcfg ~recompute:true r) g in
         T.add_rowf t "%s|%d|%d|%d|%s" name r a b
           (if b < a then "strict" else "none");
         if b > a then ok := false;
@@ -51,7 +51,7 @@ let e22 =
       "With MIN_edge/MIN_dom computed exactly (ideal-lattice search), the \
        Theorem 6.5/6.7 lower bounds r·(MIN(2r)−1) are sound against exact \
        PRBP optima; Hong–Kung's r·(MIN_part(2r)−1) is sound for RBP"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -69,11 +69,11 @@ let e22 =
         let b67 = Prbp.Minpart.prbp_lower_bound_dom g ~r in
         let b65 = Prbp.Minpart.prbp_lower_bound_edge g ~r in
         let opt_r =
-          match Prbp.Exact_rbp.opt_opt (Prbp.Rbp.config ~r ()) g with
-          | Some c -> c
-          | None -> -1
+          match Solve_util.probe (Prbp.Exact_rbp.solve (Prbp.Rbp.config ~r ()) g) with
+          | Solve_util.Cost c -> c
+          | Solve_util.Infeasible | Solve_util.Truncated _ -> -1
         in
-        let opt_p = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+        let opt_p = Solve_util.prbp_opt (Prbp.Prbp_game.config ~r ()) g in
         T.add_rowf t "%s|%d|%s|%s|%s|%d|%d|%d|%s|%d" name r (show mp) (show md)
           (show me) hk b67 b65
           (if opt_r >= 0 then string_of_int opt_r else "-")
@@ -106,7 +106,7 @@ let e23 =
        for PRBP the greedy edge scheduler wins where partial aggregation \
        matters (matvec) and loses on depth-first structure — prbp_best \
        takes the minimum"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:[ "DAG"; "game"; "r"; "Belady"; "LRU"; "FIFO"; "greedy"; "best" ]
@@ -155,7 +155,7 @@ let e24 =
       "The deferred-deletion normalization changes no optimum and never \
        enlarges the explored state space (the big wins appear on dense \
        instances that the eager variant cannot finish at all)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -165,12 +165,13 @@ let e24 =
       let ok = ref true in
       let rbp_case name g r =
         match
-          ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r ()) g,
-            Prbp.Exact_rbp.opt_stats ~eager_deletes:true
-              (Prbp.Rbp.config ~r ()) g )
+          ( Solve_util.cost_explored
+              (Prbp.Exact_rbp.solve (Prbp.Rbp.config ~r ()) g),
+            Solve_util.cost_explored
+              (Prbp.Exact_rbp.solve ~eager_deletes:true
+                 (Prbp.Rbp.config ~r ()) g) )
         with
-        | ( Some { Prbp.Exact_rbp.cost = c1; explored = s1; _ },
-            Some { Prbp.Exact_rbp.cost = c2; explored = s2; _ } ) ->
+        | Some (c1, s1), Some (c2, s2) ->
             T.add_rowf t "%s|RBP|%d|%d|%d|%d|%d|%.1fx" name r c1 s1 c2 s2
               (float_of_int s2 /. float_of_int s1);
             if c1 <> c2 || s1 > s2 then ok := false
@@ -178,13 +179,14 @@ let e24 =
       in
       let prbp_case name g r =
         match
-          ( Prbp.Exact_prbp.opt_stats (Prbp.Prbp_game.config ~r ()) g,
-            Prbp.Exact_prbp.opt_stats ~eager_deletes:true
-              (Prbp.Prbp_game.config ~r ())
-              g )
+          ( Solve_util.cost_explored
+              (Prbp.Exact_prbp.solve (Prbp.Prbp_game.config ~r ()) g),
+            Solve_util.cost_explored
+              (Prbp.Exact_prbp.solve ~eager_deletes:true
+                 (Prbp.Prbp_game.config ~r ())
+                 g) )
         with
-        | ( Some { Prbp.Exact_prbp.cost = c1; explored = s1; _ },
-            Some { Prbp.Exact_prbp.cost = c2; explored = s2; _ } ) ->
+        | Some (c1, s1), Some (c2, s2) ->
             T.add_rowf t "%s|PRBP|%d|%d|%d|%d|%d|%.1fx" name r c1 s1 c2 s2
               (float_of_int s2 /. float_of_int s1);
             if c1 <> c2 || s1 > s2 then ok := false
@@ -212,7 +214,7 @@ let e25 =
        PRBP pebbles any SpMV at the trivial cost with rows+3 pebbles, \
        while one-shot RBP needs max-row-nnz+1 pebbles to exist at all and \
        pays extra gather I/O"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -262,7 +264,7 @@ let e26 =
        I/O, computed exactly) satisfies r*_PRBP <= r*_RBP everywhere, \
        r*_RBP >= the black pebbling number, and the Section-4 separations \
        reappear as threshold gaps (fan-in: 2 vs d+1)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -317,7 +319,7 @@ let e27 =
        m² + (p+1)·m — duplicated input loads are the price of \
        parallelism — and handing a partial aggregation between processors \
        costs exactly one save + one load"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let ok = ref true in
       let t =
         T.make ~header:[ "m"; "processors"; "per-proc r"; "total I/O"; "formula" ]
@@ -374,16 +376,19 @@ let e28 =
        a substantial fraction of instances at tight capacities and vanishes \
        as r grows — deciding WHICH instances gap is NP-hard (Thm 4.8), but \
        the phenomenon itself is common"
-    (fun ppf ->
+    ~budget:(Prbp.Solver.Budget.states 400_000)
+    (fun ppf (ctx : E.ctx) ->
       let t =
         T.make
           ~header:
-            [ "capacity"; "instances"; "solved"; "with gap"; "gap share";
-              "max gap"; "mean RBP"; "mean PRBP" ]
+            [ "capacity"; "instances"; "solved"; "truncated"; "with gap";
+              "gap share"; "max gap"; "mean RBP"; "mean PRBP" ]
       in
       let ok = ref true in
+      let truncations = ref 0 in
       let survey ~delta =
         let solved = ref 0
+        and truncated = ref 0
         and gaps = ref 0
         and max_gap = ref 0
         and sum_r = ref 0
@@ -396,14 +401,23 @@ let e28 =
               ~density:0.35 ~max_in_degree:4 ()
           in
           let r = Dag.max_in_degree g + 1 + delta in
-          let budget = 400_000 in
-          match
-            ( Prbp.Exact_rbp.opt_opt ~max_states:budget
-                (Prbp.Rbp.config ~r ()) g,
-              Prbp.Exact_prbp.opt_opt ~max_states:budget
-                (Prbp.Prbp_game.config ~r ()) g )
-          with
-          | Some rb, Some pb ->
+          let pr =
+            Solve_util.probe
+              (Prbp.Exact_rbp.solve ~budget:ctx.E.budget
+                 ~telemetry:ctx.E.telemetry (Prbp.Rbp.config ~r ()) g)
+          and pp =
+            Solve_util.probe
+              (Prbp.Exact_prbp.solve ~budget:ctx.E.budget
+                 ~telemetry:ctx.E.telemetry
+                 (Prbp.Prbp_game.config ~r ())
+                 g)
+          in
+          (* a blown budget no longer aborts the probe: it yields a
+             certified interval, which must still be sound *)
+          if not (Solve_util.interval_sane pr && Solve_util.interval_sane pp)
+          then ok := false;
+          match (pr, pp) with
+          | Solve_util.Cost rb, Solve_util.Cost pb ->
               incr solved;
               sum_r := !sum_r + rb;
               sum_p := !sum_p + pb;
@@ -412,12 +426,13 @@ let e28 =
                 if rb - pb > !max_gap then max_gap := rb - pb
               end;
               if pb > rb then ok := false
+          | Solve_util.Truncated _, _ | _, Solve_util.Truncated _ ->
+              incr truncated
           | _ -> ()
-          | exception Prbp.Exact_prbp.Too_large _ -> ()
-          | exception Prbp.Exact_rbp.Too_large _ -> ()
         done;
-        T.add_rowf t "Δin+1+%d|%d|%d|%d|%.0f%%|%d|%.1f|%.1f" delta !total
-          !solved !gaps
+        truncations := !truncations + !truncated;
+        T.add_rowf t "Δin+1+%d|%d|%d|%d|%d|%.0f%%|%d|%.1f|%.1f" delta !total
+          !solved !truncated !gaps
           (100. *. float_of_int !gaps /. float_of_int (max 1 !solved))
           !max_gap
           (float_of_int !sum_r /. float_of_int (max 1 !solved))
@@ -432,7 +447,9 @@ let e28 =
         "(at the tightest feasible capacity a large share of instances \
          strictly benefit from partial computation; with ample cache the \
          gap disappears, as Proposition 4.1 plus trivial-cost saturation \
-         predict)@.";
+         predict; %d probes hit the %d-state budget and returned certified \
+         intervals instead of aborting)@."
+        !truncations ctx.E.budget.Prbp.Solver.Budget.max_states;
       !ok && s0 > 30 && g0 > 0 && g3 <= g0)
 
 let e29 =
@@ -441,37 +458,53 @@ let e29 =
       "The exact multiprocessor solver at p = 1 reproduces the \
        single-processor optima move-for-move: RBP-MC and PRBP-MC \
        specialize to the Section-1/3 games"
-    (fun ppf ->
+    ~budget:(Prbp.Solver.Budget.states 400_000)
+    (fun ppf (ctx : E.ctx) ->
       let t =
         T.make
           ~header:
             [ "DAG"; "r"; "OPT_RBP"; "RBP-MC p=1"; "OPT_PRBP"; "PRBP-MC p=1" ]
       in
       let ok = ref true in
-      let matches = ref 0 and total = ref 0 in
-      let s = function Some c -> string_of_int c | None -> "-" in
+      let matches = ref 0 and total = ref 0 and truncated = ref 0 in
+      let s ppv = Format.asprintf "%a" Solve_util.pp_probe ppv in
       let try_one name g r =
-        let budget = 400_000 in
-        match
-          ( Prbp.Exact_rbp.opt_opt ~max_states:budget
-              (Prbp.Rbp.config ~r ()) g,
-            Prbp.Exact_multi.rbp_opt_opt ~max_states:budget
-              (Prbp.Multi.config ~p:1 ~r ())
-              g,
-            Prbp.Exact_prbp.opt_opt ~max_states:budget
-              (Prbp.Prbp_game.config ~r ())
-              g,
-            Prbp.Exact_multi.prbp_opt_opt ~max_states:budget
-              (Prbp.Multi.config ~p:1 ~r ())
-              g )
-        with
-        | rb, mrb, pb, mpb ->
-            incr total;
-            if rb = mrb && pb = mpb then incr matches else ok := false;
-            if name <> "" then
-              T.add_rowf t "%s|%d|%s|%s|%s|%s" name r (s rb) (s mrb) (s pb)
-                (s mpb)
-        | exception Prbp.Game.Too_large _ -> ()
+        let budget = ctx.E.budget and telemetry = ctx.E.telemetry in
+        let rb =
+          Solve_util.probe
+            (Prbp.Exact_rbp.solve ~budget ~telemetry (Prbp.Rbp.config ~r ()) g)
+        and mrb =
+          Solve_util.probe
+            (Prbp.Exact_multi.rbp_solve ~budget ~telemetry
+               (Prbp.Multi.config ~p:1 ~r ())
+               g)
+        and pb =
+          Solve_util.probe
+            (Prbp.Exact_prbp.solve ~budget ~telemetry
+               (Prbp.Prbp_game.config ~r ())
+               g)
+        and mpb =
+          Solve_util.probe
+            (Prbp.Exact_multi.prbp_solve ~budget ~telemetry
+               (Prbp.Multi.config ~p:1 ~r ())
+               g)
+        in
+        List.iter
+          (fun p -> if not (Solve_util.interval_sane p) then ok := false)
+          [ rb; mrb; pb; mpb ];
+        let probed = [ rb; mrb; pb; mpb ] in
+        if
+          List.exists
+            (function Solve_util.Truncated _ -> true | _ -> false)
+            probed
+        then incr truncated
+        else begin
+          incr total;
+          if rb = mrb && pb = mpb then incr matches else ok := false;
+          if name <> "" then
+            T.add_rowf t "%s|%d|%s|%s|%s|%s" name r (s rb) (s mrb) (s pb)
+              (s mpb)
+        end
       in
       try_one "fig1" (fst (Prbp.Graphs.Fig1.full ())) 4;
       try_one "tree(2,3)" (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag 3;
@@ -490,9 +523,10 @@ let e29 =
       T.print ppf t;
       Format.fprintf ppf
         "p=1 optima agree on %d/%d solved instances (named above plus \
-         random 3-layer DAGs at r = 3, 4; probes beyond the state budget \
-         are skipped; agreement includes joint infeasibility)@."
-        !matches !total;
+         random 3-layer DAGs at r = 3, 4; %d probes returned budget-bounded \
+         intervals and are excluded from the comparison; agreement \
+         includes joint infeasibility)@."
+        !matches !total !truncated;
       !ok && !total >= 15)
 
 let e30 =
@@ -503,51 +537,67 @@ let e30 =
        (handing a value across processors costs exactly the save+load an \
        eviction would) — pooling the same total capacity into one cache \
        is what helps"
-    (fun ppf ->
+    ~budget:(Prbp.Solver.Budget.states 20_000_000)
+    (fun ppf (ctx : E.ctx) ->
       let t =
         T.make
           ~header:
             [ "DAG"; "game"; "r"; "p=1"; "p=2"; "saving"; "p=1, 2r" ]
       in
       let ok = ref true in
-      let budget = 20_000_000 in
+      let budget = ctx.E.budget and telemetry = ctx.E.telemetry in
       let row name game g r =
         let p1, p2, fat =
           match game with
           | "rbp" ->
-              ( Prbp.Exact_rbp.opt_opt ~max_states:budget
-                  (Prbp.Rbp.config ~r ()) g,
-                Prbp.Exact_multi.rbp_opt_opt ~max_states:budget
-                  (Prbp.Multi.config ~p:2 ~r ())
-                  g,
-                Prbp.Exact_rbp.opt_opt ~max_states:budget
-                  (Prbp.Rbp.config ~r:(2 * r) ())
-                  g )
+              ( Solve_util.probe
+                  (Prbp.Exact_rbp.solve ~budget ~telemetry
+                     (Prbp.Rbp.config ~r ()) g),
+                Solve_util.probe
+                  (Prbp.Exact_multi.rbp_solve ~budget ~telemetry
+                     (Prbp.Multi.config ~p:2 ~r ())
+                     g),
+                Solve_util.probe
+                  (Prbp.Exact_rbp.solve ~budget ~telemetry
+                     (Prbp.Rbp.config ~r:(2 * r) ())
+                     g) )
           | _ ->
-              ( Prbp.Exact_prbp.opt_opt ~max_states:budget
-                  (Prbp.Prbp_game.config ~r ())
-                  g,
-                Prbp.Exact_multi.prbp_opt_opt ~max_states:budget
-                  (Prbp.Multi.config ~p:2 ~r ())
-                  g,
-                Prbp.Exact_prbp.opt_opt ~max_states:budget
-                  (Prbp.Prbp_game.config ~r:(2 * r) ())
-                  g )
+              ( Solve_util.probe
+                  (Prbp.Exact_prbp.solve ~budget ~telemetry
+                     (Prbp.Prbp_game.config ~r ())
+                     g),
+                Solve_util.probe
+                  (Prbp.Exact_multi.prbp_solve ~budget ~telemetry
+                     (Prbp.Multi.config ~p:2 ~r ())
+                     g),
+                Solve_util.probe
+                  (Prbp.Exact_prbp.solve ~budget ~telemetry
+                     (Prbp.Prbp_game.config ~r:(2 * r) ())
+                     g) )
         in
-        let s = function Some c -> string_of_int c | None -> "-" in
+        List.iter
+          (fun p -> if not (Solve_util.interval_sane p) then ok := false)
+          [ p1; p2; fat ];
+        let s ppv = Format.asprintf "%a" Solve_util.pp_probe ppv in
         (match (p1, p2) with
-        | Some a, Some b ->
+        | Solve_util.Cost a, Solve_util.Cost b ->
             (* a second processor can never hurt (play on one \
                processor) and, the claim says, never helped either *)
             if b > a then ok := false;
             T.add_rowf t "%s|%s|%d|%s|%s|%d|%s" name game r (s p1) (s p2)
               (a - b) (s fat)
-        | None, None -> T.add_rowf t "%s|%s|%d|-|-|-|%s" name game r (s fat)
+        | Solve_util.Infeasible, Solve_util.Infeasible ->
+            T.add_rowf t "%s|%s|%d|-|-|-|%s" name game r (s fat)
+        | Solve_util.Truncated _, _ | _, Solve_util.Truncated _ ->
+            (* budget-bounded probes report their certified intervals
+               but cannot certify the savings claim *)
+            T.add_rowf t "%s|%s|%d|%s|%s|?|%s" name game r (s p1) (s p2)
+              (s fat)
         | _ -> ok := false);
         (* the sandwich: one cache of 2r simulates both halves with no \
            cross-processor traffic *)
         match (p2, fat) with
-        | Some b, Some f -> if f > b then ok := false
+        | Solve_util.Cost b, Solve_util.Cost f -> if f > b then ok := false
         | _ -> ()
       in
       let fig1 = fst (Prbp.Graphs.Fig1.full ()) in

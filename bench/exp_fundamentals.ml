@@ -21,10 +21,10 @@ let prbp_check ~r g moves =
 let e01 =
   E.make ~id:"E01" ~paper:"Proposition 4.2 / Figure 1 / Appendix A.1"
     ~claim:"On the Figure-1 DAG with r=4: OPT_RBP = 3 and OPT_PRBP = 2"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let g, ids = Prbp.Graphs.Fig1.full () in
-      let opt_r = Prbp.Exact_rbp.opt (rcfg 4) g in
-      let opt_p = Prbp.Exact_prbp.opt (pcfg 4) g in
+      let opt_r = Solve_util.rbp_opt (rcfg 4) g in
+      let opt_p = Solve_util.prbp_opt (pcfg 4) g in
       let strat_r = rbp_check ~r:4 g (Prbp.Strategies.fig1_rbp ids) in
       let strat_p = prbp_check ~r:4 g (Prbp.Strategies.fig1_prbp ids) in
       let t = T.make ~header:[ "quantity"; "paper"; "measured" ] in
@@ -40,7 +40,7 @@ let e02 =
     ~claim:
       "Any RBP strategy translates to a PRBP strategy of the same I/O cost \
        (so OPT_PRBP <= OPT_RBP)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t = T.make ~header:[ "DAG"; "r"; "RBP cost"; "translated PRBP" ] in
       let ok = ref true in
       let try_one name g =
@@ -73,7 +73,7 @@ let e03 =
     ~claim:
       "Matrix-vector multiplication (m>=3, m+3<=r<=2m): OPT_PRBP = m^2+2m \
        (trivial) < m^2+3m-1 <= OPT_RBP"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -104,7 +104,7 @@ let e04 =
     ~claim:
       "Zipper gadget at r = d+2: RBP pays ~d per chain node, PRBP ~2 per \
        second chain node; PRBP wins for d >= 3"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make ~header:[ "d"; "len"; "RBP strategy"; "PRBP strategy"; "gap" ]
       in
@@ -130,7 +130,7 @@ let e05 =
       "Binary trees at r=3: OPT_RBP = 2^(d+1)-1 and OPT_PRBP = \
        2^d+2^(d-1)-1; strategies match the closed forms, exhaustive \
        search confirms d=3"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:[ "depth"; "RBP"; "formula"; "PRBP"; "formula"; "exact?" ]
@@ -146,8 +146,8 @@ let e05 =
           let fp = Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth in
           let exact =
             if depth <= 3 then begin
-              let er = Prbp.Exact_rbp.opt (rcfg 3) g in
-              let ep = Prbp.Exact_prbp.opt (pcfg 3) g in
+              let er = Solve_util.rbp_opt (rcfg 3) g in
+              let ep = Solve_util.prbp_opt (pcfg 3) g in
               if er <> fr || ep <> fp then ok := false;
               Printf.sprintf "rbp=%d prbp=%d" er ep
             end
@@ -164,7 +164,7 @@ let e06 =
     ~claim:
       "k-ary trees at r=k+1: OPT_RBP = k^d + 2k^(d-1) - 1, OPT_PRBP = k^d + \
        2k^(d-k) - 1 (almost a k^(k-1) factor on non-trivial I/O)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -198,7 +198,7 @@ let e07 =
     ~claim:
       "Pebble-collection gadget: with d+2 pebbles only trivial cost; any \
        strategy capped below d+2 pebbles pays >= len/(2d) — in PRBP too"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -230,7 +230,7 @@ let e08 =
     ~claim:
       "Chained Figure-1 gadgets (Δin=2, Δout=3, r=4): OPT_PRBP = 2 always, \
        OPT_RBP = Θ(n)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -248,8 +248,8 @@ let e08 =
             rbp_check ~r:4 g (Prbp.Strategies.fig1_chained_rbp ~copies)
           in
           let small = copies <= 4 in
-          let ep = if small then Prbp.Exact_prbp.opt (pcfg 4) g else -1 in
-          let er = if small then Prbp.Exact_rbp.opt (rcfg 4) g else -1 in
+          let ep = if small then Solve_util.prbp_opt (pcfg 4) g else -1 in
+          let er = if small then Solve_util.rbp_opt (rcfg 4) g else -1 in
           T.add_rowf t "%d|%d|%d|%s|%d|%s" copies (Dag.n_nodes g) cp
             (if small then string_of_int ep else "-")
             cr

@@ -13,7 +13,7 @@ let e09 =
       "Deciding OPT_PRBP < OPT_RBP is NP-hard: the reduction from \
        MaxInSet-Vertex is constructible with the A.4 parameters, and the \
        encoded answers match the exhaustive oracle"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -58,7 +58,7 @@ let e10 =
     ~claim:
       "Hong–Kung S-partition bounds FAIL for PRBP: the Figure-3 DAG has \
        OPT_PRBP = 8 = trivial, yet every S(=6)-partition needs Θ(n) classes"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -119,7 +119,7 @@ let e11 =
     ~claim:
       "Every PRBP pebbling of cost C yields a valid (2r)-edge partition \
        into k classes with r·k >= C >= r·(k−1)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make ~header:[ "DAG"; "r"; "cost C"; "classes k"; "valid"; "sandwich" ]
       in
@@ -167,7 +167,7 @@ let e12 =
     ~claim:
       "Every PRBP pebbling of cost C yields a valid (2r)-dominator \
        partition into k classes with r·k >= C >= r·(k−1)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make ~header:[ "DAG"; "r"; "cost C"; "classes k"; "valid"; "sandwich" ]
       in

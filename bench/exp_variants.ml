@@ -17,7 +17,7 @@ let e16 =
       "The level-gadget towers adjusted with auxiliary levels leave the RBP \
        optimum unchanged while enforcing PRBP precedence (the key \
        ingredient of the n^(1-ε) inapproximability)"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -29,8 +29,8 @@ let e16 =
         (fun (sizes, r) ->
           let plain = L.make ~aux:false ~sizes:[ sizes ] ~cross:[] () in
           let auxd = L.make ~aux:true ~sizes:[ sizes ] ~cross:[] () in
-          let cp = Prbp.Exact_rbp.opt (rcfg r) plain.L.dag in
-          let ca = Prbp.Exact_rbp.opt (rcfg r) auxd.L.dag in
+          let cp = Solve_util.rbp_opt (rcfg r) plain.L.dag in
+          let ca = Solve_util.rbp_opt (rcfg r) auxd.L.dag in
           T.add_rowf t "%s|%d|%d|%d|%d|%b"
             (String.concat "," (List.map string_of_int sizes))
             (Dag.n_nodes plain.L.dag) (Dag.n_nodes auxd.L.dag) cp ca (cp = ca);
@@ -73,12 +73,12 @@ let e17 =
     ~claim:
       "With re-computation OPT_RBP drops to 2 on Figure 1; the z-layer \
        variant restores the PRBP advantage; PRBP is unaffected"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let g, i = Prbp.Graphs.Fig1.full () in
       let t = T.make ~header:[ "model"; "DAG"; "cost" ] in
-      let one_shot = Prbp.Exact_rbp.opt (rcfg 4) g in
-      let multi = Prbp.Exact_rbp.opt (rcfg ~one_shot:false 4) g in
-      let prbp = Prbp.Exact_prbp.opt (pcfg 4) g in
+      let one_shot = Solve_util.rbp_opt (rcfg 4) g in
+      let multi = Solve_util.rbp_opt (rcfg ~one_shot:false 4) g in
+      let prbp = Solve_util.prbp_opt (pcfg 4) g in
       (* z-layer variant *)
       let z1 = 10 and z2 = 11 in
       let gz =
@@ -91,8 +91,8 @@ let e17 =
             (i.v2, i.v0);
           ]
       in
-      let multi_z = Prbp.Exact_rbp.opt (rcfg ~one_shot:false 4) gz in
-      let prbp_z = Prbp.Exact_prbp.opt (pcfg 4) gz in
+      let multi_z = Solve_util.rbp_opt (rcfg ~one_shot:false 4) gz in
+      let prbp_z = Solve_util.prbp_opt (pcfg 4) gz in
       T.add_rowf t "one-shot RBP|fig1|%d" one_shot;
       T.add_rowf t "RBP + recomputation|fig1|%d" multi;
       T.add_rowf t "PRBP|fig1|%d" prbp;
@@ -106,12 +106,12 @@ let e18 =
     ~claim:
       "Sliding closes the Figure-1 gap (w0 restores it); on binary trees \
        sliding matches PRBP, on k-ary trees with k >= 3 PRBP still wins"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t = T.make ~header:[ "DAG"; "r"; "sliding RBP"; "PRBP"; "verdict" ] in
       let ok = ref true in
       let g, i = Prbp.Graphs.Fig1.full () in
-      let s_fig1 = Prbp.Exact_rbp.opt (rcfg ~sliding:true 4) g in
-      let p_fig1 = Prbp.Exact_prbp.opt (pcfg 4) g in
+      let s_fig1 = Solve_util.rbp_opt (rcfg ~sliding:true 4) g in
+      let p_fig1 = Solve_util.prbp_opt (pcfg 4) g in
       T.add_rowf t "fig1|4|%d|%d|%s" s_fig1 p_fig1
         (if s_fig1 = p_fig1 then "tie" else "prbp");
       if s_fig1 <> 2 || p_fig1 <> 2 then ok := false;
@@ -126,15 +126,15 @@ let e18 =
             (i.u2, i.v2); (i.v1, i.v0); (i.v2, i.v0); (i.u1, w0); (w0, i.w3);
           ]
       in
-      let s_w0 = Prbp.Exact_rbp.opt (rcfg ~sliding:true 4) gw in
-      let p_w0 = Prbp.Exact_prbp.opt (pcfg 4) gw in
+      let s_w0 = Solve_util.rbp_opt (rcfg ~sliding:true 4) gw in
+      let p_w0 = Solve_util.prbp_opt (pcfg 4) gw in
       T.add_rowf t "fig1 + w0|4|%d|%d|%s" s_w0 p_w0
         (if p_w0 < s_w0 then "prbp" else "tie");
       if s_w0 <> 3 || p_w0 <> 2 then ok := false;
       (* trees *)
       let t2 = Prbp.Graphs.Tree.make ~k:2 ~depth:3 in
       let s_t2 =
-        Prbp.Exact_rbp.opt (rcfg ~sliding:true 3) t2.Prbp.Graphs.Tree.dag
+        Solve_util.rbp_opt (rcfg ~sliding:true 3) t2.Prbp.Graphs.Tree.dag
       in
       let p_t2 = Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth:3 in
       T.add_rowf t "tree(2,3)|3|%d|%d|%s" s_t2 p_t2
@@ -142,10 +142,10 @@ let e18 =
       if s_t2 <> p_t2 then ok := false;
       let t3 = Prbp.Graphs.Tree.make ~k:3 ~depth:2 in
       let s_t3 =
-        Prbp.Exact_rbp.opt (rcfg ~sliding:true 4) t3.Prbp.Graphs.Tree.dag
+        Solve_util.rbp_opt (rcfg ~sliding:true 4) t3.Prbp.Graphs.Tree.dag
       in
       let p_t3 =
-        Prbp.Exact_prbp.opt (pcfg 4) t3.Prbp.Graphs.Tree.dag
+        Solve_util.prbp_opt (pcfg 4) t3.Prbp.Graphs.Tree.dag
       in
       T.add_rowf t "tree(3,2)|4|%d|%d|%s" s_t3 p_t3
         (if p_t3 < s_t3 then "prbp" else "tie");
@@ -158,7 +158,7 @@ let e19 =
     ~claim:
       "Per-edge ε gives ε·|E| total compute in PRBP vs ε·(non-sources) in \
        RBP; the in-degree-normalized mode restores comparable totals"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let eps = 0.01 in
       let t =
         T.make
@@ -210,7 +210,7 @@ let e20 =
     ~claim:
       "Without deletions every value is saved except the <= r final reds: \
        OPT >= n − r, and costs dominate the unrestricted game"
-    (fun ppf ->
+    (fun ppf (_ : E.ctx) ->
       let t =
         T.make
           ~header:
@@ -218,8 +218,8 @@ let e20 =
       in
       let ok = ref true in
       let try_one name g r =
-        let nd = Prbp.Exact_rbp.opt (rcfg ~no_delete:true r) g in
-        let free = Prbp.Exact_rbp.opt (rcfg r) g in
+        let nd = Solve_util.rbp_opt (rcfg ~no_delete:true r) g in
+        let free = Solve_util.rbp_opt (rcfg r) g in
         T.add_rowf t "%s|%d|%d|%d|%d" name r nd (Dag.n_nodes g - r) free;
         if nd < Dag.n_nodes g - r || nd < free then ok := false
       in

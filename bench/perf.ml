@@ -80,86 +80,119 @@ let solver_cases () =
     };
   ]
 
-type run_result = { opt : int; explored : int; pruned : int; wall_s : float }
+type run_result = {
+  outcome : string;  (* "optimal" | "bounded" *)
+  lower : int;
+  upper : int option;  (* = Some lower when optimal *)
+  explored : int;
+  pruned : int;
+  wall_s : float;
+}
 
 let run_case c ~prune =
   (* level the heap between runs so a huge search doesn't tax the GC
      accounting of the next, smaller one *)
   Gc.compact ();
-  let t0 = Unix.gettimeofday () in
-  let unpack = function
-    | Some { Prbp.Game.cost; explored; pruned } ->
-        Some (cost, explored, pruned)
-    | None -> None
+  let budget = Prbp.Solver.Budget.states c.budget in
+  let summarize outcome =
+    match outcome with
+    | Prbp.Solver.Unsolvable _ ->
+        failwith ("solver bench: no pebbling for " ^ c.name)
+    | _ ->
+        let stats = Prbp.Solver.stats_of outcome in
+        let lower, upper = Prbp.Solver.interval outcome in
+        {
+          outcome = Prbp.Solver.outcome_label outcome;
+          lower;
+          upper;
+          explored = stats.Prbp.Solver.explored;
+          pruned = stats.Prbp.Solver.pruned;
+          wall_s = 0.;
+        }
   in
-  let stats =
+  let t0 = Unix.gettimeofday () in
+  let res =
     match c.game with
     | "prbp" ->
-        unpack
-          (Prbp.Exact_prbp.opt_stats ~max_states:c.budget ~prune
+        summarize
+          (Prbp.Exact_prbp.solve ~budget ~prune
              (Prbp.Prbp_game.config ~r:c.r ())
              c.dag)
     | "black" ->
         (* all-zero-cost instance: prune has nothing to cut, both runs
            measure raw reachability throughput *)
-        unpack (Prbp.Black.feasible_stats ~max_states:c.budget ~s:c.r c.dag)
+        summarize (Prbp.Black.solve ~budget ~s:c.r c.dag)
     | "multi-rbp" ->
-        unpack
-          (Prbp.Exact_multi.rbp_opt_stats ~max_states:c.budget ~prune
+        summarize
+          (Prbp.Exact_multi.rbp_solve ~budget ~prune
              (Prbp.Multi.config ~p:c.p ~r:c.r ())
              c.dag)
     | "multi-prbp" ->
-        unpack
-          (Prbp.Exact_multi.prbp_opt_stats ~max_states:c.budget ~prune
+        summarize
+          (Prbp.Exact_multi.prbp_solve ~budget ~prune
              (Prbp.Multi.config ~p:c.p ~r:c.r ())
              c.dag)
     | _ ->
-        unpack
-          (Prbp.Exact_rbp.opt_stats ~max_states:c.budget ~prune
+        summarize
+          (Prbp.Exact_rbp.solve ~budget ~prune
              (Prbp.Rbp.config ~r:c.r ())
              c.dag)
   in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  match stats with
-  | Some (opt, explored, pruned) -> { opt; explored; pruned; wall_s }
-  | None -> failwith ("solver bench: no pebbling for " ^ c.name)
+  { res with wall_s = Unix.gettimeofday () -. t0 }
+
+let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
+
+let show_interval r =
+  match r.upper with
+  | Some u when u = r.lower -> string_of_int r.lower
+  | Some u -> Printf.sprintf "[%d,%d]" r.lower u
+  | None -> Printf.sprintf "[%d,?]" r.lower
 
 let run_solver ppf =
   Format.fprintf ppf "@.=== PERF — exact-solver throughput ===@.@.";
   let t =
     Prbp.Table.make
       ~header:
-        [ "case"; "r"; "opt"; "time (prune)"; "states (prune)";
-          "time (off)"; "states (off)"; "pruned"; "shrink" ]
+        [ "case"; "r"; "opt/interval"; "time (prune)"; "states (prune)";
+          "kst/s"; "time (off)"; "states (off)"; "pruned"; "shrink" ]
   in
   let rows =
     List.map
       (fun c ->
         let on = run_case c ~prune:true in
         let off = run_case c ~prune:false in
-        Prbp.Table.add_rowf t "%s|%d|%d|%.2fs|%d|%.2fs|%d|%d|%.1fx" c.name
-          c.r on.opt on.wall_s on.explored off.wall_s off.explored on.pruned
+        Prbp.Table.add_rowf t "%s|%d|%s|%.2fs|%d|%.0f|%.2fs|%d|%d|%.1fx"
+          c.name c.r (show_interval on) on.wall_s on.explored
+          (rate on /. 1e3) off.wall_s off.explored on.pruned
           (float_of_int off.explored /. float_of_int on.explored);
         (c, on, off))
       (solver_cases ())
   in
   Prbp.Table.print ppf t;
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v2\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v3\",\n";
   Buffer.add_string buf "  \"cases\": [\n";
+  let num_opt = function Some v -> string_of_int v | None -> "null" in
   List.iteri
     (fun i (c, on, off) ->
+      let width =
+        match on.upper with Some u -> Some (u - on.lower) | None -> None
+      in
       Printf.bprintf buf
         "    {\"name\": %S, \"game\": %S, \"nodes\": %d, \"edges\": %d, \
-         \"r\": %d, \"p\": %d, \"opt\": %d,\n\
+         \"r\": %d, \"p\": %d,\n\
+        \     \"outcome\": %S, \"lower\": %d, \"upper\": %s, \
+         \"interval_width\": %s,\n\
         \     \"prune\": {\"wall_s\": %.3f, \"explored\": %d, \"pruned\": \
-         %d},\n\
-        \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d}}%s\n"
+         %d, \"explored_per_s\": %.0f},\n\
+        \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d, \
+         \"explored_per_s\": %.0f}}%s\n"
         c.name c.game
         (Prbp_dag.Dag.n_nodes c.dag)
         (Prbp_dag.Dag.n_edges c.dag)
-        c.r c.p on.opt on.wall_s on.explored on.pruned off.wall_s
-        off.explored
+        c.r c.p on.outcome on.lower (num_opt on.upper) (num_opt width)
+        on.wall_s on.explored on.pruned (rate on) off.wall_s off.explored
+        (rate off)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -212,11 +245,11 @@ let tests =
     Test.make ~name:"exact: OPT_RBP fig1 (r=4)"
       (Staged.stage (fun () ->
            let g, _ = Lazy.force fig1 in
-           Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:4 ()) g));
+           Solve_util.rbp_opt (Prbp.Rbp.config ~r:4 ()) g));
     Test.make ~name:"exact: OPT_PRBP fig1 (r=4)"
       (Staged.stage (fun () ->
            let g, _ = Lazy.force fig1 in
-           Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:4 ()) g));
+           Solve_util.prbp_opt (Prbp.Prbp_game.config ~r:4 ()) g));
     Test.make ~name:"generate: FFT(1024) DAG (11264 nodes)"
       (Staged.stage (fun () -> Prbp.Graphs.Fft.make ~m:1024));
     Test.make ~name:"generate: matmul 16^3 DAG (4864 nodes)"

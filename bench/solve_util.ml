@@ -1,0 +1,48 @@
+(* Outcome plumbing shared by the experiment drivers: the experiments
+   speak in plain costs, the solvers in {!Prbp.Solver.outcome}. *)
+
+module S = Prbp.Solver
+
+(* Optimal cost, or fail loudly — for instances the experiment knows
+   fit comfortably inside the budget. *)
+let cost_exn what = function
+  | S.Optimal o -> o.S.cost
+  | S.Bounded b ->
+      failwith
+        (Printf.sprintf "%s: budget exhausted at [%d, %s]" what b.S.lower
+           (match b.S.upper with Some u -> string_of_int u | None -> "?"))
+  | S.Unsolvable _ -> failwith (what ^ ": no valid pebbling exists")
+
+let rbp_opt ?budget ?telemetry cfg g =
+  cost_exn "Exact_rbp" (Prbp.Exact_rbp.solve ?budget ?telemetry cfg g)
+
+let prbp_opt ?budget ?telemetry cfg g =
+  cost_exn "Exact_prbp" (Prbp.Exact_prbp.solve ?budget ?telemetry cfg g)
+
+(* Three-way probe for surveys that must distinguish "no pebbling
+   exists" from "the budget ran out with this certified interval". *)
+type probe = Cost of int | Infeasible | Truncated of int * int option
+
+let probe = function
+  | S.Optimal o -> Cost o.S.cost
+  | S.Unsolvable _ -> Infeasible
+  | S.Bounded b -> Truncated (b.S.lower, b.S.upper)
+
+(* Every truncated probe must still carry a sound, non-trivial
+   interval: 1 <= lower and lower <= upper when an incumbent exists. *)
+let interval_sane = function
+  | Truncated (lo, hi) -> (
+      lo >= 1 && match hi with Some h -> lo <= h | None -> true)
+  | Cost _ | Infeasible -> true
+
+let pp_probe ppf = function
+  | Cost c -> Format.pp_print_int ppf c
+  | Infeasible -> Format.pp_print_string ppf "-"
+  | Truncated (lo, hi) ->
+      Format.fprintf ppf "[%d,%s]" lo
+        (match hi with Some h -> string_of_int h | None -> "?")
+
+(* Cost and explored-state count of a finished solve (ablations). *)
+let cost_explored = function
+  | S.Optimal o -> Some (o.S.cost, o.S.stats.S.explored)
+  | S.Bounded _ | S.Unsolvable _ -> None

@@ -176,6 +176,10 @@ let game_arg =
 
 (* ------------------------------------------------------------------ *)
 
+(* Commands with no notion of a truncated solve always exit 0; [solve]
+   returns its own status (see [exit_bounded] below). *)
+let ok term = Term.(const (fun () -> 0) $ term)
+
 let info_cmd =
   let run family =
     let g = build family in
@@ -184,10 +188,35 @@ let info_cmd =
     Format.printf "height: %d@." (Prbp.Topo.height g)
   in
   Cmd.v (Cmd.info "info" ~doc:"Print statistics of a generated DAG.")
-    Term.(const run $ family_arg)
+    (ok Term.(const run $ family_arg))
+
+(* Durations for --deadline: "5s", "250ms", "2m", or plain seconds. *)
+let parse_duration s =
+  let fail () =
+    Error (`Msg (Printf.sprintf "bad duration %S (try 5s, 250ms, 2m)" s))
+  in
+  let mk scale part =
+    match float_of_string_opt part with
+    | Some f when f > 0. -> Ok (int_of_float (Float.ceil (f *. scale)))
+    | _ -> fail ()
+  in
+  let chop n = String.sub s 0 (String.length s - n) in
+  if s = "" then fail ()
+  else if Filename.check_suffix s "ms" then mk 1. (chop 2)
+  else if Filename.check_suffix s "s" then mk 1000. (chop 1)
+  else if Filename.check_suffix s "m" then mk 60_000. (chop 1)
+  else mk 1000. s
+
+let duration_conv =
+  Arg.conv (parse_duration, fun ppf ms -> Fmt.pf ppf "%dms" ms)
+
+(* Exit code for budget-truncated solves: distinct from plain success
+   and from cmdliner's own error codes (123-125). *)
+let exit_bounded = 10
 
 let solve_cmd =
-  let run family r game heuristic max_states sliding recompute no_delete =
+  let run family r game heuristic max_states deadline budget_words trace
+      sliding recompute no_delete =
     let g = build family in
     Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
     let rcfg =
@@ -197,57 +226,64 @@ let solve_cmd =
       Prbp.Prbp_game.config ~one_shot:(not recompute) ~recompute ~no_delete
         ~r ()
     in
+    let budget =
+      Prbp.Solver.Budget.v ~max_states ?max_millis:deadline
+        ?max_words:budget_words ()
+    in
+    let telemetry =
+      if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
+      else None
+    in
+    let bounded = ref false in
+    let report name outcome =
+      (match outcome with
+      | Prbp.Solver.Bounded _ -> bounded := true
+      | _ -> ());
+      Format.printf "%s: %a@." name Prbp.Solver.pp outcome
+    in
     let rbp () =
       if heuristic then
         Format.printf "RBP  heuristic cost: %d@."
           (Prbp.Heuristic.rbp_cost ~r g)
-      else
-        match Prbp.Exact_rbp.opt_opt ~max_states rcfg g with
-        | Some c -> Format.printf "OPT_RBP  = %d@." c
-        | None -> Format.printf "OPT_RBP  : no valid pebbling (r too small)@."
+      else report "OPT_RBP " (Prbp.Exact_rbp.solve ~budget ?telemetry rcfg g)
     in
     let prbp () =
       if heuristic then
         Format.printf "PRBP heuristic cost: %d@."
           (Prbp.Heuristic.prbp_best_cost ~r g)
-      else
-        match Prbp.Exact_prbp.opt_opt ~max_states pcfg g with
-        | Some c -> Format.printf "OPT_PRBP = %d@." c
-        | None -> Format.printf "OPT_PRBP : no valid pebbling@."
+      else report "OPT_PRBP" (Prbp.Exact_prbp.solve ~budget ?telemetry pcfg g)
     in
     let black () =
-      Format.printf "black pebbling number: %d@."
-        (Prbp.Black.number ~sliding ~max_states g)
+      match Prbp.Black.number ~sliding ~max_states g with
+      | n -> Format.printf "black pebbling number: %d@." n
+      | exception Prbp.Game.Too_large n ->
+          bounded := true;
+          Format.printf "black pebbling number: state budget (%d) exhausted@."
+            n
     in
     let multi p =
       if recompute then
         Format.printf "multi: one-shot only (drop --recompute)@."
       else begin
         let cfg = Prbp.Multi.config ~p ~r () in
-        (match Prbp.Exact_multi.rbp_opt_opt ~max_states cfg g with
-        | Some c -> Format.printf "OPT_RBP-MC  (p = %d) = %d@." p c
-        | None -> Format.printf "OPT_RBP-MC  : no valid pebbling@.");
-        match Prbp.Exact_multi.prbp_opt_opt ~max_states cfg g with
-        | Some c -> Format.printf "OPT_PRBP-MC (p = %d) = %d@." p c
-        | None -> Format.printf "OPT_PRBP-MC : no valid pebbling@."
+        report
+          (Printf.sprintf "OPT_RBP-MC  (p = %d)" p)
+          (Prbp.Exact_multi.rbp_solve ~budget ?telemetry cfg g);
+        report
+          (Printf.sprintf "OPT_PRBP-MC (p = %d)" p)
+          (Prbp.Exact_multi.prbp_solve ~budget ?telemetry cfg g)
       end
     in
-    (try
-       match game with
-       | `Rbp -> rbp ()
-       | `Prbp -> prbp ()
-       | `Both ->
-           rbp ();
-           prbp ()
-       | `Black -> black ()
-       | `Multi p -> multi p
-     with
-    (* all four solvers share the one engine-wide exception *)
-    | Prbp.Game.Too_large n ->
-        Format.printf
-          "state budget (%d) exceeded — use --heuristic for an upper bound@."
-          n);
-    Format.printf "trivial lower bound: %d@." (Prbp.Dag.trivial_cost g)
+    (match game with
+    | `Rbp -> rbp ()
+    | `Prbp -> prbp ()
+    | `Both ->
+        rbp ();
+        prbp ()
+    | `Black -> black ()
+    | `Multi p -> multi p);
+    Format.printf "trivial lower bound: %d@." (Prbp.Dag.trivial_cost g);
+    if !bounded then exit_bounded else 0
   in
   let heuristic =
     Arg.(
@@ -259,6 +295,33 @@ let solve_cmd =
     Arg.(
       value & opt int 5_000_000
       & info [ "max-states" ] ~doc:"State budget for exact search.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "deadline" ] ~docv:"DUR"
+          ~doc:
+            "Wall-clock deadline per exact solve (e.g. $(b,5s), $(b,250ms), \
+             $(b,2m), or plain seconds).  Past it the solver stops with a \
+             certified bounded interval and the command exits 10.")
+  in
+  let budget_words =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-words" ] ~docv:"N"
+          ~doc:
+            "Memory budget for the search structures, in heap words; \
+             exceeding it stops the solve with a bounded outcome.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Stream JSON-lines solver telemetry (start/progress/prune/stop \
+             events) to stderr.")
   in
   let sliding =
     Arg.(value & flag & info [ "sliding" ] ~doc:"Appendix B.2 sliding RBP.")
@@ -273,10 +336,14 @@ let solve_cmd =
       value & flag & info [ "no-delete" ] ~doc:"Appendix B.4 no-deletion.")
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Compute optimal (or heuristic) pebbling costs.")
+    (Cmd.info "solve"
+       ~doc:
+         "Compute optimal (or heuristic) pebbling costs.  Budget-truncated \
+          exact solves report a certified [lower, upper] interval and exit \
+          10 instead of failing.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ heuristic $ max_states
-      $ sliding $ recompute $ no_delete)
+      $ deadline $ budget_words $ trace $ sliding $ recompute $ no_delete)
 
 let strategy_cmd =
   let run family r game verbose =
@@ -353,7 +420,7 @@ let strategy_cmd =
   Cmd.v
     (Cmd.info "strategy"
        ~doc:"Replay the paper's constructive strategy for a family.")
-    Term.(const run $ family_arg $ r_arg $ game_arg $ verbose)
+    (ok Term.(const run $ family_arg $ r_arg $ game_arg $ verbose))
 
 let partition_cmd =
   let run family r kind =
@@ -401,7 +468,7 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Extract a partition from a pebbling trace and validate it.")
-    Term.(const run $ family_arg $ r_arg $ kind)
+    (ok Term.(const run $ family_arg $ r_arg $ kind))
 
 let dot_cmd =
   let run family output =
@@ -419,7 +486,7 @@ let dot_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
   Cmd.v (Cmd.info "dot" ~doc:"Export a family as a Graphviz drawing.")
-    Term.(const run $ family_arg $ output)
+    (ok Term.(const run $ family_arg $ output))
 
 let trace_cmd =
   let run family r game =
@@ -456,7 +523,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Replay a heuristic pebbling and draw its cache occupancy.")
-    Term.(const run $ family_arg $ r_arg $ game_arg)
+    (ok Term.(const run $ family_arg $ r_arg $ game_arg))
 
 let export_cmd =
   let run family output =
@@ -477,7 +544,7 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Serialize a family to the plain-text DAG format (load back \
              with --family file:PATH).")
-    Term.(const run $ family_arg $ output)
+    (ok Term.(const run $ family_arg $ output))
 
 let analyze_cmd =
   let run family =
@@ -504,12 +571,12 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Exact memory analysis: black pebbling number and trivial-cost           cache thresholds (small DAGs).")
-    Term.(const run $ family_arg)
+    (ok Term.(const run $ family_arg))
 
 let () =
   let doc = "partial-computing red-blue pebble game toolkit" in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group (Cmd.info "pebble_cli" ~doc)
           [
             info_cmd; solve_cmd; strategy_cmd; partition_cmd; dot_cmd;

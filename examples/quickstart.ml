@@ -12,10 +12,20 @@ let () =
   let g, ids = Prbp.Graphs.Fig1.full () in
   Format.printf "The Figure-1 DAG: %a@.@." Prbp.Dag.pp g;
 
-  (* 2. Ask the exact solvers for the optimal I/O costs at r = 4. *)
+  (* 2. Ask the exact solvers for the optimal I/O costs at r = 4.
+     [solve] returns an outcome: [Optimal] here (this instance is tiny);
+     budget-truncated solves would return a certified [Bounded]
+     interval instead — see docs/ALGORITHMS.md. *)
   let r = 4 in
-  let opt_rbp = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) g in
-  let opt_prbp = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+  let cost what outcome =
+    match Prbp.Solver.optimal_cost outcome with
+    | Some c -> c
+    | None -> failwith (what ^ ": expected an optimal solve")
+  in
+  let opt_rbp = cost "rbp" (Prbp.Exact_rbp.solve (Prbp.Rbp.config ~r ()) g) in
+  let opt_prbp =
+    cost "prbp" (Prbp.Exact_prbp.solve (Prbp.Prbp_game.config ~r ()) g)
+  in
   Format.printf "with %d red pebbles: OPT_RBP = %d, OPT_PRBP = %d@.@." r
     opt_rbp opt_prbp;
 

@@ -10,6 +10,16 @@
    exhaustive search where feasible, and display how the PRBP advantage
    grows with depth — almost a factor k^(k-1) on the non-trivial I/O. *)
 
+(* These instances are small, so every solve must come back Optimal. *)
+let cost what outcome =
+  match Prbp.Solver.optimal_cost outcome with
+  | Some c -> c
+  | None -> failwith (what ^ ": expected an optimal solve")
+
+let opt_rbp cfg g = cost "rbp" (Prbp.Exact_rbp.solve cfg g)
+
+let opt_prbp cfg g = cost "prbp" (Prbp.Exact_prbp.solve cfg g)
+
 let replay_tree ~k ~depth =
   let t = Prbp.Graphs.Tree.make ~k ~depth in
   let g = t.Prbp.Graphs.Tree.dag in
@@ -52,8 +62,8 @@ let () =
   let g = t.Prbp.Graphs.Tree.dag in
   Format.printf
     "exhaustive check at depth 3: OPT_RBP = %d, OPT_PRBP = %d@.@."
-    (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:3 ()) g)
-    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:3 ()) g);
+    (opt_rbp (Prbp.Rbp.config ~r:3 ()) g)
+    (opt_prbp (Prbp.Prbp_game.config ~r:3 ()) g);
 
   Format.printf "k-ary trees at r = k+1 (Appendix A.2):@.@.";
   let tbl2 =
@@ -79,5 +89,5 @@ let () =
   let g3 = t3.Prbp.Graphs.Tree.dag in
   Format.printf
     "ternary depth-2 tree at r = 4: sliding RBP = %d vs PRBP = %d@."
-    (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:4 ~sliding:true ()) g3)
-    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:4 ()) g3)
+    (opt_rbp (Prbp.Rbp.config ~r:4 ~sliding:true ()) g3)
+    (opt_prbp (Prbp.Prbp_game.config ~r:4 ()) g3)

@@ -6,14 +6,24 @@
    Everything below is computed by exhaustive search, so every number
    is the true optimum of its variant. *)
 
+(* These instances are small, so every solve must come back Optimal. *)
+let cost what outcome =
+  match Prbp.Solver.optimal_cost outcome with
+  | Some c -> c
+  | None -> failwith (what ^ ": expected an optimal solve")
+
+let opt_rbp cfg g = cost "rbp" (Prbp.Exact_rbp.solve cfg g)
+
+let opt_prbp cfg g = cost "prbp" (Prbp.Exact_prbp.solve cfg g)
+
 let () =
   let g, i = Prbp.Graphs.Fig1.full () in
   let r = 4 in
   let rbp ?(one_shot = true) ?(sliding = false) ?(no_delete = false) () =
-    Prbp.Exact_rbp.opt (Prbp.Rbp.config ~one_shot ~sliding ~no_delete ~r ()) g
+    opt_rbp (Prbp.Rbp.config ~one_shot ~sliding ~no_delete ~r ()) g
   in
   let prbp ?(recompute = false) () =
-    Prbp.Exact_prbp.opt
+    opt_prbp
       (Prbp.Prbp_game.config ~one_shot:(not recompute) ~recompute ~r ())
       g
   in
@@ -56,13 +66,13 @@ let () =
   in
   let t2 = Prbp.Table.make ~header:[ "DAG"; "variant"; "OPT" ] in
   Prbp.Table.add_rowf t2 "fig1 + z-layer|RBP + re-computation|%d"
-    (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~one_shot:false ~r ()) with_z);
+    (opt_rbp (Prbp.Rbp.config ~one_shot:false ~r ()) with_z);
   Prbp.Table.add_rowf t2 "fig1 + z-layer|PRBP|%d"
-    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) with_z);
+    (opt_prbp (Prbp.Prbp_game.config ~r ()) with_z);
   Prbp.Table.add_rowf t2 "fig1 + w0|RBP + sliding|%d"
-    (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~sliding:true ~r ()) with_w0);
+    (opt_rbp (Prbp.Rbp.config ~sliding:true ~r ()) with_w0);
   Prbp.Table.add_rowf t2 "fig1 + w0|PRBP|%d"
-    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) with_w0);
+    (opt_prbp (Prbp.Prbp_game.config ~r ()) with_w0);
   Format.printf "%s@." (Prbp.Table.render t2);
 
   (* compute costs (B.3) on one strategy *)

@@ -10,7 +10,8 @@
        paper;}
     {- {!Move}, {!Rbp}, {!Prbp_game} — the two pebble games and their
        Appendix-B variants;}
-    {- {!Game}, {!Engine} — the generic exact-solver core;
+    {- {!Game}, {!Solver}, {!Engine} — the generic exact-solver core
+       with its budget / telemetry / outcome vocabulary;
        {!Exact_rbp}, {!Exact_prbp}, {!Black}, {!Exact_multi},
        {!Heuristic}, {!Strategies} — its game instances, heuristic
        pebblers, and the paper's constructive strategies;}
@@ -54,6 +55,7 @@ module Prbp_game = Prbp_pebble.Prbp
 (** Named [Prbp_game] to avoid clashing with this facade module. *)
 
 module Game = Prbp_solver.Game
+module Solver = Prbp_solver.Solver
 module Engine = Prbp_solver.Engine
 module Exact_rbp = Prbp_solver.Exact_rbp
 module Exact_prbp = Prbp_solver.Exact_prbp

@@ -1,17 +1,39 @@
+module Solver = Prbp_solver.Solver
+
+type ctx = { budget : Solver.Budget.t; telemetry : Solver.Telemetry.sink }
+
 type t = {
   id : string;
   paper : string;
   claim : string;
-  run : Format.formatter -> bool;
+  budget : Solver.Budget.t;
+  run : Format.formatter -> ctx -> bool;
 }
 
-let make ~id ~paper ~claim run = { id; paper; claim; run }
+let make ~id ~paper ~claim ?(budget = Solver.Budget.default) run =
+  { id; paper; claim; budget; run }
 
 let run_one ppf e =
   Format.fprintf ppf "@.=== %s — %s ===@." e.id e.paper;
   Format.fprintf ppf "claim: %s@.@." e.claim;
+  let summary, sink = Solver.Telemetry.summarize () in
   let t0 = Sys.time () in
-  let ok = e.run ppf in
+  let ok = e.run ppf { budget = e.budget; telemetry = sink } in
+  (* Aggregate solver telemetry for the whole experiment: experiments
+     that threaded [ctx.telemetry] into their solves get a one-line
+     search-effort footprint next to the verdict. *)
+  (if summary.Solver.Telemetry.solves > 0 then
+     let explored =
+       match summary.Solver.Telemetry.last with
+       | Some p -> p.Solver.Telemetry.explored
+       | None -> summary.Solver.Telemetry.peak_explored
+     in
+     Format.fprintf ppf "@.telemetry: %d solve(s), peak %d states%s@."
+       summary.Solver.Telemetry.solves
+       (max explored summary.Solver.Telemetry.peak_explored)
+       (if summary.Solver.Telemetry.prune_events > 0 then
+          " (branch-and-bound active)"
+        else ""));
   Format.fprintf ppf "@.[%s] %s  (%.2fs)@." e.id
     (if ok then "CONFIRMED" else "NOT CONFIRMED")
     (Sys.time () -. t0);
@@ -20,7 +42,9 @@ let run_one ppf e =
 (* Parallel dispatch over a shared work queue: each worker renders its
    experiment into a private buffer, so the blocks are re-emitted to
    [ppf] intact and in list (= id) order regardless of completion
-   order.  stdlib Domain/Mutex only. *)
+   order.  stdlib Domain/Mutex only.  Each experiment gets a private
+   telemetry summary (created inside [run_one]), so no cross-domain
+   sharing. *)
 let run_parallel ~jobs ppf es =
   let es = Array.of_list es in
   let n = Array.length es in

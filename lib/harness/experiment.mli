@@ -1,12 +1,31 @@
 (** Experiment registry: one entry per proposition / theorem / figure
     reproduced from the paper.  [bench/main.exe] runs these and prints
-    the paper-vs-measured comparison recorded in EXPERIMENTS.md. *)
+    the paper-vs-measured comparison recorded in EXPERIMENTS.md.
+
+    Every experiment runs under a {!ctx}: a per-experiment
+    {!Prbp_solver.Solver.Budget.t} plus a telemetry sink aggregated by
+    the harness.  Experiments thread [ctx.budget] / [ctx.telemetry]
+    into their solver calls and pattern-match the resulting
+    {!Prbp_solver.Solver.outcome}s — a budget-truncated solve reports
+    its certified [Bounded] interval instead of aborting the
+    experiment. *)
+
+module Solver = Prbp_solver.Solver
+
+type ctx = {
+  budget : Solver.Budget.t;
+      (** resource envelope for each solver call in this experiment *)
+  telemetry : Solver.Telemetry.sink;
+      (** harness-owned aggregation sink; pass it to solves that
+          should count toward the experiment's effort footprint *)
+}
 
 type t = {
   id : string;  (** e.g. "E01" *)
   paper : string;  (** e.g. "Proposition 4.2 / Figure 1" *)
   claim : string;  (** one-line statement of what the paper claims *)
-  run : Format.formatter -> bool;
+  budget : Solver.Budget.t;  (** per-experiment solve budget *)
+  run : Format.formatter -> ctx -> bool;
       (** print measurements; return whether the claim was confirmed *)
 }
 
@@ -14,18 +33,23 @@ val make :
   id:string ->
   paper:string ->
   claim:string ->
-  (Format.formatter -> bool) ->
+  ?budget:Solver.Budget.t ->
+  (Format.formatter -> ctx -> bool) ->
   t
+(** [budget] defaults to {!Solver.Budget.default}. *)
 
 val run_one : Format.formatter -> t -> bool
+(** Run one experiment under a fresh ctx; prints a one-line telemetry
+    aggregate (solve count, peak explored states) when the experiment
+    used [ctx.telemetry]. *)
 
 val run_all : ?jobs:int -> Format.formatter -> t list -> int * int
 (** Run every experiment; returns (confirmed, total).
 
     [jobs] (default 1) dispatches experiments to that many parallel
     domains over a shared work queue (stdlib [Domain]/[Mutex] only).
-    Each experiment renders into a private buffer, so per-experiment
-    output blocks stay intact and are printed in list order — byte
-    for byte the layout of a sequential run (timings aside).
-    Experiments must not share mutable state; ours build their DAGs
-    and solvers from scratch. *)
+    Each experiment renders into a private buffer and owns a private
+    telemetry summary, so per-experiment output blocks stay intact and
+    are printed in list order — byte for byte the layout of a
+    sequential run (timings aside).  Experiments must not share
+    mutable state; ours build their DAGs and solvers from scratch. *)

@@ -82,11 +82,36 @@ let inst ?(sliding = false) ~s g =
     sinks = List.fold_left (fun a v -> a lor (1 lsl v)) 0 (Dag.sinks g);
   }
 
-let feasible_stats ?sliding ?(max_states = 2_000_000) ~s g =
-  E.opt_stats ~max_states (inst ?sliding ~s g)
+let solve ?budget ?telemetry ?want_strategy ?sliding ~s g =
+  E.solve ?budget ?telemetry ?want_strategy ~prune:false (inst ?sliding ~s g)
+
+(* The historical default budget for the black game (its states are a
+   third the width of the red-blue ones, but `number` runs a whole
+   upward scan of solves). *)
+let default_states = 2_000_000
+
+let budget_of_max_states max_states =
+  Solver.Budget.states (Option.value max_states ~default:default_states)
 
 let feasible ?sliding ?max_states ~s g =
-  feasible_stats ?sliding ?max_states ~s g <> None
+  match solve ~budget:(budget_of_max_states max_states) ?sliding ~s g with
+  | Solver.Optimal _ -> true
+  | Solver.Unsolvable _ -> false
+  | Solver.Bounded _ ->
+      raise (Game.Too_large (Option.value max_states ~default:default_states))
+
+let feasible_stats ?sliding ?max_states ~s g =
+  match solve ~budget:(budget_of_max_states max_states) ?sliding ~s g with
+  | Solver.Optimal { Solver.cost; stats; _ } ->
+      Some
+        {
+          Game.cost;
+          explored = stats.Solver.explored;
+          pruned = stats.Solver.pruned;
+        }
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ ->
+      raise (Game.Too_large (Option.value max_states ~default:default_states))
 
 let number ?sliding ?max_states g =
   let n = Dag.n_nodes g in

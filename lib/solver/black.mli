@@ -25,15 +25,31 @@ exception Too_large of int
     either name catches the same exception. *)
 
 type move = Place of int | Slide of int * int | Remove of int
-(** The black-game move vocabulary (engine bookkeeping; strategies are
-    not currently reconstructed — feasibility is all the callers
-    need). *)
+(** The black-game move vocabulary; [solve ~want_strategy:true]
+    reconstructs one complete pebbling as a move list. *)
+
+val solve :
+  ?budget:Solver.Budget.t ->
+  ?telemetry:Solver.Telemetry.sink ->
+  ?want_strategy:bool ->
+  ?sliding:bool ->
+  s:int ->
+  Prbp_dag.Dag.t ->
+  move Solver.outcome
+(** Anytime feasibility solve at capacity [s].  {!Solver.Optimal}
+    (always with [cost = 0] — every black move is free) means a
+    complete pebbling exists; {!Solver.Unsolvable} means none does;
+    {!Solver.Bounded} means [budget] (default
+    {!Solver.Budget.default}) ran out before either was settled —
+    feasibility at this capacity is then genuinely open.
+    Branch-and-bound is moot in an all-zero-cost game and stays off. *)
 
 val feasible :
   ?sliding:bool -> ?max_states:int -> s:int -> Prbp_dag.Dag.t -> bool
 (** Is there a complete black pebbling using at most [s] pebbles?
     Decided by exhaustive search over (pebble-set, visited-sinks)
-    states; [max_states] defaults to [2_000_000]. *)
+    states; [max_states] defaults to [2_000_000].  Raises
+    {!Too_large} where {!solve} would return [Bounded]. *)
 
 val feasible_stats :
   ?sliding:bool ->
@@ -41,10 +57,10 @@ val feasible_stats :
   s:int ->
   Prbp_dag.Dag.t ->
   Game.stats option
+[@@deprecated "use solve: its outcome carries the same stats"]
 (** Like {!feasible}, with the engine's explored-state counters:
     [Some stats] (with [stats.cost = 0] — all moves are free) when
-    feasible, [None] otherwise.  Used by the solver-throughput
-    benchmark. *)
+    feasible, [None] otherwise. *)
 
 val number : ?sliding:bool -> ?max_states:int -> Prbp_dag.Dag.t -> int
 (** The pebbling number: the least [s] with [feasible ~s].  At most

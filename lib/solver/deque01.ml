@@ -54,6 +54,16 @@ let pop_front d =
     Some x
   end
 
+let iter f d =
+  let cap = Array.length d.buf in
+  if cap > 0 then
+    let mask = cap - 1 in
+    for i = 0 to d.len - 1 do
+      f (Array.unsafe_get d.buf ((d.head + i) land mask))
+    done
+
+let words d = Array.length d.buf
+
 let clear d =
   d.buf <- [||];
   d.head <- 0;

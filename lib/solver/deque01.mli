@@ -15,5 +15,14 @@ val push_back : 'a t -> 'a -> unit
 
 val pop_front : 'a t -> 'a option
 
+val iter : ('a -> unit) -> 'a t -> unit
+(** Visit every queued element front to back, without popping.  Used
+    by the anytime engine to scan the surviving frontier for the
+    certified lower bound at truncation. *)
+
+val words : 'a t -> int
+(** Buffer slots currently allocated (= heap words for the immediate
+    ints the solvers queue). *)
+
 val clear : 'a t -> unit
 (** Empty the deque and release its buffer. *)

@@ -1,17 +1,32 @@
 (* The one exhaustive-search loop of the library.  Every exact solver
    (Exact_rbp, Exact_prbp, Black, Exact_multi) instantiates this
    functor; none of them owns a BFS or branch-and-bound loop of its
-   own. *)
+   own.
+
+   The loop is *anytime*: a Solver.Budget can stop it on state count,
+   wall-clock deadline, memory estimate or cooperative cancellation,
+   and a truncated search still returns a certified interval on OPT
+   (Solver.Bounded) instead of raising.  Governance costs one integer
+   compare per expansion; deadlines, memory estimates and telemetry
+   run on the slow path every [check_every] expansions. *)
 
 module T = State_table.Flat
 
 module Make (G : Game.S) = struct
   type ctx = {
     inst : G.inst;
-    max_states : int;
+    budget : Solver.Budget.t;
+    tele : Solver.Telemetry.sink option;
     want_strategy : bool;
     ub : int;  (* branch-and-bound bound; max_int = pruning off *)
+    t0 : float;
+    deadline : float;  (* absolute, infinity when none *)
     mutable pruned : int;
+    mutable expansions : int;
+    mutable stop : Solver.reason option;
+    mutable next_check : int;
+    mutable next_emit : int;  (* max_int when no sink *)
+    mutable next_gate : int;  (* min of the two above *)
     tbl : T.t;
     mutable parent_idx : int array;
     mutable parent_move : G.move array;
@@ -21,6 +36,16 @@ module Make (G : Game.S) = struct
     mutable cur_idx : int;
     mutable cur_d : int;
   }
+
+  (* Estimated live heap words of the search structures.  Strategy
+     bookkeeping contributes exactly its arrays — zero unless
+     [want_strategy], which the end-of-solve assertion pins down. *)
+  let mem_words ctx =
+    T.words ctx.tbl + Deque01.words ctx.dq
+    + Array.length ctx.parent_idx
+    (* parent_move is an array of pointers to small move blocks;
+       count the pointer plus ~3 words per block *)
+    + (4 * Array.length ctx.parent_move)
 
   let record_parent ctx idx =
     if idx >= Array.length ctx.parent_idx then begin
@@ -33,7 +58,10 @@ module Make (G : Game.S) = struct
     end
 
   (* Relax the successor state sitting in [scratch]: the 0-1 BFS step,
-     plus branch-and-bound on first sight of a new state. *)
+     plus branch-and-bound on first sight of a new state.  A full
+     state table flags the stop reason instead of raising — the
+     settled region and the frontier stay intact for the certified
+     lower bound. *)
   let relax ctx scratch m cost01 =
     let cost = ctx.cur_d + cost01 in
     let idx = T.find ctx.tbl scratch in
@@ -52,10 +80,17 @@ module Make (G : Game.S) = struct
     end
     else if
       ctx.ub < max_int && cost + G.residual_lb ctx.inst scratch > ctx.ub
-    then ctx.pruned <- ctx.pruned + 1
+    then begin
+      ctx.pruned <- ctx.pruned + 1;
+      match ctx.tele with
+      | Some sink when ctx.pruned land (ctx.pruned - 1) = 0 ->
+          sink.emit (Solver.Telemetry.Prune { pruned = ctx.pruned })
+      | _ -> ()
+    end
+    else if T.length ctx.tbl >= ctx.budget.Solver.Budget.max_states then begin
+      if ctx.stop = None then ctx.stop <- Some Solver.Max_states
+    end
     else begin
-      if T.length ctx.tbl >= ctx.max_states then
-        raise (Game.Too_large ctx.max_states);
       let idx = T.add ctx.tbl scratch cost in
       if ctx.want_strategy then begin
         record_parent ctx idx;
@@ -66,15 +101,95 @@ module Make (G : Game.S) = struct
       else Deque01.push_back ctx.dq idx
     end
 
-  let search ?(max_states = 5_000_000) ?(prune = true) ~want_strategy inst =
+  let progress ctx =
+    {
+      Solver.Telemetry.expansions = ctx.expansions;
+      explored = T.length ctx.tbl;
+      pruned = ctx.pruned;
+      frontier = Deque01.length ctx.dq;
+      depth = ctx.cur_d;
+      table_load = T.load ctx.tbl;
+      elapsed_s = Unix.gettimeofday () -. ctx.t0;
+    }
+
+  (* Deadline / memory / cancellation polls and telemetry emission;
+     reached every [min check_every sink.every] expansions. *)
+  let slow_path ctx =
+    let b = ctx.budget in
+    if ctx.expansions >= ctx.next_check then begin
+      (if ctx.stop = None then
+         if Unix.gettimeofday () > ctx.deadline then
+           ctx.stop <- Some Solver.Deadline
+         else
+           match b.Solver.Budget.max_words with
+           | Some w when mem_words ctx > w -> ctx.stop <- Some Solver.Max_words
+           | _ -> (
+               match b.Solver.Budget.cancelled with
+               | Some f when f () -> ctx.stop <- Some Solver.Cancelled
+               | _ -> ()));
+      ctx.next_check <- ctx.expansions + b.Solver.Budget.check_every
+    end;
+    (match ctx.tele with
+    | Some sink when ctx.expansions >= ctx.next_emit ->
+        sink.emit (Solver.Telemetry.Progress (progress ctx));
+        ctx.next_emit <- ctx.expansions + sink.every
+    | _ -> ());
+    ctx.next_gate <- min ctx.next_check ctx.next_emit
+
+  let stats ctx =
+    {
+      Solver.explored = T.length ctx.tbl;
+      pruned = ctx.pruned;
+      expansions = ctx.expansions;
+      frontier = Deque01.length ctx.dq;
+      elapsed_s = Unix.gettimeofday () -. ctx.t0;
+      mem_words = mem_words ctx;
+    }
+
+  (* Certified lower bound on OPT at truncation: any optimal path must
+     leave the settled region through a still-queued frontier state
+     [s] with its settled-tentative distance [d(s)], so
+     OPT >= min over the live frontier of (d(s) + residual_lb s).
+     Branch-and-bound never cuts a state on an optimal path (its
+     d + residual is at most OPT <= ub), so pruning keeps this sound.
+     An empty frontier at truncation degrades to the last settled
+     depth. *)
+  let frontier_lower_bound ctx buf =
+    let best = ref max_int in
+    Deque01.iter
+      (fun idx ->
+        let v = T.value ctx.tbl idx in
+        if v >= 0 && v < !best then begin
+          T.read_key ctx.tbl idx buf;
+          let c = v + G.residual_lb ctx.inst buf in
+          if c < !best then best := c
+        end)
+      ctx.dq;
+    if !best < max_int then !best else ctx.cur_d
+
+  let solve ?(budget = Solver.Budget.default) ?telemetry
+      ?(want_strategy = false) ?(prune = true) inst =
     let w = G.width inst in
+    let t0 = Unix.gettimeofday () in
     let ctx =
       {
         inst;
-        max_states;
+        budget;
+        tele = telemetry;
         want_strategy;
         ub = (if prune then G.heuristic_ub inst else max_int);
+        t0;
+        deadline =
+          (match budget.Solver.Budget.max_millis with
+          | Some ms -> t0 +. (float_of_int ms /. 1000.)
+          | None -> infinity);
         pruned = 0;
+        expansions = 0;
+        stop = None;
+        next_check = budget.Solver.Budget.check_every;
+        next_emit =
+          (match telemetry with Some s -> s.every | None -> max_int);
+        next_gate = 0;
         tbl = T.create ~width:w;
         parent_idx = [||];
         parent_move = [||];
@@ -83,6 +198,13 @@ module Make (G : Game.S) = struct
         cur_d = 0;
       }
     in
+    ctx.next_gate <- min ctx.next_check ctx.next_emit;
+    (match telemetry with
+    | Some sink ->
+        sink.emit
+          (Solver.Telemetry.Start
+             { width = w; max_states = budget.Solver.Budget.max_states })
+    | None -> ());
     let cur = Array.make w 0 and scratch = Array.make w 0 in
     (* init state gets dense index 0 *)
     G.write_init inst cur;
@@ -94,42 +216,50 @@ module Make (G : Game.S) = struct
     Deque01.push_back ctx.dq 0;
     let emit m cost01 = relax ctx scratch m cost01 in
     let result = ref None in
-    (try
-       let continue = ref true in
-       while !continue do
-         match Deque01.pop_front ctx.dq with
-         | None -> continue := false
-         | Some idx ->
-             let d = T.value ctx.tbl idx in
-             if d >= 0 then begin
-               T.set_value ctx.tbl idx (lnot d);
-               T.read_key ctx.tbl idx cur;
-               if G.is_goal inst cur then begin
-                 result := Some (idx, d);
-                 continue := false
-               end
-               else begin
-                 ctx.cur_idx <- idx;
-                 ctx.cur_d <- d;
-                 G.expand inst cur ~scratch ~emit
-               end
-             end
-       done
-     with Game.Too_large _ as e ->
-       (* drop every per-search structure, not just the distance
-          table: a caught exception must not pin hundreds of MB
-          alive *)
-       T.reset ctx.tbl;
-       Deque01.clear ctx.dq;
-       ctx.parent_idx <- [||];
-       ctx.parent_move <- [||];
-       raise e);
-    let explored = T.length ctx.tbl in
+    let continue = ref true in
+    while !continue && ctx.stop = None do
+      match Deque01.pop_front ctx.dq with
+      | None -> continue := false
+      | Some idx ->
+          let d = T.value ctx.tbl idx in
+          if d >= 0 then begin
+            T.set_value ctx.tbl idx (lnot d);
+            T.read_key ctx.tbl idx cur;
+            ctx.cur_idx <- idx;
+            ctx.cur_d <- d;
+            if G.is_goal inst cur then begin
+              result := Some (idx, d);
+              continue := false
+            end
+            else begin
+              ctx.expansions <- ctx.expansions + 1;
+              if ctx.expansions >= ctx.next_gate then slow_path ctx;
+              if ctx.stop = None then G.expand inst cur ~scratch ~emit
+            end
+          end
+    done;
+    (* strategy bookkeeping is strictly opt-in: nothing on any path
+       may allocate the parent arrays without [want_strategy], and the
+       memory estimate above counts exactly these arrays *)
+    assert (
+      want_strategy
+      || (Array.length ctx.parent_idx = 0 && Array.length ctx.parent_move = 0));
+    let finish outcome =
+      (match telemetry with
+      | Some sink ->
+          sink.emit
+            (Solver.Telemetry.Stop
+               {
+                 outcome = Solver.outcome_label outcome;
+                 progress = progress ctx;
+               })
+      | None -> ());
+      outcome
+    in
     match !result with
-    | None -> None
     | Some (goal, d) ->
-        let moves =
-          if not want_strategy then []
+        let strategy =
+          if not want_strategy then None
           else begin
             let acc = ref [] in
             let idx = ref goal in
@@ -137,11 +267,51 @@ module Make (G : Game.S) = struct
               acc := ctx.parent_move.(!idx) :: !acc;
               idx := ctx.parent_idx.(!idx)
             done;
-            !acc
+            Some !acc
           end
         in
+        finish (Solver.Optimal { cost = d; strategy; stats = stats ctx })
+    | None -> (
+        match ctx.stop with
+        | None ->
+            (* frontier exhausted: no goal state is reachable *)
+            finish (Solver.Unsolvable (stats ctx))
+        | Some stopped ->
+            let upper = if ctx.ub < max_int then Some ctx.ub else None in
+            let lb = frontier_lower_bound ctx cur in
+            (* clamp against the incumbent: an upper bound comes from
+               a concrete strategy, so OPT <= upper always holds *)
+            let lower =
+              match upper with Some u -> min lb u | None -> lb
+            in
+            finish
+              (Solver.Bounded
+                 {
+                   lower;
+                   upper;
+                   incumbent_strategy = None;
+                   stats = stats ctx;
+                   stopped;
+                 }))
+
+  (* -- deprecated pre-anytime surface, kept as thin wrappers -------- *)
+
+  let search ?(max_states = 5_000_000) ?(prune = true) ~want_strategy inst =
+    match
+      solve ~budget:(Solver.Budget.states max_states) ~want_strategy ~prune
+        inst
+    with
+    | Solver.Optimal { cost; strategy; stats } ->
         Some
-          (d, moves, { Game.cost = d; explored; pruned = ctx.pruned })
+          ( cost,
+            Option.value strategy ~default:[],
+            {
+              Game.cost;
+              explored = stats.Solver.explored;
+              pruned = stats.Solver.pruned;
+            } )
+    | Solver.Unsolvable _ -> None
+    | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
   let opt_opt ?max_states ?prune inst =
     Option.map

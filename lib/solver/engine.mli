@@ -1,48 +1,72 @@
-(** The generic exact-solver engine: one 0-1 BFS + branch-and-bound
-    core shared by every game.
+(** The generic exact-solver engine: one anytime 0-1 BFS +
+    branch-and-bound core shared by every game.
 
     {!Make} turns any {!Game.S} instance into an exhaustive optimal
-    solver.  The machinery is exactly the PR-1 state core, factored
-    out once: packed states live unboxed in a {!State_table.Flat}
-    (dense insertion indices as state handles), the work queue is a
-    {!Deque01} of dense indices only, a state's tentative distance
-    lives in the table value and is flipped to [lnot d] (negative)
-    once the state is popped and settled — the 0-1 BFS invariant
-    guarantees the first pop sees the final distance, so stale queue
-    entries are skipped on the sign alone.  Branch-and-bound prunes
-    any {e new} state whose distance plus the game's admissible
-    residual bound exceeds the heuristic upper-bound seed; this never
-    changes the optimum, only the explored count.
+    solver.  The machinery is the PR-1 state core, factored out once:
+    packed states live unboxed in a {!State_table.Flat} (dense
+    insertion indices as state handles), the work queue is a {!Deque01}
+    of dense indices only, a state's tentative distance lives in the
+    table value and is flipped to [lnot d] (negative) once the state is
+    popped and settled — the 0-1 BFS invariant guarantees the first pop
+    sees the final distance, so stale queue entries are skipped on the
+    sign alone.  Branch-and-bound prunes any {e new} state whose
+    distance plus the game's admissible residual bound exceeds the
+    heuristic upper-bound seed; this never changes the optimum, only
+    the explored count.
 
-    Exceeding [max_states] raises {!Game.Too_large} after dropping
-    every per-search structure (a caught exception must not pin
-    hundreds of MB alive). *)
+    {!Make.solve} is the single entry point: it honours a
+    {!Solver.Budget} (state cap, wall-clock deadline, memory estimate,
+    cooperative cancellation), reports into an optional
+    {!Solver.Telemetry} sink, and always returns a {!Solver.outcome} —
+    a proven optimum, a certified [lower ≤ OPT ≤ upper] interval when
+    the budget stops the search first, or a proof that no goal state is
+    reachable.  The pre-anytime quartet below survives as deprecated
+    wrappers that translate [Bounded] back into {!Game.Too_large}. *)
 
 module Make (G : Game.S) : sig
+  val solve :
+    ?budget:Solver.Budget.t ->
+    ?telemetry:Solver.Telemetry.sink ->
+    ?want_strategy:bool ->
+    ?prune:bool ->
+    G.inst ->
+    G.move Solver.outcome
+  (** [solve inst] searches until a goal state is settled
+      ({!Solver.Optimal}), the reachable space is exhausted
+      ({!Solver.Unsolvable}), or [budget] (default
+      {!Solver.Budget.default}) stops the search ({!Solver.Bounded},
+      with the frontier-distance lower bound and the branch-and-bound
+      incumbent as the certified interval).  [want_strategy] (default
+      off) additionally reconstructs one optimal move sequence through
+      the parent arrays — strategy bookkeeping is strictly opt-in and
+      is the only consumer of the parent arrays, which stay
+      unallocated otherwise.  [prune] (default on) arms
+      branch-and-bound with [G.heuristic_ub].  [telemetry] receives
+      start/progress/prune/stop events; [None] keeps the hot loop
+      allocation-free. *)
+
   val search :
     ?max_states:int ->
     ?prune:bool ->
     want_strategy:bool ->
     G.inst ->
     (int * G.move list * Game.stats) option
-  (** [search inst] is [Some (opt, moves, stats)] where [opt] is the
-      optimal 0-1 distance to a goal state, or [None] when no goal
-      state is reachable.  [moves] is one optimal move sequence
-      (reconstructed through the parent arrays) when [want_strategy],
-      [[]] otherwise.  [max_states] defaults to [5_000_000]; [prune]
-      (default on) arms branch-and-bound with [G.heuristic_ub]. *)
+  [@@deprecated "use solve: it returns a certified interval instead of \
+                 raising Game.Too_large"]
+  (** [Some (opt, moves, stats)], [None] when no goal is reachable;
+      raises {!Game.Too_large} where [solve] would return [Bounded]. *)
 
   val opt_opt : ?max_states:int -> ?prune:bool -> G.inst -> int option
-  (** The optimal cost alone; [None] when no goal is reachable. *)
+  [@@deprecated "use solve"]
 
   val opt_stats :
     ?max_states:int -> ?prune:bool -> G.inst -> Game.stats option
-  (** Optimal cost plus search-size counters. *)
+  [@@deprecated "use solve"]
 
   val opt_with_strategy :
     ?max_states:int ->
     ?prune:bool ->
     G.inst ->
     (int * G.move list) option
-  (** Also reconstruct one optimal strategy; costs more memory. *)
+  [@@deprecated "use solve ~want_strategy:true"]
 end

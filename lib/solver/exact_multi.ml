@@ -160,17 +160,21 @@ module ER = Engine.Make (GR)
 
 (* Any single-processor strategy is a p-processor strategy played
    entirely on processor 0 ({!Multi.lift_rbp}), so OPT_p ≤ OPT_1 ≤
-   heuristic cost: the single-processor heuristic seeds the bound. *)
-let rbp_heuristic_ub (cfg : Multi.config) g =
+   heuristic cost: the single-processor heuristic seeds the bound and
+   its lifted strategy is the incumbent attached to [Bounded]. *)
+let rbp_heuristic_seed (cfg : Multi.config) g =
   match Heuristic.rbp ~r:cfg.Multi.r g with
   | moves ->
-      List.fold_left
-        (fun acc (m : Prbp_pebble.Move.R.t) ->
-          match m with Load _ | Save _ -> acc + 1 | _ -> acc)
-        0 moves
-  | exception _ -> max_int
+      let c =
+        List.fold_left
+          (fun acc (m : Prbp_pebble.Move.R.t) ->
+            match m with Load _ | Save _ -> acc + 1 | _ -> acc)
+          0 moves
+      in
+      Some (c, moves)
+  | exception _ -> None
 
-let rbp_inst ~canon ~prune (cfg : Multi.config) g =
+let rbp_inst ~canon ~ub (cfg : Multi.config) g =
   check_cfg ~what:"Exact_multi (rbp)" cfg;
   let n = Dag.n_nodes g in
   if n > 62 then invalid_arg "Exact_multi (rbp): at most 62 nodes";
@@ -185,22 +189,75 @@ let rbp_inst ~canon ~prune (cfg : Multi.config) g =
     sources =
       List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g);
     srcs = Array.of_list (Dag.sources g);
-    ub = (if prune then rbp_heuristic_ub cfg g else max_int);
+    ub;
   }
 
-let rbp_opt_opt ?max_states ?(prune = true) cfg g =
-  ER.opt_opt ?max_states (rbp_inst ~canon:true ~prune cfg g)
+let default_states = Solver.Budget.default.Solver.Budget.max_states
 
-let rbp_opt_stats ?max_states ?(prune = true) cfg g =
-  ER.opt_stats ?max_states (rbp_inst ~canon:true ~prune cfg g)
+(* Shared outcome plumbing for both multiprocessor games: seed the
+   bound, disable processor-canonicalization when a replayable strategy
+   is wanted, lift the single-processor incumbent onto processor 0 when
+   the budget truncates the search. *)
+let solve_with ~engine_solve ~inst ~seed ~lift ?budget ?telemetry
+    ?(want_strategy = false) ~prune () =
+  let ub = match seed with Some (c, _) -> c | None -> max_int in
+  let outcome =
+    engine_solve ?budget ?telemetry ~want_strategy ~prune
+      (inst ~canon:(not want_strategy) ~ub)
+  in
+  match (outcome, seed) with
+  | Solver.Bounded b, Some (_, moves) ->
+      Solver.Bounded { b with Solver.incumbent_strategy = Some (lift moves) }
+  | _ -> outcome
+
+let rbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) cfg g =
+  solve_with
+    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune i ->
+      ER.solve ?budget ?telemetry ~want_strategy ~prune i)
+    ~inst:(fun ~canon ~ub -> rbp_inst ~canon ~ub cfg g)
+    ~seed:(if prune then rbp_heuristic_seed cfg g else None)
+    ~lift:Multi.lift_rbp ?budget ?telemetry ?want_strategy ~prune ()
+
+(* -- deprecated pre-anytime surface --------------------------------- *)
+
+let rbp_opt_opt ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    rbp_solve ~budget:(Solver.Budget.states max_states) ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; _ } -> Some cost
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
+
+let rbp_opt_stats ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    rbp_solve ~budget:(Solver.Budget.states max_states) ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; stats; _ } ->
+      Some
+        {
+          Game.cost;
+          explored = stats.Solver.explored;
+          pruned = stats.Solver.pruned;
+        }
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
 let rbp_opt ?max_states ?prune cfg g =
   match rbp_opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_multi.rbp_opt: no valid pebbling exists"
 
-let rbp_opt_with_strategy ?max_states ?(prune = true) cfg g =
-  ER.opt_with_strategy ?max_states (rbp_inst ~canon:false ~prune cfg g)
+let rbp_opt_with_strategy ?(max_states = default_states) ?(prune = true)
+    cfg g =
+  match
+    rbp_solve
+      ~budget:(Solver.Budget.states max_states)
+      ~want_strategy:true ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; strategy; _ } ->
+      Some (cost, Option.value strategy ~default:[])
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
 (* {1 PRBP-MC} *)
 
@@ -377,7 +434,7 @@ end
 
 module EP = Engine.Make (GP)
 
-let prbp_heuristic_ub (cfg : Multi.config) g =
+let prbp_heuristic_seed (cfg : Multi.config) g =
   let io_count moves =
     List.fold_left
       (fun acc (m : Prbp_pebble.Move.P.t) ->
@@ -386,14 +443,17 @@ let prbp_heuristic_ub (cfg : Multi.config) g =
   in
   let try_one pebbler =
     match pebbler ~r:cfg.Multi.r g with
-    | moves -> io_count moves
-    | exception _ -> max_int
+    | moves -> Some (io_count moves, moves)
+    | exception _ -> None
   in
-  min
-    (try_one (fun ~r g -> Heuristic.prbp ~r g))
-    (try_one (fun ~r g -> Heuristic.prbp_greedy ~r g))
+  match
+    ( try_one (fun ~r g -> Heuristic.prbp ~r g),
+      try_one (fun ~r g -> Heuristic.prbp_greedy ~r g) )
+  with
+  | None, s | s, None -> s
+  | (Some (ca, _) as a), (Some (cb, _) as b) -> if ca <= cb then a else b
 
-let prbp_inst ~canon ~prune (cfg : Multi.config) g =
+let prbp_inst ~canon ~ub (cfg : Multi.config) g =
   check_cfg ~what:"Exact_multi (prbp)" cfg;
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if n > 62 then invalid_arg "Exact_multi (prbp): at most 62 nodes";
@@ -420,19 +480,54 @@ let prbp_inst ~canon ~prune (cfg : Multi.config) g =
     source_mask =
       List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g);
     full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
-    ub = (if prune then prbp_heuristic_ub cfg g else max_int);
+    ub;
   }
 
-let prbp_opt_opt ?max_states ?(prune = true) cfg g =
-  EP.opt_opt ?max_states (prbp_inst ~canon:true ~prune cfg g)
+let prbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) cfg g =
+  solve_with
+    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune i ->
+      EP.solve ?budget ?telemetry ~want_strategy ~prune i)
+    ~inst:(fun ~canon ~ub -> prbp_inst ~canon ~ub cfg g)
+    ~seed:(if prune then prbp_heuristic_seed cfg g else None)
+    ~lift:Multi.lift_prbp ?budget ?telemetry ?want_strategy ~prune ()
 
-let prbp_opt_stats ?max_states ?(prune = true) cfg g =
-  EP.opt_stats ?max_states (prbp_inst ~canon:true ~prune cfg g)
+(* -- deprecated pre-anytime surface --------------------------------- *)
+
+let prbp_opt_opt ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    prbp_solve ~budget:(Solver.Budget.states max_states) ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; _ } -> Some cost
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
+
+let prbp_opt_stats ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    prbp_solve ~budget:(Solver.Budget.states max_states) ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; stats; _ } ->
+      Some
+        {
+          Game.cost;
+          explored = stats.Solver.explored;
+          pruned = stats.Solver.pruned;
+        }
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
 let prbp_opt ?max_states ?prune cfg g =
   match prbp_opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_multi.prbp_opt: no valid pebbling exists"
 
-let prbp_opt_with_strategy ?max_states ?(prune = true) cfg g =
-  EP.opt_with_strategy ?max_states (prbp_inst ~canon:false ~prune cfg g)
+let prbp_opt_with_strategy ?(max_states = default_states) ?(prune = true)
+    cfg g =
+  match
+    prbp_solve
+      ~budget:(Solver.Budget.states max_states)
+      ~want_strategy:true ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; strategy; _ } ->
+      Some (cost, Option.value strategy ~default:[])
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)

@@ -12,26 +12,28 @@
     {b Symmetry.}  Processors are interchangeable (each has the same
     capacity [r]), so successor states are canonicalized by sorting the
     per-processor masks, cutting the reachable space by up to [p!].
-    [*_opt_with_strategy] disables the canonicalization — its moves
-    name concrete processors and replay through {!Prbp_pebble.Multi}'s
-    rule engines — and therefore explores more states.
+    [solve ~want_strategy:true] disables the canonicalization — its
+    moves name concrete processors and replay through
+    {!Prbp_pebble.Multi}'s rule engines — and therefore explores more
+    states.
 
     {b Limits.}  One-shot configs only ([one_shot = false] raises
     [Invalid_argument]), at most 8 processors, at most 62 nodes (and,
     for PRBP-MC, 62 edges).  The state space grows like the
     single-processor games raised to the [p]-th power, so in practice
-    expect [p ≤ 3] and [n ≲ 12]; the search raises {!Too_large} beyond
-    [max_states].
+    expect [p ≤ 3] and [n ≲ 12]; past the budget the solves return a
+    certified {!Solver.Bounded} interval.
 
     {b Sanity anchor.}  At [p = 1] both games coincide move-for-move
-    with the Section-1/3 games, so [rbp_opt] / [prbp_opt] must equal
-    {!Exact_rbp.opt} / {!Exact_prbp.opt} on one-shot configs — checked
-    by the engine regression suite and certified across DAG families by
-    experiment E29. *)
+    with the Section-1/3 games, so [rbp_solve] / [prbp_solve] must
+    match {!Exact_rbp.solve} / {!Exact_prbp.solve} on one-shot
+    configs — checked by the engine regression suite and certified
+    across DAG families by experiment E29. *)
 
 exception Too_large of int
-(** Alias (rebinding) of the engine-wide {!Game.Too_large} — matching
-    either name catches the same exception. *)
+(** Raised only by the deprecated wrappers.  Alias (rebinding) of the
+    engine-wide {!Game.Too_large} — matching either name catches the
+    same exception.  The [solve] entry points never raise it. *)
 
 type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
@@ -44,16 +46,34 @@ type stats = Game.stats = {
 
 (** {1 RBP-MC} *)
 
+val rbp_solve :
+  ?budget:Solver.Budget.t ->
+  ?telemetry:Solver.Telemetry.sink ->
+  ?want_strategy:bool ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Multi.Move.rbp Solver.outcome
+(** Anytime exact solve for the total I/O (communication volume) of a
+    complete RBP-MC pebbling under [budget] (default
+    {!Solver.Budget.default}).  {!Solver.Optimal} carries one optimal
+    strategy when [want_strategy] (default off; replayable through
+    {!Prbp_pebble.Multi.R.check}, at the cost of disabling the
+    processor-symmetry canonicalization); {!Solver.Bounded} attaches
+    the single-processor heuristic incumbent lifted onto processor 0;
+    {!Solver.Unsolvable} when no pebbling exists (e.g. [r < Δin + 1]).
+    [prune] (default on) is the branch-and-bound switch. *)
+
 val rbp_opt :
   ?max_states:int ->
   ?prune:bool ->
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   int
-(** Optimal total I/O (communication volume) of a complete RBP-MC
-    pebbling, or [Failure] when none exists (e.g. [r < Δin + 1]).
-    [max_states] defaults to [5_000_000]; [prune] (default on) is the
-    branch-and-bound switch. *)
+[@@deprecated "use rbp_solve"]
+(** Optimal total I/O, or [Failure] when none exists.  [max_states]
+    defaults to [5_000_000]; raises {!Too_large} where [rbp_solve]
+    would return [Bounded]. *)
 
 val rbp_opt_opt :
   ?max_states:int ->
@@ -61,6 +81,7 @@ val rbp_opt_opt :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   int option
+[@@deprecated "use rbp_solve"]
 
 val rbp_opt_stats :
   ?max_states:int ->
@@ -68,6 +89,7 @@ val rbp_opt_stats :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   stats option
+[@@deprecated "use rbp_solve"]
 
 val rbp_opt_with_strategy :
   ?max_states:int ->
@@ -75,11 +97,23 @@ val rbp_opt_with_strategy :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Multi.Move.rbp list) option
-(** Also reconstruct one optimal strategy, replayable through
-    {!Prbp_pebble.Multi.R.check}.  Disables the processor-symmetry
-    canonicalization, so it explores more states than [rbp_opt]. *)
+[@@deprecated "use rbp_solve ~want_strategy:true"]
 
 (** {1 PRBP-MC} *)
+
+val prbp_solve :
+  ?budget:Solver.Budget.t ->
+  ?telemetry:Solver.Telemetry.sink ->
+  ?want_strategy:bool ->
+  ?prune:bool ->
+  Prbp_pebble.Multi.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Multi.Move.prbp Solver.outcome
+(** Anytime exact solve for the total I/O of a complete PRBP-MC
+    pebbling; same contract as {!rbp_solve}, with strategies
+    replayable through {!Prbp_pebble.Multi.P.check}.
+    {!Solver.Unsolvable} only at [r = 1] — PRBP pebbles every DAG once
+    [r ≥ 2]. *)
 
 val prbp_opt :
   ?max_states:int ->
@@ -87,9 +121,7 @@ val prbp_opt :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   int
-(** Optimal total I/O of a complete PRBP-MC pebbling ([Failure] only at
-    [r = 1] or on out-of-range inputs — PRBP pebbles every DAG once
-    [r ≥ 2]). *)
+[@@deprecated "use prbp_solve"]
 
 val prbp_opt_opt :
   ?max_states:int ->
@@ -97,6 +129,7 @@ val prbp_opt_opt :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   int option
+[@@deprecated "use prbp_solve"]
 
 val prbp_opt_stats :
   ?max_states:int ->
@@ -104,6 +137,7 @@ val prbp_opt_stats :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   stats option
+[@@deprecated "use prbp_solve"]
 
 val prbp_opt_with_strategy :
   ?max_states:int ->
@@ -111,5 +145,4 @@ val prbp_opt_with_strategy :
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Multi.Move.prbp list) option
-(** Also reconstruct one optimal strategy, replayable through
-    {!Prbp_pebble.Multi.P.check}; canonicalization off, as above. *)
+[@@deprecated "use prbp_solve ~want_strategy:true"]

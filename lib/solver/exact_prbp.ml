@@ -167,14 +167,14 @@ end
 
 module E = Engine.Make (G)
 
-(* Branch-and-bound upper bound: the I/O count of the cheaper of the
-   two heuristic pebblers.  Both play the standard one-shot game,
+(* Branch-and-bound incumbent: the cheaper of the two heuristic
+   pebblers, with its strategy.  Both play the standard one-shot game,
    legal in every variant except no-delete (re-computation only adds
    moves), so their cost bounds OPT from above there; in the no-delete
    variant (or if the heuristics cannot run, e.g. r < 2) pruning is
    disabled. *)
-let heuristic_ub cfg g =
-  if cfg.Prbp.no_delete then max_int
+let heuristic_seed cfg g =
+  if cfg.Prbp.no_delete then None
   else begin
     let io_count moves =
       List.fold_left
@@ -184,15 +184,19 @@ let heuristic_ub cfg g =
     in
     let try_one pebbler =
       match pebbler ~r:cfg.Prbp.r g with
-      | moves -> io_count moves
-      | exception _ -> max_int
+      | moves -> Some (io_count moves, moves)
+      | exception _ -> None
     in
-    min
-      (try_one (fun ~r g -> Heuristic.prbp ~r g))
-      (try_one (fun ~r g -> Heuristic.prbp_greedy ~r g))
+    match
+      ( try_one (fun ~r g -> Heuristic.prbp ~r g),
+        try_one (fun ~r g -> Heuristic.prbp_greedy ~r g) )
+    with
+    | None, s | s, None -> s
+    | (Some (ca, _) as a), (Some (cb, _) as b) ->
+        if ca <= cb then a else b
   end
 
-let inst ?(eager_deletes = false) ~prune cfg g =
+let inst ~eager_deletes ~ub cfg g =
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if n > 31 then invalid_arg "Exact_prbp: at most 31 nodes";
   if m > 62 then invalid_arg "Exact_prbp: at most 62 edges";
@@ -228,19 +232,61 @@ let inst ?(eager_deletes = false) ~prune cfg g =
     source_mask = !source_mask;
     full_edges = (if m = 0 then 0 else (1 lsl m) - 1);
     init_pack = !init_pack;
-    ub = (if prune then heuristic_ub cfg g else max_int);
+    ub;
   }
 
-let opt_opt ?max_states ?(prune = true) cfg g =
-  E.opt_opt ?max_states (inst ~prune cfg g)
+let solve ?budget ?telemetry ?want_strategy ?(prune = true)
+    ?(eager_deletes = false) cfg g =
+  let seed = if prune then heuristic_seed cfg g else None in
+  let ub = match seed with Some (c, _) -> c | None -> max_int in
+  let outcome =
+    E.solve ?budget ?telemetry ?want_strategy ~prune
+      (inst ~eager_deletes ~ub cfg g)
+  in
+  match (outcome, seed) with
+  | Solver.Bounded b, Some (_, moves) ->
+      Solver.Bounded { b with Solver.incumbent_strategy = Some moves }
+  | _ -> outcome
 
-let opt_stats ?max_states ?eager_deletes ?(prune = true) cfg g =
-  E.opt_stats ?max_states (inst ?eager_deletes ~prune cfg g)
+(* -- deprecated pre-anytime surface --------------------------------- *)
+
+let default_states = Solver.Budget.default.Solver.Budget.max_states
+
+let opt_opt ?(max_states = default_states) ?(prune = true) cfg g =
+  match solve ~budget:(Solver.Budget.states max_states) ~prune cfg g with
+  | Solver.Optimal { Solver.cost; _ } -> Some cost
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
+
+let opt_stats ?(max_states = default_states) ?eager_deletes
+    ?(prune = true) cfg g =
+  match
+    solve
+      ~budget:(Solver.Budget.states max_states)
+      ~prune ?eager_deletes cfg g
+  with
+  | Solver.Optimal { Solver.cost; stats; _ } ->
+      Some
+        {
+          Game.cost;
+          explored = stats.Solver.explored;
+          pruned = stats.Solver.pruned;
+        }
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
 let opt ?max_states ?prune cfg g =
   match opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_prbp.opt: no valid pebbling exists"
 
-let opt_with_strategy ?max_states ?(prune = true) cfg g =
-  E.opt_with_strategy ?max_states (inst ~prune cfg g)
+let opt_with_strategy ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    solve
+      ~budget:(Solver.Budget.states max_states)
+      ~want_strategy:true ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; strategy; _ } ->
+      Some (cost, Option.value strategy ~default:[])
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)

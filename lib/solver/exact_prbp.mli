@@ -19,8 +19,9 @@
     sizes. *)
 
 exception Too_large of int
-(** Alias (rebinding) of the engine-wide {!Game.Too_large} — matching
-    either name catches the same exception. *)
+(** Raised only by the deprecated wrappers.  Alias (rebinding) of the
+    engine-wide {!Game.Too_large} — matching either name catches the
+    same exception.  {!solve} never raises it. *)
 
 type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
@@ -31,22 +32,41 @@ type stats = Game.stats = {
           bound, so they were never inserted *)
 }
 
+val solve :
+  ?budget:Solver.Budget.t ->
+  ?telemetry:Solver.Telemetry.sink ->
+  ?want_strategy:bool ->
+  ?prune:bool ->
+  ?eager_deletes:bool ->
+  Prbp_pebble.Prbp.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.P.t Solver.outcome
+(** [solve cfg g] is the unified entry point: an anytime exact solve
+    under [budget] (default {!Solver.Budget.default}).  Returns
+    {!Solver.Optimal} (with one optimal strategy when [want_strategy],
+    default off), {!Solver.Bounded} with a certified
+    [lower <= OPT <= upper] interval and the heuristic incumbent when
+    the budget stops the search first, or {!Solver.Unsolvable} (only
+    at [r = 1] — PRBP pebbles every DAG at [r >= 2]).
+
+    [prune] (default on) seeds branch-and-bound from the cheaper of
+    the two {!Heuristic} pebblers; any state whose distance plus an
+    admissible residual bound (non-blue sinks + unloaded sources with
+    unmarked out-edges) exceeds it is discarded — the optimum is
+    unchanged.  [eager_deletes] disables the light-red
+    capacity-normalization pruning (ablation measurements only).
+    [telemetry] streams start/progress/prune/stop events. *)
+
 val opt :
   ?max_states:int ->
   ?prune:bool ->
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   int
-(** Optimal I/O cost of a complete PRBP pebbling.  PRBP admits a valid
-    pebbling for every DAG when [r ≥ 2], so this only fails ([Failure])
-    at [r = 1] or on out-of-range inputs.  [max_states] defaults to
-    [5_000_000].
-
-    [prune] (default on) enables branch-and-bound: an upper bound is
-    seeded from the cheaper of the two {!Heuristic} pebblers and any
-    state whose distance plus an admissible residual bound (non-blue
-    sinks + unloaded sources with unmarked out-edges) exceeds it is
-    discarded.  This never changes the optimum. *)
+[@@deprecated "use solve"]
+(** Optimal I/O cost of a complete PRBP pebbling; raises [Failure] on
+    unsolvable inputs and {!Too_large} where {!solve} would return
+    [Bounded].  [max_states] defaults to [5_000_000]. *)
 
 val opt_opt :
   ?max_states:int ->
@@ -54,6 +74,7 @@ val opt_opt :
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   int option
+[@@deprecated "use solve"]
 
 val opt_with_strategy :
   ?max_states:int ->
@@ -61,6 +82,7 @@ val opt_with_strategy :
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Move.P.t list) option
+[@@deprecated "use solve ~want_strategy:true"]
 
 val opt_stats :
   ?max_states:int ->
@@ -69,6 +91,4 @@ val opt_stats :
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   stats option
-(** Optimal cost plus search-size counters; [eager_deletes] disables
-    the light-red capacity-normalization pruning (ablation
-    measurements; the optimum is unchanged). *)
+[@@deprecated "use solve"]

@@ -133,24 +133,27 @@ end
 
 module E = Engine.Make (G)
 
-(* Branch-and-bound upper bound: the I/O count of a heuristic
-   strategy.  The Belady pebbler plays the standard one-shot game,
-   whose move set is legal in every variant except no-delete (sliding
-   and re-computation only relax the rules), so its cost bounds OPT
-   from above there; in the no-delete variant (or when the heuristic
-   cannot run at all, e.g. r < Δin + 1) pruning is disabled. *)
-let heuristic_ub cfg g =
-  if cfg.Rbp.no_delete then max_int
+(* Branch-and-bound incumbent: a heuristic strategy and its I/O count.
+   The Belady pebbler plays the standard one-shot game, whose move set
+   is legal in every variant except no-delete (sliding and
+   re-computation only relax the rules), so its cost bounds OPT from
+   above there; in the no-delete variant (or when the heuristic cannot
+   run at all, e.g. r < Δin + 1) pruning is disabled. *)
+let heuristic_seed cfg g =
+  if cfg.Rbp.no_delete then None
   else
     match Heuristic.rbp ~r:cfg.Rbp.r g with
     | moves ->
-        List.fold_left
-          (fun acc m ->
-            match m with RM.Load _ | RM.Save _ -> acc + 1 | _ -> acc)
-          0 moves
-    | exception _ -> max_int
+        let c =
+          List.fold_left
+            (fun acc m ->
+              match m with RM.Load _ | RM.Save _ -> acc + 1 | _ -> acc)
+            0 moves
+        in
+        Some (c, moves)
+    | exception _ -> None
 
-let inst ?(eager_deletes = false) ~prune cfg g =
+let inst ~eager_deletes ~ub cfg g =
   let n = Dag.n_nodes g in
   if n > 62 then invalid_arg "Exact_rbp: at most 62 nodes";
   let mask_of fold v = fold (fun u acc -> acc lor (1 lsl u)) g v 0 in
@@ -164,19 +167,61 @@ let inst ?(eager_deletes = false) ~prune cfg g =
     sources =
       List.fold_left (fun acc v -> acc lor (1 lsl v)) 0 (Dag.sources g);
     srcs = Array.of_list (Dag.sources g);
-    ub = (if prune then heuristic_ub cfg g else max_int);
+    ub;
   }
 
-let opt_opt ?max_states ?(prune = true) cfg g =
-  E.opt_opt ?max_states (inst ~prune cfg g)
+let solve ?budget ?telemetry ?want_strategy ?(prune = true)
+    ?(eager_deletes = false) cfg g =
+  let seed = if prune then heuristic_seed cfg g else None in
+  let ub = match seed with Some (c, _) -> c | None -> max_int in
+  let outcome =
+    E.solve ?budget ?telemetry ?want_strategy ~prune
+      (inst ~eager_deletes ~ub cfg g)
+  in
+  match (outcome, seed) with
+  | Solver.Bounded b, Some (_, moves) ->
+      Solver.Bounded { b with Solver.incumbent_strategy = Some moves }
+  | _ -> outcome
 
-let opt_stats ?max_states ?eager_deletes ?(prune = true) cfg g =
-  E.opt_stats ?max_states (inst ?eager_deletes ~prune cfg g)
+(* -- deprecated pre-anytime surface --------------------------------- *)
+
+let default_states = Solver.Budget.default.Solver.Budget.max_states
+
+let opt_opt ?(max_states = default_states) ?(prune = true) cfg g =
+  match solve ~budget:(Solver.Budget.states max_states) ~prune cfg g with
+  | Solver.Optimal { Solver.cost; _ } -> Some cost
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
+
+let opt_stats ?(max_states = default_states) ?eager_deletes
+    ?(prune = true) cfg g =
+  match
+    solve
+      ~budget:(Solver.Budget.states max_states)
+      ~prune ?eager_deletes cfg g
+  with
+  | Solver.Optimal { Solver.cost; stats; _ } ->
+      Some
+        {
+          Game.cost;
+          explored = stats.Solver.explored;
+          pruned = stats.Solver.pruned;
+        }
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)
 
 let opt ?max_states ?prune cfg g =
   match opt_opt ?max_states ?prune cfg g with
   | Some d -> d
   | None -> failwith "Exact_rbp.opt: no valid pebbling exists"
 
-let opt_with_strategy ?max_states ?(prune = true) cfg g =
-  E.opt_with_strategy ?max_states (inst ~prune cfg g)
+let opt_with_strategy ?(max_states = default_states) ?(prune = true) cfg g =
+  match
+    solve
+      ~budget:(Solver.Budget.states max_states)
+      ~want_strategy:true ~prune cfg g
+  with
+  | Solver.Optimal { Solver.cost; strategy; _ } ->
+      Some (cost, Option.value strategy ~default:[])
+  | Solver.Unsolvable _ -> None
+  | Solver.Bounded _ -> raise (Game.Too_large max_states)

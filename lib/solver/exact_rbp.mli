@@ -10,16 +10,17 @@
 
     Supports the same variants as {!Prbp_pebble.Rbp.config}: sliding,
     re-computation ([one_shot = false]), and no-deletion.  Intended for
-    DAGs of ≲ 20 nodes; the search raises {!Too_large} beyond
-    [max_states].
+    DAGs of ≲ 20 nodes; beyond the budget the search returns a
+    certified {!Solver.Bounded} interval instead of an answer.
 
     This is what certifies statements like [OPT_RBP = 3] on the
     Figure-1 DAG (Proposition 4.2). *)
 
 exception Too_large of int
-(** Raised when the state count exceeds the [max_states] budget.
-    An alias (rebinding) of the engine-wide {!Game.Too_large} —
-    matching either name catches the same exception. *)
+(** Raised only by the deprecated wrappers when the state count
+    exceeds [max_states].  An alias (rebinding) of the engine-wide
+    {!Game.Too_large} — matching either name catches the same
+    exception.  {!solve} never raises it. *)
 
 type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
@@ -30,21 +31,48 @@ type stats = Game.stats = {
           bound, so they were never inserted *)
 }
 
+val solve :
+  ?budget:Solver.Budget.t ->
+  ?telemetry:Solver.Telemetry.sink ->
+  ?want_strategy:bool ->
+  ?prune:bool ->
+  ?eager_deletes:bool ->
+  Prbp_pebble.Rbp.config ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.R.t Solver.outcome
+(** [solve cfg g] is the unified entry point: an anytime exact solve
+    under [budget] (default {!Solver.Budget.default}).
+
+    - {!Solver.Optimal} carries the optimal I/O cost, search stats and
+      (with [want_strategy], default off) one optimal move sequence
+      replayable through {!Prbp_pebble.Rbp.run}.
+    - {!Solver.Bounded} is returned when the budget stops the search
+      first: a certified [lower <= OPT <= upper] interval, with the
+      heuristic incumbent strategy attached when one exists.
+    - {!Solver.Unsolvable} means no valid pebbling exists
+      (e.g. [r < Δin + 1]).
+
+    [prune] (default on) enables branch-and-bound seeded from the
+    {!Heuristic} pebbler; any state whose distance plus an admissible
+    residual bound (unsaved sinks + unloaded, still-needed sources)
+    exceeds the seed is discarded.  This never changes the optimum.
+    [eager_deletes] disables the capacity-normalization pruning
+    (deletes of recoverable values are then branched on at every
+    state) — the optimum is unchanged, only the explored-state count
+    differs; exposed for the pruning ablation in the benchmark
+    harness.  [telemetry] streams start/progress/prune/stop events. *)
+
 val opt :
   ?max_states:int ->
   ?prune:bool ->
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   int
+[@@deprecated "use solve"]
 (** [opt cfg g] is the optimal I/O cost of a complete pebbling, or
-    raises [Failure] if no valid pebbling exists (e.g. [r < Δin + 1]).
-    [max_states] defaults to [5_000_000].
-
-    [prune] (default on) enables branch-and-bound: an upper bound is
-    seeded from the {!Heuristic} pebbler and any state whose distance
-    plus an admissible residual bound (unsaved sinks + unloaded,
-    still-needed sources) exceeds it is discarded.  This never changes
-    the optimum; it only shrinks the explored space. *)
+    raises [Failure] if no valid pebbling exists.  [max_states]
+    defaults to [5_000_000]; raises {!Too_large} where {!solve} would
+    return [Bounded]. *)
 
 val opt_opt :
   ?max_states:int ->
@@ -52,6 +80,7 @@ val opt_opt :
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   int option
+[@@deprecated "use solve"]
 (** [None] when no valid pebbling exists. *)
 
 val opt_with_strategy :
@@ -60,8 +89,8 @@ val opt_with_strategy :
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   (int * Prbp_pebble.Move.R.t list) option
-(** Also reconstruct one optimal strategy (replayable through
-    {!Prbp_pebble.Rbp.run}); costs more memory. *)
+[@@deprecated "use solve ~want_strategy:true"]
+(** Also reconstruct one optimal strategy; costs more memory. *)
 
 val opt_stats :
   ?max_states:int ->
@@ -70,8 +99,5 @@ val opt_stats :
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   stats option
-(** Optimal cost plus search-size counters.  [eager_deletes] disables
-    the capacity-normalization pruning (deletes of recoverable values
-    are then branched on at every state) — the optimum is unchanged,
-    only the explored-state count differs; exposed for the pruning
-    ablation in the benchmark harness. *)
+[@@deprecated "use solve"]
+(** Optimal cost plus search-size counters. *)

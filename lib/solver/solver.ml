@@ -1,0 +1,211 @@
+(* Resource governance and observability for the exact solvers: the
+   budget record every engine-backed solve honours, the telemetry sink
+   the search loop reports into, and the anytime outcome type that
+   replaces the all-or-nothing optimum-or-[Too_large] contract. *)
+
+module Budget = struct
+  type t = {
+    max_states : int;
+    max_millis : int option;
+    max_words : int option;
+    cancelled : (unit -> bool) option;
+    check_every : int;
+  }
+
+  let default =
+    {
+      max_states = 5_000_000;
+      max_millis = None;
+      max_words = None;
+      cancelled = None;
+      check_every = 2048;
+    }
+
+  let v ?(max_states = default.max_states) ?max_millis ?max_words ?cancelled
+      ?(check_every = default.check_every) () =
+    if max_states < 1 then invalid_arg "Solver.Budget.v: max_states >= 1";
+    if check_every < 1 then invalid_arg "Solver.Budget.v: check_every >= 1";
+    { max_states; max_millis; max_words; cancelled; check_every }
+
+  let states n = v ~max_states:n ()
+
+  let millis ms = v ~max_millis:ms ()
+
+  let words w = v ~max_words:w ()
+
+  let unlimited = { default with max_states = max_int }
+end
+
+type reason = Max_states | Deadline | Max_words | Cancelled
+
+let reason_label = function
+  | Max_states -> "max-states"
+  | Deadline -> "deadline"
+  | Max_words -> "max-words"
+  | Cancelled -> "cancelled"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_label r)
+
+type stats = {
+  explored : int;
+  pruned : int;
+  expansions : int;
+  frontier : int;
+  elapsed_s : float;
+  mem_words : int;
+}
+
+let empty_stats =
+  {
+    explored = 0;
+    pruned = 0;
+    expansions = 0;
+    frontier = 0;
+    elapsed_s = 0.;
+    mem_words = 0;
+  }
+
+module Telemetry = struct
+  type progress = {
+    expansions : int;
+    explored : int;
+    pruned : int;
+    frontier : int;
+    depth : int;
+    table_load : float;
+    elapsed_s : float;
+  }
+
+  type event =
+    | Start of { width : int; max_states : int }
+    | Progress of progress
+    | Prune of { pruned : int }
+    | Stop of { outcome : string; progress : progress }
+
+  type sink = { every : int; emit : event -> unit }
+
+  let default_every = 65_536
+
+  let make ?(every = default_every) emit =
+    if every < 1 then invalid_arg "Solver.Telemetry.make: every >= 1";
+    { every; emit }
+
+  let progress_fields b (p : progress) =
+    Printf.bprintf b
+      "\"expansions\":%d,\"explored\":%d,\"pruned\":%d,\"frontier\":%d,\
+       \"depth\":%d,\"table_load\":%.3f,\"elapsed_s\":%.6f"
+      p.expansions p.explored p.pruned p.frontier p.depth p.table_load
+      p.elapsed_s
+
+  let to_json ev =
+    let b = Buffer.create 128 in
+    (match ev with
+    | Start { width; max_states } ->
+        Printf.bprintf b "{\"ev\":\"start\",\"width\":%d,\"max_states\":%d}"
+          width max_states
+    | Progress p ->
+        Buffer.add_string b "{\"ev\":\"progress\",";
+        progress_fields b p;
+        Buffer.add_char b '}'
+    | Prune { pruned } ->
+        Printf.bprintf b "{\"ev\":\"prune\",\"pruned\":%d}" pruned
+    | Stop { outcome; progress } ->
+        Printf.bprintf b "{\"ev\":\"stop\",\"outcome\":%S," outcome;
+        progress_fields b progress;
+        Buffer.add_char b '}');
+    Buffer.contents b
+
+  let jsonl ?every oc =
+    make ?every (fun ev ->
+        output_string oc (to_json ev);
+        output_char oc '\n';
+        (* stop events close a solve; make sure they reach the reader
+           even when the process is about to exit non-zero *)
+        match ev with Stop _ -> flush oc | _ -> ())
+
+  type summary = {
+    mutable events : int;
+    mutable progress_events : int;
+    mutable prune_events : int;
+    mutable solves : int;
+    mutable last : progress option;
+    mutable peak_explored : int;
+  }
+
+  let summarize ?every () =
+    let s =
+      {
+        events = 0;
+        progress_events = 0;
+        prune_events = 0;
+        solves = 0;
+        last = None;
+        peak_explored = 0;
+      }
+    in
+    let emit ev =
+      s.events <- s.events + 1;
+      match ev with
+      | Start _ -> s.solves <- s.solves + 1
+      | Progress p ->
+          s.progress_events <- s.progress_events + 1;
+          s.last <- Some p;
+          if p.explored > s.peak_explored then s.peak_explored <- p.explored
+      | Prune _ -> s.prune_events <- s.prune_events + 1
+      | Stop { progress = p; _ } ->
+          s.last <- Some p;
+          if p.explored > s.peak_explored then s.peak_explored <- p.explored
+    in
+    (s, make ?every emit)
+end
+
+type 'move optimal = {
+  cost : int;
+  strategy : 'move list option;
+  stats : stats;
+}
+
+type 'move bounded = {
+  lower : int;
+  upper : int option;
+  incumbent_strategy : 'move list option;
+  stats : stats;
+  stopped : reason;
+}
+
+type 'move outcome =
+  | Optimal of 'move optimal
+  | Bounded of 'move bounded
+  | Unsolvable of stats
+
+let outcome_label = function
+  | Optimal _ -> "optimal"
+  | Bounded _ -> "bounded"
+  | Unsolvable _ -> "unsolvable"
+
+let stats_of = function
+  | Optimal { stats; _ } -> stats
+  | Bounded { stats; _ } -> stats
+  | Unsolvable stats -> stats
+
+let optimal_cost = function Optimal { cost; _ } -> Some cost | _ -> None
+
+(* The certified interval [lower, upper] on OPT; for [Unsolvable] the
+   optimum does not exist and the interval is empty-by-convention
+   (max_int, None). *)
+let interval = function
+  | Optimal { cost; _ } -> (cost, Some cost)
+  | Bounded { lower; upper; _ } -> (lower, upper)
+  | Unsolvable _ -> (max_int, None)
+
+let pp ppf = function
+  | Optimal { cost; stats; _ } ->
+      Format.fprintf ppf "optimal %d (%d states, %.2fs)" cost stats.explored
+        stats.elapsed_s
+  | Bounded { lower; upper; stats; stopped; _ } ->
+      Format.fprintf ppf "bounded [%d, %s] (%s; %d states, %.2fs)" lower
+        (match upper with Some u -> string_of_int u | None -> "?")
+        (reason_label stopped) stats.explored stats.elapsed_s
+  | Unsolvable stats ->
+      Format.fprintf ppf "unsolvable (%d states, %.2fs)" stats.explored
+        stats.elapsed_s

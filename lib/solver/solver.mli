@@ -1,0 +1,182 @@
+(** Resource governance and observability for the exact solvers.
+
+    Every engine-backed solve in the library goes through one request
+    shape — [solve ?budget ?telemetry ?want_strategy … config dag] —
+    and returns one {!outcome} shape.  A solve is {e anytime}: it
+    either proves the optimum, or is stopped by its {!Budget} and
+    still returns a certified interval [lower ≤ OPT ≤ upper] (the
+    lower bound from the settled 0-1 BFS frontier plus the game's
+    admissible residual, the upper bound from the branch-and-bound
+    incumbent), or proves that no complete pebbling exists at all.
+    Nothing raises {!Game.Too_large} anymore except the deprecated
+    compatibility wrappers.
+
+    The {!Telemetry} sink makes long searches observable: progress
+    callbacks every K expansions with explored/pruned counts, frontier
+    size, settled depth, state-table load and elapsed wall time, plus
+    start/stop/prune events and a ready-made JSON-lines emitter for
+    harnesses ([pebble_cli --trace]).  The default (no sink) keeps the
+    hot loop allocation-free — governance costs one integer compare
+    per expansion. *)
+
+(** Resource budget for one solve. *)
+module Budget : sig
+  type t = {
+    max_states : int;  (** distinct states inserted into the search *)
+    max_millis : int option;  (** wall-clock deadline, milliseconds *)
+    max_words : int option;
+        (** cap on the search's estimated live heap words (state
+            table + deque + strategy bookkeeping) *)
+    cancelled : (unit -> bool) option;
+        (** cooperative cancellation, polled every [check_every]
+            expansions; return [true] to stop the solve *)
+    check_every : int;
+        (** expansions between deadline/memory/cancellation polls *)
+  }
+
+  val default : t
+  (** [{ max_states = 5_000_000; no deadline; no word cap; no
+      cancellation; check_every = 2048 }] — the historical solver
+      default. *)
+
+  val v :
+    ?max_states:int ->
+    ?max_millis:int ->
+    ?max_words:int ->
+    ?cancelled:(unit -> bool) ->
+    ?check_every:int ->
+    unit ->
+    t
+
+  val states : int -> t
+  (** [default] with the given state cap (the old [~max_states:n]). *)
+
+  val millis : int -> t
+  (** [default] with a wall-clock deadline. *)
+
+  val words : int -> t
+  (** [default] with a memory cap. *)
+
+  val unlimited : t
+  (** No state cap either; the search runs until memory does. *)
+end
+
+type reason = Max_states | Deadline | Max_words | Cancelled
+(** Why a budgeted solve stopped early. *)
+
+val reason_label : reason -> string
+
+val pp_reason : Format.formatter -> reason -> unit
+
+type stats = {
+  explored : int;  (** distinct states inserted into the search *)
+  pruned : int;  (** states cut by branch-and-bound *)
+  expansions : int;  (** states popped and expanded *)
+  frontier : int;  (** queue entries left when the search ended *)
+  elapsed_s : float;  (** wall-clock seconds *)
+  mem_words : int;
+      (** estimated live heap words of the search structures; strategy
+          bookkeeping contributes 0 unless it was requested *)
+}
+
+val empty_stats : stats
+
+(** Progress sink for the search loop. *)
+module Telemetry : sig
+  type progress = {
+    expansions : int;
+    explored : int;
+    pruned : int;
+    frontier : int;  (** 0-1 deque length *)
+    depth : int;  (** settled 0-1 distance at the report *)
+    table_load : float;  (** state-table probe-array load factor *)
+    elapsed_s : float;
+  }
+
+  type event =
+    | Start of { width : int; max_states : int }
+    | Progress of progress  (** every [every] expansions *)
+    | Prune of { pruned : int }
+        (** the cumulative branch-and-bound prune count crossed a
+            power of two (logarithmic cadence keeps this out of the
+            hot loop) *)
+    | Stop of { outcome : string; progress : progress }
+        (** terminal; [outcome] is ["optimal"], ["unsolvable"] or a
+            {!reason_label} *)
+
+  type sink = { every : int; emit : event -> unit }
+
+  val default_every : int
+  (** 65536 expansions. *)
+
+  val make : ?every:int -> (event -> unit) -> sink
+
+  val to_json : event -> string
+  (** One JSON object, no trailing newline. *)
+
+  val jsonl : ?every:int -> out_channel -> sink
+  (** JSON-lines emitter: one [to_json] line per event ([Stop] events
+      flush the channel). *)
+
+  (** Mutable aggregate over the events of one or more solves, for
+      harnesses that report telemetry without storing it. *)
+  type summary = {
+    mutable events : int;
+    mutable progress_events : int;
+    mutable prune_events : int;
+    mutable solves : int;  (** [Start] events seen *)
+    mutable last : progress option;
+    mutable peak_explored : int;
+  }
+
+  val summarize : ?every:int -> unit -> summary * sink
+end
+
+type 'move optimal = {
+  cost : int;  (** the proven optimal I/O cost *)
+  strategy : 'move list option;
+      (** one optimal move sequence, when requested *)
+  stats : stats;
+}
+
+type 'move bounded = {
+  lower : int;
+      (** certified lower bound on OPT: the minimum over the surviving
+          0-1 BFS frontier of (settled distance + admissible residual)
+          — sound because any optimal path must leave the settled
+          region through a frontier state, and branch-and-bound only
+          discards states that no optimal path visits *)
+  upper : int option;
+      (** the branch-and-bound incumbent (a valid strategy's cost);
+          [None] when no heuristic strategy exists for the variant *)
+  incumbent_strategy : 'move list option;
+      (** the strategy achieving [upper], when requested and known *)
+  stats : stats;
+  stopped : reason;
+}
+
+type 'move outcome =
+  | Optimal of 'move optimal  (** the search settled a goal state *)
+  | Bounded of 'move bounded
+      (** the budget stopped the search first; [lower ≤ OPT ≤ upper]
+          is still certified *)
+  | Unsolvable of stats
+      (** the search exhausted the reachable space: no complete
+          pebbling exists (e.g. [r] below the feasibility
+          threshold) *)
+
+val outcome_label : _ outcome -> string
+(** ["optimal"] | ["bounded"] | ["unsolvable"]. *)
+
+val stats_of : _ outcome -> stats
+
+val optimal_cost : _ outcome -> int option
+(** [Some cost] only for {!Optimal}. *)
+
+val interval : _ outcome -> int * int option
+(** The certified interval on OPT: [(c, Some c)] for {!Optimal},
+    [(lower, upper)] for {!Bounded}, [(max_int, None)] for
+    {!Unsolvable} (no optimum exists). *)
+
+val pp : Format.formatter -> _ outcome -> unit
+(** One-line human summary. *)

@@ -325,6 +325,12 @@ module Flat = struct
 
   let set_value t j x = Array.unsafe_set t.v j x
 
+  let words t =
+    Array.length t.slots + Array.length t.keys + Array.length t.v
+
+  let load t =
+    float_of_int t.n /. float_of_int (Array.length t.slots)
+
   let reset t =
     t.slots <- Array.make initial_slots 0;
     t.keys <- Array.make (t.width * initial_cap) 0;

@@ -72,6 +72,14 @@ module Flat : sig
 
   val set_value : t -> int -> int -> unit
 
+  val words : t -> int
+  (** Heap words currently held by the table's arrays (headers aside)
+      — the dominant term of a search's memory footprint, used for
+      budget enforcement. *)
+
+  val load : t -> float
+  (** Probe-array load factor (kept below 3/4 by growth). *)
+
   val reset : t -> unit
 end
 

@@ -12,47 +12,44 @@ let least_r ~lo ~hi pred =
   in
   go lo
 
-(* Generic trivial-cost threshold probe: any engine instance is a
-   suitable [opt] (all four games share the one {!Game.Too_large}, so
-   a blown search budget is caught uniformly and treated as "not yet
-   trivial at this r"). *)
-let trivial_r ?max_r ~lo ~opt g =
+(* Generic trivial-cost threshold probe over any game's anytime solve.
+   A [Bounded] outcome (budget ran out) and an [Unsolvable] one both
+   count as "not yet trivial at this r" — except that a certified
+   [lower > trivial] would also be conclusive, it just cannot happen:
+   lower >= trivial holds at every r, so a Bounded probe is always
+   inconclusive and we move on. *)
+let trivial_r ?max_r ~lo ~solve g =
   let trivial = Dag.trivial_cost g in
   let max_r = Option.value max_r ~default:(max 1 (Dag.n_nodes g)) in
   least_r ~lo ~hi:max_r (fun r ->
-      match opt ~r with
-      | Some c -> c = trivial
-      | None -> false
-      | exception Game.Too_large _ -> false)
+      match solve ~r with
+      | Solver.Optimal o -> o.Solver.cost = trivial
+      | Solver.Bounded _ | Solver.Unsolvable _ -> false)
 
 let rbp_feasible_r g = max 1 (Dag.max_in_degree g + 1)
 
 let prbp_feasible_r g = if Dag.n_edges g = 0 then 1 else 2
 
-let rbp_trivial_r ?max_states ?max_r g =
+let rbp_trivial_r ?budget ?max_r g =
   trivial_r ?max_r ~lo:(rbp_feasible_r g)
-    ~opt:(fun ~r ->
-      Exact_rbp.opt_opt ?max_states (Prbp_pebble.Rbp.config ~r ()) g)
+    ~solve:(fun ~r ->
+      Exact_rbp.solve ?budget (Prbp_pebble.Rbp.config ~r ()) g)
     g
 
-let prbp_trivial_r ?max_states ?max_r g =
+let prbp_trivial_r ?budget ?max_r g =
   trivial_r ?max_r ~lo:(prbp_feasible_r g)
-    ~opt:(fun ~r ->
-      Exact_prbp.opt_opt ?max_states (Prbp_pebble.Prbp.config ~r ()) g)
+    ~solve:(fun ~r ->
+      Exact_prbp.solve ?budget (Prbp_pebble.Prbp.config ~r ()) g)
     g
 
-let multi_rbp_trivial_r ?max_states ?max_r ~p g =
+let multi_rbp_trivial_r ?budget ?max_r ~p g =
   trivial_r ?max_r ~lo:(rbp_feasible_r g)
-    ~opt:(fun ~r ->
-      Exact_multi.rbp_opt_opt ?max_states
-        (Prbp_pebble.Multi.config ~p ~r ())
-        g)
+    ~solve:(fun ~r ->
+      Exact_multi.rbp_solve ?budget (Prbp_pebble.Multi.config ~p ~r ()) g)
     g
 
-let multi_prbp_trivial_r ?max_states ?max_r ~p g =
+let multi_prbp_trivial_r ?budget ?max_r ~p g =
   trivial_r ?max_r ~lo:(prbp_feasible_r g)
-    ~opt:(fun ~r ->
-      Exact_multi.prbp_opt_opt ?max_states
-        (Prbp_pebble.Multi.config ~p ~r ())
-        g)
+    ~solve:(fun ~r ->
+      Exact_multi.prbp_solve ?budget (Prbp_pebble.Multi.config ~p ~r ()) g)
     g

@@ -16,11 +16,14 @@
     experiment E26 tabulates it next to the black pebbling number.
 
     The probe is generic over the engine: {!trivial_r} accepts any
-    optimal-cost oracle (all four game instances raise the one
-    {!Game.Too_large}, which it treats as "not trivial at this [r]"),
-    and the per-game entry points below are thin instantiations —
-    including the multiprocessor games, where [r*] is a {e per-
-    processor} capacity threshold. *)
+    per-capacity anytime oracle returning a {!Solver.outcome} (a
+    [Bounded] probe — budget exhausted — is treated as "not trivial at
+    this [r]", never as a conclusive answer), and the per-game entry
+    points below are thin instantiations — including the
+    multiprocessor games, where [r*] is a {e per-processor} capacity
+    threshold.  Each takes the same {!Solver.Budget.t} that every
+    solver entry point takes; the budget applies per probe, not to the
+    whole scan. *)
 
 val least_r : lo:int -> hi:int -> (int -> bool) -> int option
 (** [least_r ~lo ~hi pred] is the least [r] in [[lo, hi]] satisfying
@@ -31,31 +34,39 @@ val least_r : lo:int -> hi:int -> (int -> bool) -> int option
 val trivial_r :
   ?max_r:int ->
   lo:int ->
-  opt:(r:int -> int option) ->
+  solve:(r:int -> 'm Solver.outcome) ->
   Prbp_dag.Dag.t ->
   int option
-(** [trivial_r ~lo ~opt g] is the least [r ≤ max_r] (default
-    [n_nodes]) at which [opt ~r] equals [g]'s trivial cost.  [opt] is
-    any per-capacity optimal-cost oracle; [None] results and
-    {!Game.Too_large} both count as "not trivial here". *)
+(** [trivial_r ~lo ~solve g] is the least [r ≤ max_r] (default
+    [n_nodes]) at which [solve ~r] returns {!Solver.Optimal} with
+    [g]'s trivial cost.  [Bounded] and [Unsolvable] outcomes count as
+    "not trivial here". *)
 
 val rbp_trivial_r :
-  ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
+  ?budget:Solver.Budget.t -> ?max_r:int -> Prbp_dag.Dag.t -> int option
 (** Least [r ≤ max_r] (default [n_nodes]) with
     [OPT_RBP(r) = trivial_cost]; [None] if even [max_r] does not
-    suffice. *)
+    suffice (or every probe blew its [budget]). *)
 
 val prbp_trivial_r :
-  ?max_states:int -> ?max_r:int -> Prbp_dag.Dag.t -> int option
+  ?budget:Solver.Budget.t -> ?max_r:int -> Prbp_dag.Dag.t -> int option
 
 val multi_rbp_trivial_r :
-  ?max_states:int -> ?max_r:int -> p:int -> Prbp_dag.Dag.t -> int option
+  ?budget:Solver.Budget.t ->
+  ?max_r:int ->
+  p:int ->
+  Prbp_dag.Dag.t ->
+  int option
 (** Least per-processor capacity [r] at which the [p]-processor RBP-MC
     optimum reaches the trivial cost.  At most {!rbp_trivial_r} (extra
     processors never hurt). *)
 
 val multi_prbp_trivial_r :
-  ?max_states:int -> ?max_r:int -> p:int -> Prbp_dag.Dag.t -> int option
+  ?budget:Solver.Budget.t ->
+  ?max_r:int ->
+  p:int ->
+  Prbp_dag.Dag.t ->
+  int option
 
 val rbp_feasible_r : Prbp_dag.Dag.t -> int
 (** [Δin + 1] (with a minimum of 1). *)

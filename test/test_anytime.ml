@@ -1,0 +1,133 @@
+(* Anytime-solver contract: budgets stop the search with a certified
+   interval instead of an exception, telemetry never perturbs the
+   search, and strategy reconstruction is strictly opt-in. *)
+
+open Test_util
+module Dag = Prbp.Dag
+
+let rcfg r = Prbp.Rbp.config ~r ()
+
+let pcfg r = Prbp.Prbp_game.config ~r ()
+
+(* Bounded outcomes bracket the true optimum: solve the same instance
+   once under a starvation budget and once unbudgeted, and check
+   lower <= OPT <= upper whenever the starved solve was truncated. *)
+let qcheck_bounded_brackets_opt =
+  qcase ~count:30 "Bounded brackets the unbudgeted optimum"
+    QCheck.(
+      triple (int_bound 10_000) (int_range 2 4) (int_range 2 3))
+    (fun (seed, layers, width) ->
+      let g =
+        Prbp.Graphs.Random_dag.make ~seed ~max_in_degree:3 ~layers ~width ()
+      in
+      let r = max 2 (min 4 (Dag.max_in_degree g + 1)) in
+      let starved = S.Budget.states 30 in
+      let brackets truncated full =
+        match truncated with
+        | S.Optimal _ | S.Unsolvable _ ->
+            true (* instance fits even a 30-state budget *)
+        | S.Bounded b -> (
+            match Lazy.force full with
+            | S.Optimal o ->
+                b.S.lower <= o.S.cost
+                && (match b.S.upper with
+                   | Some u -> o.S.cost <= u
+                   | None -> true)
+                && b.S.lower >= 1
+            | S.Unsolvable _ ->
+                (* no pebbling exists: only the upper bound (which would
+                   claim one does) must be absent *)
+                b.S.upper = None
+            | S.Bounded _ -> true (* unbudgeted side truncated: skip *))
+      in
+      brackets
+        (Prbp.Exact_rbp.solve ~budget:starved (rcfg r) g)
+        (lazy (Prbp.Exact_rbp.solve (rcfg r) g))
+      && (Dag.n_edges g > 40
+         || brackets
+              (Prbp.Exact_prbp.solve ~budget:starved (pcfg r) g)
+              (lazy (Prbp.Exact_prbp.solve (pcfg r) g))))
+
+(* Telemetry is observational: the same solve with a sink attached
+   returns a bit-identical outcome (cost, stats, everything). *)
+let test_telemetry_is_observational () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let events = ref 0 in
+  let sink =
+    S.Telemetry.make ~every:1 (fun _ -> incr events)
+  in
+  let quiet = Prbp.Exact_prbp.solve (pcfg 4) g in
+  let traced = Prbp.Exact_prbp.solve ~telemetry:sink (pcfg 4) g in
+  check_true "telemetry emitted" (!events > 0);
+  match (quiet, traced) with
+  | S.Optimal a, S.Optimal b ->
+      check_int "same cost" a.S.cost b.S.cost;
+      check_int "same explored" a.S.stats.S.explored b.S.stats.S.explored;
+      check_int "same expansions" a.S.stats.S.expansions
+        b.S.stats.S.expansions;
+      check_int "same pruned" a.S.stats.S.pruned b.S.stats.S.pruned
+  | _ -> Alcotest.fail "fig1 at r=4 must be Optimal both ways"
+
+(* A wall-clock deadline produces a Bounded outcome, not an exception,
+   on an instance far too large to finish in 1 ms. *)
+let test_deadline_yields_bounded () =
+  let g =
+    Prbp.Graphs.Random_dag.make ~seed:5 ~max_in_degree:2 ~layers:7 ~width:2 ()
+  in
+  let budget = S.Budget.v ~max_millis:1 ~check_every:256 () in
+  match Prbp.Exact_prbp.solve ~budget (pcfg 3) g with
+  | S.Bounded b ->
+      check_true "stopped on deadline or states"
+        (b.S.stopped = S.Deadline || b.S.stopped = S.Max_states);
+      check_true "lower >= 1" (b.S.lower >= 1);
+      check_true "lower <= upper"
+        (match b.S.upper with Some u -> b.S.lower <= u | None -> true)
+  | S.Optimal _ | S.Unsolvable _ ->
+      Alcotest.fail "expected a truncated (Bounded) solve under 1 ms"
+
+(* Strategy reconstruction is opt-in: without [want_strategy] the
+   outcome carries no moves and the memory estimate shrinks (no parent
+   arrays are allocated). *)
+let test_strategy_opt_in () =
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  match
+    ( Prbp.Exact_rbp.solve (rcfg 4) g,
+      Prbp.Exact_rbp.solve ~want_strategy:true (rcfg 4) g )
+  with
+  | S.Optimal plain, S.Optimal with_strat ->
+      check_true "no strategy by default" (plain.S.strategy = None);
+      check_true "strategy when requested" (with_strat.S.strategy <> None);
+      check_true "parent arrays cost heap words"
+        (plain.S.stats.S.mem_words < with_strat.S.stats.S.mem_words)
+  | _ -> Alcotest.fail "fig1 at r=4 must be Optimal"
+
+(* A memory budget below the table's own footprint stops immediately
+   with a Bounded outcome flagged Max_words. *)
+let test_max_words_budget () =
+  let g = Prbp.Graphs.Basic.pyramid 4 in
+  let budget = S.Budget.v ~max_words:64 ~check_every:1 () in
+  match Prbp.Exact_rbp.solve ~budget (rcfg 5) g with
+  | S.Bounded b -> check_true "stopped on words" (b.S.stopped = S.Max_words)
+  | S.Optimal _ | S.Unsolvable _ -> Alcotest.fail "expected Bounded"
+
+(* Cooperative cancellation: a pre-set flag stops the solve on the
+   first gate, and the outcome says so. *)
+let test_cancellation () =
+  let g = Prbp.Graphs.Basic.pyramid 4 in
+  let budget = S.Budget.v ~cancelled:(fun () -> true) ~check_every:1 () in
+  match Prbp.Exact_rbp.solve ~budget (rcfg 5) g with
+  | S.Bounded b -> check_true "stopped on cancel" (b.S.stopped = S.Cancelled)
+  | S.Optimal _ | S.Unsolvable _ -> Alcotest.fail "expected Bounded"
+
+let suite =
+  [
+    ( "anytime",
+      [
+        qcheck_bounded_brackets_opt;
+        case "telemetry is observational" test_telemetry_is_observational;
+        case "1 ms deadline yields Bounded" test_deadline_yields_bounded;
+        case "strategy reconstruction is opt-in" test_strategy_opt_in;
+        case "memory budget yields Bounded" test_max_words_budget;
+        case "cancellation yields Bounded" test_cancellation;
+      ] );
+  ]

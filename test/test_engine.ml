@@ -105,16 +105,16 @@ let test_golden_rbp_prbp () =
       let g = dag () in
       (match rbp with
       | Some c ->
-          check_int (name ^ " RBP") c (Prbp.Exact_rbp.opt (rcfg r) g)
+          check_int (name ^ " RBP") c (Test_util.opt_rbp (rcfg r) g)
       | None ->
           check_true (name ^ " RBP infeasible")
-            (Prbp.Exact_rbp.opt_opt (rcfg r) g = None));
+            (Test_util.opt_rbp_opt (rcfg r) g = None));
       match prbp with
       | Some c ->
-          check_int (name ^ " PRBP") c (Prbp.Exact_prbp.opt (pcfg r) g)
+          check_int (name ^ " PRBP") c (Test_util.opt_prbp (pcfg r) g)
       | None ->
           check_true (name ^ " PRBP infeasible")
-            (Prbp.Exact_prbp.opt_opt (pcfg r) g = None))
+            (Test_util.opt_prbp_opt (pcfg r) g = None))
     golden_cases
 
 let test_golden_black () =
@@ -132,9 +132,9 @@ let test_no_prune_agrees () =
     (fun (name, dag, r, rbp, prbp) ->
       let g = dag () in
       check_true (name ^ " RBP no-prune")
-        (Prbp.Exact_rbp.opt_opt ~prune:false (rcfg r) g = rbp);
+        (Test_util.opt_rbp_opt ~prune:false (rcfg r) g = rbp);
       check_true (name ^ " PRBP no-prune")
-        (Prbp.Exact_prbp.opt_opt ~prune:false (pcfg r) g = prbp))
+        (Test_util.opt_prbp_opt ~prune:false (pcfg r) g = prbp))
     [ List.nth golden_cases 0; List.nth golden_cases 8 ]
 
 let test_multi_p1_goldens () =
@@ -144,10 +144,10 @@ let test_multi_p1_goldens () =
       let g = dag () in
       check_true
         (name ^ " RBP-MC p=1")
-        (Prbp.Exact_multi.rbp_opt_opt (mcfg ~p:1 ~r) g = rbp);
+        (Test_util.mrbp_opt_opt (mcfg ~p:1 ~r) g = rbp);
       check_true
         (name ^ " PRBP-MC p=1")
-        (Prbp.Exact_multi.prbp_opt_opt (mcfg ~p:1 ~r) g = prbp))
+        (Test_util.mprbp_opt_opt (mcfg ~p:1 ~r) g = prbp))
     golden_cases
 
 let test_multi_p2_sandwich () =
@@ -156,22 +156,22 @@ let test_multi_p2_sandwich () =
      both halves without any cross-processor traffic) *)
   let g, _ = Prbp.Graphs.Fig1.full () in
   let r = 3 in
-  let p1 = Prbp.Exact_multi.prbp_opt (mcfg ~p:1 ~r) g in
-  let p2 = Prbp.Exact_multi.prbp_opt (mcfg ~p:2 ~r) g in
-  let fat = Prbp.Exact_prbp.opt (pcfg (2 * r)) g in
+  let p1 = Test_util.mprbp_opt (mcfg ~p:1 ~r) g in
+  let p2 = Test_util.mprbp_opt (mcfg ~p:2 ~r) g in
+  let fat = Test_util.opt_prbp (pcfg (2 * r)) g in
   check_true "p=2 <= p=1" (p2 <= p1);
   check_true "OPT(2r) <= p=2" (fat <= p2)
 
 let test_multi_strategy_replays () =
   let g, _ = Prbp.Graphs.Fig1.full () in
   let cfg = mcfg ~p:2 ~r:3 in
-  (match Prbp.Exact_multi.rbp_opt_with_strategy cfg g with
+  (match Test_util.mrbp_strategy cfg g with
   | Some (c, moves) -> (
       match Prbp.Multi.R.check cfg g moves with
       | Ok c' -> check_int "rbp-mc strategy cost" c c'
       | Error e -> Alcotest.failf "rbp-mc strategy invalid: %s" e)
   | None -> Alcotest.fail "rbp-mc: no strategy found");
-  match Prbp.Exact_multi.prbp_opt_with_strategy cfg g with
+  match Test_util.mprbp_strategy cfg g with
   | Some (c, moves) -> (
       match Prbp.Multi.P.check cfg g moves with
       | Ok c' -> check_int "prbp-mc strategy cost" c c'
@@ -183,7 +183,7 @@ let test_multi_rejects_bad_cfg () =
   check_true "one-shot only"
     (try
        ignore
-         (Prbp.Exact_multi.rbp_opt_opt
+         (Test_util.mrbp_opt_opt
             { (mcfg ~p:2 ~r:3) with Prbp.Multi.one_shot = false }
             g);
        false
@@ -205,32 +205,34 @@ let test_thresholds_generic () =
     (Prbp.Thresholds.multi_prbp_trivial_r ~p:1 g
     = Prbp.Thresholds.prbp_trivial_r g)
 
-let test_too_large_unified () =
-  (* every instance raises the same engine-wide exception, catchable
-     under any of its aliases *)
+let test_bounded_unified () =
+  (* every game instance reports a blown state budget the same way: a
+     Bounded outcome with a sound, non-trivial certified interval *)
   let g = Prbp.Graphs.Basic.pyramid 4 in
-  let caught f =
-    try
-      ignore (f ());
-      false
-    with
-    | Prbp.Game.Too_large _ -> true
-    | _ -> false
+  let budget = S.Budget.states 5 in
+  let bounded ?(min_lower = 1) what outcome =
+    match outcome with
+    | S.Bounded b ->
+        check_true (what ^ " stopped on max-states")
+          (b.S.stopped = S.Max_states);
+        check_true (what ^ " lower sound") (b.S.lower >= min_lower);
+        check_true (what ^ " lower <= upper")
+          (match b.S.upper with Some u -> b.S.lower <= u | None -> true)
+    | S.Optimal _ | S.Unsolvable _ ->
+        Alcotest.failf "%s: expected Bounded under a 5-state budget" what
   in
-  check_true "rbp raises Game.Too_large"
-    (caught (fun () -> Prbp.Exact_rbp.opt ~max_states:5 (rcfg 5) g));
-  check_true "prbp raises Game.Too_large"
-    (caught (fun () -> Prbp.Exact_prbp.opt ~max_states:5 (pcfg 5) g));
-  check_true "multi raises Game.Too_large"
-    (caught (fun () ->
-         Prbp.Exact_multi.rbp_opt ~max_states:5 (mcfg ~p:2 ~r:5) g));
-  check_true "black raises Game.Too_large"
-    (caught (fun () -> Prbp.Black.number ~max_states:5 g));
-  check_true "aliases are the same exception"
+  bounded "rbp" (Prbp.Exact_rbp.solve ~budget (rcfg 5) g);
+  bounded "prbp" (Prbp.Exact_prbp.solve ~budget (pcfg 5) g);
+  bounded "multi" (Prbp.Exact_multi.rbp_solve ~budget (mcfg ~p:2 ~r:5) g);
+  (* every black move is free, so its certified interval sits at 0 *)
+  bounded ~min_lower:0 "black" (Prbp.Black.solve ~budget ~s:8 g);
+  (* the deprecated wrappers still translate Bounded into the historic
+     engine-wide exception, catchable under any alias *)
+  check_true "black number still raises Game.Too_large"
     (try
-       ignore (Prbp.Exact_rbp.opt ~max_states:5 (rcfg 5) g);
+       ignore (Prbp.Black.number ~max_states:5 g);
        false
-     with Prbp.Exact_prbp.Too_large _ -> true)
+     with Prbp.Game.Too_large _ -> true)
 
 (* Property: on random DAGs, the p = 1 multiprocessor optima equal the
    single-processor optima (including joint infeasibility). *)
@@ -244,13 +246,13 @@ let qcheck_multi_p1 =
       (* an unlucky draw can blow the state budget on either side of
          the comparison — that instance proves nothing, skip it *)
       match
-        ( Prbp.Exact_multi.rbp_opt_opt cfg g,
-          Prbp.Exact_rbp.opt_opt (rcfg r) g,
-          Prbp.Exact_multi.prbp_opt_opt cfg g,
-          Prbp.Exact_prbp.opt_opt (pcfg r) g )
+        ( tolerant (Prbp.Exact_multi.rbp_solve cfg g),
+          tolerant (Prbp.Exact_rbp.solve (rcfg r) g),
+          tolerant (Prbp.Exact_multi.prbp_solve cfg g),
+          tolerant (Prbp.Exact_prbp.solve (pcfg r) g) )
       with
-      | mr, sr, mp, sp -> mr = sr && mp = sp
-      | exception Prbp.Game.Too_large _ -> true)
+      | Some mr, Some sr, Some mp, Some sp -> mr = sr && mp = sp
+      | _ -> true)
 
 let suite =
   [
@@ -264,7 +266,7 @@ let suite =
         case "multi strategies replay" test_multi_strategy_replays;
         case "multi rejects non-one-shot configs" test_multi_rejects_bad_cfg;
         case "generic threshold probe" test_thresholds_generic;
-        case "unified Too_large" test_too_large_unified;
+        case "unified Bounded outcomes" test_bounded_unified;
         qcheck_multi_p1;
       ] );
   ]

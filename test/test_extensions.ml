@@ -74,9 +74,9 @@ let test_horner_rbp_needs_r4 () =
   (* Δin = 3 for n >= 2, so RBP cannot play at r = 3 while PRBP can *)
   let g = Prbp.Graphs.Basic.horner 4 in
   check_true "no RBP pebbling at r=3"
-    (Prbp.Exact_rbp.opt_opt (Prbp.Rbp.config ~r:3 ()) g = None);
+    (Test_util.opt_rbp_opt (Prbp.Rbp.config ~r:3 ()) g = None);
   check_int "PRBP plays at r=3" (Dag.trivial_cost g)
-    (Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:3 ()) g)
+    (Test_util.opt_prbp (Prbp.Prbp_game.config ~r:3 ()) g)
 
 let test_policies_all_valid () =
   List.iter
@@ -101,37 +101,37 @@ let test_belady_not_worse_on_zipper () =
   check_true "belady <= lru" (bel <= lru);
   check_true "belady <= fifo" (bel <= fifo)
 
+let explored_of (o : _ S.optimal) = o.S.stats.S.explored
+
 let test_opt_stats () =
   let g, _ = Prbp.Graphs.Fig1.full () in
-  (match Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g with
-  | Some { Prbp.Exact_rbp.cost = c; explored; _ } ->
-      check_int "cost" 3 c;
-      check_true "states positive" (explored > 0)
+  let solve ?eager_deletes () =
+    settled "Exact_rbp"
+      (Prbp.Exact_rbp.solve ?eager_deletes (Prbp.Rbp.config ~r:4 ()) g)
+  in
+  (match solve () with
+  | Some o ->
+      check_int "cost" 3 o.S.cost;
+      check_true "states positive" (explored_of o > 0)
   | None -> Alcotest.fail "solvable");
   (* disabling the pruning explores strictly more states, same cost *)
-  match
-    ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r:4 ()) g,
-      Prbp.Exact_rbp.opt_stats ~eager_deletes:true (Prbp.Rbp.config ~r:4 ()) g )
-  with
-  | ( Some { Prbp.Exact_rbp.cost = c1; explored = s1; _ },
-      Some { Prbp.Exact_rbp.cost = c2; explored = s2; _ } ) ->
-      check_int "same optimum" c1 c2;
-      check_true "pruning helps" (s1 <= s2)
+  match (solve (), solve ~eager_deletes:true ()) with
+  | Some o1, Some o2 ->
+      check_int "same optimum" o1.S.cost o2.S.cost;
+      check_true "pruning helps" (explored_of o1 <= explored_of o2)
   | _ -> Alcotest.fail "solvable"
 
 let test_opt_stats_prbp () =
   let g, _ = Prbp.Graphs.Fig1.full () in
-  match
-    ( Prbp.Exact_prbp.opt_stats (Prbp.Prbp_game.config ~r:4 ()) g,
-      Prbp.Exact_prbp.opt_stats ~eager_deletes:true
-        (Prbp.Prbp_game.config ~r:4 ())
-        g )
-  with
-  | ( Some { Prbp.Exact_prbp.cost = c1; explored = s1; _ },
-      Some { Prbp.Exact_prbp.cost = c2; explored = s2; _ } ) ->
-      check_int "same optimum" 2 c1;
-      check_int "ablation same optimum" c1 c2;
-      check_true "pruning reduces states" (s1 <= s2)
+  let solve ?eager_deletes () =
+    settled "Exact_prbp"
+      (Prbp.Exact_prbp.solve ?eager_deletes (Prbp.Prbp_game.config ~r:4 ()) g)
+  in
+  match (solve (), solve ~eager_deletes:true ()) with
+  | Some o1, Some o2 ->
+      check_int "same optimum" 2 o1.S.cost;
+      check_int "ablation same optimum" o1.S.cost o2.S.cost;
+      check_true "pruning reduces states" (explored_of o1 <= explored_of o2)
   | _ -> Alcotest.fail "solvable"
 
 let test_ablation_optimum_unchanged_on_pool () =
@@ -140,14 +140,10 @@ let test_ablation_optimum_unchanged_on_pool () =
       if Dag.n_nodes g <= 9 && Dag.n_edges g <= 16 then begin
         let r = Dag.max_in_degree g + 1 in
         match
-          ( Prbp.Exact_rbp.opt_stats (Prbp.Rbp.config ~r ()) g,
-            Prbp.Exact_rbp.opt_stats ~eager_deletes:true
-              (Prbp.Rbp.config ~r ())
-              g )
+          ( opt_rbp_opt (Prbp.Rbp.config ~r ()) g,
+            opt_rbp_opt ~eager_deletes:true (Prbp.Rbp.config ~r ()) g )
         with
-        | ( Some { Prbp.Exact_rbp.cost = c1; _ },
-            Some { Prbp.Exact_rbp.cost = c2; _ } ) ->
-            check_int "same" c1 c2
+        | Some c1, Some c2 -> check_int "same" c1 c2
         | None, None -> ()
         | _ -> Alcotest.fail "prune changed solvability"
       end)

@@ -37,7 +37,7 @@ let test_csv () =
 
 let test_experiment_run () =
   let e =
-    Experiment.make ~id:"T1" ~paper:"test" ~claim:"1 = 1" (fun ppf ->
+    Experiment.make ~id:"T1" ~paper:"test" ~claim:"1 = 1" (fun ppf (_ : Experiment.ctx) ->
         Format.fprintf ppf "checking@.";
         true)
   in
@@ -57,7 +57,7 @@ let test_experiment_run () =
 
 let test_experiment_run_all () =
   let mk id ok =
-    Experiment.make ~id ~paper:"p" ~claim:"c" (fun _ -> ok)
+    Experiment.make ~id ~paper:"p" ~claim:"c" (fun _ _ -> ok)
   in
   let buf = Buffer.create 64 in
   let ppf = Format.formatter_of_buffer buf in

@@ -79,13 +79,13 @@ let test_aux_preserves_rbp_optimum () =
   let plain = L.make ~aux:false ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
   let auxed = L.make ~aux:true ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
   let r = 4 in
-  let c_plain = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) plain.L.dag in
-  let c_aux = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) auxed.L.dag in
+  let c_plain = Test_util.opt_rbp (Prbp.Rbp.config ~r ()) plain.L.dag in
+  let c_aux = Test_util.opt_rbp (Prbp.Rbp.config ~r ()) auxed.L.dag in
   check_int "optimum preserved" c_plain c_aux
 
 let test_prbp_still_cheap () =
   let t = L.make ~aux:true ~sizes:[ [ 2; 2 ] ] ~cross:[] () in
-  let c = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r:4 ()) t.L.dag in
+  let c = Test_util.opt_prbp (Prbp.Prbp_game.config ~r:4 ()) t.L.dag in
   check_int "trivial-ish cost" (Dag.trivial_cost t.L.dag) c
 
 let test_original_level_lookup () =

@@ -82,7 +82,7 @@ let test_theorem_65_exact () =
   in
   List.iter
     (fun (name, g, r) ->
-      let opt = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+      let opt = Test_util.opt_prbp (Prbp.Prbp_game.config ~r ()) g in
       let edge = MP.prbp_lower_bound_edge g ~r in
       let dom = MP.prbp_lower_bound_dom g ~r in
       check_true (name ^ ": edge bound sound") (edge <= opt);
@@ -99,7 +99,7 @@ let test_hong_kung_exact () =
   in
   List.iter
     (fun (name, g, r) ->
-      let opt = Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r ()) g in
+      let opt = Test_util.opt_rbp (Prbp.Rbp.config ~r ()) g in
       check_true (name ^ ": HK bound sound") (MP.rbp_lower_bound g ~r <= opt))
     cases
 

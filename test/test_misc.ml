@@ -83,7 +83,7 @@ let test_chart_multi_series () =
 
 let test_experiment_failure_path () =
   let e =
-    Prbp.Experiment.make ~id:"X" ~paper:"p" ~claim:"false" (fun _ -> false)
+    Prbp.Experiment.make ~id:"X" ~paper:"p" ~claim:"false" (fun _ _ -> false)
   in
   let buf = Buffer.create 64 in
   let ppf = Format.formatter_of_buffer buf in

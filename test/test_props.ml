@@ -150,10 +150,10 @@ let prop_exact_sandwich =
         Prbp.Graphs.Random_dag.make ~seed ~layers:3 ~width:2 ~density:0.4 ()
       in
       let r = Dag.max_in_degree g + 1 in
-      match Prbp.Exact_rbp.opt_opt (Prbp.Rbp.config ~r ()) g with
+      match Test_util.opt_rbp_opt (Prbp.Rbp.config ~r ()) g with
       | None -> false
       | Some rb ->
-          let pb = Prbp.Exact_prbp.opt (Prbp.Prbp_game.config ~r ()) g in
+          let pb = Test_util.opt_prbp (Prbp.Prbp_game.config ~r ()) g in
           Dag.trivial_cost g <= pb && pb <= rb)
 
 let suite =

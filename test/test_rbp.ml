@@ -132,7 +132,7 @@ let test_trivial_cost_is_lower_bound () =
   List.iter
     (fun g ->
       let r = Dag.max_in_degree g + 1 in
-      let c = Prbp.Exact_rbp.opt (cfg (max r 2)) g in
+      let c = Test_util.opt_rbp (cfg (max r 2)) g in
       check_true "c >= trivial" (c >= Dag.trivial_cost g))
     [ diamond (); Prbp.Graphs.Basic.path 4; Prbp.Graphs.Basic.pyramid 2 ]
 

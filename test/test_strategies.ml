@@ -25,7 +25,7 @@ let test_chained_rbp_matches_exact () =
     (fun copies ->
       let g = G.Fig1.chained ~copies in
       check_int "matches exact"
-        (Prbp.Exact_rbp.opt (Prbp.Rbp.config ~r:4 ()) g)
+        (Test_util.opt_rbp (Prbp.Rbp.config ~r:4 ()) g)
         (rbp_cost ~r:4 g (S.fig1_chained_rbp ~copies)))
     [ 1; 2; 3 ]
 

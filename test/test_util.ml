@@ -35,6 +35,88 @@ let prbp_cost ?(cfg_of = fun r -> Prbp.Prbp_game.config ~r ()) ~r g moves =
   | Ok c -> c
   | Error e -> Alcotest.failf "invalid PRBP pebbling: %s" e
 
+(* --- solver-outcome plumbing ---------------------------------------
+   The tests speak in plain costs and options; the solvers in
+   {!Prbp.Solver.outcome}.  Unless a test opts into truncation (see
+   [tolerant]), running out of budget is a test failure. *)
+
+module S = Prbp.Solver
+
+let settled what = function
+  | S.Optimal o -> Some o
+  | S.Unsolvable _ -> None
+  | S.Bounded b ->
+      Alcotest.failf "%s: budget exhausted at [%d, %s]" what b.S.lower
+        (match b.S.upper with Some u -> string_of_int u | None -> "?")
+
+let cost_of what outcome = Option.map (fun o -> o.S.cost) (settled what outcome)
+
+let cost_exn what outcome =
+  match cost_of what outcome with
+  | Some c -> c
+  | None -> Alcotest.failf "%s: no valid pebbling exists" what
+
+(* For property tests that skip instances whose state space exceeds
+   the budget: [None] = truncated (skip), [Some cost_opt] = settled. *)
+let tolerant = function
+  | S.Optimal o -> Some (Some o.S.cost)
+  | S.Unsolvable _ -> Some None
+  | S.Bounded _ -> None
+
+let strategy_of what = function
+  | S.Optimal o -> (
+      match o.S.strategy with
+      | Some moves -> Some (o.S.cost, moves)
+      | None -> Alcotest.failf "%s: strategy missing from Optimal" what)
+  | S.Unsolvable _ -> None
+  | S.Bounded _ -> Alcotest.failf "%s: budget exhausted" what
+
+let opt_rbp_opt ?budget ?prune ?eager_deletes cfg g =
+  cost_of "Exact_rbp"
+    (Prbp.Exact_rbp.solve ?budget ?prune ?eager_deletes cfg g)
+
+let opt_rbp ?budget ?prune ?eager_deletes cfg g =
+  cost_exn "Exact_rbp"
+    (Prbp.Exact_rbp.solve ?budget ?prune ?eager_deletes cfg g)
+
+let opt_prbp_opt ?budget ?prune ?eager_deletes cfg g =
+  cost_of "Exact_prbp"
+    (Prbp.Exact_prbp.solve ?budget ?prune ?eager_deletes cfg g)
+
+let opt_prbp ?budget ?prune ?eager_deletes cfg g =
+  cost_exn "Exact_prbp"
+    (Prbp.Exact_prbp.solve ?budget ?prune ?eager_deletes cfg g)
+
+let mrbp_opt_opt ?budget ?prune cfg g =
+  cost_of "Exact_multi.rbp" (Prbp.Exact_multi.rbp_solve ?budget ?prune cfg g)
+
+let mrbp_opt ?budget ?prune cfg g =
+  cost_exn "Exact_multi.rbp" (Prbp.Exact_multi.rbp_solve ?budget ?prune cfg g)
+
+let mprbp_opt_opt ?budget ?prune cfg g =
+  cost_of "Exact_multi.prbp"
+    (Prbp.Exact_multi.prbp_solve ?budget ?prune cfg g)
+
+let mprbp_opt ?budget ?prune cfg g =
+  cost_exn "Exact_multi.prbp"
+    (Prbp.Exact_multi.prbp_solve ?budget ?prune cfg g)
+
+let rbp_strategy ?budget cfg g =
+  strategy_of "Exact_rbp"
+    (Prbp.Exact_rbp.solve ?budget ~want_strategy:true cfg g)
+
+let prbp_strategy ?budget cfg g =
+  strategy_of "Exact_prbp"
+    (Prbp.Exact_prbp.solve ?budget ~want_strategy:true cfg g)
+
+let mrbp_strategy ?budget cfg g =
+  strategy_of "Exact_multi.rbp"
+    (Prbp.Exact_multi.rbp_solve ?budget ~want_strategy:true cfg g)
+
+let mprbp_strategy ?budget cfg g =
+  strategy_of "Exact_multi.prbp"
+    (Prbp.Exact_multi.prbp_solve ?budget ~want_strategy:true cfg g)
+
 (* A deterministic pool of small random DAGs for cross-module tests. *)
 let random_dags =
   lazy

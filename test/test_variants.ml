@@ -24,9 +24,9 @@ let test_recompute_fig1 () =
   (* Appendix B.1: with re-computation, OPT_RBP drops from 3 to 2 on
      the Figure-1 DAG *)
   let g, _ = fig1 () in
-  check_int "one-shot" 3 (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ()) g);
+  check_int "one-shot" 3 (Test_util.opt_rbp (Rbp.config ~r:4 ()) g);
   check_int "with recomputation" 2
-    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~one_shot:false ()) g)
+    (Test_util.opt_rbp (Rbp.config ~r:4 ~one_shot:false ()) g)
 
 let test_recompute_z_layer_restores_gap () =
   (* Appendix B.1: inserting a z-layer between u0 and u1/u2 prevents
@@ -44,10 +44,10 @@ let test_recompute_z_layer_restores_gap () =
   in
   let g' = Dag.make ~n:12 edges in
   check_int "recompute gap restored" 3
-    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~one_shot:false ()) g');
+    (Test_util.opt_rbp (Rbp.config ~r:4 ~one_shot:false ()) g');
   (* PRBP still pebbles the modified DAG at trivial cost *)
   check_int "PRBP unaffected" 2
-    (Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g')
+    (Test_util.opt_prbp (Pg.config ~r:4 ()) g')
 
 let test_prbp_clear_rule () =
   let g = Prbp.Graphs.Basic.path 3 in
@@ -93,7 +93,7 @@ let test_sliding_fig1_gap_closes () =
   (* B.2: sliding alone already achieves cost 2 on Figure 1 *)
   let g, _ = fig1 () in
   check_int "sliding closes gap" 2
-    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g)
+    (Test_util.opt_rbp (Rbp.config ~r:4 ~sliding:true ()) g)
 
 let test_sliding_w0_fix () =
   (* B.2: adding w0 (u1 -> w0 -> w3) restores the RBP-vs-PRBP gap even
@@ -111,14 +111,14 @@ let test_sliding_w0_fix () =
   in
   let g' = Dag.make ~n:11 edges in
   check_int "sliding pays 3" 3
-    (Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g');
-  check_int "PRBP still 2" 2 (Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g')
+    (Test_util.opt_rbp (Rbp.config ~r:4 ~sliding:true ()) g');
+  check_int "PRBP still 2" 2 (Test_util.opt_prbp (Pg.config ~r:4 ()) g')
 
 let test_sliding_binary_tree_matches_prbp () =
   (* B.2: for k = 2 sliding matches PRBP on trees; for k = 3 PRBP wins *)
   let t2 = Prbp.Graphs.Tree.make ~k:2 ~depth:3 in
   let slide2 =
-    Prbp.Exact_rbp.opt (Rbp.config ~r:3 ~sliding:true ())
+    Test_util.opt_rbp (Rbp.config ~r:3 ~sliding:true ())
       t2.Prbp.Graphs.Tree.dag
   in
   check_int "binary: sliding = PRBP formula" (Prbp.Graphs.Tree.prbp_opt ~k:2 ~depth:3) slide2
@@ -126,8 +126,8 @@ let test_sliding_binary_tree_matches_prbp () =
 let test_sliding_ternary_tree_prbp_wins () =
   let t3 = Prbp.Graphs.Tree.make ~k:3 ~depth:2 in
   let g = t3.Prbp.Graphs.Tree.dag in
-  let slide = Prbp.Exact_rbp.opt (Rbp.config ~r:4 ~sliding:true ()) g in
-  let prbp = Prbp.Exact_prbp.opt (Pg.config ~r:4 ()) g in
+  let slide = Test_util.opt_rbp (Rbp.config ~r:4 ~sliding:true ()) g in
+  let prbp = Test_util.opt_prbp (Pg.config ~r:4 ()) g in
   check_true "PRBP strictly better" (prbp < slide)
 
 (* --- B.4: no deletion ---------------------------------------------- *)
@@ -147,10 +147,10 @@ let test_no_delete_cost_floor () =
   (* B.4: every node is saved at least once except the ≤ r final reds,
      so OPT >= n - r; verified on the diamond *)
   let g = Prbp.Graphs.Basic.diamond () in
-  let c = Prbp.Exact_rbp.opt (Rbp.config ~r:3 ~no_delete:true ()) g in
+  let c = Test_util.opt_rbp (Rbp.config ~r:3 ~no_delete:true ()) g in
   check_true "n - r floor" (c >= Dag.n_nodes g - 3);
   check_true "at least as costly as unrestricted"
-    (c >= Prbp.Exact_rbp.opt (Rbp.config ~r:3 ()) g)
+    (c >= Test_util.opt_rbp (Rbp.config ~r:3 ()) g)
 
 let test_no_delete_prbp () =
   let g = Prbp.Graphs.Basic.path 3 in
