@@ -24,6 +24,12 @@ module Make (G : Game.S) = struct
     mutable pruned : int;
     mutable expansions : int;
     mutable stop : Solver.reason option;
+    (* min of (distance + residual) over every state the budget hid
+       from the search: successors dropped at the state cap, and the
+       popped state a stop settled without expanding.  Folded into the
+       certified lower bound — such a state is an exit from the
+       settled region that the surviving frontier does not cover. *)
+    mutable lost_lb : int;
     mutable next_check : int;
     mutable next_emit : int;  (* max_int when no sink *)
     mutable next_gate : int;  (* min of the two above *)
@@ -59,9 +65,9 @@ module Make (G : Game.S) = struct
 
   (* Relax the successor state sitting in [scratch]: the 0-1 BFS step,
      plus branch-and-bound on first sight of a new state.  A full
-     state table flags the stop reason instead of raising — the
-     settled region and the frontier stay intact for the certified
-     lower bound. *)
+     state table flags the stop reason instead of raising, and the
+     dropped successor's cheapest continuation is recorded in
+     [lost_lb] so the certified lower bound still sees it. *)
   let relax ctx scratch m cost01 =
     let cost = ctx.cur_d + cost01 in
     let idx = T.find ctx.tbl scratch in
@@ -88,7 +94,9 @@ module Make (G : Game.S) = struct
       | _ -> ()
     end
     else if T.length ctx.tbl >= ctx.budget.Solver.Budget.max_states then begin
-      if ctx.stop = None then ctx.stop <- Some Solver.Max_states
+      if ctx.stop = None then ctx.stop <- Some Solver.Max_states;
+      let c = cost + G.residual_lb ctx.inst scratch in
+      if c < ctx.lost_lb then ctx.lost_lb <- c
     end
     else begin
       let idx = T.add ctx.tbl scratch cost in
@@ -98,7 +106,16 @@ module Make (G : Game.S) = struct
         ctx.parent_move.(idx) <- m
       end;
       if cost01 = 0 then Deque01.push_front ctx.dq idx
-      else Deque01.push_back ctx.dq idx
+      else Deque01.push_back ctx.dq idx;
+      (* the tables grow geometrically, so a memory cap can overshoot
+         by a whole growth step between two slow-path polls; re-check
+         at power-of-two state counts to bound the overshoot *)
+      let len = T.length ctx.tbl in
+      if len land (len - 1) = 0 then
+        match ctx.budget.Solver.Budget.max_words with
+        | Some w when mem_words ctx > w ->
+            if ctx.stop = None then ctx.stop <- Some Solver.Max_words
+        | _ -> ()
     end
 
   let progress ctx =
@@ -147,15 +164,18 @@ module Make (G : Game.S) = struct
     }
 
   (* Certified lower bound on OPT at truncation: any optimal path must
-     leave the settled region through a still-queued frontier state
-     [s] with its settled-tentative distance [d(s)], so
-     OPT >= min over the live frontier of (d(s) + residual_lb s).
-     Branch-and-bound never cuts a state on an optimal path (its
-     d + residual is at most OPT <= ub), so pruning keeps this sound.
-     An empty frontier at truncation degrades to the last settled
-     depth. *)
+     leave the settled region either through a still-queued frontier
+     state [s] with its tentative distance [d(s)], or through a state
+     the budget hid from the search (a successor dropped at the state
+     cap, or the popped state a stop settled without expanding) whose
+     cheapest continuation is tracked in [lost_lb].  So
+     OPT >= min(lost_lb, min over the live frontier of
+     (d(s) + residual_lb s)).  Branch-and-bound never cuts a state on
+     an optimal path (its d + residual is at most OPT <= ub), so
+     pruning keeps this sound.  An empty frontier with nothing lost
+     degrades to the last settled depth. *)
   let frontier_lower_bound ctx buf =
-    let best = ref max_int in
+    let best = ref ctx.lost_lb in
     Deque01.iter
       (fun idx ->
         let v = T.value ctx.tbl idx in
@@ -186,6 +206,7 @@ module Make (G : Game.S) = struct
         pruned = 0;
         expansions = 0;
         stop = None;
+        lost_lb = max_int;
         next_check = budget.Solver.Budget.check_every;
         next_emit =
           (match telemetry with Some s -> s.every | None -> max_int);
@@ -235,6 +256,12 @@ module Make (G : Game.S) = struct
               ctx.expansions <- ctx.expansions + 1;
               if ctx.expansions >= ctx.next_gate then slow_path ctx;
               if ctx.stop = None then G.expand inst cur ~scratch ~emit
+              else begin
+                (* settled above but never expanded: its continuations
+                   must stay visible to the certified lower bound *)
+                let c = d + G.residual_lb inst cur in
+                if c < ctx.lost_lb then ctx.lost_lb <- c
+              end
             end
           end
     done;

@@ -205,8 +205,9 @@ let solve_with ~engine_solve ~inst ~seed ~lift ?budget ?telemetry
     engine_solve ?budget ?telemetry ~want_strategy ~prune
       (inst ~canon:(not want_strategy) ~ub)
   in
+  (* move lists are strictly opt-in, incumbent included *)
   match (outcome, seed) with
-  | Solver.Bounded b, Some (_, moves) ->
+  | Solver.Bounded b, Some (_, moves) when want_strategy ->
       Solver.Bounded { b with Solver.incumbent_strategy = Some (lift moves) }
   | _ -> outcome
 

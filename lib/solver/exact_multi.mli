@@ -60,7 +60,8 @@ val rbp_solve :
     strategy when [want_strategy] (default off; replayable through
     {!Prbp_pebble.Multi.R.check}, at the cost of disabling the
     processor-symmetry canonicalization); {!Solver.Bounded} attaches
-    the single-processor heuristic incumbent lifted onto processor 0;
+    (under [want_strategy]) the single-processor heuristic incumbent
+    lifted onto processor 0;
     {!Solver.Unsolvable} when no pebbling exists (e.g. [r < Δin + 1]).
     [prune] (default on) is the branch-and-bound switch. *)
 

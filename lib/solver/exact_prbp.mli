@@ -45,8 +45,9 @@ val solve :
     under [budget] (default {!Solver.Budget.default}).  Returns
     {!Solver.Optimal} (with one optimal strategy when [want_strategy],
     default off), {!Solver.Bounded} with a certified
-    [lower <= OPT <= upper] interval and the heuristic incumbent when
-    the budget stops the search first, or {!Solver.Unsolvable} (only
+    [lower <= OPT <= upper] interval (plus, under [want_strategy], the
+    heuristic incumbent strategy) when the budget stops the search
+    first, or {!Solver.Unsolvable} (only
     at [r = 1] — PRBP pebbles every DAG at [r >= 2]).
 
     [prune] (default on) seeds branch-and-bound from the cheaper of

@@ -170,16 +170,17 @@ let inst ~eager_deletes ~ub cfg g =
     ub;
   }
 
-let solve ?budget ?telemetry ?want_strategy ?(prune = true)
+let solve ?budget ?telemetry ?(want_strategy = false) ?(prune = true)
     ?(eager_deletes = false) cfg g =
   let seed = if prune then heuristic_seed cfg g else None in
   let ub = match seed with Some (c, _) -> c | None -> max_int in
   let outcome =
-    E.solve ?budget ?telemetry ?want_strategy ~prune
+    E.solve ?budget ?telemetry ~want_strategy ~prune
       (inst ~eager_deletes ~ub cfg g)
   in
+  (* move lists are strictly opt-in, incumbent included *)
   match (outcome, seed) with
-  | Solver.Bounded b, Some (_, moves) ->
+  | Solver.Bounded b, Some (_, moves) when want_strategy ->
       Solver.Bounded { b with Solver.incumbent_strategy = Some moves }
   | _ -> outcome
 

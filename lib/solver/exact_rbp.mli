@@ -48,7 +48,8 @@ val solve :
       replayable through {!Prbp_pebble.Rbp.run}.
     - {!Solver.Bounded} is returned when the budget stops the search
       first: a certified [lower <= OPT <= upper] interval, with the
-      heuristic incumbent strategy attached when one exists.
+      heuristic incumbent strategy attached when one exists and
+      [want_strategy] is set.
     - {!Solver.Unsolvable} means no valid pebbling exists
       (e.g. [r < Δin + 1]).
 

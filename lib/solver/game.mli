@@ -60,7 +60,9 @@ module type S = sig
   val residual_lb : inst -> int array -> int
   (** Admissible lower bound on the cost-to-go from the given state:
       never exceeds the true remaining optimal cost.  Return [0] to
-      opt out.  Only consulted when pruning is armed. *)
+      opt out.  Consulted by branch-and-bound when pruning is armed,
+      and by the certified lower bound of truncated
+      ({!Solver.Bounded}) outcomes. *)
 
   val heuristic_ub : inst -> int
   (** Upper-bound seed for branch-and-bound — the cost of any valid

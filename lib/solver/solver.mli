@@ -26,7 +26,11 @@ module Budget : sig
     max_millis : int option;  (** wall-clock deadline, milliseconds *)
     max_words : int option;
         (** cap on the search's estimated live heap words (state
-            table + deque + strategy bookkeeping) *)
+            table + deque + strategy bookkeeping).  Polled every
+            [check_every] expansions and re-checked whenever the state
+            count crosses a power of two; since the tables grow
+            geometrically, the estimate can still overshoot the cap by
+            up to one growth step before the stop lands *)
     cancelled : (unit -> bool) option;
         (** cooperative cancellation, polled every [check_every]
             expansions; return [true] to stop the solve *)
@@ -141,10 +145,13 @@ type 'move optimal = {
 
 type 'move bounded = {
   lower : int;
-      (** certified lower bound on OPT: the minimum over the surviving
-          0-1 BFS frontier of (settled distance + admissible residual)
-          — sound because any optimal path must leave the settled
-          region through a frontier state, and branch-and-bound only
+      (** certified lower bound on OPT: the minimum of (distance +
+          admissible residual) over every exit from the settled region
+          — the surviving 0-1 BFS frontier, plus any state the budget
+          hid from it (successors dropped at the state cap, a state
+          settled but not expanded when the stop landed).  Sound
+          because any optimal path must leave the settled region
+          through one of these states, and branch-and-bound only
           discards states that no optimal path visits *)
   upper : int option;
       (** the branch-and-bound incumbent (a valid strategy's cost);
