@@ -60,14 +60,18 @@ let e22 =
       in
       let ok = ref true in
       let show = function Some k -> string_of_int k | None -> "-" in
+      let classes = function
+        | Prbp.Minpart.Minimum { classes; _ } -> Some classes
+        | Prbp.Minpart.No_partition | Prbp.Minpart.Truncated _ -> None
+      in
       let try_one name g r =
         let s = 2 * r in
-        let mp = Prbp.Minpart.min_spartition g ~s in
-        let md = Prbp.Minpart.min_dominator_partition g ~s in
-        let me = Prbp.Minpart.min_edge_partition g ~s in
-        let hk = Prbp.Minpart.rbp_lower_bound g ~r in
-        let b67 = Prbp.Minpart.prbp_lower_bound_dom g ~r in
-        let b65 = Prbp.Minpart.prbp_lower_bound_edge g ~r in
+        let mp = classes (Prbp.Minpart.spartition g ~s) in
+        let md = classes (Prbp.Minpart.dominator_partition g ~s) in
+        let me = classes (Prbp.Minpart.edge_partition g ~s) in
+        let hk = Prbp.Minpart.rbp_bound g ~r in
+        let b67 = Prbp.Minpart.prbp_bound_dom g ~r in
+        let b65 = Prbp.Minpart.prbp_bound_edge g ~r in
         let opt_r =
           match Solve_util.probe (Prbp.Exact_rbp.solve (Prbp.Rbp.config ~r ()) g) with
           | Solve_util.Cost c -> c

@@ -11,7 +11,7 @@
 
 let experiments =
   Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
-  @ Exp_variants.all @ Exp_extensions.all
+  @ Exp_variants.all @ Exp_extensions.all @ Exp_bracket.all
 
 let default_jobs = min 8 (Domain.recommended_domain_count ())
 

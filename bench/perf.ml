@@ -142,6 +142,61 @@ let run_case c ~prune =
 
 let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Bracket rows: the certified-bounds subsystem at scales the exact
+   solvers cannot touch.  One row per (family, game); each bracket
+   runs under a 10-second wall-clock budget and lands in
+   BENCH_solver.json next to the solver cases (schema v4). *)
+
+let bracket_cases () =
+  let fft = Prbp.Graphs.Fft.make ~m:128 in
+  let mm = Prbp.Graphs.Matmul.make ~m1:20 ~m2:20 ~m3:20 in
+  let qkt = Prbp.Graphs.Attention.qkt ~m:16 ~d:8 in
+  [
+    ( "fft:128", `Rbp, fft.Prbp.Graphs.Fft.dag, 6,
+      [ ("fft", Prbp.Graphs.Fft.lower_bound fft ~r:6) ] );
+    ( "fft:128", `Prbp, fft.Prbp.Graphs.Fft.dag, 6,
+      [ ("fft", Prbp.Graphs.Fft.lower_bound fft ~r:6) ] );
+    ( "matmul:20:20:20", `Prbp, mm.Prbp.Graphs.Matmul.dag, 2,
+      [ ("matmul", Prbp.Graphs.Matmul.lower_bound mm ~r:2) ] );
+    ( "attention-qkt:16:8", `Prbp, qkt.Prbp.Graphs.Matmul.dag, 4,
+      [ ("attention", Prbp.Graphs.Attention.lower_bound ~m:16 ~d:8 ~r:4) ] );
+  ]
+
+let run_brackets ppf =
+  Format.fprintf ppf "@.=== PERF — certified brackets at scale ===@.@.";
+  let t =
+    Prbp.Table.make
+      ~header:[ "family"; "game"; "r"; "bracket"; "rule"; "method"; "time" ]
+  in
+  let budget = Prbp.Solver.Budget.v ~max_millis:10_000 () in
+  let rows =
+    List.filter_map
+      (fun (family, game, g, r, closed_forms) ->
+        Gc.compact ();
+        let bracket =
+          match game with
+          | `Rbp -> Prbp.Bounds.Bracket.rbp ~budget ~closed_forms ~r g
+          | `Prbp -> Prbp.Bounds.Bracket.prbp ~budget ~closed_forms ~r g
+        in
+        match bracket with
+        | Error e ->
+            Format.fprintf ppf "bracket %s: %s@." family e;
+            None
+        | Ok b ->
+            let module B = Prbp.Bounds.Bracket in
+            let module L = Prbp.Bounds.Lower in
+            Prbp.Table.add_rowf t "%s|%s|%d|[%d,%d]|%s|%s|%.1fs" family
+              (L.game_label b.B.game) r b.B.lower.L.bound b.B.upper
+              (L.rule_label b.B.lower.L.rule)
+              (Prbp.Bounds.Upper.meth_label b.B.meth)
+              b.B.elapsed_s;
+            Some (Prbp.Bounds.Bracket.to_json ~family b))
+      (bracket_cases ())
+  in
+  Prbp.Table.print ppf t;
+  rows
+
 let show_interval r =
   match r.upper with
   | Some u when u = r.lower -> string_of_int r.lower
@@ -169,8 +224,9 @@ let run_solver ppf =
       (solver_cases ())
   in
   Prbp.Table.print ppf t;
+  let bracket_rows = run_brackets ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v3\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v4\",\n";
   Buffer.add_string buf "  \"cases\": [\n";
   let num_opt = function Some v -> string_of_int v | None -> "null" in
   List.iteri
@@ -195,6 +251,12 @@ let run_solver ppf =
         (rate off)
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  Buffer.add_string buf "  ],\n  \"brackets\": [\n";
+  List.iteri
+    (fun i row ->
+      Printf.bprintf buf "    %s%s\n" row
+        (if i = List.length bracket_rows - 1 then "" else ","))
+    bracket_rows;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out "BENCH_solver.json" in
   Buffer.output_buffer oc buf;
@@ -277,7 +339,11 @@ let tests =
     Test.make ~name:"minpart: MIN_edge of fig1 (S=8)"
       (Staged.stage
          (let g, _ = Prbp.Graphs.Fig1.full () in
-          fun () -> Prbp.Minpart.min_edge_partition g ~s:8));
+          fun () -> Prbp.Minpart.edge_partition g ~s:8));
+    Test.make ~name:"segment: greedy S-partition of fft(32) (S=8)"
+      (Staged.stage
+         (let g = (Prbp.Graphs.Fft.make ~m:32).Prbp.Graphs.Fft.dag in
+          fun () -> Prbp.Bounds.Segment.greedy g ~s:8));
     Test.make ~name:"flow: min dominator in matmul 6^3 (300 nodes)"
       (Staged.stage
          (let mm = Prbp.Graphs.Matmul.make ~m1:6 ~m2:6 ~m3:6 in

@@ -123,6 +123,41 @@ let build = function
       | Ok g -> g
       | Error e -> failwith (Printf.sprintf "cannot load %s: %s" path e))
 
+let family_label = function
+  | Fig1 -> "fig1"
+  | Chained n -> Printf.sprintf "chained:%d" n
+  | Tree (k, d) -> Printf.sprintf "tree:%d:%d" k d
+  | Zipper (d, l) -> Printf.sprintf "zipper:%d:%d" d l
+  | Collect (d, l) -> Printf.sprintf "collect:%d:%d" d l
+  | Matvec m -> Printf.sprintf "matvec:%d" m
+  | Matmul (a, b, c) -> Printf.sprintf "matmul:%d:%d:%d" a b c
+  | Fft m -> Printf.sprintf "fft:%d" m
+  | Attention (m, d) -> Printf.sprintf "attention:%d:%d" m d
+  | Lemma54 h -> Printf.sprintf "lemma54:%d" h
+  | Pyramid h -> Printf.sprintf "pyramid:%d" h
+  | Path n -> Printf.sprintf "path:%d" n
+  | Diamond -> "diamond"
+  | Grid (r, c) -> Printf.sprintf "grid:%d:%d" r c
+  | Random (s, l, w) -> Printf.sprintf "random:%d:%d:%d" s l w
+  | Horner n -> Printf.sprintf "horner:%d" n
+  | Spmv (s, r, c) -> Printf.sprintf "spmv:%d:%d:%d" s r c
+  | File p -> "file:" ^ p
+
+(* Analytic lower bounds for the families the paper proves theorems
+   about; all three are established for PRBP (Theorems 6.9–6.11), so
+   they are admissible for both games (OPT_RBP >= OPT_PRBP). *)
+let closed_forms_for family ~r =
+  match family with
+  | Fft m ->
+      let f = Prbp.Graphs.Fft.make ~m in
+      [ ("fft", Prbp.Graphs.Fft.lower_bound f ~r) ]
+  | Matmul (m1, m2, m3) ->
+      let mm = Prbp.Graphs.Matmul.make ~m1 ~m2 ~m3 in
+      [ ("matmul", Prbp.Graphs.Matmul.lower_bound mm ~r) ]
+  | Attention (m, d) ->
+      [ ("attention", Prbp.Graphs.Attention.lower_bound ~m ~d ~r) ]
+  | _ -> []
+
 let family_conv = Arg.conv (parse_family, fun ppf _ -> Fmt.string ppf "<family>")
 
 let family_arg =
@@ -471,13 +506,62 @@ let partition_cmd =
     (ok Term.(const run $ family_arg $ r_arg $ kind))
 
 let dot_cmd =
-  let run family output =
+  let run family r partition output =
     let g = build family in
-    match output with
-    | None -> print_string (Prbp.Dot.to_string g)
-    | Some path ->
-        Prbp.Dot.to_file path g;
-        Format.printf "wrote %s@." path
+    let s = 2 * r in
+    let module Segment = Prbp.Bounds.Segment in
+    let node_classes flavor =
+      Result.map
+        (fun (seg : Segment.t) ->
+          Prbp.Dot.to_string ~classes:seg.Segment.classes g)
+        (Segment.greedy ~flavor g ~s)
+    in
+    let rendered =
+      match partition with
+      | `None -> Ok (Prbp.Dot.to_string g)
+      | `Greedy -> node_classes Segment.Spartition
+      | `Dom -> node_classes Segment.Dominator
+      | `Edge ->
+          Result.map
+            (fun (seg : Segment.t) ->
+              Prbp.Dot.to_string ~edge_classes:seg.Segment.classes g)
+            (Segment.greedy ~flavor:Segment.Edge g ~s)
+      | `Level ->
+          Result.map
+            (fun (seg : Segment.t) ->
+              Prbp.Dot.to_string ~classes:seg.Segment.classes g)
+            (Segment.level_cut g ~s)
+    in
+    match rendered with
+    | Error e ->
+        Format.eprintf "dot: %s@." e;
+        1
+    | Ok str -> (
+        match output with
+        | None ->
+            print_string str;
+            0
+        | Some path ->
+            let oc = open_out path in
+            output_string oc str;
+            close_out oc;
+            Format.printf "wrote %s@." path;
+            0)
+  in
+  let partition =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", `None); ("greedy", `Greedy); ("dom", `Dom);
+               ("edge", `Edge); ("level", `Level) ])
+          `None
+      & info [ "partition" ] ~docv:"KIND"
+          ~doc:
+            "Color the drawing by a validated partition at $(b,S = 2r): \
+             $(b,greedy) (S-partition sweep), $(b,dom) (dominator flavor), \
+             $(b,edge) (S-edge partition, colored edges), or $(b,level) \
+             (level cut).  Classes cycle through a 12-color palette.")
   in
   let output =
     Arg.(
@@ -485,8 +569,108 @@ let dot_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
-  Cmd.v (Cmd.info "dot" ~doc:"Export a family as a Graphviz drawing.")
-    (ok Term.(const run $ family_arg $ output))
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Export a family as a Graphviz drawing, optionally colored by a \
+          validated partition certificate.")
+    Term.(const run $ family_arg $ r_arg $ partition $ output)
+
+let bracket_cmd =
+  let run family r game max_states deadline json profile trace =
+    let g = build family in
+    let budget = Prbp.Solver.Budget.v ~max_states ?max_millis:deadline () in
+    let telemetry =
+      if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
+      else None
+    in
+    let closed_forms = closed_forms_for family ~r in
+    let module Bracket = Prbp.Bounds.Bracket in
+    let module Segment = Prbp.Bounds.Segment in
+    let not_tight = ref false in
+    let show name result =
+      match result with
+      | Ok (b : Bracket.t) ->
+          if not b.Bracket.tight then not_tight := true;
+          if json then
+            print_endline (Bracket.to_json ~family:(family_label family) b)
+          else begin
+            Format.printf "%s: %a@." name Bracket.pp b;
+            if profile then
+              match b.Bracket.profile with
+              | Some seg ->
+                  Format.printf
+                    "  profile: validated %s partition at S = %d, %d classes@."
+                    (Segment.flavor_label seg.Segment.flavor)
+                    seg.Segment.s
+                    (Segment.n_classes seg)
+              | None -> Format.printf "  profile: none@."
+          end
+      | Error e ->
+          not_tight := true;
+          Format.eprintf "%s: %s@." name e
+    in
+    let rbp () =
+      show "RBP " (Bracket.rbp ~budget ?telemetry ~closed_forms ~r g)
+    in
+    let prbp () =
+      show "PRBP" (Bracket.prbp ~budget ?telemetry ~closed_forms ~r g)
+    in
+    (match game with
+    | `Rbp -> rbp ()
+    | `Prbp -> prbp ()
+    | `Both ->
+        rbp ();
+        prbp ()
+    | `Black | `Multi _ ->
+        not_tight := true;
+        Format.eprintf "bracket: only the rbp/prbp games have brackets@.");
+    if !not_tight then exit_bounded else 0
+  in
+  let max_states =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "max-states" ]
+          ~doc:"State budget for the exact-partition lower-bound rules.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "deadline" ] ~docv:"DUR"
+          ~doc:
+            "Wall-clock budget for the whole bracket (split across the \
+             lower- and upper-bound portfolios).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object per bracket on stdout.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also report the constructive partition profile attached to the \
+             bracket.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Stream JSON-lines bracket telemetry to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "bracket"
+       ~doc:
+         "Certified bounds at any scale: run the lower-bound rule portfolio \
+          and the verified-strategy upper-bound portfolio and report \
+          lower <= OPT <= upper with its certificates.  Exits 10 when the \
+          bracket is not tight (lower < upper), 0 when it pins the optimum.")
+    Term.(
+      const run $ family_arg $ r_arg $ game_arg $ max_states $ deadline
+      $ json $ profile $ trace)
 
 let trace_cmd =
   let run family r game =
@@ -579,6 +763,6 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "pebble_cli" ~doc)
           [
-            info_cmd; solve_cmd; strategy_cmd; partition_cmd; dot_cmd;
-            trace_cmd; export_cmd; analyze_cmd;
+            info_cmd; solve_cmd; bracket_cmd; strategy_cmd; partition_cmd;
+            dot_cmd; trace_cmd; export_cmd; analyze_cmd;
           ]))

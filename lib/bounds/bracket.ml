@@ -1,0 +1,157 @@
+module Dag = Prbp_dag.Dag
+module Solver = Prbp_solver.Solver
+
+type moves =
+  | Rbp_moves of Prbp_pebble.Move.R.t list
+  | Prbp_moves of Prbp_pebble.Move.P.t list
+
+type t = {
+  game : Lower.game;
+  r : int;
+  n : int;
+  m : int;
+  lower : Lower.t;
+  upper : int;
+  moves : moves;
+  meth : Upper.meth;
+  verified : [ `Literal | `Engine ];
+  profile : Segment.t option;
+  tight : bool;
+  elapsed_s : float;
+}
+
+let scale_budget (b : Solver.Budget.t) frac =
+  {
+    b with
+    Solver.Budget.max_millis =
+      Option.map
+        (fun ms -> max 1 (int_of_float (float_of_int ms *. frac)))
+        b.Solver.Budget.max_millis;
+  }
+
+let emit telemetry event =
+  match telemetry with
+  | Some sink -> sink.Solver.Telemetry.emit event
+  | None -> ()
+
+let stop_progress ~elapsed_s : Solver.Telemetry.progress =
+  {
+    expansions = 0;
+    explored = 0;
+    pruned = 0;
+    frontier = 0;
+    depth = 0;
+    table_load = 0.;
+    elapsed_s;
+  }
+
+(* Constructive profile of the DAG at s = 2r: how the greedy
+   partitioner decomposes it.  Flow computations make this O(n·poly),
+   so skip it on very large DAGs; its absence never weakens the
+   bracket (profiles are descriptive, the bounds carry the proof). *)
+let profile_gate = 4096
+
+let make_profile ~flavor g ~s =
+  if Dag.n_nodes g > profile_gate then None
+  else match Segment.greedy ~flavor g ~s with Ok seg -> Some seg | Error _ -> None
+
+let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
+    ~upper_portfolio ~profile_flavor g =
+  let t0 = Unix.gettimeofday () in
+  emit telemetry
+    (Solver.Telemetry.Start
+       { width = Dag.n_nodes g; max_states = budget.Solver.Budget.max_states });
+  let finish outcome result =
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    emit telemetry
+      (Solver.Telemetry.Stop { outcome; progress = stop_progress ~elapsed_s });
+    Result.map (fun mk -> mk elapsed_s) result
+  in
+  let lower =
+    Lower.compute ~budget:(scale_budget budget 0.4) ?closed_forms ~game ~r g
+  in
+  match upper_portfolio ~budget:(scale_budget budget 0.6) ~r g with
+  | Error e -> finish "unsolvable" (Error e)
+  | Ok (upper, moves, meth, verified) ->
+      if lower.Lower.bound > upper then
+        (* both sides are independently certified, so this cannot
+           happen unless a rule is unsound — refuse to report it *)
+        finish "unsolvable"
+          (Error
+             (Printf.sprintf
+                "Bracket: certified lower bound %d exceeds verified upper \
+                 bound %d — unsound rule?"
+                lower.Lower.bound upper))
+      else begin
+        let profile = make_profile ~flavor:profile_flavor g ~s:(2 * r) in
+        let tight = lower.Lower.bound = upper in
+        finish
+          (if tight then "optimal" else "bounded")
+          (Ok
+             (fun elapsed_s ->
+               {
+                 game;
+                 r;
+                 n = Dag.n_nodes g;
+                 m = Dag.n_edges g;
+                 lower;
+                 upper;
+                 moves;
+                 meth;
+                 verified;
+                 profile;
+                 tight;
+                 elapsed_s;
+               }))
+      end
+
+let rbp ?budget ?telemetry ?closed_forms ~r g =
+  run ?budget ?telemetry ?closed_forms ~game:Lower.Rbp ~r
+    ~upper_portfolio:(fun ~budget ~r g ->
+      Result.map
+        (fun (u : _ Upper.t) ->
+          (u.Upper.cost, Rbp_moves u.Upper.moves, u.Upper.meth, u.Upper.verified))
+        (Upper.rbp ~budget ~r g))
+    ~profile_flavor:Segment.Spartition g
+
+let prbp ?budget ?telemetry ?closed_forms ~r g =
+  run ?budget ?telemetry ?closed_forms ~game:Lower.Prbp ~r
+    ~upper_portfolio:(fun ~budget ~r g ->
+      Result.map
+        (fun (u : _ Upper.t) ->
+          (u.Upper.cost, Prbp_moves u.Upper.moves, u.Upper.meth, u.Upper.verified))
+        (Upper.prbp ~budget ~r g))
+    ~profile_flavor:Segment.Dominator g
+
+let to_json ?family t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"kind\": \"bracket\"";
+  (match family with
+  | Some f -> Buffer.add_string b (Printf.sprintf ", \"family\": \"%s\"" f)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf
+       ", \"game\": \"%s\", \"r\": %d, \"n\": %d, \"m\": %d, \"lower\": %d, \
+        \"rule\": \"%s\", \"upper\": %d, \"method\": \"%s\", \"verifier\": \
+        \"%s\", \"tight\": %b"
+       (Lower.game_label t.game) t.r t.n t.m t.lower.Lower.bound
+       (Lower.rule_label t.lower.Lower.rule)
+       t.upper
+       (Upper.meth_label t.meth)
+       (match t.verified with `Literal -> "literal" | `Engine -> "engine")
+       t.tight);
+  (match t.profile with
+  | Some seg ->
+      Buffer.add_string b
+        (Printf.sprintf ", \"profile_classes\": %d" (Segment.n_classes seg))
+  | None -> Buffer.add_string b ", \"profile_classes\": null");
+  Buffer.add_string b (Printf.sprintf ", \"elapsed_s\": %.3f}" t.elapsed_s);
+  Buffer.contents b
+
+let pp ppf t =
+  Format.fprintf ppf "%s r=%d: %d <= OPT <= %d (%s / %s%s, %.2fs)"
+    (Lower.game_label t.game) t.r t.lower.Lower.bound t.upper
+    (Lower.rule_label t.lower.Lower.rule)
+    (Upper.meth_label t.meth)
+    (if t.tight then ", tight" else "")
+    t.elapsed_s

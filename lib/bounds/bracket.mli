@@ -1,0 +1,71 @@
+(** Certified brackets: [lower ≤ OPT ≤ upper] at any scale.
+
+    A bracket runs the {!Lower} rule portfolio and the {!Upper}
+    strategy portfolio under one {!Prbp_solver.Solver.Budget} and
+    returns the pair with its certificates embedded: the witness
+    partition behind the winning lower-bound rule (when one exists),
+    the complete verified move list behind the upper bound, and a
+    constructive {!Segment} partition profile of the DAG at cache size
+    [2r].  Each certificate re-validates independently — {!Segment}
+    re-checks partitions through {!Prbp_partition.Spart}, {!Upper}
+    replays strategies through {!Prbp_pebble.Verifier} — so a bracket
+    is trustworthy even where the exact solvers cannot reach.
+
+    Where the exact solvers {e can} reach, a bracket must contain the
+    optimum; the test suite and experiment E31 enforce exactly that. *)
+
+type moves =
+  | Rbp_moves of Prbp_pebble.Move.R.t list
+  | Prbp_moves of Prbp_pebble.Move.P.t list
+      (** the verified strategy achieving [upper], tagged by game *)
+
+type t = {
+  game : Lower.game;
+  r : int;
+  n : int;  (** nodes of the bracketed DAG *)
+  m : int;  (** edges *)
+  lower : Lower.t;  (** best certified lower bound, with its rule *)
+  upper : int;  (** certified cost of [moves] *)
+  moves : moves;
+  meth : Upper.meth;  (** how the winning strategy was found *)
+  verified : [ `Literal | `Engine ];  (** which checker certified it *)
+  profile : Segment.t option;
+      (** constructive partition of the DAG at [s = 2r] (validated);
+          [None] on very large DAGs or when no partition exists *)
+  tight : bool;  (** [lower.bound = upper]: the bracket pins OPT *)
+  elapsed_s : float;
+}
+
+val rbp :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  ?telemetry:Prbp_solver.Solver.Telemetry.sink ->
+  ?closed_forms:(string * float) list ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  (t, string) result
+(** Bracket [OPT_RBP(r)].  The budget's wall clock is split across the
+    two portfolios (roughly 40% lower, 60% upper); [telemetry] receives
+    a [Start] event and a terminal [Stop] whose outcome is ["optimal"]
+    when the bracket is tight, ["bounded"] otherwise.  [closed_forms]
+    are analytic lower bounds forwarded to {!Lower.compute} — they must
+    be valid for RBP.  [Error] when no valid strategy exists at this
+    [r] (below the feasibility threshold). *)
+
+val prbp :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  ?telemetry:Prbp_solver.Solver.Telemetry.sink ->
+  ?closed_forms:(string * float) list ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  (t, string) result
+(** Bracket [OPT_PRBP(r)]; [closed_forms] must be valid for PRBP
+    (S-partition-based forms are not — Example 10). *)
+
+val to_json : ?family:string -> t -> string
+(** One JSON object (no trailing newline): game, r, n, m, lower, rule,
+    upper, method, verifier, tightness, profile class count, elapsed
+    seconds, and [family] when given — the row format of
+    [BENCH_solver.json] and [pebble_cli bracket --json]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human summary. *)

@@ -1,0 +1,126 @@
+module Dag = Prbp_dag.Dag
+module Solver = Prbp_solver.Solver
+module Minpart = Prbp_partition.Minpart
+
+type game = Rbp | Prbp
+
+let game_label = function Rbp -> "rbp" | Prbp -> "prbp"
+
+type rule =
+  | Trivial
+  | Source_cut
+  | Exact_spartition
+  | Exact_dominator
+  | Exact_edge
+  | Closed_form of string
+
+let rule_label = function
+  | Trivial -> "trivial"
+  | Source_cut -> "source-cut"
+  | Exact_spartition -> "exact-spartition"
+  | Exact_dominator -> "exact-dominator"
+  | Exact_edge -> "exact-edge"
+  | Closed_form name -> "closed-form:" ^ name
+
+type t = {
+  game : game;
+  r : int;
+  bound : int;
+  rule : rule;
+  witness : Segment.t option;
+}
+
+(* Sources with an out-edge + sinks with an in-edge.  [Dag.trivial_cost]
+   counts every source and sink, but an isolated node (both at once) is
+   pebbled for free in either game, so it must not contribute here. *)
+let trivial_bound g =
+  let c = ref 0 in
+  for v = 0 to Dag.n_nodes g - 1 do
+    if Dag.is_source g v && Dag.out_degree g v > 0 then incr c;
+    if Dag.is_sink g v && Dag.in_degree g v > 0 then incr c
+  done;
+  !c
+
+(* Any dominator of a node set containing a source must contain that
+   source (the one-node path), so min_dom(V) = #sources; dominator
+   minima are subadditive over the classes of a dominator partition,
+   hence MIN_dom(2r) ≥ ⌈#sources / 2r⌉ and Theorem 6.7 applies. *)
+let source_cut_bound g ~r =
+  let q = Dag.n_sources g in
+  let s = 2 * r in
+  max 0 (r * (((q + s - 1) / s) - 1))
+
+(* Exact searches are worth attempting only where the lattice is
+   representable (≤ 62) and either tiny or protected by a wall-clock
+   deadline; tighten the poll cadence so a deadline lands promptly
+   even though every lattice step costs a max-flow. *)
+let exact_gate budget size =
+  size <= 62
+  && (size <= 18 || budget.Solver.Budget.max_millis <> None)
+
+let minpart_budget budget slices =
+  let open Solver.Budget in
+  {
+    budget with
+    max_millis =
+      Option.map (fun ms -> max 1 (ms / max 1 slices)) budget.max_millis;
+    max_states = min budget.max_states 2_000_000;
+    check_every = min budget.check_every 64;
+  }
+
+let compute ?(budget = Solver.Budget.default) ?(closed_forms = []) ~game ~r g =
+  if r < 1 then invalid_arg "Lower.compute: r must be >= 1";
+  let s = 2 * r in
+  let candidates = ref [] in
+  let add rule bound witness =
+    if bound >= 0 then candidates := (rule, bound, witness) :: !candidates
+  in
+  add Trivial (trivial_bound g) None;
+  add Source_cut (source_cut_bound g ~r) None;
+  List.iter
+    (fun (name, v) ->
+      if v > 0. then add (Closed_form name) (int_of_float (floor v)) None)
+    closed_forms;
+  let node_gate = exact_gate budget (Dag.n_nodes g) in
+  let edge_gate = exact_gate budget (Dag.n_edges g) in
+  let slices =
+    (if node_gate then match game with Rbp -> 2 | Prbp -> 1 else 0)
+    + if edge_gate then 1 else 0
+  in
+  let mb = minpart_budget budget slices in
+  let add_exact rule flavor verdict =
+    match verdict with
+    | Minpart.Minimum { classes; witness } -> (
+        (* believe the count only if the witness independently
+           re-validates — a rejection would mean a Minpart bug, and
+           then the count proves nothing *)
+        match Segment.of_minpart flavor g ~s witness with
+        | Ok seg -> add rule (max 0 (r * (classes - 1))) (Some seg)
+        | Error _ -> ())
+    | Minpart.No_partition | Minpart.Truncated _ -> ()
+  in
+  if node_gate then begin
+    add_exact Exact_dominator Segment.Dominator
+      (Minpart.dominator_partition ~budget:mb g ~s);
+    match game with
+    | Rbp ->
+        add_exact Exact_spartition Segment.Spartition
+          (Minpart.spartition ~budget:mb g ~s)
+    | Prbp -> ()
+  end;
+  if edge_gate then
+    add_exact Exact_edge Segment.Edge (Minpart.edge_partition ~budget:mb g ~s);
+  (* portfolio order = reverse insertion order; keep the earliest rule
+     on ties, so fold over the list as inserted *)
+  let best =
+    List.fold_left
+      (fun acc (rule, bound, witness) ->
+        match acc with
+        | Some (_, b, _) when b >= bound -> acc
+        | _ -> Some (rule, bound, witness))
+      None
+      (List.rev !candidates)
+  in
+  match best with
+  | Some (rule, bound, witness) -> { game; r; bound; rule; witness }
+  | None -> { game; r; bound = 0; rule = Trivial; witness = None }

@@ -1,0 +1,74 @@
+(** Certified I/O lower bounds: a portfolio of admissible rules.
+
+    Every rule here is a theorem-backed inequality on the {e optimal}
+    cost, so the maximum over the portfolio is itself a certified lower
+    bound.  Crucially, only {e minimum} class counts are admissible in
+    the paper's [r·(MIN(2r)−1)] bounds — a constructive partition's
+    class count merely upper-bounds [MIN] and proves nothing — so the
+    exact rules run {!Prbp_partition.Minpart} under a budget and use
+    its result only when the search finished, re-validating the witness
+    partition through {!Segment.of_minpart} before believing the count.
+
+    The rules, in portfolio order (ties keep the earlier rule):
+
+    - {!Trivial} — sources with an out-edge plus sinks with an in-edge;
+      sound for both games (an isolated node needs no I/O, so the
+      library-wide [Dag.trivial_cost] would overcount here).
+    - {!Source_cut} — [r·(⌈q/2r⌉−1)] for [q] sources: any dominator of
+      the full node set contains every source, and dominator minima are
+      subadditive across the classes of a [2r]-dominator partition, so
+      [MIN_dom(2r) ≥ ⌈q/2r⌉].  Theorem 6.7 then applies (PRBP, hence
+      also RBP).
+    - {!Closed_form} — caller-supplied analytic bounds (the paper's
+      per-family theorems), floored conservatively.  {b The caller must
+      only pass forms valid for the requested game} — Hong–Kung-style
+      S-partition bounds do not hold for PRBP (Example 10).
+    - {!Exact_dominator} / {!Exact_edge} — Theorems 6.7 / 6.5 with
+      [MIN] computed exactly by {!Prbp_partition.Minpart}; valid for
+      PRBP and therefore for RBP ([OPT_RBP ≥ OPT_PRBP]).
+    - {!Exact_spartition} — Theorem 5.4 (Hong–Kung); {e RBP only}. *)
+
+type game = Rbp | Prbp
+
+val game_label : game -> string
+(** ["rbp"] | ["prbp"]. *)
+
+type rule =
+  | Trivial
+  | Source_cut
+  | Exact_spartition
+  | Exact_dominator
+  | Exact_edge
+  | Closed_form of string  (** payload: the form's name *)
+
+val rule_label : rule -> string
+
+type t = {
+  game : game;
+  r : int;
+  bound : int;  (** the best certified lower bound on [OPT_game(r)] *)
+  rule : rule;  (** which rule produced it *)
+  witness : Segment.t option;
+      (** for exact rules: the minimum partition realizing the class
+          count, re-validated through {!Segment.of_minpart} (and marked
+          [minimal]); [None] for analytic rules *)
+}
+
+val compute :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  ?closed_forms:(string * float) list ->
+  game:game ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  t
+(** Run the portfolio and keep the best bound.  Total function: the
+    trivial rule always applies, so the result is at least 0.
+
+    The exact rules are gated — at most 62 nodes / edges (the lattice
+    representation's hard limit), and beyond 18 only when [budget]
+    carries a wall-clock deadline — and [budget]'s deadline is split
+    evenly across the exact searches; a search that exhausts its slice
+    returns {!Prbp_partition.Minpart.Truncated} and simply contributes
+    no candidate.  A Minpart witness that fails independent
+    re-validation discards its rule entirely (defense in depth; it
+    would indicate a search bug). *)

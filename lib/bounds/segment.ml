@@ -1,0 +1,155 @@
+module Dag = Prbp_dag.Dag
+module Bitset = Prbp_dag.Bitset
+module Topo = Prbp_dag.Topo
+module Dominator = Prbp_dag.Dominator
+module Spart = Prbp_partition.Spart
+
+type flavor = Spartition | Dominator | Edge
+
+type t = {
+  flavor : flavor;
+  s : int;
+  classes : Bitset.t array;
+  minimal : bool;
+}
+
+let flavor_label = function
+  | Spartition -> "spartition"
+  | Dominator -> "dominator"
+  | Edge -> "edge"
+
+let n_classes t = Array.length t.classes
+
+let check flavor g ~s classes =
+  match flavor with
+  | Spartition -> Spart.is_spartition g ~s classes
+  | Dominator -> Spart.is_dominator_partition g ~s classes
+  | Edge -> Spart.is_edge_partition g ~s classes
+
+let validate g t = check t.flavor g ~s:t.s t.classes
+
+(* Every constructor funnels through here: nothing becomes a [t]
+   without passing the exact checker. *)
+let make ~minimal flavor g ~s classes =
+  match check flavor g ~s classes with
+  | Ok () -> Ok { flavor; s; classes; minimal }
+  | Error e ->
+      Error (Printf.sprintf "Segment: %s partition failed validation: %s"
+               (flavor_label flavor) e)
+
+let of_minpart flavor g ~s witness = make ~minimal:true flavor g ~s witness
+
+(* ------------------------------------------------------------------ *)
+(* Greedy galloping sweep.
+
+   [elems] is a processing order whose contiguous segments satisfy the
+   flavor's ordering condition; [fits start len] asks the exact oracle
+   whether the block [elems.(start .. start+len-1)] is a legal class.
+   Any block of size ≤ s is legal (it dominates itself and contains
+   its own terminals), so each class advances by at least
+   [min s remaining] elements.  Beyond that the sweep gallops: double
+   the candidate length while the oracle accepts, then binary-search
+   the boundary.  Feasibility of dominator minima is antitone in the
+   block but terminal-set size is not, so the boundary found may not be
+   the global maximum — harmless, because only lengths the oracle
+   actually accepted are ever used. *)
+
+let sweep ~n_elems ~s ~fits =
+  let classes = ref [] in
+  let start = ref 0 in
+  while !start < n_elems do
+    let remaining = n_elems - !start in
+    let fits_len len = fits ~start:!start ~len in
+    let rec bsearch good bad =
+      if bad - good <= 1 then good
+      else
+        let mid = (good + bad) / 2 in
+        if fits_len mid then bsearch mid bad else bsearch good mid
+    in
+    let rec gallop good =
+      if good >= remaining then remaining
+      else
+        let cand = min remaining (2 * good) in
+        if fits_len cand then gallop cand else bsearch good cand
+    in
+    let len = if remaining <= s then remaining else gallop s in
+    classes := (!start, len) :: !classes;
+    start := !start + len
+  done;
+  List.rev !classes
+
+let block_bitset ~capacity elems ~start ~len =
+  let b = Bitset.create capacity in
+  for i = start to start + len - 1 do
+    Bitset.add b elems.(i)
+  done;
+  b
+
+let greedy ?(flavor = Spartition) g ~s =
+  if s < 1 then Error "Segment: s must be >= 1"
+  else
+    match flavor with
+    | Spartition | Dominator ->
+        let elems = Topo.sort g in
+        let n = Dag.n_nodes g in
+        let fits ~start ~len =
+          let b = block_bitset ~capacity:n elems ~start ~len in
+          Dominator.min_dominator_size g b <= s
+          && (flavor = Dominator
+             || Bitset.cardinal (Dominator.terminal_set g b) <= s)
+        in
+        let cuts = sweep ~n_elems:n ~s ~fits in
+        let classes =
+          Array.of_list
+            (List.map
+               (fun (start, len) -> block_bitset ~capacity:n elems ~start ~len)
+               cuts)
+        in
+        make ~minimal:false flavor g ~s classes
+    | Edge ->
+        let elems = Topo.edge_order g in
+        let m = Dag.n_edges g in
+        let fits ~start ~len =
+          let b = block_bitset ~capacity:m elems ~start ~len in
+          Dominator.min_edge_dominator_size g b <= s
+          && Bitset.cardinal (Dominator.edge_terminal_set g b) <= s
+        in
+        let cuts = sweep ~n_elems:m ~s ~fits in
+        let classes =
+          Array.of_list
+            (List.map
+               (fun (start, len) -> block_bitset ~capacity:m elems ~start ~len)
+               cuts)
+        in
+        make ~minimal:false flavor g ~s classes
+
+let level_cut ?(flavor = Spartition) g ~s =
+  if s < 1 then Error "Segment: s must be >= 1"
+  else
+    match flavor with
+    | Edge -> Error "Segment: level_cut supports node flavors only"
+    | Spartition | Dominator ->
+        let n = Dag.n_nodes g in
+        let classes = ref [] in
+        Array.iter
+          (fun level ->
+            let rec chunk = function
+              | [] -> ()
+              | nodes ->
+                  let b = Bitset.create n in
+                  let rest = ref nodes in
+                  let k = ref 0 in
+                  while !k < s && !rest <> [] do
+                    (match !rest with
+                    | v :: tl ->
+                        Bitset.add b v;
+                        rest := tl
+                    | [] -> ());
+                    incr k
+                  done;
+                  classes := b :: !classes;
+                  chunk !rest
+            in
+            chunk level)
+          (Topo.levels g);
+        make ~minimal:false flavor g ~s (Array.of_list (List.rev !classes))

@@ -1,0 +1,79 @@
+(** Polynomial-time constructive partitioners.
+
+    {!Prbp_partition.Minpart} finds {e minimum} partitions by
+    exponential lattice search; this module builds {e valid} (not
+    necessarily minimum) partitions in polynomial time, at any scale
+    the max-flow dominator oracle can handle.  They serve two roles in
+    the bounds subsystem: as the partition {e profile} attached to a
+    {!Bracket.t} (a structural certificate of how the DAG decomposes at
+    cache size [s]), and as the re-validated witness wrapper for
+    Minpart's minimum partitions.
+
+    Soundness note: a constructive partition's class count only
+    {e upper}-bounds the minimum [MIN(s)], so it must never be plugged
+    into the paper's [r·(MIN(2r)−1)] lower-bound inequalities — only
+    {!Lower} knows which class counts are admissible.  What a [t] does
+    certify is validity: every constructor re-checks its result through
+    the exact {!Prbp_partition.Spart} checkers (max-flow dominator
+    minima included) before returning, so a [t] is never accepted on
+    the construction's own argument. *)
+
+type flavor =
+  | Spartition  (** Definition 5.3: dominator ≤ s and terminal ≤ s *)
+  | Dominator  (** Definition 6.6: dominator ≤ s only *)
+  | Edge  (** Definition 6.3: edge classes, edge dominators *)
+
+type t = {
+  flavor : flavor;
+  s : int;
+  classes : Prbp_dag.Bitset.t array;
+      (** node bitsets ([Spartition] / [Dominator]) or edge-id bitsets
+          ([Edge]), in their partition order *)
+  minimal : bool;
+      (** [true] only for partitions produced by {!Prbp_partition.Minpart}'s
+          exhaustive search (via {!of_minpart}); constructive partitions
+          are always [false] *)
+}
+
+val flavor_label : flavor -> string
+(** ["spartition"] | ["dominator"] | ["edge"]. *)
+
+val n_classes : t -> int
+
+val validate : Prbp_dag.Dag.t -> t -> (unit, string) result
+(** Re-run the exact {!Prbp_partition.Spart} checker for [t.flavor];
+    this is the same check every constructor already performed. *)
+
+val greedy : ?flavor:flavor -> Prbp_dag.Dag.t -> s:int -> (t, string) result
+(** Greedy topological sweep ([flavor] defaults to [Spartition]):
+    process the nodes in {!Prbp_dag.Topo.sort} order (edges in
+    {!Prbp_dag.Topo.edge_order} for [Edge]) and grow each class as far
+    as the exact max-flow dominator minimum (and, per flavor, the
+    terminal-set size) allows, probing by galloping — doubling steps
+    plus a binary search — so each class costs O(log n) flow
+    computations.  Contiguous segments of a topological order satisfy
+    the ordering conditions by construction; feasibility of every cut
+    is established by the exact oracle, never assumed (the terminal-set
+    size is not monotone in the class, so the cut may be non-maximal —
+    but it is always {e checked}).  [Error] only for [s < 1] or an
+    internal validation failure. *)
+
+val level_cut : ?flavor:flavor -> Prbp_dag.Dag.t -> s:int -> (t, string) result
+(** Partitioner for layered DAGs (FFT, deep pipelines): split each
+    {!Prbp_dag.Topo.levels} depth level into chunks of at most [s]
+    nodes.  Chunks of size ≤ s dominate themselves, and levels in
+    depth order never see a backward edge, so the result is always a
+    valid partition — cheaper than {!greedy} (no flow calls during
+    construction) but typically coarser.  Node flavors only: [Edge]
+    is rejected. *)
+
+val of_minpart :
+  flavor ->
+  Prbp_dag.Dag.t ->
+  s:int ->
+  Prbp_dag.Bitset.t array ->
+  (t, string) result
+(** Wrap a witness partition from {!Prbp_partition.Minpart} (marking it
+    [minimal]), re-validating it through {!Prbp_partition.Spart} first —
+    the independence that lets {!Lower} trust a minimum class count
+    without trusting the lattice search. *)

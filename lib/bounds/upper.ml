@@ -1,0 +1,187 @@
+module Dag = Prbp_dag.Dag
+module Topo = Prbp_dag.Topo
+module Solver = Prbp_solver.Solver
+module Heuristic = Prbp_solver.Heuristic
+module Thresholds = Prbp_solver.Thresholds
+module Optimize = Prbp_solver.Optimize
+module Verifier = Prbp_pebble.Verifier
+module Rbp_engine = Prbp_pebble.Rbp
+module Prbp_engine = Prbp_pebble.Prbp
+
+type meth = { base : string; reorder_seed : int option; optimized : bool }
+
+let meth_label m =
+  m.base
+  ^ (if m.reorder_seed <> None then "+reorder" else "")
+  ^ if m.optimized then "+opt" else ""
+
+type 'm t = {
+  cost : int;
+  moves : 'm list;
+  meth : meth;
+  verified : [ `Literal | `Engine ];
+}
+
+(* The literal verifier keeps whole states as sorted lists — fine up to
+   a few thousand edges and a few ten-thousand moves; beyond that, the
+   optimized engine's rule checker is the independent certifier. *)
+let literal_ok g moves =
+  Dag.n_edges g <= 4000 && List.length moves <= 20_000
+
+let verify_rbp ~r g moves =
+  if literal_ok g moves then
+    match Verifier.R.check ~r g moves with
+    | Ok c -> Ok (c, `Literal)
+    | Error e -> Error e
+  else
+    match Rbp_engine.check (Rbp_engine.config ~r ()) g moves with
+    | Ok c -> Ok (c, `Engine)
+    | Error e -> Error e
+
+let verify_prbp ~r g moves =
+  if literal_ok g moves then
+    match Verifier.P.check ~r g moves with
+    | Ok c -> Ok (c, `Literal)
+    | Error e -> Error e
+  else
+    match Prbp_engine.check (Prbp_engine.config ~r ()) g moves with
+    | Ok c -> Ok (c, `Engine)
+    | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic order perturbation: a Lehmer LCG drives adjacent
+   transpositions, applied only where the pair is not an edge — the
+   perturbed array stays a topological order, so the pebblers accept
+   it without re-checking. *)
+
+let lcg st = st * 48271 mod 0x7fffffff
+
+let perturb g base seed =
+  let order = Array.copy base in
+  let n = Array.length order in
+  let st = ref (max 1 seed) in
+  for _ = 1 to max 4 (n / 8) do
+    st := lcg !st;
+    let i = !st mod (n - 1) in
+    let u = order.(i) and v = order.(i + 1) in
+    if not (Dag.has_edge g u v) then begin
+      order.(i) <- v;
+      order.(i + 1) <- u
+    end
+  done;
+  order
+
+let hill_climb_iters = 24
+
+type clock = { time_ok : unit -> bool }
+
+let make_clock (budget : Solver.Budget.t) =
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      budget.Solver.Budget.max_millis
+  in
+  let time_ok () =
+    (match deadline with
+    | Some t -> Unix.gettimeofday () < t
+    | None -> true)
+    && match budget.Solver.Budget.cancelled with
+       | Some f -> not (f ())
+       | None -> true
+  in
+  { time_ok }
+
+(* Shared portfolio driver: [candidates] yields (meth, lazy moves);
+   every candidate is certified by [verify] before its cost is
+   believed, and a rejected or crashing candidate is skipped. *)
+let run_portfolio ~verify ~clock ~base_candidates ~reorder ~optimize =
+  let best = ref None in
+  let consider meth moves =
+    match verify moves with
+    | Error _ -> ()
+    | Ok (cost, verified) -> (
+        match !best with
+        | Some b when b.cost <= cost -> ()
+        | _ -> best := Some { cost; moves; meth; verified })
+  in
+  let attempt meth produce =
+    match produce () with
+    | moves -> consider meth moves
+    | exception (Invalid_argument _ | Failure _) -> ()
+  in
+  List.iter (fun (meth, produce) -> attempt meth produce) base_candidates;
+  (match reorder with
+  | None -> ()
+  | Some run_with_order ->
+      let seed = ref 1 in
+      let iters = ref 0 in
+      while !iters < hill_climb_iters && clock.time_ok () do
+        incr iters;
+        seed := lcg !seed;
+        let s = !seed in
+        attempt
+          { base = "belady"; reorder_seed = Some s; optimized = false }
+          (fun () -> run_with_order s)
+      done);
+  (match !best with
+  | Some b when List.length b.moves <= 2500 && clock.time_ok () ->
+      attempt { b.meth with optimized = true } (fun () -> optimize b.moves)
+  | _ -> ());
+  match !best with
+  | Some b -> Ok b
+  | None -> Error "Upper: no candidate strategy survived verification"
+
+let policies =
+  [ ("belady", Heuristic.Belady); ("lru", Heuristic.Lru);
+    ("fifo", Heuristic.Fifo) ]
+
+let meth base = { base; reorder_seed = None; optimized = false }
+
+let rbp ?(budget = Solver.Budget.default) ~r g =
+  if r < Thresholds.rbp_feasible_r g then
+    Error "Upper.rbp: r is below the RBP feasibility threshold (max in-degree + 1)"
+  else
+    let clock = make_clock budget in
+    let base_candidates =
+      List.map
+        (fun (name, policy) ->
+          (meth name, fun () -> Heuristic.rbp ~policy ~r g))
+        policies
+    in
+    let reorder =
+      if Dag.n_nodes g >= 3 then
+        let base = Topo.sort g in
+        Some
+          (fun s -> Heuristic.rbp ~policy:Heuristic.Belady ~order:(perturb g base s) ~r g)
+      else None
+    in
+    run_portfolio ~verify:(verify_rbp ~r g) ~clock ~base_candidates ~reorder
+      ~optimize:(fun moves -> Optimize.rbp (Rbp_engine.config ~r ()) g moves)
+
+let prbp ?(budget = Solver.Budget.default) ~r g =
+  if r < Thresholds.prbp_feasible_r g then
+    Error "Upper.prbp: r is below the PRBP feasibility threshold (2 on any DAG with an edge)"
+  else
+    let clock = make_clock budget in
+    let base_candidates =
+      List.concat_map
+        (fun (name, policy) ->
+          [ (meth name, fun () -> Heuristic.prbp ~policy ~r g);
+            ( meth (name ^ "+defer"),
+              fun () -> Heuristic.prbp ~policy ~defer_saves:true ~r g ) ])
+        policies
+      @
+      if Dag.n_edges g <= 4000 then
+        [ (meth "greedy-edges", fun () -> Heuristic.prbp_greedy ~r g) ]
+      else []
+    in
+    let reorder =
+      if Dag.n_nodes g >= 3 then
+        let base = Topo.sort g in
+        Some
+          (fun s ->
+            Heuristic.prbp ~policy:Heuristic.Belady ~order:(perturb g base s) ~r g)
+      else None
+    in
+    run_portfolio ~verify:(verify_prbp ~r g) ~clock ~base_candidates ~reorder
+      ~optimize:(fun moves -> Optimize.prbp (Prbp_engine.config ~r ()) g moves)

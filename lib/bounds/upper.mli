@@ -1,0 +1,61 @@
+(** Certified I/O upper bounds: local search over heuristic strategies.
+
+    A candidate strategy's cost is {e never} taken from the pebbler
+    that produced it: every candidate is replayed through an
+    independent rule checker — {!Prbp_pebble.Verifier} (the literal,
+    paper-transcribed rules) at small scale, the optimized engine's own
+    [check] beyond the verifier's comfortable range — and a candidate
+    the checker rejects is dropped from the portfolio, not repaired.
+    The returned cost is therefore the certified cost of a complete
+    pebbling whose move list is included as the certificate.
+
+    The portfolio, per game:
+
+    - every eviction policy of {!Prbp_solver.Heuristic} (Belady / LRU /
+      FIFO), and for PRBP each policy with and without [defer_saves] —
+      the recompute-vs-save trade: deferring the save of a
+      partially-aggregated value in favor of evicting a free resident;
+    - the PRBP greedy {e edge} scheduler (small DAGs);
+    - hill climbing over the processing order: deterministic LCG-driven
+      adjacent transpositions of the topological order (only swaps that
+      keep the order topological), re-running the Belady pebbler on
+      each perturbed order while the budget's wall clock allows;
+    - a final {!Prbp_solver.Optimize} pass on the incumbent (deletes
+      redundant saves/loads, each deletion re-verified by replay). *)
+
+type meth = {
+  base : string;  (** ["belady"], ["lru+defer"], ["greedy-edges"], … *)
+  reorder_seed : int option;
+      (** LCG seed of the order perturbation, when hill climbing won *)
+  optimized : bool;  (** the {!Prbp_solver.Optimize} pass improved it *)
+}
+
+val meth_label : meth -> string
+(** E.g. ["belady+reorder+opt"]. *)
+
+type 'm t = {
+  cost : int;  (** certified by independent replay *)
+  moves : 'm list;  (** the complete pebbling achieving [cost] *)
+  meth : meth;
+  verified : [ `Literal | `Engine ];
+      (** which checker certified it: the literal {!Prbp_pebble.Verifier}
+          or the optimized engine's [check] *)
+}
+
+val rbp :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  (Prbp_pebble.Move.R.t t, string) result
+(** Best verified RBP strategy found within [budget] (wall clock and
+    cancellation honored between candidates; at least the base policy
+    portfolio always runs).  [Error] if [r] is below the RBP
+    feasibility threshold [Δin + 1] or no candidate survives
+    verification. *)
+
+val prbp :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  (Prbp_pebble.Move.P.t t, string) result
+(** PRBP counterpart; requires [r ≥ 2] on any DAG with an edge. *)

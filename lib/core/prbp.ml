@@ -16,6 +16,10 @@
        {!Heuristic}, {!Strategies} — its game instances, heuristic
        pebblers, and the paper's constructive strategies;}
     {- {!Spart}, {!Extract} — the S-partition lower-bound machinery;}
+    {- {!Bounds} — certified brackets at scale: constructive
+       partitioners ({!Bounds.Segment}), the lower- and upper-bound
+       portfolios ({!Bounds.Lower}, {!Bounds.Upper}) and their
+       orchestrator ({!Bounds.Bracket});}
     {- {!Table}, {!Experiment} — the experiment harness.}} *)
 
 module Dag = Prbp_dag.Dag
@@ -68,6 +72,16 @@ module Strategies = Prbp_solver.Strategies
 module Spart = Prbp_partition.Spart
 module Extract = Prbp_partition.Extract
 module Minpart = Prbp_partition.Minpart
+
+(** The certified-bracket subsystem: constructive partitioners, the
+    lower-bound rule portfolio, the verified-strategy upper-bound
+    portfolio, and the bracket orchestrator. *)
+module Bounds = struct
+  module Segment = Prbp_bounds.Segment
+  module Lower = Prbp_bounds.Lower
+  module Upper = Prbp_bounds.Upper
+  module Bracket = Prbp_bounds.Bracket
+end
 module Table = Prbp_harness.Table
 module Chart = Prbp_harness.Chart
 module Experiment = Prbp_harness.Experiment

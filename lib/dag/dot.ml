@@ -2,19 +2,49 @@ let escape s =
   String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
                       (List.init (String.length s) (String.get s)))
 
-let to_string ?highlight ?edge_highlight ?(rankdir = "TB") g =
+(* Light, print-friendly fills (ColorBrewer-ish); class i cycles
+   through them.  Kept distinct from the highlight blue. *)
+let palette =
+  [| "#a6cee3"; "#b2df8a"; "#fb9a99"; "#fdbf6f"; "#cab2d6"; "#ffff99";
+     "#fdd0a2"; "#ccebc5"; "#f2f0f7"; "#d9d9d9"; "#e5d8bd"; "#fddaec" |]
+
+let class_color i = palette.(i mod Array.length palette)
+
+(* total -> classes -> per-element class index (-1 = unclassed) *)
+let class_index total classes =
+  let idx = Array.make total (-1) in
+  Array.iteri (fun i cls -> Bitset.iter (fun x -> idx.(x) <- i) cls) classes;
+  idx
+
+let to_string ?highlight ?edge_highlight ?classes ?edge_classes
+    ?(rankdir = "TB") g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph dag {\n";
   Buffer.add_string buf (Printf.sprintf "  rankdir=%s;\n" rankdir);
   Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  let node_class =
+    Option.map (class_index (Dag.n_nodes g)) classes
+  in
+  let edge_class =
+    Option.map (class_index (Dag.n_edges g)) edge_classes
+  in
   for v = 0 to Dag.n_nodes g - 1 do
     let hl =
       match highlight with Some h -> Bitset.mem h v | None -> false
     in
+    let style =
+      match node_class with
+      | Some idx when idx.(v) >= 0 ->
+          Printf.sprintf
+            ", style=filled, fillcolor=\"%s\", tooltip=\"class %d\""
+            (class_color idx.(v))
+            idx.(v)
+      | _ -> if hl then ", style=filled, fillcolor=lightblue" else ""
+    in
     Buffer.add_string buf
       (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v
          (escape (Dag.name g v))
-         (if hl then ", style=filled, fillcolor=lightblue" else ""))
+         style)
   done;
   Dag.iter_edges
     (fun e u v ->
@@ -23,15 +53,24 @@ let to_string ?highlight ?edge_highlight ?(rankdir = "TB") g =
         | Some h -> Bitset.mem h e
         | None -> false
       in
-      Buffer.add_string buf
-        (Printf.sprintf "  n%d -> n%d%s;\n" u v
-           (if hl then " [color=red, penwidth=2]" else "")))
+      let style =
+        match edge_class with
+        | Some idx when idx.(e) >= 0 ->
+            Printf.sprintf " [color=\"%s\", penwidth=2, tooltip=\"class %d\"]"
+              (class_color idx.(e))
+              idx.(e)
+        | _ -> if hl then " [color=red, penwidth=2]" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" u v style))
     g;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let to_file ?highlight ?edge_highlight ?rankdir path g =
+let to_file ?highlight ?edge_highlight ?classes ?edge_classes ?rankdir path g =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string ?highlight ?edge_highlight ?rankdir g))
+    (fun () ->
+      output_string oc
+        (to_string ?highlight ?edge_highlight ?classes ?edge_classes ?rankdir
+           g))

@@ -1,18 +1,31 @@
-(** Graphviz DOT export, for inspecting generated constructions. *)
+(** Graphviz DOT export, for inspecting generated constructions and
+    partition certificates. *)
 
 val to_string :
   ?highlight:Bitset.t ->
   ?edge_highlight:Bitset.t ->
+  ?classes:Bitset.t array ->
+  ?edge_classes:Bitset.t array ->
   ?rankdir:string ->
   Dag.t ->
   string
 (** Render the DAG as a DOT digraph.  [highlight] nodes are filled,
     [edge_highlight] edges (by edge id) are drawn bold red.
+
+    [classes] (node bitsets) / [edge_classes] (edge-id bitsets) render
+    a partition: class [i] is filled/stroked with the [i]-th color of a
+    cycling 12-color palette, with a [class i] tooltip — the visual
+    form of an S-partition certificate.  Where a node (edge) has a
+    class, the class color wins over [highlight] ([edge_highlight]);
+    unclassed elements fall back to the highlight rendering.
+
     [rankdir] defaults to ["TB"]. *)
 
 val to_file :
   ?highlight:Bitset.t ->
   ?edge_highlight:Bitset.t ->
+  ?classes:Bitset.t array ->
+  ?edge_classes:Bitset.t array ->
   ?rankdir:string ->
   string ->
   Dag.t ->

@@ -1,8 +1,64 @@
 module Dag = Prbp_dag.Dag
 module Bitset = Prbp_dag.Bitset
 module Dominator = Prbp_dag.Dominator
+module Solver = Prbp_solver.Solver
 
 exception Too_large of int
+
+type verdict =
+  | Minimum of { classes : int; witness : Bitset.t array }
+  | No_partition
+  | Truncated of Solver.reason
+
+(* ------------------------------------------------------------------ *)
+(* Budget gate over the lattice enumeration.  "States" are distinct
+   masks materialized by the search (BFS table entries plus the
+   per-expansion successor enumeration); the wall clock and the
+   cancellation hook are polled every [check_every] of them, matching
+   the exact solvers' anytime contract.  [max_words] has no meaning
+   here (the tables are tiny next to the enumeration work) and is
+   ignored. *)
+
+exception Stop
+
+type gate = {
+  budget : Solver.Budget.t;
+  deadline : float option;
+  mutable masks : int;
+  mutable ticks : int;
+  mutable stop : Solver.reason option;
+}
+
+let make_gate (budget : Solver.Budget.t) =
+  {
+    budget;
+    deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        budget.Solver.Budget.max_millis;
+    masks = 0;
+    ticks = 0;
+    stop = None;
+  }
+
+let halt gate reason =
+  gate.stop <- Some reason;
+  raise Stop
+
+let tick gate =
+  gate.masks <- gate.masks + 1;
+  if gate.masks > gate.budget.Solver.Budget.max_states then
+    halt gate Solver.Max_states;
+  gate.ticks <- gate.ticks + 1;
+  if gate.ticks >= gate.budget.Solver.Budget.check_every then begin
+    gate.ticks <- 0;
+    (match gate.deadline with
+    | Some t when Unix.gettimeofday () > t -> halt gate Solver.Deadline
+    | _ -> ());
+    match gate.budget.Solver.Budget.cancelled with
+    | Some f when f () -> halt gate Solver.Cancelled
+    | _ -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Generic shortest-chain search over a lattice of masks.
@@ -12,43 +68,61 @@ exception Too_large of int
    J ⊇ I reachable by repeated growth whose block J\I stays feasible.
    Feasibility must be antitone in the block (once infeasible, all
    supersets are), which holds for dominator minima: a dominator for a
-   superset dominates the subset. *)
+   superset dominates the subset.
 
-let bfs_min_chain ~full ~budget ~grow ~block_feasible ~block_ok =
+   Each table entry remembers the predecessor ideal it was reached
+   from, so reaching [full] yields not just the distance but a
+   shortest chain ∅ = I₀ ⊂ I₁ ⊂ … ⊂ I_k = V whose blocks I_j \ I_{j-1}
+   are the classes of a witness minimum partition. *)
+
+let bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok =
   let dist = Hashtbl.create 1024 in
   let q = Queue.create () in
-  Hashtbl.replace dist 0 0;
+  Hashtbl.replace dist 0 (0, 0);
   Queue.add 0 q;
   let result = ref None in
-  let guard () =
-    if Hashtbl.length dist > budget then raise (Too_large budget)
-  in
-  while !result = None && not (Queue.is_empty q) do
-    let i = Queue.pop q in
-    let d = Hashtbl.find dist i in
-    if i = full then result := Some d
-    else begin
-      (* enumerate feasible successor masks j ⊇ i by growing blocks *)
-      let seen = Hashtbl.create 64 in
-      let rec extend j =
-        grow ~from:j (fun _elt j' ->
-            if not (Hashtbl.mem seen j') then begin
-              Hashtbl.add seen j' ();
-              guard ();
-              let block = j' land lnot i in
-              if block_feasible block then begin
-                if block_ok block && not (Hashtbl.mem dist j') then begin
-                  Hashtbl.replace dist j' (d + 1);
-                  Queue.add j' q
-                end;
-                extend j'
-              end
-            end)
-      in
-      extend i
-    end
-  done;
-  !result
+  (try
+     while !result = None && not (Queue.is_empty q) do
+       let i = Queue.pop q in
+       let d, _ = Hashtbl.find dist i in
+       if i = full then result := Some ()
+       else begin
+         (* enumerate feasible successor masks j ⊇ i by growing blocks *)
+         let seen = Hashtbl.create 64 in
+         let rec extend j =
+           grow ~from:j (fun _elt j' ->
+               if not (Hashtbl.mem seen j') then begin
+                 Hashtbl.add seen j' ();
+                 tick gate;
+                 let block = j' land lnot i in
+                 if block_feasible block then begin
+                   if block_ok block && not (Hashtbl.mem dist j') then begin
+                     Hashtbl.replace dist j' (d + 1, i);
+                     Queue.add j' q
+                   end;
+                   extend j'
+                 end
+               end)
+         in
+         extend i
+       end
+     done
+   with Stop -> ());
+  match gate.stop with
+  | Some reason -> Error reason
+  | None -> (
+      match !result with
+      | None -> Ok None
+      | Some () ->
+          (* walk the parent chain back from [full]: the successive
+             set differences, read front to back, are V₁ … V_k *)
+          let rec blocks acc mask =
+            if mask = 0 then acc
+            else
+              let _, parent = Hashtbl.find dist mask in
+              blocks ((mask land lnot parent) :: acc) parent
+          in
+          Ok (Some (blocks [] full)))
 
 (* ------------------------------------------------------------------ *)
 (* Node partitions: masks are downward-closed node sets.               *)
@@ -74,47 +148,56 @@ let to_bitset n mask =
   done;
   b
 
-let n_ideals ?(max_ideals = 200_000) g =
+let ideals ?(budget = Solver.Budget.default) g =
   let grow, _full = node_masks g in
+  let gate = make_gate budget in
   let seen = Hashtbl.create 1024 in
   Hashtbl.replace seen 0 ();
-  let rec go mask =
-    grow ~from:mask (fun _ mask' ->
-        if not (Hashtbl.mem seen mask') then begin
-          Hashtbl.add seen mask' ();
-          if Hashtbl.length seen > max_ideals then raise (Too_large max_ideals);
-          go mask'
-        end)
-  in
-  go 0;
-  Hashtbl.length seen
+  (try
+     let rec go mask =
+       grow ~from:mask (fun _ mask' ->
+           if not (Hashtbl.mem seen mask') then begin
+             Hashtbl.add seen mask' ();
+             tick gate;
+             go mask'
+           end)
+     in
+     go 0
+   with Stop -> ());
+  match gate.stop with
+  | Some reason -> Error reason
+  | None -> Ok (Hashtbl.length seen)
 
-let min_node_partition ?(max_ideals = 200_000) g ~s ~need_terminal =
+let node_partition ?(budget = Solver.Budget.default) g ~s ~need_terminal =
   let n = Dag.n_nodes g in
   let grow, full = node_masks g in
   let block_feasible block =
-    block <> 0
-    && Dominator.min_dominator_size g (to_bitset n block) <= s
+    block <> 0 && Dominator.min_dominator_size g (to_bitset n block) <= s
   in
   let block_ok block =
     (not need_terminal)
     || Bitset.cardinal (Dominator.terminal_set g (to_bitset n block)) <= s
   in
-  if n = 0 then Some 0
+  if n = 0 then Minimum { classes = 0; witness = [||] }
   else
-    bfs_min_chain ~full ~budget:max_ideals ~grow ~block_feasible ~block_ok
+    let gate = make_gate budget in
+    match bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok with
+    | Error reason -> Truncated reason
+    | Ok None -> No_partition
+    | Ok (Some blocks) ->
+        let witness = Array.of_list (List.map (to_bitset n) blocks) in
+        Minimum { classes = Array.length witness; witness }
 
-let min_spartition ?max_ideals g ~s =
-  min_node_partition ?max_ideals g ~s ~need_terminal:true
+let spartition ?budget g ~s = node_partition ?budget g ~s ~need_terminal:true
 
-let min_dominator_partition ?max_ideals g ~s =
-  min_node_partition ?max_ideals g ~s ~need_terminal:false
+let dominator_partition ?budget g ~s =
+  node_partition ?budget g ~s ~need_terminal:false
 
 (* ------------------------------------------------------------------ *)
 (* Edge partitions: masks are edge sets closed under "all in-edges of
    the tail come first" (the well-ordering of Definition 6.3).         *)
 
-let min_edge_partition ?(max_ideals = 200_000) g ~s =
+let edge_partition ?(budget = Solver.Budget.default) g ~s =
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if m > 62 then invalid_arg "Minpart: at most 62 edges";
   let in_mask = Array.make n 0 in
@@ -133,29 +216,74 @@ let min_edge_partition ?(max_ideals = 200_000) g ~s =
     b
   in
   let block_feasible block =
-    block <> 0
-    && Dominator.min_edge_dominator_size g (edge_bitset block) <= s
+    block <> 0 && Dominator.min_edge_dominator_size g (edge_bitset block) <= s
   in
   let block_ok block =
     Bitset.cardinal (Dominator.edge_terminal_set g (edge_bitset block)) <= s
   in
-  if m = 0 then Some 0
+  if m = 0 then Minimum { classes = 0; witness = [||] }
   else
-    bfs_min_chain
-      ~full:((1 lsl m) - 1)
-      ~budget:max_ideals ~grow ~block_feasible ~block_ok
+    let gate = make_gate budget in
+    match
+      bfs_min_chain ~gate
+        ~full:((1 lsl m) - 1)
+        ~grow ~block_feasible ~block_ok
+    with
+    | Error reason -> Truncated reason
+    | Ok None -> No_partition
+    | Ok (Some blocks) ->
+        let witness = Array.of_list (List.map edge_bitset blocks) in
+        Minimum { classes = Array.length witness; witness }
+
+(* ------------------------------------------------------------------ *)
+(* Lower bounds (0 when the minimum is unknown — infeasible s, or a
+   truncated search — so the value is always sound).                   *)
+
+let bound_of ~r = function
+  | Minimum { classes; _ } -> max 0 (r * (classes - 1))
+  | No_partition | Truncated _ -> 0
+
+let rbp_bound ?budget g ~r = bound_of ~r (spartition ?budget g ~s:(2 * r))
+
+let prbp_bound_edge ?budget g ~r =
+  bound_of ~r (edge_partition ?budget g ~s:(2 * r))
+
+let prbp_bound_dom ?budget g ~r =
+  bound_of ~r (dominator_partition ?budget g ~s:(2 * r))
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated raising wrappers (pre-anytime API).                      *)
+
+let shim_budget max_ideals = Solver.Budget.v ~max_states:max_ideals ()
+
+let n_ideals ?(max_ideals = 200_000) g =
+  match ideals ~budget:(shim_budget max_ideals) g with
+  | Ok n -> n
+  | Error _ -> raise (Too_large max_ideals)
+
+let shim verdict max_ideals =
+  match verdict with
+  | Minimum { classes; _ } -> Some classes
+  | No_partition -> None
+  | Truncated _ -> raise (Too_large max_ideals)
+
+let min_spartition ?(max_ideals = 200_000) g ~s =
+  shim (spartition ~budget:(shim_budget max_ideals) g ~s) max_ideals
+
+let min_dominator_partition ?(max_ideals = 200_000) g ~s =
+  shim (dominator_partition ~budget:(shim_budget max_ideals) g ~s) max_ideals
+
+let min_edge_partition ?(max_ideals = 200_000) g ~s =
+  shim (edge_partition ~budget:(shim_budget max_ideals) g ~s) max_ideals
+
+let old_bound min_fn g ~r =
+  match min_fn g ~s:(2 * r) with Some k -> r * (k - 1) | None -> 0
 
 let rbp_lower_bound ?max_ideals g ~r =
-  match min_spartition ?max_ideals g ~s:(2 * r) with
-  | Some k -> r * (k - 1)
-  | None -> 0
+  old_bound (min_spartition ?max_ideals) g ~r
 
 let prbp_lower_bound_edge ?max_ideals g ~r =
-  match min_edge_partition ?max_ideals g ~s:(2 * r) with
-  | Some k -> r * (k - 1)
-  | None -> 0
+  old_bound (min_edge_partition ?max_ideals) g ~r
 
 let prbp_lower_bound_dom ?max_ideals g ~r =
-  match min_dominator_partition ?max_ideals g ~s:(2 * r) with
-  | Some k -> r * (k - 1)
-  | None -> 0
+  old_bound (min_dominator_partition ?max_ideals) g ~r

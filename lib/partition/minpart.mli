@@ -1,5 +1,6 @@
 (** Exact minimum class counts — [MIN_part], [MIN_dom], [MIN_edge] —
-    by exhaustive search over the ideal lattice.
+    by exhaustive search over the ideal lattice, with witness
+    partitions.
 
     The ordering condition of Definitions 5.3 / 6.3 / 6.6 makes the
     class prefixes [V₁ ∪ … ∪ V_i] downward-closed sets (ideals) of the
@@ -7,37 +8,104 @@
     is therefore a shortest chain of ideals whose successive differences
     satisfy the size conditions, found here by breadth-first search over
     the lattice with exact (max-flow) dominator minima on every block.
+    The search remembers each ideal's predecessor, so a successful
+    verdict carries the chain's blocks — a concrete minimum partition
+    that callers can re-validate independently through {!Spart}.
 
     Exponential — intended for DAGs of ≲ 15 nodes / ≲ 20 edges, where
     it turns the paper's Theorem 6.5 / 6.7 inequalities into exactly
-    checkable statements. *)
+    checkable statements.  Every search runs under a
+    {!Prbp_solver.Solver.Budget}: the state cap counts distinct lattice
+    masks materialized, the wall-clock deadline and cancellation hook
+    are polled every [check_every] masks, and the memory cap is ignored
+    (the tables are negligible next to the enumeration).  Exhausting
+    the budget yields {!Truncated}, never an exception — only the
+    deprecated wrappers still raise {!Too_large}. *)
 
-exception Too_large of int
-(** Raised when the ideal enumeration exceeds the budget. *)
+type verdict =
+  | Minimum of { classes : int; witness : Prbp_dag.Bitset.t array }
+      (** The exact minimum, with a witness partition reaching it
+          (node classes for {!spartition} / {!dominator_partition},
+          edge-id classes for {!edge_partition}). *)
+  | No_partition
+      (** The lattice was exhausted: no valid partition exists at this
+          [s] (e.g. [s] below some forced dominator). *)
+  | Truncated of Prbp_solver.Solver.reason
+      (** The budget stopped the search first; the minimum is unknown
+          (in particular {e not} certified by any partial count). *)
 
-val n_ideals : ?max_ideals:int -> Prbp_dag.Dag.t -> int
-(** Number of downward-closed node sets (for sizing feasibility). *)
+val spartition :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  Prbp_dag.Dag.t ->
+  s:int ->
+  verdict
+(** [MIN_part(s)]: minimum classes of any S-partition (Definition
+    5.3).  [budget] defaults to {!Prbp_solver.Solver.Budget.default}. *)
 
-val min_spartition : ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
-(** [MIN_part(s)]: minimum classes of any S-partition (Definition 5.3),
-    or [None] if no S-partition exists (e.g. [s] below some forced
-    dominator).  [max_ideals] defaults to [200_000]. *)
-
-val min_dominator_partition :
-  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+val dominator_partition :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  Prbp_dag.Dag.t ->
+  s:int ->
+  verdict
 (** [MIN_dom(s)] (Definition 6.6). *)
 
-val min_edge_partition :
-  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+val edge_partition :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  Prbp_dag.Dag.t ->
+  s:int ->
+  verdict
 (** [MIN_edge(s)] (Definition 6.3), searching over well-ordered edge
     prefixes. *)
 
+val ideals :
+  ?budget:Prbp_solver.Solver.Budget.t ->
+  Prbp_dag.Dag.t ->
+  (int, Prbp_solver.Solver.reason) result
+(** Number of downward-closed node sets (for sizing feasibility). *)
+
+val rbp_bound :
+  ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
+(** Hong–Kung: [r · (MIN_part(2r) − 1)] with [MIN_part] computed
+    exactly; 0 when the minimum is unknown (no partition, or budget
+    exhausted), so the result is always a sound [OPT_RBP] lower
+    bound. *)
+
+val prbp_bound_edge :
+  ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
+(** Theorem 6.5: [r · (MIN_edge(2r) − 1)], exactly; 0 when unknown. *)
+
+val prbp_bound_dom :
+  ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
+(** Theorem 6.7: [r · (MIN_dom(2r) − 1)], exactly; 0 when unknown. *)
+
+(** {1 Deprecated pre-anytime wrappers}
+
+    These keep the original raising contract: a blown [max_ideals]
+    budget raises {!Too_large} instead of returning {!Truncated}. *)
+
+exception Too_large of int
+(** Raised only by the deprecated wrappers when the enumeration
+    exceeds [max_ideals]. *)
+
+val n_ideals : ?max_ideals:int -> Prbp_dag.Dag.t -> int
+[@@deprecated "use ideals"]
+
+val min_spartition : ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+[@@deprecated "use spartition"]
+
+val min_dominator_partition :
+  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+[@@deprecated "use dominator_partition"]
+
+val min_edge_partition :
+  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
+[@@deprecated "use edge_partition"]
+
 val rbp_lower_bound : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-(** Hong–Kung: [r · (MIN_part(2r) − 1)], with [MIN_part] computed
-    exactly; 0 when no partition exists (cannot happen for [s ≥ 2]). *)
+[@@deprecated "use rbp_bound"]
 
 val prbp_lower_bound_edge : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-(** Theorem 6.5: [r · (MIN_edge(2r) − 1)], exactly. *)
+[@@deprecated "use prbp_bound_edge"]
 
 val prbp_lower_bound_dom : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-(** Theorem 6.7: [r · (MIN_dom(2r) − 1)], exactly. *)
+[@@deprecated "use prbp_bound_dom"]

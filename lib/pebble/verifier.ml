@@ -60,6 +60,13 @@ module R = struct
       (fun acc m -> Result.bind acc (fun st -> step ~r g st m))
       (Ok (initial g))
       moves
+
+  let check ~r g moves =
+    match run ~r g moves with
+    | Error e -> Error e
+    | Ok st ->
+        if is_terminal g st then Ok st.io
+        else Error "incomplete pebbling: some sink has no blue pebble"
 end
 
 module P = struct
@@ -162,6 +169,13 @@ module P = struct
       (fun acc m -> Result.bind acc (fun st -> step ~r g st m))
       (Ok (initial g))
       moves
+
+  let check ~r g moves =
+    match run ~r g moves with
+    | Error e -> Error e
+    | Ok st ->
+        if is_terminal g st then Ok st.io
+        else Error "incomplete pebbling: unmarked edges or an unsaved sink"
 end
 
 let errf fmt = Format.kasprintf (fun s -> Error s) fmt

@@ -30,6 +30,14 @@ module R : sig
 
   val run :
     r:int -> Prbp_dag.Dag.t -> Move.R.t list -> (state, string) result
+
+  val check : r:int -> Prbp_dag.Dag.t -> Move.R.t list -> (int, string) result
+  (** Replay through the literal rules and additionally require the
+      final state to be {!is_terminal}; [Ok cost] is the certified I/O
+      cost of a {e complete} pebbling.  This is the independent
+      certificate checker used by the bounds subsystem: a strategy cost
+      is believed only after this (or the engine's own [check]) accepts
+      the full move list. *)
 end
 
 (** Literal PRBP checker. *)
@@ -51,6 +59,10 @@ module P : sig
 
   val run :
     r:int -> Prbp_dag.Dag.t -> Move.P.t list -> (state, string) result
+
+  val check : r:int -> Prbp_dag.Dag.t -> Move.P.t list -> (int, string) result
+  (** Like {!R.check}: replay plus terminality (every edge marked,
+      every sink blue), returning the certified I/O cost. *)
 end
 
 val agree_rbp :

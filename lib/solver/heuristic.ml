@@ -46,7 +46,9 @@ let next_use uses u ~time =
   if !i < Array.length a then a.(!i) else infinity_pos
 
 (* Pick the eviction victim among the red, unpinned nodes: farthest
-   next use first; among equals, prefer one whose eviction is free. *)
+   next use first; among equals, prefer one whose eviction is free.
+   Every key ends in [-v], so remaining ties break deterministically
+   toward the lowest node id, independent of iteration order. *)
 let pick_victim ~iter_red ~pinned ~key =
   let best = ref None in
   iter_red (fun v ->
@@ -59,10 +61,16 @@ let pick_victim ~iter_red ~pinned ~key =
   | Some (v, _) -> v
   | None -> failwith "Heuristic: no evictable pebble (r too small?)"
 
-let rbp ?(policy = Belady) ~r g =
+let resolve_order g = function
+  | None -> Topo.sort g
+  | Some o ->
+      if Topo.is_order g o then o
+      else invalid_arg "Heuristic: ~order is not a topological order"
+
+let rbp ?(policy = Belady) ?order ~r g =
   if r < Dag.max_in_degree g + 1 then
     invalid_arg "Heuristic.rbp: requires r >= max in-degree + 1";
-  let order = Topo.sort g in
+  let order = resolve_order g order in
   let uses = build_uses g order in
   let stamp = Array.make (Dag.n_nodes g) 0 in
   let clock = ref 0 in
@@ -84,9 +92,10 @@ let rbp ?(policy = Belady) ~r g =
     let key v =
       let nu = next_use uses v ~time:!time in
       (* primary score per policy; prefer free evictions (already blue
-         or never used again) on ties *)
+         or never used again) on ties; then lowest node id *)
       ( policy_score policy ~next_use:nu ~stamp:stamp.(v),
-        if Rbp.has_blue eng v || nu = infinity_pos then 1 else 0 )
+        (if Rbp.has_blue eng v || nu = infinity_pos then 1 else 0),
+        -v )
     in
     let w = pick_victim ~iter_red:(fun f -> Bitset.iter f red) ~pinned ~key in
     if
@@ -127,9 +136,9 @@ let rbp ?(policy = Belady) ~r g =
     order;
   List.rev !moves
 
-let prbp ?(policy = Belady) ~r g =
+let prbp ?(policy = Belady) ?order ?(defer_saves = false) ~r g =
   if r < 2 then invalid_arg "Heuristic.prbp: requires r >= 2";
-  let order = Topo.sort g in
+  let order = resolve_order g order in
   let uses = build_uses g order in
   let stamp = Array.make (Dag.n_nodes g) 0 in
   let clock = ref 0 in
@@ -156,8 +165,14 @@ let prbp ?(policy = Belady) ~r g =
         | Prbp.Pebble.Dark -> nu = infinity_pos
         | Prbp.Pebble.Blue | Prbp.Pebble.None_ -> true
       in
-      ( policy_score policy ~next_use:nu ~stamp:stamp.(v),
-        if free then 1 else 0 )
+      let free_flag = if free then 1 else 0 in
+      let score = policy_score policy ~next_use:nu ~stamp:stamp.(v) in
+      (* [defer_saves] flips the priority: evict whatever is free to
+         evict before paying a save for a partially-aggregated dark
+         value, even at a nearer next use — the save-vs-keep-partial
+         axis the upper-bound portfolio explores.  Ties end at the
+         lowest node id either way. *)
+      if defer_saves then (free_flag, score, -v) else (score, free_flag, -v)
     in
     let w = pick_victim ~iter_red:(fun f -> Bitset.iter f red) ~pinned ~key in
     (* a dark value not yet fully consumed must be saved before the
@@ -262,7 +277,8 @@ let prbp_greedy ~r g =
            value with the fewest remaining interactions *)
         let key =
           ( (if free && remaining v = 0 then 2 else if free then 1 else 0),
-            -(remaining v) )
+            -(remaining v),
+            -v )
         in
         match !best with
         | Some (_, bk) when compare key bk <= 0 -> ()

@@ -13,19 +13,48 @@ type policy =
   | Lru  (** least recently touched first *)
   | Fifo  (** oldest cache resident first *)
 
-val rbp : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.R.t list
+(** {b Determinism.}  Both pebblers are pure functions of their
+    arguments.  Eviction ties are broken explicitly: first by the
+    policy score, then by preferring a victim whose eviction is free
+    (already saved, or never used again), and finally by the {e lowest
+    node id} — so runs are reproducible move-for-move across OCaml
+    versions and iteration-order changes, which the benchmark brackets
+    rely on. *)
+
+val rbp :
+  ?policy:policy ->
+  ?order:Prbp_dag.Dag.node array ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.R.t list
 (** One-shot RBP strategy.  Requires [r ≥ Δin + 1] (else
     [Invalid_argument]): each node is computed once, with its inputs
     loaded into fast memory as needed; evicted values are saved first
-    when they will be used again (or are unsaved sinks). *)
+    when they will be used again (or are unsaved sinks).
 
-val prbp : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> Prbp_pebble.Move.P.t list
+    [order] overrides the processing order (default {!Prbp_dag.Topo.sort});
+    it must be a topological order of the DAG (checked, else
+    [Invalid_argument]) — the hook the local-search upper-bound
+    portfolio uses to explore schedule perturbations. *)
+
+val prbp :
+  ?policy:policy ->
+  ?order:Prbp_dag.Dag.node array ->
+  ?defer_saves:bool ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  Prbp_pebble.Move.P.t list
 (** One-shot PRBP strategy; works for any [r ≥ 2] and any DAG.  Each
     target node is aggregated input by input; the current target holds
     one (dark) red pebble and the remaining capacity caches inputs.
     Completed values are kept resident while capacity allows, saved
     lazily on eviction, and dark values consumed entirely while
-    resident are deleted for free. *)
+    resident are deleted for free.
+
+    [order] as in {!rbp}.  [defer_saves] (default [false]) makes the
+    evictor give up any free-to-evict resident value before paying a
+    save for a partially-aggregated (dark) one, regardless of next-use
+    distance — trading cache quality for fewer partial-value saves. *)
 
 val rbp_cost : ?policy:policy -> r:int -> Prbp_dag.Dag.t -> int
 (** Cost of {!rbp}, certified by replaying it through the rule-checking

@@ -1,0 +1,214 @@
+(* lib/bounds/Bracket: wherever the exact solvers can reach, a bracket
+   must contain the optimum, and every certificate it embeds must
+   re-validate independently of the code that built it. *)
+open Test_util
+module Dag = Prbp.Dag
+module Segment = Prbp.Bounds.Segment
+module Lower = Prbp.Bounds.Lower
+module Upper = Prbp.Bounds.Upper
+module Bracket = Prbp.Bounds.Bracket
+
+let small_graphs =
+  lazy
+    ([
+       ("diamond", Prbp.Graphs.Basic.diamond ());
+       ("pyramid(3)", Prbp.Graphs.Basic.pyramid 3);
+       ("fan_in(4)", Prbp.Graphs.Basic.fan_in 4);
+       ("horner(3)", Prbp.Graphs.Basic.horner 3);
+       ("path(6)", Prbp.Graphs.Basic.path 6);
+       ("fig1", fst (Prbp.Graphs.Fig1.full ()));
+     ]
+    @ List.filteri
+        (fun i _ -> i < 4)
+        (List.map
+           (fun g -> ("random", g))
+           (List.filter
+              (fun g -> Dag.n_nodes g <= 12)
+              (Lazy.force random_dags))))
+
+let exact game ~r g =
+  match game with
+  | `Rbp -> opt_rbp_opt (Prbp.Rbp.config ~r ()) g
+  | `Prbp -> opt_prbp_opt (Prbp.Prbp_game.config ~r ()) g
+
+let bracket game ?budget ~r g =
+  match game with
+  | `Rbp -> Bracket.rbp ?budget ~r g
+  | `Prbp -> Bracket.prbp ?budget ~r g
+
+(* satellite (d): brackets contain the exact optimum on every DAG with
+   n <= 12, for both games and several r *)
+let test_contains_optimum () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun game ->
+          List.iter
+            (fun r ->
+              let what =
+                Printf.sprintf "%s %s r=%d" name
+                  (match game with `Rbp -> "rbp" | `Prbp -> "prbp")
+                  r
+              in
+              match (bracket game ~r g, exact game ~r g) with
+              | Error _, None -> () (* both agree: no strategy at this r *)
+              | Error e, Some _ ->
+                  Alcotest.failf "%s: bracket failed but OPT exists: %s" what e
+              | Ok _, None ->
+                  Alcotest.failf "%s: bracket claims a strategy, OPT says none"
+                    what
+              | Ok b, Some opt ->
+                  check_true
+                    (Printf.sprintf "%s: %d <= %d <= %d" what
+                       b.Bracket.lower.Lower.bound opt b.Bracket.upper)
+                    (b.Bracket.lower.Lower.bound <= opt
+                    && opt <= b.Bracket.upper))
+            [ 2; 3; 4 ])
+        [ `Rbp; `Prbp ])
+    (Lazy.force small_graphs)
+
+(* every embedded certificate re-validates through the independent
+   checkers: Spart for partitions, the literal verifier for moves *)
+let test_certificates_revalidate () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun game ->
+          let r = 3 in
+          match bracket game ~r g with
+          | Error _ -> ()
+          | Ok b ->
+              (match b.Bracket.lower.Lower.witness with
+              | Some seg -> check_ok (name ^ ": witness") (Segment.validate g seg)
+              | None -> ());
+              (match b.Bracket.profile with
+              | Some seg -> check_ok (name ^ ": profile") (Segment.validate g seg)
+              | None -> ());
+              let replay =
+                match b.Bracket.moves with
+                | Bracket.Rbp_moves mv -> Prbp.Verifier.R.check ~r g mv
+                | Bracket.Prbp_moves mv -> Prbp.Verifier.P.check ~r g mv
+              in
+              (match replay with
+              | Ok c -> check_int (name ^ ": replay cost") b.Bracket.upper c
+              | Error e -> Alcotest.failf "%s: replay rejected: %s" name e);
+              check_true (name ^ ": game tag matches moves")
+                (match (b.Bracket.game, b.Bracket.moves) with
+                | Lower.Rbp, Bracket.Rbp_moves _
+                | Lower.Prbp, Bracket.Prbp_moves _ ->
+                    true
+                | _ -> false))
+        [ `Rbp; `Prbp ])
+    (Lazy.force small_graphs)
+
+let test_tight_bracket () =
+  (* fan_in(5) at r = 6: load 5 sources + write the sink, and the
+     trivial bound already equals it — the bracket must pin OPT *)
+  let g = Prbp.Graphs.Basic.fan_in 5 in
+  match Bracket.rbp ~r:6 g with
+  | Error e -> Alcotest.failf "fan_in(5): %s" e
+  | Ok b ->
+      check_true "tight" b.Bracket.tight;
+      check_int "pinned at 6" 6 b.Bracket.upper;
+      check_int "OPT agrees" (opt_rbp (Prbp.Rbp.config ~r:6 ()) g)
+        b.Bracket.upper
+
+(* a starved budget must degrade the bracket, never break it: the base
+   heuristics still produce a verified strategy and the lower portfolio
+   falls back to the always-cheap rules *)
+let test_starved_budget_stays_sound () =
+  let budget =
+    Prbp.Solver.Budget.v ~max_states:10 ~max_millis:1 ~check_every:1 ()
+  in
+  List.iter
+    (fun (name, g) ->
+      match Bracket.prbp ~budget ~r:3 g with
+      | Error e -> Alcotest.failf "%s under starved budget: %s" name e
+      | Ok b -> (
+          match exact `Prbp ~r:3 g with
+          | None -> Alcotest.failf "%s: OPT should exist at r=3" name
+          | Some opt ->
+              check_true (name ^ ": still contains OPT")
+                (b.Bracket.lower.Lower.bound <= opt
+                && opt <= b.Bracket.upper)))
+    (Lazy.force small_graphs)
+
+let test_deterministic_without_deadline () =
+  (* no wall clock in the budget: two runs must agree on every field
+     that is not elapsed time *)
+  let key (b : Bracket.t) =
+    ( b.Bracket.lower.Lower.bound,
+      Lower.rule_label b.Bracket.lower.Lower.rule,
+      b.Bracket.upper,
+      Upper.meth_label b.Bracket.meth,
+      b.Bracket.tight,
+      Option.map Segment.n_classes b.Bracket.profile )
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun game ->
+          match (bracket game ~r:3 g, bracket game ~r:3 g) with
+          | Ok a, Ok b ->
+              check_true (name ^ ": runs agree") (key a = key b)
+          | Error _, Error _ -> ()
+          | _ -> Alcotest.failf "%s: feasibility flipped between runs" name)
+        [ `Rbp; `Prbp ])
+    (Lazy.force small_graphs)
+
+let test_json_row () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  match Bracket.prbp ~r:2 g with
+  | Error e -> Alcotest.failf "diamond: %s" e
+  | Ok b ->
+      let json = Bracket.to_json ~family:"diamond" b in
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_true "kind" (contains "\"kind\": \"bracket\"" json);
+      check_true "family" (contains "\"family\": \"diamond\"" json);
+      check_true "game" (contains "\"game\": \"prbp\"" json);
+      check_true "upper"
+        (contains (Printf.sprintf "\"upper\": %d" b.Bracket.upper) json)
+
+let gen_dag =
+  QCheck.make
+    ~print:(fun (seed, layers, width) ->
+      Printf.sprintf "seed=%d layers=%d width=%d" seed layers width)
+    QCheck.Gen.(triple (int_range 1 10_000) (int_range 2 3) (int_range 1 3))
+
+let dag_of (seed, layers, width) =
+  Prbp.Graphs.Random_dag.make ~seed ~layers ~width ~density:0.35
+    ~max_in_degree:3 ()
+
+let prop_contains game label =
+  qcase ~count:25 (label ^ " brackets contain the exact optimum") gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let r = 3 in
+      match bracket game ~r g with
+      | Error _ -> exact game ~r g = None
+      | Ok b -> (
+          match exact game ~r g with
+          | None -> false
+          | Some opt ->
+              b.Bracket.lower.Lower.bound <= opt && opt <= b.Bracket.upper))
+
+let suite =
+  [
+    ( "bracket",
+      [
+        slow_case "contains OPT on all small DAGs" test_contains_optimum;
+        case "certificates re-validate" test_certificates_revalidate;
+        case "tight bracket pins OPT" test_tight_bracket;
+        case "starved budget stays sound" test_starved_budget_stays_sound;
+        case "deterministic without deadline" test_deterministic_without_deadline;
+        case "json row" test_json_row;
+        prop_contains `Rbp "RBP";
+        prop_contains `Prbp "PRBP";
+      ] );
+  ]

@@ -62,6 +62,25 @@ let test_large_cache_gives_trivial_cost () =
         (Prbp.Heuristic.prbp_cost ~r g))
     (families ())
 
+let test_belady_tie_break () =
+  (* once node 5 is saved, the cached nodes 3, 4 and 5 are all equally
+     dead (never used again) — a pure Belady tie.  The documented rule
+     resolves every tie to the lowest node id, so the deletions must
+     come out in increasing id order *)
+  let g = Prbp.Dag.make ~n:7 [ (2, 4); (3, 4); (4, 5); (0, 6); (1, 6) ] in
+  let moves = Prbp.Heuristic.rbp ~r:3 g in
+  let deletes =
+    List.filter_map
+      (function Prbp.Move.R.Delete v -> Some v | _ -> None)
+      moves
+  in
+  check_true "ties evict lowest id first" (deletes = [ 2; 3; 4; 5 ]);
+  (* and the whole trace is reproducible: same moves on every run, and
+     with the topological order passed explicitly *)
+  check_true "deterministic" (moves = Prbp.Heuristic.rbp ~r:3 g);
+  check_true "explicit order agrees"
+    (moves = Prbp.Heuristic.rbp ~order:(Prbp.Topo.sort g) ~r:3 g)
+
 let test_big_random_dags () =
   (* scale check: a few hundred nodes run in well under a second *)
   let g =
@@ -84,6 +103,7 @@ let suite =
         case "prbp needs r>=2" test_prbp_requires_r2;
         case "more cache no worse" test_more_cache_no_worse_on_path;
         case "unbounded cache -> trivial cost" test_large_cache_gives_trivial_cost;
+        case "belady ties break to lowest id" test_belady_tie_break;
         case "scales to hundreds of nodes" test_big_random_dags;
       ] );
   ]

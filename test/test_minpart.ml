@@ -1,47 +1,90 @@
 open Test_util
 module Dag = Prbp.Dag
 module MP = Prbp.Minpart
+module Segment = Prbp.Bounds.Segment
 
-let min_exn = function
+(* Collapse a verdict to the classic [int option] shape, treating a
+   truncated search as a test failure (these instances are tiny). *)
+let min_of what = function
+  | MP.Minimum { classes; _ } -> Some classes
+  | MP.No_partition -> None
+  | MP.Truncated reason ->
+      Alcotest.failf "%s: search truncated (%s)" what
+        (Prbp.Solver.reason_label reason)
+
+let min_exn what v =
+  match min_of what v with
   | Some k -> k
-  | None -> Alcotest.fail "expected a partition to exist"
+  | None -> Alcotest.failf "%s: expected a partition to exist" what
+
+(* Every Minimum verdict must carry a witness with exactly [classes]
+   blocks that re-validates through the exact checkers. *)
+let witness_ok flavor g ~s what = function
+  | MP.Minimum { classes; witness } -> (
+      check_int (what ^ ": witness size") classes (Array.length witness);
+      match Segment.of_minpart flavor g ~s witness with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: witness rejected: %s" what e)
+  | MP.No_partition | MP.Truncated _ -> ()
 
 let test_ideals_path () =
   (* ideals of a path are its prefixes, plus the empty set *)
-  check_int "path(5)" 6 (MP.n_ideals (Prbp.Graphs.Basic.path 5))
+  match MP.ideals (Prbp.Graphs.Basic.path 5) with
+  | Ok n -> check_int "path(5)" 6 n
+  | Error _ -> Alcotest.fail "path(5) ideal count truncated"
 
 let test_ideals_diamond () =
   (* ∅,{0},{01},{02},{012},{0123} *)
-  check_int "diamond" 6 (MP.n_ideals (Prbp.Graphs.Basic.diamond ()))
+  match MP.ideals (Prbp.Graphs.Basic.diamond ()) with
+  | Ok n -> check_int "diamond" 6 n
+  | Error _ -> Alcotest.fail "diamond ideal count truncated"
 
 let test_single_class_cases () =
   let d = Prbp.Graphs.Basic.diamond () in
-  check_int "diamond s=2" 1 (min_exn (MP.min_spartition d ~s:2));
-  check_int "dominator version" 1 (min_exn (MP.min_dominator_partition d ~s:2));
+  check_int "diamond s=2" 1 (min_exn "diamond" (MP.spartition d ~s:2));
+  check_int "dominator version" 1
+    (min_exn "diamond dom" (MP.dominator_partition d ~s:2));
   let p = Prbp.Graphs.Basic.path 6 in
-  check_int "path s=1" 1 (min_exn (MP.min_spartition p ~s:1))
+  check_int "path s=1" 1 (min_exn "path" (MP.spartition p ~s:1))
 
 let test_fan_out_terminal_pressure () =
   (* 5 sinks, classes limited to terminal size 2: MIN_part = 3 while
      MIN_dom = 1 (Definition 6.6 drops the terminal condition) *)
   let g = Prbp.Graphs.Basic.fan_out 5 in
-  check_int "MIN_part" 3 (min_exn (MP.min_spartition g ~s:2));
-  check_int "MIN_dom" 1 (min_exn (MP.min_dominator_partition g ~s:2))
+  check_int "MIN_part" 3 (min_exn "fan-out part" (MP.spartition g ~s:2));
+  check_int "MIN_dom" 1 (min_exn "fan-out dom" (MP.dominator_partition g ~s:2))
 
 let test_edge_partition_diamond () =
   (* the whole diamond edge set is already a valid class at S = 1: its
      edge-dominator is {source} and its edge-terminal is {sink} *)
   let g = Prbp.Graphs.Basic.diamond () in
-  check_int "MIN_edge(1)" 1 (min_exn (MP.min_edge_partition g ~s:1));
+  check_int "MIN_edge(1)" 1 (min_exn "diamond edge" (MP.edge_partition g ~s:1));
   (* fan-out: every out-edge ends at a distinct sink, so edge-terminal
      pressure forces ⌈5/2⌉ classes at S = 2 *)
   let f = Prbp.Graphs.Basic.fan_out 5 in
-  check_int "fan-out MIN_edge(2)" 3 (min_exn (MP.min_edge_partition f ~s:2));
-  check_int "fan-out MIN_edge(5)" 1 (min_exn (MP.min_edge_partition f ~s:5))
+  check_int "fan-out MIN_edge(2)" 3
+    (min_exn "fan-out edge s=2" (MP.edge_partition f ~s:2));
+  check_int "fan-out MIN_edge(5)" 1
+    (min_exn "fan-out edge s=5" (MP.edge_partition f ~s:5))
 
 let test_infeasible_s0 () =
   let g = Prbp.Graphs.Basic.diamond () in
-  check_true "s=0 has no partition" (MP.min_spartition g ~s:0 = None)
+  check_true "s=0 has no partition" (MP.spartition g ~s:0 = MP.No_partition)
+
+let test_witnesses_revalidate () =
+  (* whatever DAG the search is given, a Minimum verdict's witness must
+     pass the corresponding exact checker with the reported class count *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 10 then
+        List.iter
+          (fun s ->
+            witness_ok Segment.Spartition g ~s "MIN_part" (MP.spartition g ~s);
+            witness_ok Segment.Dominator g ~s "MIN_dom"
+              (MP.dominator_partition g ~s);
+            witness_ok Segment.Edge g ~s "MIN_edge" (MP.edge_partition g ~s))
+          [ 2; 3; 4 ])
+    (Lazy.force random_dags)
 
 let test_min_dom_at_most_min_part () =
   List.iter
@@ -49,7 +92,10 @@ let test_min_dom_at_most_min_part () =
       if Dag.n_nodes g <= 10 then
         List.iter
           (fun s ->
-            match (MP.min_dominator_partition g ~s, MP.min_spartition g ~s) with
+            match
+              ( min_of "MIN_dom" (MP.dominator_partition g ~s),
+                min_of "MIN_part" (MP.spartition g ~s) )
+            with
             | Some d, Some p -> check_true "MIN_dom <= MIN_part" (d <= p)
             | _, None -> ()
             | None, Some _ -> Alcotest.fail "dom infeasible but part feasible")
@@ -62,7 +108,7 @@ let test_greedy_upper_bounds_exact () =
     (fun g ->
       if Dag.n_nodes g <= 9 then begin
         let s = 3 in
-        match MP.min_spartition g ~s with
+        match min_of "MIN_part" (MP.spartition g ~s) with
         | Some k ->
             let greedy = Array.length (Prbp.Spart.greedy_spartition g ~s) in
             check_true "greedy >= exact" (greedy >= k)
@@ -83,8 +129,8 @@ let test_theorem_65_exact () =
   List.iter
     (fun (name, g, r) ->
       let opt = Test_util.opt_prbp (Prbp.Prbp_game.config ~r ()) g in
-      let edge = MP.prbp_lower_bound_edge g ~r in
-      let dom = MP.prbp_lower_bound_dom g ~r in
+      let edge = MP.prbp_bound_edge g ~r in
+      let dom = MP.prbp_bound_dom g ~r in
       check_true (name ^ ": edge bound sound") (edge <= opt);
       check_true (name ^ ": dom bound sound") (dom <= opt))
     cases
@@ -100,7 +146,7 @@ let test_hong_kung_exact () =
   List.iter
     (fun (name, g, r) ->
       let opt = Test_util.opt_rbp (Prbp.Rbp.config ~r ()) g in
-      check_true (name ^ ": HK bound sound") (MP.rbp_lower_bound g ~r <= opt))
+      check_true (name ^ ": HK bound sound") (MP.rbp_bound g ~r <= opt))
     cases
 
 let test_extraction_respects_min () =
@@ -109,14 +155,30 @@ let test_extraction_respects_min () =
   let r = 4 in
   let moves = Prbp.Strategies.fig1_prbp ids in
   let extracted = Prbp.Extract.edge_partition_of_prbp ~r g moves in
-  match MP.min_edge_partition g ~s:(2 * r) with
+  match min_of "MIN_edge" (MP.edge_partition g ~s:(2 * r)) with
   | Some k -> check_true "extracted >= MIN" (Array.length extracted >= k)
   | None -> Alcotest.fail "partition must exist"
 
-let test_budget () =
+let test_budget_truncates () =
+  (* a starved state budget must surface as Truncated, not an exception,
+     and the derived bounds must degrade to the sound 0 *)
   let l = Prbp.Graphs.Lemma54.make ~group_size:4 in
-  check_true "budget raises"
-    (match MP.n_ideals ~max_ideals:50 l.Prbp.Graphs.Lemma54.dag with
+  let g = l.Prbp.Graphs.Lemma54.dag in
+  let budget = Prbp.Solver.Budget.v ~max_states:50 ~check_every:1 () in
+  check_true "ideals truncates" (Result.is_error (MP.ideals ~budget g));
+  (match MP.spartition ~budget g ~s:4 with
+  | MP.Truncated _ -> ()
+  | MP.Minimum _ | MP.No_partition ->
+      Alcotest.fail "expected Truncated under a 50-state budget");
+  check_int "truncated bound is 0" 0 (MP.rbp_bound ~budget g ~r:2)
+
+let test_deprecated_shim_raises () =
+  let l = Prbp.Graphs.Lemma54.make ~group_size:4 in
+  check_true "shim raises Too_large"
+    (match
+       (MP.n_ideals [@alert "-deprecated"]) ~max_ideals:50
+         l.Prbp.Graphs.Lemma54.dag
+     with
     | exception MP.Too_large _ -> true
     | _ -> false)
 
@@ -130,11 +192,13 @@ let suite =
         case "terminal pressure splits fan-out" test_fan_out_terminal_pressure;
         case "edge partition of the diamond" test_edge_partition_diamond;
         case "s=0 infeasible" test_infeasible_s0;
+        case "witnesses re-validate" test_witnesses_revalidate;
         case "MIN_dom <= MIN_part" test_min_dom_at_most_min_part;
         case "greedy upper-bounds exact" test_greedy_upper_bounds_exact;
         case "Theorem 6.5/6.7 exact soundness" test_theorem_65_exact;
         case "Hong-Kung exact soundness" test_hong_kung_exact;
         case "extraction >= MIN" test_extraction_respects_min;
-        case "enumeration budget" test_budget;
+        case "budget truncates, bounds stay sound" test_budget_truncates;
+        case "deprecated shim raises" test_deprecated_shim_raises;
       ] );
   ]

@@ -1,0 +1,196 @@
+(* lib/bounds/Segment: the constructive partitioners must only ever
+   emit partitions that the exact Spart checkers accept — on named
+   graphs, and property-tested over random DAGs. *)
+open Test_util
+module Dag = Prbp.Dag
+module Bitset = Prbp.Bitset
+module Segment = Prbp.Bounds.Segment
+
+let flavors = [ Segment.Spartition; Segment.Dominator; Segment.Edge ]
+
+(* The checker a Segment claims to have passed, invoked directly on the
+   raw classes — independent of Segment.validate. *)
+let spart_check flavor g ~s classes =
+  match flavor with
+  | Segment.Spartition -> Prbp.Spart.is_spartition g ~s classes
+  | Segment.Dominator -> Prbp.Spart.is_dominator_partition g ~s classes
+  | Segment.Edge -> Prbp.Spart.is_edge_partition g ~s classes
+
+let seg_exn what = function
+  | Ok seg -> seg
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let covers_everything g (seg : Segment.t) =
+  let total =
+    match seg.Segment.flavor with
+    | Segment.Edge -> Dag.n_edges g
+    | Segment.Spartition | Segment.Dominator -> Dag.n_nodes g
+  in
+  let counted =
+    Array.fold_left
+      (fun acc c -> acc + Bitset.cardinal c)
+      0 seg.Segment.classes
+  in
+  check_int "classes cover every element exactly once" total counted
+
+let test_greedy_named () =
+  let graphs =
+    [
+      ("diamond", Prbp.Graphs.Basic.diamond ());
+      ("pyramid(3)", Prbp.Graphs.Basic.pyramid 3);
+      ("fan_out(5)", Prbp.Graphs.Basic.fan_out 5);
+      ("fig1", fst (Prbp.Graphs.Fig1.full ()));
+      ("fft(8)", (Prbp.Graphs.Fft.make ~m:8).Prbp.Graphs.Fft.dag);
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun flavor ->
+          List.iter
+            (fun s ->
+              let what =
+                Printf.sprintf "%s %s s=%d" name
+                  (Segment.flavor_label flavor)
+                  s
+              in
+              let seg = seg_exn what (Segment.greedy ~flavor g ~s) in
+              check_true (what ^ ": not marked minimal")
+                (not seg.Segment.minimal);
+              check_ok what (spart_check flavor g ~s seg.Segment.classes);
+              covers_everything g seg)
+            [ 1; 2; 3 ])
+        flavors)
+    graphs
+
+let test_level_cut () =
+  let g = (Prbp.Graphs.Fft.make ~m:8).Prbp.Graphs.Fft.dag in
+  List.iter
+    (fun flavor ->
+      List.iter
+        (fun s ->
+          let what =
+            Printf.sprintf "level_cut fft(8) %s s=%d"
+              (Segment.flavor_label flavor)
+              s
+          in
+          let seg = seg_exn what (Segment.level_cut ~flavor g ~s) in
+          check_ok what (spart_check flavor g ~s seg.Segment.classes);
+          covers_everything g seg)
+        [ 1; 2; 4 ])
+    [ Segment.Spartition; Segment.Dominator ];
+  check_err "level_cut rejects Edge"
+    (Segment.level_cut ~flavor:Segment.Edge g ~s:2)
+
+let test_rejects_s0 () =
+  let g = Prbp.Graphs.Basic.diamond () in
+  List.iter
+    (fun flavor ->
+      check_err "greedy s=0" (Segment.greedy ~flavor g ~s:0);
+      if flavor <> Segment.Edge then
+        check_err "level_cut s=0" (Segment.level_cut ~flavor g ~s:0))
+    flavors
+
+let test_of_minpart_roundtrip () =
+  (* wrap an exact Minpart witness: it must validate and carry the
+     minimal flag; Segment.validate must agree with the direct check *)
+  let g = Prbp.Graphs.Basic.fan_out 5 in
+  let s = 2 in
+  match Prbp.Minpart.spartition g ~s with
+  | Prbp.Minpart.Minimum { classes; witness } ->
+      let seg =
+        seg_exn "of_minpart"
+          (Segment.of_minpart Segment.Spartition g ~s witness)
+      in
+      check_true "marked minimal" seg.Segment.minimal;
+      check_int "class count preserved" classes (Segment.n_classes seg);
+      check_ok "re-validates" (Segment.validate g seg)
+  | _ -> Alcotest.fail "fan_out(5) must have an exact s=2 partition"
+
+let test_of_minpart_rejects_invalid () =
+  (* one class holding all of fan_out(5) violates the terminal bound at
+     s = 2, so the wrapper must refuse it *)
+  let g = Prbp.Graphs.Basic.fan_out 5 in
+  let all = Bitset.create (Dag.n_nodes g) in
+  Bitset.fill all;
+  check_err "invalid witness rejected"
+    (Segment.of_minpart Segment.Spartition g ~s:2 [| all |])
+
+let test_greedy_never_beats_exact () =
+  (* constructive class counts only upper-bound MIN — confirm the
+     inequality holds where the exact search can run *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 10 then
+        let s = 3 in
+        match Prbp.Minpart.spartition g ~s with
+        | Prbp.Minpart.Minimum { classes; _ } ->
+            let seg = seg_exn "greedy" (Segment.greedy g ~s) in
+            check_true "greedy >= MIN" (Segment.n_classes seg >= classes)
+        | _ -> ())
+    (Lazy.force random_dags)
+
+let gen_dag =
+  QCheck.make
+    ~print:(fun (seed, layers, width, s) ->
+      Printf.sprintf "seed=%d layers=%d width=%d s=%d" seed layers width s)
+    QCheck.Gen.(
+      quad (int_range 1 10_000) (int_range 2 4) (int_range 1 3)
+        (int_range 1 4))
+
+let dag_of (seed, layers, width, _) =
+  Prbp.Graphs.Random_dag.make ~seed ~layers ~width ~density:0.35
+    ~max_in_degree:4 ()
+
+let prop_greedy_valid =
+  qcase ~count:60 "greedy segments pass the exact Spart checkers" gen_dag
+    (fun ((_, _, _, s) as params) ->
+      let g = dag_of params in
+      List.for_all
+        (fun flavor ->
+          match Segment.greedy ~flavor g ~s with
+          | Error _ -> false
+          | Ok seg -> spart_check flavor g ~s seg.Segment.classes = Ok ())
+        flavors)
+
+let prop_level_cut_valid =
+  qcase ~count:60 "level cuts pass the exact Spart checkers" gen_dag
+    (fun ((_, _, _, s) as params) ->
+      let g = dag_of params in
+      List.for_all
+        (fun flavor ->
+          match Segment.level_cut ~flavor g ~s with
+          | Error _ -> false
+          | Ok seg -> spart_check flavor g ~s seg.Segment.classes = Ok ())
+        [ Segment.Spartition; Segment.Dominator ])
+
+let test_dot_partition_rendering () =
+  let g = Prbp.Graphs.Basic.pyramid 3 in
+  let seg = seg_exn "greedy" (Segment.greedy g ~s:3) in
+  let dot = Prbp.Dot.to_string ~classes:seg.Segment.classes g in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "filled nodes" (contains "fillcolor" dot);
+  check_true "class tooltips" (contains "class 0" dot);
+  let eseg = seg_exn "edges" (Segment.greedy ~flavor:Segment.Edge g ~s:3) in
+  let edot = Prbp.Dot.to_string ~edge_classes:eseg.Segment.classes g in
+  check_true "colored edges" (contains "penwidth" edot)
+
+let suite =
+  [
+    ( "segment",
+      [
+        case "greedy on named graphs" test_greedy_named;
+        case "level cuts on layered DAGs" test_level_cut;
+        case "s=0 rejected" test_rejects_s0;
+        case "minpart witness roundtrip" test_of_minpart_roundtrip;
+        case "invalid witness rejected" test_of_minpart_rejects_invalid;
+        case "greedy never beats exact MIN" test_greedy_never_beats_exact;
+        prop_greedy_valid;
+        prop_level_cut_valid;
+        case "dot partition rendering" test_dot_partition_rendering;
+      ] );
+  ]
