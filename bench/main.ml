@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- --no-perf  # experiments only
      dune exec bench/main.exe -- --perf     # benchmarks only
      dune exec bench/main.exe -- E03 E08    # a subset of experiments
-     dune exec bench/main.exe -- -j 4       # 4 worker domains  *)
+     dune exec bench/main.exe -- -j 4       # 4 worker domains
+     dune exec bench/main.exe -- --profile  # span-tree timing summary
+     dune exec bench/main.exe -- --profile-out trace.json --metrics-out m.prom  *)
 
 let experiments =
   Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
@@ -17,7 +19,8 @@ let default_jobs = min 8 (Domain.recommended_domain_count ())
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--perf|--no-perf] [-j N] [EXPERIMENT_ID ...]";
+    "usage: main.exe [--perf|--no-perf] [-j N] [--profile] [--profile-out \
+     FILE] [--metrics-out FILE] [EXPERIMENT_ID ...]";
   exit 2
 
 let () =
@@ -25,6 +28,9 @@ let () =
   let perf_only = ref false in
   let no_perf = ref false in
   let jobs = ref default_jobs in
+  let profile = ref false in
+  let profile_out = ref None in
+  let metrics_out = ref None in
   let ids = ref [] in
   let rec parse = function
     | [] -> ()
@@ -33,6 +39,15 @@ let () =
         parse rest
     | "--no-perf" :: rest ->
         no_perf := true;
+        parse rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse rest
+    | "--profile-out" :: f :: rest ->
+        profile_out := Some f;
+        parse rest
+    | "--metrics-out" :: f :: rest ->
+        metrics_out := Some f;
         parse rest
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
@@ -53,6 +68,13 @@ let () =
   in
   parse args;
   let ids = List.rev !ids in
+  (* Spans also turn metrics on: the per-experiment span attrs
+     (engine_expansions) are counter deltas and read 0 otherwise. *)
+  if !profile || !profile_out <> None then begin
+    Prbp.Obs.Span.set_enabled true;
+    Prbp.Obs.Metrics.set_enabled true
+  end;
+  if !metrics_out <> None then Prbp.Obs.Metrics.set_enabled true;
   let ppf = Format.std_formatter in
   Format.fprintf ppf
     "PRBP experiment harness — reproducing \"The Impact of Partial \
@@ -71,4 +93,15 @@ let () =
     Perf.run_solver ppf;
     Perf.run ppf
   end;
+  (* exports last, so they cover experiments and benchmarks alike *)
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  Option.iter (fun p -> write p (Prbp.Obs.Span.to_chrome ())) !profile_out;
+  Option.iter (fun p -> write p (Prbp.Obs.Metrics.to_prometheus ())) !metrics_out;
+  if !profile then
+    Format.fprintf ppf "@.=== PROFILE — span tree ===@.@.%s@."
+      (Prbp.Obs.Span.to_text ());
   Format.pp_print_flush ppf ()

@@ -87,7 +87,32 @@ type run_result = {
   explored : int;
   pruned : int;
   wall_s : float;
+  metrics : (string * int) list;
+      (* per-run deltas of the engine's registry counters — an
+         independent read of the same search the stats describe *)
 }
+
+(* The engine registers these at load time; [Metrics.counter] hands the
+   same instruments back (registry dedup), so before/after values frame
+   one case's footprint. *)
+let engine_counters =
+  [
+    ("expansions", Prbp.Obs.Metrics.counter "prbp_engine_expansions_total");
+    ("explored", Prbp.Obs.Metrics.counter "prbp_engine_explored_total");
+    ("pruned", Prbp.Obs.Metrics.counter "prbp_engine_pruned_total");
+    ( "table_resizes",
+      Prbp.Obs.Metrics.counter "prbp_engine_table_resizes_total" );
+  ]
+
+let counters_snapshot () =
+  List.map
+    (fun (k, c) -> (k, Prbp.Obs.Metrics.Counter.value c))
+    engine_counters
+
+let counters_delta before =
+  List.map2
+    (fun (k, v) (_, v0) -> (k, v - v0))
+    (counters_snapshot ()) before
 
 let run_case c ~prune =
   (* level the heap between runs so a huge search doesn't tax the GC
@@ -108,9 +133,11 @@ let run_case c ~prune =
           explored = stats.Prbp.Solver.explored;
           pruned = stats.Prbp.Solver.pruned;
           wall_s = 0.;
+          metrics = [];
         }
   in
-  let t0 = Unix.gettimeofday () in
+  let before = counters_snapshot () in
+  let t0 = Prbp.Obs.Clock.now () in
   let res =
     match c.game with
     | "prbp" ->
@@ -138,7 +165,11 @@ let run_case c ~prune =
              (Prbp.Rbp.config ~r:c.r ())
              c.dag)
   in
-  { res with wall_s = Unix.gettimeofday () -. t0 }
+  {
+    res with
+    wall_s = Prbp.Obs.Clock.elapsed_s t0;
+    metrics = counters_delta before;
+  }
 
 let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
 
@@ -146,7 +177,7 @@ let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
 (* Bracket rows: the certified-bounds subsystem at scales the exact
    solvers cannot touch.  One row per (family, game); each bracket
    runs under a 10-second wall-clock budget and lands in
-   BENCH_solver.json next to the solver cases (schema v4). *)
+   BENCH_solver.json next to the solver cases (schema v5). *)
 
 let bracket_cases () =
   let fft = Prbp.Graphs.Fft.make ~m:128 in
@@ -204,6 +235,9 @@ let show_interval r =
   | None -> Printf.sprintf "[%d,?]" r.lower
 
 let run_solver ppf =
+  (* the per-case metric deltas in the JSON need a live registry; the
+     engine publishes once per solve, far from the hot loop *)
+  Prbp.Obs.Metrics.set_enabled true;
   Format.fprintf ppf "@.=== PERF — exact-solver throughput ===@.@.";
   let t =
     Prbp.Table.make
@@ -226,9 +260,15 @@ let run_solver ppf =
   Prbp.Table.print ppf t;
   let bracket_rows = run_brackets ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v4\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v5\",\n";
   Buffer.add_string buf "  \"cases\": [\n";
   let num_opt = function Some v -> string_of_int v | None -> "null" in
+  let metrics_json m =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) m)
+    ^ "}"
+  in
   List.iteri
     (fun i (c, on, off) ->
       let width =
@@ -242,13 +282,16 @@ let run_solver ppf =
         \     \"prune\": {\"wall_s\": %.3f, \"explored\": %d, \"pruned\": \
          %d, \"explored_per_s\": %.0f},\n\
         \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d, \
-         \"explored_per_s\": %.0f}}%s\n"
+         \"explored_per_s\": %.0f},\n\
+        \     \"metrics\": {\"prune\": %s, \"no_prune\": %s}}%s\n"
         c.name c.game
         (Prbp_dag.Dag.n_nodes c.dag)
         (Prbp_dag.Dag.n_edges c.dag)
         c.r c.p on.outcome on.lower (num_opt on.upper) (num_opt width)
         on.wall_s on.explored on.pruned (rate on) off.wall_s off.explored
         (rate off)
+        (metrics_json on.metrics)
+        (metrics_json off.metrics)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ],\n  \"brackets\": [\n";

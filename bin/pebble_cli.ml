@@ -249,9 +249,58 @@ let duration_conv =
    and from cmdliner's own error codes (123-125). *)
 let exit_bounded = 10
 
+(* --profile-out / --metrics-out: turn the corresponding recorder on
+   for the command's lifetime and write the export when the run ends —
+   including truncated runs (exit 10) and crashes, which are exactly
+   the ones worth profiling. *)
+let obs_args =
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the run and write it as Chrome \
+             trace-event JSON to $(docv) (load it at ui.perfetto.dev or \
+             chrome://tracing).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Record solver metrics and write a Prometheus text-format \
+             snapshot to $(docv).")
+  in
+  Term.(const (fun p m -> (p, m)) $ profile_out $ metrics_out)
+
+let with_obs (profile_out, metrics_out) f =
+  if profile_out <> None then Prbp.Obs.Span.set_enabled true;
+  if metrics_out <> None then Prbp.Obs.Metrics.set_enabled true;
+  let write path s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  let export () =
+    Option.iter (fun p -> write p (Prbp.Obs.Span.to_chrome ())) profile_out;
+    Option.iter
+      (fun p -> write p (Prbp.Obs.Metrics.to_prometheus ()))
+      metrics_out
+  in
+  match f () with
+  | code ->
+      export ();
+      code
+  | exception e ->
+      export ();
+      raise e
+
 let solve_cmd =
   let run family r game heuristic max_states deadline budget_words trace
-      sliding recompute no_delete =
+      sliding recompute no_delete obs =
+    with_obs obs @@ fun () ->
     let g = build family in
     Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
     let rcfg =
@@ -378,7 +427,8 @@ let solve_cmd =
           10 instead of failing.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ heuristic $ max_states
-      $ deadline $ budget_words $ trace $ sliding $ recompute $ no_delete)
+      $ deadline $ budget_words $ trace $ sliding $ recompute $ no_delete
+      $ obs_args)
 
 let strategy_cmd =
   let run family r game verbose =
@@ -577,7 +627,8 @@ let dot_cmd =
     Term.(const run $ family_arg $ r_arg $ partition $ output)
 
 let bracket_cmd =
-  let run family r game max_states deadline json profile trace =
+  let run family r game max_states deadline json profile trace obs =
+    with_obs obs @@ fun () ->
     let g = build family in
     let budget = Prbp.Solver.Budget.v ~max_states ?max_millis:deadline () in
     let telemetry =
@@ -670,7 +721,7 @@ let bracket_cmd =
           bracket is not tight (lower < upper), 0 when it pins the optimum.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ max_states $ deadline
-      $ json $ profile $ trace)
+      $ json $ profile $ trace $ obs_args)
 
 let trace_cmd =
   let run family r game =

@@ -1,5 +1,8 @@
 module Dag = Prbp_dag.Dag
 module Solver = Prbp_solver.Solver
+module Clock = Prbp_obs.Clock
+module Span = Prbp_obs.Span
+module Metrics = Prbp_obs.Metrics
 
 type moves =
   | Rbp_moves of Prbp_pebble.Move.R.t list
@@ -45,6 +48,33 @@ let stop_progress ~elapsed_s : Solver.Telemetry.progress =
     elapsed_s;
   }
 
+(* Stage timings, one histogram family labeled by stage; observed once
+   per bracket run, far from any hot loop. *)
+let stage_hist stage =
+  Metrics.histogram ~help:"Wall-clock seconds spent per bracket stage"
+    ~labels:[ ("stage", stage) ]
+    "prbp_bracket_stage_seconds"
+
+let m_stage_lower = stage_hist "lower"
+let m_stage_upper = stage_hist "upper"
+let m_stage_profile = stage_hist "profile"
+
+let m_runs =
+  Metrics.counter ~help:"Bracket runs completed (any outcome)"
+    "prbp_bracket_runs_total"
+
+(* Run [f] as a named bracket stage: a child span when tracing is on,
+   and a stage-seconds observation either way (disabled observes are
+   one branch). *)
+let stage ~name hist f =
+  let t0 = Clock.now () in
+  let timed () =
+    let r = f () in
+    Metrics.Histogram.observe hist (Clock.elapsed_s t0);
+    r
+  in
+  if Span.enabled () then Span.with_ ~name timed else timed ()
+
 (* Constructive profile of the DAG at s = 2r: how the greedy
    partitioner decomposes it.  Flow computations make this O(n·poly),
    so skip it on very large DAGs; its absence never weakens the
@@ -57,53 +87,87 @@ let make_profile ~flavor g ~s =
 
 let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
     ~upper_portfolio ~profile_flavor g =
-  let t0 = Unix.gettimeofday () in
-  emit telemetry
-    (Solver.Telemetry.Start
-       { width = Dag.n_nodes g; max_states = budget.Solver.Budget.max_states });
-  let finish outcome result =
-    let elapsed_s = Unix.gettimeofday () -. t0 in
+  let body () =
+    let t0 = Clock.now () in
     emit telemetry
-      (Solver.Telemetry.Stop { outcome; progress = stop_progress ~elapsed_s });
-    Result.map (fun mk -> mk elapsed_s) result
+      (Solver.Telemetry.Start
+         { width = Dag.n_nodes g; max_states = budget.Solver.Budget.max_states });
+    let finish outcome result =
+      let elapsed_s = Clock.elapsed_s t0 in
+      Metrics.Counter.incr m_runs;
+      Span.add_attr "outcome" outcome;
+      emit telemetry
+        (Solver.Telemetry.Stop { outcome; progress = stop_progress ~elapsed_s });
+      Result.map (fun mk -> mk elapsed_s) result
+    in
+    let lower =
+      stage ~name:"bracket.lower" m_stage_lower (fun () ->
+          let l =
+            Lower.compute ~budget:(scale_budget budget 0.4) ?closed_forms ~game
+              ~r g
+          in
+          Span.add_attr "rule" (Lower.rule_label l.Lower.rule);
+          Span.add_attr "bound" (string_of_int l.Lower.bound);
+          l)
+    in
+    let upper_result =
+      stage ~name:"bracket.upper" m_stage_upper (fun () ->
+          let u = upper_portfolio ~budget:(scale_budget budget 0.6) ~r g in
+          (match u with
+          | Ok (cost, _, meth, _) ->
+              Span.add_attr "method" (Upper.meth_label meth);
+              Span.add_attr "cost" (string_of_int cost)
+          | Error _ -> ());
+          u)
+    in
+    match upper_result with
+    | Error e -> finish "unsolvable" (Error e)
+    | Ok (upper, moves, meth, verified) ->
+        if lower.Lower.bound > upper then
+          (* both sides are independently certified, so this cannot
+             happen unless a rule is unsound — refuse to report it *)
+          finish "unsolvable"
+            (Error
+               (Printf.sprintf
+                  "Bracket: certified lower bound %d exceeds verified upper \
+                   bound %d — unsound rule?"
+                  lower.Lower.bound upper))
+        else begin
+          let profile =
+            stage ~name:"bracket.profile" m_stage_profile (fun () ->
+                make_profile ~flavor:profile_flavor g ~s:(2 * r))
+          in
+          let tight = lower.Lower.bound = upper in
+          finish
+            (if tight then "optimal" else "bounded")
+            (Ok
+               (fun elapsed_s ->
+                 {
+                   game;
+                   r;
+                   n = Dag.n_nodes g;
+                   m = Dag.n_edges g;
+                   lower;
+                   upper;
+                   moves;
+                   meth;
+                   verified;
+                   profile;
+                   tight;
+                   elapsed_s;
+                 }))
+        end
   in
-  let lower =
-    Lower.compute ~budget:(scale_budget budget 0.4) ?closed_forms ~game ~r g
-  in
-  match upper_portfolio ~budget:(scale_budget budget 0.6) ~r g with
-  | Error e -> finish "unsolvable" (Error e)
-  | Ok (upper, moves, meth, verified) ->
-      if lower.Lower.bound > upper then
-        (* both sides are independently certified, so this cannot
-           happen unless a rule is unsound — refuse to report it *)
-        finish "unsolvable"
-          (Error
-             (Printf.sprintf
-                "Bracket: certified lower bound %d exceeds verified upper \
-                 bound %d — unsound rule?"
-                lower.Lower.bound upper))
-      else begin
-        let profile = make_profile ~flavor:profile_flavor g ~s:(2 * r) in
-        let tight = lower.Lower.bound = upper in
-        finish
-          (if tight then "optimal" else "bounded")
-          (Ok
-             (fun elapsed_s ->
-               {
-                 game;
-                 r;
-                 n = Dag.n_nodes g;
-                 m = Dag.n_edges g;
-                 lower;
-                 upper;
-                 moves;
-                 meth;
-                 verified;
-                 profile;
-                 tight;
-                 elapsed_s;
-               }))
-      end
+  if not (Span.enabled ()) then body ()
+  else
+    Span.with_ ~name:"bracket"
+      ~attrs:
+        [
+          ("game", Lower.game_label game);
+          ("r", string_of_int r);
+          ("n", string_of_int (Dag.n_nodes g));
+        ]
+      body
 
 let rbp ?budget ?telemetry ?closed_forms ~r g =
   run ?budget ?telemetry ?closed_forms ~game:Lower.Rbp ~r

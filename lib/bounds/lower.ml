@@ -1,6 +1,7 @@
 module Dag = Prbp_dag.Dag
 module Solver = Prbp_solver.Solver
 module Minpart = Prbp_partition.Minpart
+module Span = Prbp_obs.Span
 
 type game = Rbp | Prbp
 
@@ -70,57 +71,76 @@ let minpart_budget budget slices =
 
 let compute ?(budget = Solver.Budget.default) ?(closed_forms = []) ~game ~r g =
   if r < 1 then invalid_arg "Lower.compute: r must be >= 1";
-  let s = 2 * r in
-  let candidates = ref [] in
-  let add rule bound witness =
-    if bound >= 0 then candidates := (rule, bound, witness) :: !candidates
+  let body () =
+    let s = 2 * r in
+    let candidates = ref [] in
+    let add rule bound witness =
+      if bound >= 0 then candidates := (rule, bound, witness) :: !candidates
+    in
+    add Trivial (trivial_bound g) None;
+    add Source_cut (source_cut_bound g ~r) None;
+    List.iter
+      (fun (name, v) ->
+        if v > 0. then add (Closed_form name) (int_of_float (floor v)) None)
+      closed_forms;
+    let node_gate = exact_gate budget (Dag.n_nodes g) in
+    let edge_gate = exact_gate budget (Dag.n_edges g) in
+    let slices =
+      (if node_gate then match game with Rbp -> 2 | Prbp -> 1 else 0)
+      + if edge_gate then 1 else 0
+    in
+    let mb = minpart_budget budget slices in
+    let add_exact rule flavor verdict_of =
+      let verdict =
+        if Span.enabled () then
+          Span.with_ ~name:"lower.exact"
+            ~attrs:[ ("rule", rule_label rule) ]
+            verdict_of
+        else verdict_of ()
+      in
+      match verdict with
+      | Minpart.Minimum { classes; witness } -> (
+          (* believe the count only if the witness independently
+             re-validates — a rejection would mean a Minpart bug, and
+             then the count proves nothing *)
+          match Segment.of_minpart flavor g ~s witness with
+          | Ok seg -> add rule (max 0 (r * (classes - 1))) (Some seg)
+          | Error _ -> ())
+      | Minpart.No_partition | Minpart.Truncated _ -> ()
+    in
+    if node_gate then begin
+      add_exact Exact_dominator Segment.Dominator (fun () ->
+          Minpart.dominator_partition ~budget:mb g ~s);
+      match game with
+      | Rbp ->
+          add_exact Exact_spartition Segment.Spartition (fun () ->
+              Minpart.spartition ~budget:mb g ~s)
+      | Prbp -> ()
+    end;
+    if edge_gate then
+      add_exact Exact_edge Segment.Edge (fun () ->
+          Minpart.edge_partition ~budget:mb g ~s);
+    (* portfolio order = reverse insertion order; keep the earliest rule
+       on ties, so fold over the list as inserted *)
+    let best =
+      List.fold_left
+        (fun acc (rule, bound, witness) ->
+          match acc with
+          | Some (_, b, _) when b >= bound -> acc
+          | _ -> Some (rule, bound, witness))
+        None
+        (List.rev !candidates)
+    in
+    match best with
+    | Some (rule, bound, witness) -> { game; r; bound; rule; witness }
+    | None -> { game; r; bound = 0; rule = Trivial; witness = None }
   in
-  add Trivial (trivial_bound g) None;
-  add Source_cut (source_cut_bound g ~r) None;
-  List.iter
-    (fun (name, v) ->
-      if v > 0. then add (Closed_form name) (int_of_float (floor v)) None)
-    closed_forms;
-  let node_gate = exact_gate budget (Dag.n_nodes g) in
-  let edge_gate = exact_gate budget (Dag.n_edges g) in
-  let slices =
-    (if node_gate then match game with Rbp -> 2 | Prbp -> 1 else 0)
-    + if edge_gate then 1 else 0
-  in
-  let mb = minpart_budget budget slices in
-  let add_exact rule flavor verdict =
-    match verdict with
-    | Minpart.Minimum { classes; witness } -> (
-        (* believe the count only if the witness independently
-           re-validates — a rejection would mean a Minpart bug, and
-           then the count proves nothing *)
-        match Segment.of_minpart flavor g ~s witness with
-        | Ok seg -> add rule (max 0 (r * (classes - 1))) (Some seg)
-        | Error _ -> ())
-    | Minpart.No_partition | Minpart.Truncated _ -> ()
-  in
-  if node_gate then begin
-    add_exact Exact_dominator Segment.Dominator
-      (Minpart.dominator_partition ~budget:mb g ~s);
-    match game with
-    | Rbp ->
-        add_exact Exact_spartition Segment.Spartition
-          (Minpart.spartition ~budget:mb g ~s)
-    | Prbp -> ()
-  end;
-  if edge_gate then
-    add_exact Exact_edge Segment.Edge (Minpart.edge_partition ~budget:mb g ~s);
-  (* portfolio order = reverse insertion order; keep the earliest rule
-     on ties, so fold over the list as inserted *)
-  let best =
-    List.fold_left
-      (fun acc (rule, bound, witness) ->
-        match acc with
-        | Some (_, b, _) when b >= bound -> acc
-        | _ -> Some (rule, bound, witness))
-      None
-      (List.rev !candidates)
-  in
-  match best with
-  | Some (rule, bound, witness) -> { game; r; bound; rule; witness }
-  | None -> { game; r; bound = 0; rule = Trivial; witness = None }
+  if not (Span.enabled ()) then body ()
+  else
+    Span.with_ ~name:"lower.compute"
+      ~attrs:[ ("game", game_label game); ("r", string_of_int r) ]
+      (fun () ->
+        let t = body () in
+        Span.add_attr "rule" (rule_label t.rule);
+        Span.add_attr "bound" (string_of_int t.bound);
+        t)

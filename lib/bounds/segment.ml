@@ -3,6 +3,7 @@ module Bitset = Prbp_dag.Bitset
 module Topo = Prbp_dag.Topo
 module Dominator = Prbp_dag.Dominator
 module Spart = Prbp_partition.Spart
+module Span = Prbp_obs.Span
 
 type flavor = Spartition | Dominator | Edge
 
@@ -78,6 +79,20 @@ let sweep ~n_elems ~s ~fits =
   done;
   List.rev !classes
 
+(* Trace a constructive partitioner: flavor/s at entry, class count on
+   success.  One branch when tracing is off. *)
+let traced name flavor ~s body =
+  if not (Span.enabled ()) then body ()
+  else
+    Span.with_ ~name
+      ~attrs:[ ("flavor", flavor_label flavor); ("s", string_of_int s) ]
+      (fun () ->
+        let r = body () in
+        (match r with
+        | Ok t -> Span.add_attr "classes" (string_of_int (n_classes t))
+        | Error _ -> ());
+        r)
+
 let block_bitset ~capacity elems ~start ~len =
   let b = Bitset.create capacity in
   for i = start to start + len - 1 do
@@ -88,6 +103,7 @@ let block_bitset ~capacity elems ~start ~len =
 let greedy ?(flavor = Spartition) g ~s =
   if s < 1 then Error "Segment: s must be >= 1"
   else
+    traced "segment.greedy" flavor ~s @@ fun () ->
     match flavor with
     | Spartition | Dominator ->
         let elems = Topo.sort g in
@@ -126,6 +142,7 @@ let greedy ?(flavor = Spartition) g ~s =
 let level_cut ?(flavor = Spartition) g ~s =
   if s < 1 then Error "Segment: s must be >= 1"
   else
+    traced "segment.level-cut" flavor ~s @@ fun () ->
     match flavor with
     | Edge -> Error "Segment: level_cut supports node flavors only"
     | Spartition | Dominator ->

@@ -7,6 +7,17 @@ module Optimize = Prbp_solver.Optimize
 module Verifier = Prbp_pebble.Verifier
 module Rbp_engine = Prbp_pebble.Rbp
 module Prbp_engine = Prbp_pebble.Prbp
+module Clock = Prbp_obs.Clock
+module Span = Prbp_obs.Span
+module Metrics = Prbp_obs.Metrics
+
+let m_candidates =
+  Metrics.counter ~help:"Upper-bound candidate strategies attempted"
+    "prbp_upper_candidates_total"
+
+let m_accepted =
+  Metrics.counter ~help:"Upper-bound candidates that survived verification"
+    "prbp_upper_accepted_total"
 
 type meth = { base : string; reorder_seed : int option; optimized : bool }
 
@@ -76,15 +87,9 @@ let hill_climb_iters = 24
 type clock = { time_ok : unit -> bool }
 
 let make_clock (budget : Solver.Budget.t) =
-  let deadline =
-    Option.map
-      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
-      budget.Solver.Budget.max_millis
-  in
+  let deadline = Clock.deadline_of_millis budget.Solver.Budget.max_millis in
   let time_ok () =
-    (match deadline with
-    | Some t -> Unix.gettimeofday () < t
-    | None -> true)
+    (not (Clock.expired deadline))
     && match budget.Solver.Budget.cancelled with
        | Some f -> not (f ())
        | None -> true
@@ -99,37 +104,57 @@ let run_portfolio ~verify ~clock ~base_candidates ~reorder ~optimize =
   let consider meth moves =
     match verify moves with
     | Error _ -> ()
-    | Ok (cost, verified) -> (
-        match !best with
+    | Ok (cost, verified) ->
+        Metrics.Counter.incr m_accepted;
+        (match !best with
         | Some b when b.cost <= cost -> ()
         | _ -> best := Some { cost; moves; meth; verified })
   in
-  let attempt meth produce =
-    match produce () with
-    | moves -> consider meth moves
-    | exception (Invalid_argument _ | Failure _) -> ()
+  let attempt ?(span = "upper.candidate") meth produce =
+    Metrics.Counter.incr m_candidates;
+    let go () =
+      match produce () with
+      | moves -> consider meth moves
+      | exception (Invalid_argument _ | Failure _) -> ()
+    in
+    if Span.enabled () then
+      Span.with_ ~name:span ~attrs:[ ("method", meth_label meth) ] go
+    else go ()
   in
-  List.iter (fun (meth, produce) -> attempt meth produce) base_candidates;
-  (match reorder with
-  | None -> ()
-  | Some run_with_order ->
-      let seed = ref 1 in
-      let iters = ref 0 in
-      while !iters < hill_climb_iters && clock.time_ok () do
-        incr iters;
-        seed := lcg !seed;
-        let s = !seed in
-        attempt
-          { base = "belady"; reorder_seed = Some s; optimized = false }
-          (fun () -> run_with_order s)
-      done);
-  (match !best with
-  | Some b when List.length b.moves <= 2500 && clock.time_ok () ->
-      attempt { b.meth with optimized = true } (fun () -> optimize b.moves)
-  | _ -> ());
-  match !best with
-  | Some b -> Ok b
-  | None -> Error "Upper: no candidate strategy survived verification"
+  let go () =
+    List.iter (fun (meth, produce) -> attempt meth produce) base_candidates;
+    (match reorder with
+    | None -> ()
+    | Some run_with_order ->
+        let seed = ref 1 in
+        let iters = ref 0 in
+        while !iters < hill_climb_iters && clock.time_ok () do
+          incr iters;
+          seed := lcg !seed;
+          let s = !seed in
+          attempt ~span:"upper.reorder"
+            { base = "belady"; reorder_seed = Some s; optimized = false }
+            (fun () -> run_with_order s)
+        done);
+    (match !best with
+    | Some b when List.length b.moves <= 2500 && clock.time_ok () ->
+        attempt ~span:"upper.optimize" { b.meth with optimized = true }
+          (fun () -> optimize b.moves)
+    | _ -> ());
+    match !best with
+    | Some b -> Ok b
+    | None -> Error "Upper: no candidate strategy survived verification"
+  in
+  if not (Span.enabled ()) then go ()
+  else
+    Span.with_ ~name:"upper.portfolio" (fun () ->
+        let r = go () in
+        (match r with
+        | Ok b ->
+            Span.add_attr "method" (meth_label b.meth);
+            Span.add_attr "cost" (string_of_int b.cost)
+        | Error _ -> ());
+        r)
 
 let policies =
   [ ("belady", Heuristic.Belady); ("lru", Heuristic.Lru);

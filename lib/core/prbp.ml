@@ -20,6 +20,8 @@
        partitioners ({!Bounds.Segment}), the lower- and upper-bound
        portfolios ({!Bounds.Lower}, {!Bounds.Upper}) and their
        orchestrator ({!Bounds.Bracket});}
+    {- {!Obs} — spans, metrics and their exporters (Chrome trace,
+       Prometheus text, JSON), plus the monotonic clock;}
     {- {!Table}, {!Experiment} — the experiment harness.}} *)
 
 module Dag = Prbp_dag.Dag
@@ -47,6 +49,18 @@ module Graphs = struct
   module Levels71 = Prbp_graphs.Levels71
   module Random_dag = Prbp_graphs.Random_dag
   module Spmv = Prbp_graphs.Spmv
+end
+
+(** Observability: the monotonic {!Obs.Clock} every deadline reads,
+    hierarchical {!Obs.Span} tracing with Chrome-trace/text exporters,
+    and the {!Obs.Metrics} registry with Prometheus/JSON exporters.
+    Both recorders are off by default and cost the hot paths one
+    branch. *)
+module Obs = struct
+  module Clock = Prbp_obs.Clock
+  module Span = Prbp_obs.Span
+  module Metrics = Prbp_obs.Metrics
+  module Json = Prbp_obs.Json
 end
 
 module Move = Prbp_pebble.Move

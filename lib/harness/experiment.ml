@@ -1,4 +1,16 @@
 module Solver = Prbp_solver.Solver
+module Clock = Prbp_obs.Clock
+module Span = Prbp_obs.Span
+module Metrics = Prbp_obs.Metrics
+
+let m_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per harness experiment"
+    "prbp_experiment_seconds"
+
+(* Same instrument the engine publishes into (the registry dedups by
+   name), so an experiment can read its own expansion footprint as a
+   before/after delta. *)
+let m_engine_expansions = Metrics.counter "prbp_engine_expansions_total"
 
 type ctx = { budget : Solver.Budget.t; telemetry : Solver.Telemetry.sink }
 
@@ -14,30 +26,42 @@ let make ~id ~paper ~claim ?(budget = Solver.Budget.default) run =
   { id; paper; claim; budget; run }
 
 let run_one ppf e =
-  Format.fprintf ppf "@.=== %s — %s ===@." e.id e.paper;
-  Format.fprintf ppf "claim: %s@.@." e.claim;
-  let summary, sink = Solver.Telemetry.summarize () in
-  let t0 = Sys.time () in
-  let ok = e.run ppf { budget = e.budget; telemetry = sink } in
-  (* Aggregate solver telemetry for the whole experiment: experiments
-     that threaded [ctx.telemetry] into their solves get a one-line
-     search-effort footprint next to the verdict. *)
-  (if summary.Solver.Telemetry.solves > 0 then
-     let explored =
-       match summary.Solver.Telemetry.last with
-       | Some p -> p.Solver.Telemetry.explored
-       | None -> summary.Solver.Telemetry.peak_explored
-     in
-     Format.fprintf ppf "@.telemetry: %d solve(s), peak %d states%s@."
-       summary.Solver.Telemetry.solves
-       (max explored summary.Solver.Telemetry.peak_explored)
-       (if summary.Solver.Telemetry.prune_events > 0 then
-          " (branch-and-bound active)"
-        else ""));
-  Format.fprintf ppf "@.[%s] %s  (%.2fs)@." e.id
-    (if ok then "CONFIRMED" else "NOT CONFIRMED")
-    (Sys.time () -. t0);
-  ok
+  let body () =
+    Format.fprintf ppf "@.=== %s — %s ===@." e.id e.paper;
+    Format.fprintf ppf "claim: %s@.@." e.claim;
+    let summary, sink = Solver.Telemetry.summarize () in
+    let expansions0 = Metrics.Counter.value m_engine_expansions in
+    let t0 = Clock.now () in
+    let ok = e.run ppf { budget = e.budget; telemetry = sink } in
+    let elapsed_s = Clock.elapsed_s t0 in
+    Metrics.Histogram.observe m_seconds elapsed_s;
+    (* the engine counter is process-global: the delta is exact under
+       sequential runs and an aggregate under parallel workers *)
+    Span.add_attr "engine_expansions"
+      (string_of_int (Metrics.Counter.value m_engine_expansions - expansions0));
+    Span.add_attr "verdict" (if ok then "confirmed" else "not-confirmed");
+    (* Aggregate solver telemetry for the whole experiment: experiments
+       that threaded [ctx.telemetry] into their solves get a one-line
+       search-effort footprint next to the verdict. *)
+    (if summary.Solver.Telemetry.solves > 0 then
+       let explored =
+         match summary.Solver.Telemetry.last with
+         | Some p -> p.Solver.Telemetry.explored
+         | None -> summary.Solver.Telemetry.peak_explored
+       in
+       Format.fprintf ppf "@.telemetry: %d solve(s), peak %d states%s@."
+         summary.Solver.Telemetry.solves
+         (max explored summary.Solver.Telemetry.peak_explored)
+         (if summary.Solver.Telemetry.prune_events > 0 then
+            " (branch-and-bound active)"
+          else ""));
+    Format.fprintf ppf "@.[%s] %s  (%.2fs)@." e.id
+      (if ok then "CONFIRMED" else "NOT CONFIRMED")
+      elapsed_s;
+    ok
+  in
+  if not (Span.enabled ()) then body ()
+  else Span.with_ ~name:("experiment." ^ e.id) body
 
 (* Parallel dispatch over a shared work queue: each worker renders its
    experiment into a private buffer, so the blocks are re-emitted to

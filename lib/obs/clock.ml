@@ -1,0 +1,29 @@
+type source = unit -> float
+
+let source = ref Unix.gettimeofday
+
+(* Process-wide high-water mark.  A CAS loop rather than a plain write
+   so that two domains racing cannot move the latch backwards. *)
+let last = Atomic.make neg_infinity
+
+let now () =
+  let t = !source () in
+  let rec latch () =
+    let l = Atomic.get last in
+    if t <= l then l
+    else if Atomic.compare_and_set last l t then t
+    else latch ()
+  in
+  latch ()
+
+let elapsed_s t0 = now () -. t0
+
+let deadline_of_millis = function
+  | Some ms -> now () +. (float_of_int ms /. 1000.)
+  | None -> infinity
+
+let expired d = now () > d
+
+let set_source s =
+  source := (match s with Some f -> f | None -> Unix.gettimeofday);
+  Atomic.set last neg_infinity

@@ -1,0 +1,46 @@
+(** The library's one wall-clock source.
+
+    Every deadline, elapsed-time report and span timestamp in the
+    library reads this clock instead of calling [Unix.gettimeofday]
+    directly.  Two properties follow:
+
+    {ul
+    {- {e monotonicity}: {!now} never decreases, even if the system
+       clock is stepped backwards mid-run (NTP adjustment, manual
+       [date]).  The raw source is latched through a process-wide
+       high-water mark, so a backwards jump freezes the clock until
+       real time catches up rather than making deadlines fire early or
+       [elapsed_s] go negative;}
+    {- {e substitutability}: tests install a deterministic source with
+       {!set_source} and every duration in the system — span
+       durations, exporter timestamps, deadline expiry — becomes
+       reproducible to the byte.}}
+
+    Reading the clock costs one indirect call plus an atomic
+    compare-and-set; nothing on the solvers' per-expansion hot path
+    reads it (deadline polls happen on the slow path every
+    [check_every] expansions). *)
+
+type source = unit -> float
+(** A raw time source: seconds as an absolute float.  Need not be
+    monotonic — {!now} latches it. *)
+
+val now : unit -> float
+(** Current time in seconds, monotonic non-decreasing across the whole
+    process (all domains share the latch). *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t0] is [now () -. t0]; never negative when [t0] was
+    itself read from {!now}. *)
+
+val deadline_of_millis : int option -> float
+(** [deadline_of_millis (Some ms)] is an absolute deadline [ms]
+    milliseconds from now; [None] maps to [infinity] (no deadline). *)
+
+val expired : float -> bool
+(** [expired d] is [now () > d]; always [false] for [infinity]. *)
+
+val set_source : source option -> unit
+(** Install a test source ([None] restores [Unix.gettimeofday]).
+    Resets the monotonic latch, so the new source starts fresh; not
+    intended for concurrent use with running solvers. *)

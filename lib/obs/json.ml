@@ -1,0 +1,27 @@
+let escape s =
+  (* fast path: nothing to escape, return the original string *)
+  let clean = ref true in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' || Char.code c < 0x20 then clean := false)
+    s;
+  if !clean then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\b' -> Buffer.add_string b "\\b"
+        | '\012' -> Buffer.add_string b "\\f"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let string s = "\"" ^ escape s ^ "\""

@@ -1,0 +1,17 @@
+(** Minimal JSON string encoding, shared by every exporter in the
+    library (span traces, metric snapshots, solver telemetry).
+
+    Only the string production is here — the exporters assemble their
+    own objects — because escaping is the one part that is easy to get
+    subtly wrong ([Printf]'s [%S] emits OCaml lexical conventions,
+    e.g. [\ddd] decimal escapes, which are not valid JSON). *)
+
+val escape : string -> string
+(** The body of a JSON string literal for [s]: every double quote,
+    backslash and control character (U+0000–U+001F) escaped per RFC
+    8259; bytes ≥ 0x80 pass through untouched (JSON strings carry raw
+    UTF-8). *)
+
+val string : string -> string
+(** [string s] is [escape s] wrapped in double quotes — a complete
+    JSON string token. *)

@@ -1,0 +1,334 @@
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+
+  let incr t = if !enabled_flag then ignore (Atomic.fetch_and_add t 1)
+
+  let add t n =
+    if !enabled_flag then begin
+      if n < 0 then invalid_arg "Obs.Metrics.Counter.add: negative increment";
+      if n > 0 then ignore (Atomic.fetch_and_add t n)
+    end
+
+  let value = Atomic.get
+
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  (* a float in a record field is unboxed and word-sized, so reads and
+     writes are atomic at the hardware level; racing [max_] updates can
+     lose one of two concurrent maxima, which is acceptable for a
+     high-water mark *)
+  type t = { mutable v : float }
+
+  let make () = { v = 0. }
+
+  let set t v = if !enabled_flag then t.v <- v
+
+  let max_ t v = if !enabled_flag && v > t.v then t.v <- v
+
+  let value t = t.v
+
+  let reset t = t.v <- 0.
+end
+
+module Histogram = struct
+  let n_buckets = 64
+
+  (* bucket [i] has upper bound 2^(i - 32) *)
+  let exponent i = i - 32
+
+  let bucket_of v =
+    if v <= 0. then 0
+    else
+      let e = int_of_float (Float.ceil (Float.log2 v)) in
+      min (n_buckets - 1) (max 0 (e + 32))
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    m : Mutex.t;
+  }
+
+  let make () =
+    { counts = Array.make n_buckets 0; count = 0; sum = 0.; m = Mutex.create () }
+
+  let observe t v =
+    if !enabled_flag then begin
+      Mutex.lock t.m;
+      let i = bucket_of v in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.count <- t.count + 1;
+      t.sum <- t.sum +. v;
+      Mutex.unlock t.m
+    end
+
+  let count t = t.count
+
+  let sum t = t.sum
+
+  let reset t =
+    Mutex.lock t.m;
+    Array.fill t.counts 0 n_buckets 0;
+    t.count <- 0;
+    t.sum <- 0.;
+    Mutex.unlock t.m
+
+  (* (le, cumulative count) over the occupied prefix of buckets; the
+     final +Inf sample is the exporter's job *)
+  let cumulative t =
+    let acc = ref [] and running = ref 0 in
+    let last = ref (-1) in
+    for i = n_buckets - 1 downto 0 do
+      if t.counts.(i) > 0 && !last < 0 then last := i
+    done;
+    for i = 0 to !last do
+      running := !running + t.counts.(i);
+      acc := (Float.pow 2. (float_of_int (exponent i)), !running) :: !acc
+    done;
+    List.rev !acc
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+type instr =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+let kind_label = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+
+type entry = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  instr : instr;
+}
+
+(* reversed registration order; small (tens of instruments), so the
+   linear scans below are fine and keep export order deterministic *)
+let registry : entry list ref = ref []
+
+let reg_lock = Mutex.create ()
+
+let valid_name n =
+  n <> ""
+  && (match n.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       n
+
+let register ~help ~labels name make_instr same_kind =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Obs.Metrics: invalid metric name %S" name);
+  Mutex.lock reg_lock;
+  let found =
+    List.find_opt (fun e -> e.name = name && e.labels = labels) !registry
+  in
+  let family_kind =
+    List.find_opt (fun e -> e.name = name) !registry
+    |> Option.map (fun e -> e.instr)
+  in
+  let result =
+    match found with
+    | Some e -> e.instr
+    | None ->
+        let instr = make_instr () in
+        (match family_kind with
+        | Some k when kind_label k <> kind_label instr ->
+            Mutex.unlock reg_lock;
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics: %s already registered as a %s" name
+                 (kind_label k))
+        | _ -> ());
+        registry := { name; labels; help; instr } :: !registry;
+        instr
+  in
+  Mutex.unlock reg_lock;
+  match same_kind result with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
+           (kind_label result))
+
+let counter ?(help = "") ?(labels = []) name =
+  register ~help ~labels name
+    (fun () -> C (Counter.make ()))
+    (function C c -> Some c | _ -> None)
+
+let gauge ?(help = "") ?(labels = []) name =
+  register ~help ~labels name
+    (fun () -> G (Gauge.make ()))
+    (function G g -> Some g | _ -> None)
+
+let histogram ?(help = "") ?(labels = []) name =
+  register ~help ~labels name
+    (fun () -> H (Histogram.make ()))
+    (function H h -> Some h | _ -> None)
+
+let entries () =
+  Mutex.lock reg_lock;
+  let l = !registry in
+  Mutex.unlock reg_lock;
+  List.rev l
+
+let reset () =
+  List.iter
+    (fun e ->
+      match e.instr with
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    (entries ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_block ?extra labels =
+  let labels =
+    match extra with Some kv -> labels @ [ kv ] | None -> labels
+  in
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             labels)
+      ^ "}"
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let to_prometheus () =
+  let es = entries () in
+  let b = Buffer.create 2048 in
+  let seen_family = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen_family e.name) then begin
+        Hashtbl.add seen_family e.name ();
+        let kind =
+          match e.instr with C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+        in
+        if e.help <> "" then
+          Printf.bprintf b "# HELP %s %s\n" e.name (prom_escape e.help);
+        Printf.bprintf b "# TYPE %s %s\n" e.name kind;
+        (* every label set of the family, in registration order *)
+        List.iter
+          (fun e' ->
+            if e'.name = e.name then
+              match e'.instr with
+              | C c ->
+                  Printf.bprintf b "%s%s %d\n" e'.name
+                    (label_block e'.labels) (Counter.value c)
+              | G g ->
+                  Printf.bprintf b "%s%s %s\n" e'.name
+                    (label_block e'.labels)
+                    (fmt_float (Gauge.value g))
+              | H h ->
+                  List.iter
+                    (fun (le, n) ->
+                      Printf.bprintf b "%s_bucket%s %d\n" e'.name
+                        (label_block ~extra:("le", fmt_float le) e'.labels)
+                        n)
+                    (Histogram.cumulative h);
+                  Printf.bprintf b "%s_bucket%s %d\n" e'.name
+                    (label_block ~extra:("le", "+Inf") e'.labels)
+                    (Histogram.count h);
+                  Printf.bprintf b "%s_sum%s %s\n" e'.name
+                    (label_block e'.labels)
+                    (fmt_float (Histogram.sum h));
+                  Printf.bprintf b "%s_count%s %d\n" e'.name
+                    (label_block e'.labels) (Histogram.count h))
+          es
+      end)
+    es;
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Json.string k ^ ":" ^ Json.string v) labels)
+  ^ "}"
+
+let to_json () =
+  let es = entries () in
+  let pick f = List.filter_map f es in
+  let counters =
+    pick (fun e ->
+        match e.instr with
+        | C c ->
+            Some
+              (Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%d}"
+                 (Json.string e.name) (json_labels e.labels)
+                 (Counter.value c))
+        | _ -> None)
+  in
+  let gauges =
+    pick (fun e ->
+        match e.instr with
+        | G g ->
+            Some
+              (Printf.sprintf "{\"name\":%s,\"labels\":%s,\"value\":%s}"
+                 (Json.string e.name) (json_labels e.labels)
+                 (fmt_float (Gauge.value g)))
+        | _ -> None)
+  in
+  let histograms =
+    pick (fun e ->
+        match e.instr with
+        | H h ->
+            let buckets =
+              List.map
+                (fun (le, n) ->
+                  Printf.sprintf "{\"le\":%s,\"n\":%d}" (fmt_float le) n)
+                (Histogram.cumulative h)
+            in
+            Some
+              (Printf.sprintf
+                 "{\"name\":%s,\"labels\":%s,\"count\":%d,\"sum\":%s,\
+                  \"buckets\":[%s]}"
+                 (Json.string e.name) (json_labels e.labels)
+                 (Histogram.count h)
+                 (fmt_float (Histogram.sum h))
+                 (String.concat "," buckets))
+        | _ -> None)
+  in
+  Printf.sprintf
+    "{\"counters\":[%s],\"gauges\":[%s],\"histograms\":[%s]}"
+    (String.concat "," counters)
+    (String.concat "," gauges)
+    (String.concat "," histograms)

@@ -1,0 +1,83 @@
+(** Process-wide metrics: counters, gauges and log₂-bucketed
+    histograms, with Prometheus text-exposition and JSON-snapshot
+    exporters.
+
+    Instruments are registered once by name (+ optional label pairs)
+    and live for the process; registering the same name/labels again
+    returns the existing instrument, so call sites in functors or
+    loops need no caching discipline.  Recording is {e disabled by
+    default}: a disabled [incr]/[add]/[set]/[observe] is one load and
+    one branch, so instrumented hot paths cost nothing until an
+    operator turns recording on with {!set_enabled}.  Reads
+    ([value]/exporters) work regardless.
+
+    Counters are domain-safe (atomics); gauges are word-sized writes;
+    histograms take a per-instrument mutex (they are observed per
+    stage or per solve, never per state). *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Monotonic: [add t n] with [n < 0] is [Invalid_argument] (checked
+      only when recording is enabled); [n = 0] is a no-op. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val max_ : t -> float -> unit
+  (** Raise the gauge to [v] if below it — high-water marks (peak
+      frontier, peak table load). *)
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Buckets are powers of two: an observation [v] lands in the
+      bucket with the least upper bound [2^e ≥ v] (exponents clamped
+      to [-32, 31]; [v ≤ 0] lands in the lowest bucket). *)
+
+  val count : t -> int
+
+  val sum : t -> float
+end
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+(** Register (or retrieve) a counter.  [name] must match Prometheus
+    conventions ([[a-zA-Z_:][a-zA-Z0-9_:]*]); [labels] are fixed at
+    registration.  [Invalid_argument] if the name exists with a
+    different instrument kind.  [help] is kept from the first
+    registration. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
+
+val histogram : ?help:string -> ?labels:(string * string) list -> string -> Histogram.t
+
+val reset : unit -> unit
+(** Zero every instrument's value (the registry itself is permanent). *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format, families in first-registration
+    order: [# HELP] / [# TYPE] once per family, one sample line per
+    label set; histograms expose cumulative [_bucket{le="..."}]
+    samples over the non-empty power-of-two buckets plus [le="+Inf"],
+    [_sum] and [_count]. *)
+
+val to_json : unit -> string
+(** One JSON object [{"counters": [...], "gauges": [...],
+    "histograms": [...]}] snapshotting every instrument; bucket keys
+    are the [le] upper bounds. *)

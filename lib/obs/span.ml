@@ -1,0 +1,165 @@
+type t = {
+  id : int;
+  parent : int;
+  name : string;
+  tid : int;
+  t0 : float;
+  t1 : float;
+  attrs : (string * string) list;
+}
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let next_id = Atomic.make 0
+
+(* Completed spans, newest first; reversed on export. *)
+let recorded : t list ref = ref []
+
+let lock = Mutex.create ()
+
+(* The open-span stack is domain-local: nesting is lexical within a
+   domain, and spans started on a worker domain must not adopt a
+   parent from another domain's stack. *)
+type frame = {
+  fid : int;
+  fname : string;
+  fparent : int;
+  ft0 : float;
+  mutable fattrs : (string * string) list;  (* reversed *)
+}
+
+let stack_key : frame list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let record s =
+  Mutex.lock lock;
+  recorded := s :: !recorded;
+  Mutex.unlock lock
+
+let with_ ?(attrs = []) ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match stack with [] -> -1 | fr :: _ -> fr.fid in
+    let fr =
+      {
+        fid = Atomic.fetch_and_add next_id 1;
+        fname = name;
+        fparent = parent;
+        ft0 = Clock.now ();
+        fattrs = List.rev attrs;
+      }
+    in
+    Domain.DLS.set stack_key (fr :: stack);
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now () in
+        (match Domain.DLS.get stack_key with
+        | fr' :: rest when fr' == fr -> Domain.DLS.set stack_key rest
+        | _ ->
+            (* unbalanced (an inner with_ escaped by effect/continuation
+               tricks); drop everything down to and including [fr] *)
+            let rec pop = function
+              | fr' :: rest when fr' == fr -> rest
+              | _ :: rest -> pop rest
+              | [] -> []
+            in
+            Domain.DLS.set stack_key (pop (Domain.DLS.get stack_key)));
+        record
+          {
+            id = fr.fid;
+            parent = fr.fparent;
+            name = fr.fname;
+            tid = (Domain.self () :> int);
+            t0 = fr.ft0;
+            t1;
+            attrs = List.rev fr.fattrs;
+          })
+      f
+  end
+
+let add_attr k v =
+  if !enabled_flag then
+    match Domain.DLS.get stack_key with
+    | [] -> ()
+    | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
+
+(* [recorded] is completion-ordered (a parent lands after its
+   children); sort to honor the documented start (= id) order. *)
+let spans () =
+  Mutex.lock lock;
+  let l = !recorded in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.id b.id) l
+
+let reset () =
+  Mutex.lock lock;
+  recorded := [];
+  Mutex.unlock lock;
+  Atomic.set next_id 0
+
+(* ------------------------------------------------------------------ *)
+(* Exporters.  Both consume [spans ()], so they see a consistent
+   snapshot and their output order is the deterministic start order.  *)
+
+let to_chrome () =
+  let ss = spans () in
+  let epoch = List.fold_left (fun acc s -> min acc s.t0) infinity ss in
+  let epoch = if epoch = infinity then 0. else epoch in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n{\"name\":%s,\"cat\":\"prbp\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\
+         \"ts\":%.3f,\"dur\":%.3f,\"args\":{"
+        (Json.string s.name) s.tid
+        ((s.t0 -. epoch) *. 1e6)
+        ((s.t1 -. s.t0) *. 1e6);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "%s:%s" (Json.string k) (Json.string v))
+        s.attrs;
+      Buffer.add_string b "}}")
+    ss;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let to_text () =
+  let ss = spans () in
+  let known = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace known s.id s) ss;
+  (* children in start (= id) order; [ss] is already id-sorted *)
+  let children = Hashtbl.create 64 in
+  let roots = ref [] in
+  List.iter
+    (fun s ->
+      if s.parent >= 0 && Hashtbl.mem known s.parent then
+        Hashtbl.replace children s.parent
+          (s :: (try Hashtbl.find children s.parent with Not_found -> []))
+      else roots := s :: !roots)
+    ss;
+  let b = Buffer.create 4096 in
+  let rec pr indent s =
+    Printf.bprintf b "%s%s %.3fms" indent s.name ((s.t1 -. s.t0) *. 1e3);
+    (match s.attrs with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_string b " {";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Printf.bprintf b "%s=%s" k v)
+          attrs;
+        Buffer.add_char b '}');
+    Buffer.add_char b '\n';
+    List.iter (pr (indent ^ "  "))
+      (List.rev (try Hashtbl.find children s.id with Not_found -> []))
+  in
+  List.iter (pr "") (List.rev !roots);
+  Buffer.contents b

@@ -1,0 +1,71 @@
+(** Lightweight hierarchical span tracing.
+
+    A span is a named wall-clock interval with string attributes;
+    spans nest lexically through {!with_}, and the per-domain nesting
+    stack makes the tracer safe under the harness's parallel worker
+    domains (each domain owns its own stack, the completed-span
+    recorder is mutex-protected, and parent links never cross
+    domains).
+
+    Tracing is {e disabled by default}: a disabled {!with_} is one
+    load, one branch and a tail call to the traced function, so
+    instrumented code paths cost nothing in production.  Enable with
+    {!set_enabled}, run the workload, then export:
+
+    {ul
+    {- {!to_chrome} — Chrome trace-event JSON, loadable in Perfetto
+       ([ui.perfetto.dev]) or [chrome://tracing];}
+    {- {!to_text} — an indented tree with durations and attributes,
+       for terminal consumption.}}
+
+    Timestamps come from {!Clock}, so a test-installed deterministic
+    source makes both exporters byte-stable. *)
+
+type t = {
+  id : int;  (** unique, assigned at span start in start order *)
+  parent : int;  (** enclosing span's [id], or [-1] for a root *)
+  name : string;
+  tid : int;  (** the domain the span ran on *)
+  t0 : float;  (** {!Clock} time at entry *)
+  t1 : float;  (** {!Clock} time at exit; [t1 >= t0] *)
+  attrs : (string * string) list;
+      (** creation attributes followed by {!add_attr} additions, in
+          insertion order *)
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Toggling mid-span is safe: a span records iff its [with_] entry
+    saw tracing enabled. *)
+
+val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f ()] inside a new span, a child of the
+    innermost open span on the calling domain.  The span is recorded
+    even when [f] raises (the exception is re-raised). *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span of the calling
+    domain; a no-op when tracing is off or no span is open.  This is
+    how solver telemetry (outcome, state counts) lands on the
+    enclosing solve span. *)
+
+val spans : unit -> t list
+(** All completed spans, in [id] (start) order. *)
+
+val reset : unit -> unit
+(** Drop every recorded span and restart [id] numbering from 0.  Open
+    spans on other domains still record on exit (with their old ids);
+    call between workloads, not during one. *)
+
+val to_chrome : unit -> string
+(** Chrome trace-event JSON: one complete ("ph":"X") event per span,
+    microsecond timestamps relative to the earliest span, [pid] 1,
+    [tid] the domain id, attributes under ["args"].  Valid JSON for
+    any span names/attribute strings. *)
+
+val to_text : unit -> string
+(** Indented forest, one line per span: name, duration in
+    milliseconds, then [{k=v, …}] when attributes are present.
+    Children are ordered by start; a span whose parent was still open
+    at export time prints as a root. *)

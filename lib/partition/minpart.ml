@@ -2,6 +2,9 @@ module Dag = Prbp_dag.Dag
 module Bitset = Prbp_dag.Bitset
 module Dominator = Prbp_dag.Dominator
 module Solver = Prbp_solver.Solver
+module Clock = Prbp_obs.Clock
+module Span = Prbp_obs.Span
+module Metrics = Prbp_obs.Metrics
 
 exception Too_large of int
 
@@ -23,7 +26,7 @@ exception Stop
 
 type gate = {
   budget : Solver.Budget.t;
-  deadline : float option;
+  deadline : float;  (* [infinity] when unbounded *)
   mutable masks : int;
   mutable ticks : int;
   mutable stop : Solver.reason option;
@@ -32,10 +35,7 @@ type gate = {
 let make_gate (budget : Solver.Budget.t) =
   {
     budget;
-    deadline =
-      Option.map
-        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
-        budget.Solver.Budget.max_millis;
+    deadline = Clock.deadline_of_millis budget.Solver.Budget.max_millis;
     masks = 0;
     ticks = 0;
     stop = None;
@@ -52,13 +52,24 @@ let tick gate =
   gate.ticks <- gate.ticks + 1;
   if gate.ticks >= gate.budget.Solver.Budget.check_every then begin
     gate.ticks <- 0;
-    (match gate.deadline with
-    | Some t when Unix.gettimeofday () > t -> halt gate Solver.Deadline
-    | _ -> ());
+    if Clock.expired gate.deadline then halt gate Solver.Deadline;
     match gate.budget.Solver.Budget.cancelled with
     | Some f when f () -> halt gate Solver.Cancelled
     | _ -> ()
   end
+
+let m_masks =
+  Metrics.counter
+    ~help:"Lattice masks materialized across every Minpart search"
+    "prbp_minpart_masks_total"
+
+(* End-of-search bookkeeping: publish the mask count to the metrics
+   registry and annotate the enclosing search span with it. *)
+let finish_gate gate =
+  Metrics.Counter.add m_masks gate.masks;
+  if Span.enabled () then Span.add_attr "masks" (string_of_int gate.masks)
+
+let traced name f = if Span.enabled () then Span.with_ ~name f else f ()
 
 (* ------------------------------------------------------------------ *)
 (* Generic shortest-chain search over a lattice of masks.
@@ -149,6 +160,7 @@ let to_bitset n mask =
   b
 
 let ideals ?(budget = Solver.Budget.default) g =
+  traced "minpart.ideals" @@ fun () ->
   let grow, _full = node_masks g in
   let gate = make_gate budget in
   let seen = Hashtbl.create 1024 in
@@ -164,6 +176,7 @@ let ideals ?(budget = Solver.Budget.default) g =
      in
      go 0
    with Stop -> ());
+  finish_gate gate;
   match gate.stop with
   | Some reason -> Error reason
   | None -> Ok (Hashtbl.length seen)
@@ -181,16 +194,21 @@ let node_partition ?(budget = Solver.Budget.default) g ~s ~need_terminal =
   if n = 0 then Minimum { classes = 0; witness = [||] }
   else
     let gate = make_gate budget in
-    match bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok with
+    let res = bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok in
+    finish_gate gate;
+    match res with
     | Error reason -> Truncated reason
     | Ok None -> No_partition
     | Ok (Some blocks) ->
         let witness = Array.of_list (List.map (to_bitset n) blocks) in
         Minimum { classes = Array.length witness; witness }
 
-let spartition ?budget g ~s = node_partition ?budget g ~s ~need_terminal:true
+let spartition ?budget g ~s =
+  traced "minpart.spartition" @@ fun () ->
+  node_partition ?budget g ~s ~need_terminal:true
 
 let dominator_partition ?budget g ~s =
+  traced "minpart.dominator" @@ fun () ->
   node_partition ?budget g ~s ~need_terminal:false
 
 (* ------------------------------------------------------------------ *)
@@ -198,6 +216,7 @@ let dominator_partition ?budget g ~s =
    the tail come first" (the well-ordering of Definition 6.3).         *)
 
 let edge_partition ?(budget = Solver.Budget.default) g ~s =
+  traced "minpart.edge" @@ fun () ->
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if m > 62 then invalid_arg "Minpart: at most 62 edges";
   let in_mask = Array.make n 0 in
@@ -224,11 +243,11 @@ let edge_partition ?(budget = Solver.Budget.default) g ~s =
   if m = 0 then Minimum { classes = 0; witness = [||] }
   else
     let gate = make_gate budget in
-    match
-      bfs_min_chain ~gate
-        ~full:((1 lsl m) - 1)
-        ~grow ~block_feasible ~block_ok
-    with
+    let res =
+      bfs_min_chain ~gate ~full:((1 lsl m) - 1) ~grow ~block_feasible ~block_ok
+    in
+    finish_gate gate;
+    match res with
     | Error reason -> Truncated reason
     | Ok None -> No_partition
     | Ok (Some blocks) ->

@@ -24,6 +24,8 @@ module G = struct
 
   type nonrec move = move
 
+  let name = "black"
+
   let dummy_move = Place 0
 
   let width _ = 2

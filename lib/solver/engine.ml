@@ -11,6 +11,41 @@
    run on the slow path every [check_every] expansions. *)
 
 module T = State_table.Flat
+module Clock = Prbp_obs.Clock
+module Span = Prbp_obs.Span
+module Metrics = Prbp_obs.Metrics
+
+(* One instrument family shared by every game instance (the functor
+   below may be applied many times; the registry dedupes).  Values are
+   published once per solve, at the end — the per-expansion hot loop
+   never touches them, so observability off or on costs the loop
+   nothing beyond the counters it already keeps. *)
+let m_solves =
+  Metrics.counter ~help:"engine solves started" "prbp_engine_solves_total"
+
+let m_expansions =
+  Metrics.counter ~help:"states popped and expanded"
+    "prbp_engine_expansions_total"
+
+let m_explored =
+  Metrics.counter ~help:"distinct states inserted into the search"
+    "prbp_engine_explored_total"
+
+let m_pruned =
+  Metrics.counter ~help:"states cut by branch-and-bound"
+    "prbp_engine_pruned_total"
+
+let m_table_resizes =
+  Metrics.counter ~help:"state-table geometric growth steps"
+    "prbp_engine_table_resizes_total"
+
+let m_peak_frontier =
+  Metrics.gauge ~help:"largest 0-1 deque length sampled at a slow-path poll"
+    "prbp_engine_peak_frontier"
+
+let m_solve_seconds =
+  Metrics.histogram ~help:"wall-clock seconds per engine solve"
+    "prbp_engine_solve_seconds"
 
 module Make (G : Game.S) = struct
   type ctx = {
@@ -33,6 +68,9 @@ module Make (G : Game.S) = struct
     mutable next_check : int;
     mutable next_emit : int;  (* max_int when no sink *)
     mutable next_gate : int;  (* min of the two above *)
+    (* largest deque length seen at a slow-path poll or at the end of
+       the solve — a sampled high-water mark, not an exact maximum *)
+    mutable peak_frontier : int;
     tbl : T.t;
     mutable parent_idx : int array;
     mutable parent_move : G.move array;
@@ -126,16 +164,18 @@ module Make (G : Game.S) = struct
       frontier = Deque01.length ctx.dq;
       depth = ctx.cur_d;
       table_load = T.load ctx.tbl;
-      elapsed_s = Unix.gettimeofday () -. ctx.t0;
+      elapsed_s = Clock.elapsed_s ctx.t0;
     }
 
   (* Deadline / memory / cancellation polls and telemetry emission;
      reached every [min check_every sink.every] expansions. *)
   let slow_path ctx =
     let b = ctx.budget in
+    let frontier = Deque01.length ctx.dq in
+    if frontier > ctx.peak_frontier then ctx.peak_frontier <- frontier;
     if ctx.expansions >= ctx.next_check then begin
       (if ctx.stop = None then
-         if Unix.gettimeofday () > ctx.deadline then
+         if Clock.now () > ctx.deadline then
            ctx.stop <- Some Solver.Deadline
          else
            match b.Solver.Budget.max_words with
@@ -159,7 +199,7 @@ module Make (G : Game.S) = struct
       pruned = ctx.pruned;
       expansions = ctx.expansions;
       frontier = Deque01.length ctx.dq;
-      elapsed_s = Unix.gettimeofday () -. ctx.t0;
+      elapsed_s = Clock.elapsed_s ctx.t0;
       mem_words = mem_words ctx;
     }
 
@@ -187,10 +227,10 @@ module Make (G : Game.S) = struct
       ctx.dq;
     if !best < max_int then !best else ctx.cur_d
 
-  let solve ?(budget = Solver.Budget.default) ?telemetry
+  let solve_raw ?(budget = Solver.Budget.default) ?telemetry
       ?(want_strategy = false) ?(prune = true) inst =
     let w = G.width inst in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let ctx =
       {
         inst;
@@ -203,6 +243,7 @@ module Make (G : Game.S) = struct
           (match budget.Solver.Budget.max_millis with
           | Some ms -> t0 +. (float_of_int ms /. 1000.)
           | None -> infinity);
+        peak_frontier = 0;
         pruned = 0;
         expansions = 0;
         stop = None;
@@ -281,6 +322,27 @@ module Make (G : Game.S) = struct
                  progress = progress ctx;
                })
       | None -> ());
+      (* end-of-solve observability: counters and the solve span are
+         fed once here, never from the expansion loop *)
+      let frontier = Deque01.length ctx.dq in
+      if frontier > ctx.peak_frontier then ctx.peak_frontier <- frontier;
+      if Metrics.enabled () then begin
+        Metrics.Counter.incr m_solves;
+        Metrics.Counter.add m_expansions ctx.expansions;
+        Metrics.Counter.add m_explored (T.length ctx.tbl);
+        Metrics.Counter.add m_pruned ctx.pruned;
+        Metrics.Counter.add m_table_resizes (T.resizes ctx.tbl);
+        Metrics.Gauge.max_ m_peak_frontier (float_of_int ctx.peak_frontier);
+        Metrics.Histogram.observe m_solve_seconds (Clock.elapsed_s ctx.t0)
+      end;
+      if Span.enabled () then begin
+        (* bridge the terminal telemetry into span annotations *)
+        Span.add_attr "outcome" (Solver.outcome_label outcome);
+        Span.add_attr "expansions" (string_of_int ctx.expansions);
+        Span.add_attr "explored" (string_of_int (T.length ctx.tbl));
+        if ctx.pruned > 0 then
+          Span.add_attr "pruned" (string_of_int ctx.pruned)
+      end;
       outcome
     in
     match !result with
@@ -320,6 +382,17 @@ module Make (G : Game.S) = struct
                    stats = stats ctx;
                    stopped;
                  }))
+
+  (* Every solve runs inside a "solve.<game>" span (a no-op branch
+     when tracing is off); [finish] above annotates it with the
+     outcome and search counters. *)
+  let solve ?budget ?telemetry ?want_strategy ?prune inst =
+    if not (Span.enabled ()) then
+      solve_raw ?budget ?telemetry ?want_strategy ?prune inst
+    else
+      Span.with_ ~name:("solve." ^ G.name)
+        ~attrs:[ ("game", G.name); ("width", string_of_int (G.width inst)) ]
+        (fun () -> solve_raw ?budget ?telemetry ?want_strategy ?prune inst)
 
   (* -- deprecated pre-anytime surface, kept as thin wrappers -------- *)
 

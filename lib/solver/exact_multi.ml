@@ -56,6 +56,8 @@ module GR = struct
 
   type move = Multi.Move.rbp
 
+  let name = "multi-rbp"
+
   let dummy_move : move = Multi.Move.Load (0, 0)
 
   let width inst = inst.cfg.Multi.p + 2
@@ -278,6 +280,8 @@ module GP = struct
   }
 
   type move = Multi.Move.prbp
+
+  let name = "multi-prbp"
 
   let dummy_move : move = Multi.Move.Load (0, 0)
 

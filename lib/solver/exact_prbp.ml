@@ -36,6 +36,8 @@ module G = struct
 
   type move = PM.t
 
+  let name = "prbp"
+
   let dummy_move = PM.Load 0
 
   let width _ = 2

@@ -25,6 +25,8 @@ module G = struct
 
   type move = RM.t
 
+  let name = "rbp"
+
   let dummy_move = RM.Load 0
 
   let width _ = 3

@@ -5,6 +5,8 @@ type stats = { cost : int; explored : int; pruned : int }
 module type S = sig
   type inst
 
+  val name : string
+
   type move
 
   val width : inst -> int

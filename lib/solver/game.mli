@@ -44,6 +44,11 @@ module type S = sig
       masks, the game configuration, and any per-instance pruning
       data.  Built once per [search] call by the concrete solver. *)
 
+  val name : string
+  (** Short stable identifier of the game ("rbp", "prbp", "black",
+      "multi-rbp", "multi-prbp"); names the engine's solve spans and
+      tags its telemetry. *)
+
   type move
   (** Move vocabulary, recorded per transition for optimal-trace
       reconstruction. *)

@@ -110,7 +110,10 @@ module Telemetry = struct
     | Prune { pruned } ->
         Printf.bprintf b "{\"ev\":\"prune\",\"pruned\":%d}" pruned
     | Stop { outcome; progress } ->
-        Printf.bprintf b "{\"ev\":\"stop\",\"outcome\":%S," outcome;
+        (* NOT [%S]: OCaml string-literal escaping emits [\ddd] decimal
+           escapes for bytes >= 0x80, which no JSON parser accepts *)
+        Printf.bprintf b "{\"ev\":\"stop\",\"outcome\":%s,"
+          (Prbp_obs.Json.string outcome);
         progress_fields b progress;
         Buffer.add_char b '}');
     Buffer.contents b

@@ -331,6 +331,18 @@ module Flat = struct
   let load t =
     float_of_int t.n /. float_of_int (Array.length t.slots)
 
+  let capacity t = Array.length t.v
+
+  (* dense columns double from [initial_cap], so the growth count is
+     the exponent gap — what the table-resize metric reports *)
+  let resizes t =
+    let r = ref 0 and c = ref initial_cap in
+    while !c < Array.length t.v do
+      incr r;
+      c := 2 * !c
+    done;
+    !r
+
   let reset t =
     t.slots <- Array.make initial_slots 0;
     t.keys <- Array.make (t.width * initial_cap) 0;

@@ -80,6 +80,14 @@ module Flat : sig
   val load : t -> float
   (** Probe-array load factor (kept below 3/4 by growth). *)
 
+  val capacity : t -> int
+  (** Current dense-column capacity (a power of two times the initial
+      capacity). *)
+
+  val resizes : t -> int
+  (** How many geometric growth steps the dense columns have taken
+      since creation — the engine's table-resize metric. *)
+
   val reset : t -> unit
 end
 

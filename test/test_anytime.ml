@@ -121,6 +121,8 @@ module Toy = struct
 
     type move = int (* destination state *)
 
+    let name = "toy"
+
     let dummy_move = 0
 
     let width () = 1
