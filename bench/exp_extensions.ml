@@ -408,11 +408,12 @@ let e28 =
           let pr =
             Solve_util.probe
               (Prbp.Exact_rbp.solve ~budget:ctx.E.budget
-                 ~telemetry:ctx.E.telemetry (Prbp.Rbp.config ~r ()) g)
+                 ~telemetry:ctx.E.telemetry ~jobs:ctx.E.solve_jobs
+                 (Prbp.Rbp.config ~r ()) g)
           and pp =
             Solve_util.probe
               (Prbp.Exact_prbp.solve ~budget:ctx.E.budget
-                 ~telemetry:ctx.E.telemetry
+                 ~telemetry:ctx.E.telemetry ~jobs:ctx.E.solve_jobs
                  (Prbp.Prbp_game.config ~r ())
                  g)
           in

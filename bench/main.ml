@@ -28,6 +28,9 @@ let () =
   let perf_only = ref false in
   let no_perf = ref false in
   let jobs = ref default_jobs in
+  (* perf's parallel section (and its minutes-long huge case) only runs
+     on an explicit -j N, never from the host-core default *)
+  let jobs_set = ref false in
   let profile = ref false in
   let profile_out = ref None in
   let metrics_out = ref None in
@@ -53,12 +56,14 @@ let () =
         match int_of_string_opt n with
         | Some n when n >= 1 ->
             jobs := n;
+            jobs_set := true;
             parse rest
         | _ -> usage ())
     | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" -> (
         match int_of_string_opt (String.sub a 2 (String.length a - 2)) with
         | Some n when n >= 1 ->
             jobs := n;
+            jobs_set := true;
             parse rest
         | _ -> usage ())
     | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
@@ -90,7 +95,7 @@ let () =
     if confirmed <> total then exit 1
   end;
   if not !no_perf then begin
-    Perf.run_solver ppf;
+    Perf.run_solver ~jobs:(if !jobs_set then !jobs else 1) ppf;
     Perf.run ppf
   end;
   (* exports last, so they cover experiments and benchmarks alike *)

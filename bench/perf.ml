@@ -114,7 +114,7 @@ let counters_delta before =
     (fun (k, v) (_, v0) -> (k, v - v0))
     (counters_snapshot ()) before
 
-let run_case c ~prune =
+let run_case ?(jobs = 1) c ~prune =
   (* level the heap between runs so a huge search doesn't tax the GC
      accounting of the next, smaller one *)
   Gc.compact ();
@@ -142,26 +142,26 @@ let run_case c ~prune =
     match c.game with
     | "prbp" ->
         summarize
-          (Prbp.Exact_prbp.solve ~budget ~prune
+          (Prbp.Exact_prbp.solve ~budget ~prune ~jobs
              (Prbp.Prbp_game.config ~r:c.r ())
              c.dag)
     | "black" ->
         (* all-zero-cost instance: prune has nothing to cut, both runs
            measure raw reachability throughput *)
-        summarize (Prbp.Black.solve ~budget ~s:c.r c.dag)
+        summarize (Prbp.Black.solve ~budget ~jobs ~s:c.r c.dag)
     | "multi-rbp" ->
         summarize
-          (Prbp.Exact_multi.rbp_solve ~budget ~prune
+          (Prbp.Exact_multi.rbp_solve ~budget ~prune ~jobs
              (Prbp.Multi.config ~p:c.p ~r:c.r ())
              c.dag)
     | "multi-prbp" ->
         summarize
-          (Prbp.Exact_multi.prbp_solve ~budget ~prune
+          (Prbp.Exact_multi.prbp_solve ~budget ~prune ~jobs
              (Prbp.Multi.config ~p:c.p ~r:c.r ())
              c.dag)
     | _ ->
         summarize
-          (Prbp.Exact_rbp.solve ~budget ~prune
+          (Prbp.Exact_rbp.solve ~budget ~prune ~jobs
              (Prbp.Rbp.config ~r:c.r ())
              c.dag)
   in
@@ -234,7 +234,23 @@ let show_interval r =
   | Some u -> Printf.sprintf "[%d,%d]" r.lower u
   | None -> Printf.sprintf "[%d,?]" r.lower
 
-let run_solver ppf =
+(* Only meaningful on multiple cores, so gated on [-j N > 1]: a
+   frontier whose 10^8-state budget takes minutes sequentially.  It
+   truncates at the budget with a certified interval — the measurement
+   is throughput, not the (unreachable) optimum. *)
+let huge_case () =
+  {
+    name = "huge rbp random(seed7,6x5,din3) n=30 1e8 states";
+    game = "rbp";
+    dag =
+      Prbp.Graphs.Random_dag.make ~seed:7 ~max_in_degree:3 ~layers:6
+        ~width:5 ();
+    r = 4;
+    p = 1;
+    budget = 100_000_000;
+  }
+
+let run_solver ?(jobs = 1) ppf =
   (* the per-case metric deltas in the JSON need a live registry; the
      engine publishes once per solve, far from the hot loop *)
   Prbp.Obs.Metrics.set_enabled true;
@@ -258,9 +274,49 @@ let run_solver ppf =
       (solver_cases ())
   in
   Prbp.Table.print ppf t;
+  (* Parallel re-runs of the same cases at [-j N], against the j=1
+     prune-on wall times above. *)
+  let par_rows =
+    if jobs <= 1 then []
+    else begin
+      Format.fprintf ppf "@.=== PERF — parallel solver (jobs=%d) ===@.@."
+        jobs;
+      let t =
+        Prbp.Table.make
+          ~header:
+            [ "case"; "time (j=1)"; Printf.sprintf "time (j=%d)" jobs;
+              "speedup"; "states" ]
+      in
+      let prs =
+        List.map
+          (fun (c, on, _) ->
+            let par = run_case ~jobs c ~prune:true in
+            let speedup = on.wall_s /. (par.wall_s +. 1e-9) in
+            Prbp.Table.add_rowf t "%s|%.2fs|%.2fs|%.2fx|%d" c.name on.wall_s
+              par.wall_s speedup par.explored;
+            (c.name, (par, speedup)))
+          rows
+      in
+      Prbp.Table.print ppf t;
+      prs
+    end
+  in
+  let huge =
+    if jobs <= 1 then None
+    else begin
+      let c = huge_case () in
+      Format.fprintf ppf "@.huge case (jobs=%d): %s ...@." jobs c.name;
+      let res = run_case ~jobs c ~prune:true in
+      Format.fprintf ppf "  %s in %.1fs, %d states (%.0f kst/s)@."
+        (show_interval res) res.wall_s res.explored (rate res /. 1e3);
+      Some (c, res)
+    end
+  in
   let bracket_rows = run_brackets ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v5\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v6\",\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n  \"host_cores\": %d,\n" jobs
+    (Domain.recommended_domain_count ());
   Buffer.add_string buf "  \"cases\": [\n";
   let num_opt = function Some v -> string_of_int v | None -> "null" in
   let metrics_json m =
@@ -268,6 +324,15 @@ let run_solver ppf =
     ^ String.concat ", "
         (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) m)
     ^ "}"
+  in
+  let par_json name =
+    match List.assoc_opt name par_rows with
+    | None -> "null"
+    | Some (par, speedup) ->
+        Printf.sprintf
+          "{\"jobs\": %d, \"wall_s\": %.3f, \"explored\": %d, \
+           \"speedup_vs_j1\": %.3f}"
+          jobs par.wall_s par.explored speedup
   in
   List.iteri
     (fun i (c, on, off) ->
@@ -283,18 +348,29 @@ let run_solver ppf =
          %d, \"explored_per_s\": %.0f},\n\
         \     \"no_prune\": {\"wall_s\": %.3f, \"explored\": %d, \
          \"explored_per_s\": %.0f},\n\
+        \     \"par\": %s,\n\
         \     \"metrics\": {\"prune\": %s, \"no_prune\": %s}}%s\n"
         c.name c.game
         (Prbp_dag.Dag.n_nodes c.dag)
         (Prbp_dag.Dag.n_edges c.dag)
         c.r c.p on.outcome on.lower (num_opt on.upper) (num_opt width)
         on.wall_s on.explored on.pruned (rate on) off.wall_s off.explored
-        (rate off)
+        (rate off) (par_json c.name)
         (metrics_json on.metrics)
         (metrics_json off.metrics)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Buffer.add_string buf "  ],\n  \"brackets\": [\n";
+  Buffer.add_string buf "  ],\n";
+  (match huge with
+  | None -> Buffer.add_string buf "  \"huge\": null,\n"
+  | Some (c, res) ->
+      Printf.bprintf buf
+        "  \"huge\": {\"name\": %S, \"jobs\": %d, \"budget_states\": %d, \
+         \"outcome\": %S, \"lower\": %d, \"upper\": %s, \"explored\": %d, \
+         \"wall_s\": %.3f, \"explored_per_s\": %.0f},\n"
+        c.name jobs c.budget res.outcome res.lower (num_opt res.upper)
+        res.explored res.wall_s (rate res));
+  Buffer.add_string buf "  \"brackets\": [\n";
   List.iteri
     (fun i row ->
       Printf.bprintf buf "    %s%s\n" row

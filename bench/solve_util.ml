@@ -13,11 +13,11 @@ let cost_exn what = function
            (match b.S.upper with Some u -> string_of_int u | None -> "?"))
   | S.Unsolvable _ -> failwith (what ^ ": no valid pebbling exists")
 
-let rbp_opt ?budget ?telemetry cfg g =
-  cost_exn "Exact_rbp" (Prbp.Exact_rbp.solve ?budget ?telemetry cfg g)
+let rbp_opt ?budget ?telemetry ?jobs cfg g =
+  cost_exn "Exact_rbp" (Prbp.Exact_rbp.solve ?budget ?telemetry ?jobs cfg g)
 
-let prbp_opt ?budget ?telemetry cfg g =
-  cost_exn "Exact_prbp" (Prbp.Exact_prbp.solve ?budget ?telemetry cfg g)
+let prbp_opt ?budget ?telemetry ?jobs cfg g =
+  cost_exn "Exact_prbp" (Prbp.Exact_prbp.solve ?budget ?telemetry ?jobs cfg g)
 
 (* Three-way probe for surveys that must distinguish "no pebbling
    exists" from "the budget ran out with this certified interval". *)

@@ -298,8 +298,8 @@ let with_obs (profile_out, metrics_out) f =
       raise e
 
 let solve_cmd =
-  let run family r game heuristic max_states deadline budget_words trace
-      sliding recompute no_delete obs =
+  let run family r game heuristic max_states deadline budget_words spill_words
+      jobs trace sliding recompute no_delete obs =
     with_obs obs @@ fun () ->
     let g = build family in
     Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
@@ -312,7 +312,7 @@ let solve_cmd =
     in
     let budget =
       Prbp.Solver.Budget.v ~max_states ?max_millis:deadline
-        ?max_words:budget_words ()
+        ?max_words:budget_words ?spill_words ()
     in
     let telemetry =
       if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
@@ -329,13 +329,17 @@ let solve_cmd =
       if heuristic then
         Format.printf "RBP  heuristic cost: %d@."
           (Prbp.Heuristic.rbp_cost ~r g)
-      else report "OPT_RBP " (Prbp.Exact_rbp.solve ~budget ?telemetry rcfg g)
+      else
+        report "OPT_RBP "
+          (Prbp.Exact_rbp.solve ~budget ?telemetry ~jobs rcfg g)
     in
     let prbp () =
       if heuristic then
         Format.printf "PRBP heuristic cost: %d@."
           (Prbp.Heuristic.prbp_best_cost ~r g)
-      else report "OPT_PRBP" (Prbp.Exact_prbp.solve ~budget ?telemetry pcfg g)
+      else
+        report "OPT_PRBP"
+          (Prbp.Exact_prbp.solve ~budget ?telemetry ~jobs pcfg g)
     in
     let black () =
       match Prbp.Black.number ~sliding ~max_states g with
@@ -352,10 +356,10 @@ let solve_cmd =
         let cfg = Prbp.Multi.config ~p ~r () in
         report
           (Printf.sprintf "OPT_RBP-MC  (p = %d)" p)
-          (Prbp.Exact_multi.rbp_solve ~budget ?telemetry cfg g);
+          (Prbp.Exact_multi.rbp_solve ~budget ?telemetry ~jobs cfg g);
         report
           (Printf.sprintf "OPT_PRBP-MC (p = %d)" p)
-          (Prbp.Exact_multi.prbp_solve ~budget ?telemetry cfg g)
+          (Prbp.Exact_multi.prbp_solve ~budget ?telemetry ~jobs cfg g)
       end
     in
     (match game with
@@ -399,6 +403,25 @@ let solve_cmd =
             "Memory budget for the search structures, in heap words; \
              exceeding it stops the solve with a bounded outcome.")
   in
+  let spill_words =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-words" ] ~docv:"N"
+          ~doc:
+            "With $(b,--budget-words): instead of stopping at the memory \
+             budget, evict settled states to a temporary file and keep \
+             searching until the spill file itself reaches $(docv) words.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Search on $(docv) parallel domains.  The optimum (and the \
+             certified interval of a state-budget-truncated solve) does \
+             not depend on $(docv).")
+  in
   let trace =
     Arg.(
       value & flag
@@ -427,8 +450,8 @@ let solve_cmd =
           10 instead of failing.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ heuristic $ max_states
-      $ deadline $ budget_words $ trace $ sliding $ recompute $ no_delete
-      $ obs_args)
+      $ deadline $ budget_words $ spill_words $ jobs $ trace $ sliding
+      $ recompute $ no_delete $ obs_args)
 
 let strategy_cmd =
   let run family r game verbose =

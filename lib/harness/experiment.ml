@@ -12,7 +12,20 @@ let m_seconds =
    before/after delta. *)
 let m_engine_expansions = Metrics.counter "prbp_engine_expansions_total"
 
-type ctx = { budget : Solver.Budget.t; telemetry : Solver.Telemetry.sink }
+type ctx = {
+  budget : Solver.Budget.t;
+  telemetry : Solver.Telemetry.sink;
+  solve_jobs : int;
+}
+
+(* No domain oversubscription: with [experiment_jobs] experiments in
+   flight, each solve gets the leftover cores (at least one).  Pure, so
+   the cap is testable without spawning anything. *)
+let solve_jobs ~cores ~experiment_jobs =
+  if cores < 1 then invalid_arg "Experiment.solve_jobs: cores >= 1";
+  if experiment_jobs < 1 then
+    invalid_arg "Experiment.solve_jobs: experiment_jobs >= 1";
+  max 1 (cores / experiment_jobs)
 
 type t = {
   id : string;
@@ -25,14 +38,14 @@ type t = {
 let make ~id ~paper ~claim ?(budget = Solver.Budget.default) run =
   { id; paper; claim; budget; run }
 
-let run_one ppf e =
+let run_one ?(solve_jobs = 1) ppf e =
   let body () =
     Format.fprintf ppf "@.=== %s — %s ===@." e.id e.paper;
     Format.fprintf ppf "claim: %s@.@." e.claim;
     let summary, sink = Solver.Telemetry.summarize () in
     let expansions0 = Metrics.Counter.value m_engine_expansions in
     let t0 = Clock.now () in
-    let ok = e.run ppf { budget = e.budget; telemetry = sink } in
+    let ok = e.run ppf { budget = e.budget; telemetry = sink; solve_jobs } in
     let elapsed_s = Clock.elapsed_s t0 in
     Metrics.Histogram.observe m_seconds elapsed_s;
     (* the engine counter is process-global: the delta is exact under
@@ -69,7 +82,7 @@ let run_one ppf e =
    order.  stdlib Domain/Mutex only.  Each experiment gets a private
    telemetry summary (created inside [run_one]), so no cross-domain
    sharing. *)
-let run_parallel ~jobs ppf es =
+let run_parallel ~jobs ~solve_jobs ppf es =
   let es = Array.of_list es in
   let n = Array.length es in
   let results = Array.make n (false, "") in
@@ -88,7 +101,7 @@ let run_parallel ~jobs ppf es =
     | Some i ->
         let buf = Buffer.create 1024 in
         let bppf = Format.formatter_of_buffer buf in
-        let ok = run_one bppf es.(i) in
+        let ok = run_one ~solve_jobs bppf es.(i) in
         Format.pp_print_flush bppf ();
         results.(i) <- (ok, Buffer.contents buf);
         worker ()
@@ -102,10 +115,17 @@ let run_parallel ~jobs ppf es =
 let run_all ?(jobs = 1) ppf es =
   let total = List.length es in
   let jobs = max 1 (min jobs total) in
+  let sj =
+    solve_jobs
+      ~cores:(max 1 (Domain.recommended_domain_count ()))
+      ~experiment_jobs:jobs
+  in
   let confirmed =
     if jobs = 1 then
-      List.fold_left (fun acc e -> acc + if run_one ppf e then 1 else 0) 0 es
-    else run_parallel ~jobs ppf es
+      List.fold_left
+        (fun acc e -> acc + if run_one ~solve_jobs:sj ppf e then 1 else 0)
+        0 es
+    else run_parallel ~jobs ~solve_jobs:sj ppf es
   in
   Format.fprintf ppf "@.%d/%d experiments confirmed@." confirmed total;
   (confirmed, total)

@@ -18,7 +18,18 @@ type ctx = {
   telemetry : Solver.Telemetry.sink;
       (** harness-owned aggregation sink; pass it to solves that
           should count toward the experiment's effort footprint *)
+  solve_jobs : int;
+      (** how many domains each solver call may use ([~jobs]); chosen
+          by the harness so that [experiment_jobs * solve_jobs] never
+          exceeds the host core count (see {!solve_jobs}) *)
 }
+
+val solve_jobs : cores:int -> experiment_jobs:int -> int
+(** [solve_jobs ~cores ~experiment_jobs] is the per-solve domain
+    budget when [experiment_jobs] experiments run concurrently on
+    [cores] cores: [max 1 (cores / experiment_jobs)] — the product
+    with [experiment_jobs] never oversubscribes the host.  Raises
+    [Invalid_argument] unless both arguments are positive. *)
 
 type t = {
   id : string;  (** e.g. "E01" *)
@@ -38,16 +49,20 @@ val make :
   t
 (** [budget] defaults to {!Solver.Budget.default}. *)
 
-val run_one : Format.formatter -> t -> bool
+val run_one : ?solve_jobs:int -> Format.formatter -> t -> bool
 (** Run one experiment under a fresh ctx; prints a one-line telemetry
     aggregate (solve count, peak explored states) when the experiment
-    used [ctx.telemetry]. *)
+    used [ctx.telemetry].  [solve_jobs] (default 1) is stored in the
+    ctx for the experiment's solver calls. *)
 
 val run_all : ?jobs:int -> Format.formatter -> t list -> int * int
 (** Run every experiment; returns (confirmed, total).
 
     [jobs] (default 1) dispatches experiments to that many parallel
     domains over a shared work queue (stdlib [Domain]/[Mutex] only).
+    Each ctx carries [solve_jobs = max 1 (cores / jobs)] so that
+    per-solve parallelism composes with experiment-level parallelism
+    without oversubscribing the host.
     Each experiment renders into a private buffer and owns a private
     telemetry summary, so per-experiment output blocks stay intact and
     are printed in list order — byte for byte the layout of a

@@ -84,8 +84,9 @@ let inst ?(sliding = false) ~s g =
     sinks = List.fold_left (fun a v -> a lor (1 lsl v)) 0 (Dag.sinks g);
   }
 
-let solve ?budget ?telemetry ?want_strategy ?sliding ~s g =
-  E.solve ?budget ?telemetry ?want_strategy ~prune:false (inst ?sliding ~s g)
+let solve ?budget ?telemetry ?want_strategy ?sliding ?jobs ~s g =
+  E.solve ?budget ?telemetry ?want_strategy ~prune:false ?jobs
+    (inst ?sliding ~s g)
 
 (* The historical default budget for the black game (its states are a
    third the width of the red-blue ones, but `number` runs a whole

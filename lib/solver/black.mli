@@ -33,6 +33,7 @@ val solve :
   ?telemetry:Solver.Telemetry.sink ->
   ?want_strategy:bool ->
   ?sliding:bool ->
+  ?jobs:int ->
   s:int ->
   Prbp_dag.Dag.t ->
   move Solver.outcome
@@ -42,7 +43,9 @@ val solve :
     {!Solver.Bounded} means [budget] (default
     {!Solver.Budget.default}) ran out before either was settled —
     feasibility at this capacity is then genuinely open.
-    Branch-and-bound is moot in an all-zero-cost game and stays off. *)
+    Branch-and-bound is moot in an all-zero-cost game and stays off.
+    [jobs] (default 1) searches on that many domains; see
+    {!Engine.Make.solve}. *)
 
 val feasible :
   ?sliding:bool -> ?max_states:int -> s:int -> Prbp_dag.Dag.t -> bool

@@ -29,6 +29,7 @@ module Make (G : Game.S) : sig
     ?telemetry:Solver.Telemetry.sink ->
     ?want_strategy:bool ->
     ?prune:bool ->
+    ?jobs:int ->
     G.inst ->
     G.move Solver.outcome
   (** [solve inst] searches until a goal state is settled
@@ -43,7 +44,22 @@ module Make (G : Game.S) : sig
       unallocated otherwise.  [prune] (default on) arms
       branch-and-bound with [G.heuristic_ub].  [telemetry] receives
       start/progress/prune/stop events; [None] keeps the hot loop
-      allocation-free. *)
+      allocation-free.
+
+      [jobs] (default 1) runs the search on that many domains over a
+      hash-sharded state table, as a level-synchronized 0-1 BFS with
+      chunk stealing between domains.  The optimum, the certified
+      interval of state-count-stopped runs, and the aggregated
+      explored/expanded/pruned counters are identical for every [jobs]
+      value (deadline/cancellation stops are timing-dependent by
+      nature; the parallel path's pop order differs from the
+      sequential engine's, so its counters match across [jobs >= 2]
+      and may differ from [jobs = 1] on truncated runs).  A budget
+      with {!Solver.Budget.spill_words} also routes through this path
+      — even at [jobs = 1] — so a solve that outgrows [max_words]
+      degrades to evicting settled states to disk instead of stopping,
+      unless [want_strategy] is set (spilling would orphan the parent
+      pointers; such solves stop at [max_words] as before). *)
 
   val search :
     ?max_states:int ->

@@ -201,10 +201,10 @@ let default_states = Solver.Budget.default.Solver.Budget.max_states
    is wanted, lift the single-processor incumbent onto processor 0 when
    the budget truncates the search. *)
 let solve_with ~engine_solve ~inst ~seed ~lift ?budget ?telemetry
-    ?(want_strategy = false) ~prune () =
+    ?(want_strategy = false) ~prune ?jobs () =
   let ub = match seed with Some (c, _) -> c | None -> max_int in
   let outcome =
-    engine_solve ?budget ?telemetry ~want_strategy ~prune
+    engine_solve ?budget ?telemetry ~want_strategy ~prune ?jobs
       (inst ~canon:(not want_strategy) ~ub)
   in
   (* move lists are strictly opt-in, incumbent included *)
@@ -213,13 +213,13 @@ let solve_with ~engine_solve ~inst ~seed ~lift ?budget ?telemetry
       Solver.Bounded { b with Solver.incumbent_strategy = Some (lift moves) }
   | _ -> outcome
 
-let rbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) cfg g =
+let rbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) ?jobs cfg g =
   solve_with
-    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune i ->
-      ER.solve ?budget ?telemetry ~want_strategy ~prune i)
+    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune ?jobs i ->
+      ER.solve ?budget ?telemetry ~want_strategy ~prune ?jobs i)
     ~inst:(fun ~canon ~ub -> rbp_inst ~canon ~ub cfg g)
     ~seed:(if prune then rbp_heuristic_seed cfg g else None)
-    ~lift:Multi.lift_rbp ?budget ?telemetry ?want_strategy ~prune ()
+    ~lift:Multi.lift_rbp ?budget ?telemetry ?want_strategy ~prune ?jobs ()
 
 (* -- deprecated pre-anytime surface --------------------------------- *)
 
@@ -488,13 +488,13 @@ let prbp_inst ~canon ~ub (cfg : Multi.config) g =
     ub;
   }
 
-let prbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) cfg g =
+let prbp_solve ?budget ?telemetry ?want_strategy ?(prune = true) ?jobs cfg g =
   solve_with
-    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune i ->
-      EP.solve ?budget ?telemetry ~want_strategy ~prune i)
+    ~engine_solve:(fun ?budget ?telemetry ~want_strategy ~prune ?jobs i ->
+      EP.solve ?budget ?telemetry ~want_strategy ~prune ?jobs i)
     ~inst:(fun ~canon ~ub -> prbp_inst ~canon ~ub cfg g)
     ~seed:(if prune then prbp_heuristic_seed cfg g else None)
-    ~lift:Multi.lift_prbp ?budget ?telemetry ?want_strategy ~prune ()
+    ~lift:Multi.lift_prbp ?budget ?telemetry ?want_strategy ~prune ?jobs ()
 
 (* -- deprecated pre-anytime surface --------------------------------- *)
 

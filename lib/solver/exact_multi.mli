@@ -51,6 +51,7 @@ val rbp_solve :
   ?telemetry:Solver.Telemetry.sink ->
   ?want_strategy:bool ->
   ?prune:bool ->
+  ?jobs:int ->
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   Prbp_pebble.Multi.Move.rbp Solver.outcome
@@ -63,7 +64,9 @@ val rbp_solve :
     (under [want_strategy]) the single-processor heuristic incumbent
     lifted onto processor 0;
     {!Solver.Unsolvable} when no pebbling exists (e.g. [r < Δin + 1]).
-    [prune] (default on) is the branch-and-bound switch. *)
+    [prune] (default on) is the branch-and-bound switch.  [jobs]
+    (default 1) searches on that many domains; see
+    {!Engine.Make.solve} for the determinism contract. *)
 
 val rbp_opt :
   ?max_states:int ->
@@ -107,6 +110,7 @@ val prbp_solve :
   ?telemetry:Solver.Telemetry.sink ->
   ?want_strategy:bool ->
   ?prune:bool ->
+  ?jobs:int ->
   Prbp_pebble.Multi.config ->
   Prbp_dag.Dag.t ->
   Prbp_pebble.Multi.Move.prbp Solver.outcome

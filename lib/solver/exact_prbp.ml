@@ -238,11 +238,11 @@ let inst ~eager_deletes ~ub cfg g =
   }
 
 let solve ?budget ?telemetry ?(want_strategy = false) ?(prune = true)
-    ?(eager_deletes = false) cfg g =
+    ?(eager_deletes = false) ?jobs cfg g =
   let seed = if prune then heuristic_seed cfg g else None in
   let ub = match seed with Some (c, _) -> c | None -> max_int in
   let outcome =
-    E.solve ?budget ?telemetry ~want_strategy ~prune
+    E.solve ?budget ?telemetry ~want_strategy ~prune ?jobs
       (inst ~eager_deletes ~ub cfg g)
   in
   (* move lists are strictly opt-in, incumbent included *)

@@ -38,6 +38,7 @@ val solve :
   ?want_strategy:bool ->
   ?prune:bool ->
   ?eager_deletes:bool ->
+  ?jobs:int ->
   Prbp_pebble.Prbp.config ->
   Prbp_dag.Dag.t ->
   Prbp_pebble.Move.P.t Solver.outcome
@@ -56,7 +57,11 @@ val solve :
     unmarked out-edges) exceeds it is discarded — the optimum is
     unchanged.  [eager_deletes] disables the light-red
     capacity-normalization pruning (ablation measurements only).
-    [telemetry] streams start/progress/prune/stop events. *)
+    [telemetry] streams start/progress/prune/stop events.  [jobs]
+    (default 1) searches on that many domains — same optimum, same
+    certified interval on state-count-stopped runs; see
+    {!Engine.Make.solve} for the exact determinism contract and the
+    {!Solver.Budget.spill_words} interaction. *)
 
 val opt :
   ?max_states:int ->

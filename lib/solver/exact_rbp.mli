@@ -37,6 +37,7 @@ val solve :
   ?want_strategy:bool ->
   ?prune:bool ->
   ?eager_deletes:bool ->
+  ?jobs:int ->
   Prbp_pebble.Rbp.config ->
   Prbp_dag.Dag.t ->
   Prbp_pebble.Move.R.t Solver.outcome
@@ -61,7 +62,11 @@ val solve :
     (deletes of recoverable values are then branched on at every
     state) — the optimum is unchanged, only the explored-state count
     differs; exposed for the pruning ablation in the benchmark
-    harness.  [telemetry] streams start/progress/prune/stop events. *)
+    harness.  [telemetry] streams start/progress/prune/stop events.
+    [jobs] (default 1) searches on that many domains — same optimum,
+    same certified interval on state-count-stopped runs; see
+    {!Engine.Make.solve} for the exact determinism contract and the
+    {!Solver.Budget.spill_words} interaction. *)
 
 val opt :
   ?max_states:int ->

@@ -1,0 +1,78 @@
+(** Multicore primitives for the parallel exact engine.
+
+    The engine is bulk-synchronous (work phase / barrier / decision
+    phase); these are its building blocks.  Nothing here knows about
+    games or states — see {!Engine} for the phase protocol that makes
+    the combination deterministic. *)
+
+(** Reusable barrier over [Mutex]/[Condition].  [await] on a 1-party
+    barrier is free, so single-domain runs of the parallel engine pay
+    no synchronization. *)
+module Barrier : sig
+  type t
+
+  val create : int -> t
+  (** [create parties]; [Invalid_argument] below 1. *)
+
+  val await : t -> unit
+  (** Block until all [parties] domains have arrived; the barrier then
+      resets for the next round. *)
+end
+
+(** Growable flat [int] buffer: the message lanes and frontier buckets
+    of the parallel engine.  Not synchronized — the engine's barrier
+    discipline is what makes sharing safe. *)
+module Ibuf : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> int -> unit
+
+  val get : t -> int -> int
+  (** Unchecked. *)
+
+  val set : t -> int -> int -> unit
+  (** Unchecked. *)
+
+  val clear : t -> unit
+  (** Keeps the capacity. *)
+
+  val truncate : t -> int -> unit
+  (** [truncate b n] shortens [b] to [n] elements (no-op if already
+      shorter) — in-place compaction ends with one of these. *)
+
+  val words : t -> int
+  (** Allocated heap words (the capacity, not the length). *)
+
+  val swap : t -> t -> unit
+  (** Exchange contents and capacity — O(1) bucket rotation. *)
+end
+
+(** Growable buffer of boxed values (move tags riding next to the
+    packed keys of {!Ibuf} lanes). *)
+module Vbuf : sig
+  type 'a t
+
+  val create : 'a -> 'a t
+  (** [create dummy]: [dummy] fills unused capacity. *)
+
+  val length : 'a t -> int
+
+  val push : 'a t -> 'a -> unit
+
+  val get : 'a t -> int -> 'a
+  (** Unchecked. *)
+
+  val set : 'a t -> int -> 'a -> unit
+  (** Unchecked. *)
+
+  val clear : 'a t -> unit
+  (** Keeps the capacity but drops the element references. *)
+
+  val words : 'a t -> int
+end

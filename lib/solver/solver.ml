@@ -10,7 +10,11 @@ module Budget = struct
     max_words : int option;
     cancelled : (unit -> bool) option;
     check_every : int;
+    spill_words : int option;
+    prune_off_after : int;
   }
+
+  let default_prune_off_after = 262_144
 
   let default =
     {
@@ -19,13 +23,26 @@ module Budget = struct
       max_words = None;
       cancelled = None;
       check_every = 2048;
+      spill_words = None;
+      prune_off_after = default_prune_off_after;
     }
 
   let v ?(max_states = default.max_states) ?max_millis ?max_words ?cancelled
-      ?(check_every = default.check_every) () =
+      ?(check_every = default.check_every) ?spill_words
+      ?(prune_off_after = default.prune_off_after) () =
     if max_states < 1 then invalid_arg "Solver.Budget.v: max_states >= 1";
     if check_every < 1 then invalid_arg "Solver.Budget.v: check_every >= 1";
-    { max_states; max_millis; max_words; cancelled; check_every }
+    if prune_off_after < 1 then
+      invalid_arg "Solver.Budget.v: prune_off_after >= 1";
+    {
+      max_states;
+      max_millis;
+      max_words;
+      cancelled;
+      check_every;
+      spill_words;
+      prune_off_after;
+    }
 
   let states n = v ~max_states:n ()
 
@@ -53,6 +70,8 @@ type stats = {
   frontier : int;
   elapsed_s : float;
   mem_words : int;
+  prune_disabled : bool;
+  spilled : int;
 }
 
 let empty_stats =
@@ -63,6 +82,8 @@ let empty_stats =
     frontier = 0;
     elapsed_s = 0.;
     mem_words = 0;
+    prune_disabled = false;
+    spilled = 0;
   }
 
 module Telemetry = struct

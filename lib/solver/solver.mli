@@ -36,6 +36,22 @@ module Budget : sig
             expansions; return [true] to stop the solve *)
     check_every : int;
         (** expansions between deadline/memory/cancellation polls *)
+    spill_words : int option;
+        (** when set, a solve that hits [max_words] evicts settled
+            states to a file-backed spill tier ({!Spill}) instead of
+            stopping, and keeps searching until the spill tier itself
+            reaches this many words (then {!Max_words} applies).
+            Degrades throughput, never soundness.  Incompatible with
+            strategy reconstruction: a [want_strategy] solve ignores
+            it and stops at [max_words] as before *)
+    prune_off_after : int;
+        (** expansions of zero branch-and-bound prunes after which the
+            engine stops paying for the residual bound check (the
+            incumbent upper bound is kept).  Instances whose heuristic
+            upper bound is far from OPT never prune, and for them the
+            per-relaxation residual evaluation is pure overhead.
+            [max_int] keeps pruning forever; recorded in
+            {!stats.prune_disabled} when it fires *)
   }
 
   val default : t
@@ -49,8 +65,13 @@ module Budget : sig
     ?max_words:int ->
     ?cancelled:(unit -> bool) ->
     ?check_every:int ->
+    ?spill_words:int ->
+    ?prune_off_after:int ->
     unit ->
     t
+
+  val default_prune_off_after : int
+  (** 262144 expansions. *)
 
   val states : int -> t
   (** [default] with the given state cap (the old [~max_states:n]). *)
@@ -81,6 +102,14 @@ type stats = {
   mem_words : int;
       (** estimated live heap words of the search structures; strategy
           bookkeeping contributes 0 unless it was requested *)
+  prune_disabled : bool;
+      (** the engine switched branch-and-bound residual checks off
+          mid-solve ({!Budget.t.prune_off_after} expansions passed with
+          zero prunes) *)
+  spilled : int;
+      (** settled states evicted to the file-backed spill tier
+          ({!Budget.t.spill_words}); 0 unless spilling was enabled and
+          triggered *)
 }
 
 val empty_stats : stats

@@ -1,0 +1,84 @@
+(* File-backed store of settled states: the spill tier of the
+   parallel engine.
+
+   When a search outgrows its [max_words] budget, states that are
+   settled *and expanded* are pure dedup memory: their distances are
+   final and their successors have already been relaxed into the
+   table, so evicting them can lose work (a settled state reached
+   again later is re-explored at a no-smaller distance) but never
+   correctness — see docs/ALGORITHMS.md "Spill tier" for the
+   soundness argument.  The engine appends evicted states here and
+   rebuilds its shard table around the surviving frontier.
+
+   The store is write-behind: one buffered append per evicted state,
+   fixed-size records of (width + 1) little-endian int64s (the packed
+   key then the settled distance).  Reads ([iter]) are for tests,
+   post-mortems and future strategy replay — never the search hot
+   path.  The backing file lives in [Filename.get_temp_dir_name]
+   (override with [dir]) and is removed on [close]. *)
+
+type t = {
+  width : int;
+  path : string;
+  oc : out_channel;
+  rec_bytes : Bytes.t;  (* one-record scratch, reused per append *)
+  mutable count : int;
+  mutable closed : bool;
+}
+
+let record_bytes width = 8 * (width + 1)
+
+let create ?dir ~width () =
+  if width < 1 then invalid_arg "Spill.create: width >= 1";
+  let path = Filename.temp_file ?temp_dir:dir "prbp-spill" ".bin" in
+  {
+    width;
+    path;
+    oc = open_out_bin path;
+    rec_bytes = Bytes.create (record_bytes width);
+    count = 0;
+    closed = false;
+  }
+
+let width t = t.width
+
+let path t = t.path
+
+let count t = t.count
+
+(* On-disk footprint in words — what the engine charges against the
+   spill-tier budget. *)
+let words t = (t.width + 1) * t.count
+
+let append t (key : int array) dist =
+  if t.closed then invalid_arg "Spill.append: closed";
+  for i = 0 to t.width - 1 do
+    Bytes.set_int64_le t.rec_bytes (8 * i) (Int64.of_int key.(i))
+  done;
+  Bytes.set_int64_le t.rec_bytes (8 * t.width) (Int64.of_int dist);
+  output_bytes t.oc t.rec_bytes;
+  t.count <- t.count + 1
+
+let iter t f =
+  if t.closed then invalid_arg "Spill.iter: closed";
+  flush t.oc;
+  let ic = open_in_bin t.path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let buf = Bytes.create (record_bytes t.width) in
+      let key = Array.make t.width 0 in
+      for _ = 1 to t.count do
+        really_input ic buf 0 (Bytes.length buf);
+        for i = 0 to t.width - 1 do
+          key.(i) <- Int64.to_int (Bytes.get_int64_le buf (8 * i))
+        done;
+        f key (Int64.to_int (Bytes.get_int64_le buf (8 * t.width)))
+      done)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc;
+    try Sys.remove t.path with Sys_error _ -> ()
+  end

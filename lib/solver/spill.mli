@@ -1,0 +1,42 @@
+(** File-backed settled-state store — the engine's spill tier.
+
+    Holds states the search has settled {e and expanded}: their
+    distances are final and their successors are already in the live
+    table, so they serve only as dedup memory.  When a solve outgrows
+    {!Solver.Budget.max_words}, the engine evicts them here (one
+    buffered fixed-size record each) and keeps searching with only the
+    frontier in RAM; re-reaching a spilled state costs re-exploration,
+    never correctness.  The file is deleted on {!close}.
+
+    One store belongs to one domain; nothing here is synchronized. *)
+
+type t
+
+val create : ?dir:string -> width:int -> unit -> t
+(** Fresh store of [width]-int packed states backed by a temp file
+    ([dir] defaults to the system temp directory). *)
+
+val width : t -> int
+
+val path : t -> string
+(** The backing file (useful in post-mortems; gone after {!close}). *)
+
+val count : t -> int
+(** Records appended so far. *)
+
+val words : t -> int
+(** On-disk footprint in words: [(width + 1) * count] — what the
+    engine charges against {!Solver.Budget.spill_words}. *)
+
+val append : t -> int array -> int -> unit
+(** [append t key dist] writes one settled state.  Buffered; [key]
+    must have exactly [width t] ints and is not retained. *)
+
+val iter : t -> (int array -> int -> unit) -> unit
+(** Replay every record in append order (flushes first).  The key
+    array is reused between calls — copy it to keep it.  For tests and
+    analysis, not the search path. *)
+
+val close : t -> unit
+(** Flush, close and delete the backing file.  Idempotent; the store
+    rejects further [append]/[iter]. *)

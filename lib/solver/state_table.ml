@@ -25,6 +25,27 @@ let mix h =
   let h = h * 0x2545f4914f6cdd1d in
   h lxor (h lsr 31)
 
+(* Width-dispatched key hash shared by {!Flat} (probe placement) and
+   {!Sharded} (owner-shard routing).  The dominant w <= 3 cases keep
+   the exact mixing of [I2]/[I3] with no loop. *)
+let[@inline] hash_width width (k : int array) =
+  match width with
+  | 1 -> mix (Array.unsafe_get k 0)
+  | 2 ->
+      mix
+        (Array.unsafe_get k 0 lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1))
+  | 3 ->
+      mix
+        (Array.unsafe_get k 0
+        lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1)
+        lxor (Array.unsafe_get k 2 * 0x3c79ac492ba7b65))
+  | w ->
+      let h = ref (Array.unsafe_get k 0) in
+      for i = 1 to w - 1 do
+        h := mix (!h lxor Array.unsafe_get k i)
+      done;
+      mix !h
+
 module I2 = struct
   type t = {
     mutable slots : int array;
@@ -128,19 +149,33 @@ end
 module Flat = struct
   type t = {
     width : int;
+    base_cap : int;  (* creation-time dense capacity; growth baseline *)
     mutable slots : int array;
     mutable keys : int array;  (* width * capacity, row-major *)
     mutable v : int array;
     mutable n : int;
   }
 
-  let create ~width =
+  (* smallest power of two >= max(64, hint) — tiny tables would churn
+     through resizes; shard-of-32 callers pass initial_cap / 32 = 128 *)
+  let round_cap hint =
+    let c = ref 64 in
+    while !c < hint do
+      c := 2 * !c
+    done;
+    !c
+
+  let create ?capacity ~width () =
     if width < 1 then invalid_arg "State_table.Flat.create: width >= 1";
+    let base_cap =
+      match capacity with None -> initial_cap | Some c -> round_cap c
+    in
     {
       width;
-      slots = Array.make initial_slots 0;
-      keys = Array.make (width * initial_cap) 0;
-      v = Array.make initial_cap 0;
+      base_cap;
+      slots = Array.make (2 * base_cap) 0;
+      keys = Array.make (width * base_cap) 0;
+      v = Array.make base_cap 0;
       n = 0;
     }
 
@@ -148,24 +183,7 @@ module Flat = struct
 
   let length t = t.n
 
-  let[@inline] hash_key t (k : int array) =
-    match t.width with
-    | 1 -> mix (Array.unsafe_get k 0)
-    | 2 ->
-        mix
-          (Array.unsafe_get k 0
-          lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1))
-    | 3 ->
-        mix
-          (Array.unsafe_get k 0
-          lxor (Array.unsafe_get k 1 * 0x9e3779b97f4a7c1)
-          lxor (Array.unsafe_get k 2 * 0x3c79ac492ba7b65))
-    | w ->
-        let h = ref (Array.unsafe_get k 0) in
-        for i = 1 to w - 1 do
-          h := mix (!h lxor Array.unsafe_get k i)
-        done;
-        mix !h
+  let[@inline] hash_key t (k : int array) = hash_width t.width k
 
   let[@inline] key_eq t j (k : int array) =
     let w = t.width in
@@ -333,10 +351,11 @@ module Flat = struct
 
   let capacity t = Array.length t.v
 
-  (* dense columns double from [initial_cap], so the growth count is
-     the exponent gap — what the table-resize metric reports *)
+  (* dense columns double from the creation-time capacity, so the
+     growth count is the exponent gap — what the table-resize metric
+     reports *)
   let resizes t =
-    let r = ref 0 and c = ref initial_cap in
+    let r = ref 0 and c = ref t.base_cap in
     while !c < Array.length t.v do
       incr r;
       c := 2 * !c
@@ -344,10 +363,136 @@ module Flat = struct
     !r
 
   let reset t =
-    t.slots <- Array.make initial_slots 0;
-    t.keys <- Array.make (t.width * initial_cap) 0;
-    t.v <- Array.make initial_cap 0;
+    t.slots <- Array.make (2 * t.base_cap) 0;
+    t.keys <- Array.make (t.width * t.base_cap) 0;
+    t.v <- Array.make t.base_cap 0;
     t.n <- 0
+end
+
+(* Hash-partitioned collection of {!Flat} tables for multicore
+   searches.
+
+   Ownership model: the owner shard of a key is a pure function of the
+   key ({!Sharded.owner}), taken from the *top* bits of the same
+   splitmix hash whose low bits drive the probe sequence inside a
+   shard — partitioning by low bits would leave every shard probing a
+   sublattice of its slot array and lengthen linear-probe runs.
+
+   Two access disciplines coexist:
+   - {e owner-routed} (the parallel engine): each domain touches only
+     [shard t k] for its own [k], with cross-domain hand-off through
+     message buffers and barriers.  No locks on the hot path.
+   - {e synchronized} ([find]/[add]/[find_or_add]/[value]/...): any
+     domain, any key, one mutex per shard.  This is the general-purpose
+     concurrent-map surface (and what the contention stress test
+     hammers); handles pack (dense index, shard) into one int. *)
+module Sharded = struct
+  type t = {
+    width : int;
+    bits : int;  (* log2 of the shard count *)
+    tables : Flat.t array;
+    locks : Mutex.t array;
+  }
+
+  let max_bits = 12
+
+  let create ?(shards = 1) ~width () =
+    if width < 1 then invalid_arg "State_table.Sharded.create: width >= 1";
+    if shards < 1 || shards > 1 lsl max_bits then
+      invalid_arg "State_table.Sharded.create: 1 <= shards <= 4096";
+    (* round up to a power of two so owner routing is a mask *)
+    let bits = ref 0 in
+    while 1 lsl !bits < shards do
+      incr bits
+    done;
+    let n = 1 lsl !bits in
+    (* aggregate baseline ~= one sequential table: each shard starts at
+       1/n of the default capacity (floored at Flat's 64 minimum) *)
+    let capacity = max 64 (initial_cap / n) in
+    {
+      width;
+      bits = !bits;
+      tables = Array.init n (fun _ -> Flat.create ~capacity ~width ());
+      locks = Array.init n (fun _ -> Mutex.create ());
+    }
+
+  let width t = t.width
+
+  let shards t = Array.length t.tables
+
+  let[@inline] owner t (k : int array) =
+    (hash_width t.width k lsr (62 - max_bits)) land (Array.length t.tables - 1)
+
+  let shard t i = t.tables.(i)
+
+  (* spill compaction: the owner rebuilds a shard around its surviving
+     frontier and swaps the new table in.  Owner-only, between
+     barriers, like [shard]. *)
+  let replace_shard t i f =
+    if Flat.width f <> t.width then
+      invalid_arg "State_table.Sharded.replace_shard: width mismatch";
+    t.tables.(i) <- f
+
+  let length t = Array.fold_left (fun acc f -> acc + Flat.length f) 0 t.tables
+
+  let words t =
+    (* the mutexes and the spine are noise next to the key columns *)
+    Array.fold_left (fun acc f -> acc + Flat.words f) 0 t.tables
+
+  (* -- packed handles: (dense index lsl bits) lor shard ------------- *)
+
+  let[@inline] handle t ~shard idx = (idx lsl t.bits) lor shard
+
+  let[@inline] shard_of_handle t h = h land (Array.length t.tables - 1)
+
+  let[@inline] index_of_handle t h = h lsr t.bits
+
+  (* -- synchronized surface ----------------------------------------- *)
+
+  let[@inline] with_shard t s f =
+    let l = t.locks.(s) in
+    Mutex.lock l;
+    match f t.tables.(s) with
+    | v ->
+        Mutex.unlock l;
+        v
+    | exception e ->
+        Mutex.unlock l;
+        raise e
+
+  let find t k =
+    let s = owner t k in
+    with_shard t s (fun f ->
+        let j = Flat.find f k in
+        if j < 0 then -1 else handle t ~shard:s j)
+
+  let add t k value =
+    let s = owner t k in
+    with_shard t s (fun f -> handle t ~shard:s (Flat.add f k value))
+
+  (* Atomic find-or-insert: the lookup and the insert happen under the
+     same shard lock, so two domains racing on a fresh key agree on
+     one dense index. *)
+  let find_or_add t k value =
+    let s = owner t k in
+    with_shard t s (fun f ->
+        let j = Flat.find f k in
+        if j >= 0 then (handle t ~shard:s j, false)
+        else (handle t ~shard:s (Flat.add f k value), true))
+
+  let value t h =
+    let s = shard_of_handle t h in
+    with_shard t s (fun f -> Flat.value f (index_of_handle t h))
+
+  let set_value t h x =
+    let s = shard_of_handle t h in
+    with_shard t s (fun f -> Flat.set_value f (index_of_handle t h) x)
+
+  let read_key t h buf =
+    let s = shard_of_handle t h in
+    with_shard t s (fun f -> Flat.read_key f (index_of_handle t h) buf)
+
+  let reset t = Array.iter Flat.reset t.tables
 end
 
 module I3 = struct

@@ -47,8 +47,13 @@ end
 module Flat : sig
   type t
 
-  val create : width:int -> t
-  (** [width >= 1] ints per key. *)
+  val create : ?capacity:int -> width:int -> unit -> t
+  (** [width >= 1] ints per key.  [capacity] hints the initial dense
+      capacity (rounded up to a power of two, floored at 64; default
+      4096) — growth doubles from there, and {!resizes}/{!reset} count
+      against the creation-time baseline.  Shard-of-[n] callers pass
+      [default / n] so the aggregate footprint of a sharded table
+      matches a single sequential one. *)
 
   val width : t -> int
 
@@ -87,6 +92,76 @@ module Flat : sig
   val resizes : t -> int
   (** How many geometric growth steps the dense columns have taken
       since creation — the engine's table-resize metric. *)
+
+  val reset : t -> unit
+end
+
+(** Hash-partitioned collection of {!Flat} shards for multicore
+    searches.  The owner shard of a key is a pure function of the key
+    (top bits of the shared probe hash), so domains can partition work
+    without communication.
+
+    Two access disciplines:
+    - {e owner-routed}: a domain touches only [shard t k] for the [k]
+      it owns (what the parallel {!Engine} does — lock-free, its
+      barrier protocol supplies the synchronization);
+    - {e synchronized}: [find]/[add]/[find_or_add]/[value]/... take a
+      per-shard mutex and are safe from any domain.  Handles pack
+      (dense index, shard) into one int. *)
+module Sharded : sig
+  type t
+
+  val create : ?shards:int -> width:int -> unit -> t
+  (** [shards] (default 1, max 4096) is rounded up to a power of
+      two. *)
+
+  val width : t -> int
+
+  val shards : t -> int
+  (** The actual (power-of-two) shard count. *)
+
+  val owner : t -> int array -> int
+  (** Owner shard of a key — pure, no lock. *)
+
+  val shard : t -> int -> Flat.t
+  (** Direct access to one shard for owner-routed use.  Unsynchronized:
+      only the owning domain may touch it between barriers. *)
+
+  val replace_shard : t -> int -> Flat.t -> unit
+  (** Swap a rebuilt shard in (spill compaction).  Owner-only, same
+      discipline as {!shard}; the replacement's width must match. *)
+
+  val length : t -> int
+  (** Total keys across shards (unsynchronized sum; exact when
+      quiescent). *)
+
+  val words : t -> int
+  (** Total heap words across shards. *)
+
+  val handle : t -> shard:int -> int -> int
+  (** Pack a (shard, dense index) pair into a global handle. *)
+
+  val shard_of_handle : t -> int -> int
+
+  val index_of_handle : t -> int -> int
+
+  val find : t -> int array -> int
+  (** Global handle of the key, or [-1].  Locks the owner shard. *)
+
+  val add : t -> int array -> int -> int
+  (** Insert a key known to be absent; global handle.  Locks. *)
+
+  val find_or_add : t -> int array -> int -> int * bool
+  (** [find_or_add t k v] is [(handle, fresh)]: lookup and insert
+      happen under one lock acquisition, so racing domains agree on a
+      single handle per key. *)
+
+  val value : t -> int -> int
+  (** By global handle.  Locks. *)
+
+  val set_value : t -> int -> int -> unit
+
+  val read_key : t -> int -> int array -> unit
 
   val reset : t -> unit
 end
