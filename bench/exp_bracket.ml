@@ -87,9 +87,7 @@ let e31 =
             if not (contains && certs) then ok := false;
             T.add_rowf t "%s|%d|%s|%s|%s|%s|%b|%b" name r
               (Lower.game_label b.Bracket.game)
-              (pp_bracket b)
-              (Lower.rule_label b.Bracket.lower.Lower.rule)
-              opt_s contains certs
+              (pp_bracket b) b.Bracket.lower.Lower.rule opt_s contains certs
       in
       let both name g rs =
         List.iter
@@ -136,11 +134,11 @@ let e32 =
       let ok = ref true in
       let matmul_beats_trivial = ref false in
       let fft_large_enough = ref false in
-      let one family game g r forms =
+      let one family game g r =
         let bracket =
           match game with
-          | `Rbp -> Bracket.rbp ~budget:ctx.E.budget ~closed_forms:forms ~r g
-          | `Prbp -> Bracket.prbp ~budget:ctx.E.budget ~closed_forms:forms ~r g
+          | `Rbp -> Bracket.rbp ~budget:ctx.E.budget ~r g
+          | `Prbp -> Bracket.prbp ~budget:ctx.E.budget ~r g
         in
         match bracket with
         | Error e ->
@@ -159,22 +157,18 @@ let e32 =
             T.add_rowf t "%s|%s|%d|%d|%d|%d|%s|%s|%s|%.1fs" family
               (Lower.game_label b.Bracket.game)
               r b.Bracket.n b.Bracket.m (Dag.trivial_cost g) (pp_bracket b)
-              (Lower.rule_label b.Bracket.lower.Lower.rule)
+              b.Bracket.lower.Lower.rule
               (Prbp.Bounds.Upper.meth_label b.Bracket.meth)
               b.Bracket.elapsed_s
       in
+      (* closed forms attach automatically from the DAGs' family tags *)
       let fft = (Prbp.Graphs.Fft.make ~m:128).Prbp.Graphs.Fft.dag in
-      let fft_forms r =
-        [ ("fft", Prbp.Graphs.Fft.lower_bound (Prbp.Graphs.Fft.make ~m:128) ~r) ]
-      in
-      one "fft:128" `Rbp fft 6 (fft_forms 6);
-      one "fft:128" `Prbp fft 6 (fft_forms 6);
+      one "fft:128" `Rbp fft 6;
+      one "fft:128" `Prbp fft 6;
       let mm = Prbp.Graphs.Matmul.make ~m1:20 ~m2:20 ~m3:20 in
-      one "matmul:20:20:20" `Prbp mm.Prbp.Graphs.Matmul.dag 2
-        [ ("matmul", Prbp.Graphs.Matmul.lower_bound mm ~r:2) ];
+      one "matmul:20:20:20" `Prbp mm.Prbp.Graphs.Matmul.dag 2;
       let qkt = Prbp.Graphs.Attention.qkt ~m:16 ~d:8 in
-      one "attention-qkt:16:8" `Prbp qkt.Prbp.Graphs.Matmul.dag 4
-        [ ("attention", Prbp.Graphs.Attention.lower_bound ~m:16 ~d:8 ~r:4) ];
+      one "attention-qkt:16:8" `Prbp qkt.Prbp.Graphs.Matmul.dag 4;
       T.print ppf t;
       if not !fft_large_enough then ok := false;
       if not !matmul_beats_trivial then ok := false;
@@ -185,4 +179,61 @@ let e32 =
          what counting sources and sinks gives)@.";
       !ok)
 
-let all = [ e31; e32 ]
+let e33 =
+  E.make ~id:"E33" ~paper:"Interval width as the bracket quality metric"
+    ~claim:
+      "The banded (blocked) FFT schedules shrink the certified FFT(128) \
+       r=6 bracket width by at least 2x against the row-by-row baseline \
+       [256, 2263] under the same 10-second budget, with every \
+       certificate re-validated; per-rule attribution shows which rule \
+       set each side of the interval"
+    ~budget:(Prbp.Solver.Budget.v ~max_millis:10_000 ())
+    (fun ppf (ctx : E.ctx) ->
+      let t =
+        T.make
+          ~header:
+            [ "family"; "game"; "bracket"; "width"; "lower rule";
+              "upper rule"; "certs" ]
+      in
+      let ok = ref true in
+      let baseline_width = 2263 - 256 in
+      let fft = (Prbp.Graphs.Fft.make ~m:128).Prbp.Graphs.Fft.dag in
+      let one game label =
+        let bracket =
+          match game with
+          | `Rbp -> Bracket.rbp ~budget:ctx.E.budget ~r:6 fft
+          | `Prbp -> Bracket.prbp ~budget:ctx.E.budget ~r:6 fft
+        in
+        match bracket with
+        | Error e ->
+            ok := false;
+            Format.fprintf ppf "fft:128 %s: bracket failed: %s@." label e
+        | Ok b ->
+            let certs = certs_ok fft ~r:6 b in
+            if not certs then ok := false;
+            (* the headline claim: width at most half the old baseline *)
+            if label = "rbp" && b.Bracket.width * 2 > baseline_width then
+              ok := false;
+            T.add_rowf t "fft:128|%s|%s|%d|%s|%s|%b" label (pp_bracket b)
+              b.Bracket.width b.Bracket.lower.Lower.rule
+              (Prbp.Bounds.Upper.meth_label b.Bracket.meth)
+              certs;
+            List.iter
+              (fun (rule, bound) ->
+                Format.fprintf ppf "  %s %s: %d@." label rule bound)
+              b.Bracket.lower.Lower.evaluated
+      in
+      one `Rbp "rbp";
+      one `Prbp "prbp";
+      T.print ppf t;
+      Format.fprintf ppf
+        "(the shrink comes from the upper side: the banded Belady schedule \
+         keeps two butterfly levels' components cache-resident, where the \
+         row-by-row order thrashes; on the lower side no sound \
+         paper-faithful rule beats the trivial source/sink count at this \
+         scale — the Theorem 6.9 closed form evaluates to 62.5 at m=128, \
+         r=6, far below trivial's 256 — so the attribution table records \
+         trivial as the honest winner)@.";
+      !ok)
+
+let all = [ e31; e32; e33 ]

@@ -19,14 +19,15 @@ let default_jobs = min 8 (Domain.recommended_domain_count ())
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--perf|--no-perf] [-j N] [--profile] [--profile-out \
-     FILE] [--metrics-out FILE] [EXPERIMENT_ID ...]";
+    "usage: main.exe [--perf|--no-perf] [--check-widths] [-j N] [--profile] \
+     [--profile-out FILE] [--metrics-out FILE] [EXPERIMENT_ID ...]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let perf_only = ref false in
   let no_perf = ref false in
+  let check_widths = ref false in
   let jobs = ref default_jobs in
   (* perf's parallel section (and its minutes-long huge case) only runs
      on an explicit -j N, never from the host-core default *)
@@ -42,6 +43,9 @@ let () =
         parse rest
     | "--no-perf" :: rest ->
         no_perf := true;
+        parse rest
+    | "--check-widths" :: rest ->
+        check_widths := true;
         parse rest
     | "--profile" :: rest ->
         profile := true;
@@ -84,6 +88,13 @@ let () =
   Format.fprintf ppf
     "PRBP experiment harness — reproducing \"The Impact of Partial \
      Computations on the Red-Blue Pebble Game\" (SPAA 2025)@.";
+  if !check_widths then begin
+    (* the width gate is its own mode: bracket cases vs the committed
+       BENCH_solver.json, nothing else *)
+    let code = Perf.check_widths ppf in
+    Format.pp_print_flush ppf ();
+    exit code
+  end;
   if not !perf_only then begin
     let selected =
       match ids with

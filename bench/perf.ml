@@ -177,49 +177,51 @@ let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
 (* Bracket rows: the certified-bounds subsystem at scales the exact
    solvers cannot touch.  One row per (family, game); each bracket
    runs under a 10-second wall-clock budget and lands in
-   BENCH_solver.json next to the solver cases (schema v5). *)
+   BENCH_solver.json next to the solver cases (schema v7), with its
+   interval width and winning lower/upper rules for the width
+   regression gate ([--check-widths]).  Closed forms attach via the
+   DAGs' family tags. *)
 
 let bracket_cases () =
   let fft = Prbp.Graphs.Fft.make ~m:128 in
   let mm = Prbp.Graphs.Matmul.make ~m1:20 ~m2:20 ~m3:20 in
   let qkt = Prbp.Graphs.Attention.qkt ~m:16 ~d:8 in
   [
-    ( "fft:128", `Rbp, fft.Prbp.Graphs.Fft.dag, 6,
-      [ ("fft", Prbp.Graphs.Fft.lower_bound fft ~r:6) ] );
-    ( "fft:128", `Prbp, fft.Prbp.Graphs.Fft.dag, 6,
-      [ ("fft", Prbp.Graphs.Fft.lower_bound fft ~r:6) ] );
-    ( "matmul:20:20:20", `Prbp, mm.Prbp.Graphs.Matmul.dag, 2,
-      [ ("matmul", Prbp.Graphs.Matmul.lower_bound mm ~r:2) ] );
-    ( "attention-qkt:16:8", `Prbp, qkt.Prbp.Graphs.Matmul.dag, 4,
-      [ ("attention", Prbp.Graphs.Attention.lower_bound ~m:16 ~d:8 ~r:4) ] );
+    ("fft:128", `Rbp, fft.Prbp.Graphs.Fft.dag, 6);
+    ("fft:128", `Prbp, fft.Prbp.Graphs.Fft.dag, 6);
+    ("matmul:20:20:20", `Prbp, mm.Prbp.Graphs.Matmul.dag, 2);
+    ("attention-qkt:16:8", `Prbp, qkt.Prbp.Graphs.Matmul.dag, 4);
   ]
+
+let run_one_bracket game ~budget ~r g =
+  match game with
+  | `Rbp -> Prbp.Bounds.Bracket.rbp ~budget ~r g
+  | `Prbp -> Prbp.Bounds.Bracket.prbp ~budget ~r g
+
+let bracket_budget () = Prbp.Solver.Budget.v ~max_millis:10_000 ()
 
 let run_brackets ppf =
   Format.fprintf ppf "@.=== PERF — certified brackets at scale ===@.@.";
   let t =
     Prbp.Table.make
-      ~header:[ "family"; "game"; "r"; "bracket"; "rule"; "method"; "time" ]
+      ~header:
+        [ "family"; "game"; "r"; "bracket"; "width"; "rule"; "method"; "time" ]
   in
-  let budget = Prbp.Solver.Budget.v ~max_millis:10_000 () in
+  let budget = bracket_budget () in
   let rows =
     List.filter_map
-      (fun (family, game, g, r, closed_forms) ->
+      (fun (family, game, g, r) ->
         Gc.compact ();
-        let bracket =
-          match game with
-          | `Rbp -> Prbp.Bounds.Bracket.rbp ~budget ~closed_forms ~r g
-          | `Prbp -> Prbp.Bounds.Bracket.prbp ~budget ~closed_forms ~r g
-        in
-        match bracket with
+        match run_one_bracket game ~budget ~r g with
         | Error e ->
             Format.fprintf ppf "bracket %s: %s@." family e;
             None
         | Ok b ->
             let module B = Prbp.Bounds.Bracket in
             let module L = Prbp.Bounds.Lower in
-            Prbp.Table.add_rowf t "%s|%s|%d|[%d,%d]|%s|%s|%.1fs" family
-              (L.game_label b.B.game) r b.B.lower.L.bound b.B.upper
-              (L.rule_label b.B.lower.L.rule)
+            Prbp.Table.add_rowf t "%s|%s|%d|[%d,%d]|%d|%s|%s|%.1fs" family
+              (L.game_label b.B.game) r b.B.lower.L.bound b.B.upper b.B.width
+              b.B.lower.L.rule
               (Prbp.Bounds.Upper.meth_label b.B.meth)
               b.B.elapsed_s;
             Some (Prbp.Bounds.Bracket.to_json ~family b))
@@ -227,6 +229,55 @@ let run_brackets ppf =
   in
   Prbp.Table.print ppf t;
   rows
+
+(* [--check-widths]: re-run the bracket cases under the standard bench
+   budget and gate on the interval widths committed in
+   BENCH_solver.json.  Returns the process exit code: 1 when any
+   committed case's width regressed (or a case with a baseline failed
+   to bracket at all), 0 otherwise. *)
+let check_widths ppf =
+  let module R = Prbp.Regression in
+  let baseline =
+    try R.rows_of_file "BENCH_solver.json"
+    with Sys_error e ->
+      Format.fprintf ppf "check-widths: cannot read BENCH_solver.json: %s@." e;
+      []
+  in
+  if baseline = [] then begin
+    Format.fprintf ppf
+      "check-widths: no committed bracket baseline — nothing to gate@.";
+    0
+  end
+  else begin
+    Format.fprintf ppf "@.=== PERF — interval-width regression gate ===@.@.";
+    let budget = bracket_budget () in
+    let failed = ref false in
+    let current =
+      List.filter_map
+        (fun (family, game, g, r) ->
+          Gc.compact ();
+          match run_one_bracket game ~budget ~r g with
+          | Error e ->
+              Format.fprintf ppf "bracket %s failed: %s@." family e;
+              failed := true;
+              None
+          | Ok b ->
+              let module B = Prbp.Bounds.Bracket in
+              Some
+                {
+                  R.family;
+                  game = Prbp.Bounds.Lower.game_label b.B.game;
+                  r;
+                  interval_width = b.B.width;
+                  lower_rule = b.B.lower.Prbp.Bounds.Lower.rule;
+                  upper_rule = Prbp.Bounds.Upper.meth_label b.B.meth;
+                })
+        (bracket_cases ())
+    in
+    let verdicts = R.check ~baseline current in
+    List.iter (fun v -> Format.fprintf ppf "%a@." R.pp_verdict v) verdicts;
+    if R.regressed verdicts || !failed then 1 else 0
+  end
 
 let show_interval r =
   match r.upper with
@@ -314,7 +365,7 @@ let run_solver ?(jobs = 1) ppf =
   in
   let bracket_rows = run_brackets ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v6\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v7\",\n";
   Printf.bprintf buf "  \"jobs\": %d,\n  \"host_cores\": %d,\n" jobs
     (Domain.recommended_domain_count ());
   Buffer.add_string buf "  \"cases\": [\n";

@@ -143,21 +143,6 @@ let family_label = function
   | Spmv (s, r, c) -> Printf.sprintf "spmv:%d:%d:%d" s r c
   | File p -> "file:" ^ p
 
-(* Analytic lower bounds for the families the paper proves theorems
-   about; all three are established for PRBP (Theorems 6.9–6.11), so
-   they are admissible for both games (OPT_RBP >= OPT_PRBP). *)
-let closed_forms_for family ~r =
-  match family with
-  | Fft m ->
-      let f = Prbp.Graphs.Fft.make ~m in
-      [ ("fft", Prbp.Graphs.Fft.lower_bound f ~r) ]
-  | Matmul (m1, m2, m3) ->
-      let mm = Prbp.Graphs.Matmul.make ~m1 ~m2 ~m3 in
-      [ ("matmul", Prbp.Graphs.Matmul.lower_bound mm ~r) ]
-  | Attention (m, d) ->
-      [ ("attention", Prbp.Graphs.Attention.lower_bound ~m ~d ~r) ]
-  | _ -> []
-
 let family_conv = Arg.conv (parse_family, fun ppf _ -> Fmt.string ppf "<family>")
 
 let family_arg =
@@ -650,7 +635,7 @@ let dot_cmd =
     Term.(const run $ family_arg $ r_arg $ partition $ output)
 
 let bracket_cmd =
-  let run family r game max_states deadline json profile trace obs =
+  let run family r game max_states deadline rules json profile trace obs =
     with_obs obs @@ fun () ->
     let g = build family in
     let budget = Prbp.Solver.Budget.v ~max_states ?max_millis:deadline () in
@@ -658,7 +643,17 @@ let bracket_cmd =
       if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
       else None
     in
-    let closed_forms = closed_forms_for family ~r in
+    (match rules with
+    | None -> ()
+    | Some names ->
+        let known = Prbp.Bounds.Lower.names () in
+        List.iter
+          (fun n ->
+            if not (List.mem n known) then
+              failwith
+                (Printf.sprintf "unknown lower rule %S (registered: %s)" n
+                   (String.concat ", " known)))
+          names);
     let module Bracket = Prbp.Bounds.Bracket in
     let module Segment = Prbp.Bounds.Segment in
     let not_tight = ref false in
@@ -685,10 +680,10 @@ let bracket_cmd =
           Format.eprintf "%s: %s@." name e
     in
     let rbp () =
-      show "RBP " (Bracket.rbp ~budget ?telemetry ~closed_forms ~r g)
+      show "RBP " (Bracket.rbp ~budget ?telemetry ?rules ~r g)
     in
     let prbp () =
-      show "PRBP" (Bracket.prbp ~budget ?telemetry ~closed_forms ~r g)
+      show "PRBP" (Bracket.prbp ~budget ?telemetry ?rules ~r g)
     in
     (match game with
     | `Rbp -> rbp ()
@@ -715,6 +710,16 @@ let bracket_cmd =
           ~doc:
             "Wall-clock budget for the whole bracket (split across the \
              lower- and upper-bound portfolios).")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "rules" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated lower-bound rule names to run (default: every \
+             registered rule).  Unknown names are an error; the message \
+             lists the registry.")
   in
   let json =
     Arg.(
@@ -744,7 +749,7 @@ let bracket_cmd =
           bracket is not tight (lower < upper), 0 when it pins the optimum.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ max_states $ deadline
-      $ json $ profile $ trace $ obs_args)
+      $ rules $ json $ profile $ trace $ obs_args)
 
 let trace_cmd =
   let run family r game =

@@ -15,6 +15,7 @@ type t = {
   m : int;
   lower : Lower.t;
   upper : int;
+  width : int;
   moves : moves;
   meth : Upper.meth;
   verified : [ `Literal | `Engine ];
@@ -85,7 +86,14 @@ let make_profile ~flavor g ~s =
   if Dag.n_nodes g > profile_gate then None
   else match Segment.greedy ~flavor g ~s with Ok seg -> Some seg | Error _ -> None
 
-let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
+(* The leftover wall clock after [t0], under the run's total
+   [max_millis]; [None] when the budget is unbounded. *)
+let ms_left (budget : Solver.Budget.t) t0 =
+  Option.map
+    (fun ms -> ms - int_of_float (Clock.elapsed_s t0 *. 1000.))
+    budget.Solver.Budget.max_millis
+
+let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
     ~upper_portfolio ~profile_flavor g =
   let body () =
     let t0 = Clock.now () in
@@ -103,22 +111,51 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
     let lower =
       stage ~name:"bracket.lower" m_stage_lower (fun () ->
           let l =
-            Lower.compute ~budget:(scale_budget budget 0.4) ?closed_forms ~game
-              ~r g
+            Lower.compute ~budget:(scale_budget budget 0.4) ?rules ~game ~r g
           in
-          Span.add_attr "rule" (Lower.rule_label l.Lower.rule);
+          Span.add_attr "rule" l.Lower.rule;
           Span.add_attr "bound" (string_of_int l.Lower.bound);
           l)
     in
+    (* rebalance: a lower phase that short-circuits hands its unused
+       allotment to the upper phase (everything left on the clock, not
+       a fixed 60%) *)
+    let upper_budget =
+      match ms_left budget t0 with
+      | None -> budget
+      | Some left ->
+          { budget with Solver.Budget.max_millis = Some (max 1 left) }
+    in
     let upper_result =
       stage ~name:"bracket.upper" m_stage_upper (fun () ->
-          let u = upper_portfolio ~budget:(scale_budget budget 0.6) ~r g in
+          let u = upper_portfolio ~budget:upper_budget ~r g in
           (match u with
           | Ok (cost, _, meth, _) ->
               Span.add_attr "method" (Upper.meth_label meth);
               Span.add_attr "cost" (string_of_int cost)
           | Error _ -> ());
           u)
+    in
+    (* and vice versa: if a lower rule was budget-truncated and the
+       upper phase left usable time, spend it tightening the floor *)
+    let lower =
+      if not lower.Lower.truncated then lower
+      else
+        match ms_left budget t0 with
+        | Some left
+          when left
+               >= max 50
+                    (Option.value ~default:0 budget.Solver.Budget.max_millis
+                    / 10) ->
+            let l2 =
+              stage ~name:"bracket.lower" m_stage_lower (fun () ->
+                  Lower.compute
+                    ~budget:
+                      { budget with Solver.Budget.max_millis = Some left }
+                    ?rules ~game ~r g)
+            in
+            if l2.Lower.bound > lower.Lower.bound then l2 else lower
+        | _ -> lower
     in
     match upper_result with
     | Error e -> finish "unsolvable" (Error e)
@@ -149,6 +186,7 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
                    m = Dag.n_edges g;
                    lower;
                    upper;
+                   width = upper - lower.Lower.bound;
                    moves;
                    meth;
                    verified;
@@ -169,8 +207,8 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?closed_forms ~game ~r
         ]
       body
 
-let rbp ?budget ?telemetry ?closed_forms ~r g =
-  run ?budget ?telemetry ?closed_forms ~game:Lower.Rbp ~r
+let rbp ?budget ?telemetry ?rules ~r g =
+  run ?budget ?telemetry ?rules ~game:Lower.Rbp ~r
     ~upper_portfolio:(fun ~budget ~r g ->
       Result.map
         (fun (u : _ Upper.t) ->
@@ -178,8 +216,8 @@ let rbp ?budget ?telemetry ?closed_forms ~r g =
         (Upper.rbp ~budget ~r g))
     ~profile_flavor:Segment.Spartition g
 
-let prbp ?budget ?telemetry ?closed_forms ~r g =
-  run ?budget ?telemetry ?closed_forms ~game:Lower.Prbp ~r
+let prbp ?budget ?telemetry ?rules ~r g =
+  run ?budget ?telemetry ?rules ~game:Lower.Prbp ~r
     ~upper_portfolio:(fun ~budget ~r g ->
       Result.map
         (fun (u : _ Upper.t) ->
@@ -196,14 +234,23 @@ let to_json ?family t =
   Buffer.add_string b
     (Printf.sprintf
        ", \"game\": \"%s\", \"r\": %d, \"n\": %d, \"m\": %d, \"lower\": %d, \
-        \"rule\": \"%s\", \"upper\": %d, \"method\": \"%s\", \"verifier\": \
-        \"%s\", \"tight\": %b"
+        \"rule\": \"%s\", \"lower_rule\": \"%s\", \"upper\": %d, \"method\": \
+        \"%s\", \"upper_rule\": \"%s\", \"verifier\": \"%s\", \"tight\": %b, \
+        \"interval_width\": %d"
        (Lower.game_label t.game) t.r t.n t.m t.lower.Lower.bound
-       (Lower.rule_label t.lower.Lower.rule)
-       t.upper
+       t.lower.Lower.rule t.lower.Lower.rule t.upper
+       (Upper.meth_label t.meth)
        (Upper.meth_label t.meth)
        (match t.verified with `Literal -> "literal" | `Engine -> "engine")
-       t.tight);
+       t.tight t.width);
+  Buffer.add_string b ", \"rules\": [";
+  List.iteri
+    (fun i (label, bound) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"rule\": \"%s\", \"bound\": %d}" label bound))
+    t.lower.Lower.evaluated;
+  Buffer.add_string b "]";
   (match t.profile with
   | Some seg ->
       Buffer.add_string b
@@ -213,9 +260,9 @@ let to_json ?family t =
   Buffer.contents b
 
 let pp ppf t =
-  Format.fprintf ppf "%s r=%d: %d <= OPT <= %d (%s / %s%s, %.2fs)"
-    (Lower.game_label t.game) t.r t.lower.Lower.bound t.upper
-    (Lower.rule_label t.lower.Lower.rule)
+  Format.fprintf ppf "%s r=%d: %d <= OPT <= %d (width %d, %s / %s%s, %.2fs)"
+    (Lower.game_label t.game) t.r t.lower.Lower.bound t.upper t.width
+    t.lower.Lower.rule
     (Upper.meth_label t.meth)
     (if t.tight then ", tight" else "")
     t.elapsed_s

@@ -26,6 +26,7 @@ type t = {
   m : int;  (** edges *)
   lower : Lower.t;  (** best certified lower bound, with its rule *)
   upper : int;  (** certified cost of [moves] *)
+  width : int;  (** [upper − lower.bound], the interval width *)
   moves : moves;
   meth : Upper.meth;  (** how the winning strategy was found *)
   verified : [ `Literal | `Engine ];  (** which checker certified it *)
@@ -39,31 +40,37 @@ type t = {
 val rbp :
   ?budget:Prbp_solver.Solver.Budget.t ->
   ?telemetry:Prbp_solver.Solver.Telemetry.sink ->
-  ?closed_forms:(string * float) list ->
+  ?rules:string list ->
   r:int ->
   Prbp_dag.Dag.t ->
   (t, string) result
-(** Bracket [OPT_RBP(r)].  The budget's wall clock is split across the
-    two portfolios (roughly 40% lower, 60% upper); [telemetry] receives
-    a [Start] event and a terminal [Stop] whose outcome is ["optimal"]
-    when the bracket is tight, ["bounded"] otherwise.  [closed_forms]
-    are analytic lower bounds forwarded to {!Lower.compute} — they must
-    be valid for RBP.  [Error] when no valid strategy exists at this
-    [r] (below the feasibility threshold). *)
+(** Bracket [OPT_RBP(r)].  The budget's wall clock is balanced across
+    the two portfolios: the lower phase gets a 40% slice, the upper
+    phase inherits {e everything still on the clock} when the lower
+    phase finishes (so a short-circuiting rule portfolio donates its
+    unused allotment), and leftover time after the upper phase flows
+    back into a lower re-run when some rule was budget-truncated.
+    Closed-form analytic bounds attach automatically from the DAG's
+    {!Prbp_dag.Dag.family} tag.  [rules] restricts the {!Lower}
+    registry (see {!Lower.compute}).  [telemetry] receives a [Start]
+    event and a terminal [Stop] whose outcome is ["optimal"] when the
+    bracket is tight, ["bounded"] otherwise.  [Error] when no valid
+    strategy exists at this [r] (below the feasibility threshold). *)
 
 val prbp :
   ?budget:Prbp_solver.Solver.Budget.t ->
   ?telemetry:Prbp_solver.Solver.Telemetry.sink ->
-  ?closed_forms:(string * float) list ->
+  ?rules:string list ->
   r:int ->
   Prbp_dag.Dag.t ->
   (t, string) result
-(** Bracket [OPT_PRBP(r)]; [closed_forms] must be valid for PRBP
-    (S-partition-based forms are not — Example 10). *)
+(** Bracket [OPT_PRBP(r)]. *)
 
 val to_json : ?family:string -> t -> string
-(** One JSON object (no trailing newline): game, r, n, m, lower, rule,
-    upper, method, verifier, tightness, profile class count, elapsed
+(** One JSON object (no trailing newline): game, r, n, m, lower,
+    rule/lower_rule, upper, method/upper_rule, verifier, tightness,
+    interval_width, the per-rule attribution array [rules] (every
+    evaluated (label, bound) pair), profile class count, elapsed
     seconds, and [family] when given — the row format of
     [BENCH_solver.json] and [pebble_cli bracket --json]. *)
 

@@ -1,139 +1,139 @@
 module Dag = Prbp_dag.Dag
 module Solver = Prbp_solver.Solver
 module Minpart = Prbp_partition.Minpart
+module Closed_form = Prbp_graphs.Closed_form
 module Span = Prbp_obs.Span
 
 type game = Rbp | Prbp
 
 let game_label = function Rbp -> "rbp" | Prbp -> "prbp"
 
-type rule =
-  | Trivial
-  | Source_cut
-  | Exact_spartition
-  | Exact_dominator
-  | Exact_edge
-  | Closed_form of string
+let game_variant = function Rbp -> `Rbp | Prbp -> `Prbp
 
-let rule_label = function
-  | Trivial -> "trivial"
-  | Source_cut -> "source-cut"
-  | Exact_spartition -> "exact-spartition"
-  | Exact_dominator -> "exact-dominator"
-  | Exact_edge -> "exact-edge"
-  | Closed_form name -> "closed-form:" ^ name
+type result = {
+  label : string;
+  bound : int;
+  witness : Segment.t option;
+  truncated : bool;
+}
+
+module type RULE = sig
+  val name : string
+
+  val games : game list
+
+  val share : int
+
+  val applies :
+    budget:Solver.Budget.t -> game:game -> r:int -> Prbp_dag.Dag.t -> bool
+
+  val compute :
+    budget:Solver.Budget.t ->
+    game:game ->
+    r:int ->
+    Prbp_dag.Dag.t ->
+    result list
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry and scheduler.                                             *)
+
+let registry : (module RULE) list ref = ref []
+
+let register (module R : RULE) =
+  if List.exists (fun (module R0 : RULE) -> R0.name = R.name) !registry then
+    invalid_arg (Printf.sprintf "Lower.register: duplicate rule %S" R.name);
+  registry := !registry @ [ (module R) ]
+
+let names () = List.map (fun (module R : RULE) -> R.name) !registry
 
 type t = {
   game : game;
   r : int;
   bound : int;
-  rule : rule;
+  rule : string;
   witness : Segment.t option;
+  evaluated : (string * int) list;
+  truncated : bool;
 }
 
-(* Sources with an out-edge + sinks with an in-edge.  [Dag.trivial_cost]
-   counts every source and sink, but an isolated node (both at once) is
-   pebbled for free in either game, so it must not contribute here. *)
-let trivial_bound g =
-  let c = ref 0 in
-  for v = 0 to Dag.n_nodes g - 1 do
-    if Dag.is_source g v && Dag.out_degree g v > 0 then incr c;
-    if Dag.is_sink g v && Dag.in_degree g v > 0 then incr c
-  done;
-  !c
+(* A rule's wall-clock slice: its share of the deadline, proportional
+   among the applicable budget-consuming rules.  Zero-share rules are
+   negligible and run under the unsliced budget. *)
+let slice (budget : Solver.Budget.t) ~share ~total =
+  if share = 0 || total = 0 then budget
+  else
+    {
+      budget with
+      Solver.Budget.max_millis =
+        Option.map
+          (fun ms -> max 1 (ms * share / total))
+          budget.Solver.Budget.max_millis;
+    }
 
-(* Any dominator of a node set containing a source must contain that
-   source (the one-node path), so min_dom(V) = #sources; dominator
-   minima are subadditive over the classes of a dominator partition,
-   hence MIN_dom(2r) ≥ ⌈#sources / 2r⌉ and Theorem 6.7 applies. *)
-let source_cut_bound g ~r =
-  let q = Dag.n_sources g in
-  let s = 2 * r in
-  max 0 (r * (((q + s - 1) / s) - 1))
-
-(* Exact searches are worth attempting only where the lattice is
-   representable (≤ 62) and either tiny or protected by a wall-clock
-   deadline; tighten the poll cadence so a deadline lands promptly
-   even though every lattice step costs a max-flow. *)
-let exact_gate budget size =
-  size <= 62
-  && (size <= 18 || budget.Solver.Budget.max_millis <> None)
-
-let minpart_budget budget slices =
-  let open Solver.Budget in
-  {
-    budget with
-    max_millis =
-      Option.map (fun ms -> max 1 (ms / max 1 slices)) budget.max_millis;
-    max_states = min budget.max_states 2_000_000;
-    check_every = min budget.check_every 64;
-  }
-
-let compute ?(budget = Solver.Budget.default) ?(closed_forms = []) ~game ~r g =
+let compute ?(budget = Solver.Budget.default) ?rules ~game ~r g =
   if r < 1 then invalid_arg "Lower.compute: r must be >= 1";
   let body () =
-    let s = 2 * r in
-    let candidates = ref [] in
-    let add rule bound witness =
-      if bound >= 0 then candidates := (rule, bound, witness) :: !candidates
+    let applicable =
+      List.filter
+        (fun (module R : RULE) ->
+          List.mem game R.games
+          && (match rules with
+             | None -> true
+             | Some names -> List.mem R.name names)
+          && R.applies ~budget ~game ~r g)
+        !registry
     in
-    add Trivial (trivial_bound g) None;
-    add Source_cut (source_cut_bound g ~r) None;
-    List.iter
-      (fun (name, v) ->
-        if v > 0. then add (Closed_form name) (int_of_float (floor v)) None)
-      closed_forms;
-    let node_gate = exact_gate budget (Dag.n_nodes g) in
-    let edge_gate = exact_gate budget (Dag.n_edges g) in
-    let slices =
-      (if node_gate then match game with Rbp -> 2 | Prbp -> 1 else 0)
-      + if edge_gate then 1 else 0
+    let total =
+      List.fold_left (fun acc (module R : RULE) -> acc + R.share) 0 applicable
     in
-    let mb = minpart_budget budget slices in
-    let add_exact rule flavor verdict_of =
-      let verdict =
-        if Span.enabled () then
-          Span.with_ ~name:"lower.exact"
-            ~attrs:[ ("rule", rule_label rule) ]
-            verdict_of
-        else verdict_of ()
-      in
-      match verdict with
-      | Minpart.Minimum { classes; witness } -> (
-          (* believe the count only if the witness independently
-             re-validates — a rejection would mean a Minpart bug, and
-             then the count proves nothing *)
-          match Segment.of_minpart flavor g ~s witness with
-          | Ok seg -> add rule (max 0 (r * (classes - 1))) (Some seg)
-          | Error _ -> ())
-      | Minpart.No_partition | Minpart.Truncated _ -> ()
+    let results =
+      List.concat_map
+        (fun (module R : RULE) ->
+          let budget = slice budget ~share:R.share ~total in
+          let run () =
+            match R.compute ~budget ~game ~r g with
+            | rs -> List.filter (fun (res : result) -> res.bound >= 0) rs
+            | exception (Invalid_argument _ | Failure _) -> []
+          in
+          if Span.enabled () then
+            Span.with_ ~name:"lower.rule" ~attrs:[ ("rule", R.name) ] run
+          else run ())
+        applicable
     in
-    if node_gate then begin
-      add_exact Exact_dominator Segment.Dominator (fun () ->
-          Minpart.dominator_partition ~budget:mb g ~s);
-      match game with
-      | Rbp ->
-          add_exact Exact_spartition Segment.Spartition (fun () ->
-              Minpart.spartition ~budget:mb g ~s)
-      | Prbp -> ()
-    end;
-    if edge_gate then
-      add_exact Exact_edge Segment.Edge (fun () ->
-          Minpart.edge_partition ~budget:mb g ~s);
-    (* portfolio order = reverse insertion order; keep the earliest rule
-       on ties, so fold over the list as inserted *)
+    let evaluated =
+      List.map (fun (res : result) -> (res.label, res.bound)) results
+    in
+    let truncated = List.exists (fun (res : result) -> res.truncated) results in
     let best =
       List.fold_left
-        (fun acc (rule, bound, witness) ->
+        (fun acc (res : result) ->
           match acc with
-          | Some (_, b, _) when b >= bound -> acc
-          | _ -> Some (rule, bound, witness))
-        None
-        (List.rev !candidates)
+          | Some (b : result) when b.bound >= res.bound -> acc
+          | _ -> Some res)
+        None results
     in
     match best with
-    | Some (rule, bound, witness) -> { game; r; bound; rule; witness }
-    | None -> { game; r; bound = 0; rule = Trivial; witness = None }
+    | Some res ->
+        {
+          game;
+          r;
+          bound = res.bound;
+          rule = res.label;
+          witness = res.witness;
+          evaluated;
+          truncated;
+        }
+    | None ->
+        {
+          game;
+          r;
+          bound = 0;
+          rule = "none";
+          witness = None;
+          evaluated = [];
+          truncated = false;
+        }
   in
   if not (Span.enabled ()) then body ()
   else
@@ -141,6 +141,199 @@ let compute ?(budget = Solver.Budget.default) ?(closed_forms = []) ~game ~r g =
       ~attrs:[ ("game", game_label game); ("r", string_of_int r) ]
       (fun () ->
         let t = body () in
-        Span.add_attr "rule" (rule_label t.rule);
+        Span.add_attr "rule" t.rule;
         Span.add_attr "bound" (string_of_int t.bound);
         t)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in rules, in registration (= tie-break priority) order.       *)
+
+let always ~budget:_ ~game:_ ~r:_ _ = true
+
+let cheap label bound =
+  if bound > 0 then [ { label; bound; witness = None; truncated = false } ]
+  else []
+
+(* Sources with an out-edge + sinks with an in-edge.  [Dag.trivial_cost]
+   counts every source and sink, but an isolated node (both at once) is
+   pebbled for free in either game, so it must not contribute here. *)
+let () =
+  register
+    (module struct
+      let name = "trivial"
+      let games = [ Rbp; Prbp ]
+      let share = 0
+      let applies = always
+
+      let compute ~budget:_ ~game:_ ~r:_ g =
+        let c = ref 0 in
+        for v = 0 to Dag.n_nodes g - 1 do
+          if Dag.is_source g v && Dag.out_degree g v > 0 then incr c;
+          if Dag.is_sink g v && Dag.in_degree g v > 0 then incr c
+        done;
+        [ { label = "trivial"; bound = !c; witness = None; truncated = false } ]
+    end)
+
+(* Any dominator of a node set containing a source must contain that
+   source (the one-node path), so min_dom(V) = #sources; dominator
+   minima are subadditive over the classes of a dominator partition,
+   hence MIN_dom(2r) ≥ ⌈#sources / 2r⌉ and Theorem 6.7 applies. *)
+let () =
+  register
+    (module struct
+      let name = "source-cut"
+      let games = [ Rbp; Prbp ]
+      let share = 0
+      let applies = always
+
+      let compute ~budget:_ ~game:_ ~r g =
+        let q = Dag.n_sources g in
+        let s = 2 * r in
+        cheap "source-cut" (max 0 (r * (((q + s - 1) / s) - 1)))
+    end)
+
+(* The edge-side mirror: pick one in-edge per sink; each choice is an
+   edge-terminal of the S-edge-partition class containing it (nothing
+   after it can consume a sink's value), distinct sinks give distinct
+   terminals, and a class carries at most s terminals — so
+   MIN_edge(2r) ≥ ⌈#sinks' / 2r⌉ for the #sinks' sinks with an
+   in-edge, and Theorem 6.5 applies (PRBP, hence also RBP). *)
+let () =
+  register
+    (module struct
+      let name = "sink-cut"
+      let games = [ Rbp; Prbp ]
+      let share = 0
+      let applies = always
+
+      let compute ~budget:_ ~game:_ ~r g =
+        let q = ref 0 in
+        for v = 0 to Dag.n_nodes g - 1 do
+          if Dag.is_sink g v && Dag.in_degree g v > 0 then incr q
+        done;
+        let s = 2 * r in
+        cheap "sink-cut" (max 0 (r * (((!q + s - 1) / s) - 1)))
+    end)
+
+(* Section 6.3 analytic bounds, auto-attached via the DAG's family tag
+   and the {!Prbp_graphs.Closed_form} registry.  Floored conservatively:
+   OPT ≥ v over the reals, so OPT ≥ ⌊v⌋ certainly — never ceil a float
+   that may carry rounding error upward. *)
+let () =
+  register
+    (module struct
+      let name = "closed-form"
+      let games = [ Rbp; Prbp ]
+      let share = 0
+      let applies ~budget:_ ~game:_ ~r:_ g = Dag.family g <> None
+
+      let compute ~budget:_ ~game ~r g =
+        match Dag.family g with
+        | None -> []
+        | Some family ->
+            Closed_form.forms ~game:(game_variant game) ~r family
+            |> List.concat_map (fun (name, v) ->
+                   cheap ("closed-form:" ^ name) (int_of_float (floor v)))
+    end)
+
+(* Exact searches are worth attempting only where the lattice is
+   representable (≤ 62) and either tiny or protected by a wall-clock
+   deadline. *)
+let exact_gate (budget : Solver.Budget.t) size =
+  size <= 62 && (size <= 18 || budget.Solver.Budget.max_millis <> None)
+
+(* Tighten the poll cadence so a deadline lands promptly even though
+   every lattice step costs a max-flow; cap the mask count likewise. *)
+let minpart_budget (budget : Solver.Budget.t) =
+  {
+    budget with
+    Solver.Budget.max_states = min budget.Solver.Budget.max_states 2_000_000;
+    check_every = min budget.Solver.Budget.check_every 64;
+  }
+
+(* The cheapest valid constructive partition on hand, to seed Minpart's
+   early-certification floor (§ Minpart docs).  Its classes were already
+   validated by Segment, and Minpart re-validates them independently. *)
+let constructive_seed ~flavor g ~s =
+  let candidates =
+    Segment.greedy ~flavor g ~s
+    ::
+    (match flavor with
+    | Segment.Edge -> []
+    | Segment.Spartition | Segment.Dominator ->
+        [ Segment.level_cut ~flavor g ~s ])
+  in
+  List.filter_map Result.to_option candidates
+  |> List.sort (fun a b -> compare (Segment.n_classes a) (Segment.n_classes b))
+  |> function
+  | [] -> None
+  | seg :: _ -> Some seg
+
+(* The three Minpart-backed rules share their shape: seed a constructive
+   witness, search under the sliced budget, and grade the verdict —
+   exact-* for a finished search, constructive-* for an early
+   certification (the constructive partition met the anytime floor),
+   anytime-* for a truncated search's certified floor.  A Minimum's
+   witness is believed only after {!Segment.of_minpart} independently
+   re-validates it — a rejection would mean a Minpart bug, and then the
+   count proves nothing. *)
+let partition_rule ~name ~short ~flavor ~games ~size_of ~search : (module RULE)
+    =
+  (module struct
+    let name = name
+    let games = games
+    let share = 1
+    let applies ~budget ~game:_ ~r:_ g = exact_gate budget (size_of g)
+
+    let compute ~budget ~game:_ ~r g =
+      let s = 2 * r in
+      let upper_witness =
+        Option.map
+          (fun seg -> seg.Segment.classes)
+          (constructive_seed ~flavor g ~s)
+      in
+      match search ~budget:(minpart_budget budget) ?upper_witness g ~s with
+      | Minpart.Minimum { classes; witness; exhaustive } -> (
+          match Segment.of_minpart flavor g ~s witness with
+          | Ok seg ->
+              [
+                {
+                  label =
+                    (if exhaustive then "exact-" else "constructive-") ^ short;
+                  bound = max 0 (r * (classes - 1));
+                  witness = Some seg;
+                  truncated = false;
+                };
+              ]
+          | Error _ -> [])
+      | Minpart.Truncated { lower_so_far; _ } ->
+          [
+            {
+              label = "anytime-" ^ short;
+              bound = max 0 (r * (lower_so_far - 1));
+              witness = None;
+              truncated = true;
+            };
+          ]
+      | Minpart.No_partition -> []
+  end)
+
+let () =
+  (* Theorem 6.7: PRBP, hence also RBP. *)
+  register
+    (partition_rule ~name:"exact-dominator" ~short:"dominator"
+       ~flavor:Segment.Dominator ~games:[ Rbp; Prbp ] ~size_of:Dag.n_nodes
+       ~search:(fun ~budget ?upper_witness g ~s ->
+         Minpart.dominator_partition ~budget ?upper_witness g ~s));
+  (* Theorem 5.4 (Hong–Kung): RBP only. *)
+  register
+    (partition_rule ~name:"exact-spartition" ~short:"spartition"
+       ~flavor:Segment.Spartition ~games:[ Rbp ] ~size_of:Dag.n_nodes
+       ~search:(fun ~budget ?upper_witness g ~s ->
+         Minpart.spartition ~budget ?upper_witness g ~s));
+  (* Theorem 6.5: PRBP, hence also RBP. *)
+  register
+    (partition_rule ~name:"exact-edge" ~short:"edge" ~flavor:Segment.Edge
+       ~games:[ Rbp; Prbp ] ~size_of:Dag.n_edges
+       ~search:(fun ~budget ?upper_witness g ~s ->
+         Minpart.edge_partition ~budget ?upper_witness g ~s))

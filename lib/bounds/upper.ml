@@ -162,6 +162,108 @@ let policies =
 
 let meth base = { base; reorder_seed = None; optimized = false }
 
+(* ------------------------------------------------------------------ *)
+(* Banded topological orders.  The default topological order sweeps
+   layered DAGs row by row, thrashing the cache on every long row;
+   grouping [h] consecutive depth levels into a band and emitting the
+   band component by component keeps each component's working set
+   resident, so values are loaded once per band instead of once per
+   level (on FFT this is the classic blocked schedule).
+
+   Band [p] {e spans} levels [p·h .. (p+1)·h] and {e emits} levels
+   (p·h .. (p+1)·h] — plus level 0 for band 0 — so each level is
+   emitted exactly once and band boundaries overlap by one level (the
+   values the next band consumes).  Components are connected components
+   of the edges inside the span; emission order is bands ascending,
+   components by minimum emitted node id, nodes by (level, id).
+
+   The result is always a topological order: an edge (u,v) has
+   level u < level v, so either u is emitted by an earlier band, or
+   both endpoints lie in v's band's span — making them one component,
+   ordered by level. *)
+
+let banded_order g ~h =
+  let n = Dag.n_nodes g in
+  let levels = Topo.levels g in
+  let nlev = Array.length levels in
+  let level_of = Array.make n 0 in
+  Array.iteri (fun l ns -> List.iter (fun v -> level_of.(v) <- l) ns) levels;
+  let order = Array.make n 0 in
+  let pos = ref 0 in
+  let n_bands = max 1 ((nlev - 1 + h - 1) / h) in
+  for p = 0 to n_bands - 1 do
+    let lo = p * h and hi = min (nlev - 1) ((p + 1) * h) in
+    let span = ref [] in
+    for l = lo to hi do
+      List.iter (fun v -> span := v :: !span) levels.(l)
+    done;
+    let span = !span in
+    let parent = Hashtbl.create 64 in
+    List.iter (fun v -> Hashtbl.replace parent v v) span;
+    let rec find v =
+      let pv = Hashtbl.find parent v in
+      if pv = v then v
+      else begin
+        let root = find pv in
+        Hashtbl.replace parent v root;
+        root
+      end
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then Hashtbl.replace parent (max ra rb) (min ra rb)
+    in
+    List.iter
+      (fun v ->
+        if level_of.(v) > lo then
+          Dag.iter_pred (fun u -> if level_of.(u) >= lo then union u v) g v)
+      span;
+    let emitted =
+      List.filter
+        (fun v -> level_of.(v) > lo || (p = 0 && level_of.(v) = 0))
+        span
+    in
+    let by_root = Hashtbl.create 64 in
+    List.iter
+      (fun v ->
+        let root = find v in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
+        Hashtbl.replace by_root root (v :: prev))
+      emitted;
+    let comps =
+      Hashtbl.fold
+        (fun _ vs acc ->
+          let key = List.fold_left min max_int vs in
+          let vs =
+            List.sort
+              (fun a b -> compare (level_of.(a), a) (level_of.(b), b))
+              vs
+          in
+          (key, vs) :: acc)
+        by_root []
+    in
+    List.iter
+      (fun (_, vs) ->
+        List.iter
+          (fun v ->
+            order.(!pos) <- v;
+            incr pos)
+          vs)
+      (List.sort compare comps)
+  done;
+  order
+
+let banded_heights = [ 1; 2; 3 ]
+
+let banded_candidates run_with_order g =
+  if Dag.n_nodes g < 2 then []
+  else
+    List.map
+      (fun h ->
+        ( meth (Printf.sprintf "banded%d" h),
+          fun () -> run_with_order (banded_order g ~h) ))
+      banded_heights
+
 let rbp ?(budget = Solver.Budget.default) ~r g =
   if r < Thresholds.rbp_feasible_r g then
     Error "Upper.rbp: r is below the RBP feasibility threshold (max in-degree + 1)"
@@ -172,6 +274,9 @@ let rbp ?(budget = Solver.Budget.default) ~r g =
         (fun (name, policy) ->
           (meth name, fun () -> Heuristic.rbp ~policy ~r g))
         policies
+      @ banded_candidates
+          (fun order -> Heuristic.rbp ~policy:Heuristic.Belady ~order ~r g)
+          g
     in
     let reorder =
       if Dag.n_nodes g >= 3 then
@@ -195,6 +300,9 @@ let prbp ?(budget = Solver.Budget.default) ~r g =
             ( meth (name ^ "+defer"),
               fun () -> Heuristic.prbp ~policy ~defer_saves:true ~r g ) ])
         policies
+      @ banded_candidates
+          (fun order -> Heuristic.prbp ~policy:Heuristic.Belady ~order ~r g)
+          g
       @
       if Dag.n_edges g <= 4000 then
         [ (meth "greedy-edges", fun () -> Heuristic.prbp_greedy ~r g) ]

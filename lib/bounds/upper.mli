@@ -15,6 +15,10 @@
       FIFO), and for PRBP each policy with and without [defer_saves] —
       the recompute-vs-save trade: deferring the save of a
       partially-aggregated value in favor of evicting a free resident;
+    - {e banded} orders ({!banded_order} at heights 1–3) under Belady:
+      blocked schedules that keep a band of consecutive depth levels'
+      components cache-resident — the classic tiling win on layered
+      DAGs like FFT, where the default row-by-row order thrashes;
     - the PRBP greedy {e edge} scheduler (small DAGs);
     - hill climbing over the processing order: deterministic LCG-driven
       adjacent transpositions of the topological order (only swaps that
@@ -41,6 +45,14 @@ type 'm t = {
       (** which checker certified it: the literal {!Prbp_pebble.Verifier}
           or the optimized engine's [check] *)
 }
+
+val banded_order : Prbp_dag.Dag.t -> h:int -> Prbp_dag.Dag.node array
+(** A topological order that groups [h] consecutive depth levels into a
+    band and emits each band connected-component by connected-component
+    (components of the edges inside the band's one-level-overlapping
+    span; deterministic: components by minimum emitted node id, nodes
+    by (level, id)).  Always a valid topological order, for any DAG and
+    any [h ≥ 1]. *)
 
 val rbp :
   ?budget:Prbp_solver.Solver.Budget.t ->

@@ -49,6 +49,7 @@ module Graphs = struct
   module Levels71 = Prbp_graphs.Levels71
   module Random_dag = Prbp_graphs.Random_dag
   module Spmv = Prbp_graphs.Spmv
+  module Closed_form = Prbp_graphs.Closed_form
 end
 
 (** Observability: the monotonic {!Obs.Clock} every deadline reads,
@@ -99,3 +100,4 @@ end
 module Table = Prbp_harness.Table
 module Chart = Prbp_harness.Chart
 module Experiment = Prbp_harness.Experiment
+module Regression = Prbp_harness.Regression

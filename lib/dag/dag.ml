@@ -11,11 +11,16 @@ type t = {
   pred_src : int array;  (* pred slot -> predecessor node *)
   pred_eid : int array;  (* pred slot -> edge id *)
   names : string array option;
+  family : string option;
 }
 
 exception Cycle of node list
 
 let n_nodes g = g.n
+
+let family g = g.family
+
+let with_family g f = { g with family = Some f }
 
 let n_edges g = Array.length g.succ_tgt
 
@@ -176,7 +181,7 @@ let find_cycle n succ_of =
   done;
   !cycle
 
-let make ?names ~n edge_list =
+let make ?names ?family ~n edge_list =
   if n < 0 then invalid_arg "Dag.make: negative node count";
   (match names with
   | Some a when Array.length a <> n ->
@@ -227,7 +232,9 @@ let make ?names ~n edge_list =
     pred_eid.(pfill.(v)) <- e;
     pfill.(v) <- pfill.(v) + 1
   done;
-  let g = { n; succ_off; succ_tgt; esrc; pred_off; pred_src; pred_eid; names } in
+  let g =
+    { n; succ_off; succ_tgt; esrc; pred_off; pred_src; pred_eid; names; family }
+  in
   (match find_cycle n (fun v -> succs g v) with
   | Some c -> raise (Cycle c)
   | None -> ());

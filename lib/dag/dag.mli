@@ -20,13 +20,24 @@ exception Cycle of node list
 (** Raised by {!make} when the edge set contains a directed cycle; the
     payload is one offending cycle, in order. *)
 
-val make : ?names:string array -> n:int -> (node * node) list -> t
+val make : ?names:string array -> ?family:string -> n:int -> (node * node) list -> t
 (** [make ~n edges] builds a DAG on nodes [0..n-1].
 
     @param names optional display names, length [n].
+    @param family optional family tag (e.g. ["fft:128"]) identifying the
+      parameterized generator the DAG came from; the closed-form
+      lower-bound registry keys off it.
     @raise Invalid_argument on out-of-range endpoints, self-loops or
       duplicate edges.
     @raise Cycle if [edges] contains a directed cycle. *)
+
+val family : t -> string option
+(** The family tag, if the DAG came from a tagged generator.  Derived
+    views ({!reverse}, {!induced}) drop the tag: they are no longer the
+    generated graph. *)
+
+val with_family : t -> string -> t
+(** [with_family g f] is [g] re-tagged with family [f]. *)
 
 val n_nodes : t -> int
 

@@ -1,6 +1,9 @@
 module Dag = Prbp_dag.Dag
 
-let qkt ~m ~d = Matmul.make ~m1:m ~m2:d ~m3:m
+let qkt ~m ~d =
+  let t = Matmul.make ~m1:m ~m2:d ~m3:m in
+  { t with Matmul.dag =
+      Dag.with_family t.Matmul.dag (Printf.sprintf "attention-qkt:%d:%d" m d) }
 
 type full = { dag : Prbp_dag.Dag.t; m : int; d : int }
 
@@ -47,7 +50,8 @@ let full ~m ~d =
       add (sigma i) (p i j)
     done
   done;
-  { dag = Dag.make ~n !edges; m; d }
+  { dag = Dag.make ~family:(Printf.sprintf "attention:%d:%d" m d) ~n !edges;
+    m; d }
 
 let lower_bound ~m ~d ~r =
   let mf = float_of_int m and df = float_of_int d and rf = float_of_int r in

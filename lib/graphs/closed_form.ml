@@ -1,0 +1,74 @@
+type game = [ `Rbp | `Prbp ]
+
+type form = game:game -> r:int -> args:int list -> (string * float) list
+
+let table : (string, form) Hashtbl.t = Hashtbl.create 16
+
+let register head form =
+  if Hashtbl.mem table head then
+    invalid_arg (Printf.sprintf "Closed_form.register: duplicate %S" head);
+  Hashtbl.replace table head form
+
+let forms ~game ~r family =
+  match String.split_on_char ':' family with
+  | [] -> []
+  | head :: rest -> (
+      match Hashtbl.find_opt table head with
+      | None -> []
+      | Some form ->
+          let opts = List.map int_of_string_opt rest in
+          if List.exists Option.is_none opts then []
+          else
+            let args = List.map Option.get opts in
+            (match form ~game ~r ~args with
+            | forms -> List.filter (fun (_, v) -> v > 0.) forms
+            | exception _ -> []))
+
+(* ------------------------------------------------------------------ *)
+(* Built-in families.  Every form registered here is a theorem-backed
+   lower bound on the optimum of the {e tagged generator's} DAG for the
+   stated game; all Section 6.3 bounds are proved via PRBP partition
+   arguments, so they hold for RBP too (OPT_RBP ≥ OPT_PRBP). *)
+
+let () =
+  (* Theorem 6.9 (S-dominator partitions; game-independent). *)
+  register "fft" (fun ~game:_ ~r ~args ->
+      match args with
+      | [ m ] when m >= 2 -> [ ("fft", Fft.lower_bound_m ~m ~r) ]
+      | _ -> [])
+
+let matmul_forms name ~r = function
+  | [ m1; m2; m3 ] when m1 >= 1 && m2 >= 1 && m3 >= 1 ->
+      [ (name, Matmul.lower_bound_dims ~m1 ~m2 ~m3 ~r) ]
+  | _ -> []
+
+let () =
+  (* Theorem 6.10 (S-edge partitions; game-independent). *)
+  register "matmul" (fun ~game:_ ~r ~args -> matmul_forms "matmul" ~r args);
+  (* Q·K^T is exactly the m×d × d×m matmul DAG. *)
+  register "attention-qkt" (fun ~game:_ ~r ~args ->
+      match args with
+      | [ m; d ] -> matmul_forms "attention-qkt" ~r [ m; d; m ]
+      | _ -> []);
+  (* Theorem 6.11 bounds the Q·K^T stage; it transfers to the full
+     attention DAG by restriction — any pebbling of the full DAG,
+     restricted to the Q·K^T subgraph's moves, is a valid pebbling of
+     that subgraph at the same [r] and no larger cost. *)
+  register "attention" (fun ~game:_ ~r ~args ->
+      match args with
+      | [ m; d ] when m >= 1 && d >= 1 ->
+          [ ("attention", Attention.lower_bound ~m ~d ~r) ]
+      | _ -> []);
+  (* Appendix A.2 closed forms are the {e exact} optimum at r = k+1 —
+     hence sound lower bounds there, and only there (at larger [r] the
+     optimum drops below them, so they must not be emitted). *)
+  register "tree" (fun ~game ~r ~args ->
+      match args with
+      | [ k; depth ] when k >= 2 && depth >= 1 && r = k + 1 ->
+          let v =
+            match game with
+            | `Rbp -> Tree.rbp_opt ~k ~depth
+            | `Prbp -> Tree.prbp_opt ~k ~depth
+          in
+          [ ("tree-opt", float_of_int v) ]
+      | _ -> [])

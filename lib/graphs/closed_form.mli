@@ -1,0 +1,42 @@
+(** The closed-form lower-bound registry.
+
+    Each DAG family of Section 6.3 carries an analytic I/O lower bound
+    (Theorems 6.9–6.11, Appendix A.2).  Generators tag the DAGs they
+    build with a family string ({!Prbp_dag.Dag.family}, e.g.
+    ["fft:128"]); this registry maps such a tag — plus the game and
+    cache size — back to the applicable named analytic bounds, so the
+    bounds layer can auto-attach them without callers threading formula
+    lists around.
+
+    The registry is keyed by the tag's head (the part before the first
+    [':']); the remaining [':']-separated components are parsed as
+    integer parameters.  Built-in families: [fft:M] (Theorem 6.9),
+    [matmul:M1:M2:M3] and [attention-qkt:M:D] (Theorem 6.10),
+    [attention:M:D] (Theorem 6.11, transferred to the full DAG by
+    restriction), and [tree:K:D] (Appendix A.2 exact optima — emitted
+    only at [r = K+1], where "exact" makes them sound lower bounds).
+
+    {b Soundness contract}: a registered form must return certified
+    lower bounds on [OPT_game(r)] of the {e generator's} DAG for the
+    given parameters.  Anything registered here is believed by
+    {!Prbp_bounds.Lower} without further checks — there is nothing to
+    replay, unlike partition witnesses — so this is the one place in
+    the bounds stack where soundness rests on the theorem citation
+    alone. *)
+
+type game = [ `Rbp | `Prbp ]
+
+type form = game:game -> r:int -> args:int list -> (string * float) list
+(** A family's bound generator: given the game, the cache size [r] and
+    the parsed integer parameters of the tag, return named (label,
+    bound) pairs — or [[]] when no sound form applies (wrong arity,
+    out-of-range parameters, game/[r] outside the theorem's regime). *)
+
+val register : string -> form -> unit
+(** [register head form] installs a family.
+    @raise Invalid_argument on a duplicate head. *)
+
+val forms : game:game -> r:int -> string -> (string * float) list
+(** [forms ~game ~r family] is every applicable named bound for a
+    family tag; [[]] for unknown heads, malformed tags, or forms that
+    evaluate ≤ 0.  A form that raises contributes nothing. *)

@@ -27,12 +27,18 @@ let make ~m =
         :: !edges
     done
   done;
-  { dag = Dag.make ~names ~n !edges; m; log_m }
+  let family = Printf.sprintf "fft:%d" m in
+  { dag = Dag.make ~names ~family ~n !edges; m; log_m }
 
 let node t ~layer i =
   if layer < 0 || layer > t.log_m || i < 0 || i >= t.m then
     invalid_arg "Fft.node";
   node_id t.m ~layer i
+
+let lower_bound_m ~m ~r =
+  let mf = float_of_int m in
+  let log_m = log mf /. log 2. in
+  mf *. log_m /. (4. *. (log (float_of_int (2 * r)) /. log 2.))
 
 let lower_bound t ~r =
   let mf = float_of_int t.m in

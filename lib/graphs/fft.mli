@@ -25,3 +25,7 @@ val lower_bound : t -> r:int -> float
 (** The Hong–Kung-magnitude bound instantiated for PRBP via
     Theorem 6.9: [m·log₂ m / (4·log₂ (2r))] — the concrete constant
     follows the S(=2r)-dominator counting argument. *)
+
+val lower_bound_m : m:int -> r:int -> float
+(** {!lower_bound} from the parameter alone, without building the
+    DAG (for the {!Closed_form} registry). *)

@@ -40,7 +40,8 @@ let make ~m1 ~m2 ~m3 =
       done
     done
   done;
-  { dag = Dag.make ~names ~n !edges; m1; m2; m3 }
+  let family = Printf.sprintf "matmul:%d:%d:%d" m1 m2 m3 in
+  { dag = Dag.make ~names ~family ~n !edges; m1; m2; m3 }
 
 let a t i k = a_id t.m1 t.m2 t.m3 i k
 
@@ -64,7 +65,9 @@ let internal_edges t =
 
 let trivial_cost t = Dag.trivial_cost t.dag
 
-let lower_bound t ~r =
+let lower_bound_dims ~m1 ~m2 ~m3 ~r =
   let s = float_of_int (2 * r) in
-  let products = float_of_int (t.m1 * t.m2 * t.m3) in
+  let products = float_of_int (m1 * m2 * m3) in
   Float.max 0. (float_of_int r *. ((products /. ((s ** 1.5) +. s)) -. 1.))
+
+let lower_bound t ~r = lower_bound_dims ~m1:t.m1 ~m2:t.m2 ~m3:t.m3 ~r

@@ -40,3 +40,7 @@ val lower_bound : t -> r:int -> float
     argument of Theorem 6.10:
     [r·(m1·m2·m3 / (S^{3/2} + S) − 1)] with [S = 2r] — the concrete
     constant-free instantiation used in the experiments. *)
+
+val lower_bound_dims : m1:int -> m2:int -> m3:int -> r:int -> float
+(** {!lower_bound} from the dimensions alone, without building the
+    DAG (for the {!Closed_form} registry). *)

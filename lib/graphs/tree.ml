@@ -28,7 +28,8 @@ let make ~k ~depth =
       done
     done
   done;
-  { dag = Dag.make ~n !edges; k; depth }
+  { dag = Dag.make ~family:(Printf.sprintf "tree:%d:%d" k depth) ~n !edges;
+    k; depth }
 
 let root _ = 0
 

@@ -1,0 +1,130 @@
+(* Width-regression gate over committed BENCH_solver.json bracket rows.
+
+   The bench JSON is machine-written with one bracket object per line,
+   so a line-based field scan is enough — no JSON dependency.  Parsing
+   is deliberately lenient: rows missing a field are skipped (an old
+   schema must not crash the gate, it just contributes no baseline). *)
+
+type row = {
+  family : string;
+  game : string;
+  r : int;
+  interval_width : int;
+  lower_rule : string;
+  upper_rule : string;
+}
+
+let key row = (row.family, row.game, row.r)
+
+(* ["<name>": <...>] scanning on a single line.  Values are either
+   quoted strings or bare integers; both appear in bracket rows. *)
+let find_field line name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  let nl = String.length needle and ll = String.length line in
+  let rec search i =
+    if i + nl > ll then None
+    else if String.sub line i nl = needle then Some (i + nl)
+    else search (i + 1)
+  in
+  Option.map
+    (fun start ->
+      let start = ref start in
+      while !start < ll && line.[!start] = ' ' do
+        incr start
+      done;
+      !start)
+    (search 0)
+
+let string_field line name =
+  match find_field line name with
+  | Some i when i < String.length line && line.[i] = '"' -> (
+      match String.index_from_opt line (i + 1) '"' with
+      | Some j -> Some (String.sub line (i + 1) (j - i - 1))
+      | None -> None)
+  | _ -> None
+
+let int_field line name =
+  match find_field line name with
+  | None -> None
+  | Some i ->
+      let j = ref i in
+      let ll = String.length line in
+      while
+        !j < ll && (line.[!j] = '-' || (line.[!j] >= '0' && line.[!j] <= '9'))
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub line i (!j - i))
+
+let row_of_line line =
+  if string_field line "kind" <> Some "bracket" then None
+  else
+    match
+      ( string_field line "family",
+        string_field line "game",
+        int_field line "r",
+        int_field line "interval_width" )
+    with
+    | Some family, Some game, Some r, Some interval_width ->
+        Some
+          {
+            family;
+            game;
+            r;
+            interval_width;
+            lower_rule =
+              Option.value ~default:"?" (string_field line "lower_rule");
+            upper_rule =
+              Option.value ~default:"?" (string_field line "upper_rule");
+          }
+    | _ -> None
+
+let rows_of_string s =
+  String.split_on_char '\n' s |> List.filter_map row_of_line
+
+let rows_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> rows_of_string (really_input_string ic (in_channel_length ic)))
+
+type verdict =
+  | Ok_width of { row : row; baseline : int }
+  | Regressed of { row : row; baseline : int; limit : int }
+  | New_case of row
+
+let check ?(slack_pct = 10) ~baseline current =
+  List.map
+    (fun row ->
+      match List.find_opt (fun b -> key b = key row) baseline with
+      | None -> New_case row
+      | Some b ->
+          (* brackets run under a wall-clock budget, so widths wobble a
+             little run to run; the gate allows [slack_pct] percent of
+             growth (and one absolute unit for tiny baselines) before
+             declaring a regression *)
+          let limit =
+            max (b.interval_width + 1)
+              (b.interval_width * (100 + slack_pct) / 100)
+          in
+          if row.interval_width > limit then
+            Regressed { row; baseline = b.interval_width; limit }
+          else Ok_width { row; baseline = b.interval_width })
+    current
+
+let pp_verdict ppf = function
+  | Ok_width { row; baseline } ->
+      Format.fprintf ppf "ok        %s %s r=%d: width %d (baseline %d)"
+        row.family row.game row.r row.interval_width baseline
+  | Regressed { row; baseline; limit } ->
+      Format.fprintf ppf
+        "REGRESSED %s %s r=%d: width %d > limit %d (baseline %d, lower %s, \
+         upper %s)"
+        row.family row.game row.r row.interval_width limit baseline
+        row.lower_rule row.upper_rule
+  | New_case row ->
+      Format.fprintf ppf "new       %s %s r=%d: width %d (no baseline)"
+        row.family row.game row.r row.interval_width
+
+let regressed verdicts =
+  List.exists (function Regressed _ -> true | _ -> false) verdicts

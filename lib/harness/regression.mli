@@ -1,0 +1,47 @@
+(** Interval-width regression gate for the bracket benchmark.
+
+    A bracket's quality is its {e interval width} ([upper − lower]);
+    the committed [BENCH_solver.json] records one per bracket case.
+    This module parses those rows back out of the machine-written JSON
+    (one object per line — a field scan, no JSON dependency) and
+    compares a fresh run against them, flagging any case whose width
+    grew beyond a small slack.  [bench/main.exe --check-widths] and the
+    CI bracket smoke are the two callers. *)
+
+type row = {
+  family : string;  (** e.g. ["fft:128"] *)
+  game : string;  (** ["rbp"] or ["prbp"] *)
+  r : int;
+  interval_width : int;
+  lower_rule : string;  (** winning lower rule, ["?"] if absent *)
+  upper_rule : string;  (** winning upper method, ["?"] if absent *)
+}
+
+val key : row -> string * string * int
+(** Identity of a bench case: [(family, game, r)]. *)
+
+val row_of_line : string -> row option
+(** Parse one line; [None] unless it is a bracket row carrying at
+    least family, game, [r] and [interval_width]. *)
+
+val rows_of_string : string -> row list
+
+val rows_of_file : string -> row list
+(** Raises [Sys_error] if the file cannot be read. *)
+
+type verdict =
+  | Ok_width of { row : row; baseline : int }
+  | Regressed of { row : row; baseline : int; limit : int }
+  | New_case of row  (** no baseline row with the same {!key} *)
+
+val check : ?slack_pct:int -> baseline:row list -> row list -> verdict list
+(** One verdict per current row, in order.  A row regresses when its
+    width exceeds its baseline by more than [slack_pct] percent
+    ([10] by default) {e and} by more than one absolute unit — brackets
+    run under wall-clock budgets, so hairline wobble is not a
+    regression. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val regressed : verdict list -> bool
+(** [true] iff some verdict is {!Regressed}. *)

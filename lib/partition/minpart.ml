@@ -6,12 +6,10 @@ module Clock = Prbp_obs.Clock
 module Span = Prbp_obs.Span
 module Metrics = Prbp_obs.Metrics
 
-exception Too_large of int
-
 type verdict =
-  | Minimum of { classes : int; witness : Bitset.t array }
+  | Minimum of { classes : int; witness : Bitset.t array; exhaustive : bool }
   | No_partition
-  | Truncated of Solver.reason
+  | Truncated of { reason : Solver.reason; lower_so_far : int }
 
 (* ------------------------------------------------------------------ *)
 (* Budget gate over the lattice enumeration.  "States" are distinct
@@ -86,54 +84,86 @@ let traced name f = if Span.enabled () then Span.with_ ~name f else f ()
    shortest chain ∅ = I₀ ⊂ I₁ ⊂ … ⊂ I_k = V whose blocks I_j \ I_{j-1}
    are the classes of a witness minimum partition. *)
 
-let bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok =
+(* BFS pops ideals in nondecreasing distance, and an ideal's distance is
+   final at {e discovery}: the moment a distance-[d] ideal is popped,
+   every ideal of distance ≤ [d] — in particular [full], were its
+   distance that small — has already been discovered.  So, whenever
+   [full] is still undiscovered at a pop of distance [d], MIN ≥ d+1 is
+   a certified fact.  This drives both the anytime floor returned on
+   truncation and the early-certification short-circuit: a constructive
+   partition with [k] classes (validated by the caller) upper-bounds
+   MIN, so the first pop with d+1 ≥ k proves MIN = k without the BFS
+   ever reaching [full].  Both depend on detecting [full] at discovery
+   time, not at pop time. *)
+
+exception Found
+
+type outcome =
+  | Chain of int list  (* blocks of a shortest chain, front to back *)
+  | Early              (* floor met the constructive class count *)
+  | Exhausted          (* lattice exhausted: no valid partition *)
+  | Stopped of Solver.reason * int  (* reason, certified MIN floor *)
+
+let bfs_min_chain ~gate ~full ?floor_classes ~grow ~block_feasible ~block_ok ()
+    =
   let dist = Hashtbl.create 1024 in
   let q = Queue.create () in
   Hashtbl.replace dist 0 (0, 0);
   Queue.add 0 q;
+  (* distance of the most recently popped ideal: all ideals at distance
+     ≤ floor_d are discovered, so MIN ≥ floor_d + 1 while [full] is
+     undiscovered (checked: Found fires the instant it is). *)
+  let floor_d = ref 0 in
   let result = ref None in
   (try
-     while !result = None && not (Queue.is_empty q) do
+     while not (Queue.is_empty q) do
        let i = Queue.pop q in
        let d, _ = Hashtbl.find dist i in
-       if i = full then result := Some ()
-       else begin
-         (* enumerate feasible successor masks j ⊇ i by growing blocks *)
-         let seen = Hashtbl.create 64 in
-         let rec extend j =
-           grow ~from:j (fun _elt j' ->
-               if not (Hashtbl.mem seen j') then begin
-                 Hashtbl.add seen j' ();
-                 tick gate;
-                 let block = j' land lnot i in
-                 if block_feasible block then begin
-                   if block_ok block && not (Hashtbl.mem dist j') then begin
-                     Hashtbl.replace dist j' (d + 1, i);
-                     Queue.add j' q
+       floor_d := d;
+       (match floor_classes with
+       | Some k when d + 1 >= k ->
+           result := Some Early;
+           raise Found
+       | _ -> ());
+       (* enumerate feasible successor masks j ⊇ i by growing blocks *)
+       let seen = Hashtbl.create 64 in
+       let rec extend j =
+         grow ~from:j (fun _elt j' ->
+             if not (Hashtbl.mem seen j') then begin
+               Hashtbl.add seen j' ();
+               tick gate;
+               let block = j' land lnot i in
+               if block_feasible block then begin
+                 if block_ok block && not (Hashtbl.mem dist j') then begin
+                   Hashtbl.replace dist j' (d + 1, i);
+                   if j' = full then begin
+                     (* walk the parent chain back from [full]: the
+                        successive set differences, front to back, are
+                        V₁ … V_k *)
+                     let rec blocks acc mask =
+                       if mask = 0 then acc
+                       else
+                         let _, parent = Hashtbl.find dist mask in
+                         blocks ((mask land lnot parent) :: acc) parent
+                     in
+                     result := Some (Chain (blocks [] full));
+                     raise Found
                    end;
-                   extend j'
-                 end
-               end)
-         in
-         extend i
-       end
+                   Queue.add j' q
+                 end;
+                 extend j'
+               end
+             end)
+       in
+       extend i
      done
-   with Stop -> ());
-  match gate.stop with
-  | Some reason -> Error reason
-  | None -> (
-      match !result with
-      | None -> Ok None
-      | Some () ->
-          (* walk the parent chain back from [full]: the successive
-             set differences, read front to back, are V₁ … V_k *)
-          let rec blocks acc mask =
-            if mask = 0 then acc
-            else
-              let _, parent = Hashtbl.find dist mask in
-              blocks ((mask land lnot parent) :: acc) parent
-          in
-          Ok (Some (blocks [] full)))
+   with
+  | Found -> ()
+  | Stop -> ());
+  match (gate.stop, !result) with
+  | _, Some o -> o
+  | Some reason, None -> Stopped (reason, !floor_d + 1)
+  | None, None -> Exhausted
 
 (* ------------------------------------------------------------------ *)
 (* Node partitions: masks are downward-closed node sets.               *)
@@ -181,7 +211,33 @@ let ideals ?(budget = Solver.Budget.default) g =
   | Some reason -> Error reason
   | None -> Ok (Hashtbl.length seen)
 
-let node_partition ?(budget = Solver.Budget.default) g ~s ~need_terminal =
+(* An [upper_witness] is believed only after re-validation through the
+   exact {!Spart} checker for its flavor — the floor target, and the
+   partition an early-certified verdict hands back, must not rest on a
+   caller's claim. *)
+let checked_witness ~validate ~s = function
+  | None -> None
+  | Some w -> (
+      match validate ~s w with Ok () -> Some w | Error _ -> None)
+
+let finish ~gate ~witness_of ~upper_witness outcome =
+  finish_gate gate;
+  match outcome with
+  | Chain blocks ->
+      let witness = witness_of blocks in
+      Minimum { classes = Array.length witness; witness; exhaustive = true }
+  | Early ->
+      (* only reachable when a validated upper witness set the floor
+         target: MIN ≥ target and the witness has target classes, so it
+         is itself a minimum partition *)
+      let witness = Option.get upper_witness in
+      Minimum
+        { classes = Array.length witness; witness; exhaustive = false }
+  | Exhausted -> No_partition
+  | Stopped (reason, lower_so_far) -> Truncated { reason; lower_so_far }
+
+let node_partition ?(budget = Solver.Budget.default) ?upper_witness g ~s
+    ~need_terminal =
   let n = Dag.n_nodes g in
   let grow, full = node_masks g in
   let block_feasible block =
@@ -191,31 +247,37 @@ let node_partition ?(budget = Solver.Budget.default) g ~s ~need_terminal =
     (not need_terminal)
     || Bitset.cardinal (Dominator.terminal_set g (to_bitset n block)) <= s
   in
-  if n = 0 then Minimum { classes = 0; witness = [||] }
+  if n = 0 then Minimum { classes = 0; witness = [||]; exhaustive = true }
   else
+    let validate =
+      if need_terminal then Spart.is_spartition g
+      else Spart.is_dominator_partition g
+    in
+    let upper_witness = checked_witness ~validate ~s upper_witness in
+    let floor_classes = Option.map Array.length upper_witness in
     let gate = make_gate budget in
-    let res = bfs_min_chain ~gate ~full ~grow ~block_feasible ~block_ok in
-    finish_gate gate;
-    match res with
-    | Error reason -> Truncated reason
-    | Ok None -> No_partition
-    | Ok (Some blocks) ->
-        let witness = Array.of_list (List.map (to_bitset n) blocks) in
-        Minimum { classes = Array.length witness; witness }
+    let outcome =
+      bfs_min_chain ~gate ~full ?floor_classes ~grow ~block_feasible
+        ~block_ok ()
+    in
+    finish ~gate
+      ~witness_of:(fun blocks ->
+        Array.of_list (List.map (to_bitset n) blocks))
+      ~upper_witness outcome
 
-let spartition ?budget g ~s =
+let spartition ?budget ?upper_witness g ~s =
   traced "minpart.spartition" @@ fun () ->
-  node_partition ?budget g ~s ~need_terminal:true
+  node_partition ?budget ?upper_witness g ~s ~need_terminal:true
 
-let dominator_partition ?budget g ~s =
+let dominator_partition ?budget ?upper_witness g ~s =
   traced "minpart.dominator" @@ fun () ->
-  node_partition ?budget g ~s ~need_terminal:false
+  node_partition ?budget ?upper_witness g ~s ~need_terminal:false
 
 (* ------------------------------------------------------------------ *)
 (* Edge partitions: masks are edge sets closed under "all in-edges of
    the tail come first" (the well-ordering of Definition 6.3).         *)
 
-let edge_partition ?(budget = Solver.Budget.default) g ~s =
+let edge_partition ?(budget = Solver.Budget.default) ?upper_witness g ~s =
   traced "minpart.edge" @@ fun () ->
   let n = Dag.n_nodes g and m = Dag.n_edges g in
   if m > 62 then invalid_arg "Minpart: at most 62 edges";
@@ -240,27 +302,30 @@ let edge_partition ?(budget = Solver.Budget.default) g ~s =
   let block_ok block =
     Bitset.cardinal (Dominator.edge_terminal_set g (edge_bitset block)) <= s
   in
-  if m = 0 then Minimum { classes = 0; witness = [||] }
+  if m = 0 then Minimum { classes = 0; witness = [||]; exhaustive = true }
   else
-    let gate = make_gate budget in
-    let res =
-      bfs_min_chain ~gate ~full:((1 lsl m) - 1) ~grow ~block_feasible ~block_ok
+    let upper_witness =
+      checked_witness ~validate:(Spart.is_edge_partition g) ~s upper_witness
     in
-    finish_gate gate;
-    match res with
-    | Error reason -> Truncated reason
-    | Ok None -> No_partition
-    | Ok (Some blocks) ->
-        let witness = Array.of_list (List.map edge_bitset blocks) in
-        Minimum { classes = Array.length witness; witness }
+    let floor_classes = Option.map Array.length upper_witness in
+    let gate = make_gate budget in
+    let outcome =
+      bfs_min_chain ~gate ~full:((1 lsl m) - 1) ?floor_classes ~grow
+        ~block_feasible ~block_ok ()
+    in
+    finish ~gate
+      ~witness_of:(fun blocks -> Array.of_list (List.map edge_bitset blocks))
+      ~upper_witness outcome
 
 (* ------------------------------------------------------------------ *)
-(* Lower bounds (0 when the minimum is unknown — infeasible s, or a
-   truncated search — so the value is always sound).                   *)
+(* Lower bounds.  A truncated search still contributes its certified
+   anytime floor on MIN; only an infeasible [s] (no partition at all)
+   yields the vacuous 0.                                               *)
 
 let bound_of ~r = function
   | Minimum { classes; _ } -> max 0 (r * (classes - 1))
-  | No_partition | Truncated _ -> 0
+  | Truncated { lower_so_far; _ } -> max 0 (r * (lower_so_far - 1))
+  | No_partition -> 0
 
 let rbp_bound ?budget g ~r = bound_of ~r (spartition ?budget g ~s:(2 * r))
 
@@ -269,40 +334,3 @@ let prbp_bound_edge ?budget g ~r =
 
 let prbp_bound_dom ?budget g ~r =
   bound_of ~r (dominator_partition ?budget g ~s:(2 * r))
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated raising wrappers (pre-anytime API).                      *)
-
-let shim_budget max_ideals = Solver.Budget.v ~max_states:max_ideals ()
-
-let n_ideals ?(max_ideals = 200_000) g =
-  match ideals ~budget:(shim_budget max_ideals) g with
-  | Ok n -> n
-  | Error _ -> raise (Too_large max_ideals)
-
-let shim verdict max_ideals =
-  match verdict with
-  | Minimum { classes; _ } -> Some classes
-  | No_partition -> None
-  | Truncated _ -> raise (Too_large max_ideals)
-
-let min_spartition ?(max_ideals = 200_000) g ~s =
-  shim (spartition ~budget:(shim_budget max_ideals) g ~s) max_ideals
-
-let min_dominator_partition ?(max_ideals = 200_000) g ~s =
-  shim (dominator_partition ~budget:(shim_budget max_ideals) g ~s) max_ideals
-
-let min_edge_partition ?(max_ideals = 200_000) g ~s =
-  shim (edge_partition ~budget:(shim_budget max_ideals) g ~s) max_ideals
-
-let old_bound min_fn g ~r =
-  match min_fn g ~s:(2 * r) with Some k -> r * (k - 1) | None -> 0
-
-let rbp_lower_bound ?max_ideals g ~r =
-  old_bound (min_spartition ?max_ideals) g ~r
-
-let prbp_lower_bound_edge ?max_ideals g ~r =
-  old_bound (min_edge_partition ?max_ideals) g ~r
-
-let prbp_lower_bound_dom ?max_ideals g ~r =
-  old_bound (min_dominator_partition ?max_ideals) g ~r

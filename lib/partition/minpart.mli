@@ -1,6 +1,6 @@
 (** Exact minimum class counts — [MIN_part], [MIN_dom], [MIN_edge] —
     by exhaustive search over the ideal lattice, with witness
-    partitions.
+    partitions and certified anytime floors.
 
     The ordering condition of Definitions 5.3 / 6.3 / 6.6 makes the
     class prefixes [V₁ ∪ … ∪ V_i] downward-closed sets (ideals) of the
@@ -18,32 +18,58 @@
     {!Prbp_solver.Solver.Budget}: the state cap counts distinct lattice
     masks materialized, the wall-clock deadline and cancellation hook
     are polled every [check_every] masks, and the memory cap is ignored
-    (the tables are negligible next to the enumeration).  Exhausting
-    the budget yields {!Truncated}, never an exception — only the
-    deprecated wrappers still raise {!Too_large}. *)
+    (the tables are negligible next to the enumeration).
+
+    Two mechanisms let an unfinished search still certify something:
+
+    - {e Anytime floor}.  BFS pops ideals in nondecreasing distance and
+      distances are final at discovery, so the instant a distance-[d]
+      ideal is popped with the full ideal still undiscovered,
+      [MIN ≥ d+1] is proven.  A budget-killed search reports that floor
+      as {!Truncated}[.lower_so_far] instead of returning nothing.
+    - {e Early certification}.  A constructive partition with [k]
+      classes (passed as [upper_witness] and re-validated through the
+      exact {!Spart} checker before being believed) proves [MIN ≤ k];
+      the first pop at distance [k−1] then proves [MIN = k] and the
+      search stops with a {!Minimum} verdict — [exhaustive = false] —
+      whose witness is the constructive partition itself. *)
 
 type verdict =
-  | Minimum of { classes : int; witness : Prbp_dag.Bitset.t array }
+  | Minimum of {
+      classes : int;
+      witness : Prbp_dag.Bitset.t array;
+      exhaustive : bool;
+    }
       (** The exact minimum, with a witness partition reaching it
           (node classes for {!spartition} / {!dominator_partition},
-          edge-id classes for {!edge_partition}). *)
+          edge-id classes for {!edge_partition}).  [exhaustive] is
+          [true] when the BFS itself reached the full ideal and [false]
+          when the minimum was certified early by the validated
+          [upper_witness] meeting the anytime floor — the count is
+          exact either way. *)
   | No_partition
       (** The lattice was exhausted: no valid partition exists at this
           [s] (e.g. [s] below some forced dominator). *)
-  | Truncated of Prbp_solver.Solver.reason
-      (** The budget stopped the search first; the minimum is unknown
-          (in particular {e not} certified by any partial count). *)
+  | Truncated of { reason : Prbp_solver.Solver.reason; lower_so_far : int }
+      (** The budget stopped the search first.  [lower_so_far] is the
+          certified anytime floor on the minimum ([MIN ≥ lower_so_far]);
+          the exact value is unknown. *)
 
 val spartition :
   ?budget:Prbp_solver.Solver.Budget.t ->
+  ?upper_witness:Prbp_dag.Bitset.t array ->
   Prbp_dag.Dag.t ->
   s:int ->
   verdict
 (** [MIN_part(s)]: minimum classes of any S-partition (Definition
-    5.3).  [budget] defaults to {!Prbp_solver.Solver.Budget.default}. *)
+    5.3).  [budget] defaults to {!Prbp_solver.Solver.Budget.default}.
+    [upper_witness], when given, must be a valid S-partition at [s]
+    (it is re-checked through {!Spart.is_spartition} and silently
+    dropped if invalid); it enables early certification. *)
 
 val dominator_partition :
   ?budget:Prbp_solver.Solver.Budget.t ->
+  ?upper_witness:Prbp_dag.Bitset.t array ->
   Prbp_dag.Dag.t ->
   s:int ->
   verdict
@@ -51,6 +77,7 @@ val dominator_partition :
 
 val edge_partition :
   ?budget:Prbp_solver.Solver.Budget.t ->
+  ?upper_witness:Prbp_dag.Bitset.t array ->
   Prbp_dag.Dag.t ->
   s:int ->
   verdict
@@ -63,49 +90,24 @@ val ideals :
   (int, Prbp_solver.Solver.reason) result
 (** Number of downward-closed node sets (for sizing feasibility). *)
 
+val bound_of : r:int -> verdict -> int
+(** The I/O lower bound a verdict certifies: [r·(classes−1)] for
+    {!Minimum}, [r·(lower_so_far−1)] for {!Truncated} (the anytime
+    floor is a certified bound on [MIN], so this is sound), and 0 for
+    {!No_partition}. *)
+
 val rbp_bound :
   ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
 (** Hong–Kung: [r · (MIN_part(2r) − 1)] with [MIN_part] computed
-    exactly; 0 when the minimum is unknown (no partition, or budget
-    exhausted), so the result is always a sound [OPT_RBP] lower
-    bound. *)
+    exactly; on truncation, the anytime floor's bound (always a sound
+    [OPT_RBP] lower bound). *)
 
 val prbp_bound_edge :
   ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
-(** Theorem 6.5: [r · (MIN_edge(2r) − 1)], exactly; 0 when unknown. *)
+(** Theorem 6.5: [r · (MIN_edge(2r) − 1)], exactly or by anytime
+    floor. *)
 
 val prbp_bound_dom :
   ?budget:Prbp_solver.Solver.Budget.t -> Prbp_dag.Dag.t -> r:int -> int
-(** Theorem 6.7: [r · (MIN_dom(2r) − 1)], exactly; 0 when unknown. *)
-
-(** {1 Deprecated pre-anytime wrappers}
-
-    These keep the original raising contract: a blown [max_ideals]
-    budget raises {!Too_large} instead of returning {!Truncated}. *)
-
-exception Too_large of int
-(** Raised only by the deprecated wrappers when the enumeration
-    exceeds [max_ideals]. *)
-
-val n_ideals : ?max_ideals:int -> Prbp_dag.Dag.t -> int
-[@@deprecated "use ideals"]
-
-val min_spartition : ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
-[@@deprecated "use spartition"]
-
-val min_dominator_partition :
-  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
-[@@deprecated "use dominator_partition"]
-
-val min_edge_partition :
-  ?max_ideals:int -> Prbp_dag.Dag.t -> s:int -> int option
-[@@deprecated "use edge_partition"]
-
-val rbp_lower_bound : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-[@@deprecated "use rbp_bound"]
-
-val prbp_lower_bound_edge : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-[@@deprecated "use prbp_bound_edge"]
-
-val prbp_lower_bound_dom : ?max_ideals:int -> Prbp_dag.Dag.t -> r:int -> int
-[@@deprecated "use prbp_bound_dom"]
+(** Theorem 6.7: [r · (MIN_dom(2r) − 1)], exactly or by anytime
+    floor. *)

@@ -18,11 +18,6 @@
     space stays finite, but grows quickly; expect smaller feasible
     sizes. *)
 
-exception Too_large of int
-(** Raised only by the deprecated wrappers.  Alias (rebinding) of the
-    engine-wide {!Game.Too_large} — matching either name catches the
-    same exception.  {!solve} never raises it. *)
-
 type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
   explored : int;  (** distinct states inserted into the search *)
@@ -62,39 +57,3 @@ val solve :
     certified interval on state-count-stopped runs; see
     {!Engine.Make.solve} for the exact determinism contract and the
     {!Solver.Budget.spill_words} interaction. *)
-
-val opt :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Prbp.config ->
-  Prbp_dag.Dag.t ->
-  int
-[@@deprecated "use solve"]
-(** Optimal I/O cost of a complete PRBP pebbling; raises [Failure] on
-    unsolvable inputs and {!Too_large} where {!solve} would return
-    [Bounded].  [max_states] defaults to [5_000_000]. *)
-
-val opt_opt :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Prbp.config ->
-  Prbp_dag.Dag.t ->
-  int option
-[@@deprecated "use solve"]
-
-val opt_with_strategy :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Prbp.config ->
-  Prbp_dag.Dag.t ->
-  (int * Prbp_pebble.Move.P.t list) option
-[@@deprecated "use solve ~want_strategy:true"]
-
-val opt_stats :
-  ?max_states:int ->
-  ?eager_deletes:bool ->
-  ?prune:bool ->
-  Prbp_pebble.Prbp.config ->
-  Prbp_dag.Dag.t ->
-  stats option
-[@@deprecated "use solve"]

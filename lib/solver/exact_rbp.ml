@@ -2,7 +2,6 @@ module Dag = Prbp_dag.Dag
 module Rbp = Prbp_pebble.Rbp
 module RM = Prbp_pebble.Move.R
 
-exception Too_large = Game.Too_large
 
 type stats = Game.stats = { cost : int; explored : int; pruned : int }
 
@@ -185,46 +184,3 @@ let solve ?budget ?telemetry ?(want_strategy = false) ?(prune = true)
   | Solver.Bounded b, Some (_, moves) when want_strategy ->
       Solver.Bounded { b with Solver.incumbent_strategy = Some moves }
   | _ -> outcome
-
-(* -- deprecated pre-anytime surface --------------------------------- *)
-
-let default_states = Solver.Budget.default.Solver.Budget.max_states
-
-let opt_opt ?(max_states = default_states) ?(prune = true) cfg g =
-  match solve ~budget:(Solver.Budget.states max_states) ~prune cfg g with
-  | Solver.Optimal { Solver.cost; _ } -> Some cost
-  | Solver.Unsolvable _ -> None
-  | Solver.Bounded _ -> raise (Game.Too_large max_states)
-
-let opt_stats ?(max_states = default_states) ?eager_deletes
-    ?(prune = true) cfg g =
-  match
-    solve
-      ~budget:(Solver.Budget.states max_states)
-      ~prune ?eager_deletes cfg g
-  with
-  | Solver.Optimal { Solver.cost; stats; _ } ->
-      Some
-        {
-          Game.cost;
-          explored = stats.Solver.explored;
-          pruned = stats.Solver.pruned;
-        }
-  | Solver.Unsolvable _ -> None
-  | Solver.Bounded _ -> raise (Game.Too_large max_states)
-
-let opt ?max_states ?prune cfg g =
-  match opt_opt ?max_states ?prune cfg g with
-  | Some d -> d
-  | None -> failwith "Exact_rbp.opt: no valid pebbling exists"
-
-let opt_with_strategy ?(max_states = default_states) ?(prune = true) cfg g =
-  match
-    solve
-      ~budget:(Solver.Budget.states max_states)
-      ~want_strategy:true ~prune cfg g
-  with
-  | Solver.Optimal { Solver.cost; strategy; _ } ->
-      Some (cost, Option.value strategy ~default:[])
-  | Solver.Unsolvable _ -> None
-  | Solver.Bounded _ -> raise (Game.Too_large max_states)

@@ -16,12 +16,6 @@
     This is what certifies statements like [OPT_RBP = 3] on the
     Figure-1 DAG (Proposition 4.2). *)
 
-exception Too_large of int
-(** Raised only by the deprecated wrappers when the state count
-    exceeds [max_states].  An alias (rebinding) of the engine-wide
-    {!Game.Too_large} — matching either name catches the same
-    exception.  {!solve} never raises it. *)
-
 type stats = Game.stats = {
   cost : int;  (** the optimal I/O cost *)
   explored : int;  (** distinct states inserted into the search *)
@@ -67,43 +61,3 @@ val solve :
     same certified interval on state-count-stopped runs; see
     {!Engine.Make.solve} for the exact determinism contract and the
     {!Solver.Budget.spill_words} interaction. *)
-
-val opt :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Rbp.config ->
-  Prbp_dag.Dag.t ->
-  int
-[@@deprecated "use solve"]
-(** [opt cfg g] is the optimal I/O cost of a complete pebbling, or
-    raises [Failure] if no valid pebbling exists.  [max_states]
-    defaults to [5_000_000]; raises {!Too_large} where {!solve} would
-    return [Bounded]. *)
-
-val opt_opt :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Rbp.config ->
-  Prbp_dag.Dag.t ->
-  int option
-[@@deprecated "use solve"]
-(** [None] when no valid pebbling exists. *)
-
-val opt_with_strategy :
-  ?max_states:int ->
-  ?prune:bool ->
-  Prbp_pebble.Rbp.config ->
-  Prbp_dag.Dag.t ->
-  (int * Prbp_pebble.Move.R.t list) option
-[@@deprecated "use solve ~want_strategy:true"]
-(** Also reconstruct one optimal strategy; costs more memory. *)
-
-val opt_stats :
-  ?max_states:int ->
-  ?eager_deletes:bool ->
-  ?prune:bool ->
-  Prbp_pebble.Rbp.config ->
-  Prbp_dag.Dag.t ->
-  stats option
-[@@deprecated "use solve"]
-(** Optimal cost plus search-size counters. *)

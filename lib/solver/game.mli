@@ -20,11 +20,12 @@
     ({!State_table.Flat} stores them column-wise). *)
 
 exception Too_large of int
-(** Raised by every engine-backed solver when the state count exceeds
-    the [max_states] budget.  This is the {e single} such exception in
-    the library: [Exact_rbp.Too_large], [Exact_prbp.Too_large],
-    [Black.Too_large] and [Exact_multi.Too_large] are all aliases of
-    it, so callers match any one of them and catch them all. *)
+(** Raised by the remaining deprecated engine-backed wrappers when the
+    state count exceeds the [max_states] budget.  This is the
+    {e single} such exception in the library: [Black.Too_large] and
+    [Exact_multi.Too_large] are aliases of it, so callers match either
+    name and catch them all.  The unified [solve] entry points never
+    raise it. *)
 
 type stats = {
   cost : int;  (** the optimal 0-1 distance (I/O cost) *)

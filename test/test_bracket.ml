@@ -138,7 +138,7 @@ let test_deterministic_without_deadline () =
      that is not elapsed time *)
   let key (b : Bracket.t) =
     ( b.Bracket.lower.Lower.bound,
-      Lower.rule_label b.Bracket.lower.Lower.rule,
+      b.Bracket.lower.Lower.rule,
       b.Bracket.upper,
       Upper.meth_label b.Bracket.meth,
       b.Bracket.tight,

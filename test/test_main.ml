@@ -10,5 +10,5 @@ let () =
    @ Test_trace_serialize.suite @ Test_verifier.suite @ Test_black.suite
    @ Test_multi.suite @ Test_misc.suite @ Test_state_table.suite
    @ Test_deque01.suite @ Test_engine.suite @ Test_anytime.suite
-   @ Test_segment.suite @ Test_bracket.suite @ Test_obs.suite
-   @ Test_parallel.suite)
+   @ Test_segment.suite @ Test_bracket.suite @ Test_rules.suite
+   @ Test_obs.suite @ Test_parallel.suite)

@@ -8,7 +8,7 @@ module Segment = Prbp.Bounds.Segment
 let min_of what = function
   | MP.Minimum { classes; _ } -> Some classes
   | MP.No_partition -> None
-  | MP.Truncated reason ->
+  | MP.Truncated { reason; _ } ->
       Alcotest.failf "%s: search truncated (%s)" what
         (Prbp.Solver.reason_label reason)
 
@@ -20,7 +20,7 @@ let min_exn what v =
 (* Every Minimum verdict must carry a witness with exactly [classes]
    blocks that re-validates through the exact checkers. *)
 let witness_ok flavor g ~s what = function
-  | MP.Minimum { classes; witness } -> (
+  | MP.Minimum { classes; witness; _ } -> (
       check_int (what ^ ": witness size") classes (Array.length witness);
       match Segment.of_minpart flavor g ~s witness with
       | Ok _ -> ()
@@ -161,26 +161,78 @@ let test_extraction_respects_min () =
 
 let test_budget_truncates () =
   (* a starved state budget must surface as Truncated, not an exception,
-     and the derived bounds must degrade to the sound 0 *)
+     and the derived bound must be the (sound, possibly 0) anytime floor *)
   let l = Prbp.Graphs.Lemma54.make ~group_size:4 in
   let g = l.Prbp.Graphs.Lemma54.dag in
   let budget = Prbp.Solver.Budget.v ~max_states:50 ~check_every:1 () in
   check_true "ideals truncates" (Result.is_error (MP.ideals ~budget g));
-  (match MP.spartition ~budget g ~s:4 with
-  | MP.Truncated _ -> ()
+  match MP.spartition ~budget g ~s:4 with
+  | MP.Truncated { lower_so_far; _ } as v ->
+      check_true "anytime floor >= 1" (lower_so_far >= 1);
+      check_true "floor bound nonneg" (MP.bound_of ~r:2 v >= 0)
   | MP.Minimum _ | MP.No_partition ->
-      Alcotest.fail "expected Truncated under a 50-state budget");
-  check_int "truncated bound is 0" 0 (MP.rbp_bound ~budget g ~r:2)
+      Alcotest.fail "expected Truncated under a 50-state budget"
 
-let test_deprecated_shim_raises () =
-  let l = Prbp.Graphs.Lemma54.make ~group_size:4 in
-  check_true "shim raises Too_large"
-    (match
-       (MP.n_ideals [@alert "-deprecated"]) ~max_ideals:50
-         l.Prbp.Graphs.Lemma54.dag
-     with
-    | exception MP.Too_large _ -> true
-    | _ -> false)
+let test_anytime_floor_sound () =
+  (* wherever the exact minimum is known, any truncated run's floor must
+     stay at or below it — for every flavor and a range of budgets *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 9 then
+        List.iter
+          (fun (label, search) ->
+            let s = 3 in
+            match (search ?budget:None g ~s : MP.verdict) with
+            | MP.Minimum { classes; _ } ->
+                List.iter
+                  (fun max_states ->
+                    let budget =
+                      Prbp.Solver.Budget.v ~max_states ~check_every:1 ()
+                    in
+                    match search ?budget:(Some budget) g ~s with
+                    | MP.Truncated { lower_so_far; _ } ->
+                        check_true
+                          (Printf.sprintf "%s floor %d <= MIN %d" label
+                             lower_so_far classes)
+                          (lower_so_far <= classes)
+                    | MP.Minimum { classes = k; _ } ->
+                        check_int (label ^ ": same minimum") classes k
+                    | MP.No_partition ->
+                        Alcotest.failf "%s: feasibility flipped" label)
+                  [ 1; 5; 25 ]
+            | MP.No_partition | MP.Truncated _ -> ())
+          [
+            ("part", fun ?budget g ~s -> MP.spartition ?budget g ~s);
+            ("dom", fun ?budget g ~s -> MP.dominator_partition ?budget g ~s);
+            ("edge", fun ?budget g ~s -> MP.edge_partition ?budget g ~s);
+          ])
+    (Lazy.force random_dags)
+
+let test_early_certification () =
+  (* feeding the exact witness back as [upper_witness] must certify the
+     same minimum without exhausting the lattice, and an invalid witness
+     must be ignored rather than corrupt the verdict *)
+  List.iter
+    (fun g ->
+      if Dag.n_nodes g <= 9 then
+        let s = 3 in
+        match MP.spartition g ~s with
+        | MP.Minimum { classes; witness; _ } -> (
+            (match MP.spartition ~upper_witness:witness g ~s with
+            | MP.Minimum { classes = k; _ } ->
+                check_int "early certification agrees" classes k
+            | MP.No_partition | MP.Truncated _ ->
+                Alcotest.fail "witness-seeded search must certify the minimum");
+            (* a garbage witness (one empty class) must be dropped *)
+            let bogus = [| Prbp.Bitset.create (Dag.n_nodes g) |] in
+            match MP.spartition ~upper_witness:bogus g ~s with
+            | MP.Minimum { classes = k; exhaustive; _ } ->
+                check_int "bogus witness ignored" classes k;
+                check_true "bogus witness not used for early cert" exhaustive
+            | MP.No_partition | MP.Truncated _ ->
+                Alcotest.fail "bogus witness must not change the verdict")
+        | MP.No_partition | MP.Truncated _ -> ())
+    (Lazy.force random_dags)
 
 let suite =
   [
@@ -199,6 +251,7 @@ let suite =
         case "Hong-Kung exact soundness" test_hong_kung_exact;
         case "extraction >= MIN" test_extraction_respects_min;
         case "budget truncates, bounds stay sound" test_budget_truncates;
-        case "deprecated shim raises" test_deprecated_shim_raises;
+        case "anytime floor sound" test_anytime_floor_sound;
+        case "early certification" test_early_certification;
       ] );
   ]

@@ -1,0 +1,202 @@
+(* lib/bounds/Lower as a rule engine: every registered rule must be
+   sound against the exact optima wherever those are computable, the
+   registry must reject collisions and honor selection, and the
+   constructive-partition path must agree with exhaustive Minpart. *)
+open Test_util
+module Dag = Prbp.Dag
+module MP = Prbp.Minpart
+module Segment = Prbp.Bounds.Segment
+module Lower = Prbp.Bounds.Lower
+module Upper = Prbp.Bounds.Upper
+
+let exact game ~r g =
+  match game with
+  | Lower.Rbp -> opt_rbp_opt (Prbp.Rbp.config ~r ()) g
+  | Lower.Prbp -> opt_prbp_opt (Prbp.Prbp_game.config ~r ()) g
+
+(* [exact], but tolerating budget-truncated searches ([None]) so the
+   family cases can include instances near the exact solvers' edge. *)
+let exact_tolerant game ~r g =
+  match game with
+  | Lower.Rbp -> tolerant (Prbp.Exact_rbp.solve (Prbp.Rbp.config ~r ()) g)
+  | Lower.Prbp ->
+      tolerant (Prbp.Exact_prbp.solve (Prbp.Prbp_game.config ~r ()) g)
+
+(* Every (label, bound) pair a Lower.compute run evaluated must sit at
+   or below the exact optimum — not just the winner. *)
+let all_bounds_sound what game ~r g =
+  match exact_tolerant game ~r g with
+  | None (* truncated *) | Some None (* no strategy at this r *) -> ()
+  | Some (Some opt) ->
+      let l = Lower.compute ~game ~r g in
+      List.iter
+        (fun (label, bound) ->
+          check_true
+            (Printf.sprintf "%s %s r=%d: %s bound %d <= OPT %d" what
+               (Lower.game_label game) r label bound opt)
+            (bound <= opt))
+        l.Lower.evaluated;
+      check_true (what ^ ": winner <= OPT") (l.Lower.bound <= opt)
+
+let test_registry_names () =
+  let names = Lower.names () in
+  List.iter
+    (fun expected ->
+      check_true ("registered: " ^ expected) (List.mem expected names))
+    [
+      "trivial"; "source-cut"; "sink-cut"; "closed-form"; "exact-dominator";
+      "exact-spartition"; "exact-edge";
+    ];
+  (* re-registering any existing name must be rejected *)
+  List.iter
+    (fun name ->
+      check_true ("duplicate rejected: " ^ name)
+        (match
+           Lower.register
+             (module struct
+               let name = name
+               let games = [ Lower.Rbp ]
+               let share = 0
+               let applies ~budget:_ ~game:_ ~r:_ _ = false
+               let compute ~budget:_ ~game:_ ~r:_ _ = []
+             end)
+         with
+        | exception Invalid_argument _ -> true
+        | () -> false))
+    names
+
+let test_rule_selection () =
+  let g = Prbp.Graphs.Basic.fan_in 5 in
+  let l = Lower.compute ~rules:[ "source-cut" ] ~game:Lower.Rbp ~r:2 g in
+  check_true "only source-cut ran"
+    (List.for_all (fun (label, _) -> label = "source-cut") l.Lower.evaluated);
+  let l = Lower.compute ~rules:[ "no-such-rule" ] ~game:Lower.Rbp ~r:2 g in
+  check_int "empty selection falls back to bound 0" 0 l.Lower.bound;
+  Alcotest.(check string) "and reports no rule" "none" l.Lower.rule
+
+(* Soundness on family-tagged DAGs, where the closed-form rule fires:
+   small instances of each registered family, exact OPT as the oracle. *)
+let test_closed_forms_sound () =
+  let cases =
+    [
+      ("fft:4", (Prbp.Graphs.Fft.make ~m:4).Prbp.Graphs.Fft.dag, [ 3; 4 ]);
+      ( "matmul:2:2:2",
+        (Prbp.Graphs.Matmul.make ~m1:2 ~m2:2 ~m3:2).Prbp.Graphs.Matmul.dag,
+        [ 2; 3 ] );
+      ( "tree(2,2) at r=k+1",
+        (Prbp.Graphs.Tree.make ~k:2 ~depth:2).Prbp.Graphs.Tree.dag,
+        [ 3 ] );
+      ( "attention-qkt:2:2",
+        (Prbp.Graphs.Attention.qkt ~m:2 ~d:2).Prbp.Graphs.Matmul.dag,
+        [ 2; 3 ] );
+    ]
+  in
+  List.iter
+    (fun (what, g, rs) ->
+      check_true (what ^ " is tagged") (Dag.family g <> None);
+      List.iter
+        (fun r ->
+          all_bounds_sound what Lower.Rbp ~r g;
+          all_bounds_sound what Lower.Prbp ~r g)
+        rs)
+    cases
+
+(* The tree-opt closed form is exact OPT at r = k+1 and unsound
+   elsewhere; the registry must therefore only emit it at r = k+1. *)
+let test_tree_form_gated () =
+  List.iter
+    (fun (r, expected) ->
+      let forms = Prbp.Graphs.Closed_form.forms ~game:`Rbp ~r "tree:2:3" in
+      check_bool
+        (Printf.sprintf "tree-opt emitted iff r=3 (r=%d)" r)
+        expected
+        (List.exists (fun (name, _) -> name = "tree-opt") forms))
+    [ (2, false); (3, true); (4, false) ]
+
+let gen_dag =
+  QCheck.make
+    ~print:(fun (seed, layers, width) ->
+      Printf.sprintf "seed=%d layers=%d width=%d" seed layers width)
+    QCheck.Gen.(triple (int_range 1 10_000) (int_range 2 3) (int_range 1 3))
+
+let dag_of (seed, layers, width) =
+  Prbp.Graphs.Random_dag.make ~seed ~layers ~width ~density:0.35
+    ~max_in_degree:3 ()
+
+(* satellite (c), first half: on random small DAGs, every registered
+   rule's every evaluated bound is at or below exact OPT, both games *)
+let prop_rules_sound game label =
+  qcase ~count:30
+    (label ^ ": every registered rule stays below the exact optimum")
+    gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let r = 3 in
+      match exact game ~r g with
+      | None -> true
+      | Some opt ->
+          let l = Lower.compute ~game ~r g in
+          List.for_all (fun (_, bound) -> bound <= opt) l.Lower.evaluated
+          && l.Lower.bound <= opt)
+
+(* satellite (c), second half: a constructive partition fed back as the
+   early-certification witness must reproduce the exhaustive minimum
+   exactly, whenever the exhaustive search finishes *)
+let prop_constructive_agrees =
+  qcase ~count:30
+    "constructive partitions agree with exhaustive Minpart counts" gen_dag
+    (fun params ->
+      let g = dag_of params in
+      let s = 3 in
+      List.for_all
+        (fun (flavor, search) ->
+          match (search ?upper_witness:None g ~s : MP.verdict) with
+          | MP.Truncated _ -> true (* nothing exhaustive to compare *)
+          | MP.No_partition -> true
+          | MP.Minimum { classes = exact_min; _ } -> (
+              match Segment.greedy ~flavor g ~s with
+              | Error _ -> true (* no constructive partition to test *)
+              | Ok seg ->
+                  (* constructive can never beat the exact minimum … *)
+                  Segment.n_classes seg >= exact_min
+                  (* … and seeding it certifies the same minimum *)
+                  &&
+                  match
+                    search ?upper_witness:(Some seg.Segment.classes) g ~s
+                  with
+                  | MP.Minimum { classes; _ } -> classes = exact_min
+                  | MP.No_partition | MP.Truncated _ -> false))
+        [
+          ( Segment.Spartition,
+            fun ?upper_witness g ~s -> MP.spartition ?upper_witness g ~s );
+          ( Segment.Dominator,
+            fun ?upper_witness g ~s ->
+              MP.dominator_partition ?upper_witness g ~s );
+          ( Segment.Edge,
+            fun ?upper_witness g ~s -> MP.edge_partition ?upper_witness g ~s );
+        ])
+
+(* the banded orders behind the new upper-bound candidates must be
+   valid topological orders on any DAG, for every band height *)
+let prop_banded_order_topological =
+  qcase ~count:50 "banded orders are topological" gen_dag (fun params ->
+      let g = dag_of params in
+      List.for_all
+        (fun h -> Prbp.Topo.is_order g (Upper.banded_order g ~h))
+        [ 1; 2; 3; 5 ])
+
+let suite =
+  [
+    ( "rules",
+      [
+        case "registry names and duplicate rejection" test_registry_names;
+        case "rule selection" test_rule_selection;
+        slow_case "closed forms sound on tagged families"
+          test_closed_forms_sound;
+        case "tree closed form gated to r=k+1" test_tree_form_gated;
+        prop_rules_sound Lower.Rbp "RBP";
+        prop_rules_sound Lower.Prbp "PRBP";
+        prop_constructive_agrees;
+        prop_banded_order_topological;
+      ] );
+  ]

@@ -97,7 +97,7 @@ let test_of_minpart_roundtrip () =
   let g = Prbp.Graphs.Basic.fan_out 5 in
   let s = 2 in
   match Prbp.Minpart.spartition g ~s with
-  | Prbp.Minpart.Minimum { classes; witness } ->
+  | Prbp.Minpart.Minimum { classes; witness; _ } ->
       let seg =
         seg_exn "of_minpart"
           (Segment.of_minpart Segment.Spartition g ~s witness)
