@@ -1,0 +1,369 @@
+(* prbpd load generator ([--serve]): boots the daemon in-process,
+   drives a mixed solve/bracket workload with a repeated-DAG mix from
+   parallel client domains, and reports latency percentiles, cache-hit
+   ratio and certificate spot-checks.  The summary lands as the
+   single-line "serve" field of BENCH_solver.json (schema v8). *)
+
+module Wire = Prbp.Wire
+module Serve = Prbp.Serve
+
+let port = 18461
+
+let total_requests = 1200
+
+let clients = 4
+
+(* ------------------------------------------------------------------ *)
+(* The workload: a small pool of distinct (dag, game, r, kind) work
+   items, cycled through by every client.  12 distinct cache keys over
+   1200 requests puts the steady-state hit ratio at 99%. *)
+
+type item = {
+  body : string;  (* encoded wire request, want_strategy on *)
+  path : string;
+  dag : Prbp.Dag.t;
+  game : Wire.game;
+  r : int;
+}
+
+let work_items () =
+  let diamond = Prbp.Dag.make ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let chain = Prbp.Dag.make ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let tree = (Prbp.Graphs.Tree.make ~k:2 ~depth:3).Prbp.Graphs.Tree.dag in
+  let rand seed =
+    Prbp.Graphs.Random_dag.make ~seed ~max_in_degree:2 ~layers:3 ~width:3 ()
+  in
+  let solve game r dag =
+    {
+      body =
+        Wire.encode_request
+          (Wire.request ~want_strategy:true ~kind:Wire.Solve ~game ~r dag);
+      path = "/v1/solve";
+      dag;
+      game;
+      r;
+    }
+  in
+  let bracket game r dag =
+    {
+      body =
+        Wire.encode_request
+          (Wire.request ~want_strategy:true ~kind:Wire.Bracket ~game ~r dag);
+      path = "/v1/bracket";
+      dag;
+      game;
+      r;
+    }
+  in
+  (* RBP items keep r above the feasibility threshold (max in-degree
+     + 1); PRBP has no such floor thanks to partial computations *)
+  [
+    solve Wire.Rbp 3 diamond;
+    solve Wire.Prbp 2 diamond;
+    solve Wire.Rbp 2 chain;
+    solve Wire.Prbp 2 chain;
+    solve Wire.Rbp 3 tree;
+    solve Wire.Prbp 3 tree;
+    solve Wire.Prbp 3 (rand 1);
+    solve Wire.Rbp 3 (rand 2);
+    bracket Wire.Rbp 3 diamond;
+    bracket Wire.Prbp 2 tree;
+    bracket Wire.Prbp 3 (rand 3);
+    bracket Wire.Rbp 4 (rand 4);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Minimal HTTP client (connection: close per request) *)
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+type reply = { status : int; cache : string option; body : string }
+
+let parse_reply raw =
+  let rec find_sep i =
+    if i + 4 > String.length raw then None
+    else if String.sub raw i 4 = "\r\n\r\n" then Some i
+    else find_sep (i + 1)
+  in
+  match find_sep 0 with
+  | None -> None
+  | Some i -> (
+      let head = String.sub raw 0 i in
+      let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+      match String.split_on_char '\n' head with
+      | status_line :: header_lines -> (
+          match String.split_on_char ' ' (String.trim status_line) with
+          | _ :: code :: _ ->
+              Option.map
+                (fun status ->
+                  let cache =
+                    List.find_map
+                      (fun line ->
+                        match String.index_opt line ':' with
+                        | Some j
+                          when String.lowercase_ascii
+                                 (String.trim (String.sub line 0 j))
+                               = "x-prbpd-cache" ->
+                            Some
+                              (String.trim
+                                 (String.sub line (j + 1)
+                                    (String.length line - j - 1)))
+                        | _ -> None)
+                      header_lines
+                  in
+                  { status; cache; body })
+                (int_of_string_opt code)
+          | _ -> None)
+      | [] -> None)
+
+let post item =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let raw =
+        Printf.sprintf
+          "POST %s HTTP/1.1\r\nHost: bench\r\nContent-Length: %d\r\n\r\n%s"
+          item.path
+          (String.length item.body)
+          item.body
+      in
+      let _ = Unix.write_substring fd raw 0 (String.length raw) in
+      parse_reply (read_all fd))
+
+(* ------------------------------------------------------------------ *)
+(* Certificate spot check: replay a served strategy through the
+   literal checker and compare with the claimed upper bound. *)
+
+let replay_cost item strategy =
+  match strategy with
+  | Wire.Rbp_strategy moves ->
+      Result.to_option
+        (Prbp.Rbp.check (Prbp.Rbp.config ~one_shot:true ~r:item.r ()) item.dag
+           moves)
+  | Wire.Prbp_strategy moves ->
+      Result.to_option
+        (Prbp.Prbp_game.check
+           (Prbp.Prbp_game.config ~one_shot:true ~r:item.r ())
+           item.dag moves)
+
+let verify_reply item reply =
+  if item.path = "/v1/solve" then
+    match Wire.decode_outcome reply.body with
+    | Error _ -> false
+    | Ok o -> (
+        match (o.Wire.strategy, o.Wire.upper) with
+        | Some s, Some u -> replay_cost item s = Some u
+        | None, _ ->
+            (* legitimately strategy-less: Unsolvable, or Bounded with
+               no incumbent found yet *)
+            o.Wire.status <> `Optimal
+        | _, None -> false)
+  else
+    match Wire.decode_bracket reply.body with
+    | Error _ -> false
+    | Ok b -> (
+        match b.Wire.strategy with
+        | Some s -> replay_cost item s = Some b.Wire.upper
+        | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* One client domain's share of the load *)
+
+type tally = {
+  latencies : float list;
+  hits : int;
+  misses : int;
+  errors : int;
+  verified : int;
+  verify_failures : int;
+}
+
+let run_client ~items ~offset ~n () =
+  let k = Array.length items in
+  let latencies = ref [] in
+  let hits = ref 0 and misses = ref 0 and errors = ref 0 in
+  let verified = ref 0 and verify_failures = ref 0 in
+  for i = 0 to n - 1 do
+    let item = items.((offset + i) mod k) in
+    let t0 = Unix.gettimeofday () in
+    (match post item with
+    | None -> incr errors
+    | Some reply when reply.status <> 200 -> incr errors
+    | Some reply -> (
+        latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+        (match reply.cache with
+        | Some "hit" -> incr hits
+        | Some "miss" -> incr misses
+        | _ -> ());
+        (* spot-check every 25th served certificate end to end *)
+        if i mod 25 = 0 then
+          if verify_reply item reply then incr verified
+          else incr verify_failures));
+    ()
+  done;
+  {
+    latencies = !latencies;
+    hits = !hits;
+    misses = !misses;
+    errors = !errors;
+    verified = !verified;
+    verify_failures = !verify_failures;
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_solver.json: replace (or insert) the single-line "serve"
+   field, leaving every other line untouched. *)
+
+let patch_bench_file ppf json =
+  let path = "BENCH_solver.json" in
+  if not (Sys.file_exists path) then
+    Format.fprintf ppf "serve: no %s to patch (run --perf first)@." path
+  else begin
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let lines = String.split_on_char '\n' contents in
+    let serve_line = Printf.sprintf "  \"serve\": %s," json in
+    let is_serve l =
+      String.length l >= 10 && String.sub l 0 10 = "  \"serve\":"
+    in
+    let patched =
+      if List.exists is_serve lines then
+        List.map (fun l -> if is_serve l then serve_line else l) lines
+      else
+        (* older file: insert after the schema line *)
+        List.concat_map
+          (fun l ->
+            let is_schema =
+              String.length l >= 11 && String.sub l 0 11 = "  \"schema\":"
+            in
+            if is_schema then
+              [ "  \"schema\": \"prbp-solver-bench/v8\","; serve_line ]
+            else [ l ])
+          lines
+    in
+    let oc = open_out path in
+    output_string oc (String.concat "\n" patched);
+    close_out oc;
+    Format.fprintf ppf "patched \"serve\" into %s@." path
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let run ppf =
+  Format.fprintf ppf "@.=== SERVE — prbpd load generator ===@.@.";
+  let cfg =
+    {
+      Serve.Server.default_config with
+      addr = Serve.Server.Tcp ("127.0.0.1", port);
+      workers = max 2 (min 4 (Domain.recommended_domain_count () - 1));
+      queue = 256;
+      cache_capacity = 512;
+      max_deadline_ms = 5_000;
+    }
+  in
+  let stop = Atomic.make false in
+  let server = Domain.spawn (fun () -> Serve.Server.run ~stop cfg) in
+  let items = Array.of_list (work_items ()) in
+  (* wait for the listener with a /healthz round trip *)
+  let probe_item =
+    { body = "{}"; path = "/healthz"; dag = items.(0).dag; game = Wire.Rbp; r = 1 }
+  in
+  let rec ready tries =
+    match post probe_item with
+    | Some _ -> true
+    | None | (exception Unix.Unix_error _) ->
+        if tries = 0 then false
+        else begin
+          Unix.sleepf 0.02;
+          ready (tries - 1)
+        end
+  in
+  if not (ready 250) then begin
+    Atomic.set stop true;
+    ignore (Domain.join server);
+    Format.fprintf ppf "serve: daemon did not come up@.";
+    1
+  end
+  else begin
+    let per_client = total_requests / clients in
+    let t0 = Unix.gettimeofday () in
+    let tallies =
+      Array.init clients (fun c ->
+          Domain.spawn (run_client ~items ~offset:c ~n:per_client))
+      |> Array.map Domain.join
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Atomic.set stop true;
+    ignore (Domain.join server);
+    let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+    let hits = sum (fun t -> t.hits) and misses = sum (fun t -> t.misses) in
+    let errors = sum (fun t -> t.errors) in
+    let verified = sum (fun t -> t.verified) in
+    let verify_failures = sum (fun t -> t.verify_failures) in
+    let latencies =
+      Array.of_list (List.concat_map (fun t -> t.latencies) (Array.to_list tallies))
+    in
+    Array.sort compare latencies;
+    let answered = Array.length latencies in
+    let p50 = percentile latencies 0.50 *. 1e3 in
+    let p99 = percentile latencies 0.99 *. 1e3 in
+    let hit_ratio =
+      if hits + misses = 0 then 0.
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let rps = float_of_int answered /. (wall +. 1e-9) in
+    let t =
+      Prbp.Table.make
+        ~header:
+          [ "requests"; "errors"; "hit ratio"; "p50"; "p99"; "rps";
+            "verified"; "bad certs" ]
+    in
+    Prbp.Table.add_rowf t "%d|%d|%.1f%%|%.2fms|%.2fms|%.0f|%d|%d" answered
+      errors (100. *. hit_ratio) p50 p99 rps verified verify_failures;
+    Prbp.Table.print ppf t;
+    let json =
+      Printf.sprintf
+        "{\"requests\": %d, \"errors\": %d, \"hit_ratio\": %.4f, \
+         \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"throughput_rps\": %.1f, \
+         \"verified\": %d, \"verify_failures\": %d, \"clients\": %d, \
+         \"workers\": %d}"
+        answered errors hit_ratio p50 p99 rps verified verify_failures
+        clients cfg.Serve.Server.workers
+    in
+    patch_bench_file ppf json;
+    (* the acceptance gates: the mix must sustain the load, hit the
+       cache on the repeated-DAG mix, and serve only valid certificates *)
+    if errors > 0 || verify_failures > 0 then 1
+    else if answered < 1000 then begin
+      Format.fprintf ppf "serve: only %d requests answered@." answered;
+      1
+    end
+    else if hit_ratio < 0.9 then begin
+      Format.fprintf ppf "serve: hit ratio %.1f%% below 90%%@."
+        (100. *. hit_ratio);
+      1
+    end
+    else 0
+  end

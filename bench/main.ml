@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- E03 E08    # a subset of experiments
      dune exec bench/main.exe -- -j 4       # 4 worker domains
      dune exec bench/main.exe -- --profile  # span-tree timing summary
-     dune exec bench/main.exe -- --profile-out trace.json --metrics-out m.prom  *)
+     dune exec bench/main.exe -- --profile-out trace.json --metrics-out m.prom
+     dune exec bench/main.exe -- --serve    # prbpd load generator only  *)
 
 let experiments =
   Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
@@ -19,8 +20,9 @@ let default_jobs = min 8 (Domain.recommended_domain_count ())
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--perf|--no-perf] [--check-widths] [-j N] [--profile] \
-     [--profile-out FILE] [--metrics-out FILE] [EXPERIMENT_ID ...]";
+    "usage: main.exe [--perf|--no-perf] [--check-widths] [--serve] [-j N] \
+     [--profile] [--profile-out FILE] [--metrics-out FILE] \
+     [EXPERIMENT_ID ...]";
   exit 2
 
 let () =
@@ -28,6 +30,7 @@ let () =
   let perf_only = ref false in
   let no_perf = ref false in
   let check_widths = ref false in
+  let serve = ref false in
   let jobs = ref default_jobs in
   (* perf's parallel section (and its minutes-long huge case) only runs
      on an explicit -j N, never from the host-core default *)
@@ -46,6 +49,9 @@ let () =
         parse rest
     | "--check-widths" :: rest ->
         check_widths := true;
+        parse rest
+    | "--serve" :: rest ->
+        serve := true;
         parse rest
     | "--profile" :: rest ->
         profile := true;
@@ -92,6 +98,13 @@ let () =
     (* the width gate is its own mode: bracket cases vs the committed
        BENCH_solver.json, nothing else *)
     let code = Perf.check_widths ppf in
+    Format.pp_print_flush ppf ();
+    exit code
+  end;
+  if !serve then begin
+    (* the prbpd load generator is also its own mode: it boots the
+       daemon in-process and patches BENCH_solver.json's serve field *)
+    let code = Exp_serve.run ppf in
     Format.pp_print_flush ppf ();
     exit code
   end;

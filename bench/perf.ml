@@ -224,7 +224,7 @@ let run_brackets ppf =
               b.B.lower.L.rule
               (Prbp.Bounds.Upper.meth_label b.B.meth)
               b.B.elapsed_s;
-            Some (Prbp.Bounds.Bracket.to_json ~family b))
+            Some (Prbp.Wire.encode_bracket (Prbp.Wire.bracket_of ~family b)))
       (bracket_cases ())
   in
   Prbp.Table.print ppf t;
@@ -365,7 +365,10 @@ let run_solver ?(jobs = 1) ppf =
   in
   let bracket_rows = run_brackets ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v7\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v8\",\n";
+  (* filled in by the [--serve] load generator (Exp_serve), which
+     patches this single line in place *)
+  Buffer.add_string buf "  \"serve\": null,\n";
   Printf.bprintf buf "  \"jobs\": %d,\n  \"host_cores\": %d,\n" jobs
     (Domain.recommended_domain_count ());
   Buffer.add_string buf "  \"cases\": [\n";

@@ -284,10 +284,10 @@ let with_obs (profile_out, metrics_out) f =
 
 let solve_cmd =
   let run family r game heuristic max_states deadline budget_words spill_words
-      jobs trace sliding recompute no_delete obs =
+      jobs trace json sliding recompute no_delete obs =
     with_obs obs @@ fun () ->
     let g = build family in
-    Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
+    if not json then Format.printf "%a, r = %d@." Prbp.Dag.pp g r;
     let rcfg =
       Prbp.Rbp.config ~one_shot:(not recompute) ~sliding ~no_delete ~r ()
     in
@@ -300,22 +300,27 @@ let solve_cmd =
         ?max_words:budget_words ?spill_words ()
     in
     let telemetry =
-      if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
-      else None
+      if trace then Some (Prbp.Wire.jsonl ~every:1000 stderr) else None
     in
+    let variants = { Prbp.Wire.sliding; recompute; no_delete } in
     let bounded = ref false in
-    let report name outcome =
+    let report name wire_game outcome =
       (match outcome with
       | Prbp.Solver.Bounded _ -> bounded := true
       | _ -> ());
-      Format.printf "%s: %a@." name Prbp.Solver.pp outcome
+      if json then
+        print_endline
+          (Prbp.Wire.encode_outcome
+             (Prbp.Wire.outcome_of ~game:wire_game ~r ~variants ~dag:g
+                outcome))
+      else Format.printf "%s: %a@." name Prbp.Solver.pp outcome
     in
     let rbp () =
       if heuristic then
         Format.printf "RBP  heuristic cost: %d@."
           (Prbp.Heuristic.rbp_cost ~r g)
       else
-        report "OPT_RBP "
+        report "OPT_RBP " Prbp.Wire.Rbp
           (Prbp.Exact_rbp.solve ~budget ?telemetry ~jobs rcfg g)
     in
     let prbp () =
@@ -323,7 +328,7 @@ let solve_cmd =
         Format.printf "PRBP heuristic cost: %d@."
           (Prbp.Heuristic.prbp_best_cost ~r g)
       else
-        report "OPT_PRBP"
+        report "OPT_PRBP" Prbp.Wire.Prbp
           (Prbp.Exact_prbp.solve ~budget ?telemetry ~jobs pcfg g)
     in
     let black () =
@@ -341,9 +346,11 @@ let solve_cmd =
         let cfg = Prbp.Multi.config ~p ~r () in
         report
           (Printf.sprintf "OPT_RBP-MC  (p = %d)" p)
+          (Prbp.Wire.Multi_rbp p)
           (Prbp.Exact_multi.rbp_solve ~budget ?telemetry ~jobs cfg g);
         report
           (Printf.sprintf "OPT_PRBP-MC (p = %d)" p)
+          (Prbp.Wire.Multi_prbp p)
           (Prbp.Exact_multi.prbp_solve ~budget ?telemetry ~jobs cfg g)
       end
     in
@@ -355,7 +362,8 @@ let solve_cmd =
         prbp ()
     | `Black -> black ()
     | `Multi p -> multi p);
-    Format.printf "trivial lower bound: %d@." (Prbp.Dag.trivial_cost g);
+    if not json then
+      Format.printf "trivial lower bound: %d@." (Prbp.Dag.trivial_cost g);
     if !bounded then exit_bounded else 0
   in
   let heuristic =
@@ -415,6 +423,15 @@ let solve_cmd =
             "Stream JSON-lines solver telemetry (start/progress/prune/stop \
              events) to stderr.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one wire-schema JSON outcome object per exact solve on \
+             stdout (and suppress the human-readable report).  Heuristic \
+             and black-pebbling runs keep their text output.")
+  in
   let sliding =
     Arg.(value & flag & info [ "sliding" ] ~doc:"Appendix B.2 sliding RBP.")
   in
@@ -435,8 +452,8 @@ let solve_cmd =
           10 instead of failing.")
     Term.(
       const run $ family_arg $ r_arg $ game_arg $ heuristic $ max_states
-      $ deadline $ budget_words $ spill_words $ jobs $ trace $ sliding
-      $ recompute $ no_delete $ obs_args)
+      $ deadline $ budget_words $ spill_words $ jobs $ trace $ json
+      $ sliding $ recompute $ no_delete $ obs_args)
 
 let strategy_cmd =
   let run family r game verbose =
@@ -640,8 +657,7 @@ let bracket_cmd =
     let g = build family in
     let budget = Prbp.Solver.Budget.v ~max_states ?max_millis:deadline () in
     let telemetry =
-      if trace then Some (Prbp.Solver.Telemetry.jsonl ~every:1000 stderr)
-      else None
+      if trace then Some (Prbp.Wire.jsonl ~every:1000 stderr) else None
     in
     (match rules with
     | None -> ()
@@ -657,12 +673,15 @@ let bracket_cmd =
     let module Bracket = Prbp.Bounds.Bracket in
     let module Segment = Prbp.Bounds.Segment in
     let not_tight = ref false in
+    let errored = ref false in
     let show name result =
       match result with
       | Ok (b : Bracket.t) ->
           if not b.Bracket.tight then not_tight := true;
           if json then
-            print_endline (Bracket.to_json ~family:(family_label family) b)
+            print_endline
+              (Prbp.Wire.encode_bracket
+                 (Prbp.Wire.bracket_of ~family:(family_label family) b))
           else begin
             Format.printf "%s: %a@." name Bracket.pp b;
             if profile then
@@ -676,7 +695,9 @@ let bracket_cmd =
               | None -> Format.printf "  profile: none@."
           end
       | Error e ->
-          not_tight := true;
+          (* operational failure, not a loose bracket: exit 1, not 10
+             (the documented exit-code contract in docs/ALGORITHMS.md) *)
+          errored := true;
           Format.eprintf "%s: %s@." name e
     in
     let rbp () =
@@ -692,9 +713,9 @@ let bracket_cmd =
         rbp ();
         prbp ()
     | `Black | `Multi _ ->
-        not_tight := true;
+        errored := true;
         Format.eprintf "bracket: only the rbp/prbp games have brackets@.");
-    if !not_tight then exit_bounded else 0
+    if !errored then 1 else if !not_tight then exit_bounded else 0
   in
   let max_states =
     Arg.(

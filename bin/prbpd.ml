@@ -1,0 +1,128 @@
+(* prbpd: the anytime pebbling daemon.  Thin cmdliner shell around
+   Prbp.Serve.Server — flags map one-to-one onto the server config;
+   SIGTERM/SIGINT set the stop flag the accept loop polls, so shutdown
+   drains in-flight solves before exiting. *)
+
+open Cmdliner
+
+let serve addr workers queue cache_capacity max_deadline max_states verbose =
+  let cfg =
+    {
+      Prbp.Serve.Server.default_config with
+      addr;
+      workers;
+      queue;
+      cache_capacity;
+      max_deadline_ms = max_deadline;
+      max_states;
+    }
+  in
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  (* a client that disconnects mid-response must not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if verbose then begin
+    (match addr with
+    | Prbp.Serve.Server.Tcp (iface, port) ->
+        Format.eprintf "prbpd: listening on %s:%d@." iface port
+    | Prbp.Serve.Server.Unix_path path ->
+        Format.eprintf "prbpd: listening on %s@." path);
+    Format.eprintf "prbpd: %d workers, queue %d, cache %d@." workers queue
+      cache_capacity
+  end;
+  Prbp.Serve.Server.run ~stop cfg;
+  if verbose then Format.eprintf "prbpd: stopped@.";
+  0
+
+let addr_arg =
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listen on TCP $(docv) (loopback).")
+  in
+  let iface =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "interface" ] ~docv:"ADDR"
+          ~doc:"Interface to bind with $(b,--port).")
+  in
+  let unix_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix-socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a unix-domain socket at $(docv) instead of TCP; \
+             takes precedence over $(b,--port).")
+  in
+  let resolve unix_path iface port =
+    match (unix_path, port) with
+    | Some path, _ -> Prbp.Serve.Server.Unix_path path
+    | None, Some p -> Prbp.Serve.Server.Tcp (iface, p)
+    | None, None ->
+        (match Prbp.Serve.Server.default_config.addr with
+        | Prbp.Serve.Server.Tcp (_, p) -> Prbp.Serve.Server.Tcp (iface, p)
+        | a -> a)
+  in
+  Term.(const resolve $ unix_path $ iface $ tcp)
+
+let workers_arg =
+  Arg.(
+    value & opt int Prbp.Serve.Server.default_config.workers
+    & info [ "j"; "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+
+let queue_arg =
+  Arg.(
+    value & opt int Prbp.Serve.Server.default_config.queue
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission-queue depth beyond the workers; past it requests are \
+           refused with 503.")
+
+let cache_arg =
+  Arg.(
+    value & opt int Prbp.Serve.Server.default_config.cache_capacity
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Certificate-cache capacity (LRU entries).")
+
+let deadline_arg =
+  Arg.(
+    value & opt int Prbp.Serve.Server.default_config.max_deadline_ms
+    & info [ "max-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Server-wide cap on a request's wall-clock budget, milliseconds; \
+           over-budget solves return certified bounded intervals.")
+
+let max_states_arg =
+  Arg.(
+    value & opt int Prbp.Serve.Server.default_config.max_states
+    & info [ "max-states" ] ~docv:"N" ~doc:"State cap per exact solve.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log startup/shutdown.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "prbpd" ~version:"%%VERSION%%"
+       ~doc:
+         "Anytime pebbling service: exact solves and certified brackets \
+          over a versioned JSON wire, with admission control and a \
+          content-addressed certificate cache."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "POST wire-schema requests to /v1/solve or /v1/bracket; GET \
+              /metrics for Prometheus text, /healthz for liveness.  \
+              Budget-truncated solves return certified [lower, upper] \
+              intervals instead of errors.";
+         ])
+    Term.(
+      const serve $ addr_arg $ workers_arg $ queue_arg $ cache_arg
+      $ deadline_arg $ max_states_arg $ verbose_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -225,40 +225,6 @@ let prbp ?budget ?telemetry ?rules ~r g =
         (Upper.prbp ~budget ~r g))
     ~profile_flavor:Segment.Dominator g
 
-let to_json ?family t =
-  let b = Buffer.create 256 in
-  Buffer.add_string b "{\"kind\": \"bracket\"";
-  (match family with
-  | Some f -> Buffer.add_string b (Printf.sprintf ", \"family\": \"%s\"" f)
-  | None -> ());
-  Buffer.add_string b
-    (Printf.sprintf
-       ", \"game\": \"%s\", \"r\": %d, \"n\": %d, \"m\": %d, \"lower\": %d, \
-        \"rule\": \"%s\", \"lower_rule\": \"%s\", \"upper\": %d, \"method\": \
-        \"%s\", \"upper_rule\": \"%s\", \"verifier\": \"%s\", \"tight\": %b, \
-        \"interval_width\": %d"
-       (Lower.game_label t.game) t.r t.n t.m t.lower.Lower.bound
-       t.lower.Lower.rule t.lower.Lower.rule t.upper
-       (Upper.meth_label t.meth)
-       (Upper.meth_label t.meth)
-       (match t.verified with `Literal -> "literal" | `Engine -> "engine")
-       t.tight t.width);
-  Buffer.add_string b ", \"rules\": [";
-  List.iteri
-    (fun i (label, bound) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b
-        (Printf.sprintf "{\"rule\": \"%s\", \"bound\": %d}" label bound))
-    t.lower.Lower.evaluated;
-  Buffer.add_string b "]";
-  (match t.profile with
-  | Some seg ->
-      Buffer.add_string b
-        (Printf.sprintf ", \"profile_classes\": %d" (Segment.n_classes seg))
-  | None -> Buffer.add_string b ", \"profile_classes\": null");
-  Buffer.add_string b (Printf.sprintf ", \"elapsed_s\": %.3f}" t.elapsed_s);
-  Buffer.contents b
-
 let pp ppf t =
   Format.fprintf ppf "%s r=%d: %d <= OPT <= %d (width %d, %s / %s%s, %.2fs)"
     (Lower.game_label t.game) t.r t.lower.Lower.bound t.upper t.width

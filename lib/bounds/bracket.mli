@@ -66,13 +66,5 @@ val prbp :
   (t, string) result
 (** Bracket [OPT_PRBP(r)]. *)
 
-val to_json : ?family:string -> t -> string
-(** One JSON object (no trailing newline): game, r, n, m, lower,
-    rule/lower_rule, upper, method/upper_rule, verifier, tightness,
-    interval_width, the per-rule attribution array [rules] (every
-    evaluated (label, bound) pair), profile class count, elapsed
-    seconds, and [family] when given — the row format of
-    [BENCH_solver.json] and [pebble_cli bracket --json]. *)
-
 val pp : Format.formatter -> t -> unit
 (** One-line human summary. *)

@@ -22,6 +22,10 @@
        orchestrator ({!Bounds.Bracket});}
     {- {!Obs} — spans, metrics and their exporters (Chrome trace,
        Prometheus text, JSON), plus the monotonic clock;}
+    {- {!Wire} — the versioned JSON wire schema every emitter and the
+       [prbpd] daemon speak;}
+    {- {!Serve} — the [prbpd] daemon: HTTP service, worker pool with
+       admission control, content-addressed certificate cache;}
     {- {!Table}, {!Experiment} — the experiment harness.}} *)
 
 module Dag = Prbp_dag.Dag
@@ -97,6 +101,29 @@ module Bounds = struct
   module Upper = Prbp_bounds.Upper
   module Bracket = Prbp_bounds.Bracket
 end
+
+(** The versioned wire schema ([{"v":1}]): JSON request / outcome /
+    bracket-certificate / telemetry records with deterministic
+    encoders and hardened decoders — the one format [pebble_cli]'s
+    [--json]/[--trace], the [prbpd] daemon and the bench load
+    generator all speak.  {!Wire.Json} is its minimal JSON substrate. *)
+module Wire = struct
+  include Prbp_wire.Wire
+  module Json = Prbp_wire.Json
+end
+
+(** The [prbpd] daemon: HTTP service over the wire schema with worker
+    domains behind admission control ({!Serve.Pool}), a
+    content-addressed LRU certificate cache ({!Serve.Cache}) keyed by
+    {!Dag.hash}, and a minimal stdlib-[Unix] HTTP/1.1 layer
+    ({!Serve.Http}). *)
+module Serve = struct
+  module Http = Prbp_serve.Http
+  module Pool = Prbp_serve.Pool
+  module Cache = Prbp_serve.Cache
+  module Server = Prbp_serve.Server
+end
+
 module Table = Prbp_harness.Table
 module Chart = Prbp_harness.Chart
 module Experiment = Prbp_harness.Experiment

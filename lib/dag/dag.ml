@@ -262,6 +262,133 @@ let induced g keep =
   in
   (make ?names ~n:n' !es, old_of_new)
 
+(* ------------------------------------------------------------------ *)
+(* Canonical order and content hash.
+
+   Weisfeiler–Leman color refinement with individualize-and-refine:
+   node colors start uniform and are repeatedly replaced by the dense
+   rank of (old color, sorted predecessor colors, sorted successor
+   colors) until the partition stops splitting.  Signatures depend only
+   on the isomorphism class, so the refined ranks are invariant under
+   relabeling.  When the stable partition is not discrete (the DAG has
+   nontrivial candidate automorphisms), one node of the first ambiguous
+   class is individualized and refinement recurses, keeping the
+   lexicographically smallest resulting encoding — the classic
+   canonical-labeling search.  The branch budget [canon_fuel] bounds
+   that search: highly symmetric DAGs (e.g. matmul cubes) fall back to
+   breaking the remaining ties by node id, which is still deterministic
+   and byte-stable, just no longer invariant under relabeling.  *)
+
+let canon_fuel = 64
+
+(* One refinement round: permutation-invariant dense re-ranking. *)
+let refine g rank =
+  let n = g.n in
+  let sig_of v =
+    let ps =
+      List.sort compare (fold_pred (fun u acc -> rank.(u) :: acc) g v [])
+    in
+    let ss =
+      List.sort compare (fold_succ (fun u acc -> rank.(u) :: acc) g v [])
+    in
+    (rank.(v), ps, ss)
+  in
+  let sigs = Array.init n sig_of in
+  let sorted = Array.copy sigs in
+  Array.sort compare sorted;
+  let tbl = Hashtbl.create (2 * n) in
+  let c = ref (-1) in
+  Array.iter
+    (fun s ->
+      if not (Hashtbl.mem tbl s) then begin
+        incr c;
+        Hashtbl.add tbl s !c
+      end)
+    sorted;
+  (Array.map (fun s -> Hashtbl.find tbl s) sigs, !c + 1)
+
+let rec refine_fixpoint g rank classes =
+  let rank', classes' = refine g rank in
+  if classes' = classes then (rank', classes')
+  else refine_fixpoint g rank' classes'
+
+(* Compact byte encoding of the graph under the node order [id_of]:
+   node count then the sorted relabeled edge list.  This is what both
+   the hash and the lexicographic branch comparison consume. *)
+let encode_under g id_of =
+  let m = n_edges g in
+  let es = Array.make m (0, 0) in
+  iter_edges (fun e u v -> es.(e) <- (id_of.(u), id_of.(v))) g;
+  Array.sort compare es;
+  let b = Buffer.create (16 + (m * 8)) in
+  Buffer.add_string b (string_of_int g.n);
+  Array.iter
+    (fun (u, v) ->
+      Buffer.add_char b ';';
+      Buffer.add_string b (string_of_int u);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    es;
+  Buffer.contents b
+
+(* Ties left by an exhausted search break by node id: stable sort of
+   nodes under (rank, id) yields the final ids. *)
+let ids_by_rank_tiebreak g rank =
+  let order = Array.init g.n (fun v -> (rank.(v), v)) in
+  Array.sort compare order;
+  let id_of = Array.make g.n 0 in
+  Array.iteri (fun i (_, v) -> id_of.(v) <- i) order;
+  id_of
+
+(* Smallest ambiguous color class, by color value; [None] if the
+   partition is discrete. *)
+let first_ambiguous rank classes =
+  let count = Array.make classes 0 in
+  Array.iter (fun r -> count.(r) <- count.(r) + 1) rank;
+  let rec go c = if c >= classes then None else if count.(c) > 1 then Some c else go (c + 1) in
+  go 0
+
+let rec canon_search g rank classes fuel =
+  let rank, classes = refine_fixpoint g rank classes in
+  match first_ambiguous rank classes with
+  | None ->
+      (* discrete: rank is the canonical id assignment *)
+      (encode_under g rank, rank)
+  | Some target ->
+      let members = ref [] in
+      for v = g.n - 1 downto 0 do
+        if rank.(v) = target then members := v :: !members
+      done;
+      let best = ref None in
+      List.iter
+        (fun v ->
+          if !fuel > 0 then begin
+            decr fuel;
+            (* [-1] is the same fresh color whichever member we pick,
+               so the branches stay comparable across relabelings *)
+            let rank' = Array.copy rank in
+            rank'.(v) <- -1;
+            let enc = canon_search g rank' classes fuel in
+            match !best with
+            | Some (e, _) when compare e (fst enc) <= 0 -> ()
+            | _ -> best := Some enc
+          end)
+        !members;
+      (match !best with
+      | Some enc -> enc
+      | None ->
+          (* out of fuel before exploring any branch *)
+          let id_of = ids_by_rank_tiebreak g rank in
+          (encode_under g id_of, id_of))
+
+let canonical_parts g =
+  if g.n = 0 then ("0", [||])
+  else canon_search g (Array.make g.n 0) 1 (ref canon_fuel)
+
+let canonical_order g = snd (canonical_parts g)
+
+let hash g = Digest.to_hex (Digest.string (fst (canonical_parts g)))
+
 let pp ppf g =
   Format.fprintf ppf "dag(n=%d, m=%d, sources=%d, sinks=%d, Δin=%d, Δout=%d)"
     (n_nodes g) (n_edges g) (n_sources g) (n_sinks g) (max_in_degree g)

@@ -130,6 +130,28 @@ val induced : t -> Bitset.t -> t * node array
     with nodes renumbered compactly; the returned array maps new node
     ids back to the original ones. *)
 
+(** {1 Canonical form} *)
+
+val canonical_order : t -> int array
+(** A canonical relabeling of the nodes: [canonical_order g] is a
+    permutation [id_of] with [id_of.(v)] the canonical id of node [v].
+    Computed by Weisfeiler–Leman color refinement with an
+    individualize-and-refine search for the lexicographically smallest
+    labeling, so it depends only on the structure of the graph — two
+    isomorphic relabelings of the same DAG get the same canonical form
+    — except on highly symmetric DAGs, where a bounded search budget
+    makes the remaining ties break by node id (still deterministic and
+    byte-stable across runs, merely labeling-sensitive).  Names and the
+    family tag never participate. *)
+
+val hash : t -> string
+(** Content hash of the canonical form (node count + canonically
+    relabeled sorted edge list), as a 32-character hex digest.  Equal
+    for isomorphic relabelings of the same structure (up to the
+    {!canonical_order} search budget), different with overwhelming
+    probability otherwise; byte-stable across runs and processes.  The
+    key of the [prbpd] certificate cache. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary: node/edge counts and degree bounds. *)
 

@@ -11,6 +11,21 @@ let to_string g =
     g;
   Buffer.contents buf
 
+(* Canonical rendering: same line format, nodes renumbered by
+   [Dag.canonical_order], edges sorted, names and family dropped
+   (structure only — the form two isomorphic relabelings share). *)
+let canonical g =
+  let id_of = Dag.canonical_order g in
+  let es = ref [] in
+  Dag.iter_edges (fun _ u v -> es := (id_of.(u), id_of.(v)) :: !es) g;
+  let es = List.sort compare !es in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Dag.n_nodes g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "edge %d %d\n" u v))
+    es;
+  Buffer.contents buf
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i

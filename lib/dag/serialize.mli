@@ -19,6 +19,15 @@
 
 val to_string : Dag.t -> string
 
+val canonical : Dag.t -> string
+(** The canonical rendering of the graph's {e structure}: nodes
+    renumbered by {!Dag.canonical_order}, [edge] lines sorted, no
+    [name] lines (names and the family tag are presentation, not
+    structure).  Two isomorphic relabelings of the same DAG render
+    identically (up to the canonicalization search budget, see
+    {!Dag.canonical_order}); [of_string] parses it back into a DAG
+    with the canonical numbering.  [Dag.hash] digests this form. *)
+
 val of_string : string -> (Dag.t, string) result
 (** Parse; errors carry the offending line number. *)
 

@@ -1,0 +1,92 @@
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable busy : int;
+  mutable failed : int;
+  mutable workers : unit Domain.t array;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* stopping: drain done *)
+  else begin
+    let job = Queue.pop t.jobs in
+    t.busy <- t.busy + 1;
+    Mutex.unlock t.mutex;
+    (try job ()
+     with _ ->
+       Mutex.lock t.mutex;
+       t.failed <- t.failed + 1;
+       Mutex.unlock t.mutex);
+    Mutex.lock t.mutex;
+    t.busy <- t.busy - 1;
+    Mutex.unlock t.mutex;
+    worker_loop t
+  end
+
+let create ~workers ~queue =
+  if workers < 1 then invalid_arg "Pool.create: workers >= 1";
+  if queue < 0 then invalid_arg "Pool.create: queue >= 0";
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      capacity = queue;
+      stopping = false;
+      busy = 0;
+      failed = 0;
+      workers = [||];
+    }
+  in
+  t.workers <-
+    Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  let admitted =
+    (* "full" = the waiting line is at capacity once every idle worker
+       is accounted for; at capacity 0 a job is only admitted when an
+       idle worker can take it straight away *)
+    (not t.stopping)
+    && Queue.length t.jobs < t.capacity + Array.length t.workers - t.busy
+  in
+  if admitted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  admitted
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+let busy t =
+  Mutex.lock t.mutex;
+  let n = t.busy in
+  Mutex.unlock t.mutex;
+  n
+
+let failed t =
+  Mutex.lock t.mutex;
+  let n = t.failed in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_stopping = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  if not was_stopping then Array.iter Domain.join t.workers

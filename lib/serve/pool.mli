@@ -1,0 +1,35 @@
+(** A fixed pool of worker {!Domain}s behind a bounded job queue — the
+    admission-control core of the [prbpd] daemon.
+
+    Jobs are thunks; {!submit} either enqueues one (a worker will run
+    it) or refuses {e immediately} because the queue is at capacity.
+    The refusal is what the daemon turns into an HTTP 503: overload is
+    reported to the client in constant time instead of being absorbed
+    into unbounded memory or latency.
+
+    Workers never die with the job: a raising job is caught and
+    counted, and the worker moves on. *)
+
+type t
+
+val create : workers:int -> queue:int -> t
+(** [workers] ≥ 1 domains; [queue] ≥ 0 jobs may wait beyond the ones
+    being run ([queue = 0] means a job is admitted only when handed
+    straight to an idle worker). *)
+
+val submit : t -> (unit -> unit) -> bool
+(** [false]: the queue is full (or the pool is shutting down) and the
+    job was NOT admitted.  Never blocks. *)
+
+val queued : t -> int
+(** Jobs admitted but not yet picked up by a worker. *)
+
+val busy : t -> int
+(** Workers currently running a job. *)
+
+val failed : t -> int
+(** Jobs that raised (caught; the worker survived). *)
+
+val shutdown : t -> unit
+(** Stop admitting, run every already-admitted job, join the workers.
+    Idempotent. *)

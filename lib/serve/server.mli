@@ -1,0 +1,64 @@
+(** [prbpd]: the anytime pebbling service.
+
+    One process serves exact solves and certified brackets over a
+    versioned JSON wire ({!Prbp_wire.Wire}), with three load-bearing
+    properties:
+
+    - {e Admission control.}  Requests run on a fixed {!Pool} of
+      worker domains behind a bounded queue; past capacity the accept
+      loop answers [503] immediately, without reading the request —
+      overload degrades into fast refusals, not latency.
+    - {e Anytime by construction.}  A request's budget (and the
+      server-wide deadline cap) maps onto
+      {!Prbp_solver.Solver.Budget}, so an over-budget solve returns a
+      certified [Bounded] interval over the wire instead of timing
+      out.
+    - {e Content-addressed certificate cache.}  Results are cached in
+      {e canonical label space} under
+      [(Dag.hash, game, r, variants, budget-class)] — isomorphic
+      relabelings of a DAG share entries — and every cached
+      certificate is translated back to the request's labels and
+      {b re-verified} through the literal game checkers before being
+      served; an entry that fails re-verification is dropped and the
+      request re-solved.  Proven-optimal solves and tight brackets are
+      cached budget-independently (a certificate of OPT is valid under
+      any budget); truncated results are keyed by budget class.  The
+      [x-prbpd-cache: hit|miss] response header reports what happened
+      (the body stays byte-identical either way).
+
+    Routes: [POST /v1/solve], [POST /v1/bracket] (request body:
+    {!Prbp_wire.Wire.request}; responses: wire outcome / bracket
+    objects, or [{"v":1,"error":…}]), [GET /metrics] (Prometheus
+    text), [GET /healthz].  A request with [stream:true] receives a
+    chunked response of telemetry JSON-lines followed by the result
+    line.  Metrics: [prbpd_requests_total], [prbpd_cache_hits_total],
+    [prbpd_cache_misses_total] and the [prbpd_request_seconds]
+    histogram, exported alongside every other registered
+    {!Prbp_obs.Metrics} instrument. *)
+
+type addr =
+  | Tcp of string * int  (** interface, port *)
+  | Unix_path of string  (** unix-domain socket path *)
+
+type config = {
+  addr : addr;
+  workers : int;  (** solver domains (≥ 1) *)
+  queue : int;  (** admission queue depth beyond the workers (≥ 0) *)
+  cache_capacity : int;  (** LRU entries (≥ 1) *)
+  max_deadline_ms : int;
+      (** server-wide cap on a request's wall-clock budget; requests
+          asking for more (or nothing) get this *)
+  max_states : int;  (** state cap per solve *)
+  max_body : int;  (** request body cap, bytes *)
+}
+
+val default_config : config
+(** Loopback TCP on port 8367, [workers = 2], [queue = 16],
+    [cache_capacity = 256], [max_deadline_ms = 30_000],
+    [max_states = 5_000_000], [max_body = 64 MiB]. *)
+
+val run : ?stop:bool Atomic.t -> config -> unit
+(** Bind, serve, block.  Returns once [stop] is set (polled at 4 Hz
+    between accepts) and in-flight requests have drained; the listen
+    socket (and a unix-domain socket file) is cleaned up.  Enables
+    {!Prbp_obs.Metrics} recording for the process. *)

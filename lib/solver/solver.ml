@@ -111,42 +111,6 @@ module Telemetry = struct
     if every < 1 then invalid_arg "Solver.Telemetry.make: every >= 1";
     { every; emit }
 
-  let progress_fields b (p : progress) =
-    Printf.bprintf b
-      "\"expansions\":%d,\"explored\":%d,\"pruned\":%d,\"frontier\":%d,\
-       \"depth\":%d,\"table_load\":%.3f,\"elapsed_s\":%.6f"
-      p.expansions p.explored p.pruned p.frontier p.depth p.table_load
-      p.elapsed_s
-
-  let to_json ev =
-    let b = Buffer.create 128 in
-    (match ev with
-    | Start { width; max_states } ->
-        Printf.bprintf b "{\"ev\":\"start\",\"width\":%d,\"max_states\":%d}"
-          width max_states
-    | Progress p ->
-        Buffer.add_string b "{\"ev\":\"progress\",";
-        progress_fields b p;
-        Buffer.add_char b '}'
-    | Prune { pruned } ->
-        Printf.bprintf b "{\"ev\":\"prune\",\"pruned\":%d}" pruned
-    | Stop { outcome; progress } ->
-        (* NOT [%S]: OCaml string-literal escaping emits [\ddd] decimal
-           escapes for bytes >= 0x80, which no JSON parser accepts *)
-        Printf.bprintf b "{\"ev\":\"stop\",\"outcome\":%s,"
-          (Prbp_obs.Json.string outcome);
-        progress_fields b progress;
-        Buffer.add_char b '}');
-    Buffer.contents b
-
-  let jsonl ?every oc =
-    make ?every (fun ev ->
-        output_string oc (to_json ev);
-        output_char oc '\n';
-        (* stop events close a solve; make sure they reach the reader
-           even when the process is about to exit non-zero *)
-        match ev with Stop _ -> flush oc | _ -> ())
-
   type summary = {
     mutable events : int;
     mutable progress_events : int;

@@ -14,8 +14,9 @@
     The {!Telemetry} sink makes long searches observable: progress
     callbacks every K expansions with explored/pruned counts, frontier
     size, settled depth, state-table load and elapsed wall time, plus
-    start/stop/prune events and a ready-made JSON-lines emitter for
-    harnesses ([pebble_cli --trace]).  The default (no sink) keeps the
+    start/stop/prune events; the JSON-lines form harnesses consume
+    ([pebble_cli --trace]) lives in the wire schema ([Prbp_wire.Wire]).
+    The default (no sink) keeps the
     hot loop allocation-free — governance costs one integer compare
     per expansion. *)
 
@@ -143,13 +144,9 @@ module Telemetry : sig
   (** 65536 expansions. *)
 
   val make : ?every:int -> (event -> unit) -> sink
-
-  val to_json : event -> string
-  (** One JSON object, no trailing newline. *)
-
-  val jsonl : ?every:int -> out_channel -> sink
-  (** JSON-lines emitter: one [to_json] line per event ([Stop] events
-      flush the channel). *)
+  (** Events serialize through the versioned wire schema —
+      [Prbp_wire.Wire.encode_event] / [Prbp_wire.Wire.jsonl] — which
+      lives above this library in the dependency order. *)
 
   (** Mutable aggregate over the events of one or more solves, for
       harnesses that report telemetry without storing it. *)

@@ -1,0 +1,772 @@
+module Dag = Prbp_dag.Dag
+module Move = Prbp_pebble.Move
+module Solver = Prbp_solver.Solver
+module Bracket = Prbp_bounds.Bracket
+module Lower = Prbp_bounds.Lower
+module Upper = Prbp_bounds.Upper
+module Segment = Prbp_bounds.Segment
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Decoder plumbing.  Decoders thread a [(_, string) result] monad so
+   every failure carries the field that caused it. *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_ what conv name j =
+  let* v = field name j in
+  match conv v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "field %S: expected %s" name what)
+
+let int_field = as_ "an integer" Json.to_int
+
+let float_field = as_ "a number" Json.to_float
+
+let bool_field = as_ "a boolean" Json.to_bool
+
+let str_field = as_ "a string" Json.to_str
+
+let list_field = as_ "an array" Json.to_list
+
+let flag name j =
+  (* absent boolean flags read as false, so clients can omit them *)
+  match Json.member name j with
+  | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %S: expected a boolean" name))
+  | None -> Ok false
+
+let opt_conv what conv name j =
+  match Json.member name j with
+  | Some Json.Null | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S: expected %s" name what))
+
+let opt_int = opt_conv "an integer" Json.to_int
+
+let opt_str = opt_conv "a string" Json.to_str
+
+let check_version j =
+  let* v = int_field "v" j in
+  if v = version then Ok ()
+  else Error (Printf.sprintf "unsupported wire version %d (want %d)" v version)
+
+let parse s =
+  match Json.of_string s with
+  | Ok j -> Ok j
+  | Error e -> Error ("invalid JSON: " ^ e)
+
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_m f xs in
+      Ok (y :: ys)
+
+(* ------------------------------------------------------------------ *)
+(* Vocabulary *)
+
+type game = Rbp | Prbp | Black | Multi_rbp of int | Multi_prbp of int
+
+let game_label = function
+  | Rbp -> "rbp"
+  | Prbp -> "prbp"
+  | Black -> "black"
+  | Multi_rbp p -> Printf.sprintf "multi-rbp:%d" p
+  | Multi_prbp p -> Printf.sprintf "multi-prbp:%d" p
+
+let game_of_label s =
+  let multi prefix mk =
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some p when p >= 1 -> Some (Ok (mk p))
+      | _ -> Some (Error (Printf.sprintf "bad processor count in %S" s))
+    else None
+  in
+  match s with
+  | "rbp" -> Ok Rbp
+  | "prbp" -> Ok Prbp
+  | "black" -> Ok Black
+  | _ -> (
+      match multi "multi-rbp:" (fun p -> Multi_rbp p) with
+      | Some r -> r
+      | None -> (
+          match multi "multi-prbp:" (fun p -> Multi_prbp p) with
+          | Some r -> r
+          | None -> Error (Printf.sprintf "unknown game %S" s)))
+
+let game_field j =
+  let* s = str_field "game" j in
+  game_of_label s
+
+type variants = { sliding : bool; recompute : bool; no_delete : bool }
+
+let no_variants = { sliding = false; recompute = false; no_delete = false }
+
+let variants_json v =
+  Json.Obj
+    [
+      ("sliding", Json.Bool v.sliding);
+      ("recompute", Json.Bool v.recompute);
+      ("no_delete", Json.Bool v.no_delete);
+    ]
+
+let variants_field j =
+  match Json.member "variants" j with
+  | Some Json.Null | None -> Ok no_variants
+  | Some vj ->
+      let* sliding = flag "sliding" vj in
+      let* recompute = flag "recompute" vj in
+      let* no_delete = flag "no_delete" vj in
+      Ok { sliding; recompute; no_delete }
+
+type budget = {
+  max_states : int option;
+  max_millis : int option;
+  max_words : int option;
+}
+
+let no_budget = { max_states = None; max_millis = None; max_words = None }
+
+let budget_json b =
+  Json.Obj
+    (List.filter_map
+       (fun (k, v) -> Option.map (fun i -> (k, Json.Int i)) v)
+       [
+         ("max_states", b.max_states);
+         ("max_millis", b.max_millis);
+         ("max_words", b.max_words);
+       ])
+
+let budget_field j =
+  match Json.member "budget" j with
+  | Some Json.Null | None -> Ok no_budget
+  | Some bj ->
+      let* max_states = opt_int "max_states" bj in
+      let* max_millis = opt_int "max_millis" bj in
+      let* max_words = opt_int "max_words" bj in
+      Ok { max_states; max_millis; max_words }
+
+let budget_class b =
+  (* power-of-two bucket per cap: v and v' share a bucket iff the
+     smallest power of two >= max(v,1) coincides *)
+  let bucket tag = function
+    | None -> tag ^ "_"
+    | Some v ->
+        let bits = ref 0 and x = ref 1 in
+        while !x < v do
+          incr bits;
+          x := !x * 2
+        done;
+        Printf.sprintf "%s%d" tag !bits
+  in
+  String.concat ":"
+    [
+      bucket "s" b.max_states; bucket "m" b.max_millis; bucket "w" b.max_words;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* DAG payload *)
+
+let default_name i = "v" ^ string_of_int i
+
+let dag_json g =
+  let n = Dag.n_nodes g in
+  let edges =
+    List.map (fun (u, v) -> Json.List [ Json.Int u; Json.Int v ]) (Dag.edges g)
+  in
+  let base = [ ("nodes", Json.Int n); ("edges", Json.List edges) ] in
+  let named =
+    (* Dag only exposes resolved names; serialize them iff any differ
+       from the positional default *)
+    let custom = ref false in
+    for i = 0 to n - 1 do
+      if Dag.name g i <> default_name i then custom := true
+    done;
+    if !custom then
+      base
+      @ [
+          ( "names",
+            Json.List (List.init n (fun i -> Json.String (Dag.name g i))) );
+        ]
+    else base
+  in
+  match Dag.family g with
+  | Some f -> Json.Obj (named @ [ ("family", Json.String f) ])
+  | None -> Json.Obj named
+
+let dag_of_json j =
+  let* n = int_field "nodes" j in
+  if n < 0 then Error "field \"nodes\": negative"
+  else
+    let* edges_j = list_field "edges" j in
+    let* edges =
+      map_m
+        (fun e ->
+          match e with
+          | Json.List [ u; v ] -> (
+              match (Json.to_int u, Json.to_int v) with
+              | Some u, Some v -> Ok (u, v)
+              | _ -> Error "field \"edges\": endpoints must be integers")
+          | _ -> Error "field \"edges\": expected [u,v] pairs")
+        edges_j
+    in
+    let* names =
+      match Json.member "names" j with
+      | Some Json.Null | None -> Ok None
+      | Some (Json.List l) when List.length l = n ->
+          let* names =
+            map_m
+              (fun s ->
+                match Json.to_str s with
+                | Some s -> Ok s
+                | None -> Error "field \"names\": expected strings")
+              l
+          in
+          Ok (Some (Array.of_list names))
+      | Some _ -> Error "field \"names\": expected an array of length nodes"
+    in
+    let* family = opt_str "family" j in
+    match Dag.make ?names ?family ~n edges with
+    | g -> Ok g
+    | exception Invalid_argument e -> Error ("invalid DAG: " ^ e)
+    | exception Dag.Cycle _ -> Error "invalid DAG: contains a cycle"
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type kind = Solve | Bracket
+
+let kind_label = function Solve -> "solve" | Bracket -> "bracket"
+
+let kind_of_label = function
+  | "solve" -> Ok Solve
+  | "bracket" -> Ok Bracket
+  | s -> Error (Printf.sprintf "unknown request kind %S" s)
+
+type request = {
+  v : int;
+  kind : kind;
+  game : game;
+  r : int;
+  variants : variants;
+  budget : budget;
+  want_strategy : bool;
+  stream : bool;
+  rules : string list option;
+  dag : Dag.t;
+}
+
+let request ?(variants = no_variants) ?(budget = no_budget)
+    ?(want_strategy = false) ?(stream = false) ?rules ~kind ~game ~r dag =
+  { v = version; kind; game; r; variants; budget; want_strategy; stream;
+    rules; dag }
+
+let encode_request rq =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("v", Json.Int rq.v);
+          ("kind", Json.String (kind_label rq.kind));
+          ("game", Json.String (game_label rq.game));
+          ("r", Json.Int rq.r);
+          ("variants", variants_json rq.variants);
+          ("budget", budget_json rq.budget);
+          ("want_strategy", Json.Bool rq.want_strategy);
+          ("stream", Json.Bool rq.stream);
+        ]
+       @ (match rq.rules with
+         | None -> []
+         | Some rs ->
+             [ ("rules", Json.List (List.map (fun r -> Json.String r) rs)) ])
+       @ [ ("dag", dag_json rq.dag) ]))
+
+let decode_request s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* kind =
+    let* k = str_field "kind" j in
+    kind_of_label k
+  in
+  let* game = game_field j in
+  let* r = int_field "r" j in
+  if r < 0 then Error "field \"r\": negative"
+  else
+    let* variants = variants_field j in
+    let* budget = budget_field j in
+    let* want_strategy = flag "want_strategy" j in
+    let* stream = flag "stream" j in
+    let* rules =
+      match Json.member "rules" j with
+      | Some Json.Null | None -> Ok None
+      | Some (Json.List l) ->
+          let* rs =
+            map_m
+              (fun s ->
+                match Json.to_str s with
+                | Some s -> Ok s
+                | None -> Error "field \"rules\": expected strings")
+              l
+          in
+          Ok (Some rs)
+      | Some _ -> Error "field \"rules\": expected an array"
+    in
+    let* dag_j = field "dag" j in
+    let* dag = dag_of_json dag_j in
+    Ok { v = version; kind; game; r; variants; budget; want_strategy; stream;
+         rules; dag }
+
+(* ------------------------------------------------------------------ *)
+(* Strategies *)
+
+type strategy =
+  | Rbp_strategy of Move.R.t list
+  | Prbp_strategy of Move.P.t list
+
+let op op fields = Json.Obj (("op", Json.String op) :: fields)
+
+let v_field v = [ ("v", Json.Int v) ]
+
+let uv_fields u v = [ ("u", Json.Int u); ("v", Json.Int v) ]
+
+let rbp_move_json : Move.R.t -> Json.t = function
+  | Load v -> op "load" (v_field v)
+  | Save v -> op "save" (v_field v)
+  | Compute v -> op "compute" (v_field v)
+  | Delete v -> op "delete" (v_field v)
+  | Slide (u, v) -> op "slide" (uv_fields u v)
+
+let prbp_move_json : Move.P.t -> Json.t = function
+  | Load v -> op "load" (v_field v)
+  | Save v -> op "save" (v_field v)
+  | Compute (u, v) -> op "compute" (uv_fields u v)
+  | Delete v -> op "delete" (v_field v)
+  | Clear v -> op "clear" (v_field v)
+
+let rbp_move_of_json j =
+  let* o = str_field "op" j in
+  match o with
+  | "load" ->
+      let* v = int_field "v" j in
+      Ok (Move.R.Load v)
+  | "save" ->
+      let* v = int_field "v" j in
+      Ok (Move.R.Save v)
+  | "compute" ->
+      let* v = int_field "v" j in
+      Ok (Move.R.Compute v)
+  | "delete" ->
+      let* v = int_field "v" j in
+      Ok (Move.R.Delete v)
+  | "slide" ->
+      let* u = int_field "u" j in
+      let* v = int_field "v" j in
+      Ok (Move.R.Slide (u, v))
+  | o -> Error (Printf.sprintf "unknown rbp move op %S" o)
+
+let prbp_move_of_json j =
+  let* o = str_field "op" j in
+  match o with
+  | "load" ->
+      let* v = int_field "v" j in
+      Ok (Move.P.Load v)
+  | "save" ->
+      let* v = int_field "v" j in
+      Ok (Move.P.Save v)
+  | "compute" ->
+      let* u = int_field "u" j in
+      let* v = int_field "v" j in
+      Ok (Move.P.Compute (u, v))
+  | "delete" ->
+      let* v = int_field "v" j in
+      Ok (Move.P.Delete v)
+  | "clear" ->
+      let* v = int_field "v" j in
+      Ok (Move.P.Clear v)
+  | o -> Error (Printf.sprintf "unknown prbp move op %S" o)
+
+let strategy_json = function
+  | Rbp_strategy ms ->
+      Json.Obj
+        [
+          ("game", Json.String "rbp");
+          ("moves", Json.List (List.map rbp_move_json ms));
+        ]
+  | Prbp_strategy ms ->
+      Json.Obj
+        [
+          ("game", Json.String "prbp");
+          ("moves", Json.List (List.map prbp_move_json ms));
+        ]
+
+let strategy_of_json j =
+  let* g = str_field "game" j in
+  let* ms = list_field "moves" j in
+  match g with
+  | "rbp" ->
+      let* moves = map_m rbp_move_of_json ms in
+      Ok (Rbp_strategy moves)
+  | "prbp" ->
+      let* moves = map_m prbp_move_of_json ms in
+      Ok (Prbp_strategy moves)
+  | g -> Error (Printf.sprintf "unknown strategy game %S" g)
+
+let opt_strategy_field j =
+  match Json.member "strategy" j with
+  | Some Json.Null | None -> Ok None
+  | Some sj ->
+      let* s = strategy_of_json sj in
+      Ok (Some s)
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes *)
+
+let stats_json (s : Solver.stats) =
+  Json.Obj
+    [
+      ("explored", Json.Int s.explored);
+      ("pruned", Json.Int s.pruned);
+      ("expansions", Json.Int s.expansions);
+      ("frontier", Json.Int s.frontier);
+      ("elapsed_s", Json.Float s.elapsed_s);
+      ("mem_words", Json.Int s.mem_words);
+      ("prune_disabled", Json.Bool s.prune_disabled);
+      ("spilled", Json.Int s.spilled);
+    ]
+
+let stats_of_json j : (Solver.stats, string) result =
+  let* explored = int_field "explored" j in
+  let* pruned = int_field "pruned" j in
+  let* expansions = int_field "expansions" j in
+  let* frontier = int_field "frontier" j in
+  let* elapsed_s = float_field "elapsed_s" j in
+  let* mem_words = int_field "mem_words" j in
+  let* prune_disabled = bool_field "prune_disabled" j in
+  let* spilled = int_field "spilled" j in
+  Ok
+    {
+      Solver.explored;
+      pruned;
+      expansions;
+      frontier;
+      elapsed_s;
+      mem_words;
+      prune_disabled;
+      spilled;
+    }
+
+type outcome = {
+  v : int;
+  game : game;
+  r : int;
+  variants : variants;
+  dag_hash : string;
+  n : int;
+  m : int;
+  status : [ `Optimal | `Bounded | `Unsolvable ];
+  lower : int;
+  upper : int option;
+  stopped : string option;
+  strategy : strategy option;
+  stats : Solver.stats;
+}
+
+let status_label = function
+  | `Optimal -> "optimal"
+  | `Bounded -> "bounded"
+  | `Unsolvable -> "unsolvable"
+
+let status_of_label = function
+  | "optimal" -> Ok `Optimal
+  | "bounded" -> Ok `Bounded
+  | "unsolvable" -> Ok `Unsolvable
+  | s -> Error (Printf.sprintf "unknown status %S" s)
+
+let outcome_of ~game ~r ?(variants = no_variants) ?strategy ~dag
+    (oc : _ Solver.outcome) =
+  let dag_hash = Dag.hash dag in
+  let n = Dag.n_nodes dag and m = Dag.n_edges dag in
+  let base status lower upper stopped stats =
+    { v = version; game; r; variants; dag_hash; n; m; status; lower; upper;
+      stopped; strategy; stats }
+  in
+  match oc with
+  | Solver.Optimal { cost; stats; _ } ->
+      base `Optimal cost (Some cost) None stats
+  | Solver.Bounded { lower; upper; stats; stopped; _ } ->
+      base `Bounded lower upper (Some (Solver.reason_label stopped)) stats
+  | Solver.Unsolvable stats -> base `Unsolvable 0 None None stats
+
+let encode_outcome (o : outcome) =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("v", Json.Int o.v);
+          ("game", Json.String (game_label o.game));
+          ("r", Json.Int o.r);
+          ("variants", variants_json o.variants);
+          ("dag_hash", Json.String o.dag_hash);
+          ("n", Json.Int o.n);
+          ("m", Json.Int o.m);
+          ("status", Json.String (status_label o.status));
+          ("lower", Json.Int o.lower);
+        ]
+       @ (match o.upper with Some u -> [ ("upper", Json.Int u) ] | None -> [])
+       @ (match o.stopped with
+         | Some s -> [ ("stopped", Json.String s) ]
+         | None -> [])
+       @ (match o.strategy with
+         | Some s -> [ ("strategy", strategy_json s) ]
+         | None -> [])
+       @ [ ("stats", stats_json o.stats) ]))
+
+let decode_outcome s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* game = game_field j in
+  let* r = int_field "r" j in
+  let* variants = variants_field j in
+  let* dag_hash = str_field "dag_hash" j in
+  let* n = int_field "n" j in
+  let* m = int_field "m" j in
+  let* status =
+    let* s = str_field "status" j in
+    status_of_label s
+  in
+  let* lower = int_field "lower" j in
+  let* upper = opt_int "upper" j in
+  let* stopped = opt_str "stopped" j in
+  let* strategy = opt_strategy_field j in
+  let* stats_j = field "stats" j in
+  let* stats = stats_of_json stats_j in
+  Ok { v = version; game; r; variants; dag_hash; n; m; status; lower; upper;
+       stopped; strategy; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Bracket certificates *)
+
+type bracket = {
+  v : int;
+  family : string option;
+  game : game;
+  r : int;
+  n : int;
+  m : int;
+  lower : int;
+  lower_rule : string;
+  upper : int;
+  upper_rule : string;
+  verifier : string;
+  tight : bool;
+  width : int;
+  rules : (string * int) list;
+  profile_classes : int option;
+  strategy : strategy option;
+  elapsed_s : float;
+}
+
+let bracket_of ?family ?(with_moves = false) (b : Bracket.t) =
+  {
+    v = version;
+    family;
+    game = (match b.game with Lower.Rbp -> Rbp | Lower.Prbp -> Prbp);
+    r = b.r;
+    n = b.n;
+    m = b.m;
+    lower = b.lower.Lower.bound;
+    lower_rule = b.lower.Lower.rule;
+    upper = b.upper;
+    upper_rule = Upper.meth_label b.meth;
+    verifier = (match b.verified with `Literal -> "literal" | `Engine -> "engine");
+    tight = b.tight;
+    width = b.width;
+    rules = b.lower.Lower.evaluated;
+    profile_classes = Option.map Segment.n_classes b.profile;
+    strategy =
+      (if with_moves then
+         Some
+           (match b.moves with
+           | Bracket.Rbp_moves ms -> Rbp_strategy ms
+           | Bracket.Prbp_moves ms -> Prbp_strategy ms)
+       else None);
+    elapsed_s = b.elapsed_s;
+  }
+
+let encode_bracket (b : bracket) =
+  (* [rule]/[lower_rule] and [method]/[upper_rule] are intentionally
+     duplicated pairs: the historical row format of BENCH_solver.json
+     carried both spellings and downstream greps key off either *)
+  Json.to_string
+    (Json.Obj
+       ([ ("v", Json.Int b.v); ("kind", Json.String "bracket") ]
+       @ (match b.family with
+         | Some f -> [ ("family", Json.String f) ]
+         | None -> [])
+       @ [
+           ("game", Json.String (game_label b.game));
+           ("r", Json.Int b.r);
+           ("n", Json.Int b.n);
+           ("m", Json.Int b.m);
+           ("lower", Json.Int b.lower);
+           ("rule", Json.String b.lower_rule);
+           ("lower_rule", Json.String b.lower_rule);
+           ("upper", Json.Int b.upper);
+           ("method", Json.String b.upper_rule);
+           ("upper_rule", Json.String b.upper_rule);
+           ("verifier", Json.String b.verifier);
+           ("tight", Json.Bool b.tight);
+           ("interval_width", Json.Int b.width);
+           ( "rules",
+             Json.List
+               (List.map
+                  (fun (rule, bound) ->
+                    Json.Obj
+                      [
+                        ("rule", Json.String rule); ("bound", Json.Int bound);
+                      ])
+                  b.rules) );
+           ( "profile_classes",
+             match b.profile_classes with
+             | Some c -> Json.Int c
+             | None -> Json.Null );
+         ]
+       @ (match b.strategy with
+         | Some s -> [ ("strategy", strategy_json s) ]
+         | None -> [])
+       @ [ ("elapsed_s", Json.Float b.elapsed_s) ]))
+
+let decode_bracket s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* kind = str_field "kind" j in
+  if kind <> "bracket" then
+    Error (Printf.sprintf "expected kind \"bracket\", got %S" kind)
+  else
+    let* family = opt_str "family" j in
+    let* game = game_field j in
+    let* r = int_field "r" j in
+    let* n = int_field "n" j in
+    let* m = int_field "m" j in
+    let* lower = int_field "lower" j in
+    let* lower_rule = str_field "lower_rule" j in
+    let* upper = int_field "upper" j in
+    let* upper_rule = str_field "upper_rule" j in
+    let* verifier = str_field "verifier" j in
+    let* tight = bool_field "tight" j in
+    let* width = int_field "interval_width" j in
+    let* rules_j = list_field "rules" j in
+    let* rules =
+      map_m
+        (fun rj ->
+          let* rule = str_field "rule" rj in
+          let* bound = int_field "bound" rj in
+          Ok (rule, bound))
+        rules_j
+    in
+    let* profile_classes = opt_int "profile_classes" j in
+    let* strategy = opt_strategy_field j in
+    let* elapsed_s = float_field "elapsed_s" j in
+    Ok { v = version; family; game; r; n; m; lower; lower_rule; upper;
+         upper_rule; verifier; tight; width; rules; profile_classes; strategy;
+         elapsed_s }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let progress_fields (p : Solver.Telemetry.progress) =
+  [
+    ("expansions", Json.Int p.expansions);
+    ("explored", Json.Int p.explored);
+    ("pruned", Json.Int p.pruned);
+    ("frontier", Json.Int p.frontier);
+    ("depth", Json.Int p.depth);
+    ("table_load", Json.Float p.table_load);
+    ("elapsed_s", Json.Float p.elapsed_s);
+  ]
+
+let encode_event (ev : Solver.Telemetry.event) =
+  let tagged ev_name fields =
+    Json.Obj
+      (("v", Json.Int version) :: ("ev", Json.String ev_name) :: fields)
+  in
+  Json.to_string
+    (match ev with
+    | Start { width; max_states } ->
+        tagged "start"
+          [ ("width", Json.Int width); ("max_states", Json.Int max_states) ]
+    | Progress p -> tagged "progress" (progress_fields p)
+    | Prune { pruned } -> tagged "prune" [ ("pruned", Json.Int pruned) ]
+    | Stop { outcome; progress } ->
+        tagged "stop"
+          (("outcome", Json.String outcome) :: progress_fields progress))
+
+let progress_of_json j : (Solver.Telemetry.progress, string) result =
+  let* expansions = int_field "expansions" j in
+  let* explored = int_field "explored" j in
+  let* pruned = int_field "pruned" j in
+  let* frontier = int_field "frontier" j in
+  let* depth = int_field "depth" j in
+  let* table_load = float_field "table_load" j in
+  let* elapsed_s = float_field "elapsed_s" j in
+  Ok
+    {
+      Solver.Telemetry.expansions;
+      explored;
+      pruned;
+      frontier;
+      depth;
+      table_load;
+      elapsed_s;
+    }
+
+let decode_event s : (Solver.Telemetry.event, string) result =
+  let* j = parse s in
+  let* () = check_version j in
+  let* ev = str_field "ev" j in
+  match ev with
+  | "start" ->
+      let* width = int_field "width" j in
+      let* max_states = int_field "max_states" j in
+      Ok (Solver.Telemetry.Start { width; max_states })
+  | "progress" ->
+      let* p = progress_of_json j in
+      Ok (Solver.Telemetry.Progress p)
+  | "prune" ->
+      let* pruned = int_field "pruned" j in
+      Ok (Solver.Telemetry.Prune { pruned })
+  | "stop" ->
+      let* outcome = str_field "outcome" j in
+      let* progress = progress_of_json j in
+      Ok (Solver.Telemetry.Stop { outcome; progress })
+  | ev -> Error (Printf.sprintf "unknown telemetry event %S" ev)
+
+let jsonl ?every oc =
+  Solver.Telemetry.make ?every (fun ev ->
+      output_string oc (encode_event ev);
+      output_char oc '\n';
+      (* stop events close a solve; make sure they reach the reader
+         even when the process is about to exit non-zero *)
+      match ev with Solver.Telemetry.Stop _ -> flush oc | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Errors *)
+
+let encode_error msg =
+  Json.to_string
+    (Json.Obj [ ("v", Json.Int version); ("error", Json.String msg) ])
+
+let decode_error s =
+  match Json.of_string s with
+  | Ok j -> Option.bind (Json.member "error" j) Json.to_str
+  | Error _ -> None

@@ -1,0 +1,197 @@
+(** The versioned wire schema ([{"v":1}]) shared by every JSON emitter
+    and consumer in the system: [pebble_cli --json]/[--trace], the
+    [prbpd] daemon, the bench load generator and the bracket rows of
+    [BENCH_solver.json] all speak exactly these records.
+
+    Four record families, each with an encoder and a decoder that
+    round-trip ([decode (encode x) = Ok x]):
+
+    - {e requests} — a DAG plus game, capacity, variant flags, budget
+      and delivery options ({!request});
+    - {e outcomes} — the anytime solve verdict with its certified
+      interval, stats and optional strategy certificate ({!outcome});
+    - {e certificates} — the bracket record with both bounds, rule
+      attribution and the verified move list ({!bracket});
+    - {e telemetry} — the {!Prbp_solver.Solver.Telemetry} events as
+      JSON lines ({!encode_event}/{!jsonl}).
+
+    Encoders are deterministic: equal values encode to equal bytes
+    (what makes "a cache hit returns the byte-identical certificate"
+    testable).  Decoders are total and hardened — any malformed input
+    is an [Error], never an exception — because the daemon feeds them
+    straight from the network. *)
+
+val version : int
+(** [1].  Every encoded record carries ["v":1]; decoders reject other
+    versions with a distinct error message. *)
+
+(** {1 Vocabulary} *)
+
+type game =
+  | Rbp
+  | Prbp
+  | Black  (** black pebbling feasibility at capacity [r] *)
+  | Multi_rbp of int  (** RBP-MC with [p] processors *)
+  | Multi_prbp of int
+
+val game_label : game -> string
+(** ["rbp"] | ["prbp"] | ["black"] | ["multi-rbp:P"] | ["multi-prbp:P"]. *)
+
+val game_of_label : string -> (game, string) result
+
+type variants = { sliding : bool; recompute : bool; no_delete : bool }
+
+val no_variants : variants
+
+type budget = {
+  max_states : int option;
+  max_millis : int option;
+  max_words : int option;
+}
+(** The wire projection of {!Prbp_solver.Solver.Budget.t}: the three
+    externally meaningful caps.  [None] everywhere means the server's
+    defaults. *)
+
+val no_budget : budget
+
+val budget_class : budget -> string
+(** The cache-key quantization of a budget: each set cap contributes
+    its power-of-two bucket (so near-identical budgets share cache
+    entries), unset caps contribute ["_"].  E.g. ["s22:m13:w_"]. *)
+
+(** {1 Requests} *)
+
+type kind = Solve | Bracket
+
+type request = {
+  v : int;
+  kind : kind;
+  game : game;
+  r : int;
+  variants : variants;
+  budget : budget;
+  want_strategy : bool;  (** include the move-list certificate *)
+  stream : bool;  (** stream telemetry as JSON-lines before the result *)
+  rules : string list option;  (** bracket only: restrict {!Prbp_bounds.Lower} *)
+  dag : Prbp_dag.Dag.t;
+}
+
+val request :
+  ?variants:variants ->
+  ?budget:budget ->
+  ?want_strategy:bool ->
+  ?stream:bool ->
+  ?rules:string list ->
+  kind:kind ->
+  game:game ->
+  r:int ->
+  Prbp_dag.Dag.t ->
+  request
+(** Smart constructor: [v = version], flags default to false. *)
+
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+(** Rejects [v <> 1], unknown games/kinds, negative [r], and any DAG
+    payload {!Prbp_dag.Dag.make} refuses (cycles, duplicate edges,
+    out-of-range endpoints). *)
+
+(** {1 Strategies} *)
+
+type strategy =
+  | Rbp_strategy of Prbp_pebble.Move.R.t list
+  | Prbp_strategy of Prbp_pebble.Move.P.t list
+      (** the move-list certificate, tagged by move vocabulary (black
+          and multi strategies have no wire form and are omitted) *)
+
+(** {1 Outcomes} *)
+
+type outcome = {
+  v : int;
+  game : game;
+  r : int;
+  variants : variants;
+  dag_hash : string;  (** {!Prbp_dag.Dag.hash} of the solved DAG *)
+  n : int;
+  m : int;
+  status : [ `Optimal | `Bounded | `Unsolvable ];
+  lower : int;  (** [= upper = OPT] when optimal *)
+  upper : int option;
+  stopped : string option;  (** {!Prbp_solver.Solver.reason_label} *)
+  strategy : strategy option;
+  stats : Prbp_solver.Solver.stats;
+}
+
+val outcome_of :
+  game:game ->
+  r:int ->
+  ?variants:variants ->
+  ?strategy:strategy ->
+  dag:Prbp_dag.Dag.t ->
+  _ Prbp_solver.Solver.outcome ->
+  outcome
+(** Project a solver outcome onto the wire (the caller extracts the
+    typed strategy, if any, since move types are per game). *)
+
+val encode_outcome : outcome -> string
+
+val decode_outcome : string -> (outcome, string) result
+
+(** {1 Bracket certificates} *)
+
+type bracket = {
+  v : int;
+  family : string option;
+  game : game;  (** {!Rbp} or {!Prbp} only *)
+  r : int;
+  n : int;
+  m : int;
+  lower : int;
+  lower_rule : string;
+  upper : int;
+  upper_rule : string;
+  verifier : string;  (** ["literal"] | ["engine"] *)
+  tight : bool;
+  width : int;
+  rules : (string * int) list;  (** per-rule attribution, (label, bound) *)
+  profile_classes : int option;
+  strategy : strategy option;  (** the verified moves achieving [upper] *)
+  elapsed_s : float;
+}
+
+val bracket_of :
+  ?family:string -> ?with_moves:bool -> Prbp_bounds.Bracket.t -> bracket
+(** [with_moves] (default false) embeds the verified strategy — the
+    re-checkable certificate the daemon caches and serves. *)
+
+val encode_bracket : bracket -> string
+(** One object (no trailing newline) carrying ["kind":"bracket"] plus
+    the historical row fields ([family], [game], [r], [lower], [rule],
+    [lower_rule], [upper], [method], [upper_rule], [verifier],
+    [tight], [interval_width], [rules], [profile_classes],
+    [elapsed_s]) — the row format of [BENCH_solver.json] and
+    [pebble_cli bracket --json], still parsed by
+    {!Prbp_harness.Regression}. *)
+
+val decode_bracket : string -> (bracket, string) result
+
+(** {1 Telemetry} *)
+
+val encode_event : Prbp_solver.Solver.Telemetry.event -> string
+(** One JSON object, no trailing newline, ["v":1] first. *)
+
+val decode_event :
+  string -> (Prbp_solver.Solver.Telemetry.event, string) result
+
+val jsonl :
+  ?every:int -> out_channel -> Prbp_solver.Solver.Telemetry.sink
+(** JSON-lines emitter: one {!encode_event} line per event ([Stop]
+    events flush the channel) — the sink behind [pebble_cli --trace]. *)
+
+(** {1 Errors} *)
+
+val encode_error : string -> string
+(** [{"v":1,"error":"..."}] — the daemon's error body. *)
+
+val decode_error : string -> string option
+(** The ["error"] field of an error body, if that is what this is. *)

@@ -161,7 +161,9 @@ let test_json_row () =
   match Bracket.prbp ~r:2 g with
   | Error e -> Alcotest.failf "diamond: %s" e
   | Ok b ->
-      let json = Bracket.to_json ~family:"diamond" b in
+      let json =
+        Prbp.Wire.encode_bracket (Prbp.Wire.bracket_of ~family:"diamond" b)
+      in
       let contains needle hay =
         let nl = String.length needle and hl = String.length hay in
         let rec go i =
@@ -169,11 +171,17 @@ let test_json_row () =
         in
         go 0
       in
-      check_true "kind" (contains "\"kind\": \"bracket\"" json);
-      check_true "family" (contains "\"family\": \"diamond\"" json);
-      check_true "game" (contains "\"game\": \"prbp\"" json);
+      check_true "kind" (contains "\"kind\":\"bracket\"" json);
+      check_true "family" (contains "\"family\":\"diamond\"" json);
+      check_true "game" (contains "\"game\":\"prbp\"" json);
       check_true "upper"
-        (contains (Printf.sprintf "\"upper\": %d" b.Bracket.upper) json)
+        (contains (Printf.sprintf "\"upper\":%d" b.Bracket.upper) json);
+      match Prbp.Wire.decode_bracket json with
+      | Error e -> Alcotest.failf "decode_bracket: %s" e
+      | Ok wb ->
+          Alcotest.(check string)
+            "bracket row round-trips byte-identically" json
+            (Prbp.Wire.encode_bracket wb)
 
 let gen_dag =
   QCheck.make

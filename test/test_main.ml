@@ -11,4 +11,5 @@ let () =
    @ Test_multi.suite @ Test_misc.suite @ Test_state_table.suite
    @ Test_deque01.suite @ Test_engine.suite @ Test_anytime.suite
    @ Test_segment.suite @ Test_bracket.suite @ Test_rules.suite
-   @ Test_obs.suite @ Test_parallel.suite)
+   @ Test_obs.suite @ Test_parallel.suite @ Test_wire.suite
+   @ Test_serve.suite)

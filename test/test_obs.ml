@@ -368,11 +368,11 @@ let dummy_progress : Prbp.Solver.Telemetry.progress =
   }
 
 let telemetry_lines_are_json =
-  qcase ~count:100 "Telemetry.to_json: every event line parses as JSON"
+  qcase ~count:100 "Wire.encode_event: every event line parses as JSON"
     QCheck.printable_string
     (fun outcome ->
       List.for_all
-        (fun ev -> json_valid (Prbp.Solver.Telemetry.to_json ev))
+        (fun ev -> json_valid (Prbp.Wire.encode_event ev))
         [
           Prbp.Solver.Telemetry.Start { width = 3; max_states = 10 };
           Prbp.Solver.Telemetry.Progress dummy_progress;

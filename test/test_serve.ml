@@ -1,0 +1,558 @@
+(* The prbpd service stack: pool admission control, LRU cache
+   mechanics, HTTP parsing, and the live daemon on a fixed port —
+   cache hits byte-identical and re-verified, deadline → Bounded over
+   the wire, 503 at capacity, concurrent clients. *)
+
+open Test_util
+module Wire = Prbp.Wire
+module Serve = Prbp.Serve
+module Dag = Prbp.Dag
+
+(* writing to a peer that already hung up must not kill the test
+   process (the daemon binary ignores SIGPIPE the same way) *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* ------------------------------------------------------------------ *)
+(* Pool: bounded admission *)
+
+let test_pool_admission () =
+  let pool = Serve.Pool.create ~workers:2 ~queue:1 in
+  let gate = Mutex.create () in
+  let release = Condition.create () in
+  let released = ref false in
+  let done_count = Atomic.make 0 in
+  let blocking_job () =
+    Mutex.lock gate;
+    while not !released do
+      Condition.wait release gate
+    done;
+    Mutex.unlock gate;
+    Atomic.incr done_count
+  in
+  (* 2 workers + queue 1 = 3 admissible blocking jobs *)
+  check_true "job 1 admitted" (Serve.Pool.submit pool blocking_job);
+  check_true "job 2 admitted" (Serve.Pool.submit pool blocking_job);
+  (* wait for both workers to pick their job up (queue drains to 0) *)
+  let rec settle tries =
+    if Serve.Pool.busy pool < 2 && tries > 0 then begin
+      Unix.sleepf 0.01;
+      settle (tries - 1)
+    end
+  in
+  settle 300;
+  check_int "both workers busy" 2 (Serve.Pool.busy pool);
+  check_true "job 3 queues" (Serve.Pool.submit pool blocking_job);
+  check_false "job 4 refused: queue full"
+    (Serve.Pool.submit pool blocking_job);
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast release;
+  Mutex.unlock gate;
+  Serve.Pool.shutdown pool;
+  check_int "all admitted jobs ran" 3 (Atomic.get done_count);
+  check_false "no submits after shutdown" (Serve.Pool.submit pool ignore)
+
+let test_pool_survives_raising_jobs () =
+  let pool = Serve.Pool.create ~workers:1 ~queue:8 in
+  let ran = Atomic.make 0 in
+  check_true "raising job admitted"
+    (Serve.Pool.submit pool (fun () -> failwith "boom"));
+  check_true "next job admitted"
+    (Serve.Pool.submit pool (fun () -> Atomic.incr ran));
+  Serve.Pool.shutdown pool;
+  check_int "worker survived the raise" 1 (Atomic.get ran);
+  check_int "failure counted" 1 (Serve.Pool.failed pool)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: LRU contract *)
+
+let test_cache_lru () =
+  let c = Serve.Cache.create ~capacity:2 in
+  Serve.Cache.add c "a" 1;
+  Serve.Cache.add c "b" 2;
+  check_true "a present" (Serve.Cache.find c "a" = Some 1);
+  (* a is now most recent; inserting c evicts b *)
+  Serve.Cache.add c "c" 3;
+  check_true "b evicted" (Serve.Cache.find c "b" = None);
+  check_true "a survived (recency)" (Serve.Cache.find c "a" = Some 1);
+  check_true "c present" (Serve.Cache.find c "c" = Some 3);
+  check_int "at capacity" 2 (Serve.Cache.length c);
+  Serve.Cache.add c "a" 10;
+  check_true "overwrite" (Serve.Cache.find c "a" = Some 10);
+  check_int "overwrite keeps size" 2 (Serve.Cache.length c);
+  Serve.Cache.remove c "a";
+  check_true "removed" (Serve.Cache.find c "a" = None);
+  check_int "hits counted" 4 (Serve.Cache.hits c);
+  check_int "misses counted" 2 (Serve.Cache.misses c)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP: request reader *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+let test_http_parse () =
+  with_socketpair @@ fun client server ->
+  let body = "{\"v\":1}" in
+  let raw =
+    Printf.sprintf
+      "POST /v1/solve HTTP/1.1\r\nHost: x\r\nContent-Type: \
+       application/json\r\nContent-Length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  let _ = Unix.write_substring client raw 0 (String.length raw) in
+  Unix.close client;
+  match Serve.Http.read_request server with
+  | Error e -> Alcotest.failf "read_request: %s" e
+  | Ok rq ->
+      Alcotest.(check string) "method" "POST" rq.Serve.Http.meth;
+      Alcotest.(check string) "path" "/v1/solve" rq.Serve.Http.path;
+      Alcotest.(check string) "body" body rq.Serve.Http.body;
+      check_true "header lookup is case-insensitive"
+        (Serve.Http.header rq "content-TYPE" = Some "application/json")
+
+let test_http_rejects () =
+  with_socketpair (fun client server ->
+      let raw = "NONSENSE\r\n\r\n" in
+      let _ = Unix.write_substring client raw 0 (String.length raw) in
+      Unix.close client;
+      check_err "malformed request line" (Serve.Http.read_request server));
+  with_socketpair (fun client server ->
+      let raw =
+        "POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\nshort"
+      in
+      let _ = Unix.write_substring client raw 0 (String.length raw) in
+      Unix.close client;
+      check_err "truncated body" (Serve.Http.read_request server));
+  with_socketpair (fun client server ->
+      let raw = "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789" in
+      let _ = Unix.write_substring client raw 0 (String.length raw) in
+      Unix.close client;
+      check_err "body over cap"
+        (Serve.Http.read_request ~max_body:4 server))
+
+(* ------------------------------------------------------------------ *)
+(* Live server plumbing *)
+
+let next_port = ref 18390
+
+let with_server ?(workers = 2) ?(queue = 16) ?(max_deadline_ms = 10_000) f =
+  incr next_port;
+  let port = !next_port in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      addr = Serve.Server.Tcp ("127.0.0.1", port);
+      workers;
+      queue;
+      max_deadline_ms;
+    }
+  in
+  let stop = Atomic.make false in
+  let d = Domain.spawn (fun () -> Serve.Server.run ~stop cfg) in
+  let connect () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    with
+    | () -> Some fd
+    | exception Unix.Unix_error _ ->
+        Unix.close fd;
+        None
+  in
+  (* wait for the listener, with a full /healthz round trip: a
+     connect-and-close probe would still be in a worker's hands when
+     the test's first real request arrives and steal its pool slot *)
+  let rec ready tries =
+    let ok =
+      match connect () with
+      | None -> false
+      | Some fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              let probe = "GET /healthz HTTP/1.1\r\nHost: p\r\n\r\n" in
+              (try
+                 ignore (Unix.write_substring fd probe 0 (String.length probe))
+               with Unix.Unix_error _ -> ());
+              let buf = Bytes.create 256 in
+              match Unix.read fd buf 0 256 with
+              | 0 -> false
+              | _ -> true
+              | exception Unix.Unix_error _ -> false)
+    in
+    ok
+    ||
+    if tries = 0 then false
+    else begin
+      Unix.sleepf 0.02;
+      ready (tries - 1)
+    end
+  in
+  if not (ready 250) then Alcotest.fail "server did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join d)
+    (fun () -> f port)
+
+let read_all fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+        (* a refused connection may be torn down hard; keep whatever
+           response bytes already arrived *)
+        Buffer.contents buf
+  in
+  go ()
+
+type reply = { status : int; headers : (string * string) list; body : string }
+
+let split_head raw =
+  match String.index_opt raw '\r' with
+  | None -> Alcotest.failf "no status line in %S" raw
+  | Some _ -> (
+      let rec find_sep i =
+        if i + 4 > String.length raw then None
+        else if String.sub raw i 4 = "\r\n\r\n" then Some i
+        else find_sep (i + 1)
+      in
+      match find_sep 0 with
+      | None -> Alcotest.failf "no header/body separator in %S" raw
+      | Some i ->
+          (String.sub raw 0 i, String.sub raw (i + 4) (String.length raw - i - 4)))
+
+let parse_reply raw =
+  let head, body = split_head raw in
+  match String.split_on_char '\n' head with
+  | [] -> Alcotest.fail "empty reply head"
+  | status_line :: header_lines ->
+      let status =
+        match String.split_on_char ' ' (String.trim status_line) with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.failf "bad status line %S" status_line
+      in
+      let headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+                Some
+                  ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1)) ))
+          header_lines
+      in
+      let body =
+        if List.assoc_opt "transfer-encoding" headers = Some "chunked" then begin
+          (* reassemble chunks: size-line CRLF data CRLF ... 0 CRLF CRLF *)
+          let b = Buffer.create (String.length body) in
+          let pos = ref 0 in
+          let line () =
+            let i = String.index_from body !pos '\r' in
+            let l = String.sub body !pos (i - !pos) in
+            pos := i + 2;
+            l
+          in
+          (try
+             let rec go () =
+               let size = int_of_string ("0x" ^ line ()) in
+               if size > 0 then begin
+                 Buffer.add_string b (String.sub body !pos size);
+                 pos := !pos + size + 2;
+                 go ()
+               end
+             in
+             go ()
+           with _ -> ());
+          Buffer.contents b
+        end
+        else body
+      in
+      { status; headers; body }
+
+let request ~port raw =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let _ = Unix.write_substring fd raw 0 (String.length raw) in
+      parse_reply (read_all fd))
+
+let post ~port path body =
+  request ~port
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s" path
+       (String.length body) body)
+
+let get ~port path =
+  request ~port (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path)
+
+let diamond_edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let solve_body ?(game = Wire.Prbp) ?variants ?budget ?want_strategy ?stream
+    ~r edges n =
+  Wire.encode_request
+    (Wire.request ?variants ?budget ?want_strategy ?stream ~kind:Wire.Solve
+       ~game ~r (Dag.make ~n edges))
+
+(* ------------------------------------------------------------------ *)
+(* Live server: solve, cache, deadline, admission, concurrency *)
+
+let test_serve_solve_and_cache () =
+  with_server @@ fun port ->
+  let body = solve_body ~r:2 ~want_strategy:true diamond_edges 4 in
+  let first = post ~port "/v1/solve" body in
+  check_int "status" 200 first.status;
+  check_true "first is a miss"
+    (List.assoc_opt "x-prbpd-cache" first.headers = Some "miss");
+  (match Wire.decode_outcome first.body with
+  | Error e -> Alcotest.failf "outcome decode: %s" e
+  | Ok o ->
+      check_true "optimal" (o.Wire.status = `Optimal);
+      check_int "diamond PRBP opt at r=2" 4 o.Wire.lower;
+      check_true "strategy present" (o.Wire.strategy <> None));
+  let second = post ~port "/v1/solve" body in
+  check_true "second is a hit"
+    (List.assoc_opt "x-prbpd-cache" second.headers = Some "hit");
+  Alcotest.(check string)
+    "cache hit returns the byte-identical certificate" first.body second.body;
+  (* an isomorphic relabeling shares the entry (content addressing):
+     same structure, node ids permuted *)
+  let relabeled = [ (3, 2); (3, 1); (2, 0); (1, 0) ] in
+  let third =
+    post ~port "/v1/solve" (solve_body ~r:2 ~want_strategy:true relabeled 4)
+  in
+  check_true "relabeled DAG hits too"
+    (List.assoc_opt "x-prbpd-cache" third.headers = Some "hit");
+  (match Wire.decode_outcome third.body with
+  | Error e -> Alcotest.failf "relabeled outcome: %s" e
+  | Ok o -> (
+      check_int "same optimum" 4 o.Wire.lower;
+      (* the translated strategy must replay on the relabeled DAG *)
+      match o.Wire.strategy with
+      | Some (Wire.Prbp_strategy moves) ->
+          let g = Dag.make ~n:4 relabeled in
+          check_int "served strategy replays at the served cost" 4
+            (prbp_cost ~r:2 g moves)
+      | _ -> Alcotest.fail "no strategy served"));
+  (* a strategy-less request still hits, body minus the certificate *)
+  let lean = post ~port "/v1/solve" (solve_body ~r:2 diamond_edges 4) in
+  check_true "lean request hits"
+    (List.assoc_opt "x-prbpd-cache" lean.headers = Some "hit");
+  match Wire.decode_outcome lean.body with
+  | Ok o -> check_true "strategy stripped" (o.Wire.strategy = None)
+  | Error e -> Alcotest.failf "lean outcome: %s" e
+
+let test_serve_bracket () =
+  with_server @@ fun port ->
+  let body =
+    Wire.encode_request
+      (Wire.request ~want_strategy:true ~kind:Wire.Bracket ~game:Wire.Prbp
+         ~r:2
+         (Dag.make ~n:4 diamond_edges))
+  in
+  let first = post ~port "/v1/bracket" body in
+  check_int "status" 200 first.status;
+  (match Wire.decode_bracket first.body with
+  | Error e -> Alcotest.failf "bracket decode: %s" e
+  | Ok b ->
+      check_true "lower <= upper" (b.Wire.lower <= b.Wire.upper);
+      check_true "moves served" (b.Wire.strategy <> None));
+  let second = post ~port "/v1/bracket" body in
+  check_true "bracket hit"
+    (List.assoc_opt "x-prbpd-cache" second.headers = Some "hit");
+  Alcotest.(check string) "bracket byte-identical" first.body second.body
+
+let test_serve_deadline_maps_to_bounded () =
+  with_server @@ fun port ->
+  (* big enough that 1ms of search cannot finish it *)
+  let g = (Prbp.Graphs.Random_dag.make ~seed:5 ~max_in_degree:3 ~layers:8 ~width:3 ()) in
+  let body =
+    Wire.encode_request
+      (Wire.request
+         ~budget:
+           { Wire.max_states = None; max_millis = Some 1; max_words = None }
+         ~kind:Wire.Solve ~game:Wire.Prbp ~r:3 g)
+  in
+  let reply = post ~port "/v1/solve" body in
+  check_int "status still 200" 200 reply.status;
+  match Wire.decode_outcome reply.body with
+  | Error e -> Alcotest.failf "bounded outcome: %s" e
+  | Ok o ->
+      check_true "deadline maps to a Bounded outcome"
+        (o.Wire.status = `Bounded);
+      check_true "stop reason is on the wire"
+        (o.Wire.stopped = Some "deadline");
+      check_true "certified interval survives the wire"
+        (match o.Wire.upper with
+        | Some u -> o.Wire.lower <= u
+        | None -> true)
+
+let test_serve_admission_503 () =
+  with_server ~workers:1 ~queue:0 ~max_deadline_ms:10_000 @@ fun port ->
+  (* occupy the single worker with a deliberately slow solve ... *)
+  let slow =
+    Wire.encode_request
+      (Wire.request
+         ~budget:
+           {
+             Wire.max_states = None;
+             max_millis = Some 3_000;
+             max_words = None;
+           }
+         ~kind:Wire.Solve ~game:Wire.Prbp ~r:3
+         ((Prbp.Graphs.Random_dag.make ~seed:5 ~max_in_degree:3 ~layers:8 ~width:3 ())))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let raw =
+        Printf.sprintf
+          "POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s"
+          (String.length slow) slow
+      in
+      let _ = Unix.write_substring fd raw 0 (String.length raw) in
+      Unix.sleepf 0.5;
+      (* ... then knock again: the accept loop must refuse immediately *)
+      let refused = post ~port "/v1/healthz-does-not-matter" "{}" in
+      check_int "over capacity: 503" 503 refused.status;
+      check_true "error body is wire-schema"
+        (Wire.decode_error refused.body <> None);
+      (* the slow request itself still completes (bounded) *)
+      let first = parse_reply (read_all fd) in
+      check_int "occupied worker finishes" 200 first.status)
+
+let test_serve_rejections () =
+  with_server @@ fun port ->
+  check_int "garbage body: 400" 400 (post ~port "/v1/solve" "nonsense").status;
+  check_int "unknown route: 404" 404 (post ~port "/v1/nope" "{}").status;
+  check_int "bad method: 405"
+    405
+    (request ~port "PUT /v1/solve HTTP/1.1\r\nHost: t\r\n\r\n").status;
+  let mismatched =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Bracket ~game:Wire.Prbp ~r:2
+         (Dag.make ~n:4 diamond_edges))
+  in
+  check_int "kind/route mismatch: 400" 400
+    (post ~port "/v1/solve" mismatched).status;
+  let multi =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Solve ~game:(Wire.Multi_rbp 2) ~r:2
+         (Dag.make ~n:4 diamond_edges))
+  in
+  check_int "unserved game: 400" 400 (post ~port "/v1/solve" multi).status;
+  (* a DAG beyond the exact solver's size cap must come back as a
+     wire-schema 400, never a dropped connection *)
+  let huge =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Solve ~game:Wire.Prbp ~r:2
+         ((Prbp.Graphs.Tree.make ~k:2 ~depth:6).Prbp.Graphs.Tree.dag))
+  in
+  let reply = post ~port "/v1/solve" huge in
+  check_int "oversized DAG: 400" 400 reply.status;
+  check_true "solver size cap reported in the body"
+    (Wire.decode_error reply.body <> None)
+
+let test_serve_stream_and_metrics () =
+  with_server @@ fun port ->
+  let body =
+    solve_body ~r:3 ~stream:true
+      [ (0, 1); (0, 2); (1, 3); (2, 3); (1, 4); (2, 4) ]
+      5
+  in
+  let reply = post ~port "/v1/solve" body in
+  check_int "stream status" 200 reply.status;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' reply.body)
+  in
+  check_true "streamed at least start/stop + result" (List.length lines >= 2);
+  (* every line but the last is a telemetry event; the last is the outcome *)
+  let rec split_last acc = function
+    | [] -> Alcotest.fail "empty stream"
+    | [ last ] -> (List.rev acc, last)
+    | x :: rest -> split_last (x :: acc) rest
+  in
+  let events, result = split_last [] lines in
+  List.iter
+    (fun l -> check_ok "telemetry line decodes" (Wire.decode_event l))
+    events;
+  check_ok "final line is the outcome" (Wire.decode_outcome result);
+  let metrics = (get ~port "/metrics").body in
+  let has needle =
+    let nl = String.length needle and hl = String.length metrics in
+    let rec go i = i + nl <= hl && (String.sub metrics i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_true "requests counter exported" (has "prbpd_requests_total");
+  check_true "cache hit counter exported" (has "prbpd_cache_hits_total");
+  check_true "cache miss counter exported" (has "prbpd_cache_misses_total");
+  check_true "latency histogram exported" (has "prbpd_request_seconds_bucket");
+  Alcotest.(check string) "healthz" "ok\n" (get ~port "/healthz").body
+
+let test_serve_concurrent_clients () =
+  with_server ~workers:4 ~queue:64 @@ fun port ->
+  let solve = solve_body ~r:2 ~want_strategy:true diamond_edges 4 in
+  let bracket =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Bracket ~game:Wire.Rbp ~r:3
+         (Dag.make ~n:4 diamond_edges))
+  in
+  (* prime the cache so the stress mix exercises the hit path too *)
+  check_int "prime solve" 200 (post ~port "/v1/solve" solve).status;
+  check_int "prime bracket" 200 (post ~port "/v1/bracket" bracket).status;
+  let clients =
+    Array.init 16 (fun i ->
+        Domain.spawn (fun () ->
+            let path, body =
+              if i mod 2 = 0 then ("/v1/solve", solve)
+              else ("/v1/bracket", bracket)
+            in
+            let ok = ref 0 in
+            for _ = 1 to 8 do
+              let reply = post ~port path body in
+              if reply.status = 200 then incr ok
+            done;
+            !ok))
+  in
+  let total = Array.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
+  check_int "every concurrent request answered 200" (16 * 8) total
+
+let suite =
+  [
+    ( "serve",
+      [
+        case "pool: bounded admission" test_pool_admission;
+        case "pool: survives raising jobs" test_pool_survives_raising_jobs;
+        case "cache: LRU contract" test_cache_lru;
+        case "http: parses requests" test_http_parse;
+        case "http: rejects malformed/oversized" test_http_rejects;
+        slow_case "serve: solve, cache hit, content addressing"
+          test_serve_solve_and_cache;
+        slow_case "serve: bracket certificates" test_serve_bracket;
+        slow_case "serve: deadline maps to Bounded"
+          test_serve_deadline_maps_to_bounded;
+        slow_case "serve: 503 at capacity" test_serve_admission_503;
+        slow_case "serve: rejections" test_serve_rejections;
+        slow_case "serve: streaming + metrics" test_serve_stream_and_metrics;
+        slow_case "serve: concurrent clients" test_serve_concurrent_clients;
+      ] );
+  ]

@@ -1,0 +1,429 @@
+(* The versioned wire schema: decode ∘ encode = id on every record
+   family, hardened decoding, and the content-addressed canonical form
+   behind the prbpd cache (Dag.hash / Serialize.canonical). *)
+
+open Test_util
+module Wire = Prbp.Wire
+module Json = Prbp.Wire.Json
+module Dag = Prbp.Dag
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_dag_params =
+  QCheck.make
+    ~print:(fun (seed, layers, width) ->
+      Printf.sprintf "seed=%d layers=%d width=%d" seed layers width)
+    QCheck.Gen.(triple (int_range 1 100_000) (int_range 2 4) (int_range 1 4))
+
+let dag_of (seed, layers, width) =
+  Prbp.Graphs.Random_dag.make ~seed ~layers ~width ~density:0.4
+    ~max_in_degree:3 ()
+
+let gen_game =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.Rbp; return Wire.Prbp; return Wire.Black;
+        map (fun p -> Wire.Multi_rbp p) (int_range 1 8);
+        map (fun p -> Wire.Multi_prbp p) (int_range 1 8);
+      ])
+
+let gen_variants =
+  QCheck.Gen.(
+    map
+      (fun (sliding, recompute, no_delete) ->
+        { Wire.sliding; recompute; no_delete })
+      (triple bool bool bool))
+
+let gen_budget =
+  QCheck.Gen.(
+    map
+      (fun (s, m, w) ->
+        {
+          Wire.max_states = Option.map abs s;
+          max_millis = Option.map abs m;
+          max_words = Option.map abs w;
+        })
+      (triple (opt int) (opt int) (opt int)))
+
+let gen_request =
+  let gen =
+    QCheck.Gen.(
+      let* params = triple (int_range 1 100_000) (int_range 2 4) (int_range 1 4)
+      and* kind = oneofl [ Wire.Solve; Wire.Bracket ]
+      and* game = gen_game
+      and* r = int_range 0 10
+      and* variants = gen_variants
+      and* budget = gen_budget
+      and* want_strategy = bool
+      and* stream = bool
+      and* rules = opt (small_list (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))) in
+      return
+        (Wire.request ~variants ~budget ~want_strategy ~stream ?rules ~kind
+           ~game ~r (dag_of params)))
+  in
+  QCheck.make ~print:Wire.encode_request gen
+
+let gen_rbp_moves =
+  QCheck.Gen.(
+    small_list
+      (oneof
+         [
+           map (fun v -> Prbp.Move.R.Load (abs v)) small_nat;
+           map (fun v -> Prbp.Move.R.Save (abs v)) small_nat;
+           map (fun v -> Prbp.Move.R.Compute (abs v)) small_nat;
+           map (fun v -> Prbp.Move.R.Delete (abs v)) small_nat;
+           map
+             (fun (u, v) -> Prbp.Move.R.Slide (abs u, abs v))
+             (pair small_nat small_nat);
+         ]))
+
+let gen_prbp_moves =
+  QCheck.Gen.(
+    small_list
+      (oneof
+         [
+           map (fun v -> Prbp.Move.P.Load (abs v)) small_nat;
+           map (fun v -> Prbp.Move.P.Save (abs v)) small_nat;
+           map
+             (fun (u, v) -> Prbp.Move.P.Compute (abs u, abs v))
+             (pair small_nat small_nat);
+           map (fun v -> Prbp.Move.P.Delete (abs v)) small_nat;
+           map (fun v -> Prbp.Move.P.Clear (abs v)) small_nat;
+         ]))
+
+let gen_strategy =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun ms -> Wire.Rbp_strategy ms) gen_rbp_moves;
+        map (fun ms -> Wire.Prbp_strategy ms) gen_prbp_moves;
+      ])
+
+let gen_stats =
+  QCheck.Gen.(
+    let* explored = small_nat
+    and* pruned = small_nat
+    and* expansions = small_nat
+    and* frontier = small_nat
+    and* elapsed_s = float_bound_inclusive 100.0
+    and* mem_words = small_nat
+    and* prune_disabled = bool
+    and* spilled = small_nat in
+    return
+      {
+        Prbp.Solver.explored;
+        pruned;
+        expansions;
+        frontier;
+        elapsed_s;
+        mem_words;
+        prune_disabled;
+        spilled;
+      })
+
+let gen_outcome =
+  let gen =
+    QCheck.Gen.(
+      let* game = gen_game
+      and* r = int_range 0 10
+      and* variants = gen_variants
+      and* n = small_nat
+      and* m = small_nat
+      and* status = oneofl [ `Optimal; `Bounded; `Unsolvable ]
+      and* lower = small_nat
+      and* upper = opt small_nat
+      and* stopped = opt (oneofl [ "max-states"; "deadline"; "max-words" ])
+      and* strategy = opt gen_strategy
+      and* stats = gen_stats in
+      return
+        {
+          Wire.v = Wire.version;
+          game;
+          r;
+          variants;
+          dag_hash = "0123456789abcdef0123456789abcdef";
+          n;
+          m;
+          status;
+          lower;
+          upper;
+          stopped;
+          strategy;
+          stats;
+        })
+  in
+  QCheck.make ~print:Wire.encode_outcome gen
+
+let gen_bracket =
+  let gen =
+    QCheck.Gen.(
+      let* family = opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+      and* game = oneofl [ Wire.Rbp; Wire.Prbp ]
+      and* r = int_range 1 10
+      and* n = small_nat
+      and* m = small_nat
+      and* lower = small_nat
+      and* lower_rule = oneofl [ "trivial"; "source-cut"; "exact-dominator" ]
+      and* width = small_nat
+      and* upper_rule = oneofl [ "belady"; "belady+opt"; "greedy-edges" ]
+      and* verifier = oneofl [ "literal"; "engine" ]
+      and* tight = bool
+      and* rules =
+        small_list (pair (oneofl [ "trivial"; "sink-cut" ]) small_nat)
+      and* profile_classes = opt small_nat
+      and* strategy = opt gen_strategy
+      and* elapsed_s = float_bound_inclusive 10.0 in
+      return
+        {
+          Wire.v = Wire.version;
+          family;
+          game;
+          r;
+          n;
+          m;
+          lower;
+          lower_rule;
+          upper = lower + width;
+          upper_rule;
+          verifier;
+          tight;
+          width;
+          rules;
+          profile_classes;
+          strategy;
+          elapsed_s;
+        })
+  in
+  QCheck.make ~print:Wire.encode_bracket gen
+
+let gen_progress =
+  QCheck.Gen.(
+    let* expansions = small_nat
+    and* explored = small_nat
+    and* pruned = small_nat
+    and* frontier = small_nat
+    and* depth = small_nat
+    and* table_load = float_bound_inclusive 1.0
+    and* elapsed_s = float_bound_inclusive 100.0 in
+    return
+      {
+        Prbp.Solver.Telemetry.expansions;
+        explored;
+        pruned;
+        frontier;
+        depth;
+        table_load;
+        elapsed_s;
+      })
+
+let gen_event =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map
+            (fun (width, max_states) ->
+              Prbp.Solver.Telemetry.Start { width; max_states })
+            (pair small_nat small_nat);
+          map (fun p -> Prbp.Solver.Telemetry.Progress p) gen_progress;
+          map
+            (fun pruned -> Prbp.Solver.Telemetry.Prune { pruned })
+            small_nat;
+          map
+            (fun (outcome, progress) ->
+              Prbp.Solver.Telemetry.Stop { outcome; progress })
+            (pair (oneofl [ "optimal"; "deadline"; "unsolvable" ]) gen_progress);
+        ])
+  in
+  QCheck.make ~print:Wire.encode_event gen
+
+(* ------------------------------------------------------------------ *)
+(* Round trips: decoding an encoder's output must reproduce the value
+   (checked as byte-identical re-encoding — the encoders are
+   deterministic, so this is equality on the wire image). *)
+
+let roundtrip_request =
+  qcase ~count:200 "request: decode ∘ encode = id" gen_request (fun rq ->
+      let s = Wire.encode_request rq in
+      match Wire.decode_request s with
+      | Error e -> QCheck.Test.fail_reportf "decode_request: %s" e
+      | Ok rq' -> Wire.encode_request rq' = s)
+
+let roundtrip_outcome =
+  qcase ~count:300 "outcome: decode ∘ encode = id" gen_outcome (fun o ->
+      let s = Wire.encode_outcome o in
+      match Wire.decode_outcome s with
+      | Error e -> QCheck.Test.fail_reportf "decode_outcome: %s" e
+      | Ok o' -> Wire.encode_outcome o' = s && o' = o)
+
+let roundtrip_bracket =
+  qcase ~count:300 "bracket: decode ∘ encode = id" gen_bracket (fun b ->
+      let s = Wire.encode_bracket b in
+      match Wire.decode_bracket s with
+      | Error e -> QCheck.Test.fail_reportf "decode_bracket: %s" e
+      | Ok b' -> Wire.encode_bracket b' = s && b' = b)
+
+let roundtrip_event =
+  qcase ~count:300 "telemetry: decode ∘ encode = id" gen_event (fun ev ->
+      let s = Wire.encode_event ev in
+      match Wire.decode_event s with
+      | Error e -> QCheck.Test.fail_reportf "decode_event: %s" e
+      | Ok ev' -> Wire.encode_event ev' = s && ev' = ev)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder hardening *)
+
+let test_rejects () =
+  check_err "garbage" (Wire.decode_request "garbage");
+  check_err "empty object" (Wire.decode_request "{}");
+  check_err "wrong version"
+    (Wire.decode_request
+       "{\"v\":2,\"kind\":\"solve\",\"game\":\"rbp\",\"r\":2,\"dag\":{\"nodes\":1,\"edges\":[]}}");
+  check_err "unknown game"
+    (Wire.decode_request
+       "{\"v\":1,\"kind\":\"solve\",\"game\":\"chess\",\"r\":2,\"dag\":{\"nodes\":1,\"edges\":[]}}");
+  check_err "negative r"
+    (Wire.decode_request
+       "{\"v\":1,\"kind\":\"solve\",\"game\":\"rbp\",\"r\":-1,\"dag\":{\"nodes\":1,\"edges\":[]}}");
+  check_err "cyclic dag"
+    (Wire.decode_request
+       "{\"v\":1,\"kind\":\"solve\",\"game\":\"rbp\",\"r\":2,\"dag\":{\"nodes\":2,\"edges\":[[0,1],[1,0]]}}");
+  check_err "out-of-range edge"
+    (Wire.decode_request
+       "{\"v\":1,\"kind\":\"solve\",\"game\":\"rbp\",\"r\":2,\"dag\":{\"nodes\":2,\"edges\":[[0,5]]}}");
+  check_err "unknown event" (Wire.decode_event "{\"v\":1,\"ev\":\"nope\"}");
+  check_err "bracket with wrong kind"
+    (Wire.decode_bracket "{\"v\":1,\"kind\":\"solve\"}")
+
+let test_defaults () =
+  (* clients may omit variants/budget/flags *)
+  match
+    Wire.decode_request
+      "{\"v\":1,\"kind\":\"solve\",\"game\":\"prbp\",\"r\":3,\"dag\":{\"nodes\":2,\"edges\":[[0,1]]}}"
+  with
+  | Error e -> Alcotest.failf "minimal request: %s" e
+  | Ok rq ->
+      check_true "no variants" (rq.Wire.variants = Wire.no_variants);
+      check_true "no budget" (rq.Wire.budget = Wire.no_budget);
+      check_false "no strategy" rq.Wire.want_strategy;
+      check_false "no stream" rq.Wire.stream
+
+let test_json_parser () =
+  check_err "trailing garbage" (Json.of_string "{} {}");
+  check_err "deep nesting"
+    (Json.of_string (String.concat "" (List.init 200 (fun _ -> "["))));
+  check_err "lone surrogate" (Json.of_string "\"\\ud800\"");
+  check_err "raw control" (Json.of_string "\"a\nb\"");
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.String s) -> check_int "surrogate pair decodes" 4 (String.length s)
+  | _ -> Alcotest.fail "surrogate pair rejected");
+  (match Json.of_string "123456789012345" with
+  | Ok (Json.Int i) -> check_int "big int exact" 123456789012345 i
+  | _ -> Alcotest.fail "int parsed as float");
+  match Json.of_string "1.5e2" with
+  | Ok (Json.Float f) -> check_true "float" (f = 150.0)
+  | _ -> Alcotest.fail "float literal"
+
+let test_game_labels () =
+  List.iter
+    (fun g ->
+      match Wire.game_of_label (Wire.game_label g) with
+      | Ok g' -> check_true "label roundtrip" (g = g')
+      | Error e -> Alcotest.failf "game label: %s" e)
+    [ Wire.Rbp; Wire.Prbp; Wire.Black; Wire.Multi_rbp 4; Wire.Multi_prbp 7 ];
+  check_err "bad multi" (Wire.game_of_label "multi-rbp:zero");
+  check_err "empty" (Wire.game_of_label "")
+
+let test_budget_class () =
+  let b s m w = { Wire.max_states = s; max_millis = m; max_words = w } in
+  check_true "unset caps"
+    (Wire.budget_class (b None None None) = "s_:m_:w_");
+  (* near-identical budgets share a class; different magnitudes do not *)
+  check_true "same bucket"
+    (Wire.budget_class (b (Some 1000) None None)
+    = Wire.budget_class (b (Some 1024) None None));
+  check_true "different bucket"
+    (Wire.budget_class (b (Some 1000) None None)
+    <> Wire.budget_class (b (Some 100_000) None None))
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form + content hash (the prbpd cache key) *)
+
+let permuted g seed =
+  (* relabel g by a seeded pseudo-random permutation *)
+  let n = Dag.n_nodes g in
+  let perm = Array.init n (fun i -> i) in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand bound =
+    state := (!state * 1103515245) + 12345;
+    (!state lsr 7) mod bound
+  in
+  for i = n - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  Dag.make ~n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (Dag.edges g))
+
+let hash_iso_invariant =
+  qcase ~count:100 "Dag.hash: isomorphic relabelings hash identically"
+    (QCheck.pair gen_dag_params QCheck.small_nat)
+    (fun (params, seed) ->
+      let g = dag_of params in
+      Dag.hash g = Dag.hash (permuted g seed)
+      && Prbp.Serialize.canonical g = Prbp.Serialize.canonical (permuted g seed))
+
+let hash_structure_sensitive =
+  qcase ~count:100 "Dag.hash: dropping an edge changes the hash"
+    gen_dag_params
+    (fun params ->
+      let g = dag_of params in
+      let edges = Dag.edges g in
+      match edges with
+      | [] -> QCheck.assume_fail ()
+      | _ :: rest ->
+          (* removing one edge may strand a node, but node count stays
+             in the encoding, so only the structure differs *)
+          let g' = Dag.make ~n:(Dag.n_nodes g) rest in
+          Dag.hash g <> Dag.hash g')
+
+let test_hash_stable () =
+  (* byte-stability across runs and processes: a pinned digest (the
+     cache key must outlive the process that wrote the entry) *)
+  let g = Prbp.Graphs.Basic.diamond () in
+  Alcotest.(check string)
+    "diamond digest" "669b7da3d2ca5f29dced286fd4dc6839" (Dag.hash g);
+  Alcotest.(check string) "repeatable" (Dag.hash g) (Dag.hash g);
+  check_int "digest width" 32 (String.length (Dag.hash g))
+
+let test_hash_ignores_names () =
+  let edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let bare = Dag.make ~n:4 edges in
+  let named =
+    Dag.make ~names:[| "a"; "b"; "c"; "d" |] ~family:"diamond" ~n:4 edges
+  in
+  Alcotest.(check string)
+    "names/family never hash" (Dag.hash bare) (Dag.hash named)
+
+let suite =
+  [
+    ( "wire",
+      [
+        roundtrip_request;
+        roundtrip_outcome;
+        roundtrip_bracket;
+        roundtrip_event;
+        case "decoders reject malformed input" test_rejects;
+        case "minimal request decodes with defaults" test_defaults;
+        case "json parser hardening" test_json_parser;
+        case "game labels" test_game_labels;
+        case "budget classes" test_budget_class;
+        hash_iso_invariant;
+        hash_structure_sensitive;
+        case "hash is byte-stable" test_hash_stable;
+        case "hash ignores names" test_hash_ignores_names;
+      ] );
+  ]
