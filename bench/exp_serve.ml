@@ -158,6 +158,12 @@ let replay_cost item strategy =
         (Prbp.Prbp_game.check
            (Prbp.Prbp_game.config ~one_shot:true ~r:item.r ())
            item.dag moves)
+  | Wire.Multi_rbp_strategy (p, moves) ->
+      Result.to_option
+        (Prbp.Multi.R.check (Prbp.Multi.config ~p ~r:item.r ()) item.dag moves)
+  | Wire.Multi_prbp_strategy (p, moves) ->
+      Result.to_option
+        (Prbp.Multi.P.check (Prbp.Multi.config ~p ~r:item.r ()) item.dag moves)
 
 let verify_reply item reply =
   if item.path = "/v1/solve" then

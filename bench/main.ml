@@ -15,6 +15,7 @@
 let experiments =
   Exp_fundamentals.all @ Exp_partitions.all @ Exp_bounds.all
   @ Exp_variants.all @ Exp_extensions.all @ Exp_bracket.all
+  @ Exp_frontier.all
 
 let default_jobs = min 8 (Domain.recommended_domain_count ())
 

@@ -230,11 +230,104 @@ let run_brackets ppf =
   Prbp.Table.print ppf t;
   rows
 
+(* ------------------------------------------------------------------ *)
+(* Frontier rows: certified multiprocessor trade-off fronts.  One row
+   per (family, game) at a fixed processor count — a small instance
+   the exact engine settles completely (the committed baseline pins an
+   exact, fully verified front) and paper-scale instances served by
+   the pooled-capacity brackets.  Schema v9 lands them in a
+   "frontiers" array next to the bracket rows. *)
+
+let frontier_cases () =
+  let module F = Prbp.Frontier.Frontier in
+  let fig1 = fst (Prbp.Graphs.Fig1.full ()) in
+  let fft = Prbp.Graphs.Fft.make ~m:64 in
+  let qkt = Prbp.Graphs.Attention.qkt ~m:16 ~d:8 in
+  [
+    ("fig1", F.Rbp_mc, fig1, 2, [ 3; 4 ]);
+    ("fig1", F.Prbp_mc, fig1, 2, [ 3; 4 ]);
+    ("fft:64", F.Rbp_mc, fft.Prbp.Graphs.Fft.dag, 4, [ 4; 8 ]);
+    ("attention-qkt:16:8", F.Prbp_mc, qkt.Prbp.Graphs.Matmul.dag, 4, [ 4; 8 ]);
+  ]
+
+let frontier_stats (f : Prbp.Frontier.Frontier.t) =
+  let module F = Prbp.Frontier.Frontier in
+  let points_n = List.length f.F.points in
+  let open_n = List.length (F.open_points f) in
+  (* the same summed-width metric encode_frontier emits as front_width *)
+  let width =
+    List.fold_left
+      (fun acc (pt : F.point) ->
+        match pt.F.comm_upper with
+        | Some u -> acc + (u - pt.F.comm_lower)
+        | None -> acc)
+      0 f.F.points
+  in
+  (points_n, open_n, width)
+
+let run_frontiers ppf =
+  let module F = Prbp.Frontier.Frontier in
+  Format.fprintf ppf "@.=== PERF — certified frontiers ===@.@.";
+  let t =
+    Prbp.Table.make
+      ~header:[ "family"; "game"; "points"; "open"; "width"; "time" ]
+  in
+  let budget = bracket_budget () in
+  let rows =
+    List.map
+      (fun (family, game, g, p, rs) ->
+        Gc.compact ();
+        let f = F.sweep ~budget game ~p ~rs g in
+        let points_n, open_n, width = frontier_stats f in
+        Prbp.Table.add_rowf t "%s|%s|%d|%d|%d|%.1fs" family
+          (F.game_label game ~p) points_n open_n width f.F.elapsed_s;
+        Prbp.Wire.encode_frontier (Prbp.Wire.frontier_of ~family ~dag:g f))
+      (frontier_cases ())
+  in
+  Prbp.Table.print ppf t;
+  rows
+
 (* [--check-widths]: re-run the bracket cases under the standard bench
    budget and gate on the interval widths committed in
    BENCH_solver.json.  Returns the process exit code: 1 when any
    committed case's width regressed (or a case with a baseline failed
-   to bracket at all), 0 otherwise. *)
+   to bracket at all), 0 otherwise.  Schema v9 extends the gate to the
+   frontier rows: settled point counts must not shrink, open intervals
+   must not multiply, summed widths must not grow past the slack. *)
+let check_frontier_widths ppf =
+  let module R = Prbp.Regression in
+  let module F = Prbp.Frontier.Frontier in
+  let baseline =
+    try R.frontier_rows_of_file "BENCH_solver.json" with Sys_error _ -> []
+  in
+  if baseline = [] then begin
+    Format.fprintf ppf
+      "check-widths: no committed frontier baseline — brackets only@.";
+    0
+  end
+  else begin
+    let budget = bracket_budget () in
+    let current =
+      List.map
+        (fun (family, game, g, p, rs) ->
+          Gc.compact ();
+          let f = F.sweep ~budget game ~p ~rs g in
+          let points_n, open_n, front_width = frontier_stats f in
+          {
+            R.f_family = family;
+            f_game = F.game_label game ~p;
+            points_n;
+            open_n;
+            front_width;
+          })
+        (frontier_cases ())
+    in
+    let verdicts = R.check_frontiers ~baseline current in
+    List.iter (fun v -> Format.fprintf ppf "%a@." R.pp_frontier_verdict v)
+      verdicts;
+    if R.frontier_regressed verdicts then 1 else 0
+  end
+
 let check_widths ppf =
   let module R = Prbp.Regression in
   let baseline =
@@ -276,7 +369,8 @@ let check_widths ppf =
     in
     let verdicts = R.check ~baseline current in
     List.iter (fun v -> Format.fprintf ppf "%a@." R.pp_verdict v) verdicts;
-    if R.regressed verdicts || !failed then 1 else 0
+    let bracket_code = if R.regressed verdicts || !failed then 1 else 0 in
+    max bracket_code (check_frontier_widths ppf)
   end
 
 let show_interval r =
@@ -364,8 +458,9 @@ let run_solver ?(jobs = 1) ppf =
     end
   in
   let bracket_rows = run_brackets ppf in
+  let frontier_rows = run_frontiers ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v8\",\n";
+  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v9\",\n";
   (* filled in by the [--serve] load generator (Exp_serve), which
      patches this single line in place *)
   Buffer.add_string buf "  \"serve\": null,\n";
@@ -430,6 +525,12 @@ let run_solver ?(jobs = 1) ppf =
       Printf.bprintf buf "    %s%s\n" row
         (if i = List.length bracket_rows - 1 then "" else ","))
     bracket_rows;
+  Buffer.add_string buf "  ],\n  \"frontiers\": [\n";
+  List.iteri
+    (fun i row ->
+      Printf.bprintf buf "    %s%s\n" row
+        (if i = List.length frontier_rows - 1 then "" else ","))
+    frontier_rows;
   Buffer.add_string buf "  ]\n}\n";
   let oc = open_out "BENCH_solver.json" in
   Buffer.output_buffer oc buf;

@@ -772,6 +772,213 @@ let bracket_cmd =
       const run $ family_arg $ r_arg $ game_arg $ max_states $ deadline
       $ rules $ json $ profile $ trace $ obs_args)
 
+let frontier_cmd =
+  let run family fgame rs comm_cap r_max max_states deadline jobs rules json
+      with_strategy obs =
+    with_obs obs @@ fun () ->
+    let module F = Prbp.Frontier.Frontier in
+    let g = build family in
+    let game, p = fgame in
+    (match rules with
+    | None -> ()
+    | Some names ->
+        let known = Prbp.Bounds.Lower.names () in
+        List.iter
+          (fun n ->
+            if not (List.mem n known) then
+              failwith
+                (Printf.sprintf "unknown lower rule %S (registered: %s)" n
+                   (String.concat ", " known)))
+          names);
+    let budget = Prbp.Solver.Budget.v ~max_states ?max_millis:deadline () in
+    match comm_cap with
+    | Some comm_cap -> (
+        (* reverse ε-constraint: least capacity meeting the cap *)
+        match
+          F.min_r_for_comm ~budget ?rules ~jobs game ~p ~comm_cap ?r_max g
+        with
+        | F.Min_r { r; comm } ->
+            if json then
+              Printf.printf
+                "{\"v\":1,\"kind\":\"min-r\",\"game\":%S,\"comm_cap\":%d,\"r\":%d,\"comm\":%d}\n"
+                (F.game_label game ~p) comm_cap r comm
+            else
+              Format.printf
+                "least r with OPT_comm <= %d: r = %d (comm %d)@." comm_cap r
+                comm;
+            0
+        | F.Min_r_between (lo, hi) ->
+            if json then
+              Printf.printf
+                "{\"v\":1,\"kind\":\"min-r\",\"game\":%S,\"comm_cap\":%d,\"r_lower\":%d,\"r_upper\":%d}\n"
+                (F.game_label game ~p) comm_cap lo hi
+            else
+              Format.printf
+                "least r with OPT_comm <= %d: certified in [%d, %d] (budget \
+                 exhausted)@."
+                comm_cap lo hi;
+            exit_bounded
+        | F.Min_r_infeasible ->
+            if json then
+              Printf.printf
+                "{\"v\":1,\"kind\":\"min-r\",\"game\":%S,\"comm_cap\":%d,\"infeasible\":true}\n"
+                (F.game_label game ~p) comm_cap
+            else
+              Format.printf "no capacity meets OPT_comm <= %d@." comm_cap;
+            0)
+    | None ->
+        let f = F.sweep ~budget ?rules ~jobs game ~p ~rs g in
+        if json then
+          print_endline
+            (Prbp.Wire.encode_frontier
+               (Prbp.Wire.frontier_of ~family:(family_label family)
+                  ~with_moves:with_strategy ~dag:g f))
+        else begin
+          Format.printf "%s frontier of %s (model %s):@."
+            (F.game_label game ~p) (family_label family) f.F.model;
+          List.iter
+            (fun (pt : F.point) ->
+              let itv lo = function
+                | Some hi when hi = lo -> Printf.sprintf "%d" lo
+                | Some hi -> Printf.sprintf "[%d, %d]" lo hi
+                | None -> Printf.sprintf ">= %d" lo
+              in
+              Format.printf
+                "  r = %-3d comm %-10s time %-10s %-9s %s%s%s@." pt.F.r
+                (itv pt.F.comm_lower pt.F.comm_upper)
+                (itv pt.F.time_lower pt.F.time_upper)
+                (match pt.F.status with
+                | `Exact -> "exact"
+                | `Bracketed -> "bracketed")
+                pt.F.source
+                (if pt.F.verified then ", verified" else "")
+                (if pt.F.dominated then ", dominated" else ""))
+            f.F.points;
+          if f.F.infeasible_rs <> [] then
+            Format.printf "  infeasible at r = %s@."
+              (String.concat ", " (List.map string_of_int f.F.infeasible_rs));
+          Format.printf "front: %d of %d points%s@."
+            (List.length (F.front f))
+            (List.length f.F.points)
+            (if f.F.exhausted then " (budget exhausted: intervals open)"
+             else "")
+        end;
+        if f.F.exhausted then exit_bounded else 0
+  in
+  let parse_multi_game s =
+    let bad () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown multiprocessor game %S (try multi-rbp:P, multi-prbp:P)"
+             s))
+    in
+    match String.split_on_char ':' s with
+    | [ "multi-rbp"; p ] -> (
+        match int_of_string_opt p with
+        | Some p when p >= 1 -> Ok (Prbp.Frontier.Frontier.Rbp_mc, p)
+        | _ -> bad ())
+    | [ "multi-prbp"; p ] -> (
+        match int_of_string_opt p with
+        | Some p when p >= 1 -> Ok (Prbp.Frontier.Frontier.Prbp_mc, p)
+        | _ -> bad ())
+    | _ -> bad ()
+  in
+  let multi_game_conv =
+    Arg.conv
+      ( parse_multi_game,
+        fun ppf (g, p) ->
+          Fmt.string ppf (Prbp.Frontier.Frontier.game_label g ~p) )
+  in
+  let fgame =
+    Arg.(
+      value
+      & opt multi_game_conv (Prbp.Frontier.Frontier.Prbp_mc, 2)
+      & info [ "g"; "game" ] ~docv:"GAME"
+          ~doc:
+            "Multiprocessor game to sweep: $(b,multi-rbp:P) or \
+             $(b,multi-prbp:P) with $(i,P) processors.")
+  in
+  let rs =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4 ]
+      & info [ "r" ] ~docv:"R1,R2,..."
+          ~doc:"Comma-separated per-processor capacities to sweep.")
+  in
+  let comm_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "comm-cap" ] ~docv:"C"
+          ~doc:
+            "Reverse mode: binary-search the least capacity whose certified \
+             communication optimum is at most $(docv), instead of sweeping.")
+  in
+  let r_max =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "r-max" ] ~docv:"N"
+          ~doc:
+            "With $(b,--comm-cap): cap the capacity search (default: the \
+             node count).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "max-states" ] ~doc:"State budget shared by every probe.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "deadline" ] ~docv:"DUR"
+          ~doc:
+            "Wall-clock budget for the whole sweep, split across the \
+             capacities still to run.  Past it, open points keep certified \
+             intervals and the command exits 10.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Parallel search domains per exact probe.")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "rules" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated lower-bound rule names for bracketed points \
+             (default: every registered rule).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the wire-schema frontier record on stdout.")
+  in
+  let with_strategy =
+    Arg.(
+      value & flag
+      & info [ "strategy" ]
+          ~doc:"With $(b,--json): embed each point's witness strategy.")
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:
+         "Certified time/communication/memory trade-off frontiers for the \
+          multiprocessor games: sweep per-processor capacities, minimizing \
+          communication at each (exactly in reach of the exact engine, by \
+          certified bracket beyond), price witnesses through the unit cost \
+          model, and report the certified Pareto front.  Exits 10 when the \
+          budget left intervals open, 0 when every point settled.")
+    Term.(
+      const run $ family_arg $ fgame $ rs $ comm_cap $ r_max $ max_states
+      $ deadline $ jobs $ rules $ json $ with_strategy $ obs_args)
+
 let trace_cmd =
   let run family r game =
     let g = build family in
@@ -863,6 +1070,6 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "pebble_cli" ~doc)
           [
-            info_cmd; solve_cmd; bracket_cmd; strategy_cmd; partition_cmd;
-            dot_cmd; trace_cmd; export_cmd; analyze_cmd;
+            info_cmd; solve_cmd; bracket_cmd; frontier_cmd; strategy_cmd;
+            partition_cmd; dot_cmd; trace_cmd; export_cmd; analyze_cmd;
           ]))

@@ -109,17 +109,21 @@ let cmd =
   Cmd.v
     (Cmd.info "prbpd" ~version:"%%VERSION%%"
        ~doc:
-         "Anytime pebbling service: exact solves and certified brackets \
-          over a versioned JSON wire, with admission control and a \
-          content-addressed certificate cache."
+         "Anytime pebbling service: exact solves, certified brackets and \
+          multiprocessor trade-off frontiers over a versioned JSON wire, \
+          with admission control and a content-addressed certificate \
+          cache."
        ~man:
          [
            `S Manpage.s_description;
            `P
-             "POST wire-schema requests to /v1/solve or /v1/bracket; GET \
-              /metrics for Prometheus text, /healthz for liveness.  \
-              Budget-truncated solves return certified [lower, upper] \
-              intervals instead of errors.";
+             "POST wire-schema requests to /v1/solve, /v1/bracket or \
+              /v1/frontier; GET /metrics for Prometheus text, /healthz \
+              for liveness.  Budget-truncated solves return certified \
+              [lower, upper] intervals instead of errors; /v1/frontier \
+              sweeps the requested capacities ($(b,rs)) of a \
+              multiprocessor game into an anytime certified Pareto \
+              front, every point re-verified before it is served.";
          ])
     Term.(
       const serve $ addr_arg $ workers_arg $ queue_arg $ cache_arg

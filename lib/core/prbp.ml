@@ -100,6 +100,17 @@ module Bounds = struct
   module Lower = Prbp_bounds.Lower
   module Upper = Prbp_bounds.Upper
   module Bracket = Prbp_bounds.Bracket
+  module Multi_bounds = Prbp_bounds.Multi_bounds
+end
+
+(** Certified multiprocessor trade-off frontiers: the per-move
+    {!Frontier.Cost_model} pricing (compute time, communication,
+    resident memory) and the anytime ε-constraint Pareto enumerator
+    {!Frontier.Frontier} over {!Exact_multi} and
+    {!Bounds.Multi_bounds}. *)
+module Frontier = struct
+  module Cost_model = Prbp_frontier.Cost_model
+  module Frontier = Prbp_frontier.Frontier
 end
 
 (** The versioned wire schema ([{"v":1}]): JSON request / outcome /

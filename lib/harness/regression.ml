@@ -128,3 +128,101 @@ let pp_verdict ppf = function
 
 let regressed verdicts =
   List.exists (function Regressed _ -> true | _ -> false) verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Frontier rows (schema v9).  v8 files simply contain no "frontier"
+   rows, so the same lenient scan accepts both generations. *)
+
+type frontier_row = {
+  f_family : string;
+  f_game : string;  (* "multi-rbp:P" / "multi-prbp:P" *)
+  points_n : int;
+  open_n : int;
+  front_width : int;  (* summed communication interval widths *)
+}
+
+let frontier_key row = (row.f_family, row.f_game)
+
+let frontier_row_of_line line =
+  if string_field line "kind" <> Some "frontier" then None
+  else
+    match
+      ( string_field line "family",
+        string_field line "game",
+        int_field line "points_n",
+        int_field line "open_n",
+        int_field line "front_width" )
+    with
+    | Some f_family, Some f_game, Some points_n, Some open_n, Some front_width
+      ->
+        Some { f_family; f_game; points_n; open_n; front_width }
+    | _ -> None
+
+let frontier_rows_of_string s =
+  String.split_on_char '\n' s |> List.filter_map frontier_row_of_line
+
+let frontier_rows_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      frontier_rows_of_string
+        (really_input_string ic (in_channel_length ic)))
+
+type frontier_verdict =
+  | Frontier_ok of { row : frontier_row; baseline : frontier_row }
+  | Frontier_regressed of {
+      row : frontier_row;
+      baseline : frontier_row;
+      what : string;
+    }
+  | Frontier_new of frontier_row
+
+let check_frontiers ?(slack_pct = 10) ~baseline current =
+  List.map
+    (fun row ->
+      match
+        List.find_opt (fun b -> frontier_key b = frontier_key row) baseline
+      with
+      | None -> Frontier_new row
+      | Some b ->
+          (* fewer settled capacities, more open intervals, or fatter
+             intervals than the committed run are each a regression;
+             the width gets the same wobble slack as brackets *)
+          let width_limit =
+            max (b.front_width + 1) (b.front_width * (100 + slack_pct) / 100)
+          in
+          if row.points_n < b.points_n then
+            Frontier_regressed { row; baseline = b; what = "fewer points" }
+          else if row.open_n > b.open_n then
+            Frontier_regressed
+              { row; baseline = b; what = "more open intervals" }
+          else if row.front_width > width_limit then
+            Frontier_regressed
+              {
+                row;
+                baseline = b;
+                what = Printf.sprintf "width > limit %d" width_limit;
+              }
+          else Frontier_ok { row; baseline = b })
+    current
+
+let pp_frontier_verdict ppf = function
+  | Frontier_ok { row; baseline } ->
+      Format.fprintf ppf
+        "ok        %s %s: %d points, %d open, width %d (baseline width %d)"
+        row.f_family row.f_game row.points_n row.open_n row.front_width
+        baseline.front_width
+  | Frontier_regressed { row; baseline; what } ->
+      Format.fprintf ppf
+        "REGRESSED %s %s: %s (now %d points / %d open / width %d, baseline \
+         %d / %d / %d)"
+        row.f_family row.f_game what row.points_n row.open_n row.front_width
+        baseline.points_n baseline.open_n baseline.front_width
+  | Frontier_new row ->
+      Format.fprintf ppf "new       %s %s: %d points, %d open, width %d (no \
+                          baseline)"
+        row.f_family row.f_game row.points_n row.open_n row.front_width
+
+let frontier_regressed verdicts =
+  List.exists (function Frontier_regressed _ -> true | _ -> false) verdicts

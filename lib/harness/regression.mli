@@ -1,4 +1,5 @@
-(** Interval-width regression gate for the bracket benchmark.
+(** Interval-width regression gate for the bracket and frontier
+    benchmarks.
 
     A bracket's quality is its {e interval width} ([upper − lower]);
     the committed [BENCH_solver.json] records one per bracket case.
@@ -6,7 +7,15 @@
     (one object per line — a field scan, no JSON dependency) and
     compares a fresh run against them, flagging any case whose width
     grew beyond a small slack.  [bench/main.exe --check-widths] and the
-    CI bracket smoke are the two callers. *)
+    CI bracket smoke are the two callers.
+
+    {b Schema history.}  [BENCH_solver.json] schema
+    ["prbp-solver-bench/v9"] adds a ["frontiers"] array of
+    ["kind":"frontier"] rows (one per multiprocessor frontier case,
+    carrying [points_n] / [front_n] / [open_n] / [front_width]); v8
+    files simply contain no such rows, so both generations parse under
+    the same lenient line scan — a v8 baseline yields bracket verdicts
+    and an empty frontier baseline, never an error. *)
 
 type row = {
   family : string;  (** e.g. ["fft:128"] *)
@@ -45,3 +54,49 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 val regressed : verdict list -> bool
 (** [true] iff some verdict is {!Regressed}. *)
+
+(** {1 Frontier rows (schema v9)} *)
+
+type frontier_row = {
+  f_family : string;  (** e.g. ["fft:64"] *)
+  f_game : string;  (** ["multi-rbp:P"] or ["multi-prbp:P"] *)
+  points_n : int;  (** feasible swept capacities *)
+  open_n : int;  (** points whose communication interval is open *)
+  front_width : int;  (** summed communication interval widths *)
+}
+
+val frontier_key : frontier_row -> string * string
+(** Identity of a frontier case: [(family, game)] — the game label
+    carries the processor count. *)
+
+val frontier_row_of_line : string -> frontier_row option
+(** Parse one line; [None] unless it is a ["kind":"frontier"] row
+    carrying all five fields. *)
+
+val frontier_rows_of_string : string -> frontier_row list
+
+val frontier_rows_of_file : string -> frontier_row list
+(** Raises [Sys_error] if the file cannot be read. *)
+
+type frontier_verdict =
+  | Frontier_ok of { row : frontier_row; baseline : frontier_row }
+  | Frontier_regressed of {
+      row : frontier_row;
+      baseline : frontier_row;
+      what : string;  (** which gate tripped, human-readable *)
+    }
+  | Frontier_new of frontier_row  (** no baseline with the same key *)
+
+val check_frontiers :
+  ?slack_pct:int ->
+  baseline:frontier_row list ->
+  frontier_row list ->
+  frontier_verdict list
+(** One verdict per current row: a case regresses when it settles
+    fewer points than the baseline, leaves more intervals open, or its
+    summed width grows past the same slack rule as {!check}. *)
+
+val pp_frontier_verdict : Format.formatter -> frontier_verdict -> unit
+
+val frontier_regressed : frontier_verdict list -> bool
+(** [true] iff some verdict is {!Frontier_regressed}. *)

@@ -2,10 +2,13 @@ module Dag = Prbp_dag.Dag
 module Move = Prbp_pebble.Move
 module Rbp = Prbp_pebble.Rbp
 module Prbp_game = Prbp_pebble.Prbp
+module Multi = Prbp_pebble.Multi
 module Solver = Prbp_solver.Solver
 module Exact_rbp = Prbp_solver.Exact_rbp
 module Exact_prbp = Prbp_solver.Exact_prbp
+module Exact_multi = Prbp_solver.Exact_multi
 module Bracket = Prbp_bounds.Bracket
+module Frontier = Prbp_frontier.Frontier
 module Metrics = Prbp_obs.Metrics
 module Wire = Prbp_wire.Wire
 
@@ -35,7 +38,10 @@ let default_config =
 (* ------------------------------------------------------------------ *)
 (* State *)
 
-type entry = Solve_cert of Wire.outcome | Bracket_cert of Wire.bracket
+type entry =
+  | Solve_cert of Wire.outcome
+  | Bracket_cert of Wire.bracket
+  | Frontier_cert of Wire.frontier
 (* cached certificates, strategies in canonical label space *)
 
 type state = {
@@ -88,9 +94,26 @@ let permute_p perm : Move.P.t -> Move.P.t = function
   | Delete v -> Delete perm.(v)
   | Clear v -> Clear perm.(v)
 
+(* multiprocessor moves: permute node ids, keep the processor *)
+let permute_mr perm : Multi.Move.rbp -> Multi.Move.rbp = function
+  | Load (q, v) -> Load (q, perm.(v))
+  | Save (q, v) -> Save (q, perm.(v))
+  | Compute (q, v) -> Compute (q, perm.(v))
+  | Delete (q, v) -> Delete (q, perm.(v))
+
+let permute_mp perm : Multi.Move.prbp -> Multi.Move.prbp = function
+  | Load (q, v) -> Load (q, perm.(v))
+  | Save (q, v) -> Save (q, perm.(v))
+  | Compute (q, (u, v)) -> Compute (q, (perm.(u), perm.(v)))
+  | Delete (q, v) -> Delete (q, perm.(v))
+
 let permute_strategy perm = function
   | Wire.Rbp_strategy ms -> Wire.Rbp_strategy (List.map (permute_r perm) ms)
   | Wire.Prbp_strategy ms -> Wire.Prbp_strategy (List.map (permute_p perm) ms)
+  | Wire.Multi_rbp_strategy (p, ms) ->
+      Wire.Multi_rbp_strategy (p, List.map (permute_mr perm) ms)
+  | Wire.Multi_prbp_strategy (p, ms) ->
+      Wire.Multi_prbp_strategy (p, List.map (permute_mp perm) ms)
 
 let inverse perm =
   let inv = Array.make (Array.length perm) 0 in
@@ -144,6 +167,13 @@ let checked_cost ~(rq : Wire.request) g strategy =
         Prbp_game.config ~one_shot:(not recompute) ~recompute ~no_delete ~r ()
       in
       match Prbp_game.check cfg g moves with Ok c -> Some c | Error _ -> None)
+  | Wire.Multi_rbp_strategy (p, moves) -> (
+      (* variant-free by construction: multi requests reject variants *)
+      let cfg = Multi.config ~p ~r () in
+      match Multi.R.check cfg g moves with Ok c -> Some c | Error _ -> None)
+  | Wire.Multi_prbp_strategy (p, moves) -> (
+      let cfg = Multi.config ~p ~r () in
+      match Multi.P.check cfg g moves with Ok c -> Some c | Error _ -> None)
 
 let verify_solve_entry ~rq g (o : Wire.outcome) =
   match (o.strategy, o.status) with
@@ -178,8 +208,8 @@ let respond_json ?(headers = []) ~status fd body =
     ~headers:(("content-type", "application/json") :: headers)
     ~status ~body fd
 
-let respond_error fd status msg =
-  respond_json ~status fd (Wire.encode_error msg)
+let respond_error ?code fd status msg =
+  respond_json ~status fd (Wire.encode_error ?code msg)
 
 let budget_of state (rq : Wire.request) =
   let b = rq.budget in
@@ -231,7 +261,40 @@ let solve_telemetry ~(rq : Wire.request) fd =
 let client_view (rq : Wire.request) (o : Wire.outcome) =
   if rq.want_strategy then o else { o with Wire.strategy = None }
 
-let handle_solve state (rq : Wire.request) fd =
+(* Exact_multi's structural preconditions, checked before any response
+   bytes are written: violations get a structured 4xx (code
+   "invalid-argument") instead of an [Invalid_argument] escaping
+   mid-stream. *)
+let multi_precheck (rq : Wire.request) =
+  let g = rq.dag in
+  let common p =
+    if p < 1 || p > 8 then
+      Error
+        (Printf.sprintf "multiprocessor games support 1..8 processors, got %d"
+           p)
+    else if Dag.n_nodes g > 62 then
+      Error
+        (Printf.sprintf "multiprocessor exact solves cap at 62 nodes, got %d"
+           (Dag.n_nodes g))
+    else if rq.variants <> Wire.no_variants then
+      Error "multiprocessor games take no variant flags"
+    else Ok ()
+  in
+  match rq.game with
+  | Wire.Multi_rbp p -> common p
+  | Wire.Multi_prbp p -> (
+      match common p with
+      | Error _ as e -> e
+      | Ok () ->
+          if Dag.n_edges g > 62 then
+            Error
+              (Printf.sprintf
+                 "multiprocessor prbp exact solves cap at 62 edges, got %d"
+                 (Dag.n_edges g))
+          else Ok ())
+  | Wire.Rbp | Wire.Prbp | Wire.Black -> Ok ()
+
+let handle_solve_checked state (rq : Wire.request) fd =
   let g = rq.dag in
   let dag_hash = Dag.hash g in
   let fkey = final_key ~kind:"solve" rq ~dag_hash in
@@ -303,7 +366,37 @@ let handle_solve state (rq : Wire.request) fd =
             in
             Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
                   ?strategy ~dag:g oc)
-        | Wire.Black | Wire.Multi_rbp _ | Wire.Multi_prbp _ ->
+        | Wire.Multi_rbp p ->
+            let cfg = Multi.config ~p ~r () in
+            let oc =
+              Exact_multi.rbp_solve ~budget ?telemetry ~want_strategy:true cfg
+                g
+            in
+            let strategy =
+              match oc with
+              | Solver.Optimal { strategy = Some ms; _ }
+              | Solver.Bounded { incumbent_strategy = Some ms; _ } ->
+                  Some (Wire.Multi_rbp_strategy (p, ms))
+              | _ -> None
+            in
+            Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
+                  ?strategy ~dag:g oc)
+        | Wire.Multi_prbp p ->
+            let cfg = Multi.config ~p ~r () in
+            let oc =
+              Exact_multi.prbp_solve ~budget ?telemetry ~want_strategy:true
+                cfg g
+            in
+            let strategy =
+              match oc with
+              | Solver.Optimal { strategy = Some ms; _ }
+              | Solver.Bounded { incumbent_strategy = Some ms; _ } ->
+                  Some (Wire.Multi_prbp_strategy (p, ms))
+              | _ -> None
+            in
+            Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
+                  ?strategy ~dag:g oc)
+        | Wire.Black ->
             Error
               (Printf.sprintf "game %S is not served over the wire"
                  (Wire.game_label rq.game))
@@ -325,6 +418,11 @@ let handle_solve state (rq : Wire.request) fd =
           | None -> ());
           deliver ~rq ~cache_status:"miss" fd
             (Wire.encode_outcome (client_view rq o)))
+
+let handle_solve state (rq : Wire.request) fd =
+  match multi_precheck rq with
+  | Error msg -> respond_error ~code:"invalid-argument" fd 400 msg
+  | Ok () -> handle_solve_checked state rq fd
 
 let bracket_view (rq : Wire.request) (b : Wire.bracket) =
   if rq.want_strategy then b else { b with Wire.strategy = None }
@@ -397,6 +495,127 @@ let handle_bracket state (rq : Wire.request) fd =
                 (Wire.encode_bracket (bracket_view rq wb))))
 
 (* ------------------------------------------------------------------ *)
+(* Frontier handling *)
+
+let frontier_rs (rq : Wire.request) =
+  match rq.rs with
+  | Some rs when rs <> [] -> List.sort_uniq compare rs
+  | _ -> [ rq.r ]
+
+(* the swept capacities are part of the identity of a frontier, so
+   they join the cache key *)
+let frontier_key ~budget_part (rq : Wire.request) ~dag_hash =
+  let rs_tag = String.concat "," (List.map string_of_int (frontier_rs rq)) in
+  cache_key ~kind:("frontier:" ^ rs_tag) ~budget_part rq ~dag_hash
+
+(* every cached point's witness must replay at exactly its claimed
+   comm_upper; one failure drops the whole entry *)
+let verify_frontier_entry ~(rq : Wire.request) g (f : Wire.frontier) =
+  let ok = ref true in
+  let points =
+    List.map
+      (fun (pt : Wire.frontier_point) ->
+        match pt.strategy with
+        | None -> pt
+        | Some canon -> (
+            let strategy = of_canonical g canon in
+            let rq_pt = { rq with Wire.r = pt.r } in
+            match (checked_cost ~rq:rq_pt g strategy, pt.comm_upper) with
+            | Some c, Some cu when c = cu ->
+                { pt with Wire.strategy = Some strategy }
+            | _ ->
+                ok := false;
+                pt))
+      f.points
+  in
+  if !ok then Some { f with Wire.points } else None
+
+let frontier_view (rq : Wire.request) (f : Wire.frontier) =
+  if rq.want_strategy then f
+  else
+    {
+      f with
+      Wire.points =
+        List.map
+          (fun (pt : Wire.frontier_point) -> { pt with Wire.strategy = None })
+          f.points;
+    }
+
+let handle_frontier state (rq : Wire.request) fd =
+  let g = rq.dag in
+  match rq.game with
+  | Wire.Rbp | Wire.Prbp | Wire.Black ->
+      respond_error ~code:"invalid-argument" fd 400
+        "frontier requires a multiprocessor game (multi-rbp:P / multi-prbp:P)"
+  | (Wire.Multi_rbp p | Wire.Multi_prbp p) when p < 1 ->
+      respond_error ~code:"invalid-argument" fd 400
+        (Printf.sprintf "frontier needs p >= 1 processors, got %d" p)
+  | (Wire.Multi_rbp _ | Wire.Multi_prbp _)
+    when rq.variants <> Wire.no_variants ->
+      respond_error ~code:"invalid-argument" fd 400
+        "multiprocessor games take no variant flags"
+  | (Wire.Multi_rbp p | Wire.Multi_prbp p) as game -> (
+      let fgame =
+        match game with
+        | Wire.Multi_rbp _ -> Frontier.Rbp_mc
+        | _ -> Frontier.Prbp_mc
+      in
+      let dag_hash = Dag.hash g in
+      let rs = frontier_rs rq in
+      let fkey = frontier_key ~budget_part:"final" rq ~dag_hash in
+      let bkey =
+        frontier_key ~budget_part:(Wire.budget_class rq.budget) rq ~dag_hash
+      in
+      let cached =
+        match Cache.find state.cache fkey with
+        | Some (Frontier_cert f) -> Some (fkey, f)
+        | _ -> (
+            match Cache.find state.cache bkey with
+            | Some (Frontier_cert f) -> Some (bkey, f)
+            | _ -> None)
+      in
+      let verified =
+        Option.bind cached (fun (key, f) ->
+            match verify_frontier_entry ~rq g f with
+            | Some f -> Some f
+            | None ->
+                Cache.remove state.cache key;
+                None)
+      in
+      match verified with
+      | Some f ->
+          Metrics.Counter.incr state.cache_hits;
+          stream_head ~rq ~cache_status:"hit" fd;
+          deliver ~rq ~cache_status:"hit" fd
+            (Wire.encode_frontier (frontier_view rq f))
+      | None ->
+          Metrics.Counter.incr state.cache_misses;
+          stream_head ~rq ~cache_status:"miss" fd;
+          let budget = budget_of state rq in
+          let f = Frontier.sweep ~budget ?rules:rq.rules fgame ~p ~rs g in
+          let wf =
+            Wire.frontier_of ?family:(Dag.family g) ~with_moves:true ~dag:g f
+          in
+          let canon =
+            {
+              wf with
+              Wire.points =
+                List.map
+                  (fun (pt : Wire.frontier_point) ->
+                    {
+                      pt with
+                      Wire.strategy = Option.map (to_canonical g) pt.strategy;
+                    })
+                  wf.Wire.points;
+            }
+          in
+          (* a fully settled sweep is budget-independent *)
+          let key = if not wf.Wire.exhausted then fkey else bkey in
+          Cache.add state.cache key (Frontier_cert canon);
+          deliver ~rq ~cache_status:"miss" fd
+            (Wire.encode_frontier (frontier_view rq wf)))
+
+(* ------------------------------------------------------------------ *)
 (* Connection handling *)
 
 let handle_api state fd (http_rq : Http.request) kind handler =
@@ -418,6 +637,8 @@ let handle_connection state fd =
           handle_api state fd http_rq Wire.Solve handle_solve
       | "POST", "/v1/bracket" ->
           handle_api state fd http_rq Wire.Bracket handle_bracket
+      | "POST", "/v1/frontier" ->
+          handle_api state fd http_rq Wire.Frontier handle_frontier
       | "GET", "/metrics" ->
           Http.write_response
             ~headers:

@@ -1,10 +1,13 @@
 module Dag = Prbp_dag.Dag
 module Move = Prbp_pebble.Move
+module Multi = Prbp_pebble.Multi
 module Solver = Prbp_solver.Solver
 module Bracket = Prbp_bounds.Bracket
 module Lower = Prbp_bounds.Lower
 module Upper = Prbp_bounds.Upper
 module Segment = Prbp_bounds.Segment
+module Multi_bounds = Prbp_bounds.Multi_bounds
+module Frontier = Prbp_frontier.Frontier
 
 let version = 1
 
@@ -246,13 +249,17 @@ let dag_of_json j =
 (* ------------------------------------------------------------------ *)
 (* Requests *)
 
-type kind = Solve | Bracket
+type kind = Solve | Bracket | Frontier
 
-let kind_label = function Solve -> "solve" | Bracket -> "bracket"
+let kind_label = function
+  | Solve -> "solve"
+  | Bracket -> "bracket"
+  | Frontier -> "frontier"
 
 let kind_of_label = function
   | "solve" -> Ok Solve
   | "bracket" -> Ok Bracket
+  | "frontier" -> Ok Frontier
   | s -> Error (Printf.sprintf "unknown request kind %S" s)
 
 type request = {
@@ -265,13 +272,14 @@ type request = {
   want_strategy : bool;
   stream : bool;
   rules : string list option;
+  rs : int list option;
   dag : Dag.t;
 }
 
 let request ?(variants = no_variants) ?(budget = no_budget)
-    ?(want_strategy = false) ?(stream = false) ?rules ~kind ~game ~r dag =
+    ?(want_strategy = false) ?(stream = false) ?rules ?rs ~kind ~game ~r dag =
   { v = version; kind; game; r; variants; budget; want_strategy; stream;
-    rules; dag }
+    rules; rs; dag }
 
 let encode_request rq =
   Json.to_string
@@ -290,6 +298,9 @@ let encode_request rq =
          | None -> []
          | Some rs ->
              [ ("rules", Json.List (List.map (fun r -> Json.String r) rs)) ])
+       @ (match rq.rs with
+         | None -> []
+         | Some rs -> [ ("rs", Json.List (List.map (fun r -> Json.Int r) rs)) ])
        @ [ ("dag", dag_json rq.dag) ]))
 
 let decode_request s =
@@ -322,10 +333,26 @@ let decode_request s =
           Ok (Some rs)
       | Some _ -> Error "field \"rules\": expected an array"
     in
+    let* rs =
+      match Json.member "rs" j with
+      | Some Json.Null | None -> Ok None
+      | Some (Json.List l) ->
+          let* rs =
+            map_m
+              (fun x ->
+                match Json.to_int x with
+                | Some i when i >= 1 -> Ok i
+                | Some _ -> Error "field \"rs\": capacities must be >= 1"
+                | None -> Error "field \"rs\": expected integers")
+              l
+          in
+          Ok (Some rs)
+      | Some _ -> Error "field \"rs\": expected an array"
+    in
     let* dag_j = field "dag" j in
     let* dag = dag_of_json dag_j in
     Ok { v = version; kind; game; r; variants; budget; want_strategy; stream;
-         rules; dag }
+         rules; rs; dag }
 
 (* ------------------------------------------------------------------ *)
 (* Strategies *)
@@ -333,6 +360,8 @@ let decode_request s =
 type strategy =
   | Rbp_strategy of Move.R.t list
   | Prbp_strategy of Move.P.t list
+  | Multi_rbp_strategy of int * Multi.Move.rbp list
+  | Multi_prbp_strategy of int * Multi.Move.prbp list
 
 let op op fields = Json.Obj (("op", Json.String op) :: fields)
 
@@ -375,6 +404,65 @@ let rbp_move_of_json j =
       Ok (Move.R.Slide (u, v))
   | o -> Error (Printf.sprintf "unknown rbp move op %S" o)
 
+(* multiprocessor moves carry the acting processor as "q" *)
+let q_field q = ("q", Json.Int q)
+
+let multi_rbp_move_json : Multi.Move.rbp -> Json.t = function
+  | Load (q, v) -> op "load" (q_field q :: v_field v)
+  | Save (q, v) -> op "save" (q_field q :: v_field v)
+  | Compute (q, v) -> op "compute" (q_field q :: v_field v)
+  | Delete (q, v) -> op "delete" (q_field q :: v_field v)
+
+let multi_prbp_move_json : Multi.Move.prbp -> Json.t = function
+  | Load (q, v) -> op "load" (q_field q :: v_field v)
+  | Save (q, v) -> op "save" (q_field q :: v_field v)
+  | Compute (q, (u, v)) -> op "compute" (q_field q :: uv_fields u v)
+  | Delete (q, v) -> op "delete" (q_field q :: v_field v)
+
+let multi_rbp_move_of_json j : (Multi.Move.rbp, string) result =
+  (* annotate each arm: rbp and prbp constructors share names, and the
+     prbp ones (declared later) would otherwise win disambiguation *)
+  let ok (m : Multi.Move.rbp) = Ok m in
+  let* o = str_field "op" j in
+  let* q = int_field "q" j in
+  if q < 0 then Error "field \"q\": negative"
+  else
+    match o with
+    | "load" ->
+        let* v = int_field "v" j in
+        ok (Multi.Move.Load (q, v))
+    | "save" ->
+        let* v = int_field "v" j in
+        ok (Multi.Move.Save (q, v))
+    | "compute" ->
+        let* v = int_field "v" j in
+        ok (Multi.Move.Compute (q, v))
+    | "delete" ->
+        let* v = int_field "v" j in
+        ok (Multi.Move.Delete (q, v))
+    | o -> Error (Printf.sprintf "unknown multi-rbp move op %S" o)
+
+let multi_prbp_move_of_json j : (Multi.Move.prbp, string) result =
+  let* o = str_field "op" j in
+  let* q = int_field "q" j in
+  if q < 0 then Error "field \"q\": negative"
+  else
+    match o with
+    | "load" ->
+        let* v = int_field "v" j in
+        Ok (Multi.Move.Load (q, v))
+    | "save" ->
+        let* v = int_field "v" j in
+        Ok (Multi.Move.Save (q, v))
+    | "compute" ->
+        let* u = int_field "u" j in
+        let* v = int_field "v" j in
+        Ok (Multi.Move.Compute (q, (u, v)))
+    | "delete" ->
+        let* v = int_field "v" j in
+        Ok (Multi.Move.Delete (q, v))
+    | o -> Error (Printf.sprintf "unknown multi-prbp move op %S" o)
+
 let prbp_move_of_json j =
   let* o = str_field "op" j in
   match o with
@@ -409,6 +497,18 @@ let strategy_json = function
           ("game", Json.String "prbp");
           ("moves", Json.List (List.map prbp_move_json ms));
         ]
+  | Multi_rbp_strategy (p, ms) ->
+      Json.Obj
+        [
+          ("game", Json.String (game_label (Multi_rbp p)));
+          ("moves", Json.List (List.map multi_rbp_move_json ms));
+        ]
+  | Multi_prbp_strategy (p, ms) ->
+      Json.Obj
+        [
+          ("game", Json.String (game_label (Multi_prbp p)));
+          ("moves", Json.List (List.map multi_prbp_move_json ms));
+        ]
 
 let strategy_of_json j =
   let* g = str_field "game" j in
@@ -420,7 +520,15 @@ let strategy_of_json j =
   | "prbp" ->
       let* moves = map_m prbp_move_of_json ms in
       Ok (Prbp_strategy moves)
-  | g -> Error (Printf.sprintf "unknown strategy game %S" g)
+  | g -> (
+      match game_of_label g with
+      | Ok (Multi_rbp p) ->
+          let* moves = map_m multi_rbp_move_of_json ms in
+          Ok (Multi_rbp_strategy (p, moves))
+      | Ok (Multi_prbp p) ->
+          let* moves = map_m multi_prbp_move_of_json ms in
+          Ok (Multi_prbp_strategy (p, moves))
+      | _ -> Error (Printf.sprintf "unknown strategy game %S" g))
 
 let opt_strategy_field j =
   match Json.member "strategy" j with
@@ -682,6 +790,208 @@ let decode_bracket s =
          elapsed_s }
 
 (* ------------------------------------------------------------------ *)
+(* Frontier certificates *)
+
+type frontier_point = {
+  p : int;
+  r : int;
+  comm_lower : int;
+  comm_upper : int option;
+  time_lower : int;
+  time_upper : int option;
+  status : [ `Exact | `Bracketed ];
+  source : string;
+  verified : bool;
+  settled : bool;
+  dominated : bool;
+  strategy : strategy option;
+}
+
+type frontier = {
+  v : int;
+  family : string option;
+  game : game;
+  dag_hash : string;
+  n : int;
+  m : int;
+  model : string;
+  points : frontier_point list;
+  infeasible_rs : int list;
+  exhausted : bool;
+  elapsed_s : float;
+}
+
+let point_status_label = function `Exact -> "exact" | `Bracketed -> "bracketed"
+
+let point_status_of_label = function
+  | "exact" -> Ok `Exact
+  | "bracketed" -> Ok `Bracketed
+  | s -> Error (Printf.sprintf "unknown point status %S" s)
+
+let frontier_of ?family ?(with_moves = false) ~dag (f : Frontier.t) =
+  let game =
+    match f.Frontier.game with
+    | Frontier.Rbp_mc -> Multi_rbp f.Frontier.p
+    | Frontier.Prbp_mc -> Multi_prbp f.Frontier.p
+  in
+  let point (pt : Frontier.point) =
+    {
+      p = pt.Frontier.p;
+      r = pt.Frontier.r;
+      comm_lower = pt.Frontier.comm_lower;
+      comm_upper = pt.Frontier.comm_upper;
+      time_lower = pt.Frontier.time_lower;
+      time_upper = pt.Frontier.time_upper;
+      status = pt.Frontier.status;
+      source = pt.Frontier.source;
+      verified = pt.Frontier.verified;
+      settled = pt.Frontier.settled;
+      dominated = pt.Frontier.dominated;
+      strategy =
+        (if with_moves then
+           Option.map
+             (function
+               | Multi_bounds.Rbp_mc_moves ms ->
+                   Multi_rbp_strategy (pt.Frontier.p, ms)
+               | Multi_bounds.Prbp_mc_moves ms ->
+                   Multi_prbp_strategy (pt.Frontier.p, ms))
+             pt.Frontier.witness
+         else None);
+    }
+  in
+  {
+    v = version;
+    family;
+    game;
+    dag_hash = Dag.hash dag;
+    n = Dag.n_nodes dag;
+    m = Dag.n_edges dag;
+    model = f.Frontier.model;
+    points = List.map point f.Frontier.points;
+    infeasible_rs = f.Frontier.infeasible_rs;
+    exhausted = f.Frontier.exhausted;
+    elapsed_s = f.Frontier.elapsed_s;
+  }
+
+let frontier_point_json (pt : frontier_point) =
+  Json.Obj
+    ([
+       ("p", Json.Int pt.p);
+       ("r", Json.Int pt.r);
+       ("comm_lower", Json.Int pt.comm_lower);
+     ]
+    @ (match pt.comm_upper with
+      | Some u -> [ ("comm_upper", Json.Int u) ]
+      | None -> [])
+    @ [ ("time_lower", Json.Int pt.time_lower) ]
+    @ (match pt.time_upper with
+      | Some u -> [ ("time_upper", Json.Int u) ]
+      | None -> [])
+    @ [
+        ("status", Json.String (point_status_label pt.status));
+        ("source", Json.String pt.source);
+        ("verified", Json.Bool pt.verified);
+        ("settled", Json.Bool pt.settled);
+        ("dominated", Json.Bool pt.dominated);
+      ]
+    @
+    match pt.strategy with
+    | Some s -> [ ("strategy", strategy_json s) ]
+    | None -> [])
+
+let frontier_point_of_json j =
+  let* p = int_field "p" j in
+  let* r = int_field "r" j in
+  let* comm_lower = int_field "comm_lower" j in
+  let* comm_upper = opt_int "comm_upper" j in
+  let* time_lower = int_field "time_lower" j in
+  let* time_upper = opt_int "time_upper" j in
+  let* status =
+    let* s = str_field "status" j in
+    point_status_of_label s
+  in
+  let* source = str_field "source" j in
+  let* verified = bool_field "verified" j in
+  let* settled = bool_field "settled" j in
+  let* dominated = bool_field "dominated" j in
+  let* strategy = opt_strategy_field j in
+  Ok
+    { p; r; comm_lower; comm_upper; time_lower; time_upper; status; source;
+      verified; settled; dominated; strategy }
+
+(* derived row metrics: the regression gate compares these without
+   re-deriving them from the points *)
+let frontier_points_n f = List.length f.points
+
+let frontier_front_n f =
+  List.length (List.filter (fun pt -> not pt.dominated) f.points)
+
+let frontier_open_n f =
+  List.length (List.filter (fun pt -> not pt.settled) f.points)
+
+let frontier_width f =
+  List.fold_left
+    (fun acc pt ->
+      match pt.comm_upper with
+      | Some u -> acc + (u - pt.comm_lower)
+      | None -> acc)
+    0 f.points
+
+let encode_frontier (f : frontier) =
+  Json.to_string
+    (Json.Obj
+       ([ ("v", Json.Int f.v); ("kind", Json.String "frontier") ]
+       @ (match f.family with
+         | Some fam -> [ ("family", Json.String fam) ]
+         | None -> [])
+       @ [
+           ("game", Json.String (game_label f.game));
+           ("dag_hash", Json.String f.dag_hash);
+           ("n", Json.Int f.n);
+           ("m", Json.Int f.m);
+           ("model", Json.String f.model);
+           ("points_n", Json.Int (frontier_points_n f));
+           ("front_n", Json.Int (frontier_front_n f));
+           ("open_n", Json.Int (frontier_open_n f));
+           ("front_width", Json.Int (frontier_width f));
+           ("points", Json.List (List.map frontier_point_json f.points));
+           ( "infeasible_rs",
+             Json.List (List.map (fun r -> Json.Int r) f.infeasible_rs) );
+           ("exhausted", Json.Bool f.exhausted);
+           ("elapsed_s", Json.Float f.elapsed_s);
+         ]))
+
+let decode_frontier s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* kind = str_field "kind" j in
+  if kind <> "frontier" then
+    Error (Printf.sprintf "expected kind \"frontier\", got %S" kind)
+  else
+    let* family = opt_str "family" j in
+    let* game = game_field j in
+    let* dag_hash = str_field "dag_hash" j in
+    let* n = int_field "n" j in
+    let* m = int_field "m" j in
+    let* model = str_field "model" j in
+    let* points_j = list_field "points" j in
+    let* points = map_m frontier_point_of_json points_j in
+    let* infeasible_rs =
+      let* l = list_field "infeasible_rs" j in
+      map_m
+        (fun x ->
+          match Json.to_int x with
+          | Some i -> Ok i
+          | None -> Error "field \"infeasible_rs\": expected integers")
+        l
+    in
+    let* exhausted = bool_field "exhausted" j in
+    let* elapsed_s = float_field "elapsed_s" j in
+    Ok
+      { v = version; family; game; dag_hash; n; m; model; points;
+        infeasible_rs; exhausted; elapsed_s }
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry *)
 
 let progress_fields (p : Solver.Telemetry.progress) =
@@ -762,11 +1072,22 @@ let jsonl ?every oc =
 (* ------------------------------------------------------------------ *)
 (* Errors *)
 
-let encode_error msg =
+let encode_error ?code msg =
   Json.to_string
-    (Json.Obj [ ("v", Json.Int version); ("error", Json.String msg) ])
+    (Json.Obj
+       (("v", Json.Int version)
+       :: ("error", Json.String msg)
+       ::
+       (match code with
+       | Some c -> [ ("code", Json.String c) ]
+       | None -> [])))
 
 let decode_error s =
   match Json.of_string s with
   | Ok j -> Option.bind (Json.member "error" j) Json.to_str
+  | Error _ -> None
+
+let decode_error_code s =
+  match Json.of_string s with
+  | Ok j -> Option.bind (Json.member "code" j) Json.to_str
   | Error _ -> None

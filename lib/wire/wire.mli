@@ -61,7 +61,7 @@ val budget_class : budget -> string
 
 (** {1 Requests} *)
 
-type kind = Solve | Bracket
+type kind = Solve | Bracket | Frontier
 
 type request = {
   v : int;
@@ -73,6 +73,9 @@ type request = {
   want_strategy : bool;  (** include the move-list certificate *)
   stream : bool;  (** stream telemetry as JSON-lines before the result *)
   rules : string list option;  (** bracket only: restrict {!Prbp_bounds.Lower} *)
+  rs : int list option;
+      (** frontier only: the capacities to sweep; [None] means just
+          [r] *)
   dag : Prbp_dag.Dag.t;
 }
 
@@ -82,6 +85,7 @@ val request :
   ?want_strategy:bool ->
   ?stream:bool ->
   ?rules:string list ->
+  ?rs:int list ->
   kind:kind ->
   game:game ->
   r:int ->
@@ -101,8 +105,12 @@ val decode_request : string -> (request, string) result
 type strategy =
   | Rbp_strategy of Prbp_pebble.Move.R.t list
   | Prbp_strategy of Prbp_pebble.Move.P.t list
+  | Multi_rbp_strategy of int * Prbp_pebble.Multi.Move.rbp list
+      (** processor count, then moves; each move's JSON carries the
+          acting processor as ["q"] *)
+  | Multi_prbp_strategy of int * Prbp_pebble.Multi.Move.prbp list
       (** the move-list certificate, tagged by move vocabulary (black
-          and multi strategies have no wire form and are omitted) *)
+          strategies have no wire form and are omitted) *)
 
 (** {1 Outcomes} *)
 
@@ -175,6 +183,58 @@ val encode_bracket : bracket -> string
 
 val decode_bracket : string -> (bracket, string) result
 
+(** {1 Frontier certificates} *)
+
+type frontier_point = {
+  p : int;
+  r : int;
+  comm_lower : int;
+  comm_upper : int option;
+  time_lower : int;
+  time_upper : int option;
+  status : [ `Exact | `Bracketed ];
+  source : string;
+  verified : bool;
+  settled : bool;
+  dominated : bool;
+  strategy : strategy option;
+      (** the witness ({!Multi_rbp_strategy} / {!Multi_prbp_strategy})
+          jointly achieving [comm_upper] and [time_upper] *)
+}
+(** One swept capacity of a {!Prbp_frontier.Frontier.t}. *)
+
+type frontier = {
+  v : int;
+  family : string option;
+  game : game;  (** {!Multi_rbp} or {!Multi_prbp} *)
+  dag_hash : string;
+  n : int;
+  m : int;
+  model : string;  (** the {!Prbp_frontier.Cost_model} name *)
+  points : frontier_point list;
+  infeasible_rs : int list;
+  exhausted : bool;
+  elapsed_s : float;
+}
+
+val frontier_of :
+  ?family:string ->
+  ?with_moves:bool ->
+  dag:Prbp_dag.Dag.t ->
+  Prbp_frontier.Frontier.t ->
+  frontier
+(** [with_moves] (default false) embeds each point's witness strategy
+    — the re-checkable certificates the daemon caches and serves. *)
+
+val encode_frontier : frontier -> string
+(** One object carrying ["kind":"frontier"] plus the derived row
+    metrics ([points_n], [front_n], [open_n], [front_width] — the
+    summed communication interval widths) that the
+    {!Prbp_harness.Regression} gate compares, with [elapsed_s] as the
+    final field so golden-file comparisons can normalize it. *)
+
+val decode_frontier : string -> (frontier, string) result
+
 (** {1 Telemetry} *)
 
 val encode_event : Prbp_solver.Solver.Telemetry.event -> string
@@ -190,8 +250,15 @@ val jsonl :
 
 (** {1 Errors} *)
 
-val encode_error : string -> string
-(** [{"v":1,"error":"..."}] — the daemon's error body. *)
+val encode_error : ?code:string -> string -> string
+(** [{"v":1,"error":"...","code":"..."}] — the daemon's error body.
+    [code] (omitted when absent, keeping historical bodies
+    byte-identical) is a stable machine-readable discriminator, e.g.
+    ["invalid-argument"] for requests the solvers structurally
+    reject. *)
 
 val decode_error : string -> string option
 (** The ["error"] field of an error body, if that is what this is. *)
+
+val decode_error_code : string -> string option
+(** The ["code"] field of an error body, when present. *)

@@ -12,4 +12,4 @@ let () =
    @ Test_deque01.suite @ Test_engine.suite @ Test_anytime.suite
    @ Test_segment.suite @ Test_bracket.suite @ Test_rules.suite
    @ Test_obs.suite @ Test_parallel.suite @ Test_wire.suite
-   @ Test_serve.suite)
+   @ Test_serve.suite @ Test_frontier.suite)

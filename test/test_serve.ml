@@ -453,12 +453,25 @@ let test_serve_rejections () =
   in
   check_int "kind/route mismatch: 400" 400
     (post ~port "/v1/solve" mismatched).status;
-  let multi =
+  let black =
     Wire.encode_request
-      (Wire.request ~kind:Wire.Solve ~game:(Wire.Multi_rbp 2) ~r:2
+      (Wire.request ~kind:Wire.Solve ~game:Wire.Black ~r:2
          (Dag.make ~n:4 diamond_edges))
   in
-  check_int "unserved game: 400" 400 (post ~port "/v1/solve" multi).status;
+  check_int "unserved game: 400" 400 (post ~port "/v1/solve" black).status;
+  (* a multiprocessor request past the exact engine's p ≤ 8 reach must
+     come back as a structured wire error, not a bare string: the code
+     field is what lets clients tell misuse from malformed JSON *)
+  let out_of_reach =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Solve ~game:(Wire.Multi_rbp 9) ~r:2
+         (Dag.make ~n:4 diamond_edges))
+  in
+  let reply = post ~port "/v1/solve" out_of_reach in
+  check_int "p=9 multi: 400" 400 reply.status;
+  Alcotest.(check (option string))
+    "p=9 multi: coded invalid-argument" (Some "invalid-argument")
+    (Wire.decode_error_code reply.body);
   (* a DAG beyond the exact solver's size cap must come back as a
      wire-schema 400, never a dropped connection *)
   let huge =
@@ -470,6 +483,84 @@ let test_serve_rejections () =
   check_int "oversized DAG: 400" 400 reply.status;
   check_true "solver size cap reported in the body"
     (Wire.decode_error reply.body <> None)
+
+let test_serve_multi_solve () =
+  with_server @@ fun port ->
+  let body =
+    solve_body ~game:(Wire.Multi_prbp 2) ~r:2 ~want_strategy:true
+      diamond_edges 4
+  in
+  let first = post ~port "/v1/solve" body in
+  check_int "status" 200 first.status;
+  (match Wire.decode_outcome first.body with
+  | Error e -> Alcotest.failf "multi outcome decode: %s" e
+  | Ok o -> (
+      check_true "optimal" (o.Wire.status = `Optimal);
+      check_int "diamond PRBP-MC opt at p=2 r=2" 4 o.Wire.lower;
+      match o.Wire.strategy with
+      | Some (Wire.Multi_prbp_strategy (p, moves)) ->
+          check_int "strategy carries p" 2 p;
+          let g = Dag.make ~n:4 diamond_edges in
+          check_true "served multi strategy replays at the served cost"
+            (Prbp.Multi.P.check (Prbp.Multi.config ~p:2 ~r:2 ()) g moves
+            = Ok 4)
+      | _ -> Alcotest.fail "no multiprocessor strategy served"));
+  let second = post ~port "/v1/solve" body in
+  check_true "multi certificates cache"
+    (List.assoc_opt "x-prbpd-cache" second.headers = Some "hit")
+
+let test_serve_frontier () =
+  with_server @@ fun port ->
+  let body =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Frontier ~game:(Wire.Multi_prbp 2) ~r:2
+         ~rs:[ 2; 3 ] ~want_strategy:true
+         (Dag.make ~n:4 diamond_edges))
+  in
+  let first = post ~port "/v1/frontier" body in
+  check_int "status" 200 first.status;
+  (match Wire.decode_frontier first.body with
+  | Error e -> Alcotest.failf "frontier decode: %s" e
+  | Ok f ->
+      check_true "game echoed" (f.Wire.game = Wire.Multi_prbp 2);
+      check_false "small sweep settles" f.Wire.exhausted;
+      check_int "two points" 2 (List.length f.Wire.points);
+      List.iter
+        (fun (pt : Wire.frontier_point) ->
+          check_true "settled" pt.Wire.settled;
+          check_true "verified" pt.Wire.verified;
+          let expected = if pt.Wire.r = 2 then 4 else 2 in
+          check_int
+            (Printf.sprintf "r=%d comm" pt.Wire.r)
+            expected pt.Wire.comm_lower;
+          check_true "closed interval"
+            (pt.Wire.comm_upper = Some pt.Wire.comm_lower);
+          (* the served witness replays on the requested DAG *)
+          match pt.Wire.strategy with
+          | Some (Wire.Multi_prbp_strategy (p, moves)) ->
+              let g = Dag.make ~n:4 diamond_edges in
+              check_true "frontier witness replays"
+                (Prbp.Multi.P.check (Prbp.Multi.config ~p ~r:pt.Wire.r ()) g
+                   moves
+                = Ok expected)
+          | _ -> Alcotest.fail "frontier point served without witness")
+        f.Wire.points);
+  let second = post ~port "/v1/frontier" body in
+  check_true "settled fronts cache"
+    (List.assoc_opt "x-prbpd-cache" second.headers = Some "hit");
+  Alcotest.(check string)
+    "cache hit returns the byte-identical front" first.body second.body;
+  (* single-processor games have no frontier; the refusal is coded *)
+  let bad =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Frontier ~game:Wire.Prbp ~r:2
+         (Dag.make ~n:4 diamond_edges))
+  in
+  let reply = post ~port "/v1/frontier" bad in
+  check_int "non-multi frontier: 400" 400 reply.status;
+  Alcotest.(check (option string))
+    "non-multi frontier: coded invalid-argument" (Some "invalid-argument")
+    (Wire.decode_error_code reply.body)
 
 let test_serve_stream_and_metrics () =
   with_server @@ fun port ->
@@ -552,6 +643,8 @@ let suite =
           test_serve_deadline_maps_to_bounded;
         slow_case "serve: 503 at capacity" test_serve_admission_503;
         slow_case "serve: rejections" test_serve_rejections;
+        slow_case "serve: multiprocessor certificates" test_serve_multi_solve;
+        slow_case "serve: frontier round-trip" test_serve_frontier;
         slow_case "serve: streaming + metrics" test_serve_stream_and_metrics;
         slow_case "serve: concurrent clients" test_serve_concurrent_clients;
       ] );

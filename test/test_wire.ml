@@ -51,17 +51,18 @@ let gen_request =
   let gen =
     QCheck.Gen.(
       let* params = triple (int_range 1 100_000) (int_range 2 4) (int_range 1 4)
-      and* kind = oneofl [ Wire.Solve; Wire.Bracket ]
+      and* kind = oneofl [ Wire.Solve; Wire.Bracket; Wire.Frontier ]
       and* game = gen_game
       and* r = int_range 0 10
       and* variants = gen_variants
       and* budget = gen_budget
       and* want_strategy = bool
       and* stream = bool
-      and* rules = opt (small_list (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))) in
+      and* rules = opt (small_list (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
+      and* rs = opt (small_list (int_range 1 16)) in
       return
-        (Wire.request ~variants ~budget ~want_strategy ~stream ?rules ~kind
-           ~game ~r (dag_of params)))
+        (Wire.request ~variants ~budget ~want_strategy ~stream ?rules ?rs
+           ~kind ~game ~r (dag_of params)))
   in
   QCheck.make ~print:Wire.encode_request gen
 
@@ -93,12 +94,59 @@ let gen_prbp_moves =
            map (fun v -> Prbp.Move.P.Clear (abs v)) small_nat;
          ]))
 
+let gen_multi_rbp_moves =
+  QCheck.Gen.(
+    let q = int_range 0 7 in
+    small_list
+      (oneof
+         [
+           map
+             (fun (q, v) : Prbp.Multi.Move.rbp -> Load (q, abs v))
+             (pair q small_nat);
+           map
+             (fun (q, v) : Prbp.Multi.Move.rbp -> Save (q, abs v))
+             (pair q small_nat);
+           map
+             (fun (q, v) : Prbp.Multi.Move.rbp -> Compute (q, abs v))
+             (pair q small_nat);
+           map
+             (fun (q, v) : Prbp.Multi.Move.rbp -> Delete (q, abs v))
+             (pair q small_nat);
+         ]))
+
+let gen_multi_prbp_moves =
+  QCheck.Gen.(
+    let q = int_range 0 7 in
+    small_list
+      (oneof
+         [
+           map
+             (fun (q, v) : Prbp.Multi.Move.prbp -> Load (q, abs v))
+             (pair q small_nat);
+           map
+             (fun (q, v) : Prbp.Multi.Move.prbp -> Save (q, abs v))
+             (pair q small_nat);
+           map
+             (fun (q, (u, v)) : Prbp.Multi.Move.prbp ->
+               Compute (q, (abs u, abs v)))
+             (pair q (pair small_nat small_nat));
+           map
+             (fun (q, v) : Prbp.Multi.Move.prbp -> Delete (q, abs v))
+             (pair q small_nat);
+         ]))
+
 let gen_strategy =
   QCheck.Gen.(
     oneof
       [
         map (fun ms -> Wire.Rbp_strategy ms) gen_rbp_moves;
         map (fun ms -> Wire.Prbp_strategy ms) gen_prbp_moves;
+        map
+          (fun (p, ms) -> Wire.Multi_rbp_strategy (p, ms))
+          (pair (int_range 1 8) gen_multi_rbp_moves);
+        map
+          (fun (p, ms) -> Wire.Multi_prbp_strategy (p, ms))
+          (pair (int_range 1 8) gen_multi_prbp_moves);
       ])
 
 let gen_stats =
@@ -198,6 +246,76 @@ let gen_bracket =
   in
   QCheck.make ~print:Wire.encode_bracket gen
 
+let gen_frontier =
+  let gen =
+    QCheck.Gen.(
+      let gen_point p =
+        let* r = int_range 1 16
+        and* comm_lower = small_nat
+        and* comm_width = opt small_nat
+        and* time_lower = small_nat
+        and* time_upper = opt small_nat
+        and* status = oneofl [ `Exact; `Bracketed ]
+        and* source = oneofl [ "exact"; "exact-truncated"; "pooled:trivial" ]
+        and* verified = bool
+        and* settled = bool
+        and* dominated = bool
+        and* strategy =
+          opt
+            (oneof
+               [
+                 map
+                   (fun ms -> Wire.Multi_rbp_strategy (p, ms))
+                   gen_multi_rbp_moves;
+                 map
+                   (fun ms -> Wire.Multi_prbp_strategy (p, ms))
+                   gen_multi_prbp_moves;
+               ])
+        in
+        return
+          {
+            Wire.p;
+            r;
+            comm_lower;
+            comm_upper = Option.map (fun w -> comm_lower + w) comm_width;
+            time_lower;
+            time_upper;
+            status;
+            source;
+            verified;
+            settled;
+            dominated;
+            strategy;
+          }
+      in
+      let* p = int_range 1 8 in
+      let* family = opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+      and* game =
+        oneofl [ Wire.Multi_rbp p; Wire.Multi_prbp p ]
+      and* n = small_nat
+      and* m = small_nat
+      and* model = oneofl [ "unit"; "io2" ]
+      and* points = small_list (gen_point p)
+      and* infeasible_rs = small_list (int_range 1 8)
+      and* exhausted = bool
+      and* elapsed_s = float_bound_inclusive 10.0 in
+      return
+        {
+          Wire.v = Wire.version;
+          family;
+          game;
+          dag_hash = "0123456789abcdef0123456789abcdef";
+          n;
+          m;
+          model;
+          points;
+          infeasible_rs;
+          exhausted;
+          elapsed_s;
+        })
+  in
+  QCheck.make ~print:Wire.encode_frontier gen
+
 let gen_progress =
   QCheck.Gen.(
     let* expansions = small_nat
@@ -265,6 +383,13 @@ let roundtrip_bracket =
       | Error e -> QCheck.Test.fail_reportf "decode_bracket: %s" e
       | Ok b' -> Wire.encode_bracket b' = s && b' = b)
 
+let roundtrip_frontier =
+  qcase ~count:300 "frontier: decode ∘ encode = id" gen_frontier (fun f ->
+      let s = Wire.encode_frontier f in
+      match Wire.decode_frontier s with
+      | Error e -> QCheck.Test.fail_reportf "decode_frontier: %s" e
+      | Ok f' -> Wire.encode_frontier f' = s && f' = f)
+
 let roundtrip_event =
   qcase ~count:300 "telemetry: decode ∘ encode = id" gen_event (fun ev ->
       let s = Wire.encode_event ev in
@@ -295,7 +420,23 @@ let test_rejects () =
        "{\"v\":1,\"kind\":\"solve\",\"game\":\"rbp\",\"r\":2,\"dag\":{\"nodes\":2,\"edges\":[[0,5]]}}");
   check_err "unknown event" (Wire.decode_event "{\"v\":1,\"ev\":\"nope\"}");
   check_err "bracket with wrong kind"
-    (Wire.decode_bracket "{\"v\":1,\"kind\":\"solve\"}")
+    (Wire.decode_bracket "{\"v\":1,\"kind\":\"solve\"}");
+  check_err "frontier with wrong kind"
+    (Wire.decode_frontier "{\"v\":1,\"kind\":\"bracket\"}");
+  check_err "rs below 1"
+    (Wire.decode_request
+       "{\"v\":1,\"kind\":\"frontier\",\"game\":\"multi-rbp:2\",\"r\":2,\"rs\":[0,2],\"dag\":{\"nodes\":1,\"edges\":[]}}")
+
+let test_error_code () =
+  (* legacy error bodies are byte-identical when no code is attached *)
+  let plain = Wire.encode_error "boom" in
+  Alcotest.(check string) "legacy bytes" "{\"v\":1,\"error\":\"boom\"}" plain;
+  check_true "error text" (Wire.decode_error plain = Some "boom");
+  check_true "no code" (Wire.decode_error_code plain = None);
+  let coded = Wire.encode_error ~code:"invalid-argument" "p too large" in
+  check_true "coded text" (Wire.decode_error coded = Some "p too large");
+  check_true "code"
+    (Wire.decode_error_code coded = Some "invalid-argument")
 
 let test_defaults () =
   (* clients may omit variants/budget/flags *)
@@ -415,8 +556,10 @@ let suite =
         roundtrip_request;
         roundtrip_outcome;
         roundtrip_bracket;
+        roundtrip_frontier;
         roundtrip_event;
         case "decoders reject malformed input" test_rejects;
+        case "error bodies carry an optional code" test_error_code;
         case "minimal request decodes with defaults" test_defaults;
         case "json parser hardening" test_json_parser;
         case "game labels" test_game_labels;
