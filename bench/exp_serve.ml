@@ -2,7 +2,9 @@
    drives a mixed solve/bracket workload with a repeated-DAG mix from
    parallel client domains, and reports latency percentiles, cache-hit
    ratio and certificate spot-checks.  The summary lands as the
-   single-line "serve" field of BENCH_solver.json (schema v8). *)
+   single-line "serve" field of BENCH_solver.json (since schema v8;
+   the /healthz readiness probe also checks the daemon's versioned
+   health body against this build's wire + bench schema). *)
 
 module Wire = Prbp.Wire
 module Serve = Prbp.Serve
@@ -143,6 +145,16 @@ let post item =
       let _ = Unix.write_substring fd raw 0 (String.length raw) in
       parse_reply (read_all fd))
 
+let get path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let raw = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" path in
+      let _ = Unix.write_substring fd raw 0 (String.length raw) in
+      parse_reply (read_all fd))
+
 (* ------------------------------------------------------------------ *)
 (* Certificate spot check: replay a served strategy through the
    literal checker and compare with the claimed upper bound. *)
@@ -264,9 +276,7 @@ let patch_bench_file ppf json =
             let is_schema =
               String.length l >= 11 && String.sub l 0 11 = "  \"schema\":"
             in
-            if is_schema then
-              [ "  \"schema\": \"prbp-solver-bench/v8\","; serve_line ]
-            else [ l ])
+            if is_schema then [ l; serve_line ] else [ l ])
           lines
     in
     let oc = open_out path in
@@ -292,24 +302,39 @@ let run ppf =
   let stop = Atomic.make false in
   let server = Domain.spawn (fun () -> Serve.Server.run ~stop cfg) in
   let items = Array.of_list (work_items ()) in
-  (* wait for the listener with a /healthz round trip *)
-  let probe_item =
-    { body = "{}"; path = "/healthz"; dag = items.(0).dag; game = Wire.Rbp; r = 1 }
-  in
+  (* wait for the listener with a /healthz round trip; the body is a
+     versioned wire record, so a successful probe also proves we are
+     talking to a schema-compatible daemon *)
   let rec ready tries =
-    match post probe_item with
-    | Some _ -> true
+    match get "/healthz" with
+    | Some reply -> Some reply
     | None | (exception Unix.Unix_error _) ->
-        if tries = 0 then false
+        if tries = 0 then None
         else begin
           Unix.sleepf 0.02;
           ready (tries - 1)
         end
   in
-  if not (ready 250) then begin
+  let healthz_ok (reply : reply) =
+    reply.status = 200
+    &&
+    match Wire.decode_healthz reply.body with
+    | Ok h ->
+        h.Wire.wire = Wire.version
+        && h.Wire.bench = Wire.bench_schema
+        && h.Wire.uptime_s >= 0.
+    | Error _ -> false
+  in
+  let probe = ready 250 in
+  if not (match probe with Some r -> healthz_ok r | None -> false) then begin
     Atomic.set stop true;
     ignore (Domain.join server);
-    Format.fprintf ppf "serve: daemon did not come up@.";
+    (match probe with
+    | None -> Format.fprintf ppf "serve: daemon did not come up@."
+    | Some r ->
+        Format.fprintf ppf
+          "serve: /healthz body failed the wire check (status %d): %s@."
+          r.status r.body);
     1
   end
   else begin

@@ -177,10 +177,12 @@ let rate r = float_of_int r.explored /. (r.wall_s +. 1e-9)
 (* Bracket rows: the certified-bounds subsystem at scales the exact
    solvers cannot touch.  One row per (family, game); each bracket
    runs under a 10-second wall-clock budget and lands in
-   BENCH_solver.json next to the solver cases (schema v7), with its
-   interval width and winning lower/upper rules for the width
-   regression gate ([--check-widths]).  Closed forms attach via the
-   DAGs' family tags. *)
+   BENCH_solver.json next to the solver cases, with its interval
+   width and winning lower/upper rules for the width regression gate
+   ([--check-widths]).  Closed forms attach via the DAGs' family
+   tags.  Schema v10: each row also carries its convergence curve
+   (how the bracket tightened over the budget), summarized in a
+   "convergence" array with time-to-width stats. *)
 
 let bracket_cases () =
   let fft = Prbp.Graphs.Fft.make ~m:128 in
@@ -199,6 +201,27 @@ let run_one_bracket game ~budget ~r g =
   | `Prbp -> Prbp.Bounds.Bracket.prbp ~budget ~r g
 
 let bracket_budget () = Prbp.Solver.Budget.v ~max_millis:10_000 ()
+
+(* Per-bracket convergence summary: how fast the certified interval
+   closed.  Times are wall-clock and wobble run to run, so the
+   regression gate never compares them — they are for reading, the
+   structural invariants (monotone, final point = bracket) are for
+   gating. *)
+let convergence_json family game r (b : Prbp.Bounds.Bracket.t) =
+  let module B = Prbp.Bounds.Bracket in
+  let module C = Prbp.Solver.Convergence in
+  let tw w =
+    match C.time_to_width b.B.curve w with
+    | Some s -> Printf.sprintf "%.3f" s
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"family\": %S, \"game\": %S, \"r\": %d, \"curve_points\": %d, \
+     \"final_width\": %d, \"time_to_width\": {\"8\": %s, \"4\": %s, \"2\": \
+     %s, \"1\": %s, \"0\": %s}}"
+    family game r
+    (List.length b.B.curve)
+    b.B.width (tw 8) (tw 4) (tw 2) (tw 1) (tw 0)
 
 let run_brackets ppf =
   Format.fprintf ppf "@.=== PERF — certified brackets at scale ===@.@.";
@@ -224,11 +247,13 @@ let run_brackets ppf =
               b.B.lower.L.rule
               (Prbp.Bounds.Upper.meth_label b.B.meth)
               b.B.elapsed_s;
-            Some (Prbp.Wire.encode_bracket (Prbp.Wire.bracket_of ~family b)))
+            Some
+              ( Prbp.Wire.encode_bracket (Prbp.Wire.bracket_of ~family b),
+                convergence_json family (L.game_label b.B.game) r b ))
       (bracket_cases ())
   in
   Prbp.Table.print ppf t;
-  rows
+  List.split rows
 
 (* ------------------------------------------------------------------ *)
 (* Frontier rows: certified multiprocessor trade-off fronts.  One row
@@ -293,7 +318,10 @@ let run_frontiers ppf =
    committed case's width regressed (or a case with a baseline failed
    to bracket at all), 0 otherwise.  Schema v9 extends the gate to the
    frontier rows: settled point counts must not shrink, open intervals
-   must not multiply, summed widths must not grow past the slack. *)
+   must not multiply, summed widths must not grow past the slack.
+   Schema v10 adds the structural convergence-curve gate: every fresh
+   bracket's curve must be monotone and must end exactly at the
+   certified bracket — no timing comparisons, so no CI flakes. *)
 let check_frontier_widths ppf =
   let module R = Prbp.Regression in
   let module F = Prbp.Frontier.Frontier in
@@ -345,6 +373,7 @@ let check_widths ppf =
     Format.fprintf ppf "@.=== PERF — interval-width regression gate ===@.@.";
     let budget = bracket_budget () in
     let failed = ref false in
+    let curve_checks = ref [] in
     let current =
       List.filter_map
         (fun (family, game, g, r) ->
@@ -356,10 +385,16 @@ let check_widths ppf =
               None
           | Ok b ->
               let module B = Prbp.Bounds.Bracket in
+              let game_label = Prbp.Bounds.Lower.game_label b.B.game in
+              curve_checks :=
+                R.check_curve ~family ~game:game_label ~r
+                  ~lower:b.B.lower.Prbp.Bounds.Lower.bound ~upper:b.B.upper
+                  b.B.curve
+                :: !curve_checks;
               Some
                 {
                   R.family;
-                  game = Prbp.Bounds.Lower.game_label b.B.game;
+                  game = game_label;
                   r;
                   interval_width = b.B.width;
                   lower_rule = b.B.lower.Prbp.Bounds.Lower.rule;
@@ -369,7 +404,16 @@ let check_widths ppf =
     in
     let verdicts = R.check ~baseline current in
     List.iter (fun v -> Format.fprintf ppf "%a@." R.pp_verdict v) verdicts;
-    let bracket_code = if R.regressed verdicts || !failed then 1 else 0 in
+    Format.fprintf ppf "@.=== PERF — convergence-curve gate (v10) ===@.@.";
+    let curve_verdicts = List.rev !curve_checks in
+    List.iter
+      (fun v -> Format.fprintf ppf "%a@." R.pp_curve_verdict v)
+      curve_verdicts;
+    let bracket_code =
+      if R.regressed verdicts || R.curves_regressed curve_verdicts || !failed
+      then 1
+      else 0
+    in
     max bracket_code (check_frontier_widths ppf)
   end
 
@@ -457,10 +501,12 @@ let run_solver ?(jobs = 1) ppf =
       Some (c, res)
     end
   in
-  let bracket_rows = run_brackets ppf in
+  let bracket_rows, convergence_rows = run_brackets ppf in
   let frontier_rows = run_frontiers ppf in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"schema\": \"prbp-solver-bench/v9\",\n";
+  (* single-sourced from Wire so the daemon's /healthz, the regression
+     gate, and this writer can never disagree on the schema version *)
+  Printf.bprintf buf "{\n  \"schema\": %S,\n" Prbp.Wire.bench_schema;
   (* filled in by the [--serve] load generator (Exp_serve), which
      patches this single line in place *)
   Buffer.add_string buf "  \"serve\": null,\n";
@@ -525,6 +571,12 @@ let run_solver ?(jobs = 1) ppf =
       Printf.bprintf buf "    %s%s\n" row
         (if i = List.length bracket_rows - 1 then "" else ","))
     bracket_rows;
+  Buffer.add_string buf "  ],\n  \"convergence\": [\n";
+  List.iteri
+    (fun i row ->
+      Printf.bprintf buf "    %s%s\n" row
+        (if i = List.length convergence_rows - 1 then "" else ","))
+    convergence_rows;
   Buffer.add_string buf "  ],\n  \"frontiers\": [\n";
   List.iteri
     (fun i row ->

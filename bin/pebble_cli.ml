@@ -304,14 +304,21 @@ let solve_cmd =
     in
     let variants = { Prbp.Wire.sliding; recompute; no_delete } in
     let bounded = ref false in
-    let report name wire_game outcome =
+    (* each exact solve records its convergence curve through a tee on
+       the (optional) telemetry stream; the JSON outcome carries it *)
+    let solve_with solver =
+      let conv, sink = Prbp.Solver.Convergence.recorder ?telemetry () in
+      let outcome = solver sink in
+      (outcome, Prbp.Solver.Convergence.curve conv)
+    in
+    let report name wire_game (outcome, curve) =
       (match outcome with
       | Prbp.Solver.Bounded _ -> bounded := true
       | _ -> ());
       if json then
         print_endline
           (Prbp.Wire.encode_outcome
-             (Prbp.Wire.outcome_of ~game:wire_game ~r ~variants ~dag:g
+             (Prbp.Wire.outcome_of ~game:wire_game ~r ~variants ~curve ~dag:g
                 outcome))
       else Format.printf "%s: %a@." name Prbp.Solver.pp outcome
     in
@@ -321,7 +328,8 @@ let solve_cmd =
           (Prbp.Heuristic.rbp_cost ~r g)
       else
         report "OPT_RBP " Prbp.Wire.Rbp
-          (Prbp.Exact_rbp.solve ~budget ?telemetry ~jobs rcfg g)
+          (solve_with (fun sink ->
+               Prbp.Exact_rbp.solve ~budget ~telemetry:sink ~jobs rcfg g))
     in
     let prbp () =
       if heuristic then
@@ -329,7 +337,8 @@ let solve_cmd =
           (Prbp.Heuristic.prbp_best_cost ~r g)
       else
         report "OPT_PRBP" Prbp.Wire.Prbp
-          (Prbp.Exact_prbp.solve ~budget ?telemetry ~jobs pcfg g)
+          (solve_with (fun sink ->
+               Prbp.Exact_prbp.solve ~budget ~telemetry:sink ~jobs pcfg g))
     in
     let black () =
       match Prbp.Black.number ~sliding ~max_states g with
@@ -347,11 +356,14 @@ let solve_cmd =
         report
           (Printf.sprintf "OPT_RBP-MC  (p = %d)" p)
           (Prbp.Wire.Multi_rbp p)
-          (Prbp.Exact_multi.rbp_solve ~budget ?telemetry ~jobs cfg g);
+          (solve_with (fun sink ->
+               Prbp.Exact_multi.rbp_solve ~budget ~telemetry:sink ~jobs cfg g));
         report
           (Printf.sprintf "OPT_PRBP-MC (p = %d)" p)
           (Prbp.Wire.Multi_prbp p)
-          (Prbp.Exact_multi.prbp_solve ~budget ?telemetry ~jobs cfg g)
+          (solve_with (fun sink ->
+               Prbp.Exact_multi.prbp_solve ~budget ~telemetry:sink ~jobs cfg
+                 g))
       end
     in
     (match game with
@@ -1064,6 +1076,142 @@ let analyze_cmd =
          "Exact memory analysis: black pebbling number and trivial-cost           cache thresholds (small DAGs).")
     (ok Term.(const run $ family_arg))
 
+let status_cmd =
+  (* a deliberately tiny HTTP/1.1 GET client over the unix stdlib: the
+     daemon closes the connection after one response, so "read to EOF,
+     split at the header/body boundary" is the whole protocol *)
+  let http_get addr path =
+    let domain =
+      match addr with
+      | Unix.ADDR_UNIX _ -> Unix.PF_UNIX
+      | Unix.ADDR_INET _ -> Unix.PF_INET
+    in
+    let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect sock addr;
+        let req =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nhost: prbpd\r\nconnection: close\r\n\r\n" path
+        in
+        let _ = Unix.write_substring sock req 0 (String.length req) in
+        let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read sock chunk 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              drain ()
+        in
+        drain ();
+        let raw = Buffer.contents buf in
+        let boundary =
+          let n = String.length raw in
+          let rec find i =
+            if i + 4 > n then None
+            else if String.sub raw i 4 = "\r\n\r\n" then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        match boundary with
+        | None -> Error "malformed response (no header boundary)"
+        | Some i ->
+            let head = String.sub raw 0 i in
+            let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+            if String.length head >= 12 && String.sub head 9 3 = "200" then
+              Ok body
+            else
+              Error
+                (Printf.sprintf "daemon answered %s"
+                   (String.sub head 9 (min 3 (String.length head - 9)))))
+  in
+  let run host port unix_socket json =
+    let addr =
+      match unix_socket with
+      | Some path -> Unix.ADDR_UNIX path
+      | None -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    in
+    match http_get addr "/v1/status" with
+    | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "status: cannot reach the daemon: %s@."
+          (Unix.error_message e);
+        1
+    | Error e ->
+        Format.eprintf "status: %s@." e;
+        1
+    | Ok body -> (
+        if json then begin
+          print_endline body;
+          0
+        end
+        else
+          match Prbp.Wire.decode_status body with
+          | Error e ->
+              Format.eprintf "status: malformed body: %s@." e;
+              1
+          | Ok st ->
+              Format.printf
+                "prbpd up %.1fs: %d workers, %d in flight, %d queued@."
+                st.Prbp.Wire.uptime_s st.Prbp.Wire.workers
+                st.Prbp.Wire.in_flight st.Prbp.Wire.queued;
+              Format.printf
+                "requests: %d total; cache %d hits / %d misses@."
+                st.Prbp.Wire.requests_total st.Prbp.Wire.cache_hits
+                st.Prbp.Wire.cache_misses;
+              List.iter
+                (fun (rs : Prbp.Wire.route_stat) ->
+                  if rs.Prbp.Wire.count > 0 then
+                    Format.printf "  %-14s %5d reqs  %8.3fs total@."
+                      rs.Prbp.Wire.route rs.Prbp.Wire.count
+                      rs.Prbp.Wire.sum_s)
+                st.Prbp.Wire.routes;
+              let show_req tag (q : Prbp.Wire.req) =
+                Format.printf
+                  "  %s trace=%d %-14s %d %-4s %7.3fs %s@." tag
+                  q.Prbp.Wire.trace_id q.Prbp.Wire.route q.Prbp.Wire.status
+                  q.Prbp.Wire.cache q.Prbp.Wire.dur_s q.Prbp.Wire.outcome
+              in
+              if st.Prbp.Wire.recent <> [] then
+                Format.printf "recent (%d seen, capacity %d):@."
+                  st.Prbp.Wire.flight_seen st.Prbp.Wire.flight_capacity;
+              List.iter (show_req " ") st.Prbp.Wire.recent;
+              if st.Prbp.Wire.slowest <> [] then
+                Format.printf "slowest (full traces retained):@.";
+              List.iter (show_req "*") st.Prbp.Wire.slowest;
+              0)
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 8367
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Daemon TCP port.")
+  in
+  let unix_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix-socket" ] ~docv:"PATH"
+          ~doc:"Connect over a unix-domain socket instead of TCP.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw /v1/status JSON body.")
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Query a running prbpd's /v1/status: uptime, in-flight and \
+          queued requests, cache hit ratio, per-route latency, and the \
+          flight recorder's recent and slowest requests.")
+    Term.(const run $ host $ port $ unix_socket $ json)
+
 let () =
   let doc = "partial-computing red-blue pebble game toolkit" in
   exit
@@ -1072,4 +1220,5 @@ let () =
           [
             info_cmd; solve_cmd; bracket_cmd; frontier_cmd; strategy_cmd;
             partition_cmd; dot_cmd; trace_cmd; export_cmd; analyze_cmd;
+            status_cmd;
           ]))

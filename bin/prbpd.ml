@@ -5,7 +5,14 @@
 
 open Cmdliner
 
-let serve addr workers queue cache_capacity max_deadline max_states verbose =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let serve addr workers queue cache_capacity max_deadline max_states
+    flight_capacity metrics_out profile_out verbose =
   let cfg =
     {
       Prbp.Serve.Server.default_config with
@@ -23,6 +30,9 @@ let serve addr workers queue cache_capacity max_deadline max_states verbose =
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
   (* a client that disconnects mid-response must not kill the daemon *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match flight_capacity with
+  | Some n -> Prbp.Obs.Flight.set_capacity n
+  | None -> ());
   if verbose then begin
     (match addr with
     | Prbp.Serve.Server.Tcp (iface, port) ->
@@ -33,6 +43,19 @@ let serve addr workers queue cache_capacity max_deadline max_states verbose =
       cache_capacity
   end;
   Prbp.Serve.Server.run ~stop cfg;
+  (* [run] only returns on a clean SIGTERM/SIGINT shutdown, after
+     in-flight requests drained — the snapshots below are complete *)
+  (match metrics_out with
+  | Some path ->
+      write_file path (Prbp.Obs.Metrics.to_prometheus ());
+      if verbose then Format.eprintf "prbpd: metrics written to %s@." path
+  | None -> ());
+  (match profile_out with
+  | Some path ->
+      write_file path (Prbp.Obs.Flight.to_chrome ());
+      if verbose then
+        Format.eprintf "prbpd: flight-recorder trace written to %s@." path
+  | None -> ());
   if verbose then Format.eprintf "prbpd: stopped@.";
   0
 
@@ -102,6 +125,30 @@ let max_states_arg =
     value & opt int Prbp.Serve.Server.default_config.max_states
     & info [ "max-states" ] ~docv:"N" ~doc:"State cap per exact solve.")
 
+let flight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "flight-recorder" ] ~docv:"N"
+        ~doc:
+          "Keep the last $(docv) request summaries (plus full span            traces of the slowest few) in the in-memory flight            recorder served at /v1/status.  Default 64.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "On clean shutdown (SIGTERM/SIGINT), write the final            Prometheus metrics snapshot to $(docv).")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "On clean shutdown, write the flight recorder's slowest            requests as a Chrome trace (chrome://tracing, Perfetto)            to $(docv).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log startup/shutdown.")
 
@@ -119,7 +166,11 @@ let cmd =
            `P
              "POST wire-schema requests to /v1/solve, /v1/bracket or \
               /v1/frontier; GET /metrics for Prometheus text, /healthz \
-              for liveness.  Budget-truncated solves return certified \
+              for liveness (wire + bench schema versions, uptime) and \
+              /v1/status for a live snapshot (in-flight and queued \
+              requests, cache hit/miss totals, per-route latency \
+              histograms, the flight recorder's recent and slowest \
+              requests).  Budget-truncated solves return certified \
               [lower, upper] intervals instead of errors; /v1/frontier \
               sweeps the requested capacities ($(b,rs)) of a \
               multiprocessor game into an anytime certified Pareto \
@@ -127,6 +178,7 @@ let cmd =
          ])
     Term.(
       const serve $ addr_arg $ workers_arg $ queue_arg $ cache_arg
-      $ deadline_arg $ max_states_arg $ verbose_arg)
+      $ deadline_arg $ max_states_arg $ flight_arg $ metrics_out_arg
+      $ profile_out_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' cmd)

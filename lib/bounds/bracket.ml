@@ -22,6 +22,7 @@ type t = {
   profile : Segment.t option;
   tight : bool;
   elapsed_s : float;
+  curve : Solver.Convergence.curve;
 }
 
 let scale_budget (b : Solver.Budget.t) frac =
@@ -38,7 +39,9 @@ let emit telemetry event =
   | Some sink -> sink.Solver.Telemetry.emit event
   | None -> ()
 
-let stop_progress ~elapsed_s : Solver.Telemetry.progress =
+(* Brackets report certified bounds at stage boundaries, not search
+   counters, so the counter fields of their progress events are 0. *)
+let stage_progress ~elapsed_s ~lower ~upper : Solver.Telemetry.progress =
   {
     expansions = 0;
     explored = 0;
@@ -47,6 +50,8 @@ let stop_progress ~elapsed_s : Solver.Telemetry.progress =
     depth = 0;
     table_load = 0.;
     elapsed_s;
+    lower;
+    upper;
   }
 
 (* Stage timings, one histogram family labeled by stage; observed once
@@ -100,13 +105,24 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
     emit telemetry
       (Solver.Telemetry.Start
          { width = Dag.n_nodes g; max_states = budget.Solver.Budget.max_states });
-    let finish outcome result =
+    (* the bracket's convergence curve: one certified (lower, upper)
+       sighting per stage boundary, folded monotone *)
+    let conv, _ = Solver.Convergence.recorder () in
+    let sight ~lower ~upper =
       let elapsed_s = Clock.elapsed_s t0 in
+      Solver.Convergence.observe conv ~t_s:elapsed_s ~lower ~upper;
+      emit telemetry
+        (Solver.Telemetry.Progress (stage_progress ~elapsed_s ~lower ~upper))
+    in
+    let finish outcome ~lower ~upper result =
+      let elapsed_s = Clock.elapsed_s t0 in
+      Solver.Convergence.observe conv ~t_s:elapsed_s ~lower ~upper;
       Metrics.Counter.incr m_runs;
       Span.add_attr "outcome" outcome;
       emit telemetry
-        (Solver.Telemetry.Stop { outcome; progress = stop_progress ~elapsed_s });
-      Result.map (fun mk -> mk elapsed_s) result
+        (Solver.Telemetry.Stop
+           { outcome; progress = stage_progress ~elapsed_s ~lower ~upper });
+      Result.map (fun mk -> mk elapsed_s (Solver.Convergence.curve conv)) result
     in
     let lower =
       stage ~name:"bracket.lower" m_stage_lower (fun () ->
@@ -117,6 +133,7 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
           Span.add_attr "bound" (string_of_int l.Lower.bound);
           l)
     in
+    sight ~lower:lower.Lower.bound ~upper:None;
     (* rebalance: a lower phase that short-circuits hands its unused
        allotment to the upper phase (everything left on the clock, not
        a fixed 60%) *)
@@ -136,6 +153,9 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
           | Error _ -> ());
           u)
     in
+    (match upper_result with
+    | Ok (cost, _, _, _) -> sight ~lower:lower.Lower.bound ~upper:(Some cost)
+    | Error _ -> ());
     (* and vice versa: if a lower rule was budget-truncated and the
        upper phase left usable time, spend it tightening the floor *)
     let lower =
@@ -154,16 +174,23 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
                       { budget with Solver.Budget.max_millis = Some left }
                     ?rules ~game ~r g)
             in
-            if l2.Lower.bound > lower.Lower.bound then l2 else lower
+            if l2.Lower.bound > lower.Lower.bound then begin
+              (match upper_result with
+              | Ok (cost, _, _, _) ->
+                  sight ~lower:l2.Lower.bound ~upper:(Some cost)
+              | Error _ -> ());
+              l2
+            end
+            else lower
         | _ -> lower
     in
     match upper_result with
-    | Error e -> finish "unsolvable" (Error e)
+    | Error e -> finish "unsolvable" ~lower:max_int ~upper:None (Error e)
     | Ok (upper, moves, meth, verified) ->
         if lower.Lower.bound > upper then
           (* both sides are independently certified, so this cannot
              happen unless a rule is unsound — refuse to report it *)
-          finish "unsolvable"
+          finish "unsolvable" ~lower:max_int ~upper:None
             (Error
                (Printf.sprintf
                   "Bracket: certified lower bound %d exceeds verified upper \
@@ -177,8 +204,9 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
           let tight = lower.Lower.bound = upper in
           finish
             (if tight then "optimal" else "bounded")
+            ~lower:lower.Lower.bound ~upper:(Some upper)
             (Ok
-               (fun elapsed_s ->
+               (fun elapsed_s curve ->
                  {
                    game;
                    r;
@@ -193,6 +221,7 @@ let run ?(budget = Solver.Budget.default) ?telemetry ?rules ~game ~r
                    profile;
                    tight;
                    elapsed_s;
+                   curve;
                  }))
         end
   in

@@ -35,6 +35,13 @@ type t = {
           [None] on very large DAGs or when no partition exists *)
   tight : bool;  (** [lower.bound = upper]: the bracket pins OPT *)
   elapsed_s : float;
+  curve : Prbp_solver.Solver.Convergence.curve;
+      (** how the bracket tightened over the run: one monotone
+          [(t_s, lower, upper)] sighting per stage boundary (lower
+          portfolio done, upper portfolio done, optional lower re-run,
+          terminal).  The final point always equals
+          [(elapsed_s, lower.bound, Some upper)] up to de-duplication
+          of non-tightening sightings. *)
 }
 
 val rbp :

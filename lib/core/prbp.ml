@@ -66,6 +66,7 @@ module Obs = struct
   module Span = Prbp_obs.Span
   module Metrics = Prbp_obs.Metrics
   module Json = Prbp_obs.Json
+  module Flight = Prbp_obs.Flight
 end
 
 module Move = Prbp_pebble.Move

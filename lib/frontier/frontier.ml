@@ -28,6 +28,7 @@ type point = {
   settled : bool;
   dominated : bool;
   witness : Multi_bounds.moves option;
+  curve : Solver.Convergence.curve;
 }
 
 type t = {
@@ -50,6 +51,9 @@ type interval = {
   i_status : [ `Exact | `Bracketed ];
   i_source : string;
   i_witness : Multi_bounds.moves option;
+  i_curve : Solver.Convergence.curve;
+      (* how the probe's communication interval tightened, probe-relative
+         seconds *)
 }
 
 type probe = Infeasible | Interval of interval
@@ -61,9 +65,14 @@ let exact_reach game ~p g =
 
 let exact_probe ~budget ?jobs game ~p ~r g =
   let cfg = Multi.config ~p ~r () in
+  let conv, sink = Solver.Convergence.recorder () in
+  let curve () = Solver.Convergence.curve conv in
   match game with
   | Rbp_mc -> (
-      match Exact_multi.rbp_solve ~budget ?jobs ~want_strategy:true cfg g with
+      match
+        Exact_multi.rbp_solve ~budget ~telemetry:sink ?jobs ~want_strategy:true
+          cfg g
+      with
       | Solver.Optimal { cost; strategy; _ } ->
           Interval
             {
@@ -73,6 +82,7 @@ let exact_probe ~budget ?jobs game ~p ~r g =
               i_source = "exact";
               i_witness =
                 Option.map (fun mv -> Multi_bounds.Rbp_mc_moves mv) strategy;
+              i_curve = curve ();
             }
       | Solver.Bounded { lower; upper; incumbent_strategy; _ } ->
           Interval
@@ -85,10 +95,14 @@ let exact_probe ~budget ?jobs game ~p ~r g =
                 Option.map
                   (fun mv -> Multi_bounds.Rbp_mc_moves mv)
                   incumbent_strategy;
+              i_curve = curve ();
             }
       | Solver.Unsolvable _ -> Infeasible)
   | Prbp_mc -> (
-      match Exact_multi.prbp_solve ~budget ?jobs ~want_strategy:true cfg g with
+      match
+        Exact_multi.prbp_solve ~budget ~telemetry:sink ?jobs
+          ~want_strategy:true cfg g
+      with
       | Solver.Optimal { cost; strategy; _ } ->
           Interval
             {
@@ -98,6 +112,7 @@ let exact_probe ~budget ?jobs game ~p ~r g =
               i_source = "exact";
               i_witness =
                 Option.map (fun mv -> Multi_bounds.Prbp_mc_moves mv) strategy;
+              i_curve = curve ();
             }
       | Solver.Bounded { lower; upper; incumbent_strategy; _ } ->
           Interval
@@ -110,10 +125,12 @@ let exact_probe ~budget ?jobs game ~p ~r g =
                 Option.map
                   (fun mv -> Multi_bounds.Prbp_mc_moves mv)
                   incumbent_strategy;
+              i_curve = curve ();
             }
       | Solver.Unsolvable _ -> Infeasible)
 
 let bracket_probe ~budget ?rules game ~p ~r g =
+  let t0 = Clock.now () in
   let res =
     match game with
     | Rbp_mc -> Multi_bounds.rbp ~budget ?rules ~p ~r g
@@ -122,13 +139,18 @@ let bracket_probe ~budget ?rules game ~p ~r g =
   match res with
   | Error _ -> Infeasible
   | Ok b ->
+      let lower = b.Multi_bounds.lower.Lower.bound in
+      let upper = Some b.Multi_bounds.upper in
       Interval
         {
-          i_lower = b.Multi_bounds.lower.Lower.bound;
-          i_upper = Some b.Multi_bounds.upper;
+          i_lower = lower;
+          i_upper = upper;
           i_status = `Bracketed;
           i_source = b.Multi_bounds.lower.Lower.rule;
           i_witness = Some b.Multi_bounds.moves;
+          (* the pooled-capacity bracket reports once, at the end *)
+          i_curve =
+            [ { Solver.Convergence.t_s = Clock.elapsed_s t0; lower; upper } ];
         }
 
 let checker_cost cfg g = function
@@ -180,6 +202,7 @@ let point_of_probe ~model game ~p ~r g (iv : interval) =
     settled;
     dominated = false;
     witness = iv.i_witness;
+    curve = iv.i_curve;
   }
 
 (* a's witness corner certifiably beats everything achievable at b's

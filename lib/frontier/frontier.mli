@@ -67,6 +67,11 @@ type point = {
           certifiably beats this point's
           [(r, comm_lower, time_lower)] corner, strictly in memory *)
   witness : Prbp_bounds.Multi_bounds.moves option;
+  curve : Prbp_solver.Solver.Convergence.curve;
+      (** how the probe's communication interval tightened over its
+          budget slice (probe-relative seconds).  Exact probes record
+          live through {!Prbp_solver.Solver.Convergence}; pooled
+          brackets report a single terminal sighting. *)
 }
 
 type t = {

@@ -226,3 +226,80 @@ let pp_frontier_verdict ppf = function
 
 let frontier_regressed verdicts =
   List.exists (function Frontier_regressed _ -> true | _ -> false) verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Convergence-curve gate (schema v10).  Unlike the width gates above,
+   this one is structural, not comparative: timing-sensitive baselines
+   flake in CI, but every honestly-recorded curve must be monotone and
+   must end exactly at the bracket it certifies — properties a fresh
+   run can violate only through a recording bug. *)
+
+module Convergence = Prbp_solver.Solver.Convergence
+
+type curve_verdict =
+  | Curve_ok of {
+      family : string;
+      game : string;
+      r : int;
+      points : int;
+      time_to_final : float;
+    }
+  | Curve_bad of { family : string; game : string; r : int; what : string }
+
+let check_curve ~family ~game ~r ~lower ~upper curve =
+  match Convergence.final curve with
+  | None -> Curve_bad { family; game; r; what = "empty curve" }
+  | Some (last : Convergence.point) ->
+      if not (Convergence.monotone curve) then
+        Curve_bad
+          {
+            family;
+            game;
+            r;
+            what =
+              "non-monotone curve (lower decreased, upper increased, or \
+               time ran backwards)";
+          }
+      else if last.Convergence.lower <> lower then
+        Curve_bad
+          {
+            family;
+            game;
+            r;
+            what =
+              Printf.sprintf "final lower %d <> certified %d"
+                last.Convergence.lower lower;
+          }
+      else if last.Convergence.upper <> Some upper then
+        Curve_bad
+          {
+            family;
+            game;
+            r;
+            what =
+              Printf.sprintf "final upper %s <> certified %d"
+                (match last.Convergence.upper with
+                | Some u -> string_of_int u
+                | None -> "none")
+                upper;
+          }
+      else
+        Curve_ok
+          {
+            family;
+            game;
+            r;
+            points = List.length curve;
+            time_to_final = last.Convergence.t_s;
+          }
+
+let pp_curve_verdict ppf = function
+  | Curve_ok { family; game; r; points; time_to_final } ->
+      Format.fprintf ppf
+        "ok        %s %s r=%d: %d curve points, final at %.3fs" family game r
+        points time_to_final
+  | Curve_bad { family; game; r; what } ->
+      Format.fprintf ppf "BAD CURVE %s %s r=%d: %s" family game r what
+
+let curves_regressed verdicts =
+  List.exists (function Curve_bad _ -> true | _ -> false) verdicts

@@ -15,7 +15,12 @@
     carrying [points_n] / [front_n] / [open_n] / [front_width]); v8
     files simply contain no such rows, so both generations parse under
     the same lenient line scan — a v8 baseline yields bracket verdicts
-    and an empty frontier baseline, never an error. *)
+    and an empty frontier baseline, never an error.  Schema v10
+    ([{!Prbp_wire.Wire.bench_schema}]) adds a ["curve"] field to each
+    bracket row plus a ["convergence"] summary array; the curve gate
+    below ({!check_curve}) is {e structural} — monotonicity and
+    final-point agreement — because timing-comparative curve baselines
+    would flake in CI. *)
 
 type row = {
   family : string;  (** e.g. ["fft:128"] *)
@@ -100,3 +105,34 @@ val pp_frontier_verdict : Format.formatter -> frontier_verdict -> unit
 
 val frontier_regressed : frontier_verdict list -> bool
 (** [true] iff some verdict is {!Frontier_regressed}. *)
+
+(** {1 Convergence curves (schema v10)} *)
+
+type curve_verdict =
+  | Curve_ok of {
+      family : string;
+      game : string;
+      r : int;
+      points : int;
+      time_to_final : float;  (** when the final certified point landed *)
+    }
+  | Curve_bad of { family : string; game : string; r : int; what : string }
+
+val check_curve :
+  family:string ->
+  game:string ->
+  r:int ->
+  lower:int ->
+  upper:int ->
+  Prbp_solver.Solver.Convergence.curve ->
+  curve_verdict
+(** Structural gate over one bracket's convergence curve: non-empty,
+    {!Prbp_solver.Solver.Convergence.monotone}, and its final point
+    equal to the certified bracket [(lower, Some upper)].  Deliberately
+    compares no timings against a baseline — wall-clock curve shapes
+    wobble run to run, their invariants do not. *)
+
+val pp_curve_verdict : Format.formatter -> curve_verdict -> unit
+
+val curves_regressed : curve_verdict list -> bool
+(** [true] iff some verdict is {!Curve_bad}. *)

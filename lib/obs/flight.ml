@@ -1,0 +1,119 @@
+(* The flight recorder: a bounded ring of the last N request
+   summaries, plus the full span trees of the slowest K requests seen
+   since the last reset.  It is deliberately tiny and lossy — a
+   post-mortem window, not a log — so recording stays O(capacity) and
+   the daemon can leave it on permanently. *)
+
+type summary = {
+  trace_id : int;
+  route : string;
+  status : int;
+  cache : string;  (* "hit" | "miss" | "" *)
+  t_start : float;
+  dur_s : float;
+  outcome : string;  (* solver outcome label, "" when not a solve *)
+}
+
+type entry = { summary : summary; spans : Span.t list }
+
+let default_capacity = 64
+
+let slowest_k = 8
+
+type state = {
+  mutable ring : summary option array;  (* oldest slot overwritten *)
+  mutable next : int;  (* next slot to write *)
+  mutable seen : int;  (* total records since reset *)
+  mutable slow : entry list;  (* ≤ slowest_k, slowest first *)
+  lock : Mutex.t;
+}
+
+let st =
+  {
+    ring = Array.make default_capacity None;
+    next = 0;
+    seen = 0;
+    slow = [];
+    lock = Mutex.create ();
+  }
+
+let set_capacity n =
+  let n = max 1 n in
+  Mutex.lock st.lock;
+  st.ring <- Array.make n None;
+  st.next <- 0;
+  st.seen <- 0;
+  st.slow <- [];
+  Mutex.unlock st.lock
+
+let capacity () =
+  Mutex.lock st.lock;
+  let n = Array.length st.ring in
+  Mutex.unlock st.lock;
+  n
+
+let reset () = set_capacity (capacity ())
+
+let insert_slow entry slow =
+  let merged =
+    List.stable_sort
+      (fun a b -> compare b.summary.dur_s a.summary.dur_s)
+      (entry :: slow)
+  in
+  List.filteri (fun i _ -> i < slowest_k) merged
+
+let record ~summary ~spans =
+  Mutex.lock st.lock;
+  st.ring.(st.next) <- Some summary;
+  st.next <- (st.next + 1) mod Array.length st.ring;
+  st.seen <- st.seen + 1;
+  st.slow <- insert_slow { summary; spans } st.slow;
+  Mutex.unlock st.lock
+
+let seen () =
+  Mutex.lock st.lock;
+  let n = st.seen in
+  Mutex.unlock st.lock;
+  n
+
+(* Newest first. *)
+let recent () =
+  Mutex.lock st.lock;
+  let n = Array.length st.ring in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    match st.ring.((st.next + i) mod n) with
+    | Some s -> acc := s :: !acc
+    | None -> ()
+  done;
+  Mutex.unlock st.lock;
+  !acc
+
+(* Slowest first. *)
+let slowest () =
+  Mutex.lock st.lock;
+  let l = st.slow in
+  Mutex.unlock st.lock;
+  l
+
+(* One Chrome trace document merging the slowest traces; each request
+   keeps its own pid (= trace id), so Perfetto draws them as separate
+   processes. *)
+let to_chrome () =
+  let entries = slowest () in
+  let epoch =
+    List.fold_left
+      (fun acc e -> min acc (Span.chrome_epoch e.spans))
+      infinity entries
+  in
+  let epoch = if epoch = infinity then 0. else epoch in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      Span.add_chrome_events b ~pid:(max 1 e.summary.trace_id) ~epoch ~first
+        e.spans)
+    entries;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

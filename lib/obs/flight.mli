@@ -1,0 +1,54 @@
+(** The flight recorder: a bounded in-memory window over recent
+    requests for live status and post-mortems.
+
+    A server records one {!summary} per finished request (with the
+    request's trace-context spans); the recorder keeps the last
+    [capacity] summaries in a ring plus the full span trees of the
+    {!slowest_k} slowest requests.  Everything is mutex-protected and
+    O(capacity), so it stays on permanently.
+
+    [GET /v1/status] serves {!recent} and {!slowest}; [prbpd
+    --profile-out] dumps {!to_chrome} on clean shutdown. *)
+
+type summary = {
+  trace_id : int;  (** the request's {!Span.context} trace id *)
+  route : string;
+  status : int;  (** HTTP status served *)
+  cache : string;  (** ["hit"], ["miss"], or [""] for uncached routes *)
+  t_start : float;  (** {!Clock} time the request started *)
+  dur_s : float;
+  outcome : string;  (** solver outcome label, [""] when not a solve *)
+}
+
+type entry = { summary : summary; spans : Span.t list }
+
+val default_capacity : int
+(** 64 requests. *)
+
+val slowest_k : int
+(** 8: how many full span trees are retained. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (clamped to ≥ 1).  Drops everything recorded so
+    far. *)
+
+val capacity : unit -> int
+
+val record : summary:summary -> spans:Span.t list -> unit
+
+val seen : unit -> int
+(** Total requests recorded since the last reset (≥ the ring's
+    current occupancy). *)
+
+val recent : unit -> summary list
+(** The ring's summaries, newest first. *)
+
+val slowest : unit -> entry list
+(** The retained slowest requests, slowest first, with their spans. *)
+
+val to_chrome : unit -> string
+(** One Chrome trace-event document merging the {!slowest} traces;
+    each request keeps its trace id as [pid], so viewers draw the
+    requests as separate processes. *)
+
+val reset : unit -> unit

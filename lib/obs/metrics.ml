@@ -83,9 +83,11 @@ module Histogram = struct
     t.sum <- 0.;
     Mutex.unlock t.m
 
-  (* (le, cumulative count) over the occupied prefix of buckets; the
-     final +Inf sample is the exporter's job *)
-  let cumulative t =
+  (* (le, cumulative count) over the occupied prefix of buckets, in
+     ascending [le] order; the final +Inf sample is the exporter's
+     job.  Assembled under the instrument's mutex so a concurrent
+     [observe] cannot tear the cumulative counts. *)
+  let cumulative_unlocked t =
     let acc = ref [] and running = ref 0 in
     let last = ref (-1) in
     for i = n_buckets - 1 downto 0 do
@@ -96,6 +98,15 @@ module Histogram = struct
       acc := (Float.pow 2. (float_of_int (exponent i)), !running) :: !acc
     done;
     List.rev !acc
+
+  (* One consistent view of the whole instrument: the cumulative
+     buckets, total count and sum all from the same locked read, so
+     the exported [+Inf] bucket always equals [_count]. *)
+  let snapshot t =
+    Mutex.lock t.m;
+    let r = (cumulative_unlocked t, t.count, t.sum) in
+    Mutex.unlock t.m;
+    r
 end
 
 (* ------------------------------------------------------------------ *)
@@ -259,20 +270,20 @@ let to_prometheus () =
                     (label_block e'.labels)
                     (fmt_float (Gauge.value g))
               | H h ->
+                  let buckets, count, sum = Histogram.snapshot h in
                   List.iter
                     (fun (le, n) ->
                       Printf.bprintf b "%s_bucket%s %d\n" e'.name
                         (label_block ~extra:("le", fmt_float le) e'.labels)
                         n)
-                    (Histogram.cumulative h);
+                    buckets;
                   Printf.bprintf b "%s_bucket%s %d\n" e'.name
                     (label_block ~extra:("le", "+Inf") e'.labels)
-                    (Histogram.count h);
+                    count;
                   Printf.bprintf b "%s_sum%s %s\n" e'.name
-                    (label_block e'.labels)
-                    (fmt_float (Histogram.sum h));
+                    (label_block e'.labels) (fmt_float sum);
                   Printf.bprintf b "%s_count%s %d\n" e'.name
-                    (label_block e'.labels) (Histogram.count h))
+                    (label_block e'.labels) count)
           es
       end)
     es;
@@ -311,19 +322,19 @@ let to_json () =
     pick (fun e ->
         match e.instr with
         | H h ->
+            let bs, count, sum = Histogram.snapshot h in
             let buckets =
               List.map
                 (fun (le, n) ->
                   Printf.sprintf "{\"le\":%s,\"n\":%d}" (fmt_float le) n)
-                (Histogram.cumulative h)
+                bs
             in
             Some
               (Printf.sprintf
                  "{\"name\":%s,\"labels\":%s,\"count\":%d,\"sum\":%s,\
                   \"buckets\":[%s]}"
-                 (Json.string e.name) (json_labels e.labels)
-                 (Histogram.count h)
-                 (fmt_float (Histogram.sum h))
+                 (Json.string e.name) (json_labels e.labels) count
+                 (fmt_float sum)
                  (String.concat "," buckets))
         | _ -> None)
   in

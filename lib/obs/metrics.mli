@@ -54,6 +54,14 @@ module Histogram : sig
   val count : t -> int
 
   val sum : t -> float
+
+  val snapshot : t -> (float * int) list * int * float
+  (** [(buckets, count, sum)] read atomically under the instrument's
+      mutex: [buckets] are [(le, cumulative count)] pairs in ascending
+      [le] order over the occupied prefix of power-of-two buckets
+      (without the implicit [+Inf] bucket, whose count is [count]).
+      The exporters build from this one consistent view, so a
+      concurrent {!observe} can never tear a snapshot. *)
 end
 
 val counter : ?help:string -> ?labels:(string * string) list -> string -> Counter.t

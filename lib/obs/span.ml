@@ -14,15 +14,47 @@ let enabled () = !enabled_flag
 
 let set_enabled b = enabled_flag := b
 
-let next_id = Atomic.make 0
+(* ------------------------------------------------------------------ *)
+(* Trace contexts.  A context owns a span recorder and a span-id
+   counter of its own, so concurrent daemon requests routed through
+   [with_current] produce disjoint traces with ids that restart at 0
+   per request — deterministic for a given request shape, and parent
+   links that cannot cross requests.  The default context backs the
+   classic process-wide API ([spans]/[reset]/[to_chrome]/[to_text]),
+   which CLI and bench runs keep using unchanged. *)
 
-(* Completed spans, newest first; reversed on export. *)
-let recorded : t list ref = ref []
+type context = {
+  trace_id : int;
+  mutable c_recorded : t list;  (* completed spans, newest first *)
+  c_lock : Mutex.t;
+  c_next : int Atomic.t;
+}
 
-let lock = Mutex.create ()
+let next_trace_id = Atomic.make 1
 
-(* The open-span stack is domain-local: nesting is lexical within a
-   domain, and spans started on a worker domain must not adopt a
+let make_context trace_id =
+  {
+    trace_id;
+    c_recorded = [];
+    c_lock = Mutex.create ();
+    c_next = Atomic.make 0;
+  }
+
+let default_context = make_context 0
+
+let new_context () = make_context (Atomic.fetch_and_add next_trace_id 1)
+
+let trace_id ctx = ctx.trace_id
+
+(* The ambient context is domain-local: a worker domain serving one
+   request must not leak spans into another domain's request. *)
+let ctx_key : context Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> default_context)
+
+let current () = Domain.DLS.get ctx_key
+
+(* The open-span stack is domain-local too: nesting is lexical within
+   a domain, and spans started on a worker domain must not adopt a
    parent from another domain's stack. *)
 type frame = {
   fid : int;
@@ -34,19 +66,31 @@ type frame = {
 
 let stack_key : frame list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
-let record s =
-  Mutex.lock lock;
-  recorded := s :: !recorded;
-  Mutex.unlock lock
+let with_current ctx f =
+  let prev_ctx = Domain.DLS.get ctx_key in
+  let prev_stack = Domain.DLS.get stack_key in
+  Domain.DLS.set ctx_key ctx;
+  Domain.DLS.set stack_key [];
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set ctx_key prev_ctx;
+      Domain.DLS.set stack_key prev_stack)
+    f
+
+let record ctx s =
+  Mutex.lock ctx.c_lock;
+  ctx.c_recorded <- s :: ctx.c_recorded;
+  Mutex.unlock ctx.c_lock
 
 let with_ ?(attrs = []) ~name f =
   if not !enabled_flag then f ()
   else begin
+    let ctx = Domain.DLS.get ctx_key in
     let stack = Domain.DLS.get stack_key in
     let parent = match stack with [] -> -1 | fr :: _ -> fr.fid in
     let fr =
       {
-        fid = Atomic.fetch_and_add next_id 1;
+        fid = Atomic.fetch_and_add ctx.c_next 1;
         fname = name;
         fparent = parent;
         ft0 = Clock.now ();
@@ -68,7 +112,7 @@ let with_ ?(attrs = []) ~name f =
               | [] -> []
             in
             Domain.DLS.set stack_key (pop (Domain.DLS.get stack_key)));
-        record
+        record ctx
           {
             id = fr.fid;
             parent = fr.fparent;
@@ -87,37 +131,41 @@ let add_attr k v =
     | [] -> ()
     | fr :: _ -> fr.fattrs <- (k, v) :: fr.fattrs
 
-(* [recorded] is completion-ordered (a parent lands after its
+(* [c_recorded] is completion-ordered (a parent lands after its
    children); sort to honor the documented start (= id) order. *)
-let spans () =
-  Mutex.lock lock;
-  let l = !recorded in
-  Mutex.unlock lock;
+let context_spans ctx =
+  Mutex.lock ctx.c_lock;
+  let l = ctx.c_recorded in
+  Mutex.unlock ctx.c_lock;
   List.sort (fun a b -> compare a.id b.id) l
 
-let reset () =
-  Mutex.lock lock;
-  recorded := [];
-  Mutex.unlock lock;
-  Atomic.set next_id 0
+let context_reset ctx =
+  Mutex.lock ctx.c_lock;
+  ctx.c_recorded <- [];
+  Mutex.unlock ctx.c_lock;
+  Atomic.set ctx.c_next 0
+
+let spans () = context_spans default_context
+
+let reset () = context_reset default_context
 
 (* ------------------------------------------------------------------ *)
-(* Exporters.  Both consume [spans ()], so they see a consistent
-   snapshot and their output order is the deterministic start order.  *)
+(* Exporters.  All consume a [spans]-style snapshot, so they see a
+   consistent view and their output order is the deterministic start
+   order. *)
 
-let to_chrome () =
-  let ss = spans () in
-  let epoch = List.fold_left (fun acc s -> min acc s.t0) infinity ss in
-  let epoch = if epoch = infinity then 0. else epoch in
-  let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char b ',';
+(* One Chrome trace event per span, appended to [b]; [pid] separates
+   traces when several contexts share one export (the flight
+   recorder). *)
+let add_chrome_events b ~pid ~epoch ~first ss =
+  List.iter
+    (fun s ->
+      if not !first then Buffer.add_char b ',';
+      first := false;
       Printf.bprintf b
-        "\n{\"name\":%s,\"cat\":\"prbp\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\
+        "\n{\"name\":%s,\"cat\":\"prbp\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\
          \"ts\":%.3f,\"dur\":%.3f,\"args\":{"
-        (Json.string s.name) s.tid
+        (Json.string s.name) pid s.tid
         ((s.t0 -. epoch) *. 1e6)
         ((s.t1 -. s.t0) *. 1e6);
       List.iteri
@@ -126,9 +174,22 @@ let to_chrome () =
           Printf.bprintf b "%s:%s" (Json.string k) (Json.string v))
         s.attrs;
       Buffer.add_string b "}}")
-    ss;
+    ss
+
+let chrome_epoch ss =
+  let epoch = List.fold_left (fun acc s -> min acc s.t0) infinity ss in
+  if epoch = infinity then 0. else epoch
+
+let context_to_chrome ctx =
+  let ss = context_spans ctx in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  add_chrome_events b ~pid:(max 1 ctx.trace_id) ~epoch:(chrome_epoch ss)
+    ~first:(ref true) ss;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
+
+let to_chrome () = context_to_chrome default_context
 
 let to_text () =
   let ss = spans () in

@@ -1,11 +1,21 @@
-(** Lightweight hierarchical span tracing.
+(** Lightweight hierarchical span tracing with request-scoped trace
+    contexts.
 
     A span is a named wall-clock interval with string attributes;
     spans nest lexically through {!with_}, and the per-domain nesting
     stack makes the tracer safe under the harness's parallel worker
     domains (each domain owns its own stack, the completed-span
-    recorder is mutex-protected, and parent links never cross
+    recorders are mutex-protected, and parent links never cross
     domains).
+
+    Spans land in the calling domain's {e current context}.  By
+    default that is the process-wide {!default_context} — the classic
+    behavior CLI and bench runs rely on.  A server handling concurrent
+    requests instead allocates a {!new_context} per request and runs
+    the handler under {!with_current}: each request then gets a
+    disjoint trace with its own id space (span ids restart at 0 per
+    context, so equal requests produce equal traces) and parent links
+    that cannot cross requests.
 
     Tracing is {e disabled by default}: a disabled {!with_} is one
     load, one branch and a tail call to the traced function, so
@@ -22,7 +32,7 @@
     source makes both exporters byte-stable. *)
 
 type t = {
-  id : int;  (** unique, assigned at span start in start order *)
+  id : int;  (** unique within its context, assigned in start order *)
   parent : int;  (** enclosing span's [id], or [-1] for a root *)
   name : string;
   tid : int;  (** the domain the span ran on *)
@@ -39,10 +49,55 @@ val set_enabled : bool -> unit
 (** Toggling mid-span is safe: a span records iff its [with_] entry
     saw tracing enabled. *)
 
+(** {1 Trace contexts} *)
+
+type context
+(** A trace id plus a private span recorder and id counter. *)
+
+val default_context : context
+(** The process-wide context (trace id 0) every domain starts in. *)
+
+val new_context : unit -> context
+(** A fresh context with a process-unique trace id (> 0). *)
+
+val trace_id : context -> int
+
+val current : unit -> context
+(** The calling domain's current context. *)
+
+val with_current : context -> (unit -> 'a) -> 'a
+(** [with_current ctx f] runs [f ()] with [ctx] as the calling
+    domain's current context and a fresh (empty) open-span stack, so
+    spans opened inside [f] parent only among themselves.  The
+    previous context and stack are restored on exit, even when [f]
+    raises. *)
+
+val context_spans : context -> t list
+(** Completed spans of one context, in [id] (start) order. *)
+
+val context_reset : context -> unit
+
+val context_to_chrome : context -> string
+(** Chrome trace-event JSON of one context; [pid] is the trace id. *)
+
+val add_chrome_events :
+  Buffer.t -> pid:int -> epoch:float -> first:bool ref -> t list -> unit
+(** Append one complete ("ph":"X") Chrome trace event per span to the
+    buffer — the building block multi-trace exporters (the flight
+    recorder) use to merge several contexts into one document.
+    [first] tracks whether a comma separator is still owed. *)
+
+val chrome_epoch : t list -> float
+(** Earliest [t0] of the spans, or [0.] when empty — the timestamp
+    origin for {!add_chrome_events}. *)
+
+(** {1 Recording} *)
+
 val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 (** [with_ ~name f] runs [f ()] inside a new span, a child of the
-    innermost open span on the calling domain.  The span is recorded
-    even when [f] raises (the exception is re-raised). *)
+    innermost open span on the calling domain, recorded into the
+    calling domain's current context.  The span is recorded even when
+    [f] raises (the exception is re-raised). *)
 
 val add_attr : string -> string -> unit
 (** Attach an attribute to the innermost open span of the calling
@@ -50,19 +105,23 @@ val add_attr : string -> string -> unit
     how solver telemetry (outcome, state counts) lands on the
     enclosing solve span. *)
 
+(** {1 Process-wide API (the default context)} *)
+
 val spans : unit -> t list
-(** All completed spans, in [id] (start) order. *)
+(** All completed spans of {!default_context}, in [id] (start)
+    order. *)
 
 val reset : unit -> unit
-(** Drop every recorded span and restart [id] numbering from 0.  Open
-    spans on other domains still record on exit (with their old ids);
-    call between workloads, not during one. *)
+(** Drop every recorded span of {!default_context} and restart its
+    [id] numbering from 0.  Open spans on other domains still record
+    on exit (with their old ids); call between workloads, not during
+    one. *)
 
 val to_chrome : unit -> string
-(** Chrome trace-event JSON: one complete ("ph":"X") event per span,
-    microsecond timestamps relative to the earliest span, [pid] 1,
-    [tid] the domain id, attributes under ["args"].  Valid JSON for
-    any span names/attribute strings. *)
+(** Chrome trace-event JSON of {!default_context}: one complete
+    ("ph":"X") event per span, microsecond timestamps relative to the
+    earliest span, [tid] the domain id, attributes under ["args"].
+    Valid JSON for any span names/attribute strings. *)
 
 val to_text : unit -> string
 (** Indented forest, one line per span: name, duration in

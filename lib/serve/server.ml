@@ -10,6 +10,9 @@ module Exact_multi = Prbp_solver.Exact_multi
 module Bracket = Prbp_bounds.Bracket
 module Frontier = Prbp_frontier.Frontier
 module Metrics = Prbp_obs.Metrics
+module Span = Prbp_obs.Span
+module Flight = Prbp_obs.Flight
+module Clock = Prbp_obs.Clock
 module Wire = Prbp_wire.Wire
 
 type addr = Tcp of string * int | Unix_path of string
@@ -46,6 +49,7 @@ type entry =
 
 type state = {
   cfg : config;
+  started : float;  (* Clock.now at boot, for uptime reporting *)
   pool : Pool.t;
   cache : entry Cache.t;
   requests_total : Metrics.Counter.t;
@@ -53,13 +57,46 @@ type state = {
   cache_hits : Metrics.Counter.t;
   cache_misses : Metrics.Counter.t;
   latency : Metrics.Histogram.t;
+  route_latency : (string * Metrics.Histogram.t) list;
+      (* per-route latency under one family name; the route set is
+         fixed so the label cardinality is bounded *)
 }
+
+let routes = [ "/v1/solve"; "/v1/bracket"; "/v1/frontier"; "/v1/status";
+               "/metrics"; "/healthz"; "other" ]
+
+let route_of path = if List.mem path routes then path else "other"
+
+(* Worker domains inherit the signal mask of the spawning thread.
+   Blocking the shutdown signals across [Pool.create] forces the
+   kernel to route process-directed SIGTERM/SIGINT to the accept-loop
+   domain — the only thread with them unblocked — where the handler's
+   stop flag is polled every select tick.  Without this, delivery to a
+   worker parked in [Condition.wait] can leave the signal pending on a
+   domain that never reaches a safepoint. *)
+let spawn_with_shutdown_signals_blocked spawn =
+  match
+    Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]
+  with
+  | old ->
+      Fun.protect
+        ~finally:(fun () -> ignore (Unix.sigprocmask Unix.SIG_SETMASK old))
+        spawn
+  | exception Invalid_argument _ ->
+      (* some platforms lack sigprocmask; delivery is then best-effort *)
+      spawn ()
 
 let make_state cfg =
   Metrics.set_enabled true;
+  (* spans are cheap when nothing reads them, and the flight recorder
+     needs them to retain the slowest requests' full traces *)
+  Span.set_enabled true;
   {
     cfg;
-    pool = Pool.create ~workers:cfg.workers ~queue:cfg.queue;
+    started = Clock.now ();
+    pool =
+      spawn_with_shutdown_signals_blocked (fun () ->
+          Pool.create ~workers:cfg.workers ~queue:cfg.queue);
     cache = Cache.create ~capacity:cfg.cache_capacity;
     requests_total =
       Metrics.counter ~help:"Requests accepted by prbpd" "prbpd_requests_total";
@@ -74,7 +111,44 @@ let make_state cfg =
     latency =
       Metrics.histogram ~help:"Request handling latency, seconds"
         "prbpd_request_seconds";
+    route_latency =
+      List.map
+        (fun route ->
+          ( route,
+            Metrics.histogram
+              ~help:"Request handling latency by route, seconds"
+              ~labels:[ ("route", route) ]
+              "prbpd_route_request_seconds" ))
+        routes;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Per-request bookkeeping: the response writers note what they served
+   so the flight recorder can summarize the request afterwards.  One
+   request runs on one worker domain at a time, so a domain-local slot
+   is race-free. *)
+
+type req_info = {
+  mutable ri_status : int;
+  mutable ri_cache : string;
+  mutable ri_outcome : string;
+}
+
+let fresh_info () = { ri_status = 0; ri_cache = "-"; ri_outcome = "-" }
+
+let info_key = Domain.DLS.new_key fresh_info
+
+let note_status st = (Domain.DLS.get info_key).ri_status <- st
+
+let note_cache c = (Domain.DLS.get info_key).ri_cache <- c
+
+let note_outcome o = (Domain.DLS.get info_key).ri_outcome <- o
+
+let outcome_tag (o : Wire.outcome) =
+  match o.Wire.status with
+  | `Optimal -> "optimal"
+  | `Bounded -> "bounded"
+  | `Unsolvable -> "unsolvable"
 
 (* ------------------------------------------------------------------ *)
 (* Canonical label space: cache entries store strategies under the
@@ -204,6 +278,7 @@ let verify_bracket_entry ~rq g (b : Wire.bracket) =
 (* Request handling *)
 
 let respond_json ?(headers = []) ~status fd body =
+  note_status status;
   Http.write_response
     ~headers:(("content-type", "application/json") :: headers)
     ~status ~body fd
@@ -230,6 +305,7 @@ let budget_of state (rq : Wire.request) =
 
 (* chunked telemetry stream, or a plain single-object response *)
 let deliver ~(rq : Wire.request) ~cache_status fd body =
+  note_cache cache_status;
   let headers = [ ("x-prbpd-cache", cache_status) ] in
   if rq.stream then begin
     Http.write_chunk fd body;
@@ -239,7 +315,8 @@ let deliver ~(rq : Wire.request) ~cache_status fd body =
   else respond_json ~headers ~status:200 fd body
 
 let stream_head ~(rq : Wire.request) ~cache_status fd =
-  if rq.stream then
+  if rq.stream then begin
+    note_status 200;
     Http.write_chunked_head
       ~headers:
         [
@@ -247,6 +324,7 @@ let stream_head ~(rq : Wire.request) ~cache_status fd =
           ("x-prbpd-cache", cache_status);
         ]
       ~status:200 fd
+  end
 
 let solve_telemetry ~(rq : Wire.request) fd =
   if rq.stream then
@@ -319,6 +397,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
   match verified with
   | Some o ->
       Metrics.Counter.incr state.cache_hits;
+      note_outcome (outcome_tag o);
       stream_head ~rq ~cache_status:"hit" fd;
       deliver ~rq ~cache_status:"hit" fd
         (Wire.encode_outcome (client_view rq o))
@@ -326,7 +405,13 @@ let handle_solve_checked state (rq : Wire.request) fd =
       Metrics.Counter.incr state.cache_misses;
       stream_head ~rq ~cache_status:"miss" fd;
       let budget = budget_of state rq in
-      let telemetry = solve_telemetry ~rq fd in
+      let conv, telemetry =
+        (* tee the solver's telemetry through a convergence recorder so
+           the served outcome carries its curve; the client's stream
+           (when requested) still sees every event *)
+        let r, sink = Solver.Convergence.recorder ?telemetry:(solve_telemetry ~rq fd) () in
+        (r, Some sink)
+      in
       let { Wire.sliding; recompute; no_delete } = rq.variants in
       let r = rq.r in
       (* always solve with the strategy on: it is the certificate that
@@ -348,7 +433,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
               | _ -> None
             in
             Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
-                  ?strategy ~dag:g oc)
+                  ?strategy ~curve:(Solver.Convergence.curve conv) ~dag:g oc)
         | Wire.Prbp ->
             let cfg =
               Prbp_game.config ~one_shot:(not recompute) ~recompute
@@ -365,7 +450,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
               | _ -> None
             in
             Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
-                  ?strategy ~dag:g oc)
+                  ?strategy ~curve:(Solver.Convergence.curve conv) ~dag:g oc)
         | Wire.Multi_rbp p ->
             let cfg = Multi.config ~p ~r () in
             let oc =
@@ -380,7 +465,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
               | _ -> None
             in
             Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
-                  ?strategy ~dag:g oc)
+                  ?strategy ~curve:(Solver.Convergence.curve conv) ~dag:g oc)
         | Wire.Multi_prbp p ->
             let cfg = Multi.config ~p ~r () in
             let oc =
@@ -395,7 +480,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
               | _ -> None
             in
             Ok (Wire.outcome_of ~game:rq.game ~r ~variants:rq.variants
-                  ?strategy ~dag:g oc)
+                  ?strategy ~curve:(Solver.Convergence.curve conv) ~dag:g oc)
         | Wire.Black ->
             Error
               (Printf.sprintf "game %S is not served over the wire"
@@ -410,6 +495,7 @@ let handle_solve_checked state (rq : Wire.request) fd =
           end
           else respond_error fd 400 msg
       | Ok o ->
+          note_outcome (outcome_tag o);
           (match o.Wire.strategy with
           | Some strategy ->
               let canon = { o with Wire.strategy = Some (to_canonical g strategy) } in
@@ -455,6 +541,7 @@ let handle_bracket state (rq : Wire.request) fd =
       (match verified with
       | Some b ->
           Metrics.Counter.incr state.cache_hits;
+          note_outcome (if b.Wire.tight then "optimal" else "bounded");
           stream_head ~rq ~cache_status:"hit" fd;
           deliver ~rq ~cache_status:"hit" fd
             (Wire.encode_bracket (bracket_view rq b))
@@ -482,6 +569,7 @@ let handle_bracket state (rq : Wire.request) fd =
                 Wire.bracket_of ?family:(Dag.family g) ~with_moves:true
                   bracket
               in
+              note_outcome (if wb.Wire.tight then "optimal" else "bounded");
               let canon =
                 {
                   wb with
@@ -585,6 +673,7 @@ let handle_frontier state (rq : Wire.request) fd =
       match verified with
       | Some f ->
           Metrics.Counter.incr state.cache_hits;
+          note_outcome (if f.Wire.exhausted then "open" else "settled");
           stream_head ~rq ~cache_status:"hit" fd;
           deliver ~rq ~cache_status:"hit" fd
             (Wire.encode_frontier (frontier_view rq f))
@@ -609,6 +698,7 @@ let handle_frontier state (rq : Wire.request) fd =
                   wf.Wire.points;
             }
           in
+          note_outcome (if wf.Wire.exhausted then "open" else "settled");
           (* a fully settled sweep is budget-independent *)
           let key = if not wf.Wire.exhausted then fkey else bkey in
           Cache.add state.cache key (Frontier_cert canon);
@@ -626,38 +716,108 @@ let handle_api state fd (http_rq : Http.request) kind handler =
         respond_error fd 400 "request kind does not match the route"
       else handler state rq fd
 
+let wire_req (s : Flight.summary) =
+  {
+    Wire.trace_id = s.Flight.trace_id;
+    route = s.Flight.route;
+    status = s.Flight.status;
+    cache = s.Flight.cache;
+    dur_s = s.Flight.dur_s;
+    outcome = s.Flight.outcome;
+  }
+
+let status_body state =
+  let routes =
+    List.map
+      (fun (route, h) ->
+        let buckets, count, sum_s = Metrics.Histogram.snapshot h in
+        { Wire.route; count; sum_s; buckets })
+      state.route_latency
+  in
+  Wire.encode_status
+    (Wire.status_report
+       ~uptime_s:(Clock.elapsed_s state.started)
+       ~workers:state.cfg.workers ~in_flight:(Pool.busy state.pool)
+       ~queued:(Pool.queued state.pool)
+       ~requests_total:(Metrics.Counter.value state.requests_total)
+       ~cache_hits:(Metrics.Counter.value state.cache_hits)
+       ~cache_misses:(Metrics.Counter.value state.cache_misses)
+       ~flight_seen:(Flight.seen ()) ~flight_capacity:(Flight.capacity ())
+       ~routes
+       ~recent:(List.map wire_req (Flight.recent ()))
+       ~slowest:
+         (List.map
+            (fun (e : Flight.entry) -> wire_req e.Flight.summary)
+            (Flight.slowest ()))
+       ())
+
 let handle_connection state fd =
-  let t0 = Unix.gettimeofday () in
-  (try
-     match Http.read_request ~max_body:state.cfg.max_body fd with
-  | Error msg -> respond_error fd 400 msg
-  | Ok http_rq -> (
-      match (http_rq.Http.meth, http_rq.Http.path) with
-      | "POST", "/v1/solve" ->
-          handle_api state fd http_rq Wire.Solve handle_solve
-      | "POST", "/v1/bracket" ->
-          handle_api state fd http_rq Wire.Bracket handle_bracket
-      | "POST", "/v1/frontier" ->
-          handle_api state fd http_rq Wire.Frontier handle_frontier
-      | "GET", "/metrics" ->
-          Http.write_response
-            ~headers:
-              [ ("content-type", "text/plain; version=0.0.4") ]
-            ~status:200
-            ~body:(Metrics.to_prometheus ())
-            fd
-      | "GET", "/healthz" ->
-          Http.write_response ~status:200 ~body:"ok\n" fd
-      | ("POST" | "GET"), _ ->
-          respond_error fd 404 ("no route for " ^ http_rq.Http.path)
-      | meth, _ -> respond_error fd 405 ("method not allowed: " ^ meth))
-   with
-   (* solver preconditions (size caps, bad parameters) are the
-      client's fault; anything else is ours.  Either way the client
-      gets a wire-schema error, never a silently dropped connection. *)
-   | Invalid_argument msg -> respond_error fd 400 msg
-   | exn -> respond_error fd 500 (Printexc.to_string exn));
-  Metrics.Histogram.observe state.latency (Unix.gettimeofday () -. t0)
+  let t0 = Clock.now () in
+  (* a fresh trace context per request: concurrent requests record
+     disjoint traces, span ids restart at 0, parents cannot cross *)
+  let ctx = Span.new_context () in
+  let info = fresh_info () in
+  Domain.DLS.set info_key info;
+  let path = ref "other" in
+  Span.with_current ctx (fun () ->
+      try
+        match Http.read_request ~max_body:state.cfg.max_body fd with
+        | Error msg -> respond_error fd 400 msg
+        | Ok http_rq -> (
+            path := route_of http_rq.Http.path;
+            Span.with_
+              ~name:("http " ^ http_rq.Http.meth ^ " " ^ !path)
+              (fun () ->
+                match (http_rq.Http.meth, http_rq.Http.path) with
+                | "POST", "/v1/solve" ->
+                    handle_api state fd http_rq Wire.Solve handle_solve
+                | "POST", "/v1/bracket" ->
+                    handle_api state fd http_rq Wire.Bracket handle_bracket
+                | "POST", "/v1/frontier" ->
+                    handle_api state fd http_rq Wire.Frontier handle_frontier
+                | "GET", "/metrics" ->
+                    note_status 200;
+                    Http.write_response
+                      ~headers:
+                        [ ("content-type", "text/plain; version=0.0.4") ]
+                      ~status:200
+                      ~body:(Metrics.to_prometheus ())
+                      fd
+                | "GET", "/healthz" ->
+                    respond_json ~status:200 fd
+                      (Wire.encode_healthz
+                         (Wire.healthz
+                            ~uptime_s:(Clock.elapsed_s state.started)))
+                | "GET", "/v1/status" ->
+                    respond_json ~status:200 fd (status_body state)
+                | ("POST" | "GET"), _ ->
+                    respond_error fd 404 ("no route for " ^ http_rq.Http.path)
+                | meth, _ ->
+                    respond_error fd 405 ("method not allowed: " ^ meth)))
+      with
+      (* solver preconditions (size caps, bad parameters) are the
+         client's fault; anything else is ours.  Either way the client
+         gets a wire-schema error, never a silently dropped
+         connection. *)
+      | Invalid_argument msg -> respond_error fd 400 msg
+      | exn -> respond_error fd 500 (Printexc.to_string exn));
+  let dur_s = Clock.elapsed_s t0 in
+  Metrics.Histogram.observe state.latency dur_s;
+  (match List.assoc_opt !path state.route_latency with
+  | Some h -> Metrics.Histogram.observe h dur_s
+  | None -> ());
+  Flight.record
+    ~summary:
+      {
+        Flight.trace_id = Span.trace_id ctx;
+        route = !path;
+        status = info.ri_status;
+        cache = info.ri_cache;
+        t_start = t0;
+        dur_s;
+        outcome = info.ri_outcome;
+      }
+    ~spans:(Span.context_spans ctx)
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop *)

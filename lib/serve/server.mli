@@ -28,13 +28,28 @@
 
     Routes: [POST /v1/solve], [POST /v1/bracket] (request body:
     {!Prbp_wire.Wire.request}; responses: wire outcome / bracket
-    objects, or [{"v":1,"error":…}]), [GET /metrics] (Prometheus
-    text), [GET /healthz].  A request with [stream:true] receives a
-    chunked response of telemetry JSON-lines followed by the result
-    line.  Metrics: [prbpd_requests_total], [prbpd_cache_hits_total],
-    [prbpd_cache_misses_total] and the [prbpd_request_seconds]
-    histogram, exported alongside every other registered
-    {!Prbp_obs.Metrics} instrument. *)
+    objects, or [{"v":1,"error":…}]), [POST /v1/frontier],
+    [GET /metrics] (Prometheus text), [GET /healthz] (a
+    {!Prbp_wire.Wire.healthz} JSON body: wire version, BENCH schema
+    tag, uptime) and [GET /v1/status] (a
+    {!Prbp_wire.Wire.status_report} live snapshot: in-flight and
+    queued counts, cache hit/miss totals, per-route latency
+    histograms, and the flight recorder's recent/slowest request
+    summaries).  A request with [stream:true] receives a chunked
+    response of telemetry JSON-lines followed by the result line.
+
+    {e Request-scoped tracing.}  Every request runs under a fresh
+    {!Prbp_obs.Span} context, so concurrent requests record disjoint,
+    well-parented traces; the {!Prbp_obs.Flight} recorder keeps a
+    bounded ring of request summaries plus the full span trees of the
+    slowest few, and served solve outcomes carry their
+    {!Prbp_solver.Solver.Convergence} curve.
+
+    Metrics: [prbpd_requests_total], [prbpd_cache_hits_total],
+    [prbpd_cache_misses_total], the [prbpd_request_seconds] histogram
+    and the per-route [prbpd_route_request_seconds] family (label
+    [route], fixed route set), exported alongside every other
+    registered {!Prbp_obs.Metrics} instrument. *)
 
 type addr =
   | Tcp of string * int  (** interface, port *)

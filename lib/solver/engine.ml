@@ -169,6 +169,10 @@ module Make (G : Game.S) = struct
       depth = ctx.cur_d;
       table_load = T.load ctx.tbl;
       elapsed_s = Clock.elapsed_s ctx.t0;
+      (* the settled 0-1 distance is a certified lower bound: a
+         cheaper complete pebbling would already have been popped *)
+      lower = ctx.cur_d;
+      upper = (if ctx.ub < max_int then Some ctx.ub else None);
     }
 
   (* Deadline / memory / cancellation polls and telemetry emission;
@@ -336,11 +340,16 @@ module Make (G : Game.S) = struct
     let finish outcome =
       (match telemetry with
       | Some sink ->
+          (* the terminal event carries the outcome's certified
+             interval, which can beat the last mid-run sighting (the
+             final Bounded lower comes from the surviving frontier,
+             not just the settled depth) *)
+          let lo, up = Solver.interval outcome in
           sink.emit
             (Solver.Telemetry.Stop
                {
                  outcome = Solver.outcome_label outcome;
-                 progress = progress ctx;
+                 progress = { (progress ctx) with lower = lo; upper = up };
                })
       | None -> ());
       (* end-of-solve observability: counters and the solve span are
@@ -752,6 +761,10 @@ module Make (G : Game.S) = struct
       depth = sh.doms.(0).level;
       table_load = !load;
       elapsed_s = Clock.elapsed_s sh.p_t0;
+      (* the level-synchronized frontier depth is the settled 0-1
+         distance, hence a certified lower bound *)
+      lower = sh.doms.(0).level;
+      upper = (if sh.p_ub < max_int then Some sh.p_ub else None);
     }
 
   (* The subround verdict.  Every domain evaluates this identically:
@@ -1104,11 +1117,14 @@ module Make (G : Game.S) = struct
     let finish outcome =
       (match telemetry with
       | Some sink ->
+          let lo, up = Solver.interval outcome in
           sink.emit
             (Solver.Telemetry.Stop
                {
                  outcome = Solver.outcome_label outcome;
-                 progress = par_progress sh;
+                 progress =
+                   { (par_progress sh) with Solver.Telemetry.lower = lo;
+                     upper = up };
                })
       | None -> ());
       if Metrics.enabled () then begin

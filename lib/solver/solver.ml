@@ -95,6 +95,12 @@ module Telemetry = struct
     depth : int;
     table_load : float;
     elapsed_s : float;
+    lower : int;
+        (* certified lower bound on OPT at this instant: every settled
+           0-1-BFS depth is one (the goal would otherwise have been
+           popped already), and a terminal event carries the outcome's
+           certified bound *)
+    upper : int option;  (* branch-and-bound incumbent, when one exists *)
   }
 
   type event =
@@ -197,3 +203,101 @@ let pp ppf = function
   | Unsolvable stats ->
       Format.fprintf ppf "unsolvable (%d states, %.2fs)" stats.explored
         stats.elapsed_s
+
+(* ------------------------------------------------------------------ *)
+
+module Convergence = struct
+  type point = { t_s : float; lower : int; upper : int option }
+
+  type curve = point list
+
+  type recorder = {
+    mutable rev : point list;  (* newest first *)
+    r_lock : Mutex.t;
+  }
+
+  let min_upper a b =
+    match (a, b) with
+    | None, u | u, None -> u
+    | Some a, Some b -> Some (min a b)
+
+  (* Fold one certified (lower, upper) sighting into the curve,
+     keeping it monotone: the recorded lower bound never decreases,
+     the recorded upper bound never increases, and a sighting that
+     tightens nothing is dropped (so curves stay short).  Sightings
+     with [lower = max_int] (the Unsolvable convention) are ignored —
+     there is no optimum to converge to. *)
+  let observe r ~t_s ~lower ~upper =
+    if lower < max_int then begin
+      Mutex.lock r.r_lock;
+      let lo', up' =
+        match r.rev with
+        | [] -> (lower, upper)
+        | last :: _ -> (max lower last.lower, min_upper upper last.upper)
+      in
+      let tightens =
+        match r.rev with
+        | [] -> true
+        | last :: _ -> lo' > last.lower || up' <> last.upper
+      in
+      if tightens then r.rev <- { t_s; lower = lo'; upper = up' } :: r.rev;
+      Mutex.unlock r.r_lock
+    end
+
+  let curve r =
+    Mutex.lock r.r_lock;
+    let l = List.rev r.rev in
+    Mutex.unlock r.r_lock;
+    l
+
+  (* A recorder plus a telemetry sink that feeds it (and tees into
+     [telemetry] when given, preserving its cadence). *)
+  let recorder ?telemetry () =
+    let r = { rev = []; r_lock = Mutex.create () } in
+    let every =
+      match telemetry with
+      | Some (s : Telemetry.sink) -> s.Telemetry.every
+      | None -> Telemetry.default_every
+    in
+    let emit ev =
+      (match ev with
+      | Telemetry.Progress p | Telemetry.Stop { progress = p; _ } ->
+          observe r ~t_s:p.Telemetry.elapsed_s ~lower:p.Telemetry.lower
+            ~upper:p.Telemetry.upper
+      | Telemetry.Start _ | Telemetry.Prune _ -> ());
+      match telemetry with
+      | Some s -> s.Telemetry.emit ev
+      | None -> ()
+    in
+    (r, { Telemetry.every; emit })
+
+  let width p =
+    match p.upper with Some u -> Some (u - p.lower) | None -> None
+
+  let final c =
+    match List.rev c with [] -> None | last :: _ -> Some last
+
+  (* Earliest recorded time at which the certified width was ≤ [w];
+     [None] when the curve never got there (or never had an upper
+     bound). *)
+  let time_to_width c w =
+    List.find_map
+      (fun p ->
+        match width p with
+        | Some wd when wd <= w -> Some p.t_s
+        | _ -> None)
+      c
+
+  let monotone c =
+    let rec go = function
+      | a :: (b :: _ as tl) ->
+          b.lower >= a.lower
+          && (match (a.upper, b.upper) with
+             | Some ua, Some ub -> ub <= ua
+             | Some _, None -> false  (* an incumbent cannot vanish *)
+             | None, _ -> true)
+          && b.t_s >= a.t_s && go tl
+      | _ -> true
+    in
+    go c
+end

@@ -125,6 +125,16 @@ module Telemetry : sig
     depth : int;  (** settled 0-1 distance at the report *)
     table_load : float;  (** state-table probe-array load factor *)
     elapsed_s : float;
+    lower : int;
+        (** certified lower bound on OPT at this instant.  Mid-run it
+            is the settled 0-1 distance (any cheaper pebbling would
+            already have been popped); on a terminal {!event.Stop} it
+            is the outcome's certified bound ({!interval}), which may
+            exceed the last mid-run value. *)
+    upper : int option;
+        (** the branch-and-bound incumbent — the cost of a complete
+            verified strategy already in hand — or [None] before one
+            exists *)
   }
 
   type event =
@@ -213,3 +223,53 @@ val interval : _ outcome -> int * int option
 
 val pp : Format.formatter -> _ outcome -> unit
 (** One-line human summary. *)
+
+(** Convergence curves: the trajectory by which an anytime solve (or a
+    bracket, or a frontier probe) tightened its certified interval.
+
+    A {!Convergence.recorder} folds the [(lower, upper)] pair of every
+    {!Telemetry} [Progress]/[Stop] event into a monotone time series —
+    lower bounds never decrease, upper bounds never increase, and
+    sightings that tighten nothing are dropped — so the curve answers
+    "what was certified at time [t]?" directly: at any [t] between two
+    points, the earlier point's interval was the certified state of
+    knowledge. *)
+module Convergence : sig
+  type point = {
+    t_s : float;  (** seconds since the solve started *)
+    lower : int;  (** best certified lower bound by [t_s] *)
+    upper : int option;  (** best verified upper bound by [t_s] *)
+  }
+
+  type curve = point list
+  (** Chronological; non-empty for any solve that emitted a terminal
+      event through a recorder-backed sink. *)
+
+  type recorder
+
+  val recorder : ?telemetry:Telemetry.sink -> unit -> recorder * Telemetry.sink
+  (** A fresh recorder and the sink that feeds it.  Pass the sink to
+      [solve]/[Bracket.run]; events also forward to [telemetry] when
+      given (whose [every] cadence is preserved).  Thread-safe. *)
+
+  val observe : recorder -> t_s:float -> lower:int -> upper:int option -> unit
+  (** Fold one certified sighting directly (for layers that know their
+      bounds without a telemetry event, e.g. bracket stages).
+      Sightings with [lower = max_int] are ignored. *)
+
+  val curve : recorder -> curve
+
+  val width : point -> int option
+  (** [upper - lower], when an upper bound exists. *)
+
+  val final : curve -> point option
+
+  val time_to_width : curve -> int -> float option
+  (** Earliest recorded time at which the certified width was ≤ the
+      target; [None] if the curve never got there. *)
+
+  val monotone : curve -> bool
+  (** Lower bounds non-decreasing, upper bounds non-increasing (and
+      never vanishing), times non-decreasing — true for every curve a
+      recorder produces; exposed for the regression gate. *)
+end

@@ -11,6 +11,10 @@ module Frontier = Prbp_frontier.Frontier
 
 let version = 1
 
+(* the BENCH_solver.json schema this wire release pairs with; bumped
+   whenever the row format gains fields the regression gate compares *)
+let bench_schema = "prbp-solver-bench/v10"
+
 (* ------------------------------------------------------------------ *)
 (* Decoder plumbing.  Decoders thread a [(_, string) result] monad so
    every failure carries the field that caused it. *)
@@ -574,6 +578,54 @@ let stats_of_json j : (Solver.stats, string) result =
       spilled;
     }
 
+(* convergence curves ride as compact triples [t_s, lower, upper],
+   with [null] for a missing upper bound; absent or null curves decode
+   as [] so every v1 record before the field existed still parses *)
+let curve_json (c : Solver.Convergence.curve) =
+  Json.List
+    (List.map
+       (fun (pt : Solver.Convergence.point) ->
+         Json.List
+           [
+             Json.Float pt.Solver.Convergence.t_s;
+             Json.Int pt.Solver.Convergence.lower;
+             (match pt.Solver.Convergence.upper with
+             | Some u -> Json.Int u
+             | None -> Json.Null);
+           ])
+       c)
+
+let curve_field j : (Solver.Convergence.curve, string) result =
+  match Json.member "curve" j with
+  | Some Json.Null | None -> Ok []
+  | Some (Json.List l) ->
+      map_m
+        (fun pj ->
+          match pj with
+          | Json.List [ t; lo; up ] -> (
+              match (Json.to_float t, Json.to_int lo) with
+              | Some t_s, Some lower -> (
+                  match up with
+                  | Json.Null ->
+                      Ok { Solver.Convergence.t_s; lower; upper = None }
+                  | _ -> (
+                      match Json.to_int up with
+                      | Some u ->
+                          Ok
+                            {
+                              Solver.Convergence.t_s;
+                              lower;
+                              upper = Some u;
+                            }
+                      | None ->
+                          Error
+                            "field \"curve\": upper must be an integer or \
+                             null"))
+              | _ -> Error "field \"curve\": expected [t_s, lower, upper]")
+          | _ -> Error "field \"curve\": expected [t_s, lower, upper] triples")
+        l
+  | Some _ -> Error "field \"curve\": expected an array"
+
 type outcome = {
   v : int;
   game : game;
@@ -588,6 +640,7 @@ type outcome = {
   stopped : string option;
   strategy : strategy option;
   stats : Solver.stats;
+  curve : Solver.Convergence.curve;
 }
 
 let status_label = function
@@ -601,13 +654,13 @@ let status_of_label = function
   | "unsolvable" -> Ok `Unsolvable
   | s -> Error (Printf.sprintf "unknown status %S" s)
 
-let outcome_of ~game ~r ?(variants = no_variants) ?strategy ~dag
-    (oc : _ Solver.outcome) =
+let outcome_of ~game ~r ?(variants = no_variants) ?strategy ?(curve = [])
+    ~dag (oc : _ Solver.outcome) =
   let dag_hash = Dag.hash dag in
   let n = Dag.n_nodes dag and m = Dag.n_edges dag in
   let base status lower upper stopped stats =
     { v = version; game; r; variants; dag_hash; n; m; status; lower; upper;
-      stopped; strategy; stats }
+      stopped; strategy; stats; curve }
   in
   match oc with
   | Solver.Optimal { cost; stats; _ } ->
@@ -637,6 +690,9 @@ let encode_outcome (o : outcome) =
        @ (match o.strategy with
          | Some s -> [ ("strategy", strategy_json s) ]
          | None -> [])
+       @ (match o.curve with
+         | [] -> []
+         | c -> [ ("curve", curve_json c) ])
        @ [ ("stats", stats_json o.stats) ]))
 
 let decode_outcome s =
@@ -656,10 +712,11 @@ let decode_outcome s =
   let* upper = opt_int "upper" j in
   let* stopped = opt_str "stopped" j in
   let* strategy = opt_strategy_field j in
+  let* curve = curve_field j in
   let* stats_j = field "stats" j in
   let* stats = stats_of_json stats_j in
   Ok { v = version; game; r; variants; dag_hash; n; m; status; lower; upper;
-       stopped; strategy; stats }
+       stopped; strategy; stats; curve }
 
 (* ------------------------------------------------------------------ *)
 (* Bracket certificates *)
@@ -681,6 +738,7 @@ type bracket = {
   rules : (string * int) list;
   profile_classes : int option;
   strategy : strategy option;
+  curve : Solver.Convergence.curve;
   elapsed_s : float;
 }
 
@@ -708,6 +766,7 @@ let bracket_of ?family ?(with_moves = false) (b : Bracket.t) =
            | Bracket.Rbp_moves ms -> Rbp_strategy ms
            | Bracket.Prbp_moves ms -> Prbp_strategy ms)
        else None);
+    curve = b.Bracket.curve;
     elapsed_s = b.elapsed_s;
   }
 
@@ -752,6 +811,7 @@ let encode_bracket (b : bracket) =
        @ (match b.strategy with
          | Some s -> [ ("strategy", strategy_json s) ]
          | None -> [])
+       @ (match b.curve with [] -> [] | c -> [ ("curve", curve_json c) ])
        @ [ ("elapsed_s", Json.Float b.elapsed_s) ]))
 
 let decode_bracket s =
@@ -784,10 +844,11 @@ let decode_bracket s =
     in
     let* profile_classes = opt_int "profile_classes" j in
     let* strategy = opt_strategy_field j in
+    let* curve = curve_field j in
     let* elapsed_s = float_field "elapsed_s" j in
     Ok { v = version; family; game; r; n; m; lower; lower_rule; upper;
          upper_rule; verifier; tight; width; rules; profile_classes; strategy;
-         elapsed_s }
+         curve; elapsed_s }
 
 (* ------------------------------------------------------------------ *)
 (* Frontier certificates *)
@@ -805,6 +866,7 @@ type frontier_point = {
   settled : bool;
   dominated : bool;
   strategy : strategy option;
+  curve : Solver.Convergence.curve;
 }
 
 type frontier = {
@@ -857,6 +919,7 @@ let frontier_of ?family ?(with_moves = false) ~dag (f : Frontier.t) =
                    Multi_prbp_strategy (pt.Frontier.p, ms))
              pt.Frontier.witness
          else None);
+      curve = pt.Frontier.curve;
     }
   in
   {
@@ -894,10 +957,10 @@ let frontier_point_json (pt : frontier_point) =
         ("settled", Json.Bool pt.settled);
         ("dominated", Json.Bool pt.dominated);
       ]
-    @
-    match pt.strategy with
-    | Some s -> [ ("strategy", strategy_json s) ]
-    | None -> [])
+    @ (match pt.strategy with
+      | Some s -> [ ("strategy", strategy_json s) ]
+      | None -> [])
+    @ match pt.curve with [] -> [] | c -> [ ("curve", curve_json c) ])
 
 let frontier_point_of_json j =
   let* p = int_field "p" j in
@@ -915,9 +978,10 @@ let frontier_point_of_json j =
   let* settled = bool_field "settled" j in
   let* dominated = bool_field "dominated" j in
   let* strategy = opt_strategy_field j in
+  let* curve = curve_field j in
   Ok
     { p; r; comm_lower; comm_upper; time_lower; time_upper; status; source;
-      verified; settled; dominated; strategy }
+      verified; settled; dominated; strategy; curve }
 
 (* derived row metrics: the regression gate compares these without
    re-deriving them from the points *)
@@ -1003,7 +1067,9 @@ let progress_fields (p : Solver.Telemetry.progress) =
     ("depth", Json.Int p.depth);
     ("table_load", Json.Float p.table_load);
     ("elapsed_s", Json.Float p.elapsed_s);
+    ("lower", Json.Int p.lower);
   ]
+  @ match p.upper with Some u -> [ ("upper", Json.Int u) ] | None -> []
 
 let encode_event (ev : Solver.Telemetry.event) =
   let tagged ev_name fields =
@@ -1029,6 +1095,17 @@ let progress_of_json j : (Solver.Telemetry.progress, string) result =
   let* depth = int_field "depth" j in
   let* table_load = float_field "table_load" j in
   let* elapsed_s = float_field "elapsed_s" j in
+  (* [lower]/[upper] arrived after v1 shipped; absent values decode to
+     the weakest certified statement so old JSONL traces still parse *)
+  let* lower =
+    match Json.member "lower" j with
+    | Some Json.Null | None -> Ok 0
+    | Some v -> (
+        match Json.to_int v with
+        | Some i -> Ok i
+        | None -> Error "field \"lower\": expected an integer")
+  in
+  let* upper = opt_int "upper" j in
   Ok
     {
       Solver.Telemetry.expansions;
@@ -1038,6 +1115,8 @@ let progress_of_json j : (Solver.Telemetry.progress, string) result =
       depth;
       table_load;
       elapsed_s;
+      lower;
+      upper;
     }
 
 let decode_event s : (Solver.Telemetry.event, string) result =
@@ -1068,6 +1147,176 @@ let jsonl ?every oc =
       (* stop events close a solve; make sure they reach the reader
          even when the process is about to exit non-zero *)
       match ev with Solver.Telemetry.Stop _ -> flush oc | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Daemon status *)
+
+type req = {
+  trace_id : int;
+  route : string;
+  status : int;
+  cache : string;
+  dur_s : float;
+  outcome : string;
+}
+
+type route_stat = {
+  route : string;
+  count : int;
+  sum_s : float;
+  buckets : (float * int) list;
+}
+
+type status_report = {
+  v : int;
+  uptime_s : float;
+  workers : int;
+  in_flight : int;
+  queued : int;
+  requests_total : int;
+  cache_hits : int;
+  cache_misses : int;
+  flight_seen : int;
+  flight_capacity : int;
+  routes : route_stat list;
+  recent : req list;
+  slowest : req list;
+}
+
+let req_json (r : req) =
+  Json.Obj
+    [
+      ("trace_id", Json.Int r.trace_id);
+      ("route", Json.String r.route);
+      ("status", Json.Int r.status);
+      ("cache", Json.String r.cache);
+      ("dur_s", Json.Float r.dur_s);
+      ("outcome", Json.String r.outcome);
+    ]
+
+let req_of_json j =
+  let* trace_id = int_field "trace_id" j in
+  let* route = str_field "route" j in
+  let* status = int_field "status" j in
+  let* cache = str_field "cache" j in
+  let* dur_s = float_field "dur_s" j in
+  let* outcome = str_field "outcome" j in
+  Ok { trace_id; route; status; cache; dur_s; outcome }
+
+let route_stat_json (rs : route_stat) =
+  Json.Obj
+    [
+      ("route", Json.String rs.route);
+      ("count", Json.Int rs.count);
+      ("sum_s", Json.Float rs.sum_s);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, n) -> Json.List [ Json.Float le; Json.Int n ])
+             rs.buckets) );
+    ]
+
+let route_stat_of_json j =
+  let* route = str_field "route" j in
+  let* count = int_field "count" j in
+  let* sum_s = float_field "sum_s" j in
+  let* buckets_j = list_field "buckets" j in
+  let* buckets =
+    map_m
+      (fun bj ->
+        match bj with
+        | Json.List [ le; n ] -> (
+            match (Json.to_float le, Json.to_int n) with
+            | Some le, Some n -> Ok (le, n)
+            | _ -> Error "field \"buckets\": expected [le, count] pairs")
+        | _ -> Error "field \"buckets\": expected [le, count] pairs")
+      buckets_j
+  in
+  Ok { route; count; sum_s; buckets }
+
+let status_report ~uptime_s ~workers ~in_flight ~queued ~requests_total
+    ~cache_hits ~cache_misses ~flight_seen ~flight_capacity ~routes ~recent
+    ~slowest () =
+  { v = version; uptime_s; workers; in_flight; queued; requests_total;
+    cache_hits; cache_misses; flight_seen; flight_capacity; routes; recent;
+    slowest }
+
+let encode_status (st : status_report) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int st.v);
+         ("kind", Json.String "status");
+         ("uptime_s", Json.Float st.uptime_s);
+         ("workers", Json.Int st.workers);
+         ("in_flight", Json.Int st.in_flight);
+         ("queued", Json.Int st.queued);
+         ("requests_total", Json.Int st.requests_total);
+         ("cache_hits", Json.Int st.cache_hits);
+         ("cache_misses", Json.Int st.cache_misses);
+         ("flight_seen", Json.Int st.flight_seen);
+         ("flight_capacity", Json.Int st.flight_capacity);
+         ("routes", Json.List (List.map route_stat_json st.routes));
+         ("recent", Json.List (List.map req_json st.recent));
+         ("slowest", Json.List (List.map req_json st.slowest));
+       ])
+
+let decode_status s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* kind = str_field "kind" j in
+  if kind <> "status" then
+    Error (Printf.sprintf "expected kind \"status\", got %S" kind)
+  else
+    let* uptime_s = float_field "uptime_s" j in
+    let* workers = int_field "workers" j in
+    let* in_flight = int_field "in_flight" j in
+    let* queued = int_field "queued" j in
+    let* requests_total = int_field "requests_total" j in
+    let* cache_hits = int_field "cache_hits" j in
+    let* cache_misses = int_field "cache_misses" j in
+    let* flight_seen = int_field "flight_seen" j in
+    let* flight_capacity = int_field "flight_capacity" j in
+    let* routes_j = list_field "routes" j in
+    let* routes = map_m route_stat_of_json routes_j in
+    let* recent_j = list_field "recent" j in
+    let* recent = map_m req_of_json recent_j in
+    let* slowest_j = list_field "slowest" j in
+    let* slowest = map_m req_of_json slowest_j in
+    Ok { v = version; uptime_s; workers; in_flight; queued; requests_total;
+         cache_hits; cache_misses; flight_seen; flight_capacity; routes;
+         recent; slowest }
+
+(* ------------------------------------------------------------------ *)
+(* Health *)
+
+type healthz = { v : int; wire : int; bench : string; uptime_s : float }
+
+let healthz ~uptime_s =
+  { v = version; wire = version; bench = bench_schema; uptime_s }
+
+let encode_healthz (h : healthz) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("v", Json.Int h.v);
+         ("kind", Json.String "healthz");
+         ("wire", Json.Int h.wire);
+         ("bench_schema", Json.String h.bench);
+         ("uptime_s", Json.Float h.uptime_s);
+       ])
+
+let decode_healthz s =
+  let* j = parse s in
+  let* () = check_version j in
+  let* kind = str_field "kind" j in
+  if kind <> "healthz" then
+    Error (Printf.sprintf "expected kind \"healthz\", got %S" kind)
+  else
+    let* wire = int_field "wire" j in
+    let* bench = str_field "bench_schema" j in
+    let* uptime_s = float_field "uptime_s" j in
+    Ok { v = version; wire; bench; uptime_s }
 
 (* ------------------------------------------------------------------ *)
 (* Errors *)

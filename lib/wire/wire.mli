@@ -25,6 +25,12 @@ val version : int
 (** [1].  Every encoded record carries ["v":1]; decoders reject other
     versions with a distinct error message. *)
 
+val bench_schema : string
+(** ["prbp-solver-bench/v10"] — the [BENCH_solver.json] schema tag this
+    wire release pairs with.  Single-sourced here so the bench writer,
+    the regression gate and the daemon's [/healthz] body can never
+    disagree. *)
+
 (** {1 Vocabulary} *)
 
 type game =
@@ -128,6 +134,12 @@ type outcome = {
   stopped : string option;  (** {!Prbp_solver.Solver.reason_label} *)
   strategy : strategy option;
   stats : Prbp_solver.Solver.stats;
+  curve : Prbp_solver.Solver.Convergence.curve;
+      (** how the certified interval tightened over the solve; [[]]
+          when the producer did not record one.  Encoded as compact
+          [[t_s, lower, upper]] triples ([null] upper before an
+          incumbent exists); absent on the wire when empty, so
+          pre-curve records still round-trip. *)
 }
 
 val outcome_of :
@@ -135,11 +147,14 @@ val outcome_of :
   r:int ->
   ?variants:variants ->
   ?strategy:strategy ->
+  ?curve:Prbp_solver.Solver.Convergence.curve ->
   dag:Prbp_dag.Dag.t ->
   _ Prbp_solver.Solver.outcome ->
   outcome
 (** Project a solver outcome onto the wire (the caller extracts the
-    typed strategy, if any, since move types are per game). *)
+    typed strategy, if any, since move types are per game; [curve]
+    likewise rides in from a {!Prbp_solver.Solver.Convergence}
+    recorder the caller owns, default [[]]). *)
 
 val encode_outcome : outcome -> string
 
@@ -164,6 +179,10 @@ type bracket = {
   rules : (string * int) list;  (** per-rule attribution, (label, bound) *)
   profile_classes : int option;
   strategy : strategy option;  (** the verified moves achieving [upper] *)
+  curve : Prbp_solver.Solver.Convergence.curve;
+      (** the bracket's stage-boundary convergence curve
+          ({!Prbp_bounds.Bracket.t.curve}); its final point equals
+          [(elapsed_s, lower, Some upper)] *)
   elapsed_s : float;
 }
 
@@ -200,6 +219,9 @@ type frontier_point = {
   strategy : strategy option;
       (** the witness ({!Multi_rbp_strategy} / {!Multi_prbp_strategy})
           jointly achieving [comm_upper] and [time_upper] *)
+  curve : Prbp_solver.Solver.Convergence.curve;
+      (** the probe's communication-interval convergence curve,
+          probe-relative seconds *)
 }
 (** One swept capacity of a {!Prbp_frontier.Frontier.t}. *)
 
@@ -238,15 +260,98 @@ val decode_frontier : string -> (frontier, string) result
 (** {1 Telemetry} *)
 
 val encode_event : Prbp_solver.Solver.Telemetry.event -> string
-(** One JSON object, no trailing newline, ["v":1] first. *)
+(** One JSON object, no trailing newline, ["v":1] first.  Progress
+    payloads carry the certified [lower] bound and (when an incumbent
+    exists) the [upper] bound alongside the search counters. *)
 
 val decode_event :
   string -> (Prbp_solver.Solver.Telemetry.event, string) result
+(** Tolerant of pre-curve traces: a progress payload without [lower]
+    decodes as [lower = 0] (the weakest certified statement) and a
+    missing [upper] as [None]. *)
 
 val jsonl :
   ?every:int -> out_channel -> Prbp_solver.Solver.Telemetry.sink
 (** JSON-lines emitter: one {!encode_event} line per event ([Stop]
     events flush the channel) — the sink behind [pebble_cli --trace]. *)
+
+(** {1 Daemon status} *)
+
+type req = {
+  trace_id : int;  (** the request's {!Prbp_obs.Span} trace id *)
+  route : string;
+  status : int;  (** HTTP status served *)
+  cache : string;  (** ["hit"] | ["miss"] | ["-"] *)
+  dur_s : float;
+  outcome : string;  (** solve status, or ["-"] for non-solve routes *)
+}
+(** One finished request, as the flight recorder remembers it. *)
+
+type route_stat = {
+  route : string;
+  count : int;
+  sum_s : float;
+  buckets : (float * int) list;
+      (** latency histogram: [(le, cumulative count)] in ascending
+          [le] order, the +Inf bucket implied by [count] *)
+}
+
+type status_report = {
+  v : int;
+  uptime_s : float;
+  workers : int;
+  in_flight : int;  (** requests being served right now *)
+  queued : int;  (** accepted connections waiting for a worker *)
+  requests_total : int;
+  cache_hits : int;
+  cache_misses : int;
+  flight_seen : int;  (** requests the flight recorder has recorded *)
+  flight_capacity : int;
+  routes : route_stat list;  (** per-route latency, registration order *)
+  recent : req list;  (** newest first *)
+  slowest : req list;  (** slowest first; spans retained server-side *)
+}
+(** The body of [GET /v1/status] — a live snapshot of the daemon. *)
+
+val status_report :
+  uptime_s:float ->
+  workers:int ->
+  in_flight:int ->
+  queued:int ->
+  requests_total:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  flight_seen:int ->
+  flight_capacity:int ->
+  routes:route_stat list ->
+  recent:req list ->
+  slowest:req list ->
+  unit ->
+  status_report
+(** Smart constructor, [v = version]. *)
+
+val encode_status : status_report -> string
+(** One object carrying ["kind":"status"]. *)
+
+val decode_status : string -> (status_report, string) result
+
+(** {1 Health} *)
+
+type healthz = {
+  v : int;
+  wire : int;  (** = {!version} *)
+  bench : string;  (** = {!bench_schema} *)
+  uptime_s : float;
+}
+(** The body of [GET /healthz]: enough for a probe to check liveness
+    {e and} that it is talking to a compatible schema generation. *)
+
+val healthz : uptime_s:float -> healthz
+
+val encode_healthz : healthz -> string
+(** One object carrying ["kind":"healthz"]. *)
+
+val decode_healthz : string -> (healthz, string) result
 
 (** {1 Errors} *)
 

@@ -5,6 +5,7 @@
 open Test_util
 module Clock = Prbp.Obs.Clock
 module Span = Prbp.Obs.Span
+module Flight = Prbp.Obs.Flight
 module Metrics = Prbp.Obs.Metrics
 module Json = Prbp.Obs.Json
 
@@ -289,6 +290,169 @@ let span_records_on_raise () =
   | ss -> Alcotest.failf "expected 1 span, got %d" (List.length ss)
 
 (* ------------------------------------------------------------------ *)
+(* Trace contexts: concurrent requests must come out disjoint. *)
+
+let span_context_isolation () =
+  with_tracing @@ fun () ->
+  let c1 = Span.new_context () and c2 = Span.new_context () in
+  check_true "distinct trace ids" (Span.trace_id c1 <> Span.trace_id c2);
+  check_true "fresh trace ids are positive"
+    (Span.trace_id c1 > 0 && Span.trace_id c2 > 0);
+  let work ctx tag =
+    Span.with_current ctx (fun () ->
+        Span.with_ ~name:(tag ^ ".outer") (fun () ->
+            for _ = 1 to 3 do
+              Span.with_ ~name:(tag ^ ".inner") (fun () -> ())
+            done))
+  in
+  (* two overlapping "requests", as the daemon's worker domains run
+     them *)
+  let d1 = Domain.spawn (fun () -> work c1 "a")
+  and d2 = Domain.spawn (fun () -> work c2 "b") in
+  Domain.join d1;
+  Domain.join d2;
+  let s1 = Span.context_spans c1 and s2 = Span.context_spans c2 in
+  check_int "ctx1 recorded its request" 4 (List.length s1);
+  check_int "ctx2 recorded its request" 4 (List.length s2);
+  check_int "default context untouched" 0 (List.length (Span.spans ()));
+  let ids ss = List.map (fun s -> s.Span.id) ss in
+  check_true "span ids restart per context (equal requests, equal ids)"
+    (ids s1 = ids s2 && List.mem 0 (ids s1));
+  let parents_within ss =
+    List.for_all
+      (fun s ->
+        s.Span.parent = -1
+        || List.exists (fun p -> p.Span.id = s.Span.parent) ss)
+      ss
+  in
+  check_true "no cross-request parent links (ctx1)" (parents_within s1);
+  check_true "no cross-request parent links (ctx2)" (parents_within s2);
+  check_true "ctx1 saw only its own names"
+    (List.for_all (fun s -> String.length s.Span.name > 0 && s.Span.name.[0] = 'a') s1);
+  check_json "per-context Chrome export" (Span.context_to_chrome c1)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder. *)
+
+let flight_summary i dur =
+  {
+    Flight.trace_id = i;
+    route = "/v1/solve";
+    status = 200;
+    cache = (if i mod 2 = 0 then "hit" else "miss");
+    t_start = float_of_int i;
+    dur_s = dur;
+    outcome = "optimal";
+  }
+
+let flight_ring_and_slowest () =
+  Flight.set_capacity 4;
+  Fun.protect ~finally:(fun () -> Flight.set_capacity Flight.default_capacity)
+  @@ fun () ->
+  check_int "capacity resized" 4 (Flight.capacity ());
+  (* request i takes (11-i)/10 s: the earliest are the slowest *)
+  for i = 1 to 10 do
+    Flight.record
+      ~summary:(flight_summary i (float_of_int (11 - i) /. 10.))
+      ~spans:[]
+  done;
+  check_int "seen counts beyond the ring" 10 (Flight.seen ());
+  let recent = Flight.recent () in
+  check_int "ring keeps only capacity" 4 (List.length recent);
+  check_true "recent is newest first"
+    (List.map (fun s -> s.Flight.trace_id) recent = [ 10; 9; 8; 7 ]);
+  let slow = Flight.slowest () in
+  check_true "at most K slow traces" (List.length slow <= Flight.slowest_k);
+  let durs = List.map (fun e -> e.Flight.summary.dur_s) slow in
+  check_true "slowest first"
+    (List.sort (fun a b -> compare b a) durs = durs);
+  check_true "the slowest request survived ring eviction"
+    (match slow with
+    | e :: _ -> e.Flight.summary.trace_id = 1
+    | [] -> false)
+
+let flight_chrome_merges_contexts () =
+  with_tracing ~fake_clock:true @@ fun () ->
+  Flight.reset ();
+  Fun.protect ~finally:(fun () -> Flight.reset ()) @@ fun () ->
+  let record_request name =
+    let ctx = Span.new_context () in
+    Span.with_current ctx (fun () -> Span.with_ ~name (fun () -> ()));
+    let spans = Span.context_spans ctx in
+    Flight.record
+      ~summary:(flight_summary (Span.trace_id ctx) 0.5)
+      ~spans
+  in
+  record_request "req.one";
+  record_request "req.two";
+  let doc = Flight.to_chrome () in
+  check_json "merged Chrome document" doc;
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length doc && (String.sub doc i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_true "both request traces present" (has "req.one" && has "req.two")
+
+(* ------------------------------------------------------------------ *)
+(* Convergence curves. *)
+
+let convergence_fold () =
+  let module C = Prbp.Solver.Convergence in
+  let conv, _sink = C.recorder () in
+  C.observe conv ~t_s:0.1 ~lower:2 ~upper:None;
+  C.observe conv ~t_s:0.2 ~lower:4 ~upper:(Some 9);
+  (* a looser sighting must not widen the fold *)
+  C.observe conv ~t_s:0.3 ~lower:3 ~upper:(Some 12);
+  C.observe conv ~t_s:0.4 ~lower:4 ~upper:(Some 7);
+  (* no-certificate sightings are ignored *)
+  C.observe conv ~t_s:0.5 ~lower:max_int ~upper:None;
+  let curve = C.curve conv in
+  check_int "non-tightening sightings dropped" 3 (List.length curve);
+  check_true "monotone" (C.monotone curve);
+  (match C.final curve with
+  | Some p ->
+      check_int "final lower" 4 p.C.lower;
+      check_true "final upper" (p.C.upper = Some 7)
+  | None -> Alcotest.fail "no final point");
+  check_true "time to width 5" (C.time_to_width curve 5 = Some 0.2);
+  check_true "time to width 3" (C.time_to_width curve 3 = Some 0.4);
+  check_true "width 0 never reached" (C.time_to_width curve 0 = None)
+
+let convergence_from_solve () =
+  let module C = Prbp.Solver.Convergence in
+  let conv, sink = C.recorder () in
+  let g, _ = Prbp.Graphs.Fig1.full () in
+  let outcome = Prbp.Exact_rbp.solve ~telemetry:sink (Prbp.Rbp.config ~r:4 ()) g in
+  let lo, up = Prbp.Solver.interval outcome in
+  let curve = C.curve conv in
+  check_true "solve produced a curve" (curve <> []);
+  check_true "curve monotone" (C.monotone curve);
+  match C.final curve with
+  | Some p ->
+      check_int "final lower equals the certified interval" lo p.C.lower;
+      check_true "final upper equals the certified interval" (p.C.upper = up)
+  | None -> Alcotest.fail "no final point"
+
+let convergence_from_bracket () =
+  let module C = Prbp.Solver.Convergence in
+  let module B = Prbp.Bounds.Bracket in
+  let g = (Prbp.Graphs.Fft.make ~m:8).Prbp.Graphs.Fft.dag in
+  match B.prbp ~r:4 g with
+  | Error e -> Alcotest.failf "bracket failed: %s" e
+  | Ok b ->
+      check_true "bracket curve non-empty" (b.B.curve <> []);
+      check_true "bracket curve monotone" (C.monotone b.B.curve);
+      (match C.final b.B.curve with
+      | Some p ->
+          check_int "final lower = bracket lower"
+            b.B.lower.Prbp.Bounds.Lower.bound p.C.lower;
+          check_true "final upper = bracket upper" (p.C.upper = Some b.B.upper)
+      | None -> Alcotest.fail "no final point")
+
+(* ------------------------------------------------------------------ *)
 (* Metrics. *)
 
 let metrics_counter_basics () =
@@ -353,6 +517,56 @@ let metrics_exporters () =
   check_true "histogram count sample" (has "test_obs_export_seconds_count");
   check_json "metrics JSON snapshot" (Metrics.to_json ())
 
+let metrics_histogram_snapshot_order () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_obs_snapshot_seconds" in
+  List.iter (Metrics.Histogram.observe h) [ 0.001; 0.2; 5.0; 99.0 ];
+  let buckets, count, sum = Metrics.Histogram.snapshot h in
+  check_int "count" 4 count;
+  check_true "sum" (abs_float (sum -. 104.201) < 1e-9);
+  let les = List.map fst buckets in
+  check_true "bucket bounds strictly ascending"
+    (List.sort_uniq compare les = les);
+  let counts = List.map snd buckets in
+  check_true "cumulative counts non-decreasing"
+    (List.sort compare counts = counts);
+  check_true "last finite bucket holds every observation"
+    (match List.rev buckets with
+    | (_, c) :: _ -> c = count
+    | [] -> false)
+
+(* The Prometheus exposition of one histogram family, byte for byte:
+   buckets in ascending [le] order, +Inf equal to _count.  Values land
+   in the two lowest power-of-two buckets so the golden stays short. *)
+let metrics_prometheus_histogram_golden () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram ~help:"golden" "test_obs_golden_seconds" in
+  List.iter (Metrics.Histogram.observe h) [ 0.; 3e-10 ];
+  let family () =
+    let keep line =
+      let sub = "test_obs_golden_seconds" in
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length line
+        && (String.sub line i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    String.concat "\n"
+      (List.filter keep (String.split_on_char '\n' (Metrics.to_prometheus ())))
+  in
+  let got = family () in
+  Alcotest.(check string) "byte-stable across exports" got (family ());
+  Alcotest.(check string) "golden exposition"
+    "# HELP test_obs_golden_seconds golden\n\
+     # TYPE test_obs_golden_seconds histogram\n\
+     test_obs_golden_seconds_bucket{le=\"2.32831e-10\"} 1\n\
+     test_obs_golden_seconds_bucket{le=\"4.65661e-10\"} 2\n\
+     test_obs_golden_seconds_bucket{le=\"+Inf\"} 2\n\
+     test_obs_golden_seconds_sum 3e-10\n\
+     test_obs_golden_seconds_count 2"
+    got
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry JSON lines (the [%S]-escaping fix). *)
 
@@ -365,6 +579,8 @@ let dummy_progress : Prbp.Solver.Telemetry.progress =
     depth = 5;
     table_load = 0.5;
     elapsed_s = 0.25;
+    lower = 6;
+    upper = Some 9;
   }
 
 let telemetry_lines_are_json =
@@ -461,12 +677,27 @@ let suite =
           span_disabled_is_transparent;
         case "span: recorded even when the body raises"
           span_records_on_raise;
+        case "span: concurrent contexts stay disjoint"
+          span_context_isolation;
+        case "flight: ring eviction keeps the slowest traces"
+          flight_ring_and_slowest;
+        case "flight: Chrome export merges request traces"
+          flight_chrome_merges_contexts;
+        case "convergence: monotone fold of sightings" convergence_fold;
+        case "convergence: solve curve ends at the certified interval"
+          convergence_from_solve;
+        case "convergence: bracket curve ends at the certified bracket"
+          convergence_from_bracket;
         case "metrics: counter gating, dedup, monotonicity"
           metrics_counter_basics;
         case "metrics: kind and name validation" metrics_kind_and_name_checks;
         case "metrics: gauge high-water mark and histogram buckets"
           metrics_gauge_and_histogram;
         case "metrics: Prometheus and JSON exporters" metrics_exporters;
+        case "metrics: histogram snapshot is ascending and consistent"
+          metrics_histogram_snapshot_order;
+        case "metrics: Prometheus histogram golden (ascending buckets)"
+          metrics_prometheus_histogram_golden;
         telemetry_lines_are_json;
         case "engine: registry counters match solve stats"
           engine_counter_matches_stats;

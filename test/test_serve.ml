@@ -597,7 +597,100 @@ let test_serve_stream_and_metrics () =
   check_true "cache hit counter exported" (has "prbpd_cache_hits_total");
   check_true "cache miss counter exported" (has "prbpd_cache_misses_total");
   check_true "latency histogram exported" (has "prbpd_request_seconds_bucket");
-  Alcotest.(check string) "healthz" "ok\n" (get ~port "/healthz").body
+  check_true "per-route histogram exported"
+    (has "prbpd_route_request_seconds_bucket");
+  match Wire.decode_healthz (get ~port "/healthz").body with
+  | Error e -> Alcotest.failf "healthz body is not a wire record: %s" e
+  | Ok h ->
+      check_int "healthz wire version" Wire.version h.Wire.wire;
+      Alcotest.(check string)
+        "healthz bench schema" Wire.bench_schema h.Wire.bench;
+      check_true "healthz uptime non-negative" (h.Wire.uptime_s >= 0.)
+
+let test_serve_status () =
+  with_server @@ fun port ->
+  let solve = solve_body ~r:2 ~want_strategy:false diamond_edges 4 in
+  check_int "solve ok" 200 (post ~port "/v1/solve" solve).status;
+  check_int "repeat solve ok" 200 (post ~port "/v1/solve" solve).status;
+  let reply = get ~port "/v1/status" in
+  check_int "status 200" 200 reply.status;
+  match Wire.decode_status reply.body with
+  | Error e -> Alcotest.failf "decode_status: %s" e
+  | Ok st ->
+      check_true "uptime non-negative" (st.Wire.uptime_s >= 0.);
+      check_int "workers reported" 2 st.Wire.workers;
+      check_true "requests counted" (st.Wire.requests_total >= 2);
+      check_true "the repeat hit the cache" (st.Wire.cache_hits >= 1);
+      check_true "solve route latency populated"
+        (List.exists
+           (fun (rs : Wire.route_stat) ->
+             rs.route = "/v1/solve" && rs.count >= 2 && rs.buckets <> [])
+           st.Wire.routes);
+      check_true "route buckets strictly ascending"
+        (List.for_all
+           (fun (rs : Wire.route_stat) ->
+             let les = List.map fst rs.buckets in
+             List.sort_uniq compare les = les)
+           st.Wire.routes);
+      check_true "recent requests include the solves"
+        (List.exists (fun (rq : Wire.req) -> rq.route = "/v1/solve")
+           st.Wire.recent);
+      check_true "recent requests carry cache and outcome tags"
+        (List.exists (fun (rq : Wire.req) -> rq.cache = "hit") st.Wire.recent
+        && List.exists
+             (fun (rq : Wire.req) -> rq.outcome = "optimal")
+             st.Wire.recent);
+      check_true "flight accounting sane"
+        (st.Wire.flight_seen >= 2 && st.Wire.flight_capacity >= 1)
+
+(* Two overlapping requests must come out as disjoint, well-parented
+   traces: per-context span ids (restarting at 0), parent links that
+   never cross requests, distinct trace ids. *)
+let test_serve_trace_isolation () =
+  with_server ~workers:4 @@ fun port ->
+  let module Flight = Prbp.Obs.Flight in
+  Flight.reset ();
+  let bracket r =
+    Wire.encode_request
+      (Wire.request ~kind:Wire.Bracket ~game:Wire.Rbp ~r
+         (Dag.make ~n:4 diamond_edges))
+  in
+  let d1 = Domain.spawn (fun () -> (post ~port "/v1/bracket" (bracket 3)).status)
+  and d2 =
+    Domain.spawn (fun () -> (post ~port "/v1/bracket" (bracket 4)).status)
+  in
+  check_int "first concurrent bracket" 200 (Domain.join d1);
+  check_int "second concurrent bracket" 200 (Domain.join d2);
+  let entries =
+    List.filter
+      (fun (e : Flight.entry) -> e.summary.route = "/v1/bracket")
+      (Flight.slowest ())
+  in
+  check_int "both requests retained with spans" 2 (List.length entries);
+  (match entries with
+  | [ a; b ] ->
+      check_true "distinct trace ids"
+        (a.Flight.summary.trace_id <> b.Flight.summary.trace_id)
+  | _ -> ());
+  List.iter
+    (fun (e : Flight.entry) ->
+      let module Span = Prbp.Obs.Span in
+      let ss = e.spans in
+      check_true "request recorded spans" (ss <> []);
+      check_true "span ids restart at 0 per request"
+        (List.exists (fun s -> s.Span.id = 0) ss);
+      check_true "parents stay within the request"
+        (List.for_all
+           (fun s ->
+             s.Span.parent = -1
+             || List.exists (fun p -> p.Span.id = s.Span.parent) ss)
+           ss);
+      check_true "root span is the http dispatch"
+        (List.exists
+           (fun s ->
+             s.Span.parent = -1 && s.Span.name = "http POST /v1/bracket")
+           ss))
+    entries
 
 let test_serve_concurrent_clients () =
   with_server ~workers:4 ~queue:64 @@ fun port ->
@@ -646,6 +739,9 @@ let suite =
         slow_case "serve: multiprocessor certificates" test_serve_multi_solve;
         slow_case "serve: frontier round-trip" test_serve_frontier;
         slow_case "serve: streaming + metrics" test_serve_stream_and_metrics;
+        slow_case "serve: /v1/status live snapshot" test_serve_status;
+        slow_case "serve: concurrent traces stay disjoint"
+          test_serve_trace_isolation;
         slow_case "serve: concurrent clients" test_serve_concurrent_clients;
       ] );
   ]

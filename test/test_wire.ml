@@ -171,6 +171,19 @@ let gen_stats =
         spilled;
       })
 
+let gen_curve =
+  QCheck.Gen.(
+    small_list
+      (let* t_s = float_bound_inclusive 10.0
+       and* lower = small_nat
+       and* width = opt small_nat in
+       return
+         {
+           Prbp.Solver.Convergence.t_s;
+           lower;
+           upper = Option.map (fun w -> lower + w) width;
+         }))
+
 let gen_outcome =
   let gen =
     QCheck.Gen.(
@@ -184,6 +197,7 @@ let gen_outcome =
       and* upper = opt small_nat
       and* stopped = opt (oneofl [ "max-states"; "deadline"; "max-words" ])
       and* strategy = opt gen_strategy
+      and* curve = gen_curve
       and* stats = gen_stats in
       return
         {
@@ -199,6 +213,7 @@ let gen_outcome =
           upper;
           stopped;
           strategy;
+          curve;
           stats;
         })
   in
@@ -222,6 +237,7 @@ let gen_bracket =
         small_list (pair (oneofl [ "trivial"; "sink-cut" ]) small_nat)
       and* profile_classes = opt small_nat
       and* strategy = opt gen_strategy
+      and* curve = gen_curve
       and* elapsed_s = float_bound_inclusive 10.0 in
       return
         {
@@ -241,6 +257,7 @@ let gen_bracket =
           rules;
           profile_classes;
           strategy;
+          curve;
           elapsed_s;
         })
   in
@@ -271,7 +288,7 @@ let gen_frontier =
                    (fun ms -> Wire.Multi_prbp_strategy (p, ms))
                    gen_multi_prbp_moves;
                ])
-        in
+        and* curve = gen_curve in
         return
           {
             Wire.p;
@@ -286,6 +303,7 @@ let gen_frontier =
             settled;
             dominated;
             strategy;
+            curve;
           }
       in
       let* p = int_range 1 8 in
@@ -324,7 +342,9 @@ let gen_progress =
     and* frontier = small_nat
     and* depth = small_nat
     and* table_load = float_bound_inclusive 1.0
-    and* elapsed_s = float_bound_inclusive 100.0 in
+    and* elapsed_s = float_bound_inclusive 100.0
+    and* lower = small_nat
+    and* upper = opt small_nat in
     return
       {
         Prbp.Solver.Telemetry.expansions;
@@ -334,6 +354,8 @@ let gen_progress =
         depth;
         table_load;
         elapsed_s;
+        lower;
+        upper;
       })
 
 let gen_event =
@@ -396,6 +418,92 @@ let roundtrip_event =
       match Wire.decode_event s with
       | Error e -> QCheck.Test.fail_reportf "decode_event: %s" e
       | Ok ev' -> Wire.encode_event ev' = s && ev' = ev)
+
+let gen_req_summary =
+  QCheck.Gen.(
+    let* trace_id = small_nat
+    and* route = oneofl [ "/v1/solve"; "/v1/bracket"; "/metrics"; "other" ]
+    and* status = oneofl [ 200; 400; 404; 503 ]
+    and* cache = oneofl [ "hit"; "miss"; "-" ]
+    and* dur_s = float_bound_inclusive 10.0
+    and* outcome = oneofl [ "optimal"; "bounded"; "-" ] in
+    return { Wire.trace_id; route; status; cache; dur_s; outcome })
+
+let gen_status =
+  let gen =
+    QCheck.Gen.(
+      let* uptime_s = float_bound_inclusive 1000.0
+      and* workers = int_range 1 8
+      and* in_flight = small_nat
+      and* queued = small_nat
+      and* requests_total = small_nat
+      and* cache_hits = small_nat
+      and* cache_misses = small_nat
+      and* flight_seen = small_nat
+      and* flight_capacity = int_range 1 128
+      and* routes =
+        small_list
+          (let* route = oneofl [ "/v1/solve"; "other" ]
+           and* count = small_nat
+           and* sum_s = float_bound_inclusive 100.0
+           and* buckets =
+             small_list (pair (float_bound_inclusive 8.0) small_nat)
+           in
+           return { Wire.route; count; sum_s; buckets })
+      and* recent = small_list gen_req_summary
+      and* slowest = small_list gen_req_summary in
+      return
+        (Wire.status_report ~uptime_s ~workers ~in_flight ~queued
+           ~requests_total ~cache_hits ~cache_misses ~flight_seen
+           ~flight_capacity ~routes ~recent ~slowest ()))
+  in
+  QCheck.make ~print:Wire.encode_status gen
+
+let roundtrip_status =
+  qcase ~count:200 "status: decode ∘ encode = id" gen_status (fun st ->
+      let s = Wire.encode_status st in
+      match Wire.decode_status s with
+      | Error e -> QCheck.Test.fail_reportf "decode_status: %s" e
+      | Ok st' -> Wire.encode_status st' = s && st' = st)
+
+let test_healthz_roundtrip () =
+  let h = Wire.healthz ~uptime_s:12.5 in
+  let s = Wire.encode_healthz h in
+  (match Wire.decode_healthz s with
+  | Error e -> Alcotest.failf "decode_healthz: %s" e
+  | Ok h' ->
+      check_true "roundtrip" (h' = h);
+      check_int "wire version" Wire.version h'.Wire.wire;
+      Alcotest.(check string) "bench schema" Wire.bench_schema h'.Wire.bench);
+  check_err "status body is not a healthz"
+    (Wire.decode_healthz "{\"v\":1,\"kind\":\"status\"}")
+
+(* Old records (pre-v10) carry no curve and no progress bounds; they
+   must still decode, as the weakest certified statement. *)
+let test_tolerant_pre_curve_decode () =
+  (match
+     Wire.decode_event
+       "{\"v\":1,\"ev\":\"progress\",\"expansions\":1,\"explored\":2,\
+        \"pruned\":3,\"frontier\":4,\"depth\":5,\"table_load\":0.5,\
+        \"elapsed_s\":0.25}"
+   with
+  | Ok (Prbp.Solver.Telemetry.Progress p) ->
+      check_int "absent lower decodes as 0" 0 p.Prbp.Solver.Telemetry.lower;
+      check_true "absent upper decodes as None"
+        (p.Prbp.Solver.Telemetry.upper = None)
+  | Ok _ -> Alcotest.fail "expected a progress event"
+  | Error e -> Alcotest.failf "pre-curve progress rejected: %s" e);
+  let no_curve =
+    "{\"v\":1,\"kind\":\"outcome\",\"game\":\"rbp\",\"r\":2,\
+     \"variants\":{},\"dag_hash\":\"0123456789abcdef0123456789abcdef\",\
+     \"n\":1,\"m\":0,\"status\":\"optimal\",\"lower\":1,\"upper\":1,\
+     \"stats\":{\"explored\":1,\"pruned\":0,\"expansions\":1,\
+     \"frontier\":0,\"elapsed_s\":0.1,\"mem_words\":0,\
+     \"prune_disabled\":false,\"spilled\":0}}"
+  in
+  match Wire.decode_outcome no_curve with
+  | Ok o -> check_true "absent curve decodes as []" (o.Wire.curve = [])
+  | Error e -> Alcotest.failf "pre-curve outcome rejected: %s" e
 
 (* ------------------------------------------------------------------ *)
 (* Decoder hardening *)
@@ -558,6 +666,10 @@ let suite =
         roundtrip_bracket;
         roundtrip_frontier;
         roundtrip_event;
+        roundtrip_status;
+        case "healthz: versioned round trip" test_healthz_roundtrip;
+        case "pre-curve records decode tolerantly"
+          test_tolerant_pre_curve_decode;
         case "decoders reject malformed input" test_rejects;
         case "error bodies carry an optional code" test_error_code;
         case "minimal request decodes with defaults" test_defaults;
